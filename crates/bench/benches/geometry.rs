@@ -1,0 +1,81 @@
+//! Micro-benches for the geometric primitives under every query: route
+//! arc addressing, projection (map matching), uncertainty-interval
+//! extraction, and the polygon may/must predicates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use modb_geom::{Point, Polygon, Polyline, Rect};
+
+fn winding_polyline(n: usize) -> Polyline {
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let f = i as f64;
+            Point::new(f * 0.5, (f * 0.7).sin() * 3.0)
+        })
+        .collect();
+    Polyline::new(pts).expect("valid")
+}
+
+fn bench_polyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyline");
+    let pl = winding_polyline(256);
+    let len = pl.length();
+    group.bench_function("point_at_distance", |b| {
+        let mut d = 0.0;
+        b.iter(|| {
+            d = (d + 7.3) % len;
+            black_box(pl.point_at_distance_clamped(d))
+        })
+    });
+    group.bench_function("locate_projection", |b| {
+        let mut x = 0.0;
+        b.iter(|| {
+            x = (x + 11.1) % 120.0;
+            black_box(pl.locate(Point::new(x, 1.0)))
+        })
+    });
+    group.bench_function("interval_points", |b| {
+        let mut d = 0.0;
+        b.iter(|| {
+            d = (d + 5.0) % (len - 10.0);
+            black_box(pl.interval_points(d, d + 8.0).expect("in range"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_polygon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polygon");
+    let poly = Polygon::regular(Point::new(0.0, 0.0), 5.0, 32).expect("valid");
+    group.bench_function("contains_point", |b| {
+        let mut x: f64 = -6.0;
+        b.iter(|| {
+            x += 0.37;
+            if x > 6.0 {
+                x = -6.0;
+            }
+            black_box(poly.contains_point(Point::new(x, 1.0)))
+        })
+    });
+    let path = [
+        Point::new(-2.0, -2.0),
+        Point::new(0.0, 1.0),
+        Point::new(2.0, -1.0),
+        Point::new(3.0, 2.0),
+    ];
+    group.bench_function("contains_path_must", |b| {
+        b.iter(|| black_box(poly.contains_path(black_box(&path))))
+    });
+    group.bench_function("intersects_path_may", |b| {
+        b.iter(|| black_box(poly.intersects_path(black_box(&path))))
+    });
+    let r = Rect::new(Point::new(-1.0, -1.0), Point::new(7.0, 7.0));
+    group.bench_function("intersects_rect", |b| {
+        b.iter(|| black_box(poly.intersects_rect(black_box(&r))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_polyline, bench_polygon);
+criterion_main!(benches);

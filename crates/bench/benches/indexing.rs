@@ -1,0 +1,114 @@
+//! Benches for the §4 indexing experiments.
+//!
+//! - `f5_range_query/*`: index vs exhaustive scan at growing fleet sizes
+//!   (the sublinearity figure).
+//! - `f6_index_update`: §4.2's maintenance step (delete old o-plane,
+//!   insert new) per position update.
+//! - `t3_refinement`: exact may/must classification of one candidate.
+//! - `rtree/*`: the raw R\*-tree operations underneath.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
+use modb_geom::{Aabb3, Point, Polygon, Rect};
+use modb_index::{QueryRegion, RStarTree};
+use modb_sim::experiments::indexing::{build_city_db, query_regions};
+
+fn bench_range_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_range_query");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let db = build_city_db(9, n, 20);
+        let regions = query_regions(db.network(), 16, 2.0, 3.0, 5);
+        let mut k = 0;
+        group.bench_with_input(BenchmarkId::new("index", n), &n, |b, _| {
+            b.iter(|| {
+                k = (k + 1) % regions.len();
+                black_box(db.range_query(&regions[k]).expect("ok").candidates)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                k = (k + 1) % regions.len();
+                black_box(db.range_query_scan(&regions[k]).expect("ok").candidates)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6_index_update");
+    group.sample_size(20);
+    let mut db = build_city_db(10, 5_000, 20);
+    let ids: Vec<ObjectId> = db.moving_ids().collect();
+    let mut k = 0usize;
+    let mut t = 1.0;
+    group.bench_function("apply_update_5k_fleet", |b| {
+        b.iter(|| {
+            k = (k + 1) % ids.len();
+            t += 1e-6;
+            let id = ids[k];
+            let obj = db.moving(id).expect("known");
+            let route = db.network().get(obj.attr.route).expect("route");
+            let arc = (obj.attr.start_arc + 0.1) % route.length();
+            db.apply_update(id, &UpdateMessage::basic(t, UpdatePosition::Arc(arc), 0.7))
+                .expect("ok");
+        })
+    });
+    group.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let db = build_city_db(11, 1_000, 20);
+    let g = Polygon::rectangle(&Rect::new(Point::new(5.0, 5.0), Point::new(9.0, 9.0)))
+        .expect("valid");
+    let region = QueryRegion::at_instant(g, 3.0);
+    c.bench_function("t3_refine_candidates", |b| {
+        b.iter(|| black_box(db.range_query(&region).expect("ok").must.len()))
+    });
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree");
+    let entries: Vec<(Aabb3, u64)> = (0..10_000u64)
+        .map(|i| {
+            let f = i as f64;
+            (
+                Aabb3::new(
+                    [f % 97.0, (f * 0.61) % 89.0, (f * 0.37) % 59.0],
+                    [f % 97.0 + 1.0, (f * 0.61) % 89.0 + 1.0, (f * 0.37) % 59.0 + 1.0],
+                ),
+                i,
+            )
+        })
+        .collect();
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut t = RStarTree::new();
+            for (bb, v) in &entries {
+                t.insert(*bb, *v);
+            }
+            black_box(t.len())
+        })
+    });
+    group.bench_function("bulk_load_10k", |b| {
+        b.iter(|| black_box(RStarTree::bulk_load(entries.clone()).len()))
+    });
+    let tree = RStarTree::bulk_load(entries.clone());
+    let query = Aabb3::new([40.0, 40.0, 20.0], [45.0, 45.0, 25.0]);
+    group.bench_function("query_10k", |b| {
+        b.iter(|| black_box(tree.query_intersecting(&query).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_range_query,
+    bench_index_update,
+    bench_refinement,
+    bench_rtree
+);
+criterion_main!(benches);

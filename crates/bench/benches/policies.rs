@@ -1,0 +1,139 @@
+//! Benches for the policy experiments.
+//!
+//! - `f1_f2_f3/*`: one full one-trip simulation per policy — the unit of
+//!   work behind the sweep plots (messages, total cost, uncertainty).
+//! - `t1/*`: the traditional baseline vs ail at the same imprecision.
+//! - `t2/*`: the closed-form threshold and bound evaluations of
+//!   Propositions 1–4 (these run on every onboard tick and every DBMS
+//!   answer, so their cost matters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use modb_bench::fixture_trip;
+use modb_policy::baselines::TraditionalPolicy;
+use modb_policy::{
+    combined_bound, optimal_threshold, BoundKind, DeviationCost, Policy, PolicyEngine,
+    PositionUpdate, Quintuple,
+};
+use modb_sim::{run_policy, DEFAULT_TICK};
+
+const C: f64 = 5.0;
+
+fn initial(trip: &modb_motion::Trip) -> PositionUpdate {
+    PositionUpdate {
+        time: trip.start_time(),
+        arc: trip.start_arc(),
+        speed: trip.speed_at(trip.start_time() + DEFAULT_TICK),
+    }
+}
+
+fn bench_policy_sweep_unit(c: &mut Criterion) {
+    let (route, trip) = fixture_trip(42, 10.0);
+    let mut group = c.benchmark_group("f1_f2_f3_one_trip_simulation");
+    for (label, quintuple) in [
+        ("dl", Quintuple::dl(C)),
+        ("ail", Quintuple::ail(C)),
+        ("cil", Quintuple::cil(C)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut engine =
+                    PolicyEngine::new(quintuple, route.length(), 1.0, initial(&trip))
+                        .expect("valid");
+                let m = run_policy(
+                    &trip,
+                    &route,
+                    &mut engine,
+                    &DeviationCost::UNIT_UNIFORM,
+                    DEFAULT_TICK,
+                    trip.max_speed().max(1e-6),
+                )
+                .expect("runs");
+                black_box(m.total_cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_savings_baseline(c: &mut Criterion) {
+    let (route, trip) = fixture_trip(43, 10.0);
+    let mut group = c.benchmark_group("t1_savings");
+    group.bench_function("ail_trip", |b| {
+        b.iter(|| {
+            let mut engine =
+                PolicyEngine::new(Quintuple::ail(C), route.length(), 1.0, initial(&trip))
+                    .expect("valid");
+            black_box(
+                run_policy(
+                    &trip,
+                    &route,
+                    &mut engine,
+                    &DeviationCost::UNIT_UNIFORM,
+                    DEFAULT_TICK,
+                    trip.max_speed().max(1e-6),
+                )
+                .expect("runs")
+                .messages,
+            )
+        })
+    });
+    group.bench_function("traditional_trip", |b| {
+        b.iter(|| {
+            let mut policy = TraditionalPolicy::new(0.5, C, initial(&trip)).expect("valid");
+            black_box(
+                run_policy(
+                    &trip,
+                    &route,
+                    &mut policy,
+                    &DeviationCost::UNIT_UNIFORM,
+                    DEFAULT_TICK,
+                    trip.max_speed().max(1e-6),
+                )
+                .expect("runs")
+                .messages,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_threshold_and_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_closed_forms");
+    group.bench_function("prop1_optimal_threshold", |b| {
+        b.iter(|| black_box(optimal_threshold(black_box(1.0), black_box(2.0), black_box(C))))
+    });
+    group.bench_function("prop4_combined_bound", |b| {
+        b.iter(|| {
+            black_box(combined_bound(
+                BoundKind::Immediate,
+                black_box(1.0),
+                black_box(1.5),
+                black_box(C),
+                black_box(7.3),
+            ))
+        })
+    });
+    // A single onboard tick (the hot loop of every vehicle).
+    let (route, trip) = fixture_trip(44, 10.0);
+    group.bench_function("engine_tick", |b| {
+        let mut engine = PolicyEngine::new(Quintuple::ail(C), route.length(), 1.0, initial(&trip))
+            .expect("valid");
+        let mut t = 0.0;
+        b.iter(|| {
+            t += DEFAULT_TICK;
+            let arc = trip.arc_at(&route, t);
+            black_box(engine.tick(t, arc, trip.speed_at(t)).expect("ok"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_sweep_unit,
+    bench_savings_baseline,
+    bench_threshold_and_bounds
+);
+criterion_main!(benches);

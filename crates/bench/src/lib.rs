@@ -1,0 +1,39 @@
+//! # modb-bench — benchmark support
+//!
+//! Shared fixtures for the Criterion benches. Each bench target maps to a
+//! paper table/figure (see DESIGN.md §4):
+//!
+//! - `policies`: F1–F3 (per-policy simulation cost), T1 (baseline
+//!   comparison), T2 (threshold/bound evaluation).
+//! - `indexing`: F5 (index vs scan range queries), F6 (index maintenance),
+//!   T3 (may/must refinement).
+//! - `geometry`: the route-distance and polygon primitives everything sits
+//!   on.
+
+#![warn(missing_docs)]
+
+use modb_motion::{Trip, TripProfile};
+use modb_routes::{Direction, Route, RouteId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic one-trip fixture: (route, trip) pair on a straight
+/// 120-mile route with a mixed-regime speed curve.
+pub fn fixture_trip(seed: u64, minutes: f64) -> (Route, Trip) {
+    let route = Route::from_vertices(
+        RouteId(1),
+        "bench-route",
+        vec![
+            modb_geom::Point::new(0.0, 0.0),
+            modb_geom::Point::new(120.0, 0.0),
+        ],
+    )
+    .expect("valid route");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let curve = TripProfile::Mixed
+        .generate(&mut rng, minutes, 1.0 / 60.0)
+        .expect("valid curve");
+    let trip =
+        Trip::new(RouteId(1), Direction::Forward, 0.0, 0.0, curve).expect("valid trip");
+    (route, trip)
+}

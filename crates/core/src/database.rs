@@ -1,0 +1,1001 @@
+//! The moving-objects database: update ingestion and query processing.
+
+use std::collections::HashMap;
+
+use modb_geom::Point;
+use modb_index::{MovingObjectIndex, OPlane, QueryRegion, SearchStats};
+use modb_routes::{Route, RouteNetwork};
+
+use crate::attr::{PolicyDescriptor, PositionAttribute};
+use crate::error::CoreError;
+use crate::history::AttributeHistory;
+use crate::object::{ObjectId, StationaryObject};
+use crate::query::{Containment, PositionAnswer, RangeAnswer};
+use crate::update::{UpdateMessage, UpdatePosition};
+
+/// Tuning knobs for the DBMS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatabaseConfig {
+    /// Maximum distance (miles) a reported coordinate may lie from its
+    /// route before the update is rejected as off-route.
+    pub map_match_tolerance: f64,
+    /// Horizon (minutes) an o-plane extends past its update when the
+    /// object has no known trip end — the `T` of §4.2's index time span.
+    pub default_horizon: f64,
+    /// Slab duration (minutes) for o-plane decomposition.
+    pub slab_minutes: f64,
+    /// Sampling step (minutes) for exact refinement of time-interval
+    /// queries.
+    pub refinement_dt: f64,
+    /// Superseded position-attribute versions retained per object for
+    /// as-of queries (0 disables history).
+    pub history_capacity: usize,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            map_match_tolerance: 0.25,
+            default_horizon: 60.0,
+            slab_minutes: modb_index::DEFAULT_SLAB_MINUTES,
+            refinement_dt: 1.0,
+            history_capacity: 256,
+        }
+    }
+}
+
+/// A mobile point object (§2) as stored by the DBMS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingObject {
+    /// Identifier.
+    pub id: ObjectId,
+    /// Human-readable name (e.g. a cab number).
+    pub name: String,
+    /// The position attribute — the seven sub-attributes.
+    pub attr: PositionAttribute,
+    /// Maximum trip speed `V` known to the DBMS (§3.3).
+    pub max_speed: f64,
+    /// Known trip-end time `Z`, if any (§4.2 cutoff).
+    pub trip_end: Option<f64>,
+}
+
+/// The DBMS of the paper: a route database, stationary landmarks, moving
+/// objects with position attributes, and the 3-D time-space index.
+#[derive(Debug, Clone)]
+pub struct Database {
+    network: RouteNetwork,
+    moving: HashMap<ObjectId, MovingObject>,
+    stationary: HashMap<ObjectId, StationaryObject>,
+    index: MovingObjectIndex<ObjectId>,
+    /// Ids of moving objects whose policies cannot be o-plane-indexed;
+    /// they are appended to every candidate set (exact refinement still
+    /// applies). Kept sorted.
+    unindexed: Vec<ObjectId>,
+    /// Superseded attribute versions per object (transaction-time
+    /// history; see [`crate::AttributeHistory`]).
+    history: HashMap<ObjectId, AttributeHistory>,
+    config: DatabaseConfig,
+}
+
+impl Database {
+    /// Creates a database over a route network.
+    pub fn new(network: RouteNetwork, config: DatabaseConfig) -> Self {
+        Database {
+            index: MovingObjectIndex::new(config.slab_minutes),
+            network,
+            moving: HashMap::new(),
+            stationary: HashMap::new(),
+            unindexed: Vec::new(),
+            history: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The route database.
+    pub fn network(&self) -> &RouteNetwork {
+        &self.network
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DatabaseConfig {
+        &self.config
+    }
+
+    /// Number of moving objects.
+    pub fn moving_count(&self) -> usize {
+        self.moving.len()
+    }
+
+    /// Number of stationary objects.
+    pub fn stationary_count(&self) -> usize {
+        self.stationary.len()
+    }
+
+    /// Iterator over moving-object ids.
+    pub fn moving_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.moving.keys().copied()
+    }
+
+    /// Looks up a moving object.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownObject`] when absent.
+    pub fn moving(&self, id: ObjectId) -> Result<&MovingObject, CoreError> {
+        self.moving.get(&id).ok_or(CoreError::UnknownObject(id))
+    }
+
+    /// Looks up a stationary object.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownObject`] when absent.
+    pub fn stationary(&self, id: ObjectId) -> Result<&StationaryObject, CoreError> {
+        self.stationary.get(&id).ok_or(CoreError::UnknownObject(id))
+    }
+
+    /// Finds a moving object by its human-readable name (linear scan —
+    /// names are a UI convenience, not a hot path).
+    pub fn find_moving_by_name(&self, name: &str) -> Option<&MovingObject> {
+        self.moving.values().find(|o| o.name == name)
+    }
+
+    /// Finds a stationary object by name.
+    pub fn find_stationary_by_name(&self, name: &str) -> Option<&StationaryObject> {
+        self.stationary.values().find(|o| o.name == name)
+    }
+
+    /// Registers a stationary landmark.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DuplicateObject`] when the id is taken.
+    pub fn insert_stationary(&mut self, obj: StationaryObject) -> Result<(), CoreError> {
+        if self.stationary.contains_key(&obj.id) || self.moving.contains_key(&obj.id) {
+            return Err(CoreError::DuplicateObject(obj.id));
+        }
+        self.stationary.insert(obj.id, obj);
+        Ok(())
+    }
+
+    /// Registers a moving object — "at the beginning of the trip the
+    /// moving object writes all the sub-attributes of the position
+    /// attribute" (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Duplicate ids, unknown routes, and invalid numeric fields are
+    /// rejected; index failures propagate.
+    pub fn register_moving(&mut self, obj: MovingObject) -> Result<(), CoreError> {
+        if self.moving.contains_key(&obj.id) || self.stationary.contains_key(&obj.id) {
+            return Err(CoreError::DuplicateObject(obj.id));
+        }
+        let route = self.network.get(obj.attr.route)?;
+        if !obj.attr.speed.is_finite() || obj.attr.speed < 0.0 {
+            return Err(CoreError::InvalidField("speed", obj.attr.speed));
+        }
+        if !obj.max_speed.is_finite() || obj.max_speed <= 0.0 {
+            return Err(CoreError::InvalidField("max_speed", obj.max_speed));
+        }
+        if !obj.attr.start_arc.is_finite()
+            || obj.attr.start_arc < 0.0
+            || obj.attr.start_arc > route.length()
+        {
+            return Err(CoreError::InvalidField("start_arc", obj.attr.start_arc));
+        }
+        let id = obj.id;
+        self.moving.insert(id, obj);
+        self.reindex(id)?;
+        Ok(())
+    }
+
+    /// Removes a moving object (trip over).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownObject`] when absent.
+    pub fn remove_moving(&mut self, id: ObjectId) -> Result<MovingObject, CoreError> {
+        let obj = self.moving.remove(&id).ok_or(CoreError::UnknownObject(id))?;
+        self.history.remove(&id);
+        self.index.remove(&id);
+        if let Ok(pos) = self.unindexed.binary_search(&id) {
+            self.unindexed.remove(pos);
+        }
+        Ok(obj)
+    }
+
+    /// Removes every moving object whose known trip end `Z` has passed
+    /// (§4.2's cutoff): returns the removed ids. Housekeeping to run
+    /// periodically so ended trips stop occupying the index.
+    pub fn expire_trips(&mut self, now: f64) -> Vec<ObjectId> {
+        let expired: Vec<ObjectId> = self
+            .moving
+            .values()
+            .filter(|o| o.trip_end.is_some_and(|z| z < now))
+            .map(|o| o.id)
+            .collect();
+        for id in &expired {
+            let _ = self.remove_moving(*id);
+        }
+        expired
+    }
+
+    /// Applies a position-update message (§3.1), refreshing the position
+    /// attribute and the time-space index (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Unknown objects/routes, off-route coordinates, stale timestamps,
+    /// and invalid fields are rejected; on error the stored state is
+    /// unchanged.
+    pub fn apply_update(&mut self, id: ObjectId, msg: &UpdateMessage) -> Result<(), CoreError> {
+        let obj = self.moving.get(&id).ok_or(CoreError::UnknownObject(id))?;
+        if !msg.time.is_finite() {
+            return Err(CoreError::InvalidField("time", msg.time));
+        }
+        if msg.time < obj.attr.start_time {
+            return Err(CoreError::StaleUpdate {
+                stored: obj.attr.start_time,
+                received: msg.time,
+            });
+        }
+        if !msg.speed.is_finite() || msg.speed < 0.0 {
+            return Err(CoreError::InvalidField("speed", msg.speed));
+        }
+        let route_id = msg.route.unwrap_or(obj.attr.route);
+        let route = self.network.get(route_id)?;
+        let (arc, point) = self.resolve_position(route, msg.position)?;
+
+        let obj = self.moving.get_mut(&id).expect("checked above");
+        if self.config.history_capacity > 0 {
+            self.history
+                .entry(id)
+                .or_insert_with(|| AttributeHistory::new(self.config.history_capacity))
+                .push(obj.attr.clone());
+        }
+        obj.attr.start_time = msg.time;
+        obj.attr.route = route_id;
+        obj.attr.start_arc = arc;
+        obj.attr.start_position = point;
+        obj.attr.speed = msg.speed;
+        if let Some(dir) = msg.direction {
+            obj.attr.direction = dir;
+        }
+        if let Some(policy) = msg.policy {
+            obj.attr.policy = policy;
+        }
+        self.reindex(id)
+    }
+
+    fn resolve_position(
+        &self,
+        route: &Route,
+        pos: UpdatePosition,
+    ) -> Result<(f64, Point), CoreError> {
+        match pos {
+            UpdatePosition::Arc(a) => {
+                if !a.is_finite() || a < 0.0 || a > route.length() {
+                    return Err(CoreError::InvalidField("arc", a));
+                }
+                Ok((a, route.point_at(a)))
+            }
+            UpdatePosition::Coordinates(p) => {
+                if !p.is_finite() {
+                    return Err(CoreError::InvalidField("position.x/y", p.x));
+                }
+                let (arc, dist) = route.locate(p);
+                if dist > self.config.map_match_tolerance {
+                    return Err(CoreError::OffRoute {
+                        distance: dist,
+                        tolerance: self.config.map_match_tolerance,
+                    });
+                }
+                Ok((arc, route.point_at(arc)))
+            }
+        }
+    }
+
+    /// Rebuilds the object's index entry from its stored attribute.
+    fn reindex(&mut self, id: ObjectId) -> Result<(), CoreError> {
+        let obj = self.moving.get(&id).expect("caller ensures presence");
+        let unindexed_pos = self.unindexed.binary_search(&id);
+        match obj.attr.policy {
+            PolicyDescriptor::CostBased { kind, update_cost } => {
+                let route = self.network.get(obj.attr.route)?;
+                let end_time = obj
+                    .trip_end
+                    .unwrap_or(obj.attr.start_time + self.config.default_horizon)
+                    .max(obj.attr.start_time + 1e-6);
+                let plane = OPlane::new(
+                    obj.attr.route,
+                    obj.attr.start_arc,
+                    obj.attr.direction,
+                    obj.attr.speed,
+                    obj.max_speed,
+                    update_cost,
+                    kind,
+                    obj.attr.start_time,
+                    end_time,
+                )?;
+                self.index.upsert(id, plane, route)?;
+                if let Ok(pos) = unindexed_pos {
+                    self.unindexed.remove(pos);
+                }
+            }
+            _ => {
+                self.index.remove(&id);
+                if let Err(pos) = unindexed_pos {
+                    self.unindexed.insert(pos, id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Answers "what is the current position of m?" at time `t`, with the
+    /// §3.3 error bound and the §4.1.1 uncertainty interval.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownObject`] and route/geometry failures.
+    pub fn position_of(&self, id: ObjectId, t: f64) -> Result<PositionAnswer, CoreError> {
+        let obj = self.moving(id)?;
+        let route = self.network.get(obj.attr.route)?;
+        let arc = obj.attr.database_arc(route.length(), t);
+        let elapsed = (t - obj.attr.start_time).max(0.0);
+        let bound = obj
+            .attr
+            .policy
+            .deviation_bound(obj.attr.speed, obj.max_speed, elapsed);
+        let interval = obj.attr.uncertainty_arcs(route.length(), obj.max_speed, t);
+        let interval_path = route.polyline().interval_points(interval.0, interval.1)?;
+        Ok(PositionAnswer {
+            position: route.point_at(arc),
+            arc,
+            bound,
+            interval,
+            interval_path,
+        })
+    }
+
+    /// The retained attribute history for an object (empty slice when
+    /// history is disabled or no update has superseded the registration).
+    pub fn history_of(&self, id: ObjectId) -> &[PositionAttribute] {
+        self.history
+            .get(&id)
+            .map(|h| h.versions())
+            .unwrap_or(&[])
+    }
+
+    /// As-of position query: "where did the DBMS believe `m` was at time
+    /// `t`?" — answered from the attribute version in force at `t`, even
+    /// after later updates arrived. For `t` at or after the current
+    /// version's start this equals [`Database::position_of`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownObject`]; [`CoreError::InvalidField`] when `t`
+    /// predates all retained history (the epoch was evicted or history is
+    /// disabled).
+    pub fn position_of_as_of(&self, id: ObjectId, t: f64) -> Result<PositionAnswer, CoreError> {
+        let obj = self.moving(id)?;
+        if t >= obj.attr.start_time {
+            return self.position_of(id, t);
+        }
+        let version = self
+            .history
+            .get(&id)
+            .and_then(|h| h.version_at(t))
+            .ok_or(CoreError::InvalidField("as_of_time", t))?;
+        let route = self.network.get(version.route)?;
+        let arc = version.database_arc(route.length(), t);
+        let elapsed = (t - version.start_time).max(0.0);
+        let bound = version
+            .policy
+            .deviation_bound(version.speed, obj.max_speed, elapsed);
+        let interval = version.uncertainty_arcs(route.length(), obj.max_speed, t);
+        let interval_path = route.polyline().interval_points(interval.0, interval.1)?;
+        Ok(PositionAnswer {
+            position: route.point_at(arc),
+            arc,
+            bound,
+            interval,
+            interval_path,
+        })
+    }
+
+    /// Classifies one object against a query region using exact
+    /// uncertainty-interval geometry (Theorems 5–6). `None` means the
+    /// object is certainly outside G over the region's time span.
+    ///
+    /// Range queries are defined for the present and future ("t₀ may be
+    /// the current time, or some time in the future", §4.2): times before
+    /// the object's `P.starttime` are skipped — the DBMS had no position
+    /// knowledge for the object then (as-of queries serve the past).
+    fn classify(&self, obj: &MovingObject, region: &QueryRegion) -> Result<Option<Containment>, CoreError> {
+        let route = self.network.get(obj.attr.route)?;
+        let mut best: Option<Containment> = None;
+        for t in region.refinement_times(self.config.refinement_dt) {
+            if t < obj.attr.start_time {
+                continue;
+            }
+            let (lo, hi) = obj.attr.uncertainty_arcs(route.length(), obj.max_speed, t);
+            let path = route.polyline().interval_points(lo, hi)?;
+            if region.polygon().contains_path(&path) {
+                return Ok(Some(Containment::Must));
+            }
+            if region.polygon().intersects_path(&path) {
+                best = Some(Containment::May);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Range query via the time-space index (§4.2): filter candidates with
+    /// the R\*-tree, then refine exactly. Objects with non-cost-based
+    /// policies are refined too (they are not o-plane-indexable and join
+    /// the candidate set directly).
+    ///
+    /// # Errors
+    ///
+    /// Route/geometry failures during refinement.
+    pub fn range_query(&self, region: &QueryRegion) -> Result<RangeAnswer, CoreError> {
+        let (mut candidates, stats) = self.index.candidates_with_stats(region);
+        candidates.extend(self.unindexed.iter().copied());
+        self.refine(candidates, region, stats)
+    }
+
+    /// Range query by exhaustive scan — the baseline the index is measured
+    /// against (§4's sublinearity claim). Produces identical answers.
+    ///
+    /// # Errors
+    ///
+    /// Route/geometry failures during refinement.
+    pub fn range_query_scan(&self, region: &QueryRegion) -> Result<RangeAnswer, CoreError> {
+        let candidates: Vec<ObjectId> = self.moving.keys().copied().collect();
+        self.refine(candidates, region, SearchStats::default())
+    }
+
+    fn refine(
+        &self,
+        candidates: Vec<ObjectId>,
+        region: &QueryRegion,
+        stats: SearchStats,
+    ) -> Result<RangeAnswer, CoreError> {
+        let mut answer = RangeAnswer {
+            candidates: candidates.len(),
+            stats,
+            ..RangeAnswer::default()
+        };
+        for id in candidates {
+            let obj = self.moving(id)?;
+            match self.classify(obj, region)? {
+                Some(Containment::Must) => answer.must.push(id),
+                Some(Containment::May) => answer.may.push(id),
+                None => {}
+            }
+        }
+        answer.normalize();
+        Ok(answer)
+    }
+
+    /// "Retrieve the objects currently within `radius` miles of `center`"
+    /// — the paper's taxi-cab query, as a 32-gon range query at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidField`] for a bad radius; refinement errors
+    /// propagate.
+    pub fn within_distance_of_point(
+        &self,
+        center: Point,
+        radius: f64,
+        t: f64,
+    ) -> Result<RangeAnswer, CoreError> {
+        let region = modb_index::within_radius(center, radius, t)
+            .ok_or(CoreError::InvalidField("radius", radius))?;
+        self.range_query(&region)
+    }
+
+    /// "Retrieve the objects currently within `radius` miles of moving
+    /// object `target`" — the paper's trucking query (§1).
+    ///
+    /// The target's own position is uncertain, so the *may* set uses the
+    /// radius inflated by the target's deviation bound and the *must* set
+    /// uses the radius deflated by it; the target itself is excluded.
+    ///
+    /// # Errors
+    ///
+    /// Unknown target, bad radius, refinement failures.
+    pub fn within_distance_of_object(
+        &self,
+        target: ObjectId,
+        radius: f64,
+        t: f64,
+    ) -> Result<RangeAnswer, CoreError> {
+        if !radius.is_finite() || radius <= 0.0 {
+            return Err(CoreError::InvalidField("radius", radius));
+        }
+        let target_pos = self.position_of(target, t)?;
+        let center = target_pos.position;
+        // may: the object could be anywhere within its bound of the db
+        // position, so anything within radius + bound may qualify.
+        let may_region = modb_index::within_radius(center, radius + target_pos.bound, t)
+            .ok_or(CoreError::InvalidField("radius", radius))?;
+        let mut may_side = self.range_query(&may_region)?;
+        // must: only objects certainly within radius − bound qualify
+        // regardless of where the target actually is.
+        let must_radius = radius - target_pos.bound;
+        let must_ids = if must_radius > 0.0 {
+            let must_region = modb_index::within_radius(center, must_radius, t)
+                .ok_or(CoreError::InvalidField("radius", radius))?;
+            self.range_query(&must_region)?.must
+        } else {
+            Vec::new()
+        };
+        // Assemble: must from the deflated query; everything else that may
+        // qualify goes to `may`. Exclude the target.
+        let mut answer = RangeAnswer {
+            candidates: may_side.candidates,
+            stats: may_side.stats,
+            ..RangeAnswer::default()
+        };
+        answer.must = must_ids.into_iter().filter(|&i| i != target).collect();
+        may_side.normalize();
+        for id in may_side.all() {
+            if id != target && !answer.must.contains(&id) {
+                answer.may.push(id);
+            }
+        }
+        answer.normalize();
+        Ok(answer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_geom::{Polygon, Rect};
+    use modb_policy::BoundKind;
+    use modb_routes::{Direction, Route, RouteId};
+
+    const C: f64 = 5.0;
+
+    fn cost_based() -> PolicyDescriptor {
+        PolicyDescriptor::CostBased {
+            kind: BoundKind::Immediate,
+            update_cost: C,
+        }
+    }
+
+    fn network() -> RouteNetwork {
+        RouteNetwork::from_routes([
+            Route::from_vertices(
+                RouteId(1),
+                "main",
+                vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+            )
+            .unwrap(),
+            Route::from_vertices(
+                RouteId(2),
+                "cross",
+                vec![Point::new(50.0, -50.0), Point::new(50.0, 50.0)],
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn object(id: u64, arc: f64, speed: f64) -> MovingObject {
+        MovingObject {
+            id: ObjectId(id),
+            name: format!("veh-{id}"),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: RouteId(1),
+                start_position: Point::new(arc, 0.0),
+                start_arc: arc,
+                direction: Direction::Forward,
+                speed,
+                policy: cost_based(),
+            },
+            max_speed: 1.5,
+            trip_end: None,
+        }
+    }
+
+    fn db_with(objects: Vec<MovingObject>) -> Database {
+        let mut db = Database::new(network(), DatabaseConfig::default());
+        for o in objects {
+            db.register_moving(o).unwrap();
+        }
+        db
+    }
+
+    fn rect_region(x0: f64, x1: f64, t: f64) -> QueryRegion {
+        let g = Polygon::rectangle(&Rect::new(Point::new(x0, -1.0), Point::new(x1, 1.0))).unwrap();
+        QueryRegion::at_instant(g, t)
+    }
+
+    #[test]
+    fn register_and_position_query() {
+        let db = db_with(vec![object(1, 10.0, 1.0)]);
+        let ans = db.position_of(ObjectId(1), 5.0).unwrap();
+        assert_eq!(ans.arc, 15.0);
+        assert_eq!(ans.position, Point::new(15.0, 0.0));
+        // Bound matches Prop 4's combined bound at t = 5: min(2C/t, D·t)
+        // with D = max(1, 0.5) = 1 → min(2, 5) = 2.
+        assert!((ans.bound - 2.0).abs() < 1e-12);
+        assert!(ans.interval.0 <= 15.0 && ans.interval.1 >= 15.0);
+        assert!(!ans.interval_path.is_empty());
+    }
+
+    #[test]
+    fn registration_validation() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        assert!(matches!(
+            db.register_moving(object(1, 0.0, 1.0)),
+            Err(CoreError::DuplicateObject(_))
+        ));
+        let mut bad = object(2, 10.0, 1.0);
+        bad.attr.route = RouteId(99);
+        assert!(matches!(db.register_moving(bad), Err(CoreError::Route(_))));
+        let mut bad = object(3, 200.0, 1.0);
+        bad.attr.start_position = Point::new(200.0, 0.0);
+        assert!(matches!(
+            db.register_moving(bad),
+            Err(CoreError::InvalidField("start_arc", _))
+        ));
+        let mut bad = object(4, 10.0, f64::NAN);
+        bad.attr.speed = f64::NAN;
+        assert!(db.register_moving(bad).is_err());
+    }
+
+    #[test]
+    fn apply_update_moves_object() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(12.0), 0.5),
+        )
+        .unwrap();
+        let o = db.moving(ObjectId(1)).unwrap();
+        assert_eq!(o.attr.start_time, 5.0);
+        assert_eq!(o.attr.start_arc, 12.0);
+        assert_eq!(o.attr.speed, 0.5);
+        // Position now extrapolates from the new update.
+        let ans = db.position_of(ObjectId(1), 7.0).unwrap();
+        assert_eq!(ans.arc, 13.0);
+    }
+
+    #[test]
+    fn apply_update_with_coordinates_map_matches() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        // Slightly off the route (0.1 < 0.25 tolerance).
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(1.0, UpdatePosition::Coordinates(Point::new(20.0, 0.1)), 1.0),
+        )
+        .unwrap();
+        assert_eq!(db.moving(ObjectId(1)).unwrap().attr.start_arc, 20.0);
+        // Too far off: rejected.
+        let err = db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(2.0, UpdatePosition::Coordinates(Point::new(20.0, 3.0)), 1.0),
+        );
+        assert!(matches!(err, Err(CoreError::OffRoute { .. })));
+    }
+
+    #[test]
+    fn stale_and_invalid_updates_rejected() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(12.0), 1.0),
+        )
+        .unwrap();
+        assert!(matches!(
+            db.apply_update(
+                ObjectId(1),
+                &UpdateMessage::basic(4.0, UpdatePosition::Arc(13.0), 1.0)
+            ),
+            Err(CoreError::StaleUpdate { .. })
+        ));
+        assert!(db
+            .apply_update(
+                ObjectId(1),
+                &UpdateMessage::basic(6.0, UpdatePosition::Arc(-1.0), 1.0)
+            )
+            .is_err());
+        assert!(db
+            .apply_update(
+                ObjectId(1),
+                &UpdateMessage::basic(6.0, UpdatePosition::Arc(12.0), -1.0)
+            )
+            .is_err());
+        assert!(matches!(
+            db.apply_update(
+                ObjectId(9),
+                &UpdateMessage::basic(6.0, UpdatePosition::Arc(1.0), 1.0)
+            ),
+            Err(CoreError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn route_change_update(){
+        let mut db = db_with(vec![object(1, 50.0, 1.0)]);
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::route_change(
+                3.0,
+                RouteId(2),
+                UpdatePosition::Arc(50.0), // mid of the cross street
+                Direction::Forward,
+                0.8,
+            ),
+        )
+        .unwrap();
+        let o = db.moving(ObjectId(1)).unwrap();
+        assert_eq!(o.attr.route, RouteId(2));
+        let ans = db.position_of(ObjectId(1), 3.0).unwrap();
+        assert_eq!(ans.position, Point::new(50.0, 0.0));
+    }
+
+    #[test]
+    fn range_query_index_matches_scan() {
+        let db = db_with(vec![
+            object(1, 0.0, 1.0),
+            object(2, 30.0, 1.0),
+            object(3, 60.0, 0.5),
+            object(4, 90.0, 0.0),
+        ]);
+        for t in [0.0, 2.0, 5.0, 10.0] {
+            for (x0, x1) in [(0.0, 10.0), (25.0, 45.0), (0.0, 100.0), (95.0, 100.0)] {
+                let region = rect_region(x0, x1, t);
+                let a = db.range_query(&region).unwrap();
+                let b = db.range_query_scan(&region).unwrap();
+                assert_eq!(a.must, b.must, "t={t} x=[{x0},{x1}]");
+                assert_eq!(a.may, b.may, "t={t} x=[{x0},{x1}]");
+            }
+        }
+    }
+
+    #[test]
+    fn may_must_semantics() {
+        // Object 1 at arc 10 updated at t = 0 with speed 1: at t = 2 its
+        // interval (immediate kind) is [10, 15] (l = 0 pre-crossover,
+        // u = 12 + 1 ... compute: nominal 12, BS = min(5,2)=2, BF =
+        // min(5,1)=1 → [10, 13]).
+        let db = db_with(vec![object(1, 10.0, 1.0)]);
+        // Region containing the whole interval: must.
+        let a = db.range_query(&rect_region(5.0, 20.0, 2.0)).unwrap();
+        assert_eq!(a.must, vec![ObjectId(1)]);
+        assert!(a.may.is_empty());
+        // Region overlapping part of the interval: may.
+        let a = db.range_query(&rect_region(12.0, 20.0, 2.0)).unwrap();
+        assert!(a.must.is_empty());
+        assert_eq!(a.may, vec![ObjectId(1)]);
+        // Region beyond the interval: neither.
+        let a = db.range_query(&rect_region(40.0, 60.0, 2.0)).unwrap();
+        assert!(a.must.is_empty() && a.may.is_empty());
+    }
+
+    #[test]
+    fn non_indexed_policies_still_answered() {
+        let mut fixed = object(1, 10.0, 1.0);
+        fixed.attr.policy = PolicyDescriptor::FixedBound { bound: 1.0 };
+        let mut unbounded = object(2, 30.0, 1.0);
+        unbounded.attr.policy = PolicyDescriptor::Unbounded;
+        let db = db_with(vec![fixed, unbounded, object(3, 60.0, 1.0)]);
+        let region = rect_region(0.0, 100.0, 2.0);
+        let a = db.range_query(&region).unwrap();
+        let b = db.range_query_scan(&region).unwrap();
+        assert_eq!(a.must, b.must);
+        assert_eq!(a.may, b.may);
+        assert_eq!(a.all().len(), 3);
+    }
+
+    #[test]
+    fn future_time_query() {
+        let db = db_with(vec![object(1, 0.0, 1.0)]);
+        // "Where will it be at t = 50?" Nominal arc 50; immediate bounds
+        // have decayed to 2C/t = 0.2.
+        let a = db.range_query(&rect_region(45.0, 55.0, 50.0)).unwrap();
+        assert_eq!(a.must, vec![ObjectId(1)]);
+        let a = db.range_query(&rect_region(0.0, 5.0, 50.0)).unwrap();
+        assert!(a.all().is_empty());
+    }
+
+    #[test]
+    fn within_distance_queries() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0), object(2, 13.0, 1.0)]);
+        db.insert_stationary(StationaryObject::new(
+            ObjectId(100),
+            "depot",
+            Point::new(12.0, 0.0),
+        ))
+        .unwrap();
+        // At t = 0 object 1 is at 10, object 2 at 13; depot at 12.
+        let a = db
+            .within_distance_of_point(Point::new(12.0, 0.0), 2.5, 0.0)
+            .unwrap();
+        let mut all = a.all();
+        all.sort_unstable();
+        assert_eq!(all, vec![ObjectId(1), ObjectId(2)]);
+        // Trucking query: near object 1, excluding itself.
+        let a = db.within_distance_of_object(ObjectId(1), 4.0, 0.0).unwrap();
+        assert!(!a.all().contains(&ObjectId(1)));
+        assert!(a.all().contains(&ObjectId(2)));
+        // Invalid radius.
+        assert!(db.within_distance_of_point(Point::new(0.0, 0.0), 0.0, 0.0).is_err());
+        assert!(db.within_distance_of_object(ObjectId(1), -1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn remove_moving_object() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        let o = db.remove_moving(ObjectId(1)).unwrap();
+        assert_eq!(o.id, ObjectId(1));
+        assert_eq!(db.moving_count(), 0);
+        assert!(matches!(
+            db.remove_moving(ObjectId(1)),
+            Err(CoreError::UnknownObject(_))
+        ));
+        let a = db.range_query(&rect_region(0.0, 100.0, 0.0)).unwrap();
+        assert!(a.all().is_empty());
+    }
+
+    #[test]
+    fn policy_change_via_update_reindexes() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        // Switch to a fixed-bound policy: object leaves the o-plane index
+        // but queries still find it.
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(1.0, UpdatePosition::Arc(11.0), 1.0)
+                .with_policy(PolicyDescriptor::FixedBound { bound: 0.5 }),
+        )
+        .unwrap();
+        let a = db.range_query(&rect_region(5.0, 20.0, 1.0)).unwrap();
+        assert_eq!(a.must, vec![ObjectId(1)]);
+        // And back to cost-based.
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(2.0, UpdatePosition::Arc(12.0), 1.0).with_policy(cost_based()),
+        )
+        .unwrap();
+        let a = db.range_query(&rect_region(5.0, 20.0, 2.0)).unwrap();
+        assert_eq!(a.must, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn as_of_queries_replay_history() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(14.0), 0.5),
+        )
+        .unwrap();
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(10.0, UpdatePosition::Arc(17.0), 2.0),
+        )
+        .unwrap();
+        // History holds the two superseded versions.
+        assert_eq!(db.history_of(ObjectId(1)).len(), 2);
+        // As-of t = 3: the original registration (arc 10, speed 1) was in
+        // force → db position 13.
+        let ans = db.position_of_as_of(ObjectId(1), 3.0).unwrap();
+        assert_eq!(ans.arc, 13.0);
+        // As-of t = 7: the second version (arc 14 at t=5, speed 0.5).
+        let ans = db.position_of_as_of(ObjectId(1), 7.0).unwrap();
+        assert_eq!(ans.arc, 15.0);
+        // As-of now and future: same as position_of.
+        let now = db.position_of_as_of(ObjectId(1), 12.0).unwrap();
+        assert_eq!(now, db.position_of(ObjectId(1), 12.0).unwrap());
+        // Bound attaches to historical answers too.
+        assert!(db.position_of_as_of(ObjectId(1), 7.0).unwrap().bound > 0.0);
+    }
+
+    #[test]
+    fn as_of_before_history_errors_and_capacity_respected() {
+        let cfg = DatabaseConfig {
+            history_capacity: 1,
+            ..DatabaseConfig::default()
+        };
+        let mut db = Database::new(network(), cfg);
+        db.register_moving(object(1, 10.0, 1.0)).unwrap();
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(14.0), 0.5),
+        )
+        .unwrap();
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(10.0, UpdatePosition::Arc(17.0), 2.0),
+        )
+        .unwrap();
+        assert_eq!(db.history_of(ObjectId(1)).len(), 1);
+        // The first epoch was evicted.
+        assert!(db.position_of_as_of(ObjectId(1), 3.0).is_err());
+        // The retained epoch still answers.
+        assert_eq!(db.position_of_as_of(ObjectId(1), 7.0).unwrap().arc, 15.0);
+        // History disabled entirely.
+        let cfg = DatabaseConfig {
+            history_capacity: 0,
+            ..DatabaseConfig::default()
+        };
+        let mut db = Database::new(network(), cfg);
+        db.register_moving(object(2, 10.0, 1.0)).unwrap();
+        db.apply_update(
+            ObjectId(2),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(14.0), 0.5),
+        )
+        .unwrap();
+        assert!(db.history_of(ObjectId(2)).is_empty());
+        assert!(db.position_of_as_of(ObjectId(2), 3.0).is_err());
+    }
+
+    #[test]
+    fn removal_clears_history() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(14.0), 0.5),
+        )
+        .unwrap();
+        db.remove_moving(ObjectId(1)).unwrap();
+        assert!(db.history_of(ObjectId(1)).is_empty());
+    }
+
+    #[test]
+    fn expire_trips_removes_ended_objects() {
+        let mut a = object(1, 10.0, 1.0);
+        a.trip_end = Some(5.0);
+        let mut b = object(2, 20.0, 1.0);
+        b.trip_end = Some(50.0);
+        let c = object(3, 30.0, 1.0); // no known end
+        let mut db = db_with(vec![a, b, c]);
+        let expired = db.expire_trips(10.0);
+        assert_eq!(expired, vec![ObjectId(1)]);
+        assert_eq!(db.moving_count(), 2);
+        // Queries no longer see the expired object.
+        let ans = db.range_query(&rect_region(0.0, 100.0, 10.0)).unwrap();
+        assert!(!ans.all().contains(&ObjectId(1)));
+        // Nothing else expires yet.
+        assert!(db.expire_trips(20.0).is_empty());
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        db.insert_stationary(StationaryObject::new(
+            ObjectId(50),
+            "depot",
+            Point::new(0.0, 0.0),
+        ))
+        .unwrap();
+        assert_eq!(db.find_moving_by_name("veh-1").unwrap().id, ObjectId(1));
+        assert!(db.find_moving_by_name("ghost").is_none());
+        assert_eq!(db.find_stationary_by_name("depot").unwrap().id, ObjectId(50));
+        assert!(db.find_stationary_by_name("nowhere").is_none());
+    }
+
+    #[test]
+    fn stationary_lookup() {
+        let mut db = db_with(vec![]);
+        db.insert_stationary(StationaryObject::new(
+            ObjectId(1),
+            "33 N Michigan Ave",
+            Point::new(1.0, 1.0),
+        ))
+        .unwrap();
+        assert_eq!(db.stationary(ObjectId(1)).unwrap().name, "33 N Michigan Ave");
+        assert!(matches!(
+            db.insert_stationary(StationaryObject::new(ObjectId(1), "dup", Point::ORIGIN)),
+            Err(CoreError::DuplicateObject(_))
+        ));
+        assert_eq!(db.stationary_count(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Transaction-time history of position attributes.
+//!
+//! The paper assumes valid- and transaction-times coincide (§2, citing the
+//! temporal-database literature) and answers queries about the present and
+//! future. This module adds the natural temporal extension: the DBMS
+//! retains superseded position-attribute versions so *as-of* queries —
+//! "where did the DBMS believe m was at time t?" — remain answerable
+//! after later updates arrive. Each version is in force from its
+//! `start_time` until the next version's.
+
+use crate::attr::PositionAttribute;
+
+/// Bounded version history for one object's position attribute.
+///
+/// Versions are kept in `start_time` order. The *current* version lives
+/// in the owning [`crate::MovingObject`]; the history holds superseded
+/// ones, capped at `capacity` (oldest evicted first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeHistory {
+    versions: Vec<PositionAttribute>,
+    capacity: usize,
+}
+
+impl AttributeHistory {
+    /// Creates an empty history retaining at most `capacity` superseded
+    /// versions (0 disables history).
+    pub fn new(capacity: usize) -> Self {
+        AttributeHistory {
+            versions: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Records a superseded version. Assumes monotone `start_time` (the
+    /// DBMS rejects stale updates before this point).
+    pub fn push(&mut self, attr: PositionAttribute) {
+        if self.capacity == 0 {
+            return;
+        }
+        debug_assert!(
+            self.versions
+                .last()
+                .is_none_or(|v| v.start_time <= attr.start_time),
+            "history must stay time-ordered"
+        );
+        if self.versions.len() == self.capacity {
+            self.versions.remove(0);
+        }
+        self.versions.push(attr);
+    }
+
+    /// Number of retained versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// All retained versions, oldest first.
+    pub fn versions(&self) -> &[PositionAttribute] {
+        &self.versions
+    }
+
+    /// The retained version in force at time `t`: the one with the
+    /// largest `start_time ≤ t` **among superseded versions**, and only if
+    /// it was still in force at `t` (i.e. `t` precedes the next version's
+    /// start). Returns `None` when `t` predates all history or falls in
+    /// the current (non-superseded) version's reign — the caller then
+    /// uses the live attribute.
+    pub fn version_at(&self, t: f64) -> Option<&PositionAttribute> {
+        // partition_point gives the first version with start_time > t.
+        let idx = self
+            .versions
+            .partition_point(|v| v.start_time <= t);
+        if idx == 0 {
+            return None; // t predates everything retained
+        }
+        if idx == self.versions.len() {
+            // The newest retained version was superseded by the *current*
+            // attribute; whether it was in force at `t` depends on the
+            // current attribute's start_time, which the caller knows.
+            return Some(&self.versions[idx - 1]);
+        }
+        Some(&self.versions[idx - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::PolicyDescriptor;
+    use modb_geom::Point;
+    use modb_routes::{Direction, RouteId};
+
+    fn attr(start_time: f64, arc: f64) -> PositionAttribute {
+        PositionAttribute {
+            start_time,
+            route: RouteId(1),
+            start_position: Point::new(arc, 0.0),
+            start_arc: arc,
+            direction: Direction::Forward,
+            speed: 1.0,
+            policy: PolicyDescriptor::Unbounded,
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut h = AttributeHistory::new(16);
+        assert!(h.is_empty());
+        h.push(attr(0.0, 0.0));
+        h.push(attr(5.0, 4.0));
+        h.push(attr(9.0, 8.5));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.version_at(0.0).unwrap().start_time, 0.0);
+        assert_eq!(h.version_at(4.9).unwrap().start_time, 0.0);
+        assert_eq!(h.version_at(5.0).unwrap().start_time, 5.0);
+        assert_eq!(h.version_at(7.0).unwrap().start_time, 5.0);
+        assert_eq!(h.version_at(100.0).unwrap().start_time, 9.0);
+        assert!(h.version_at(-1.0).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut h = AttributeHistory::new(2);
+        h.push(attr(0.0, 0.0));
+        h.push(attr(1.0, 1.0));
+        h.push(attr(2.0, 2.0));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.versions()[0].start_time, 1.0);
+        assert!(h.version_at(0.5).is_none(), "evicted epoch is gone");
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut h = AttributeHistory::new(0);
+        h.push(attr(0.0, 0.0));
+        assert!(h.is_empty());
+        assert!(h.version_at(0.0).is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Object classes (§2): mobile and stationary point objects.
+
+use modb_geom::Point;
+
+/// Opaque identifier of an object in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+/// A stationary point object — an address, landmark, or depot (e.g.
+/// "33 N. Michigan Ave." in the paper's taxi query). Its position
+/// attribute is just the coordinate pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryObject {
+    /// Identifier.
+    pub id: ObjectId,
+    /// Human-readable name.
+    pub name: String,
+    /// Fixed position.
+    pub position: Point,
+}
+
+impl StationaryObject {
+    /// Creates a stationary object.
+    pub fn new(id: ObjectId, name: impl Into<String>, position: Point) -> Self {
+        StationaryObject {
+            id,
+            name: name.into(),
+            position,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_object_construction() {
+        let o = StationaryObject::new(ObjectId(1), "depot", Point::new(1.0, 2.0));
+        assert_eq!(o.id, ObjectId(1));
+        assert_eq!(o.name, "depot");
+        assert_eq!(o.position, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn object_ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(ObjectId(1));
+        s.insert(ObjectId(1));
+        s.insert(ObjectId(2));
+        assert_eq!(s.len(), 2);
+        assert!(ObjectId(1) < ObjectId(2));
+    }
+}

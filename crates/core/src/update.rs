@@ -1,0 +1,105 @@
+//! Position-update messages (§3.1).
+//!
+//! "A position update … consists of values for at least the subattributes
+//! P.starttime, P.speed, P.x.startposition and P.y.startposition. If
+//! during the trip the object changes its route, then it sends a position
+//! update message that includes the identification of the new route."
+//! Each update may also change the policy (§3.1: "each position update may
+//! change the policy").
+
+use modb_geom::Point;
+use modb_routes::{Direction, RouteId};
+
+use crate::attr::PolicyDescriptor;
+
+/// How the update expresses the object's position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdatePosition {
+    /// Arc distance along the (current or new) route — what an onboard
+    /// computer that tracks its route natively sends.
+    Arc(f64),
+    /// Raw (x, y) coordinates (e.g. a GPS fix); the DBMS map-matches them
+    /// to the route.
+    Coordinates(Point),
+}
+
+/// A position-update message from a moving object to the database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateMessage {
+    /// Update timestamp — becomes `P.starttime`.
+    pub time: f64,
+    /// The reported position — becomes the start-position sub-attributes.
+    pub position: UpdatePosition,
+    /// Declared speed — becomes `P.speed`.
+    pub speed: f64,
+    /// New route, when the object changed routes (`None` keeps the stored
+    /// route).
+    pub route: Option<RouteId>,
+    /// New travel direction (`None` keeps the stored direction).
+    pub direction: Option<Direction>,
+    /// New policy (`None` keeps the stored policy).
+    pub policy: Option<PolicyDescriptor>,
+}
+
+impl UpdateMessage {
+    /// A plain mid-trip update: position and speed only.
+    pub fn basic(time: f64, position: UpdatePosition, speed: f64) -> Self {
+        UpdateMessage {
+            time,
+            position,
+            speed,
+            route: None,
+            direction: None,
+            policy: None,
+        }
+    }
+
+    /// A route-change update (§3.1): new route, position on it, direction.
+    pub fn route_change(
+        time: f64,
+        route: RouteId,
+        position: UpdatePosition,
+        direction: Direction,
+        speed: f64,
+    ) -> Self {
+        UpdateMessage {
+            time,
+            position,
+            speed,
+            route: Some(route),
+            direction: Some(direction),
+            policy: None,
+        }
+    }
+
+    /// Returns a copy that also switches the update policy.
+    pub fn with_policy(mut self, policy: PolicyDescriptor) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let u = UpdateMessage::basic(5.0, UpdatePosition::Arc(12.0), 0.8);
+        assert_eq!(u.time, 5.0);
+        assert!(u.route.is_none() && u.direction.is_none() && u.policy.is_none());
+
+        let rc = UpdateMessage::route_change(
+            6.0,
+            RouteId(3),
+            UpdatePosition::Coordinates(Point::new(1.0, 2.0)),
+            Direction::Backward,
+            0.5,
+        );
+        assert_eq!(rc.route, Some(RouteId(3)));
+        assert_eq!(rc.direction, Some(Direction::Backward));
+
+        let p = u.with_policy(PolicyDescriptor::Unbounded);
+        assert_eq!(p.policy, Some(PolicyDescriptor::Unbounded));
+    }
+}

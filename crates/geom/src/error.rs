@@ -1,0 +1,92 @@
+//! Error types for geometric construction and evaluation.
+
+use std::fmt;
+
+/// Errors raised by geometric constructors and queries.
+///
+/// All fallible operations in `modb-geom` return [`GeomError`] rather than
+/// panicking, so callers (the DBMS layers above) can surface malformed input
+/// — e.g. a route uploaded with a single vertex — as a query/update error
+/// instead of crashing the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// A polyline needs at least two vertices to define a route.
+    TooFewVertices {
+        /// Number of vertices supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// A polygon needs at least three vertices.
+    DegeneratePolygon {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// A polyline had zero total length (all vertices coincide), so
+    /// arc-length parameterisation is undefined.
+    ZeroLength,
+    /// A requested arc-length distance lies outside `[0, length]`.
+    DistanceOutOfRange {
+        /// The requested distance.
+        requested: f64,
+        /// The polyline's total length.
+        length: f64,
+    },
+    /// An interval was supplied with `lo > hi`.
+    InvertedInterval {
+        /// Lower endpoint supplied.
+        lo: f64,
+        /// Upper endpoint supplied.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::TooFewVertices { got, need } => {
+                write!(f, "polyline needs at least {need} vertices, got {got}")
+            }
+            GeomError::DegeneratePolygon { got } => {
+                write!(f, "polygon needs at least 3 vertices, got {got}")
+            }
+            GeomError::NonFiniteCoordinate => write!(f, "coordinate is NaN or infinite"),
+            GeomError::ZeroLength => write!(f, "polyline has zero length"),
+            GeomError::DistanceOutOfRange { requested, length } => write!(
+                f,
+                "arc-length distance {requested} outside polyline range [0, {length}]"
+            ),
+            GeomError::InvertedInterval { lo, hi } => {
+                write!(f, "interval [{lo}, {hi}] has lo > hi")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GeomError::TooFewVertices { got: 1, need: 2 };
+        assert!(e.to_string().contains("at least 2"));
+        let e = GeomError::DistanceOutOfRange {
+            requested: -1.0,
+            length: 5.0,
+        };
+        assert!(e.to_string().contains("[0, 5]"));
+        let e = GeomError::InvertedInterval { lo: 3.0, hi: 1.0 };
+        assert!(e.to_string().contains("lo > hi"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GeomError>();
+    }
+}

@@ -1,0 +1,275 @@
+//! Line segments and their predicates.
+
+use crate::point::{Point, EPS};
+
+/// A directed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points. Degenerate (zero-length)
+    /// segments are permitted; queries handle them gracefully.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` (`a` at 0, `b` at 1). Unclamped.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Parameter `t ∈ [0, 1]` of the point on the segment closest to `p`.
+    ///
+    /// For a degenerate segment returns `0`.
+    pub fn project(&self, p: Point) -> f64 {
+        let d = self.b - self.a;
+        let len_sq = d.norm_sq();
+        if len_sq < EPS * EPS {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// The point on the segment closest to `p`.
+    #[inline]
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.point_at(self.project(p))
+    }
+
+    /// Euclidean distance from `p` to the segment.
+    #[inline]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Returns `true` when this segment intersects `other` (including
+    /// touching at endpoints and collinear overlap).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        segments_intersect(self.a, self.b, other.a, other.b)
+    }
+}
+
+/// Orientation of the ordered triple `(p, q, r)`:
+/// `> 0` counter-clockwise, `< 0` clockwise, `0` collinear (within EPS,
+/// scaled by the magnitude of the operands for robustness).
+pub fn orient(p: Point, q: Point, r: Point) -> f64 {
+    let v = (q - p).cross(r - p);
+    // Scale-aware snap to zero: |v| is compared against EPS times the
+    // product of the operand magnitudes so that large coordinates do not
+    // spuriously report non-collinearity.
+    let scale = (q - p).norm() * (r - p).norm();
+    if v.abs() <= EPS * scale.max(1.0) {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Returns `true` when point `q` lies on segment `pr`, assuming the three
+/// points are collinear.
+fn on_segment(p: Point, q: Point, r: Point) -> bool {
+    q.x <= p.x.max(r.x) + EPS
+        && q.x >= p.x.min(r.x) - EPS
+        && q.y <= p.y.max(r.y) + EPS
+        && q.y >= p.y.min(r.y) - EPS
+}
+
+/// Standard segment-intersection predicate (CLRS-style), robust to
+/// collinear and touching configurations.
+pub fn segments_intersect(p1: Point, p2: Point, p3: Point, p4: Point) -> bool {
+    let d1 = orient(p3, p4, p1);
+    let d2 = orient(p3, p4, p2);
+    let d3 = orient(p1, p2, p3);
+    let d4 = orient(p1, p2, p4);
+
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(p3, p1, p4))
+        || (d2 == 0.0 && on_segment(p3, p2, p4))
+        || (d3 == 0.0 && on_segment(p1, p3, p2))
+        || (d4 == 0.0 && on_segment(p1, p4, p2))
+}
+
+/// Parameters along segment `s` (in `[0, 1]`) at which `s` meets segment
+/// `e`. Returns zero, one, or — for collinear overlap — two parameters.
+///
+/// Used to split a path segment at polygon-boundary crossings so interval
+/// midpoints can be classified exactly (see `Polygon::contains_path`).
+pub fn intersection_params(s: &Segment, e: &Segment) -> Vec<f64> {
+    let r = s.b - s.a;
+    let q = e.b - e.a;
+    let denom = r.cross(q);
+    let ap = e.a - s.a;
+    if denom.abs() > EPS {
+        // Proper (non-parallel) line intersection.
+        let t = ap.cross(q) / denom;
+        let u = ap.cross(r) / denom;
+        if (-EPS..=1.0 + EPS).contains(&t) && (-EPS..=1.0 + EPS).contains(&u) {
+            return vec![t.clamp(0.0, 1.0)];
+        }
+        return Vec::new();
+    }
+    // Parallel. Collinear iff e.a lies on the line of s.
+    if ap.cross(r).abs() > EPS * r.norm().max(1.0) * ap.norm().max(1.0) {
+        return Vec::new();
+    }
+    let len_sq = r.norm_sq();
+    if len_sq < EPS * EPS {
+        // s is a point; it intersects if it lies on e.
+        return if e.distance_to_point(s.a) < EPS {
+            vec![0.0]
+        } else {
+            Vec::new()
+        };
+    }
+    // Project e's endpoints onto s's parameterisation and clip to [0, 1].
+    let t0 = (e.a - s.a).dot(r) / len_sq;
+    let t1 = (e.b - s.a).dot(r) / len_sq;
+    let (lo, hi) = (t0.min(t1), t0.max(t1));
+    let lo = lo.max(0.0);
+    let hi = hi.min(1.0);
+    if lo > hi + EPS {
+        Vec::new()
+    } else {
+        vec![lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_point_at() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.point_at(0.0), s.a);
+        assert_eq!(s.point_at(1.0), s.b);
+        assert!(s.point_at(0.5).approx_eq(Point::new(1.5, 2.0)));
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.project(Point::new(-5.0, 3.0)), 0.0);
+        assert_eq!(s.project(Point::new(15.0, 3.0)), 1.0);
+        assert_eq!(s.project(Point::new(4.0, 7.0)), 0.4);
+    }
+
+    #[test]
+    fn degenerate_segment_projection() {
+        let s = seg(2.0, 2.0, 2.0, 2.0);
+        assert_eq!(s.project(Point::new(9.0, 9.0)), 0.0);
+        assert_eq!(s.closest_point(Point::new(9.0, 9.0)), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+        assert_eq!(s.distance_to_point(Point::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = seg(0.0, 0.0, 10.0, 10.0);
+        let s2 = seg(0.0, 10.0, 10.0, 0.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(0.0, 1.0, 10.0, 1.0);
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn touching_at_endpoint_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 5.0, 5.0);
+        let s2 = seg(5.0, 5.0, 10.0, 0.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(5.0, 0.0, 15.0, 0.0);
+        assert!(s1.intersects(&s2));
+        let s3 = seg(11.0, 0.0, 15.0, 0.0);
+        assert!(!s1.intersects(&s3));
+    }
+
+    #[test]
+    fn t_configuration_intersects() {
+        // s2 ends in the middle of s1.
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(5.0, 5.0, 5.0, 0.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn intersection_params_proper_crossing() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        let e = seg(5.0, -1.0, 5.0, 1.0);
+        let ps = intersection_params(&s, &e);
+        assert_eq!(ps.len(), 1);
+        assert!((ps[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_params_disjoint_and_parallel() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert!(intersection_params(&s, &seg(0.0, 1.0, 10.0, 1.0)).is_empty());
+        assert!(intersection_params(&s, &seg(20.0, -1.0, 20.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn intersection_params_collinear_overlap() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        let ps = intersection_params(&s, &seg(5.0, 0.0, 15.0, 0.0));
+        assert_eq!(ps.len(), 2);
+        assert!((ps[0] - 0.5).abs() < 1e-12);
+        assert!((ps[1] - 1.0).abs() < 1e-12);
+        // Reversed operand order also works.
+        let ps = intersection_params(&s, &seg(15.0, 0.0, 5.0, 0.0));
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn intersection_params_endpoint_touch() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        let ps = intersection_params(&s, &seg(10.0, 0.0, 10.0, 5.0));
+        assert_eq!(ps.len(), 1);
+        assert!((ps[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orientation_signs() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(1.0, 0.0);
+        assert!(orient(p, q, Point::new(0.0, 1.0)) > 0.0);
+        assert!(orient(p, q, Point::new(0.0, -1.0)) < 0.0);
+        assert_eq!(orient(p, q, Point::new(2.0, 0.0)), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Polyline simplification (Douglas–Peucker).
+//!
+//! Map data imported into the route database is often over-sampled; every
+//! extra vertex slows the per-query projection and interval extraction.
+//! [`simplify`] reduces a polyline to the minimal vertex set whose maximum
+//! perpendicular deviation from the original stays within a tolerance —
+//! route-distance arithmetic then runs on the simplified geometry with a
+//! bounded spatial error.
+
+use crate::error::GeomError;
+use crate::point::Point;
+use crate::polyline::Polyline;
+use crate::segment::Segment;
+
+/// Simplifies `polyline` with the Douglas–Peucker algorithm: the result's
+/// vertices are a subset of the input's, and no input vertex lies farther
+/// than `tolerance` (miles) from the result.
+///
+/// # Errors
+///
+/// [`GeomError::NonFiniteCoordinate`] for a NaN/∞/negative tolerance; the
+/// reconstruction error for pathological inputs (all vertices collapse)
+/// cannot occur because the endpoints are always kept.
+pub fn simplify(polyline: &Polyline, tolerance: f64) -> Result<Polyline, GeomError> {
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(GeomError::NonFiniteCoordinate);
+    }
+    let pts = polyline.vertices();
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    dp_mark(pts, 0, pts.len() - 1, tolerance, &mut keep);
+    let kept: Vec<Point> = pts
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect();
+    Polyline::new(kept)
+}
+
+fn dp_mark(pts: &[Point], lo: usize, hi: usize, tolerance: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let chord = Segment::new(pts[lo], pts[hi]);
+    let mut worst = lo;
+    let mut worst_d = -1.0;
+    for (i, p) in pts.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = chord.distance_to_point(*p);
+        if d > worst_d {
+            worst_d = d;
+            worst = i;
+        }
+    }
+    if worst_d > tolerance {
+        keep[worst] = true;
+        dp_mark(pts, lo, worst, tolerance, keep);
+        dp_mark(pts, worst, hi, tolerance, keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(pts: &[(f64, f64)]) -> Polyline {
+        Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn straight_oversampled_line_collapses_to_endpoints() {
+        let p = poly(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (10.0, 0.0)]);
+        let s = simplify(&p, 0.01).unwrap();
+        assert_eq!(s.vertices().len(), 2);
+        assert_eq!(s.start(), Point::new(0.0, 0.0));
+        assert_eq!(s.end(), Point::new(10.0, 0.0));
+        assert!((s.length() - p.length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corners_above_tolerance_survive() {
+        let p = poly(&[(0.0, 0.0), (5.0, 0.0), (5.0, 5.0)]);
+        let s = simplify(&p, 0.5).unwrap();
+        assert_eq!(s.vertices().len(), 3, "the right-angle corner must stay");
+    }
+
+    #[test]
+    fn small_wiggles_below_tolerance_removed() {
+        let p = poly(&[
+            (0.0, 0.0),
+            (1.0, 0.05),
+            (2.0, -0.04),
+            (3.0, 0.03),
+            (4.0, 0.0),
+        ]);
+        let s = simplify(&p, 0.1).unwrap();
+        assert_eq!(s.vertices().len(), 2);
+        // But a tighter tolerance keeps them.
+        let tight = simplify(&p, 0.01).unwrap();
+        assert!(tight.vertices().len() > 2);
+    }
+
+    #[test]
+    fn max_deviation_bounded_by_tolerance() {
+        // A sine-ish route sampled densely.
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                (x, (x * 0.7).sin() * 2.0)
+            })
+            .collect();
+        let p = poly(&pts);
+        let tol = 0.05;
+        let s = simplify(&p, tol).unwrap();
+        assert!(s.vertices().len() < p.vertices().len() / 2);
+        // Every original vertex is within tol of the simplified curve.
+        for &v in p.vertices() {
+            let (_, d) = s.locate(v);
+            assert!(d <= tol + 1e-9, "vertex {v:?} deviates {d}");
+        }
+    }
+
+    #[test]
+    fn invalid_tolerance_rejected() {
+        let p = poly(&[(0.0, 0.0), (1.0, 0.0)]);
+        assert!(simplify(&p, -1.0).is_err());
+        assert!(simplify(&p, f64::NAN).is_err());
+        // Zero tolerance keeps everything meaningful.
+        let s = simplify(&p, 0.0).unwrap();
+        assert_eq!(s.vertices().len(), 2);
+    }
+}

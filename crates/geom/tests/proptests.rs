@@ -1,0 +1,139 @@
+//! Property-based tests for the geometry kernel.
+
+use modb_geom::{Aabb3, Point, Polygon, Polyline, Rect};
+use proptest::prelude::*;
+
+/// Strategy: a polyline whose x coordinates strictly increase, so it never
+/// self-overlaps and nearest-point projection is unambiguous.
+fn monotone_polyline() -> impl Strategy<Value = Polyline> {
+    proptest::collection::vec((0.1f64..5.0, -10.0f64..10.0), 2..12).prop_map(|steps| {
+        let mut x = 0.0;
+        let mut pts = vec![Point::new(0.0, 0.0)];
+        for (dx, y) in steps {
+            x += dx;
+            pts.push(Point::new(x, y));
+        }
+        Polyline::new(pts).expect("strictly increasing x gives positive length")
+    })
+}
+
+fn finite_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (finite_point(), finite_point()).prop_map(|(a, b)| Rect::new(a, b))
+}
+
+fn aabb3() -> impl Strategy<Value = Aabb3> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+    )
+        .prop_map(|(a, b, c, d, e, f)| Aabb3::new([a, b, c], [d, e, f]))
+}
+
+proptest! {
+    /// point_at_distance followed by locate recovers the arc distance.
+    #[test]
+    fn locate_inverts_point_at_distance(pl in monotone_polyline(), frac in 0.0f64..1.0) {
+        let d = frac * pl.length();
+        let p = pl.point_at_distance(d).unwrap();
+        let (arc, dist) = pl.locate(p);
+        prop_assert!(dist < 1e-6, "distance to own point should be ~0, got {dist}");
+        prop_assert!((arc - d).abs() < 1e-6, "arc {arc} != requested {d}");
+    }
+
+    /// The interval path's endpoints are the interval's boundary points and
+    /// the path's polygonal length equals the arc span.
+    #[test]
+    fn interval_points_consistent(pl in monotone_polyline(),
+                                  f0 in 0.0f64..1.0, f1 in 0.0f64..1.0) {
+        let (lo, hi) = if f0 <= f1 { (f0, f1) } else { (f1, f0) };
+        let d0 = lo * pl.length();
+        let d1 = hi * pl.length();
+        let pts = pl.interval_points(d0, d1).unwrap();
+        prop_assert!(pts[0].approx_eq(pl.point_at_distance(d0).unwrap()));
+        prop_assert!(pts.last().unwrap().approx_eq(pl.point_at_distance(d1).unwrap()));
+        let path_len: f64 = pts.windows(2).map(|w| w[0].distance(w[1])).sum();
+        prop_assert!((path_len - (d1 - d0)).abs() < 1e-6,
+            "path length {path_len} != arc span {}", d1 - d0);
+    }
+
+    /// Reversal is an involution on addressed points.
+    #[test]
+    fn reversed_mirror(pl in monotone_polyline(), frac in 0.0f64..1.0) {
+        let d = frac * pl.length();
+        let r = pl.reversed();
+        let a = pl.point_at_distance(d).unwrap();
+        let b = r.point_at_distance(pl.length() - d).unwrap();
+        prop_assert!(a.approx_eq(b));
+    }
+
+    /// Rect union is commutative and covers both operands.
+    #[test]
+    fn rect_union_properties(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-12 >= a.area().max(b.area()));
+    }
+
+    /// Rect intersection predicate is symmetric; disjoint boxes have
+    /// separated projections on some axis.
+    #[test]
+    fn rect_intersects_symmetric(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    /// 3-D box algebra: symmetry, non-negative enlargement, intersection
+    /// volume bounded by both volumes.
+    #[test]
+    fn aabb3_algebra(a in aabb3(), b in aabb3()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+        let iv = a.intersection_volume(&b);
+        prop_assert!(iv >= 0.0);
+        prop_assert!(iv <= a.volume() + 1e-9);
+        prop_assert!(iv <= b.volume() + 1e-9);
+        if iv > 0.0 {
+            prop_assert!(a.intersects(&b));
+        }
+        prop_assert!(a.union(&b).contains(&a));
+        prop_assert!(a.union(&b).contains(&b));
+    }
+
+    /// A rectangle polygon agrees with the Rect containment test away from
+    /// the boundary.
+    #[test]
+    fn rectangle_polygon_matches_rect(r in rect(), p in finite_point()) {
+        prop_assume!(r.width() > 1e-6 && r.height() > 1e-6);
+        let poly = Polygon::rectangle(&r).unwrap();
+        // Stay clear of the boundary where EPS conventions may differ.
+        let strictly_in = p.x > r.min.x + 1e-6 && p.x < r.max.x - 1e-6
+            && p.y > r.min.y + 1e-6 && p.y < r.max.y - 1e-6;
+        let strictly_out = p.x < r.min.x - 1e-6 || p.x > r.max.x + 1e-6
+            || p.y < r.min.y - 1e-6 || p.y > r.max.y + 1e-6;
+        if strictly_in {
+            prop_assert!(poly.contains_point(p));
+        } else if strictly_out {
+            prop_assert!(!poly.contains_point(p));
+        }
+    }
+
+    /// must ⊆ may: a contained path always intersects.
+    #[test]
+    fn contains_implies_intersects(r in rect(),
+                                   pts in proptest::collection::vec(finite_point(), 1..6)) {
+        prop_assume!(r.width() > 1e-6 && r.height() > 1e-6);
+        let poly = Polygon::rectangle(&r).unwrap();
+        if poly.contains_path(&pts) {
+            prop_assert!(poly.intersects_path(&pts));
+        }
+    }
+}

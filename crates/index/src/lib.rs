@@ -1,0 +1,32 @@
+//! # modb-index — 3-D time-space indexing of position attributes
+//!
+//! Implements §4 of Wolfson et al. (ICDE 1998): answering range queries on
+//! continuously moving objects in sublinear time without continuously
+//! updating a spatial index.
+//!
+//! - [`RStarTree`]: a from-scratch 3-D R\*-tree over (x, y, t) boxes, with
+//!   STR bulk loading and instrumented searches.
+//! - [`OPlane`]: the geometric body of one position-attribute value — the
+//!   ruled surface between `l(t) = vt − BS(t)` and `u(t) = vt + BF(t)`
+//!   along the route, decomposable into index boxes per time slab.
+//! - [`QueryRegion`]: `R_G(t₀)` — polygon G lifted to time t₀ (Theorems
+//!   5–6), plus a time-interval extension.
+//! - [`MovingObjectIndex`]: o-plane maintenance (§4.2's delete-old /
+//!   insert-new on every position update) and candidate filtering.
+//!
+//! Exact may/must refinement lives in `modb-core`, which can resolve
+//! routes; the index layer guarantees no false negatives.
+
+#![warn(missing_docs)]
+
+mod error;
+mod moving_index;
+mod oplane;
+mod rtree;
+mod timespace;
+
+pub use error::IndexError;
+pub use moving_index::{MovingObjectIndex, DEFAULT_SLAB_MINUTES};
+pub use oplane::OPlane;
+pub use rtree::{RStarTree, SearchStats};
+pub use timespace::{within_radius, QueryRegion};

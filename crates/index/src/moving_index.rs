@@ -1,0 +1,266 @@
+//! The moving-object index: o-plane maintenance over the R\*-tree (§4.2).
+//!
+//! "The index is updated whenever a position-update is received from a
+//! moving object o. … the id of o is removed from the 3-dimensional
+//! rectangles of the index that intersect [the old o-plane] p1, and it is
+//! inserted in the 3-dimensional rectangles that intersect [the new
+//! o-plane] p2."
+//!
+//! Here each object's current o-plane is materialised as its slab boxes;
+//! a position update atomically deletes the old boxes and inserts the new
+//! ones. Filtering a [`QueryRegion`] returns candidate ids; exact may/must
+//! refinement against uncertainty intervals happens in `modb-core`, where
+//! routes are resolvable.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use modb_geom::Aabb3;
+use modb_routes::Route;
+
+use crate::error::IndexError;
+use crate::oplane::OPlane;
+use crate::rtree::{RStarTree, SearchStats};
+use crate::timespace::QueryRegion;
+
+/// Default slab duration (minutes) for o-plane decomposition: fine enough
+/// that slab over-approximation stays tight, coarse enough that a one-hour
+/// plane is ~12 boxes.
+pub const DEFAULT_SLAB_MINUTES: f64 = 5.0;
+
+/// A 3-D time-space index over the o-planes of a fleet of moving objects.
+#[derive(Debug, Clone)]
+pub struct MovingObjectIndex<K> {
+    tree: RStarTree<K>,
+    planes: HashMap<K, (OPlane, Vec<Aabb3>)>,
+    slab_minutes: f64,
+}
+
+impl<K: Copy + Eq + Hash> Default for MovingObjectIndex<K> {
+    fn default() -> Self {
+        MovingObjectIndex::new(DEFAULT_SLAB_MINUTES)
+    }
+}
+
+impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
+    /// Creates an empty index with the given slab duration (minutes);
+    /// non-positive values fall back to [`DEFAULT_SLAB_MINUTES`].
+    pub fn new(slab_minutes: f64) -> Self {
+        MovingObjectIndex {
+            tree: RStarTree::new(),
+            planes: HashMap::new(),
+            slab_minutes: if slab_minutes.is_finite() && slab_minutes > 0.0 {
+                slab_minutes
+            } else {
+                DEFAULT_SLAB_MINUTES
+            },
+        }
+    }
+
+    /// Number of indexed objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// `true` when no objects are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.planes.is_empty()
+    }
+
+    /// The stored o-plane for `key`, if any.
+    pub fn plane(&self, key: &K) -> Option<&OPlane> {
+        self.planes.get(key).map(|(p, _)| p)
+    }
+
+    /// Installs (or replaces) the o-plane of object `key` — the §4.2
+    /// position-update maintenance step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates o-plane decomposition errors; on error the old plane (if
+    /// any) is left untouched.
+    pub fn upsert(&mut self, key: K, plane: OPlane, route: &Route) -> Result<(), IndexError> {
+        let boxes = plane.to_boxes(route, self.slab_minutes)?;
+        // Remove old boxes only after the new plane decomposed cleanly.
+        if let Some((_, old_boxes)) = self.planes.remove(&key) {
+            for b in &old_boxes {
+                let removed = self.tree.remove(b, &key);
+                debug_assert!(removed, "index out of sync: missing old box");
+            }
+        }
+        for b in &boxes {
+            self.tree.insert(*b, key);
+        }
+        self.planes.insert(key, (plane, boxes));
+        Ok(())
+    }
+
+    /// Removes an object entirely (trip ended). Returns `true` when it was
+    /// present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.planes.remove(key) {
+            Some((_, boxes)) => {
+                for b in &boxes {
+                    let removed = self.tree.remove(b, key);
+                    debug_assert!(removed, "index out of sync: missing box on remove");
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Candidate object ids whose o-plane boxes intersect the query
+    /// region's box — the sublinear filtering step. Deduplicated.
+    pub fn candidates(&self, region: &QueryRegion) -> Vec<K> {
+        self.candidates_with_stats(region).0
+    }
+
+    /// Like [`MovingObjectIndex::candidates`], with R\*-tree search
+    /// statistics for the sublinearity experiments.
+    pub fn candidates_with_stats(&self, region: &QueryRegion) -> (Vec<K>, SearchStats) {
+        let (mut hits, stats) = self.tree.query_with_stats(&region.aabb());
+        // One object contributes one candidate even if several of its slab
+        // boxes intersect.
+        let mut seen = std::collections::HashSet::with_capacity(hits.len());
+        hits.retain(|k| seen.insert(*k));
+        (hits, stats)
+    }
+
+    /// Candidates for a raw 3-D box (used by the benchmarks).
+    pub fn candidates_for_box(&self, query: &Aabb3) -> Vec<K> {
+        let mut hits = self.tree.query_intersecting(query);
+        let mut seen = std::collections::HashSet::with_capacity(hits.len());
+        hits.retain(|k| seen.insert(*k));
+        hits
+    }
+
+    /// Underlying tree statistics: `(entries, nodes, height)`.
+    pub fn tree_stats(&self) -> (usize, usize, usize) {
+        (self.tree.len(), self.tree.node_count(), self.tree.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_geom::{Point, Polygon, Rect};
+    use modb_policy::BoundKind;
+    use modb_routes::{Direction, RouteId};
+
+    const C: f64 = 5.0;
+
+    fn route() -> Route {
+        Route::from_vertices(
+            RouteId(1),
+            "r",
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+        )
+        .unwrap()
+    }
+
+    fn plane(start_arc: f64, t0: f64) -> OPlane {
+        OPlane::new(
+            RouteId(1),
+            start_arc,
+            Direction::Forward,
+            1.0,
+            1.5,
+            C,
+            BoundKind::Immediate,
+            t0,
+            t0 + 60.0,
+        )
+        .unwrap()
+    }
+
+    fn region(x0: f64, x1: f64, t: f64) -> QueryRegion {
+        let g = Polygon::rectangle(&Rect::new(Point::new(x0, -1.0), Point::new(x1, 1.0))).unwrap();
+        QueryRegion::at_instant(g, t)
+    }
+
+    #[test]
+    fn upsert_and_query() {
+        let r = route();
+        let mut idx = MovingObjectIndex::new(5.0);
+        idx.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
+        idx.upsert(2u64, plane(50.0, 0.0), &r).unwrap();
+        assert_eq!(idx.len(), 2);
+        // At t = 2 object 1 is near arc 2, object 2 near arc 52.
+        let c = idx.candidates(&region(0.0, 10.0, 2.0));
+        assert_eq!(c, vec![1]);
+        let c = idx.candidates(&region(45.0, 60.0, 2.0));
+        assert_eq!(c, vec![2]);
+        let mut c = idx.candidates(&region(0.0, 100.0, 2.0));
+        c.sort_unstable();
+        assert_eq!(c, vec![1, 2]);
+        assert!(idx.candidates(&region(90.0, 100.0, 0.5)).is_empty());
+    }
+
+    #[test]
+    fn update_moves_object() {
+        let r = route();
+        let mut idx = MovingObjectIndex::new(5.0);
+        idx.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
+        assert_eq!(idx.candidates(&region(0.0, 5.0, 1.0)), vec![1]);
+        // The object reports from arc 80 at t = 10: replace its plane.
+        idx.upsert(1u64, plane(80.0, 10.0), &r).unwrap();
+        assert_eq!(idx.len(), 1);
+        assert!(idx.candidates(&region(0.0, 5.0, 11.0)).is_empty());
+        assert_eq!(idx.candidates(&region(78.0, 85.0, 11.0)), vec![1]);
+        // Tree holds only the new plane's boxes.
+        let (entries, _, _) = idx.tree_stats();
+        let expected = idx.plane(&1).unwrap().to_boxes(&r, 5.0).unwrap().len();
+        assert_eq!(entries, expected);
+    }
+
+    #[test]
+    fn remove_object() {
+        let r = route();
+        let mut idx = MovingObjectIndex::new(5.0);
+        idx.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
+        idx.upsert(2u64, plane(50.0, 0.0), &r).unwrap();
+        assert!(idx.remove(&1));
+        assert!(!idx.remove(&1));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.candidates(&region(0.0, 10.0, 2.0)).is_empty());
+        let (entries, _, _) = idx.tree_stats();
+        assert!(entries > 0); // object 2's boxes remain
+    }
+
+    #[test]
+    fn candidates_deduplicated() {
+        let r = route();
+        // Tiny slabs → many boxes per plane; a wide query catches several.
+        let mut idx = MovingObjectIndex::new(0.5);
+        idx.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
+        let g = Polygon::rectangle(&Rect::new(Point::new(0.0, -1.0), Point::new(100.0, 1.0)))
+            .unwrap();
+        let q = QueryRegion::during(g, 0.0, 30.0);
+        let c = idx.candidates(&q);
+        assert_eq!(c, vec![1], "one candidate even with many boxes hit");
+    }
+
+    #[test]
+    fn future_time_query() {
+        let r = route();
+        let mut idx = MovingObjectIndex::new(5.0);
+        idx.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
+        // "Where will it be at t = 30?" Nominal arc 30.
+        assert_eq!(idx.candidates(&region(25.0, 35.0, 30.0)), vec![1]);
+        assert!(idx.candidates(&region(0.0, 3.0, 30.0)).is_empty());
+    }
+
+    #[test]
+    fn default_slab_fallback() {
+        let idx: MovingObjectIndex<u64> = MovingObjectIndex::new(-3.0);
+        assert!(idx.is_empty());
+        // No panic; slab fell back to default.
+        let r = route();
+        let mut idx = idx;
+        idx.upsert(9u64, plane(0.0, 0.0), &r).unwrap();
+        assert_eq!(idx.len(), 1);
+    }
+}

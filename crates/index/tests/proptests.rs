@@ -1,0 +1,145 @@
+//! Property-based tests: the R\*-tree against a brute-force oracle, and
+//! o-plane coverage under random parameters.
+
+use modb_geom::{Aabb3, Point};
+use modb_index::{OPlane, RStarTree};
+use modb_policy::BoundKind;
+use modb_routes::{Direction, Route, RouteId};
+use proptest::prelude::*;
+
+fn boxes(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(Aabb3, u64)>> {
+    proptest::collection::vec(
+        (
+            0.0f64..100.0,
+            0.0f64..100.0,
+            0.0f64..100.0,
+            0.1f64..8.0,
+            0.1f64..8.0,
+            0.1f64..8.0,
+        ),
+        n,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, t, w, h, d))| {
+                (Aabb3::new([x, y, t], [x + w, y + h, t + d]), i as u64)
+            })
+            .collect()
+    })
+}
+
+fn query_box() -> impl Strategy<Value = Aabb3> {
+    (
+        0.0f64..100.0,
+        0.0f64..100.0,
+        0.0f64..100.0,
+        1.0f64..30.0,
+        1.0f64..30.0,
+        1.0f64..30.0,
+    )
+        .prop_map(|(x, y, t, w, h, d)| Aabb3::new([x, y, t], [x + w, y + h, t + d]))
+}
+
+fn brute_force(entries: &[(Aabb3, u64)], q: &Aabb3) -> Vec<u64> {
+    let mut v: Vec<u64> = entries
+        .iter()
+        .filter(|(b, _)| b.intersects(q))
+        .map(|(_, id)| *id)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental inserts answer exactly like the brute-force oracle.
+    #[test]
+    fn rtree_matches_oracle(entries in boxes(1..300), q in query_box()) {
+        let mut tree = RStarTree::new();
+        for (b, id) in &entries {
+            tree.insert(*b, *id);
+        }
+        prop_assert_eq!(tree.len(), entries.len());
+        let mut got = tree.query_intersecting(&q);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&entries, &q));
+    }
+
+    /// Bulk loading answers exactly like incremental insertion.
+    #[test]
+    fn bulk_load_matches_oracle(entries in boxes(1..300), q in query_box()) {
+        let tree = RStarTree::bulk_load(entries.clone());
+        prop_assert_eq!(tree.len(), entries.len());
+        let mut got = tree.query_intersecting(&q);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&entries, &q));
+    }
+
+    /// After deleting a random subset, queries see exactly the survivors.
+    #[test]
+    fn remove_keeps_oracle_in_sync(entries in boxes(2..200),
+                                   removal_mask in proptest::collection::vec(any::<bool>(), 2..200),
+                                   q in query_box()) {
+        let mut tree = RStarTree::new();
+        for (b, id) in &entries {
+            tree.insert(*b, *id);
+        }
+        let mut survivors = Vec::new();
+        for (i, (b, id)) in entries.iter().enumerate() {
+            if removal_mask.get(i).copied().unwrap_or(false) {
+                prop_assert!(tree.remove(b, id), "entry {id} must be removable");
+            } else {
+                survivors.push((*b, *id));
+            }
+        }
+        prop_assert_eq!(tree.len(), survivors.len());
+        let mut got = tree.query_intersecting(&q);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force(&survivors, &q));
+    }
+
+    /// O-plane slab boxes cover the exact uncertainty interval at every
+    /// sampled time, for random speeds, costs, and directions.
+    #[test]
+    fn oplane_boxes_cover(speed in 0.0f64..2.0,
+                          headroom in 0.0f64..1.0,
+                          c in 0.5f64..20.0,
+                          start_arc in 0.0f64..100.0,
+                          backward in any::<bool>(),
+                          immediate in any::<bool>(),
+                          slab in 0.5f64..10.0) {
+        let route = Route::from_vertices(
+            RouteId(1),
+            "r",
+            vec![Point::new(0.0, 0.0), Point::new(60.0, 40.0), Point::new(120.0, 0.0)],
+        ).unwrap();
+        let plane = OPlane::new(
+            RouteId(1),
+            start_arc.min(route.length()),
+            if backward { Direction::Backward } else { Direction::Forward },
+            speed,
+            speed + headroom,
+            c,
+            if immediate { BoundKind::Immediate } else { BoundKind::Delayed },
+            0.0,
+            30.0,
+        ).unwrap();
+        let bxs = plane.to_boxes(&route, slab).unwrap();
+        prop_assert!(!bxs.is_empty());
+        let mut t = 0.0;
+        while t <= 30.0 {
+            let (lo, hi) = plane.arc_interval(route.length(), t);
+            for frac in [0.0, 0.5, 1.0] {
+                let arc = lo + frac * (hi - lo);
+                let p = route.point_at(arc);
+                prop_assert!(
+                    bxs.iter().any(|b| b.contains_point([p.x, p.y, t])),
+                    "uncovered arc {arc} at t={t}"
+                );
+            }
+            t += 1.37;
+        }
+    }
+}

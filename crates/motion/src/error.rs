@@ -1,0 +1,59 @@
+//! Errors for motion construction.
+
+use std::fmt;
+
+/// Errors raised when constructing speed curves or trips.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MotionError {
+    /// A speed curve needs at least one sample.
+    EmptyCurve,
+    /// The sampling tick must be positive and finite.
+    InvalidTick(f64),
+    /// Speeds must be finite and non-negative (objects move forward along
+    /// their route; reversals are modelled as direction changes with a
+    /// route update).
+    InvalidSpeed {
+        /// Index of the offending sample.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A trip parameter (start time, start arc) was NaN/∞ or negative.
+    InvalidTripParameter(&'static str),
+}
+
+impl fmt::Display for MotionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MotionError::EmptyCurve => write!(f, "speed curve has no samples"),
+            MotionError::InvalidTick(dt) => {
+                write!(f, "sampling tick must be positive and finite, got {dt}")
+            }
+            MotionError::InvalidSpeed { index, value } => {
+                write!(f, "speed sample {index} invalid: {value}")
+            }
+            MotionError::InvalidTripParameter(name) => {
+                write!(f, "trip parameter `{name}` must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MotionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(MotionError::EmptyCurve.to_string().contains("no samples"));
+        assert!(MotionError::InvalidTick(0.0).to_string().contains("tick"));
+        assert!(MotionError::InvalidSpeed { index: 3, value: -1.0 }
+            .to_string()
+            .contains("sample 3"));
+        assert!(MotionError::InvalidTripParameter("start_arc")
+            .to_string()
+            .contains("start_arc"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # modb-motion — ground-truth motion for the simulation testbed
+//!
+//! The paper's evaluation (§3.4) runs update policies over "a set of
+//! one-hour trips", each represented by a *speed-curve*. This crate builds
+//! those trips:
+//!
+//! - [`SpeedCurve`]: actual speed as a function of time, with an O(1)
+//!   distance integral.
+//! - [`TripProfile`]: seeded generators for the paper's driving regimes —
+//!   highway (mild fluctuation), city (sharp stop-and-go), jam, and mixed.
+//! - [`Trip`]: a speed curve bound to a route — the simulation's ground
+//!   truth position.
+//! - [`GpsSampler`]: the paper's exact-GPS assumption, plus an optional
+//!   noise model for ablations.
+//!
+//! Units follow the workspace convention: miles, minutes, miles/minute.
+
+#![warn(missing_docs)]
+
+mod error;
+mod gauss;
+mod journey;
+mod profiles;
+mod sampler;
+mod speed_curve;
+mod trip;
+
+pub use error::MotionError;
+pub use gauss::{normal, standard_normal};
+pub use journey::Journey;
+pub use profiles::{TripProfile, CITY_SPEED, HIGHWAY_SPEED, JAM_SPEED};
+pub use sampler::GpsSampler;
+pub use speed_curve::SpeedCurve;
+pub use trip::Trip;

@@ -1,0 +1,234 @@
+//! Speed-curve generators for the paper's simulation regimes.
+//!
+//! §3.1 distinguishes "highway driving in non-rush hour (when the speed
+//! fluctuates only mildly)" from "city driving, where the speed fluctuates
+//! sharply", and Example 1 features a traffic-jam stop. Each regime here is
+//! a seeded generator producing a [`SpeedCurve`]; `Mixed` splices regimes to
+//! model a realistic one-hour trip.
+
+use rand::Rng;
+
+use crate::gauss::normal;
+use crate::speed_curve::SpeedCurve;
+use crate::MotionError;
+
+/// Miles/minute for 60 mph — the paper's canonical highway speed.
+pub const HIGHWAY_SPEED: f64 = 1.0;
+/// Miles/minute for 30 mph city cruising.
+pub const CITY_SPEED: f64 = 0.5;
+/// Crawling speed inside a jam.
+pub const JAM_SPEED: f64 = 0.08;
+
+/// A driving regime that generates speed curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TripProfile {
+    /// Mild mean-reverting fluctuation around 60 mph.
+    Highway,
+    /// Stop-and-go: cruise segments at ~30 mph separated by red-light stops.
+    City,
+    /// Traffic jam: long stops with occasional crawling.
+    Jam,
+    /// Random splice of the other regimes — the default trip mix.
+    Mixed,
+}
+
+impl TripProfile {
+    /// All profiles, for sweeping experiments.
+    pub const ALL: [TripProfile; 4] = [
+        TripProfile::Highway,
+        TripProfile::City,
+        TripProfile::Jam,
+        TripProfile::Mixed,
+    ];
+
+    /// Generates a speed curve of `duration` minutes sampled every `dt`
+    /// minutes.
+    ///
+    /// # Errors
+    ///
+    /// [`MotionError::InvalidTick`] for a bad `dt`, [`MotionError::EmptyCurve`]
+    /// when `duration < dt`.
+    pub fn generate<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        duration: f64,
+        dt: f64,
+    ) -> Result<SpeedCurve, MotionError> {
+        if dt <= 0.0 || !dt.is_finite() {
+            return Err(MotionError::InvalidTick(dt));
+        }
+        let n = (duration / dt).floor() as usize;
+        let samples = match self {
+            TripProfile::Highway => highway_samples(rng, n, dt),
+            TripProfile::City => city_samples(rng, n, dt),
+            TripProfile::Jam => jam_samples(rng, n, dt),
+            TripProfile::Mixed => mixed_samples(rng, n, dt),
+        };
+        SpeedCurve::new(samples, dt)
+    }
+}
+
+/// Ornstein–Uhlenbeck-style mean-reverting fluctuation around `mu`,
+/// clamped to `[0, cap]`.
+fn ou_step<R: Rng + ?Sized>(rng: &mut R, v: f64, mu: f64, theta: f64, sigma: f64, dt: f64, cap: f64) -> f64 {
+    let drift = theta * (mu - v) * dt;
+    let shock = normal(rng, 0.0, sigma * dt.sqrt());
+    (v + drift + shock).clamp(0.0, cap)
+}
+
+fn highway_samples<R: Rng + ?Sized>(rng: &mut R, n: usize, dt: f64) -> Vec<f64> {
+    let mut v = HIGHWAY_SPEED;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Mild fluctuation: sd of a few mph, strong mean reversion.
+        v = ou_step(rng, v, HIGHWAY_SPEED, 2.0, 0.08, dt, 1.5 * HIGHWAY_SPEED);
+        out.push(v);
+    }
+    out
+}
+
+fn city_samples<R: Rng + ?Sized>(rng: &mut R, n: usize, dt: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut v = CITY_SPEED;
+    // Alternate cruise (0.5–1.5 min) and stop (0.2–1 min) phases.
+    let mut phase_cruise = true;
+    let mut remaining = rng.gen_range(0.5..1.5);
+    for _ in 0..n {
+        if remaining <= 0.0 {
+            phase_cruise = !phase_cruise;
+            remaining = if phase_cruise {
+                rng.gen_range(0.5..1.5)
+            } else {
+                rng.gen_range(0.2..1.0)
+            };
+        }
+        if phase_cruise {
+            v = ou_step(rng, v, CITY_SPEED, 3.0, 0.15, dt, 1.2 * CITY_SPEED + 0.2);
+        } else {
+            // Decelerate sharply to a stop.
+            v = (v - 1.5 * dt.max(v * 0.5)).max(0.0);
+        }
+        out.push(v);
+        remaining -= dt;
+    }
+    out
+}
+
+fn jam_samples<R: Rng + ?Sized>(rng: &mut R, n: usize, dt: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut stopped = true;
+    let mut remaining = rng.gen_range(1.0..4.0);
+    let mut v: f64 = 0.0;
+    for _ in 0..n {
+        if remaining <= 0.0 {
+            stopped = !stopped;
+            remaining = if stopped {
+                rng.gen_range(1.0..4.0)
+            } else {
+                rng.gen_range(0.3..1.5)
+            };
+        }
+        v = if stopped {
+            0.0
+        } else {
+            ou_step(rng, v.max(0.02), JAM_SPEED, 4.0, 0.05, dt, 3.0 * JAM_SPEED)
+        };
+        out.push(v);
+        remaining -= dt;
+    }
+    out
+}
+
+fn mixed_samples<R: Rng + ?Sized>(rng: &mut R, n: usize, dt: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let seg_minutes = rng.gen_range(5.0..15.0);
+        let seg_n = ((seg_minutes / dt) as usize).max(1).min(n - out.len());
+        let regime = match rng.gen_range(0..3) {
+            0 => TripProfile::Highway,
+            1 => TripProfile::City,
+            _ => TripProfile::Jam,
+        };
+        let seg = match regime {
+            TripProfile::Highway => highway_samples(rng, seg_n, dt),
+            TripProfile::City => city_samples(rng, seg_n, dt),
+            TripProfile::Jam => jam_samples(rng, seg_n, dt),
+            TripProfile::Mixed => unreachable!("mixed never recurses"),
+        };
+        out.extend(seg);
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(profile: TripProfile, seed: u64) -> SpeedCurve {
+        let mut rng = StdRng::seed_from_u64(seed);
+        profile.generate(&mut rng, 60.0, 1.0 / 60.0).unwrap()
+    }
+
+    #[test]
+    fn all_profiles_produce_valid_hour_curves() {
+        for p in TripProfile::ALL {
+            let c = gen(p, 1);
+            assert!((c.duration() - 60.0).abs() < 1e-9, "{p:?}");
+            assert_eq!(c.samples().len(), 3600);
+            assert!(c.samples().iter().all(|&v| (0.0..=2.0).contains(&v)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn highway_speed_is_mild_around_60mph() {
+        let c = gen(TripProfile::Highway, 2);
+        let mean = c.total_distance() / c.duration();
+        assert!((mean - HIGHWAY_SPEED).abs() < 0.15, "mean speed {mean}");
+        // Mild fluctuation: never drops to a complete stop.
+        assert!(c.samples().iter().all(|&v| v > 0.3), "highway should not stop");
+    }
+
+    #[test]
+    fn city_has_stops_and_cruises() {
+        let c = gen(TripProfile::City, 3);
+        let stopped = c.samples().iter().filter(|&&v| v < 0.01).count();
+        let cruising = c.samples().iter().filter(|&&v| v > 0.3).count();
+        assert!(stopped > 100, "city trip should include stops, got {stopped}");
+        assert!(cruising > 500, "city trip should include cruising, got {cruising}");
+    }
+
+    #[test]
+    fn jam_is_mostly_stopped() {
+        let c = gen(TripProfile::Jam, 4);
+        let stopped = c.samples().iter().filter(|&&v| v < 0.01).count();
+        assert!(
+            stopped as f64 > 0.4 * c.samples().len() as f64,
+            "jam should be stopped much of the time, got {stopped}/3600"
+        );
+        assert!(c.max_speed() < 0.5, "jam speeds stay low");
+    }
+
+    #[test]
+    fn mixed_splices_regimes() {
+        let c = gen(TripProfile::Mixed, 5);
+        // A mixed trip should show both fast (highway) and stopped samples.
+        assert!(c.max_speed() > 0.7);
+        assert!(c.samples().iter().any(|&v| v < 0.01));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(gen(TripProfile::Mixed, 42), gen(TripProfile::Mixed, 42));
+        assert_ne!(gen(TripProfile::Mixed, 42), gen(TripProfile::Mixed, 43));
+    }
+
+    #[test]
+    fn invalid_tick_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(TripProfile::Highway.generate(&mut rng, 60.0, 0.0).is_err());
+        assert!(TripProfile::Highway.generate(&mut rng, 0.0001, 1.0).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Positioning-noise models.
+//!
+//! The paper assumes "each vehicle knows its exact current position, using,
+//! for example, an onboard GPS" (§1, footnote 1). [`GpsSampler`] optionally
+//! relaxes that assumption with additive Gaussian error on the arc reading,
+//! for the robustness ablation in the benchmark suite. The exact sampler
+//! (`GpsSampler::exact()`) reproduces the paper's assumption and is the
+//! default everywhere.
+
+use rand::Rng;
+
+use crate::gauss::normal;
+
+/// A model of the onboard positioning device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsSampler {
+    /// Standard deviation of the position reading, in miles. `0` means the
+    /// paper's exact-GPS assumption.
+    sd: f64,
+}
+
+impl GpsSampler {
+    /// Exact positioning — the paper's assumption.
+    pub const fn exact() -> Self {
+        GpsSampler { sd: 0.0 }
+    }
+
+    /// Gaussian positioning noise with the given standard deviation
+    /// (miles). Negative or non-finite values are clamped to 0.
+    pub fn noisy(sd: f64) -> Self {
+        GpsSampler {
+            sd: if sd.is_finite() && sd > 0.0 { sd } else { 0.0 },
+        }
+    }
+
+    /// The noise standard deviation in miles.
+    #[inline]
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Returns `true` when this sampler adds no noise.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.sd == 0.0
+    }
+
+    /// Samples a measured arc position given the true arc. The result is
+    /// clamped into `[0, route_len]` since a GPS fix map-matched to the
+    /// route cannot leave it.
+    pub fn sample_arc<R: Rng + ?Sized>(&self, rng: &mut R, true_arc: f64, route_len: f64) -> f64 {
+        if self.sd == 0.0 {
+            return true_arc;
+        }
+        normal(rng, true_arc, self.sd).clamp(0.0, route_len)
+    }
+}
+
+impl Default for GpsSampler {
+    fn default() -> Self {
+        GpsSampler::exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_sampler_is_identity() {
+        let s = GpsSampler::exact();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(s.is_exact());
+        assert_eq!(s.sample_arc(&mut rng, 3.25, 10.0), 3.25);
+    }
+
+    #[test]
+    fn noisy_sampler_statistics() {
+        let s = GpsSampler::noisy(0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.sample_arc(&mut rng, 5.0, 10.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.005, "mean {mean}");
+        assert!(samples.iter().any(|&x| x != 5.0));
+    }
+
+    #[test]
+    fn noisy_sampler_clamps_to_route() {
+        let s = GpsSampler::noisy(5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = s.sample_arc(&mut rng, 0.5, 2.0);
+            assert!((0.0..=2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn invalid_sd_collapses_to_exact() {
+        assert!(GpsSampler::noisy(-1.0).is_exact());
+        assert!(GpsSampler::noisy(f64::NAN).is_exact());
+        assert!(GpsSampler::default().is_exact());
+    }
+}

@@ -1,0 +1,221 @@
+//! Speed curves: the actual speed of a moving object as a function of time.
+//!
+//! The paper's simulation (§3.4) represents each trip by a *speed-curve* —
+//! "the actual-speed of a moving object as a function of time". A
+//! [`SpeedCurve`] is that function, sampled at a fixed tick and interpreted
+//! as piecewise-constant, with a precomputed distance integral so playback
+//! and deviation computation are O(1) per query.
+
+use crate::error::MotionError;
+
+/// A piecewise-constant speed function of time.
+///
+/// Sample `i` is the speed (miles/minute) held throughout
+/// `[i·dt, (i+1)·dt)`. The curve's domain is `[0, duration]`; queries
+/// outside the domain clamp (speed 0 after the trip ends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedCurve {
+    samples: Vec<f64>,
+    dt: f64,
+    /// `prefix[i]` = distance travelled in `[0, i·dt)`; len = samples + 1.
+    prefix: Vec<f64>,
+}
+
+impl SpeedCurve {
+    /// Builds a curve from speed samples at tick `dt` minutes.
+    ///
+    /// # Errors
+    ///
+    /// - [`MotionError::EmptyCurve`] for no samples.
+    /// - [`MotionError::InvalidTick`] for `dt ≤ 0` or non-finite.
+    /// - [`MotionError::InvalidSpeed`] for negative/non-finite samples.
+    pub fn new(samples: Vec<f64>, dt: f64) -> Result<Self, MotionError> {
+        if samples.is_empty() {
+            return Err(MotionError::EmptyCurve);
+        }
+        if dt <= 0.0 || !dt.is_finite() {
+            return Err(MotionError::InvalidTick(dt));
+        }
+        if let Some((index, &value)) = samples
+            .iter()
+            .enumerate()
+            .find(|(_, &v)| !v.is_finite() || v < 0.0)
+        {
+            return Err(MotionError::InvalidSpeed { index, value });
+        }
+        let mut prefix = Vec::with_capacity(samples.len() + 1);
+        prefix.push(0.0);
+        for &v in &samples {
+            prefix.push(prefix.last().unwrap() + v * dt);
+        }
+        Ok(SpeedCurve {
+            samples,
+            dt,
+            prefix,
+        })
+    }
+
+    /// A constant-speed curve of `n` ticks.
+    pub fn constant(speed: f64, n: usize, dt: f64) -> Result<Self, MotionError> {
+        SpeedCurve::new(vec![speed; n], dt)
+    }
+
+    /// The sampling tick (minutes).
+    #[inline]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The speed samples.
+    #[inline]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Trip duration (minutes).
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 * self.dt
+    }
+
+    /// Speed at time `t` (clamped: 0 before the start is meaningless, so
+    /// `t < 0` reads the first sample's interval boundary as 0; after the
+    /// end the object has stopped).
+    pub fn speed_at(&self, t: f64) -> f64 {
+        if t < 0.0 || t >= self.duration() {
+            return 0.0;
+        }
+        let i = ((t / self.dt) as usize).min(self.samples.len() - 1);
+        self.samples[i]
+    }
+
+    /// Maximum speed over the whole trip — the paper's `V` (§3.3), used in
+    /// the fast-deviation bounds.
+    pub fn max_speed(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Distance travelled in `[0, t]`, with `t` clamped to the domain.
+    ///
+    /// O(1): prefix-sum lookup plus the fractional tick.
+    pub fn distance_until(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let t = t.min(self.duration());
+        let i = ((t / self.dt) as usize).min(self.samples.len() - 1);
+        let whole = self.prefix[i];
+        let frac = t - i as f64 * self.dt;
+        whole + self.samples[i] * frac
+    }
+
+    /// Distance travelled in `[t0, t1]` (clamped; `t0 ≤ t1` expected —
+    /// inverted intervals yield a negative distance by antisymmetry).
+    #[inline]
+    pub fn distance_between(&self, t0: f64, t1: f64) -> f64 {
+        self.distance_until(t1) - self.distance_until(t0)
+    }
+
+    /// Average speed over `[t0, t1]`; 0 for an empty interval.
+    pub fn average_speed(&self, t0: f64, t1: f64) -> f64 {
+        let span = t1 - t0;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.distance_between(t0, t1) / span
+    }
+
+    /// Total trip distance.
+    #[inline]
+    pub fn total_distance(&self) -> f64 {
+        *self.prefix.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> SpeedCurve {
+        // 1 mi/min for 2 min, then 0 for 1 min, then 2 for 1 min; dt = 1.
+        SpeedCurve::new(vec![1.0, 1.0, 0.0, 2.0], 1.0).unwrap()
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            SpeedCurve::new(vec![], 1.0),
+            Err(MotionError::EmptyCurve)
+        ));
+        assert!(matches!(
+            SpeedCurve::new(vec![1.0], 0.0),
+            Err(MotionError::InvalidTick(_))
+        ));
+        assert!(matches!(
+            SpeedCurve::new(vec![1.0, -0.5], 1.0),
+            Err(MotionError::InvalidSpeed { index: 1, .. })
+        ));
+        assert!(matches!(
+            SpeedCurve::new(vec![f64::NAN], 1.0),
+            Err(MotionError::InvalidSpeed { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn duration_and_speed_lookup() {
+        let c = ramp();
+        assert_eq!(c.duration(), 4.0);
+        assert_eq!(c.speed_at(0.0), 1.0);
+        assert_eq!(c.speed_at(1.5), 1.0);
+        assert_eq!(c.speed_at(2.5), 0.0);
+        assert_eq!(c.speed_at(3.0), 2.0);
+        // Outside the domain the object is stopped.
+        assert_eq!(c.speed_at(-1.0), 0.0);
+        assert_eq!(c.speed_at(4.0), 0.0);
+        assert_eq!(c.speed_at(100.0), 0.0);
+    }
+
+    #[test]
+    fn distance_integral() {
+        let c = ramp();
+        assert_eq!(c.distance_until(0.0), 0.0);
+        assert_eq!(c.distance_until(1.0), 1.0);
+        assert_eq!(c.distance_until(1.5), 1.5);
+        assert_eq!(c.distance_until(2.5), 2.0); // stopped during [2,3)
+        assert_eq!(c.distance_until(3.5), 3.0);
+        assert_eq!(c.distance_until(4.0), 4.0);
+        assert_eq!(c.distance_until(99.0), 4.0); // clamped
+        assert_eq!(c.total_distance(), 4.0);
+    }
+
+    #[test]
+    fn distance_between_and_average_speed() {
+        let c = ramp();
+        assert_eq!(c.distance_between(1.0, 3.0), 1.0);
+        assert_eq!(c.average_speed(1.0, 3.0), 0.5);
+        assert_eq!(c.average_speed(2.0, 2.0), 0.0);
+        // Antisymmetry for inverted intervals.
+        assert_eq!(c.distance_between(3.0, 1.0), -1.0);
+    }
+
+    #[test]
+    fn max_speed_is_v() {
+        assert_eq!(ramp().max_speed(), 2.0);
+        assert_eq!(SpeedCurve::constant(0.0, 3, 1.0).unwrap().max_speed(), 0.0);
+    }
+
+    #[test]
+    fn constant_curve() {
+        let c = SpeedCurve::constant(1.5, 60, 1.0 / 60.0).unwrap();
+        assert!((c.duration() - 1.0).abs() < 1e-12);
+        assert!((c.total_distance() - 1.5).abs() < 1e-12);
+        assert_eq!(c.speed_at(0.5), 1.5);
+    }
+
+    #[test]
+    fn fractional_tick_interpolation() {
+        let c = SpeedCurve::new(vec![1.0, 3.0], 0.5).unwrap();
+        // At t = 0.75 we are 0.25 into the second tick.
+        assert!((c.distance_until(0.75) - (0.5 + 3.0 * 0.25)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Trips: a speed curve bound to a route, giving actual position over time.
+//!
+//! A [`Trip`] is the ground truth of the simulation: where the moving
+//! object *really* is at each instant. Update policies and the DBMS only
+//! ever see what the onboard computer reports; deviations are measured
+//! against the trip.
+
+use modb_routes::{Direction, Route, RouteId};
+
+use crate::error::MotionError;
+use crate::speed_curve::SpeedCurve;
+
+/// A moving object's actual journey: route, starting point, direction,
+/// departure time, and the actual speed over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trip {
+    route: RouteId,
+    direction: Direction,
+    start_arc: f64,
+    start_time: f64,
+    curve: SpeedCurve,
+}
+
+impl Trip {
+    /// Creates a trip.
+    ///
+    /// # Errors
+    ///
+    /// [`MotionError::InvalidTripParameter`] when `start_arc` or
+    /// `start_time` is negative or non-finite.
+    pub fn new(
+        route: RouteId,
+        direction: Direction,
+        start_arc: f64,
+        start_time: f64,
+        curve: SpeedCurve,
+    ) -> Result<Self, MotionError> {
+        if !start_arc.is_finite() || start_arc < 0.0 {
+            return Err(MotionError::InvalidTripParameter("start_arc"));
+        }
+        if !start_time.is_finite() || start_time < 0.0 {
+            return Err(MotionError::InvalidTripParameter("start_time"));
+        }
+        Ok(Trip {
+            route,
+            direction,
+            start_arc,
+            start_time,
+            curve,
+        })
+    }
+
+    /// The route travelled.
+    #[inline]
+    pub fn route(&self) -> RouteId {
+        self.route
+    }
+
+    /// Travel direction along the route.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Arc position at departure.
+    #[inline]
+    pub fn start_arc(&self) -> f64 {
+        self.start_arc
+    }
+
+    /// Departure time (minutes).
+    #[inline]
+    pub fn start_time(&self) -> f64 {
+        self.start_time
+    }
+
+    /// Time the trip's speed curve ends.
+    #[inline]
+    pub fn end_time(&self) -> f64 {
+        self.start_time + self.curve.duration()
+    }
+
+    /// The actual speed curve.
+    #[inline]
+    pub fn curve(&self) -> &SpeedCurve {
+        &self.curve
+    }
+
+    /// Actual speed at absolute time `t` (0 before departure/after arrival).
+    #[inline]
+    pub fn speed_at(&self, t: f64) -> f64 {
+        self.curve.speed_at(t - self.start_time)
+    }
+
+    /// Maximum speed over the trip — the paper's `V`.
+    #[inline]
+    pub fn max_speed(&self) -> f64 {
+        self.curve.max_speed()
+    }
+
+    /// Distance travelled from departure until absolute time `t`.
+    #[inline]
+    pub fn distance_travelled(&self, t: f64) -> f64 {
+        self.curve.distance_until(t - self.start_time)
+    }
+
+    /// Actual arc position on `route` at absolute time `t` (clamped at the
+    /// route's ends).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `route` is the trip's route; in release a wrong
+    /// route still produces a clamped arc on that route, which is
+    /// meaningless — callers resolve the route by [`Trip::route`].
+    pub fn arc_at(&self, route: &Route, t: f64) -> f64 {
+        debug_assert_eq!(route.id(), self.route, "trip played back on wrong route");
+        route.advance(self.start_arc, self.distance_travelled(t), self.direction)
+    }
+
+    /// Actual (x, y) position at absolute time `t`.
+    pub fn position_at(&self, route: &Route, t: f64) -> modb_geom::Point {
+        route.point_at(self.arc_at(route, t))
+    }
+
+    /// Average actual speed between two absolute times.
+    #[inline]
+    pub fn average_speed(&self, t0: f64, t1: f64) -> f64 {
+        self.curve
+            .average_speed(t0 - self.start_time, t1 - self.start_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_geom::Point;
+    use modb_routes::Route;
+
+    fn route() -> Route {
+        Route::from_vertices(
+            RouteId(1),
+            "r",
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+        )
+        .unwrap()
+    }
+
+    fn trip(direction: Direction, start_arc: f64) -> Trip {
+        // 1 mi/min for 4 minutes, departing at t = 10.
+        Trip::new(
+            RouteId(1),
+            direction,
+            start_arc,
+            10.0,
+            SpeedCurve::constant(1.0, 4, 1.0).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let c = SpeedCurve::constant(1.0, 1, 1.0).unwrap();
+        assert!(Trip::new(RouteId(1), Direction::Forward, -1.0, 0.0, c.clone()).is_err());
+        assert!(Trip::new(RouteId(1), Direction::Forward, 0.0, f64::NAN, c).is_err());
+    }
+
+    #[test]
+    fn playback_forward() {
+        let r = route();
+        let t = trip(Direction::Forward, 2.0);
+        assert_eq!(t.arc_at(&r, 10.0), 2.0); // departure
+        assert_eq!(t.arc_at(&r, 12.0), 4.0);
+        assert_eq!(t.arc_at(&r, 14.0), 6.0); // trip over
+        assert_eq!(t.arc_at(&r, 30.0), 6.0); // stays put after end
+        assert_eq!(t.arc_at(&r, 5.0), 2.0); // before departure
+        assert_eq!(t.position_at(&r, 12.0), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn playback_backward_clamps_at_route_start() {
+        let r = route();
+        let t = trip(Direction::Backward, 3.0);
+        assert_eq!(t.arc_at(&r, 12.0), 1.0);
+        assert_eq!(t.arc_at(&r, 14.0), 0.0); // clamped: 3 - 4 < 0
+    }
+
+    #[test]
+    fn speeds_and_times() {
+        let t = trip(Direction::Forward, 0.0);
+        assert_eq!(t.speed_at(11.0), 1.0);
+        assert_eq!(t.speed_at(9.0), 0.0);
+        assert_eq!(t.speed_at(14.5), 0.0);
+        assert_eq!(t.end_time(), 14.0);
+        assert_eq!(t.max_speed(), 1.0);
+        assert_eq!(t.average_speed(10.0, 14.0), 1.0);
+        assert_eq!(t.distance_travelled(12.0), 2.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Adaptive policy switching (§3.1).
+//!
+//! "Since the update policy is a position subattribute, each position
+//! update may change the policy. … a policy for which the predicted speed
+//! is the current speed may be appropriate for highway driving in
+//! non-rush hour (when the speed fluctuates only mildly), whereas a
+//! policy for which the predicted speed is the average speed may be
+//! appropriate for city driving, where the speed fluctuates sharply."
+//!
+//! [`AdaptivePolicy`] implements exactly that: it watches the coefficient
+//! of variation of recent speeds and, at each update point (the only
+//! instants the paper allows a policy change), switches between a
+//! mild-regime quintuple (current-speed predictor) and a sharp-regime
+//! quintuple (average-speed predictor).
+
+use std::collections::VecDeque;
+
+use crate::engine::{Policy, PolicyEngine, PositionUpdate, Quintuple};
+use crate::error::PolicyError;
+
+/// Default speed-observation window (ticks) for regime detection.
+pub const DEFAULT_WINDOW: usize = 120;
+/// Default coefficient-of-variation boundary between "mild" and "sharp"
+/// fluctuation. City stop-and-go traces run well above 0.5; highway
+/// cruising well below.
+pub const DEFAULT_CV_THRESHOLD: f64 = 0.35;
+
+/// A meta-policy that switches quintuples at update points based on the
+/// observed speed-fluctuation regime.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    engine: PolicyEngine,
+    mild: Quintuple,
+    sharp: Quintuple,
+    route_len: f64,
+    direction_sign: f64,
+    window: VecDeque<f64>,
+    window_cap: usize,
+    cv_threshold: f64,
+    switches: usize,
+}
+
+impl AdaptivePolicy {
+    /// Creates an adaptive policy with the paper's suggested pairing:
+    /// **cil** for mild regimes, **ail** for sharp regimes.
+    pub fn new(
+        update_cost: f64,
+        route_len: f64,
+        direction_sign: f64,
+        initial: PositionUpdate,
+    ) -> Result<Self, PolicyError> {
+        Self::with_quintuples(
+            Quintuple::cil(update_cost),
+            Quintuple::ail(update_cost),
+            route_len,
+            direction_sign,
+            initial,
+        )
+    }
+
+    /// Creates an adaptive policy with explicit mild/sharp quintuples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures.
+    pub fn with_quintuples(
+        mild: Quintuple,
+        sharp: Quintuple,
+        route_len: f64,
+        direction_sign: f64,
+        initial: PositionUpdate,
+    ) -> Result<Self, PolicyError> {
+        // Start in the mild configuration; the first update re-evaluates.
+        let engine = PolicyEngine::new(mild, route_len, direction_sign, initial)?;
+        sharp.validate()?;
+        Ok(AdaptivePolicy {
+            engine,
+            mild,
+            sharp,
+            route_len,
+            direction_sign,
+            window: VecDeque::with_capacity(DEFAULT_WINDOW),
+            window_cap: DEFAULT_WINDOW,
+            cv_threshold: DEFAULT_CV_THRESHOLD,
+            switches: 0,
+        })
+    }
+
+    /// Coefficient of variation (σ/μ) of the recent speed window; 0 when
+    /// there is not enough data or the mean speed is ~0 (a long stop is a
+    /// regime of its own — the average-speed predictor handles it, so a
+    /// zero mean maps to "sharp").
+    pub fn speed_cv(&self) -> f64 {
+        if self.window.len() < self.window_cap / 2 {
+            return 0.0;
+        }
+        let n = self.window.len() as f64;
+        let mean = self.window.iter().sum::<f64>() / n;
+        if mean < 1e-6 {
+            return f64::INFINITY;
+        }
+        let var = self
+            .window
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// The quintuple currently in force.
+    pub fn current_quintuple(&self) -> &Quintuple {
+        self.engine.quintuple()
+    }
+
+    /// How many times the policy has switched regimes.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    fn pick_regime(&self) -> Quintuple {
+        if self.speed_cv() > self.cv_threshold {
+            self.sharp
+        } else {
+            self.mild
+        }
+    }
+}
+
+impl Policy for AdaptivePolicy {
+    fn label(&self) -> String {
+        format!("adaptive({})", self.engine.quintuple().label())
+    }
+
+    fn update_cost(&self) -> f64 {
+        self.engine.quintuple().update_cost
+    }
+
+    fn tick(
+        &mut self,
+        now: f64,
+        actual_arc: f64,
+        current_speed: f64,
+    ) -> Result<Option<PositionUpdate>, PolicyError> {
+        if self.window.len() == self.window_cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(current_speed);
+
+        let fired = self.engine.tick(now, actual_arc, current_speed)?;
+        if let Some(update) = fired {
+            // The paper allows a policy change exactly at update points.
+            let wanted = self.pick_regime();
+            if wanted != *self.engine.quintuple() {
+                self.engine =
+                    PolicyEngine::new(wanted, self.route_len, self.direction_sign, update)?;
+                self.switches += 1;
+            }
+        }
+        Ok(fired)
+    }
+
+    fn database_arc(&self, now: f64) -> f64 {
+        self.engine.database_arc(now)
+    }
+
+    fn last_update(&self) -> PositionUpdate {
+        self.engine.last_update()
+    }
+
+    fn uncertainty(&self, now: f64, v_max: f64) -> f64 {
+        self.engine.uncertainty(now, v_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 5.0;
+
+    fn adaptive() -> AdaptivePolicy {
+        AdaptivePolicy::new(
+            C,
+            10_000.0,
+            1.0,
+            PositionUpdate {
+                time: 0.0,
+                arc: 0.0,
+                speed: 1.0,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Drives the policy with a given speed function for `minutes`,
+    /// returning (updates, final policy label).
+    fn drive(p: &mut AdaptivePolicy, minutes: f64, speed_at: impl Fn(f64) -> f64) -> usize {
+        let dt = 1.0 / 60.0;
+        let mut arc = 0.0;
+        let mut updates = 0;
+        let n = (minutes / dt) as usize;
+        for i in 1..=n {
+            let t = i as f64 * dt;
+            let v = speed_at(t);
+            arc += v * dt;
+            if p.tick(t, arc, v).unwrap().is_some() {
+                updates += 1;
+            }
+        }
+        updates
+    }
+
+    #[test]
+    fn starts_mild_stays_mild_on_highway() {
+        let mut p = adaptive();
+        assert_eq!(p.current_quintuple().label(), "cil");
+        // Mild fluctuation around 1 mi/min (±5 %).
+        drive(&mut p, 20.0, |t| 1.0 + 0.05 * (t * 3.0).sin());
+        assert_eq!(p.current_quintuple().label(), "cil");
+        assert_eq!(p.switches(), 0);
+    }
+
+    #[test]
+    fn switches_to_sharp_in_stop_and_go() {
+        let mut p = adaptive();
+        // Violent stop-and-go: 1 minute at 1.0, 1 minute stopped.
+        let updates = drive(&mut p, 30.0, |t| {
+            if (t as usize).is_multiple_of(2) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        assert!(updates > 0, "stop-and-go must trigger updates");
+        assert!(
+            p.switches() >= 1,
+            "regime detector should have switched at least once"
+        );
+        assert_eq!(p.current_quintuple().label(), "ail");
+    }
+
+    #[test]
+    fn cv_detector_classifies_regimes() {
+        let mut p = adaptive();
+        for _ in 0..DEFAULT_WINDOW {
+            p.window.push_back(1.0);
+        }
+        assert!(p.speed_cv() < 0.01);
+        p.window.clear();
+        for i in 0..DEFAULT_WINDOW {
+            p.window.push_back(if i % 2 == 0 { 1.0 } else { 0.0 });
+        }
+        assert!(p.speed_cv() > 0.9);
+        // All-stopped window: infinite CV → sharp regime.
+        p.window.clear();
+        for _ in 0..DEFAULT_WINDOW {
+            p.window.push_back(0.0);
+        }
+        assert_eq!(p.speed_cv(), f64::INFINITY);
+    }
+
+    #[test]
+    fn delegates_policy_interface() {
+        let p = adaptive();
+        assert_eq!(p.update_cost(), C);
+        assert!(p.label().starts_with("adaptive("));
+        assert_eq!(p.database_arc(3.0), 3.0);
+        assert_eq!(p.last_update().arc, 0.0);
+        assert!(p.uncertainty(2.0, 1.5) > 0.0);
+    }
+
+    #[test]
+    fn bounds_still_hold_while_adapting() {
+        let mut p = adaptive();
+        let dt = 1.0 / 60.0;
+        let mut arc = 0.0;
+        for i in 1..=(20 * 60) {
+            let t = i as f64 * dt;
+            let v = if (t as usize).is_multiple_of(3) { 0.0 } else { 1.2 };
+            arc += v * dt;
+            let prev_bound = p.uncertainty(t - dt, 1.5);
+            let dev = (arc - p.database_arc(t)).abs();
+            let bound = p.uncertainty(t, 1.5).max(prev_bound);
+            assert!(
+                dev <= bound + 1.5 * dt + 1e-9,
+                "t={t}: deviation {dev} > bound {bound}"
+            );
+            p.tick(t, arc, v).unwrap();
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Baseline update policies the paper compares against.
+//!
+//! - [`TraditionalPolicy`]: the non-temporal DBMS of §1 — the database
+//!   stores a static position (no speed extrapolation), so the object must
+//!   update whenever it has moved more than the tolerated imprecision.
+//!   The headline claim is that the position-attribute policies need only
+//!   ~15 % of this policy's updates.
+//! - [`PeriodicPolicy`]: fixed-interval updates with dead reckoning.
+//! - [`FixedThresholdPolicy`]: §6's alternative — "define a priori a bound
+//!   B on the deviation, with a policy in which the moving object sends a
+//!   position update message when the deviation exceeds B". Its bound is
+//!   fixed and independent of the update cost, which is the paper's
+//!   criticism of it.
+
+use crate::engine::{Policy, PositionUpdate};
+use crate::error::PolicyError;
+
+fn validate_obs(now: f64, last_seen: f64, arc: f64, speed: f64) -> Result<(), PolicyError> {
+    if now < last_seen {
+        return Err(PolicyError::TimeWentBackwards {
+            last: last_seen,
+            now,
+        });
+    }
+    if !arc.is_finite() || arc < 0.0 {
+        return Err(PolicyError::InvalidObservation("actual_arc", arc));
+    }
+    if !speed.is_finite() || speed < 0.0 {
+        return Err(PolicyError::InvalidObservation("current_speed", speed));
+    }
+    Ok(())
+}
+
+/// The traditional non-temporal method: the database records a static
+/// point; the object refreshes it whenever the actual position drifts more
+/// than `tolerance` miles from the stored point.
+#[derive(Debug, Clone)]
+pub struct TraditionalPolicy {
+    tolerance: f64,
+    update_cost: f64,
+    last: PositionUpdate,
+    last_seen: f64,
+}
+
+impl TraditionalPolicy {
+    /// Creates the policy with a drift `tolerance` (miles) and the message
+    /// cost `C` (used only for cost accounting — the decision ignores it,
+    /// which is exactly the paper's point).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive tolerance or cost.
+    pub fn new(tolerance: f64, update_cost: f64, initial: PositionUpdate) -> Result<Self, PolicyError> {
+        if tolerance <= 0.0 || !tolerance.is_finite() {
+            return Err(PolicyError::InvalidCostParameter("tolerance", tolerance));
+        }
+        if update_cost <= 0.0 || !update_cost.is_finite() {
+            return Err(PolicyError::InvalidUpdateCost(update_cost));
+        }
+        // The stored position is static: declared speed 0.
+        let last = PositionUpdate {
+            speed: 0.0,
+            ..initial
+        };
+        Ok(TraditionalPolicy {
+            tolerance,
+            update_cost,
+            last,
+            last_seen: initial.time,
+        })
+    }
+
+    /// The configured drift tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+impl Policy for TraditionalPolicy {
+    fn label(&self) -> String {
+        "traditional".into()
+    }
+
+    fn update_cost(&self) -> f64 {
+        self.update_cost
+    }
+
+    fn tick(
+        &mut self,
+        now: f64,
+        actual_arc: f64,
+        current_speed: f64,
+    ) -> Result<Option<PositionUpdate>, PolicyError> {
+        validate_obs(now, self.last_seen, actual_arc, current_speed)?;
+        self.last_seen = now;
+        if (actual_arc - self.last.arc).abs() + 1e-12 >= self.tolerance {
+            let u = PositionUpdate {
+                time: now,
+                arc: actual_arc,
+                speed: 0.0,
+            };
+            self.last = u;
+            return Ok(Some(u));
+        }
+        Ok(None)
+    }
+
+    fn database_arc(&self, _now: f64) -> f64 {
+        self.last.arc
+    }
+
+    fn last_update(&self) -> PositionUpdate {
+        self.last
+    }
+
+    fn uncertainty(&self, _now: f64, _v_max: f64) -> f64 {
+        self.tolerance
+    }
+}
+
+/// Dead reckoning on a fixed timer: an update every `period` minutes,
+/// declaring the current speed.
+#[derive(Debug, Clone)]
+pub struct PeriodicPolicy {
+    period: f64,
+    update_cost: f64,
+    route_len: f64,
+    direction_sign: f64,
+    last: PositionUpdate,
+    last_seen: f64,
+}
+
+impl PeriodicPolicy {
+    /// Creates the policy with the update `period` in minutes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive period, cost, or route length.
+    pub fn new(
+        period: f64,
+        update_cost: f64,
+        route_len: f64,
+        direction_sign: f64,
+        initial: PositionUpdate,
+    ) -> Result<Self, PolicyError> {
+        if period <= 0.0 || !period.is_finite() {
+            return Err(PolicyError::InvalidCostParameter("period", period));
+        }
+        if update_cost <= 0.0 || !update_cost.is_finite() {
+            return Err(PolicyError::InvalidUpdateCost(update_cost));
+        }
+        if route_len <= 0.0 || !route_len.is_finite() {
+            return Err(PolicyError::InvalidRouteLength(route_len));
+        }
+        Ok(PeriodicPolicy {
+            period,
+            update_cost,
+            route_len,
+            direction_sign: if direction_sign < 0.0 { -1.0 } else { 1.0 },
+            last: initial,
+            last_seen: initial.time,
+        })
+    }
+}
+
+impl Policy for PeriodicPolicy {
+    fn label(&self) -> String {
+        "periodic".into()
+    }
+
+    fn update_cost(&self) -> f64 {
+        self.update_cost
+    }
+
+    fn tick(
+        &mut self,
+        now: f64,
+        actual_arc: f64,
+        current_speed: f64,
+    ) -> Result<Option<PositionUpdate>, PolicyError> {
+        validate_obs(now, self.last_seen, actual_arc, current_speed)?;
+        self.last_seen = now;
+        if now - self.last.time + 1e-12 >= self.period {
+            let u = PositionUpdate {
+                time: now,
+                arc: actual_arc,
+                speed: current_speed,
+            };
+            self.last = u;
+            return Ok(Some(u));
+        }
+        Ok(None)
+    }
+
+    fn database_arc(&self, now: f64) -> f64 {
+        let elapsed = (now - self.last.time).max(0.0);
+        (self.last.arc + self.direction_sign * self.last.speed * elapsed)
+            .clamp(0.0, self.route_len)
+    }
+
+    fn last_update(&self) -> PositionUpdate {
+        self.last
+    }
+
+    fn uncertainty(&self, now: f64, v_max: f64) -> f64 {
+        // Between timer fires the deviation can grow at most at rate
+        // D = max{v, V−v} for min(t, period) minutes.
+        let v = self.last.speed;
+        let d = v.max((v_max - v).max(0.0));
+        let t = (now - self.last.time).max(0.0).min(self.period);
+        d * t
+    }
+}
+
+/// §6's a-priori dead-reckoning alternative: update exactly when the
+/// deviation exceeds the fixed bound `B`, declaring the current speed.
+#[derive(Debug, Clone)]
+pub struct FixedThresholdPolicy {
+    bound: f64,
+    update_cost: f64,
+    route_len: f64,
+    direction_sign: f64,
+    last: PositionUpdate,
+    last_seen: f64,
+}
+
+impl FixedThresholdPolicy {
+    /// Creates the policy with the a-priori deviation bound `B` (miles).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive bound, cost, or route length.
+    pub fn new(
+        bound: f64,
+        update_cost: f64,
+        route_len: f64,
+        direction_sign: f64,
+        initial: PositionUpdate,
+    ) -> Result<Self, PolicyError> {
+        if bound <= 0.0 || !bound.is_finite() {
+            return Err(PolicyError::InvalidCostParameter("bound", bound));
+        }
+        if update_cost <= 0.0 || !update_cost.is_finite() {
+            return Err(PolicyError::InvalidUpdateCost(update_cost));
+        }
+        if route_len <= 0.0 || !route_len.is_finite() {
+            return Err(PolicyError::InvalidRouteLength(route_len));
+        }
+        Ok(FixedThresholdPolicy {
+            bound,
+            update_cost,
+            route_len,
+            direction_sign: if direction_sign < 0.0 { -1.0 } else { 1.0 },
+            last: initial,
+            last_seen: initial.time,
+        })
+    }
+
+    /// The fixed deviation bound `B`.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+}
+
+impl Policy for FixedThresholdPolicy {
+    fn label(&self) -> String {
+        "fixed-threshold".into()
+    }
+
+    fn update_cost(&self) -> f64 {
+        self.update_cost
+    }
+
+    fn tick(
+        &mut self,
+        now: f64,
+        actual_arc: f64,
+        current_speed: f64,
+    ) -> Result<Option<PositionUpdate>, PolicyError> {
+        validate_obs(now, self.last_seen, actual_arc, current_speed)?;
+        self.last_seen = now;
+        let deviation = (actual_arc - self.database_arc(now)).abs();
+        if deviation + 1e-12 >= self.bound {
+            let u = PositionUpdate {
+                time: now,
+                arc: actual_arc,
+                speed: current_speed,
+            };
+            self.last = u;
+            return Ok(Some(u));
+        }
+        Ok(None)
+    }
+
+    fn database_arc(&self, now: f64) -> f64 {
+        let elapsed = (now - self.last.time).max(0.0);
+        (self.last.arc + self.direction_sign * self.last.speed * elapsed)
+            .clamp(0.0, self.route_len)
+    }
+
+    fn last_update(&self) -> PositionUpdate {
+        self.last
+    }
+
+    fn uncertainty(&self, _now: f64, _v_max: f64) -> f64 {
+        // "In the dead-reckoning method the bound on the error is fixed"
+        // (§3.3).
+        self.bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> PositionUpdate {
+        PositionUpdate {
+            time: 0.0,
+            arc: 0.0,
+            speed: 1.0,
+        }
+    }
+
+    #[test]
+    fn traditional_updates_every_tolerance_miles() {
+        let mut p = TraditionalPolicy::new(0.5, 5.0, start()).unwrap();
+        // Drive at 1 mi/min for 3 minutes in 0.01-min ticks: drift resets
+        // every 0.5 miles → 6 updates.
+        let mut updates = 0;
+        let mut t = 0.0;
+        while t < 3.0 - 1e-9 {
+            t += 0.01;
+            if p.tick(t, t, 1.0).unwrap().is_some() {
+                updates += 1;
+            }
+        }
+        assert_eq!(updates, 6);
+        // Database position is static between updates.
+        assert_eq!(p.database_arc(t + 100.0), p.last_update().arc);
+        assert_eq!(p.last_update().speed, 0.0);
+        assert_eq!(p.uncertainty(t, 2.0), 0.5);
+        assert_eq!(p.label(), "traditional");
+    }
+
+    #[test]
+    fn traditional_stationary_object_never_updates() {
+        let mut p = TraditionalPolicy::new(0.5, 5.0, start()).unwrap();
+        for i in 1..=100 {
+            assert!(p.tick(i as f64 * 0.1, 0.0, 0.0).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn periodic_fires_on_timer() {
+        let mut p = PeriodicPolicy::new(2.0, 5.0, 1_000.0, 1.0, start()).unwrap();
+        let mut fire_times = Vec::new();
+        let mut t = 0.0;
+        while t < 7.0 {
+            t += 0.01;
+            if p.tick(t, t, 1.0).unwrap().is_some() {
+                fire_times.push(t);
+            }
+        }
+        assert_eq!(fire_times.len(), 3);
+        for (i, ft) in fire_times.iter().enumerate() {
+            assert!((ft - 2.0 * (i as f64 + 1.0)).abs() < 0.02, "fire {i} at {ft}");
+        }
+        // Dead reckoning between fires.
+        let last = p.last_update();
+        assert!((p.database_arc(last.time + 0.5) - (last.arc + 0.5)).abs() < 1e-9);
+        // Uncertainty is capped by the period.
+        assert_eq!(p.uncertainty(last.time + 100.0, 1.5), 1.0 * 2.0_f64.min(100.0));
+    }
+
+    #[test]
+    fn fixed_threshold_fires_at_bound() {
+        let mut p = FixedThresholdPolicy::new(1.0, 5.0, 1_000.0, 1.0, start()).unwrap();
+        // Declared speed 1, actual stopped: deviation grows at 1 mi/min,
+        // update at t = 1.
+        let mut fired_at = None;
+        let mut t = 0.0;
+        while t < 5.0 {
+            t += 0.001;
+            if p.tick(t, 0.0, 0.0).unwrap().is_some() {
+                fired_at = Some(t);
+                break;
+            }
+        }
+        let ft = fired_at.expect("should fire");
+        assert!((ft - 1.0).abs() < 0.01);
+        // Bound is fixed regardless of time or cost.
+        assert_eq!(p.uncertainty(100.0, 3.0), 1.0);
+        assert_eq!(p.bound(), 1.0);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(TraditionalPolicy::new(0.0, 5.0, start()).is_err());
+        assert!(TraditionalPolicy::new(1.0, 0.0, start()).is_err());
+        assert!(PeriodicPolicy::new(0.0, 5.0, 10.0, 1.0, start()).is_err());
+        assert!(PeriodicPolicy::new(1.0, 5.0, 0.0, 1.0, start()).is_err());
+        assert!(FixedThresholdPolicy::new(-1.0, 5.0, 10.0, 1.0, start()).is_err());
+    }
+
+    #[test]
+    fn baselines_reject_bad_observations() {
+        let mut p = TraditionalPolicy::new(0.5, 5.0, start()).unwrap();
+        p.tick(1.0, 0.1, 1.0).unwrap();
+        assert!(p.tick(0.5, 0.1, 1.0).is_err());
+        assert!(p.tick(2.0, f64::NAN, 1.0).is_err());
+        let mut q = PeriodicPolicy::new(1.0, 5.0, 10.0, 1.0, start()).unwrap();
+        assert!(q.tick(1.0, 1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn backward_direction_dead_reckons_downward() {
+        let initial = PositionUpdate {
+            time: 0.0,
+            arc: 10.0,
+            speed: 1.0,
+        };
+        let p = FixedThresholdPolicy::new(1.0, 5.0, 20.0, -1.0, initial).unwrap();
+        assert_eq!(p.database_arc(4.0), 6.0);
+        assert_eq!(p.database_arc(100.0), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Deviation bounds (§3.3, Propositions 2–4 and Corollary 1).
+//!
+//! The DBMS knows each object's update policy, last declared speed `v`,
+//! update cost `C`, and (optionally) maximum trip speed `V`. From those it
+//! bounds the deviation at any time `t` since the last update without
+//! hearing from the object — the *uncertainty* attached to every position
+//! answer.
+//!
+//! | policy | slow bound | fast bound |
+//! |---|---|---|
+//! | dl  | `min{√(2vC), vt}` | `min{√(2(V−v)C), (V−v)t}` |
+//! | ail / cil | `min{2C/t, vt}` | `min{2C/t, (V−v)t}` |
+//!
+//! The combined bound uses `D = max{v, V−v}`. The immediate policies'
+//! bound *decreases* after `t = √(2C/D)` — the paper's "surprising
+//! positive result"; the dl bound plateaus instead.
+
+/// The estimator family a bound refers to. The bounds only depend on
+/// whether the policy is delayed (dl) or immediate (ail/cil), not on the
+/// predicted speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// Delayed-linear policy (Propositions 2–3).
+    Delayed,
+    /// Immediate-linear policies, ail and cil (Proposition 4).
+    Immediate,
+}
+
+/// Proposition 2 (dl) / Proposition 4 slow part (ail, cil): bound on the
+/// *slow* deviation — how far the actual position can lag the database
+/// position — `t` minutes after the last update, with declared speed `v`
+/// and update cost `C`.
+pub fn slow_bound(kind: BoundKind, v: f64, c: f64, t: f64) -> f64 {
+    debug_assert!(v >= 0.0 && c > 0.0 && t >= 0.0);
+    match kind {
+        BoundKind::Delayed => ((2.0 * v * c).sqrt()).min(v * t),
+        BoundKind::Immediate => {
+            if t == 0.0 {
+                0.0
+            } else {
+                (2.0 * c / t).min(v * t)
+            }
+        }
+    }
+}
+
+/// Proposition 3 (dl) / Proposition 4 fast part (ail, cil): bound on the
+/// *fast* deviation — how far the actual position can run ahead of the
+/// database position — given the trip's maximum speed `V ≥ v`.
+pub fn fast_bound(kind: BoundKind, v: f64, v_max: f64, c: f64, t: f64) -> f64 {
+    debug_assert!(v >= 0.0 && c > 0.0 && t >= 0.0);
+    let headroom = (v_max - v).max(0.0);
+    match kind {
+        BoundKind::Delayed => ((2.0 * headroom * c).sqrt()).min(headroom * t),
+        BoundKind::Immediate => {
+            if t == 0.0 {
+                0.0
+            } else {
+                (2.0 * c / t).min(headroom * t)
+            }
+        }
+    }
+}
+
+/// Corollary 1 (dl) / Proposition 4 combined (ail, cil): bound on the
+/// total deviation either way, using `D = max{v, V − v}`.
+pub fn combined_bound(kind: BoundKind, v: f64, v_max: f64, c: f64, t: f64) -> f64 {
+    debug_assert!(v >= 0.0 && c > 0.0 && t >= 0.0);
+    let d = v.max((v_max - v).max(0.0));
+    match kind {
+        BoundKind::Delayed => ((2.0 * d * c).sqrt()).min(d * t),
+        BoundKind::Immediate => {
+            if t == 0.0 {
+                0.0
+            } else {
+                (2.0 * c / t).min(d * t)
+            }
+        }
+    }
+}
+
+/// Time at which the slow bound stops growing: the crossover
+/// `t* = √(2C/v)` where the linear ramp meets the cap (`∞` for `v = 0`).
+/// For dl the bound plateaus after `t*`; for ail/cil it decreases.
+pub fn slow_crossover_time(v: f64, c: f64) -> f64 {
+    debug_assert!(v >= 0.0 && c > 0.0);
+    if v == 0.0 {
+        f64::INFINITY
+    } else {
+        (2.0 * c / v).sqrt()
+    }
+}
+
+/// Fast-bound crossover `t* = √(2C/(V−v))` (`∞` when `V ≤ v`).
+pub fn fast_crossover_time(v: f64, v_max: f64, c: f64) -> f64 {
+    slow_crossover_time((v_max - v).max(0.0), c)
+}
+
+/// The DBMS-side uncertainty interval in route-distance coordinates:
+/// `l(t) = v·t − BS(t)` and `u(t) = v·t + BF(t)` (§4.1.1), both measured
+/// from the position declared in the last update.
+///
+/// Returns `(l, u)`; `l` may be negative (the object may be behind its
+/// starting point only if it reversed, which the model excludes, so
+/// callers typically clamp `l ≥ −(arc of start)` — done at the route
+/// layer).
+pub fn uncertainty_interval(kind: BoundKind, v: f64, v_max: f64, c: f64, t: f64) -> (f64, f64) {
+    let bs = slow_bound(kind, v, c, t);
+    let bf = fast_bound(kind, v, v_max, c, t);
+    (v * t - bs, v * t + bf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 5.0;
+    const V: f64 = 1.0; // declared speed, Example 1
+    const VMAX: f64 = 1.5; // maximum speed, Example 1
+
+    /// Example 1 (first continuation): dl slow bound rises at 1 mi/min for
+    /// the first ~3 minutes, then stays at √10 ≈ 3.16 forever.
+    #[test]
+    fn example1_dl_slow_bound() {
+        let cap = (2.0_f64 * V * C).sqrt();
+        assert!((cap - 3.16).abs() < 0.01);
+        assert_eq!(slow_bound(BoundKind::Delayed, V, C, 1.0), 1.0);
+        assert_eq!(slow_bound(BoundKind::Delayed, V, C, 2.0), 2.0);
+        assert!((slow_bound(BoundKind::Delayed, V, C, 3.0) - 3.0).abs() < 1e-12);
+        // After the crossover (≈3.16 min) the bound is constant.
+        for t in [4.0, 10.0, 15.0] {
+            assert!((slow_bound(BoundKind::Delayed, V, C, t) - cap).abs() < 1e-12);
+        }
+        assert!((slow_crossover_time(V, C) - cap / V).abs() < 1e-12);
+    }
+
+    /// Example 1: dl fast bound rises at 0.5 mi/min for ~4.5 minutes, then
+    /// stays at √5 ≈ 2.24.
+    #[test]
+    fn example1_dl_fast_bound() {
+        let cap = (2.0_f64 * (VMAX - V) * C).sqrt();
+        assert!((cap - 2.24).abs() < 0.01);
+        assert_eq!(fast_bound(BoundKind::Delayed, V, VMAX, C, 2.0), 1.0);
+        assert!((fast_bound(BoundKind::Delayed, V, VMAX, C, 4.0) - 2.0).abs() < 1e-12);
+        for t in [5.0, 10.0] {
+            assert!((fast_bound(BoundKind::Delayed, V, VMAX, C, t) - cap).abs() < 1e-12);
+        }
+        let t_star = fast_crossover_time(V, VMAX, C);
+        assert!((t_star - (2.0 * C / 0.5_f64).sqrt()).abs() < 1e-12);
+        assert!((t_star - 4.47).abs() < 0.01);
+    }
+
+    /// Example 1 (second continuation): the ail slow bound rises for ~3
+    /// minutes and then *decreases* as 2C/t = 10/t.
+    #[test]
+    fn example1_ail_bounds_decrease() {
+        assert_eq!(slow_bound(BoundKind::Immediate, V, C, 1.0), 1.0);
+        assert_eq!(slow_bound(BoundKind::Immediate, V, C, 2.0), 2.0);
+        // Paper: "for t ≥ 4, it is 10/t".
+        for t in [4.0, 5.0, 8.0, 20.0] {
+            assert!((slow_bound(BoundKind::Immediate, V, C, t) - 10.0 / t).abs() < 1e-12);
+        }
+        // Fast bound decreases too: "for t ≥ 5, it is 10/t".
+        assert_eq!(fast_bound(BoundKind::Immediate, V, VMAX, C, 2.0), 1.0);
+        for t in [5.0, 8.0, 20.0] {
+            assert!((fast_bound(BoundKind::Immediate, V, VMAX, C, t) - 10.0 / t).abs() < 1e-12);
+        }
+    }
+
+    /// The bounds are continuous at the crossover and zero at t = 0.
+    #[test]
+    fn bounds_zero_at_origin_and_continuous() {
+        for kind in [BoundKind::Delayed, BoundKind::Immediate] {
+            assert_eq!(slow_bound(kind, V, C, 0.0), 0.0);
+            assert_eq!(fast_bound(kind, V, VMAX, C, 0.0), 0.0);
+            assert_eq!(combined_bound(kind, V, VMAX, C, 0.0), 0.0);
+            let t_star = slow_crossover_time(V, C);
+            let before = slow_bound(kind, V, C, t_star - 1e-9);
+            let after = slow_bound(kind, V, C, t_star + 1e-9);
+            assert!((before - after).abs() < 1e-6);
+        }
+    }
+
+    /// Combined bound dominates both one-sided bounds (it uses
+    /// D = max{v, V−v} ≥ each individual rate).
+    #[test]
+    fn combined_dominates() {
+        for kind in [BoundKind::Delayed, BoundKind::Immediate] {
+            for t in [0.1, 1.0, 3.0, 10.0, 60.0] {
+                let cb = combined_bound(kind, V, VMAX, C, t);
+                assert!(cb + 1e-12 >= slow_bound(kind, V, C, t), "{kind:?} t={t}");
+                assert!(cb + 1e-12 >= fast_bound(kind, V, VMAX, C, t), "{kind:?} t={t}");
+            }
+        }
+    }
+
+    /// Immediate bound is never above the delayed bound after the
+    /// crossover — the reason the paper calls ail superior for
+    /// uncertainty.
+    #[test]
+    fn immediate_bound_beats_delayed_after_crossover() {
+        let t_star = slow_crossover_time(V, C);
+        for t in [t_star + 0.1, t_star + 1.0, t_star * 3.0] {
+            assert!(
+                slow_bound(BoundKind::Immediate, V, C, t)
+                    <= slow_bound(BoundKind::Delayed, V, C, t) + 1e-12
+            );
+        }
+    }
+
+    /// Stopped object (v = 0): it cannot be slow at all; fast bound governs.
+    #[test]
+    fn zero_declared_speed() {
+        for kind in [BoundKind::Delayed, BoundKind::Immediate] {
+            assert_eq!(slow_bound(kind, 0.0, C, 5.0), 0.0);
+            assert!(fast_bound(kind, 0.0, VMAX, C, 5.0) > 0.0);
+        }
+        assert_eq!(slow_crossover_time(0.0, C), f64::INFINITY);
+    }
+
+    /// Declared speed at the maximum (v = V): no fast headroom.
+    #[test]
+    fn declared_at_max_speed() {
+        for kind in [BoundKind::Delayed, BoundKind::Immediate] {
+            assert_eq!(fast_bound(kind, VMAX, VMAX, C, 5.0), 0.0);
+        }
+        assert_eq!(fast_crossover_time(VMAX, VMAX, C), f64::INFINITY);
+    }
+
+    /// Uncertainty interval brackets the nominal position v·t.
+    #[test]
+    fn uncertainty_interval_brackets_nominal() {
+        for kind in [BoundKind::Delayed, BoundKind::Immediate] {
+            for t in [0.0, 0.5, 2.0, 5.0, 12.0] {
+                let (l, u) = uncertainty_interval(kind, V, VMAX, C, t);
+                let nominal = V * t;
+                assert!(l <= nominal + 1e-12);
+                assert!(u >= nominal - 1e-12);
+                assert!(u - l <= 2.0 * combined_bound(kind, V, VMAX, C, t) + 1e-9);
+            }
+        }
+    }
+
+    /// The slow bound can never exceed distance actually claimable: v·t.
+    #[test]
+    fn slow_bound_at_most_vt() {
+        for kind in [BoundKind::Delayed, BoundKind::Immediate] {
+            for t in [0.1, 1.0, 2.0, 7.0] {
+                assert!(slow_bound(kind, V, C, t) <= V * t + 1e-12);
+            }
+        }
+    }
+}

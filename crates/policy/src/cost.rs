@@ -1,0 +1,172 @@
+//! Deviation cost functions (§3.1).
+//!
+//! The cost of the deviation between two time points is given by the
+//! *deviation cost function* `COST_d(t1, t2)`. The paper analyses the
+//! **uniform** function (equation 1): `∫ d(t) dt` — one cost unit per mile
+//! of deviation per minute — and mentions the **step** function: zero while
+//! the deviation stays below a threshold `h`, a fixed penalty rate
+//! otherwise. Both are implemented; the named dl/ail/cil policies use the
+//! uniform function, the step variant powers an extension policy.
+
+use crate::error::PolicyError;
+
+/// A deviation cost function, evaluated incrementally tick by tick.
+///
+/// Simulations accumulate `tick_cost(d, dt)` over each tick where the
+/// deviation is (approximately) `d`; for the uniform function this is the
+/// rectangle rule for equation 1's integral, exact when the deviation is
+/// piecewise-linear and the tick small.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviationCost {
+    /// Equation 1: `COST_d(t1, t2) = rate · ∫ d(t) dt`. The paper
+    /// normalises `rate = 1` ("the cost of a unit of deviation per unit of
+    /// time is one"); `C` is then the ratio of update cost to that unit.
+    Uniform {
+        /// Cost per mile of deviation per minute.
+        rate: f64,
+    },
+    /// Zero penalty while `d(t) < threshold`, `penalty` per minute
+    /// otherwise.
+    Step {
+        /// Deviation threshold `h` (miles).
+        threshold: f64,
+        /// Penalty per minute once the deviation reaches `h`.
+        penalty: f64,
+    },
+}
+
+impl DeviationCost {
+    /// The paper's canonical uniform function with unit rate.
+    pub const UNIT_UNIFORM: DeviationCost = DeviationCost::Uniform { rate: 1.0 };
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::InvalidCostParameter`] for non-positive or non-finite
+    /// parameters.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        match *self {
+            DeviationCost::Uniform { rate } => {
+                if rate <= 0.0 || !rate.is_finite() {
+                    return Err(PolicyError::InvalidCostParameter("rate", rate));
+                }
+            }
+            DeviationCost::Step { threshold, penalty } => {
+                if threshold <= 0.0 || !threshold.is_finite() {
+                    return Err(PolicyError::InvalidCostParameter("threshold", threshold));
+                }
+                if penalty <= 0.0 || !penalty.is_finite() {
+                    return Err(PolicyError::InvalidCostParameter("penalty", penalty));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cost accrued over one tick of length `dt` minutes during which the
+    /// deviation is `deviation` miles.
+    pub fn tick_cost(&self, deviation: f64, dt: f64) -> f64 {
+        debug_assert!(deviation >= 0.0 && dt >= 0.0);
+        match *self {
+            DeviationCost::Uniform { rate } => rate * deviation * dt,
+            DeviationCost::Step { threshold, penalty } => {
+                if deviation >= threshold {
+                    penalty * dt
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Closed-form cost of a *delayed-linear* deviation (delay `b`, slope
+    /// `a`) accrued from an update at time 0 until the deviation reaches
+    /// `k` — the quantity minimised in Proposition 1.
+    ///
+    /// For the uniform function this is `rate · k² / (2a)` (the triangle
+    /// under the ramp); for the step function it is `penalty ·
+    /// max(0, (k − h)/a)` (time spent at or above the threshold).
+    pub fn cycle_cost(&self, a: f64, _b: f64, k: f64) -> f64 {
+        debug_assert!(a > 0.0 && k >= 0.0);
+        match *self {
+            DeviationCost::Uniform { rate } => rate * k * k / (2.0 * a),
+            DeviationCost::Step { threshold, penalty } => {
+                penalty * ((k - threshold) / a).max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DeviationCost::UNIT_UNIFORM.validate().is_ok());
+        assert!(DeviationCost::Uniform { rate: 0.0 }.validate().is_err());
+        assert!(DeviationCost::Uniform { rate: f64::NAN }.validate().is_err());
+        assert!(DeviationCost::Step { threshold: 1.0, penalty: 1.0 }
+            .validate()
+            .is_ok());
+        assert!(DeviationCost::Step { threshold: -1.0, penalty: 1.0 }
+            .validate()
+            .is_err());
+        assert!(DeviationCost::Step { threshold: 1.0, penalty: 0.0 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn uniform_tick_cost_is_area() {
+        let c = DeviationCost::UNIT_UNIFORM;
+        assert_eq!(c.tick_cost(2.0, 0.5), 1.0);
+        assert_eq!(c.tick_cost(0.0, 0.5), 0.0);
+        let scaled = DeviationCost::Uniform { rate: 3.0 };
+        assert_eq!(scaled.tick_cost(2.0, 0.5), 3.0);
+    }
+
+    #[test]
+    fn step_tick_cost_thresholds() {
+        let c = DeviationCost::Step {
+            threshold: 1.0,
+            penalty: 4.0,
+        };
+        assert_eq!(c.tick_cost(0.99, 1.0), 0.0);
+        assert_eq!(c.tick_cost(1.0, 1.0), 4.0);
+        assert_eq!(c.tick_cost(5.0, 0.25), 1.0);
+    }
+
+    #[test]
+    fn uniform_cycle_cost_matches_integral() {
+        // Deviation ramps 0 → k at slope a: area = k²/(2a). Cross-check by
+        // numeric integration.
+        let (a, b, k) = (0.5, 2.0, 1.7);
+        let c = DeviationCost::UNIT_UNIFORM;
+        let analytic = c.cycle_cost(a, b, k);
+        let mut numeric = 0.0;
+        let dt = 1e-4;
+        let t_end = b + k / a;
+        let mut t = 0.0;
+        while t < t_end {
+            let d = (a * (t - b)).max(0.0);
+            numeric += c.tick_cost(d.min(k), dt);
+            t += dt;
+        }
+        assert!((analytic - numeric).abs() < 1e-2, "{analytic} vs {numeric}");
+    }
+
+    #[test]
+    fn step_cycle_cost_counts_time_over_threshold() {
+        let c = DeviationCost::Step {
+            threshold: 1.0,
+            penalty: 2.0,
+        };
+        // Slope 0.5: deviation reaches 1.0 at t = b + 2, reaches k = 2.0 at
+        // t = b + 4 → 2 minutes above threshold → cost 4.
+        assert_eq!(c.cycle_cost(0.5, 3.0, 2.0), 4.0);
+        // Never reaches threshold → zero.
+        assert_eq!(c.cycle_cost(0.5, 3.0, 0.5), 0.0);
+    }
+}

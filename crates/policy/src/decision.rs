@@ -1,0 +1,213 @@
+//! The general cost-comparison decision procedure of §3.1.
+//!
+//! The paper's generic prescription: the fitted estimator `g(t)` predicts
+//! the future deviation as `g(t)` if an update is sent now and `g(t) + k`
+//! if not; "an update is sent if the difference between the
+//! deviation-costs exceeds the update cost". The named policies use the
+//! closed-form thresholds of Proposition 1 instead; this module implements
+//! the general procedure for arbitrary deviation cost functions and
+//! prediction horizons — and proves (in tests) that with the
+//! *paper-equivalent horizon* `τ = b + k/(2a)` it reproduces Proposition 1
+//! exactly for the uniform cost.
+
+use crate::cost::DeviationCost;
+use crate::estimator::FittedEstimator;
+
+/// How far into the future the deviation forecast extends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Horizon {
+    /// A fixed look-ahead in minutes.
+    Fixed(f64),
+    /// `τ = b + k/(2a)` — half the time the estimator needs to rebuild
+    /// the current deviation after an update, plus the delay. With the
+    /// uniform cost this makes the generic procedure coincide with
+    /// Proposition 1's optimal threshold (see the equivalence test).
+    PaperEquivalent,
+}
+
+/// The generic update decision: compare predicted deviation costs with
+/// and without an update over a horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostComparisonDecision {
+    /// Deviation cost function.
+    pub cost: DeviationCost,
+    /// Update (message) cost `C`.
+    pub update_cost: f64,
+    /// Forecast horizon.
+    pub horizon: Horizon,
+}
+
+impl CostComparisonDecision {
+    /// Resolves the horizon for the current fit and deviation.
+    pub fn horizon_minutes(&self, fit: &FittedEstimator, k: f64) -> f64 {
+        match self.horizon {
+            Horizon::Fixed(tau) => tau.max(0.0),
+            Horizon::PaperEquivalent => {
+                if fit.slope <= 0.0 {
+                    // Deviation is predicted not to grow: an infinite
+                    // horizon; represented by a long-but-finite window so
+                    // the benefit of clearing a standing deviation k > 0
+                    // is still recognised.
+                    1e6
+                } else {
+                    fit.delay + k / (2.0 * fit.slope)
+                }
+            }
+        }
+    }
+
+    /// Predicted deviation-cost *difference* over the horizon between not
+    /// updating (future deviation `g(t) + k`) and updating now (future
+    /// deviation `g(t)`).
+    pub fn benefit(&self, fit: &FittedEstimator, k: f64) -> f64 {
+        debug_assert!(k >= 0.0);
+        let tau = self.horizon_minutes(fit, k);
+        match self.cost {
+            DeviationCost::Uniform { rate } => {
+                // ∫₀^τ [(g(t) + k) − g(t)] dt = k·τ.
+                rate * k * tau
+            }
+            DeviationCost::Step { threshold, penalty } => {
+                // Time the deviation spends at or above the threshold,
+                // within [0, τ], with and without the update.
+                let time_above = |offset: f64| -> f64 {
+                    // deviation(t) = g(t) + offset, g delayed-linear.
+                    if offset >= threshold {
+                        return tau;
+                    }
+                    if fit.slope <= 0.0 {
+                        return 0.0;
+                    }
+                    // g(t) + offset = threshold at
+                    // t = delay + (threshold − offset)/slope.
+                    let t_cross = fit.delay + (threshold - offset) / fit.slope;
+                    (tau - t_cross).max(0.0)
+                };
+                penalty * (time_above(k) - time_above(0.0))
+            }
+        }
+    }
+
+    /// The decision: send an update iff the predicted benefit reaches the
+    /// update cost.
+    pub fn should_update(&self, fit: &FittedEstimator, k: f64) -> bool {
+        self.benefit(fit, k) + 1e-12 >= self.update_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::optimal_threshold;
+
+    /// With the paper-equivalent horizon and the uniform cost, the generic
+    /// procedure fires exactly at Proposition 1's optimal threshold:
+    /// benefit(k) = k·(b + k/(2a)) ≥ C  ⇔  k² + 2abk − 2aC ≥ 0
+    ///           ⇔  k ≥ √(a²b² + 2aC) − ab.
+    #[test]
+    fn paper_equivalent_horizon_reproduces_prop1() {
+        let decision = |a: f64, b: f64, c: f64, k: f64| {
+            CostComparisonDecision {
+                cost: DeviationCost::UNIT_UNIFORM,
+                update_cost: c,
+                horizon: Horizon::PaperEquivalent,
+            }
+            .should_update(&FittedEstimator { slope: a, delay: b }, k)
+        };
+        for &(a, b, c) in &[
+            (1.0, 2.0, 5.0),
+            (0.5, 0.0, 5.0),
+            (2.0, 1.0, 0.5),
+            (0.1, 10.0, 50.0),
+            (3.0, 0.25, 12.0),
+        ] {
+            let k_opt = optimal_threshold(a, b, c);
+            assert!(
+                decision(a, b, c, k_opt * 1.0001),
+                "should fire just above k_opt (a={a} b={b} c={c})"
+            );
+            assert!(
+                !decision(a, b, c, k_opt * 0.9999),
+                "should hold just below k_opt (a={a} b={b} c={c})"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_benefit_is_k_tau() {
+        let d = CostComparisonDecision {
+            cost: DeviationCost::UNIT_UNIFORM,
+            update_cost: 5.0,
+            horizon: Horizon::Fixed(4.0),
+        };
+        let fit = FittedEstimator::immediate(0.5);
+        assert!((d.benefit(&fit, 2.0) - 8.0).abs() < 1e-12);
+        assert!(d.should_update(&fit, 2.0)); // 8 ≥ 5
+        assert!(!d.should_update(&fit, 1.0)); // 4 < 5
+    }
+
+    #[test]
+    fn step_benefit_counts_threshold_time() {
+        let d = CostComparisonDecision {
+            cost: DeviationCost::Step {
+                threshold: 1.0,
+                penalty: 2.0,
+            },
+            update_cost: 5.0,
+            horizon: Horizon::Fixed(10.0),
+        };
+        let fit = FittedEstimator::immediate(0.5);
+        // Without update (k = 1.5 ≥ h): above threshold the whole horizon
+        // → 10 min. With update: crosses at t = 2 → 8 min above.
+        // Benefit = 2·(10 − 8) = 4 < 5 → hold.
+        assert!((d.benefit(&fit, 1.5) - 4.0).abs() < 1e-12);
+        assert!(!d.should_update(&fit, 1.5));
+        // Flat estimator, k below threshold: no benefit at all.
+        let flat = FittedEstimator::immediate(0.0);
+        assert_eq!(d.benefit(&flat, 0.5), 0.0);
+    }
+
+    #[test]
+    fn step_benefit_with_k_below_threshold() {
+        let d = CostComparisonDecision {
+            cost: DeviationCost::Step {
+                threshold: 2.0,
+                penalty: 3.0,
+            },
+            update_cost: 1.0,
+            horizon: Horizon::Fixed(10.0),
+        };
+        let fit = FittedEstimator { slope: 1.0, delay: 1.0 };
+        // Without update: crosses 2 − 0.5 = 1.5 above delay → t = 2.5,
+        // above for 7.5. With update: t = 3, above for 7.
+        // Benefit = 3 · 0.5 = 1.5 ≥ 1 → fire.
+        assert!((d.benefit(&fit, 0.5) - 1.5).abs() < 1e-12);
+        assert!(d.should_update(&fit, 0.5));
+    }
+
+    #[test]
+    fn flat_estimator_paper_horizon_still_clears_standing_deviation() {
+        let d = CostComparisonDecision {
+            cost: DeviationCost::UNIT_UNIFORM,
+            update_cost: 5.0,
+            horizon: Horizon::PaperEquivalent,
+        };
+        let flat = FittedEstimator::immediate(0.0);
+        // A standing deviation with no predicted growth: over the long
+        // horizon the benefit k·τ is enormous, so update.
+        assert!(d.should_update(&flat, 0.5));
+        // But a zero deviation never triggers anything.
+        assert!(!d.should_update(&flat, 0.0));
+    }
+
+    #[test]
+    fn fixed_horizon_clamps_negative() {
+        let d = CostComparisonDecision {
+            cost: DeviationCost::UNIT_UNIFORM,
+            update_cost: 5.0,
+            horizon: Horizon::Fixed(-3.0),
+        };
+        assert_eq!(d.horizon_minutes(&FittedEstimator::immediate(1.0), 1.0), 0.0);
+        assert!(!d.should_update(&FittedEstimator::immediate(1.0), 1.0));
+    }
+}

@@ -1,0 +1,66 @@
+//! Errors for the update-policy layer.
+
+use std::fmt;
+
+/// Errors raised when configuring or driving an update policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// The update cost `C` must be positive and finite: a zero cost makes
+    /// the optimal threshold zero (update every instant) and a negative
+    /// cost is meaningless.
+    InvalidUpdateCost(f64),
+    /// A cost-function parameter (rate, threshold, penalty) must be
+    /// positive and finite.
+    InvalidCostParameter(&'static str, f64),
+    /// The route length must be positive and finite.
+    InvalidRouteLength(f64),
+    /// Observations must be fed in non-decreasing time order.
+    TimeWentBackwards {
+        /// The engine's latest observed time.
+        last: f64,
+        /// The offending earlier time.
+        now: f64,
+    },
+    /// A reported value (arc position, speed) was NaN/∞ or negative.
+    InvalidObservation(&'static str, f64),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::InvalidUpdateCost(c) => {
+                write!(f, "update cost must be positive and finite, got {c}")
+            }
+            PolicyError::InvalidCostParameter(name, v) => {
+                write!(f, "cost parameter `{name}` must be positive and finite, got {v}")
+            }
+            PolicyError::InvalidRouteLength(l) => {
+                write!(f, "route length must be positive and finite, got {l}")
+            }
+            PolicyError::TimeWentBackwards { last, now } => {
+                write!(f, "observation at t={now} precedes last observation t={last}")
+            }
+            PolicyError::InvalidObservation(name, v) => {
+                write!(f, "observation `{name}` invalid: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(PolicyError::InvalidUpdateCost(-1.0).to_string().contains("-1"));
+        assert!(PolicyError::TimeWentBackwards { last: 5.0, now: 3.0 }
+            .to_string()
+            .contains("t=3"));
+        assert!(PolicyError::InvalidObservation("speed", f64::NAN)
+            .to_string()
+            .contains("speed"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Fitting methods (§3.1): turning an observed deviation history into
+//! estimator coefficients.
+//!
+//! The paper's **simple fitting method** (§3.2): at any point in time the
+//! delay `b` is the number of time units from the last update until the
+//! last time unit when the deviation was 0, and the slope is
+//! `a = k / (t − b)` where `k` is the current deviation and `t` the time
+//! elapsed since the last update. We additionally provide a least-squares
+//! fit (the paper allows any fitting method; see §3.1's reference to
+//! statistical estimation).
+
+use std::collections::VecDeque;
+
+use crate::estimator::{EstimatorKind, FittedEstimator};
+
+/// Default tolerance under which a deviation counts as "zero" for delay
+/// tracking (miles). Real traces never return to exactly 0.0; 1e-3 miles
+/// (~5 feet) is far below GPS resolution.
+pub const ZERO_DEVIATION_EPS: f64 = 1e-3;
+
+/// How estimator coefficients are derived from the deviation history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FittingMethod {
+    /// The paper's simple fitting method: one-point slope through the
+    /// current deviation.
+    Simple,
+    /// Least-squares slope over the recorded deviation samples after the
+    /// delay (an alternative "fitting method" in the quintuple's sense).
+    LeastSquares,
+}
+
+/// Deviation samples since the last update, with delay tracking.
+///
+/// The onboard computer records `(t, d(t))` each tick (`t` measured since
+/// the last update). Memory is bounded: only the most recent
+/// `max_samples` points are kept for least-squares; the last-zero time is
+/// tracked as a scalar so the delay never degrades.
+#[derive(Debug, Clone)]
+pub struct DeviationTrace {
+    samples: VecDeque<(f64, f64)>,
+    max_samples: usize,
+    last_zero: f64,
+    zero_eps: f64,
+}
+
+impl DeviationTrace {
+    /// Creates an empty trace keeping at most `max_samples` points and
+    /// treating deviations below `zero_eps` as zero.
+    pub fn new(max_samples: usize, zero_eps: f64) -> Self {
+        DeviationTrace {
+            samples: VecDeque::with_capacity(max_samples.min(4096)),
+            max_samples: max_samples.max(1),
+            last_zero: 0.0,
+            zero_eps: zero_eps.max(0.0),
+        }
+    }
+
+    /// Clears the trace — called when an update is sent (deviation resets
+    /// to zero at the update instant).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.last_zero = 0.0;
+    }
+
+    /// Records the deviation `d` observed `t` minutes after the last
+    /// update. Times must be fed in non-decreasing order.
+    pub fn push(&mut self, t: f64, d: f64) {
+        debug_assert!(t >= 0.0 && d >= 0.0);
+        if d < self.zero_eps {
+            self.last_zero = t;
+        }
+        if self.samples.len() == self.max_samples {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((t, d));
+    }
+
+    /// The paper's delay `b`: time since the last update until the last
+    /// instant the deviation was zero. Zero when the deviation has never
+    /// been zero since the update (it was zero *at* the update).
+    #[inline]
+    pub fn delay(&self) -> f64 {
+        self.last_zero
+    }
+
+    /// The most recent `(t, d)` sample, if any.
+    #[inline]
+    pub fn current(&self) -> Option<(f64, f64)> {
+        self.samples.back().copied()
+    }
+
+    /// Number of retained samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl FittingMethod {
+    /// Fits the estimator family to the trace.
+    ///
+    /// Returns `None` when a slope cannot be determined: no samples, a
+    /// current deviation of zero (the policy takes no action then — §3.2:
+    /// "if k = 0, then the moving object does not do anything"), or a
+    /// degenerate time base.
+    pub fn fit(&self, kind: EstimatorKind, trace: &DeviationTrace) -> Option<FittedEstimator> {
+        let (t, k) = trace.current()?;
+        if k < trace.zero_eps {
+            return None;
+        }
+        let b = match kind {
+            EstimatorKind::DelayedLinear => trace.delay(),
+            EstimatorKind::ImmediateLinear => 0.0,
+        };
+        match self {
+            FittingMethod::Simple => {
+                let ramp = t - b;
+                if ramp <= 0.0 {
+                    return None;
+                }
+                Some(FittedEstimator { slope: k / ramp, delay: b })
+            }
+            FittingMethod::LeastSquares => {
+                // Slope through the origin of the ramp: minimise
+                // Σ (dᵢ − a·(tᵢ−b))² over samples with tᵢ > b.
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &(ti, di) in &trace.samples {
+                    let x = ti - b;
+                    if x > 0.0 {
+                        num += x * di;
+                        den += x * x;
+                    }
+                }
+                if den <= 0.0 {
+                    return None;
+                }
+                Some(FittedEstimator { slope: num / den, delay: b })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_from(points: &[(f64, f64)]) -> DeviationTrace {
+        let mut t = DeviationTrace::new(1024, ZERO_DEVIATION_EPS);
+        for &(ti, di) in points {
+            t.push(ti, di);
+        }
+        t
+    }
+
+    #[test]
+    fn delay_tracks_last_zero() {
+        let t = trace_from(&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.5), (4.0, 1.0)]);
+        assert_eq!(t.delay(), 2.0);
+        let never_zero = trace_from(&[(1.0, 0.3), (2.0, 0.6)]);
+        assert_eq!(never_zero.delay(), 0.0);
+    }
+
+    #[test]
+    fn simple_fit_delayed_matches_paper() {
+        // Deviation zero until t=2, then rises to 1.5 at t=5:
+        // b = 2, a = 1.5 / (5−2) = 0.5.
+        let t = trace_from(&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.5), (5.0, 1.5)]);
+        let f = FittingMethod::Simple
+            .fit(EstimatorKind::DelayedLinear, &t)
+            .unwrap();
+        assert!((f.delay - 2.0).abs() < 1e-12);
+        assert!((f.slope - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_fit_immediate_ignores_delay() {
+        // Same trace, immediate estimator: a = k/t = 1.5/5 = 0.3, b = 0.
+        let t = trace_from(&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.5), (5.0, 1.5)]);
+        let f = FittingMethod::Simple
+            .fit(EstimatorKind::ImmediateLinear, &t)
+            .unwrap();
+        assert_eq!(f.delay, 0.0);
+        assert!((f.slope - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_returns_none_when_deviation_zero_or_empty() {
+        let empty = DeviationTrace::new(16, ZERO_DEVIATION_EPS);
+        assert!(FittingMethod::Simple
+            .fit(EstimatorKind::DelayedLinear, &empty)
+            .is_none());
+        let zero_now = trace_from(&[(1.0, 0.5), (2.0, 0.0)]);
+        assert!(FittingMethod::Simple
+            .fit(EstimatorKind::DelayedLinear, &zero_now)
+            .is_none());
+    }
+
+    #[test]
+    fn fit_handles_instantaneous_jump() {
+        // Deviation appears at the very instant tracked as last-zero:
+        // ramp = 0 → cannot fit.
+        let mut t = DeviationTrace::new(16, ZERO_DEVIATION_EPS);
+        t.push(2.0, 0.0);
+        // same-time nonzero sample (e.g. measurement glitch)
+        t.push(2.0, 0.7);
+        assert!(FittingMethod::Simple
+            .fit(EstimatorKind::DelayedLinear, &t)
+            .is_none());
+        // The immediate estimator still fits: a = k/t.
+        let f = FittingMethod::Simple
+            .fit(EstimatorKind::ImmediateLinear, &t)
+            .unwrap();
+        assert!((f.slope - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_ramp() {
+        // d(t) = 0.4·(t−1): least squares should recover slope 0.4 exactly.
+        let pts: Vec<(f64, f64)> = (0..=40)
+            .map(|i| {
+                let t = i as f64 * 0.25;
+                (t, (0.4 * (t - 1.0)).max(0.0))
+            })
+            .collect();
+        let t = trace_from(&pts);
+        let f = FittingMethod::LeastSquares
+            .fit(EstimatorKind::DelayedLinear, &t)
+            .unwrap();
+        assert!((f.slope - 0.4).abs() < 1e-9, "slope {}", f.slope);
+        assert!((f.delay - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_averages_noise() {
+        // Noisy ramp around slope 1: LS slope should be closer to 1 than
+        // the simple fit, which only sees the last (high) point.
+        let pts = [
+            (1.0, 1.1),
+            (2.0, 1.9),
+            (3.0, 3.05),
+            (4.0, 3.9),
+            (5.0, 5.5), // outlier high
+        ];
+        let t = trace_from(&pts);
+        let ls = FittingMethod::LeastSquares
+            .fit(EstimatorKind::ImmediateLinear, &t)
+            .unwrap();
+        let simple = FittingMethod::Simple
+            .fit(EstimatorKind::ImmediateLinear, &t)
+            .unwrap();
+        assert!((ls.slope - 1.0).abs() < (simple.slope - 1.0).abs());
+    }
+
+    #[test]
+    fn trace_capacity_is_bounded_but_delay_persists() {
+        let mut t = DeviationTrace::new(4, ZERO_DEVIATION_EPS);
+        t.push(1.0, 0.0); // zero recorded, then evicted
+        for i in 2..=10 {
+            t.push(i as f64, i as f64 * 0.1);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.delay(), 1.0); // survives eviction
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = trace_from(&[(1.0, 0.0), (2.0, 1.0)]);
+        t.reset();
+        assert!(t.is_empty());
+        assert_eq!(t.delay(), 0.0);
+        assert!(t.current().is_none());
+    }
+}

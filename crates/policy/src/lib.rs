@@ -1,0 +1,49 @@
+//! # modb-policy — cost-based position-update policies
+//!
+//! The primary contribution of Wolfson et al. (ICDE 1998), §3: a moving
+//! object decides *when* to refresh its database position by comparing the
+//! cost of imprecision against the cost of an update message.
+//!
+//! - [`Quintuple`]: the paper's policy object — *(deviation cost function,
+//!   update cost, estimator, fitting method, predicted speed)* — with
+//!   constructors for the three named policies **dl**, **ail**, **cil**.
+//! - [`PolicyEngine`]: executes a quintuple onboard the moving object.
+//! - [`optimal_threshold`]: Proposition 1, `k_opt = √(a²b² + 2aC) − ab`.
+//! - [`slow_bound`] / [`fast_bound`] / [`combined_bound`]: the DBMS-side
+//!   deviation bounds of Propositions 2–4 and Corollary 1.
+//! - [`baselines`]: the traditional non-temporal method, periodic dead
+//!   reckoning, and the fixed-threshold alternative of §6.
+//!
+//! Everything is route-relative (arc distances in miles, time in minutes);
+//! binding to concrete routes happens in `modb-core`.
+
+#![warn(missing_docs)]
+
+mod adaptive;
+pub mod baselines;
+mod bounds;
+mod decision;
+mod cost;
+mod engine;
+mod error;
+mod estimator;
+mod fitting;
+mod predictor;
+mod threshold;
+
+pub use adaptive::{AdaptivePolicy, DEFAULT_CV_THRESHOLD, DEFAULT_WINDOW};
+pub use bounds::{
+    combined_bound, fast_bound, fast_crossover_time, slow_bound, slow_crossover_time,
+    uncertainty_interval, BoundKind,
+};
+pub use cost::DeviationCost;
+pub use decision::{CostComparisonDecision, Horizon};
+pub use engine::{Policy, PolicyEngine, PositionUpdate, Quintuple};
+pub use error::PolicyError;
+pub use estimator::{EstimatorKind, FittedEstimator};
+pub use fitting::{DeviationTrace, FittingMethod, ZERO_DEVIATION_EPS};
+pub use predictor::{SpeedObservation, SpeedPredictor};
+pub use threshold::{
+    cost_rate, cost_rate_general, optimal_threshold, optimal_threshold_immediate,
+    optimal_threshold_numeric, threshold_time_form,
+};

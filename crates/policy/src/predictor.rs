@@ -1,0 +1,92 @@
+//! Predicted-speed selection (§3.1).
+//!
+//! "The predicted-speed is the speed that will be stored in the
+//! subattribute `P.speed` at each update." The paper names three
+//! past-based choices — the current speed, the average speed since the
+//! last update, and the average speed since the beginning of the trip —
+//! and allows externally supplied forecasts; all four are provided.
+
+/// How the speed declared in a position update is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedPredictor {
+    /// The instantaneous speed at the update (dl and cil policies).
+    Current,
+    /// Average speed since the last update (ail policy).
+    AverageSinceUpdate,
+    /// Average speed since the beginning of the trip.
+    TripAverage,
+    /// An externally supplied forecast (known traffic patterns, upcoming
+    /// terrain, or user input — §3.1). The engine uses this fixed value at
+    /// every update until it is changed.
+    Forecast(f64),
+}
+
+/// The speed observations available to the predictor at update time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedObservation {
+    /// Instantaneous speed right now (miles/minute).
+    pub current: f64,
+    /// Average speed since the last update.
+    pub average_since_update: f64,
+    /// Average speed since the trip started.
+    pub trip_average: f64,
+}
+
+impl SpeedPredictor {
+    /// The speed to declare in the update.
+    pub fn predict(&self, obs: &SpeedObservation) -> f64 {
+        let v = match *self {
+            SpeedPredictor::Current => obs.current,
+            SpeedPredictor::AverageSinceUpdate => obs.average_since_update,
+            SpeedPredictor::TripAverage => obs.trip_average,
+            SpeedPredictor::Forecast(v) => v,
+        };
+        debug_assert!(v.is_finite() && v >= 0.0, "predicted speed {v}");
+        v.max(0.0)
+    }
+
+    /// Short name used in reports and plots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpeedPredictor::Current => "current",
+            SpeedPredictor::AverageSinceUpdate => "avg-since-update",
+            SpeedPredictor::TripAverage => "trip-avg",
+            SpeedPredictor::Forecast(_) => "forecast",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> SpeedObservation {
+        SpeedObservation {
+            current: 1.0,
+            average_since_update: 0.6,
+            trip_average: 0.8,
+        }
+    }
+
+    #[test]
+    fn each_predictor_selects_its_source() {
+        assert_eq!(SpeedPredictor::Current.predict(&obs()), 1.0);
+        assert_eq!(SpeedPredictor::AverageSinceUpdate.predict(&obs()), 0.6);
+        assert_eq!(SpeedPredictor::TripAverage.predict(&obs()), 0.8);
+        assert_eq!(SpeedPredictor::Forecast(0.45).predict(&obs()), 0.45);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            SpeedPredictor::Current.label(),
+            SpeedPredictor::AverageSinceUpdate.label(),
+            SpeedPredictor::TripAverage.label(),
+            SpeedPredictor::Forecast(1.0).label(),
+        ];
+        let mut sorted = labels.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Optimal update thresholds (Proposition 1 and equation 3).
+//!
+//! Assume that following each update the deviation is delayed-linear with
+//! delay `b` and slope `a`, and each update costs `C`. One update-to-update
+//! cycle that fires at threshold `k` lasts `b + k/a` minutes and accrues
+//! uniform deviation cost `k²/(2a)`, so the long-run cost per minute is
+//!
+//! ```text
+//! rate(k) = (C + k²/(2a)) / (b + k/a)
+//! ```
+//!
+//! Minimising over `k` gives **Proposition 1**:
+//! `k_opt = sqrt(a²b² + 2aC) − ab`, with the immediate-linear special case
+//! `k_opt = sqrt(2aC)` and the equivalent time form `k_opt = 2C/t`
+//! (equation 3, for the simple fitting method where `a = k/t`).
+
+use crate::cost::DeviationCost;
+
+/// Proposition 1: the optimal update threshold for a delayed-linear
+/// deviation with delay `b ≥ 0`, slope `a > 0`, and update cost `C > 0`
+/// under the uniform deviation cost function.
+///
+/// ```
+/// // The paper's Example 1: a = 1 mi/min, b = 2 min, C = 5 → k ≈ 1.74.
+/// let k = modb_policy::optimal_threshold(1.0, 2.0, 5.0);
+/// assert!((k - 1.74).abs() < 0.01);
+/// ```
+pub fn optimal_threshold(a: f64, b: f64, c: f64) -> f64 {
+    debug_assert!(a > 0.0 && b >= 0.0 && c > 0.0);
+    (a * a * b * b + 2.0 * a * c).sqrt() - a * b
+}
+
+/// The immediate-linear special case (`b = 0`): `k_opt = sqrt(2aC)`.
+pub fn optimal_threshold_immediate(a: f64, c: f64) -> f64 {
+    debug_assert!(a > 0.0 && c > 0.0);
+    (2.0 * a * c).sqrt()
+}
+
+/// Equation 3: with the simple fitting method (`a = k/t`), the
+/// immediate-linear threshold test `k ≥ sqrt(2aC)` is equivalent to
+/// `k ≥ 2C/t`. This returns that time-form threshold.
+pub fn threshold_time_form(c: f64, t: f64) -> f64 {
+    debug_assert!(c > 0.0 && t > 0.0);
+    2.0 * c / t
+}
+
+/// Long-run total cost per minute when updating at threshold `k` — the
+/// objective Proposition 1 minimises. Exposed for analysis, tests, and the
+/// cost-rate plots.
+pub fn cost_rate(k: f64, a: f64, b: f64, c: f64) -> f64 {
+    debug_assert!(k > 0.0 && a > 0.0 && b >= 0.0 && c > 0.0);
+    (c + k * k / (2.0 * a)) / (b + k / a)
+}
+
+/// Long-run cost per minute for an arbitrary deviation cost function —
+/// generalises [`cost_rate`] using [`DeviationCost::cycle_cost`].
+pub fn cost_rate_general(cost: &DeviationCost, k: f64, a: f64, b: f64, c: f64) -> f64 {
+    debug_assert!(k > 0.0 && a > 0.0 && b >= 0.0 && c > 0.0);
+    (c + cost.cycle_cost(a, b, k)) / (b + k / a)
+}
+
+/// Numerically minimises [`cost_rate_general`] over `k ∈ (0, k_max]` by
+/// golden-section search — used for deviation cost functions without a
+/// closed-form optimum (e.g. the step function).
+pub fn optimal_threshold_numeric(cost: &DeviationCost, a: f64, b: f64, c: f64, k_max: f64) -> f64 {
+    debug_assert!(a > 0.0 && b >= 0.0 && c > 0.0 && k_max > 0.0);
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let mut lo = 1e-9 * k_max;
+    let mut hi = k_max;
+    let mut x1 = hi - phi * (hi - lo);
+    let mut x2 = lo + phi * (hi - lo);
+    let mut f1 = cost_rate_general(cost, x1, a, b, c);
+    let mut f2 = cost_rate_general(cost, x2, a, b, c);
+    for _ in 0..200 {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = cost_rate_general(cost, x1, a, b, c);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = cost_rate_general(cost, x2, a, b, c);
+        }
+        if hi - lo < 1e-12 * k_max {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 1 of the paper: a = 1 mi/min, b = 2 min, C = 5 →
+    /// k_opt = √(4 + 10) − 2 = 1.7417 ("3.74 − 2 = 1.74").
+    #[test]
+    fn example1_threshold() {
+        let k = optimal_threshold(1.0, 2.0, 5.0);
+        assert!((k - (14.0_f64.sqrt() - 2.0)).abs() < 1e-12);
+        assert!((k - 1.74).abs() < 0.01, "paper reports 1.74, got {k}");
+    }
+
+    #[test]
+    fn immediate_case_reduces_to_sqrt_2ac() {
+        for (a, c) in [(0.5, 5.0), (1.0, 1.0), (2.0, 10.0)] {
+            assert!(
+                (optimal_threshold(a, 0.0, c) - optimal_threshold_immediate(a, c)).abs() < 1e-12
+            );
+            assert!((optimal_threshold_immediate(a, c) - (2.0 * a * c).sqrt()).abs() < 1e-12);
+        }
+    }
+
+    /// §3.2: k_opt^{a,b} ≤ k_opt^{a,0} — the delayed threshold never
+    /// exceeds the immediate one.
+    #[test]
+    fn delayed_threshold_not_larger_than_immediate() {
+        for a in [0.1, 0.5, 1.0, 3.0] {
+            for b in [0.0, 0.5, 2.0, 10.0] {
+                for c in [0.5, 5.0, 50.0] {
+                    assert!(
+                        optimal_threshold(a, b, c) <= optimal_threshold_immediate(a, c) + 1e-12,
+                        "a={a} b={b} c={c}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Equation 3: with a = k/t, the tests k ≥ √(2aC) and k ≥ 2C/t agree.
+    #[test]
+    fn time_form_equivalence() {
+        for c in [1.0, 5.0, 20.0] {
+            for t in [0.5, 1.0, 4.0, 30.0] {
+                for k in [0.01, 0.1, 1.0, 10.0] {
+                    let a = k / t;
+                    let slope_form = k >= optimal_threshold_immediate(a, c) - 1e-12;
+                    let time_form = k >= threshold_time_form(c, t) - 1e-12;
+                    assert_eq!(slope_form, time_form, "c={c} t={t} k={k}");
+                }
+            }
+        }
+    }
+
+    /// Proposition 1's k_opt is the argmin of the cost rate (numeric
+    /// verification over a grid).
+    #[test]
+    fn threshold_minimises_cost_rate() {
+        for &(a, b, c) in &[(1.0, 2.0, 5.0), (0.5, 0.0, 5.0), (2.0, 1.0, 0.5), (0.1, 10.0, 50.0)] {
+            let k_opt = optimal_threshold(a, b, c);
+            let best = cost_rate(k_opt, a, b, c);
+            let mut k = k_opt / 50.0;
+            while k < k_opt * 50.0 {
+                assert!(
+                    cost_rate(k, a, b, c) >= best - 1e-9,
+                    "cost_rate({k}) < cost_rate(k_opt={k_opt}) for a={a} b={b} c={c}"
+                );
+                k *= 1.07;
+            }
+        }
+    }
+
+    /// The numeric optimiser agrees with the closed form for the uniform
+    /// cost function.
+    #[test]
+    fn numeric_matches_closed_form_uniform() {
+        let cost = DeviationCost::UNIT_UNIFORM;
+        for &(a, b, c) in &[(1.0, 2.0, 5.0), (0.5, 0.0, 5.0), (2.0, 1.0, 0.5)] {
+            let closed = optimal_threshold(a, b, c);
+            let numeric = optimal_threshold_numeric(&cost, a, b, c, 100.0);
+            assert!(
+                (closed - numeric).abs() < 1e-6,
+                "a={a} b={b} c={c}: closed {closed} vs numeric {numeric}"
+            );
+        }
+    }
+
+    /// For the step cost the optimal threshold sits above the step's own
+    /// threshold (below it there is no penalty at all, so waiting is free)
+    /// and the numeric optimiser finds a cost rate no worse than nearby
+    /// candidates.
+    #[test]
+    fn numeric_step_cost_sanity() {
+        let cost = DeviationCost::Step {
+            threshold: 1.0,
+            penalty: 2.0,
+        };
+        let (a, b, c) = (0.5, 1.0, 5.0);
+        let k = optimal_threshold_numeric(&cost, a, b, c, 100.0);
+        assert!(k >= 1.0 - 1e-6, "optimal step threshold {k} below the free zone");
+        let best = cost_rate_general(&cost, k, a, b, c);
+        for candidate in [0.5, 1.0, 2.0, 5.0, 20.0, 80.0] {
+            assert!(best <= cost_rate_general(&cost, candidate, a, b, c) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cost_rate_general_matches_specific_for_uniform() {
+        let cost = DeviationCost::UNIT_UNIFORM;
+        let (k, a, b, c) = (1.3, 0.7, 2.0, 5.0);
+        assert!((cost_rate(k, a, b, c) - cost_rate_general(&cost, k, a, b, c)).abs() < 1e-12);
+    }
+}

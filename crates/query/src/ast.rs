@@ -1,0 +1,122 @@
+//! The query AST.
+
+use modb_core::ObjectId;
+use modb_geom::Point;
+
+/// When a query is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeSpec {
+    /// A single instant (`AT TIME t`). `t` may be now or the future.
+    At(f64),
+    /// A closed interval (`DURING t0 TO t1`).
+    During(f64, f64),
+}
+
+impl TimeSpec {
+    /// The earliest time of the spec.
+    pub fn start(&self) -> f64 {
+        match *self {
+            TimeSpec::At(t) => t,
+            TimeSpec::During(t0, _) => t0,
+        }
+    }
+}
+
+/// A spatial region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionSpec {
+    /// An explicit polygon (`INSIDE POLYGON ((x, y), …)`).
+    Polygon(Vec<Point>),
+    /// An axis-aligned rectangle (`INSIDE RECT (x0, y0, x1, y1)`).
+    Rect {
+        /// One corner.
+        min: Point,
+        /// The opposite corner.
+        max: Point,
+    },
+}
+
+/// How an object is referenced in a query: by numeric id or by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectRef {
+    /// `OBJECT 7`
+    Id(ObjectId),
+    /// `OBJECT 'ABT312'`
+    Name(String),
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `RETRIEVE POSITION OF OBJECT <ref> AT TIME t` — the §3 position
+    /// query with its deviation bound.
+    Position {
+        /// The object queried.
+        object: ObjectRef,
+        /// Query time.
+        at: f64,
+    },
+    /// `RETRIEVE OBJECTS INSIDE <region> <time>` — the §4 range query
+    /// with may/must semantics.
+    Range {
+        /// The query region G.
+        region: RegionSpec,
+        /// Instant or interval.
+        time: TimeSpec,
+    },
+    /// `RETRIEVE OBJECTS WITHIN r OF POINT (x, y) AT TIME t` — the taxi
+    /// query of §1.
+    WithinPoint {
+        /// Disc center.
+        center: Point,
+        /// Radius in miles.
+        radius: f64,
+        /// Query time.
+        at: f64,
+    },
+    /// `RETRIEVE k NEAREST OBJECTS TO POINT (x, y) AT TIME t` — the
+    /// dispatch extension: k-nearest with certain/possible ranking.
+    Nearest {
+        /// How many neighbours.
+        k: usize,
+        /// The query point.
+        center: Point,
+        /// Query time.
+        at: f64,
+    },
+    /// `RETRIEVE OBJECTS WITHIN r OF OBJECT <ref> AT TIME t` — the
+    /// trucking query of §1.
+    WithinObject {
+        /// The anchor moving object.
+        object: ObjectRef,
+        /// Radius in miles.
+        radius: f64,
+        /// Query time.
+        at: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_spec_start() {
+        assert_eq!(TimeSpec::At(5.0).start(), 5.0);
+        assert_eq!(TimeSpec::During(2.0, 9.0).start(), 2.0);
+    }
+
+    #[test]
+    fn ast_equality() {
+        let a = Query::WithinPoint {
+            center: Point::new(1.0, 2.0),
+            radius: 1.0,
+            at: 0.0,
+        };
+        assert_eq!(a.clone(), a);
+        assert_ne!(
+            ObjectRef::Id(ObjectId(1)),
+            ObjectRef::Name("1".into())
+        );
+    }
+}

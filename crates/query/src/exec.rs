@@ -1,0 +1,306 @@
+//! Query evaluation against a [`Database`].
+
+use modb_core::{CoreError, Database, NearestAnswer, ObjectId, PositionAnswer, RangeAnswer};
+use modb_geom::{Point, Polygon, Rect};
+use modb_index::QueryRegion;
+use std::fmt;
+
+use crate::ast::{ObjectRef, Query, RegionSpec, TimeSpec};
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// No moving object with this name.
+    UnknownName(String),
+    /// The region was geometrically invalid (degenerate polygon etc.).
+    InvalidRegion(String),
+    /// DBMS-level failure.
+    Core(CoreError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownName(n) => write!(f, "no moving object named `{n}`"),
+            ExecError::InvalidRegion(msg) => write!(f, "invalid query region: {msg}"),
+            ExecError::Core(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ExecError {
+    fn from(e: CoreError) -> Self {
+        ExecError::Core(e)
+    }
+}
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A position answer with its deviation bound.
+    Position(PositionAnswer),
+    /// A may/must range answer.
+    Range(RangeAnswer),
+    /// A k-nearest answer with certain/possible ranking.
+    Nearest(NearestAnswer),
+}
+
+impl QueryResult {
+    /// The range answer, if this is one.
+    pub fn as_range(&self) -> Option<&RangeAnswer> {
+        match self {
+            QueryResult::Range(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The position answer, if this is one.
+    pub fn as_position(&self) -> Option<&PositionAnswer> {
+        match self {
+            QueryResult::Position(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The nearest answer, if this is one.
+    pub fn as_nearest(&self) -> Option<&NearestAnswer> {
+        match self {
+            QueryResult::Nearest(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+fn resolve(db: &Database, obj: &ObjectRef) -> Result<ObjectId, ExecError> {
+    match obj {
+        ObjectRef::Id(id) => Ok(*id),
+        ObjectRef::Name(name) => db
+            .find_moving_by_name(name)
+            .map(|o| o.id)
+            .ok_or_else(|| ExecError::UnknownName(name.clone())),
+    }
+}
+
+fn build_region(region: &RegionSpec, time: TimeSpec) -> Result<QueryRegion, ExecError> {
+    let polygon = match region {
+        RegionSpec::Polygon(pts) => {
+            Polygon::new(pts.clone()).map_err(|e| ExecError::InvalidRegion(e.to_string()))?
+        }
+        RegionSpec::Rect { min, max } => {
+            let r = Rect::new(*min, *max);
+            if r.width() <= 0.0 || r.height() <= 0.0 {
+                return Err(ExecError::InvalidRegion(format!(
+                    "rectangle ({}, {}) .. ({}, {}) is degenerate",
+                    min.x, min.y, max.x, max.y
+                )));
+            }
+            Polygon::rectangle(&r).map_err(|e| ExecError::InvalidRegion(e.to_string()))?
+        }
+    };
+    Ok(match time {
+        TimeSpec::At(t) => QueryRegion::at_instant(polygon, t),
+        TimeSpec::During(t0, t1) => QueryRegion::during(polygon, t0, t1),
+    })
+}
+
+/// Executes a parsed query against the database.
+///
+/// # Errors
+///
+/// [`ExecError`] for unknown names, invalid regions, or DBMS failures.
+pub fn execute(db: &Database, query: &Query) -> Result<QueryResult, ExecError> {
+    match query {
+        Query::Position { object, at } => {
+            let id = resolve(db, object)?;
+            Ok(QueryResult::Position(db.position_of(id, *at)?))
+        }
+        Query::Range { region, time } => {
+            let region = build_region(region, *time)?;
+            Ok(QueryResult::Range(db.range_query(&region)?))
+        }
+        Query::WithinPoint { center, radius, at } => Ok(QueryResult::Range(
+            db.within_distance_of_point(Point::new(center.x, center.y), *radius, *at)?,
+        )),
+        Query::Nearest { k, center, at } => Ok(QueryResult::Nearest(db.nearest(
+            Point::new(center.x, center.y),
+            *k,
+            *at,
+        )?)),
+        Query::WithinObject { object, radius, at } => {
+            let id = resolve(db, object)?;
+            Ok(QueryResult::Range(db.within_distance_of_object(
+                id, *radius, *at,
+            )?))
+        }
+    }
+}
+
+/// Parses and executes a query string in one step.
+///
+/// # Errors
+///
+/// [`crate::QueryError::Parse`] for text that does not parse,
+/// [`crate::QueryError::Exec`] for evaluation failures.
+pub fn run(db: &Database, src: &str) -> Result<QueryResult, crate::QueryError> {
+    let query = crate::parse(src).map_err(crate::QueryError::Parse)?;
+    execute(db, &query).map_err(crate::QueryError::Exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_core::{
+        DatabaseConfig, MovingObject, PolicyDescriptor, PositionAttribute, StationaryObject,
+    };
+    use modb_policy::BoundKind;
+    use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+
+    fn db() -> Database {
+        let route = Route::from_vertices(
+            RouteId(1),
+            "main",
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+        )
+        .unwrap();
+        let network = RouteNetwork::from_routes([route]).unwrap();
+        let mut db = Database::new(network, DatabaseConfig::default());
+        for (i, arc) in [(1u64, 10.0), (2, 30.0), (3, 60.0)] {
+            db.register_moving(MovingObject {
+                id: ObjectId(i),
+                name: if i == 2 { "ABT312".into() } else { format!("veh-{i}") },
+                attr: PositionAttribute {
+                    start_time: 0.0,
+                    route: RouteId(1),
+                    start_position: Point::new(arc, 0.0),
+                    start_arc: arc,
+                    direction: Direction::Forward,
+                    speed: 1.0,
+                    policy: PolicyDescriptor::CostBased {
+                        kind: BoundKind::Immediate,
+                        update_cost: 5.0,
+                    },
+                },
+                max_speed: 1.5,
+                trip_end: None,
+            })
+            .unwrap();
+        }
+        db.insert_stationary(StationaryObject::new(
+            ObjectId(100),
+            "depot",
+            Point::new(12.0, 0.0),
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn position_query_by_id_and_name() {
+        let d = db();
+        let r = run(&d, "RETRIEVE POSITION OF OBJECT 1 AT TIME 5").unwrap();
+        let p = r.as_position().unwrap();
+        assert_eq!(p.arc, 15.0);
+        assert!(p.bound > 0.0);
+
+        let r = run(&d, "RETRIEVE POSITION OF OBJECT 'ABT312' AT TIME 0").unwrap();
+        assert_eq!(r.as_position().unwrap().arc, 30.0);
+    }
+
+    #[test]
+    fn range_query_rect_and_polygon() {
+        let d = db();
+        let r = run(&d, "RETRIEVE OBJECTS INSIDE RECT (0, -1, 40, 1) AT TIME 0").unwrap();
+        let a = r.as_range().unwrap();
+        let mut all = a.all();
+        all.sort_unstable();
+        assert_eq!(all, vec![ObjectId(1), ObjectId(2)]);
+
+        let r = run(
+            &d,
+            "RETRIEVE OBJECTS INSIDE POLYGON ((55,-2), (70,-2), (70,2), (55,2)) AT TIME 0",
+        )
+        .unwrap();
+        assert_eq!(r.as_range().unwrap().all(), vec![ObjectId(3)]);
+    }
+
+    #[test]
+    fn during_query() {
+        let d = db();
+        // Object 1 (starts at 10, speed 1) passes through [18, 22] between
+        // t=8 and t=12 — caught by a DURING query over [0, 15].
+        let r = run(&d, "RETRIEVE OBJECTS INSIDE RECT (18, -1, 22, 1) DURING 0 TO 15").unwrap();
+        assert!(r.as_range().unwrap().all().contains(&ObjectId(1)));
+    }
+
+    #[test]
+    fn within_queries() {
+        let d = db();
+        let r = run(&d, "RETRIEVE OBJECTS WITHIN 5 OF POINT (12, 0) AT TIME 0").unwrap();
+        assert!(r.as_range().unwrap().all().contains(&ObjectId(1)));
+        let r = run(&d, "RETRIEVE OBJECTS WITHIN 25 OF OBJECT 'ABT312' AT TIME 0").unwrap();
+        let all = r.as_range().unwrap().all();
+        assert!(all.contains(&ObjectId(1)));
+        assert!(!all.contains(&ObjectId(2)), "anchor excluded");
+    }
+
+    #[test]
+    fn nearest_query() {
+        let d = db();
+        // At t = 0 positions are 10, 30, 60; nearest 2 to the origin are
+        // objects 1 and 2 in that order.
+        let r = run(&d, "RETRIEVE 2 NEAREST OBJECTS TO POINT (0, 0) AT TIME 0").unwrap();
+        let n = r.as_nearest().unwrap();
+        assert_eq!(n.ranked.len(), 2);
+        assert_eq!(n.ranked[0].id, ObjectId(1));
+        assert_eq!(n.ranked[1].id, ObjectId(2));
+        assert!(n.ranked[0].distance < n.ranked[1].distance);
+        // k must be a positive integer.
+        assert!(run(&d, "RETRIEVE 0 NEAREST OBJECTS TO POINT (0,0) AT TIME 0").is_err());
+        assert!(run(&d, "RETRIEVE 1.5 NEAREST OBJECTS TO POINT (0,0) AT TIME 0").is_err());
+    }
+
+    #[test]
+    fn error_paths() {
+        let d = db();
+        assert!(matches!(
+            run(&d, "RETRIEVE POSITION OF OBJECT 'ghost' AT TIME 0"),
+            Err(crate::QueryError::Exec(ExecError::UnknownName(_)))
+        ));
+        assert!(matches!(
+            run(&d, "RETRIEVE POSITION OF OBJECT 99 AT TIME 0"),
+            Err(crate::QueryError::Exec(ExecError::Core(
+                CoreError::UnknownObject(_)
+            )))
+        ));
+        assert!(matches!(
+            run(&d, "RETRIEVE OBJECTS INSIDE RECT (5, 5, 5, 9) AT TIME 0"),
+            Err(crate::QueryError::Exec(ExecError::InvalidRegion(_)))
+        ));
+        assert!(matches!(
+            run(&d, "garbage"),
+            Err(crate::QueryError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn query_matches_api_answers() {
+        let d = db();
+        let via_text = run(&d, "RETRIEVE OBJECTS INSIDE RECT (0, -1, 100, 1) AT TIME 2").unwrap();
+        let region = QueryRegion::at_instant(
+            Polygon::rectangle(&Rect::new(Point::new(0.0, -1.0), Point::new(100.0, 1.0)))
+                .unwrap(),
+            2.0,
+        );
+        let via_api = d.range_query(&region).unwrap();
+        assert_eq!(via_text.as_range().unwrap(), &via_api);
+    }
+}

@@ -1,0 +1,231 @@
+//! Tokenizer for the query language.
+
+use std::fmt;
+
+/// A token with its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// The token kinds of the query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword or identifier (normalised to uppercase).
+    Word(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A quoted string literal (object names).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "{w}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+        }
+    }
+}
+
+/// Lexing failure: an unexpected character or malformed literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a query string. Keywords are case-insensitive; numbers may
+/// be negative and fractional; strings are single-quoted.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            offset: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    let ch = bytes[i] as char;
+                    i += 1;
+                    if ch == '\'' {
+                        break;
+                    }
+                    s.push(ch);
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            '-' | '0'..='9' | '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '+' | '-')
+                {
+                    // Stop a trailing +/- that is not part of an exponent.
+                    let ch = bytes[i] as char;
+                    if (ch == '+' || ch == '-')
+                        && !matches!(bytes[i - 1] as char, 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("malformed number `{text}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    offset: start,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '-')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(src[start..i].to_uppercase()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_are_uppercased() {
+        assert_eq!(
+            kinds("retrieve Objects WITHIN"),
+            vec![
+                TokenKind::Word("RETRIEVE".into()),
+                TokenKind::Word("OBJECTS".into()),
+                TokenKind::Word("WITHIN".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_negative_and_fraction() {
+        assert_eq!(
+            kinds("1 -2.5 0.75 1e3"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(-2.5),
+                TokenKind::Number(0.75),
+                TokenKind::Number(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_points() {
+        assert_eq!(
+            kinds("(1, 2)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Number(1.0),
+                TokenKind::Comma,
+                TokenKind::Number(2.0),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(kinds("'ABT312'"), vec![TokenKind::Str("ABT312".into())]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = lex("RETRIEVE @").unwrap_err();
+        assert_eq!(e.offset, 9);
+        assert!(e.to_string().contains("byte 9"));
+    }
+
+    #[test]
+    fn negative_number_vs_minus_in_word() {
+        // Hyphenated identifiers stay one word.
+        assert_eq!(
+            kinds("fixed-threshold"),
+            vec![TokenKind::Word("FIXED-THRESHOLD".into())]
+        );
+    }
+}

@@ -1,0 +1,490 @@
+//! Recursive-descent parser for the query language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query    := RETRIEVE body time?
+//!           | RETRIEVE number NEAREST OBJECTS TO POINT point time
+//! body     := POSITION OF object
+//!           | OBJECTS INSIDE region
+//!           | OBJECTS WITHIN number OF POINT point
+//!           | OBJECTS WITHIN number OF object
+//! object   := OBJECT (number | string)
+//! region   := RECT '(' n ',' n ',' n ',' n ')'
+//!           | POLYGON '(' point (',' point)+ ')'
+//! point    := '(' n ',' n ')'
+//! time     := AT TIME number | DURING number TO number
+//! ```
+//!
+//! A missing time clause means "now is 0" is *not* assumed — evaluation
+//! requires an explicit time, so the parser defaults to `AT TIME 0` only
+//! for `DEFAULT_TIME_ZERO`-style convenience in tests; here we make the
+//! clause mandatory for clarity.
+
+use modb_core::ObjectId;
+use modb_geom::Point;
+use std::fmt;
+
+use crate::ast::{ObjectRef, Query, RegionSpec, TimeSpec};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenizer failure.
+    Lex(LexError),
+    /// Unexpected token (or end of input).
+    Unexpected {
+        /// What the parser needed.
+        expected: String,
+        /// What it found (`None` = end of input).
+        found: Option<String>,
+        /// Byte offset of the offending token.
+        offset: usize,
+    },
+    /// Input continued past a complete query.
+    TrailingInput {
+        /// Offset of the first extra token.
+        offset: usize,
+    },
+    /// A polygon needs at least three vertices.
+    PolygonTooSmall {
+        /// How many vertices were supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                expected,
+                found,
+                offset,
+            } => match found {
+                Some(tok) => write!(f, "expected {expected} at byte {offset}, found `{tok}`"),
+                None => write!(f, "expected {expected} at byte {offset}, found end of input"),
+            },
+            ParseError::TrailingInput { offset } => {
+                write!(f, "unexpected trailing input at byte {offset}")
+            }
+            ParseError::PolygonTooSmall { got } => {
+                write!(f, "polygon needs at least 3 vertices, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError::Unexpected {
+                expected: expected.into(),
+                found: Some(t.kind.to_string()),
+                offset: t.offset,
+            },
+            None => ParseError::Unexpected {
+                expected: expected.into(),
+                found: None,
+                offset: self.src_len,
+            },
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == word => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(&format!("`{word}`"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => Err(self.err("a number")),
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn parse_point(&mut self) -> Result<Point, ParseError> {
+        self.expect_kind(&TokenKind::LParen, "`(`")?;
+        let x = self.expect_number()?;
+        self.expect_kind(&TokenKind::Comma, "`,`")?;
+        let y = self.expect_number()?;
+        self.expect_kind(&TokenKind::RParen, "`)`")?;
+        Ok(Point::new(x, y))
+    }
+
+    fn parse_object_ref(&mut self) -> Result<ObjectRef, ParseError> {
+        self.expect_word("OBJECT")?;
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => Ok(ObjectRef::Id(ObjectId(n as u64))),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Ok(ObjectRef::Name(s)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("an object id or 'name'"))
+            }
+        }
+    }
+
+    fn parse_region(&mut self) -> Result<RegionSpec, ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == "RECT" => {
+                self.pos += 1;
+                self.expect_kind(&TokenKind::LParen, "`(`")?;
+                let x0 = self.expect_number()?;
+                self.expect_kind(&TokenKind::Comma, "`,`")?;
+                let y0 = self.expect_number()?;
+                self.expect_kind(&TokenKind::Comma, "`,`")?;
+                let x1 = self.expect_number()?;
+                self.expect_kind(&TokenKind::Comma, "`,`")?;
+                let y1 = self.expect_number()?;
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                Ok(RegionSpec::Rect {
+                    min: Point::new(x0, y0),
+                    max: Point::new(x1, y1),
+                })
+            }
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == "POLYGON" => {
+                self.pos += 1;
+                self.expect_kind(&TokenKind::LParen, "`(`")?;
+                let mut pts = vec![self.parse_point()?];
+                while matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: TokenKind::Comma,
+                        ..
+                    })
+                ) {
+                    self.pos += 1;
+                    pts.push(self.parse_point()?);
+                }
+                self.expect_kind(&TokenKind::RParen, "`)`")?;
+                if pts.len() < 3 {
+                    return Err(ParseError::PolygonTooSmall { got: pts.len() });
+                }
+                Ok(RegionSpec::Polygon(pts))
+            }
+            _ => Err(self.err("`RECT` or `POLYGON`")),
+        }
+    }
+
+    fn parse_time(&mut self) -> Result<TimeSpec, ParseError> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == "AT" => {
+                self.pos += 1;
+                self.expect_word("TIME")?;
+                Ok(TimeSpec::At(self.expect_number()?))
+            }
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == "DURING" => {
+                self.pos += 1;
+                let t0 = self.expect_number()?;
+                self.expect_word("TO")?;
+                let t1 = self.expect_number()?;
+                Ok(TimeSpec::During(t0, t1))
+            }
+            _ => Err(self.err("`AT TIME t` or `DURING t0 TO t1`")),
+        }
+    }
+}
+
+/// Parses a query string.
+///
+/// ```
+/// use modb_query::{parse, Query};
+/// let q = parse("RETRIEVE OBJECTS WITHIN 1 OF POINT (5, 6) AT TIME 10")?;
+/// assert!(matches!(q, Query::WithinPoint { radius, .. } if radius == 1.0));
+/// # Ok::<(), modb_query::ParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`ParseError`] with byte offsets for diagnostics.
+pub fn parse(src: &str) -> Result<Query, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
+    p.expect_word("RETRIEVE")?;
+    let query = match p.peek() {
+        Some(Token {
+            kind: TokenKind::Word(w),
+            ..
+        }) if w == "POSITION" => {
+            p.pos += 1;
+            p.expect_word("OF")?;
+            let object = p.parse_object_ref()?;
+            let time = p.parse_time()?;
+            let at = match time {
+                TimeSpec::At(t) => t,
+                TimeSpec::During(..) => {
+                    return Err(ParseError::Unexpected {
+                        expected: "`AT TIME t` (position queries are instantaneous)".into(),
+                        found: Some("DURING".into()),
+                        offset: 0,
+                    })
+                }
+            };
+            Query::Position { object, at }
+        }
+        Some(Token {
+            kind: TokenKind::Word(w),
+            ..
+        }) if w == "OBJECTS" => {
+            p.pos += 1;
+            match p.peek() {
+                Some(Token {
+                    kind: TokenKind::Word(w),
+                    ..
+                }) if w == "INSIDE" => {
+                    p.pos += 1;
+                    let region = p.parse_region()?;
+                    let time = p.parse_time()?;
+                    Query::Range { region, time }
+                }
+                Some(Token {
+                    kind: TokenKind::Word(w),
+                    ..
+                }) if w == "WITHIN" => {
+                    p.pos += 1;
+                    let radius = p.expect_number()?;
+                    p.expect_word("OF")?;
+                    match p.peek() {
+                        Some(Token {
+                            kind: TokenKind::Word(w),
+                            ..
+                        }) if w == "POINT" => {
+                            p.pos += 1;
+                            let center = p.parse_point()?;
+                            let time = p.parse_time()?;
+                            let TimeSpec::At(at) = time else {
+                                return Err(p.err("`AT TIME t` (within queries are instantaneous)"));
+                            };
+                            Query::WithinPoint { center, radius, at }
+                        }
+                        Some(Token {
+                            kind: TokenKind::Word(w),
+                            ..
+                        }) if w == "OBJECT" => {
+                            let object = p.parse_object_ref()?;
+                            let time = p.parse_time()?;
+                            let TimeSpec::At(at) = time else {
+                                return Err(p.err("`AT TIME t` (within queries are instantaneous)"));
+                            };
+                            Query::WithinObject { object, radius, at }
+                        }
+                        _ => return Err(p.err("`POINT` or `OBJECT`")),
+                    }
+                }
+                _ => return Err(p.err("`INSIDE` or `WITHIN`")),
+            }
+        }
+        Some(Token {
+            kind: TokenKind::Number(n),
+            offset,
+        }) => {
+            let n = *n;
+            let offset = *offset;
+            if n < 1.0 || n.fract() != 0.0 {
+                return Err(ParseError::Unexpected {
+                    expected: "a positive integer k".into(),
+                    found: Some(n.to_string()),
+                    offset,
+                });
+            }
+            p.pos += 1;
+            p.expect_word("NEAREST")?;
+            p.expect_word("OBJECTS")?;
+            p.expect_word("TO")?;
+            p.expect_word("POINT")?;
+            let center = p.parse_point()?;
+            let time = p.parse_time()?;
+            let TimeSpec::At(at) = time else {
+                return Err(p.err("`AT TIME t` (nearest queries are instantaneous)"));
+            };
+            Query::Nearest {
+                k: n as usize,
+                center,
+                at,
+            }
+        }
+        _ => return Err(p.err("`POSITION`, `OBJECTS`, or `k NEAREST`")),
+    };
+    if let Some(t) = p.peek() {
+        return Err(ParseError::TrailingInput { offset: t.offset });
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_position_query() {
+        let q = parse("RETRIEVE POSITION OF OBJECT 7 AT TIME 10").unwrap();
+        assert_eq!(
+            q,
+            Query::Position {
+                object: ObjectRef::Id(ObjectId(7)),
+                at: 10.0
+            }
+        );
+        let q = parse("retrieve position of object 'ABT312' at time 2.5").unwrap();
+        assert_eq!(
+            q,
+            Query::Position {
+                object: ObjectRef::Name("ABT312".into()),
+                at: 2.5
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rect_range_query() {
+        let q = parse("RETRIEVE OBJECTS INSIDE RECT (0, 0, 10, 5) AT TIME 3").unwrap();
+        assert_eq!(
+            q,
+            Query::Range {
+                region: RegionSpec::Rect {
+                    min: Point::new(0.0, 0.0),
+                    max: Point::new(10.0, 5.0)
+                },
+                time: TimeSpec::At(3.0)
+            }
+        );
+    }
+
+    #[test]
+    fn parse_polygon_during_query() {
+        let q = parse(
+            "RETRIEVE OBJECTS INSIDE POLYGON ((0,0), (4,0), (4,4), (0,4)) DURING 0 TO 15",
+        )
+        .unwrap();
+        match q {
+            Query::Range {
+                region: RegionSpec::Polygon(pts),
+                time: TimeSpec::During(t0, t1),
+            } => {
+                assert_eq!(pts.len(), 4);
+                assert_eq!((t0, t1), (0.0, 15.0));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_within_point_query() {
+        let q = parse("RETRIEVE OBJECTS WITHIN 1 OF POINT (5, 6) AT TIME 10").unwrap();
+        assert_eq!(
+            q,
+            Query::WithinPoint {
+                center: Point::new(5.0, 6.0),
+                radius: 1.0,
+                at: 10.0
+            }
+        );
+    }
+
+    #[test]
+    fn parse_within_object_query() {
+        let q = parse("RETRIEVE OBJECTS WITHIN 3 OF OBJECT 'ABT312' AT TIME 30").unwrap();
+        assert_eq!(
+            q,
+            Query::WithinObject {
+                object: ObjectRef::Name("ABT312".into()),
+                radius: 3.0,
+                at: 30.0
+            }
+        );
+    }
+
+    #[test]
+    fn error_messages_are_located() {
+        let e = parse("RETRIEVE OBJECTS NEAR (0,0)").unwrap_err();
+        assert!(e.to_string().contains("INSIDE"), "{e}");
+        let e = parse("RETRIEVE OBJECTS INSIDE RECT (0, 0, 10)").unwrap_err();
+        assert!(e.to_string().contains("`,`"), "{e}");
+        let e = parse("RETRIEVE POSITION OF OBJECT 1 AT TIME 1 EXTRA").unwrap_err();
+        assert!(matches!(e, ParseError::TrailingInput { .. }));
+        let e = parse("RETRIEVE OBJECTS INSIDE POLYGON ((0,0), (1,1)) AT TIME 0").unwrap_err();
+        assert!(matches!(e, ParseError::PolygonTooSmall { got: 2 }));
+        let e = parse("").unwrap_err();
+        assert!(e.to_string().contains("RETRIEVE"));
+    }
+
+    #[test]
+    fn position_query_rejects_during() {
+        let e = parse("RETRIEVE POSITION OF OBJECT 1 DURING 0 TO 5").unwrap_err();
+        assert!(e.to_string().contains("instantaneous"));
+    }
+}

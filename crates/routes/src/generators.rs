@@ -1,0 +1,246 @@
+//! Synthetic route-network generators.
+//!
+//! The paper evaluates on routes such as metropolitan street grids and
+//! highways; lacking the authors' map data, these generators produce the
+//! same *class* of geometry — piecewise-linear routes — with controlled
+//! parameters (see DESIGN.md §2, substitution table).
+
+use modb_geom::Point;
+use rand::Rng;
+
+use crate::error::RouteError;
+use crate::network::RouteNetwork;
+use crate::route::{Route, RouteId};
+
+/// Generates a Manhattan-style grid: `nx` vertical and `ny` horizontal
+/// streets spaced `spacing` miles apart, each street one route.
+///
+/// Route ids are assigned sequentially starting from `first_id`; horizontal
+/// streets come first.
+///
+/// # Errors
+///
+/// [`RouteError::InvalidGenerator`] when either dimension is zero or the
+/// spacing is not positive.
+pub fn grid_network(
+    nx: usize,
+    ny: usize,
+    spacing: f64,
+    first_id: u64,
+) -> Result<RouteNetwork, RouteError> {
+    if nx < 2 || ny < 2 {
+        return Err(RouteError::InvalidGenerator(format!(
+            "grid needs at least 2×2 streets, got {nx}×{ny}"
+        )));
+    }
+    if spacing <= 0.0 || !spacing.is_finite() {
+        return Err(RouteError::InvalidGenerator(format!(
+            "grid spacing must be positive, got {spacing}"
+        )));
+    }
+    let width = (nx - 1) as f64 * spacing;
+    let height = (ny - 1) as f64 * spacing;
+    let mut routes = Vec::with_capacity(nx + ny);
+    let mut id = first_id;
+    for j in 0..ny {
+        let y = j as f64 * spacing;
+        routes.push(Route::from_vertices(
+            RouteId(id),
+            format!("street-h{j}"),
+            vec![Point::new(0.0, y), Point::new(width, y)],
+        )?);
+        id += 1;
+    }
+    for i in 0..nx {
+        let x = i as f64 * spacing;
+        routes.push(Route::from_vertices(
+            RouteId(id),
+            format!("street-v{i}"),
+            vec![Point::new(x, 0.0), Point::new(x, height)],
+        )?);
+        id += 1;
+    }
+    RouteNetwork::from_routes(routes)
+}
+
+/// Generates a radial network: `n_spokes` straight routes from the center
+/// outward to `radius`, like highways leaving a city.
+///
+/// # Errors
+///
+/// [`RouteError::InvalidGenerator`] for fewer than one spoke or a
+/// non-positive radius.
+pub fn radial_network(
+    center: Point,
+    radius: f64,
+    n_spokes: usize,
+    first_id: u64,
+) -> Result<RouteNetwork, RouteError> {
+    if n_spokes == 0 {
+        return Err(RouteError::InvalidGenerator(
+            "radial network needs at least one spoke".into(),
+        ));
+    }
+    if radius <= 0.0 || !radius.is_finite() {
+        return Err(RouteError::InvalidGenerator(format!(
+            "radial radius must be positive, got {radius}"
+        )));
+    }
+    let mut routes = Vec::with_capacity(n_spokes);
+    for k in 0..n_spokes {
+        let theta = 2.0 * std::f64::consts::PI * k as f64 / n_spokes as f64;
+        let end = Point::new(
+            center.x + radius * theta.cos(),
+            center.y + radius * theta.sin(),
+        );
+        routes.push(Route::from_vertices(
+            RouteId(first_id + k as u64),
+            format!("spoke-{k}"),
+            vec![center, end],
+        )?);
+    }
+    RouteNetwork::from_routes(routes)
+}
+
+/// Generates a single winding route by a random turning walk: `n_segments`
+/// legs of length `step`, each deflecting the heading by a uniform angle in
+/// `[-max_turn, max_turn]` radians.
+///
+/// Winding routes are the paper's §5 motivation for route-relative
+/// modelling: on such a route the x/y speed projections fluctuate even at
+/// constant road speed, so per-coordinate dead reckoning would update
+/// constantly while route-distance modelling does not.
+///
+/// # Errors
+///
+/// [`RouteError::InvalidGenerator`] for zero segments or non-positive step.
+pub fn winding_route<R: Rng + ?Sized>(
+    rng: &mut R,
+    id: RouteId,
+    start: Point,
+    n_segments: usize,
+    step: f64,
+    max_turn: f64,
+) -> Result<Route, RouteError> {
+    if n_segments == 0 {
+        return Err(RouteError::InvalidGenerator(
+            "winding route needs at least one segment".into(),
+        ));
+    }
+    if step <= 0.0 || !step.is_finite() {
+        return Err(RouteError::InvalidGenerator(format!(
+            "winding step must be positive, got {step}"
+        )));
+    }
+    let mut heading: f64 = rng.gen_range(0.0..(2.0 * std::f64::consts::PI));
+    let mut pts = Vec::with_capacity(n_segments + 1);
+    let mut cur = start;
+    pts.push(cur);
+    for _ in 0..n_segments {
+        heading += rng.gen_range(-max_turn..=max_turn);
+        cur = Point::new(cur.x + step * heading.cos(), cur.y + step * heading.sin());
+        pts.push(cur);
+    }
+    Ok(Route::from_vertices(id, "winding", pts)?)
+}
+
+/// Generates a network of `n_routes` winding routes with starts spread on a
+/// `extent × extent` square, suitable as a fleet's road map.
+///
+/// # Errors
+///
+/// Propagates [`winding_route`] configuration errors.
+pub fn winding_network<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_routes: usize,
+    n_segments: usize,
+    step: f64,
+    max_turn: f64,
+    extent: f64,
+    first_id: u64,
+) -> Result<RouteNetwork, RouteError> {
+    let mut net = RouteNetwork::new();
+    for k in 0..n_routes {
+        let start = Point::new(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent));
+        let r = winding_route(
+            rng,
+            RouteId(first_id + k as u64),
+            start,
+            n_segments,
+            step,
+            max_turn,
+        )?;
+        net.insert(r)?;
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_counts_and_geometry() {
+        let n = grid_network(3, 4, 1.0, 0).unwrap();
+        assert_eq!(n.len(), 7); // 4 horizontal + 3 vertical
+        // Horizontal street 2 runs at y = 2 with length (nx-1)*spacing = 2.
+        let r = n.get(RouteId(2)).unwrap();
+        assert_eq!(r.length(), 2.0);
+        assert_eq!(r.point_at(0.0), Point::new(0.0, 2.0));
+        // Vertical street 0 (id 4) runs at x = 0 with length 3.
+        let r = n.get(RouteId(4)).unwrap();
+        assert_eq!(r.length(), 3.0);
+    }
+
+    #[test]
+    fn grid_invalid_configs() {
+        assert!(grid_network(1, 3, 1.0, 0).is_err());
+        assert!(grid_network(3, 3, 0.0, 0).is_err());
+        assert!(grid_network(3, 3, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn radial_spokes() {
+        let n = radial_network(Point::new(1.0, 1.0), 5.0, 8, 100).unwrap();
+        assert_eq!(n.len(), 8);
+        for id in n.route_ids() {
+            let r = n.get(id).unwrap();
+            assert!((r.length() - 5.0).abs() < 1e-9);
+            assert_eq!(r.point_at(0.0), Point::new(1.0, 1.0));
+        }
+        assert!(radial_network(Point::ORIGIN, 5.0, 0, 0).is_err());
+        assert!(radial_network(Point::ORIGIN, -1.0, 3, 0).is_err());
+    }
+
+    #[test]
+    fn winding_route_length_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = winding_route(&mut rng, RouteId(0), Point::ORIGIN, 50, 0.25, 0.4).unwrap();
+        assert!((r.length() - 50.0 * 0.25).abs() < 1e-9);
+        assert_eq!(r.polyline().vertices().len(), 51);
+
+        // Same seed reproduces the same geometry.
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let r2 = winding_route(&mut rng2, RouteId(0), Point::ORIGIN, 50, 0.25, 0.4).unwrap();
+        assert_eq!(r.polyline(), r2.polyline());
+    }
+
+    #[test]
+    fn winding_invalid_configs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(winding_route(&mut rng, RouteId(0), Point::ORIGIN, 0, 0.25, 0.4).is_err());
+        assert!(winding_route(&mut rng, RouteId(0), Point::ORIGIN, 10, -1.0, 0.4).is_err());
+    }
+
+    #[test]
+    fn winding_network_has_requested_routes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = winding_network(&mut rng, 5, 20, 0.5, 0.3, 10.0, 0).unwrap();
+        assert_eq!(n.len(), 5);
+        for id in n.route_ids() {
+            assert!((n.get(id).unwrap().length() - 10.0).abs() < 1e-9);
+        }
+    }
+}

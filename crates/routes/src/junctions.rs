@@ -1,0 +1,174 @@
+//! Junction discovery: where routes meet.
+//!
+//! Route changes (§3.1) happen where routes intersect. This module finds
+//! the junctions of a network — the places a moving object can legally
+//! switch routes — so journey generators and dispatch logic can plan
+//! multi-leg trips.
+
+use modb_geom::{intersection_params, Point, Segment};
+
+use crate::network::RouteNetwork;
+use crate::route::RouteId;
+
+/// A point where two routes meet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Junction {
+    /// One route.
+    pub route_a: RouteId,
+    /// The other route.
+    pub route_b: RouteId,
+    /// Arc position of the junction on `route_a`.
+    pub arc_a: f64,
+    /// Arc position of the junction on `route_b`.
+    pub arc_b: f64,
+    /// The junction's coordinates.
+    pub position: Point,
+}
+
+/// Finds all pairwise junctions in a network.
+///
+/// Runs the segment-intersection predicate over every route pair — an
+/// O(R²·S²) preprocessing step run once at network load, not a query-time
+/// path. Collinear overlaps report their entry point.
+pub fn find_junctions(network: &RouteNetwork) -> Vec<Junction> {
+    let routes: Vec<_> = network.iter().collect();
+    let mut out = Vec::new();
+    for (i, ra) in routes.iter().enumerate() {
+        for rb in routes.iter().skip(i + 1) {
+            // Broad phase: skip disjoint bounding boxes.
+            if !ra.bbox().intersects(&rb.bbox()) {
+                continue;
+            }
+            let cum_a = ra.polyline().cumulative();
+            let cum_b = rb.polyline().cumulative();
+            for (sa, seg_a) in ra.polyline().segments().enumerate() {
+                for (sb, seg_b) in rb.polyline().segments().enumerate() {
+                    for t in intersection_params(&seg_a, &seg_b) {
+                        let p = seg_a.point_at(t);
+                        let arc_a = cum_a[sa] + t * (cum_a[sa + 1] - cum_a[sa]);
+                        // Recover the arc on b by projecting p onto seg_b.
+                        let u = project_param(&seg_b, p);
+                        let arc_b = cum_b[sb] + u * (cum_b[sb + 1] - cum_b[sb]);
+                        let junction = Junction {
+                            route_a: ra.id(),
+                            route_b: rb.id(),
+                            arc_a,
+                            arc_b,
+                            position: p,
+                        };
+                        // Deduplicate junctions that repeat at shared
+                        // segment endpoints.
+                        if !out.iter().any(|j: &Junction| {
+                            j.route_a == junction.route_a
+                                && j.route_b == junction.route_b
+                                && j.position.approx_eq(junction.position)
+                        }) {
+                            out.push(junction);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn project_param(seg: &Segment, p: Point) -> f64 {
+    seg.project(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::grid_network;
+    use crate::route::Route;
+
+    #[test]
+    fn crossing_routes_have_one_junction() {
+        let net = RouteNetwork::from_routes([
+            Route::from_vertices(
+                RouteId(1),
+                "h",
+                vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            )
+            .unwrap(),
+            Route::from_vertices(
+                RouteId(2),
+                "v",
+                vec![Point::new(4.0, -5.0), Point::new(4.0, 5.0)],
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        let js = find_junctions(&net);
+        assert_eq!(js.len(), 1);
+        let j = js[0];
+        assert!(j.position.approx_eq(Point::new(4.0, 0.0)));
+        assert!((j.arc_a - 4.0).abs() < 1e-9);
+        assert!((j.arc_b - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_routes_have_none() {
+        let net = RouteNetwork::from_routes([
+            Route::from_vertices(
+                RouteId(1),
+                "a",
+                vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            )
+            .unwrap(),
+            Route::from_vertices(
+                RouteId(2),
+                "b",
+                vec![Point::new(0.0, 5.0), Point::new(1.0, 5.0)],
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        assert!(find_junctions(&net).is_empty());
+    }
+
+    #[test]
+    fn grid_has_expected_junction_count() {
+        // An n×m grid has n·m street crossings.
+        let net = grid_network(4, 3, 1.0, 0).unwrap();
+        let js = find_junctions(&net);
+        assert_eq!(js.len(), 12, "4 vertical x 3 horizontal crossings");
+        // Every junction's position resolves consistently on both routes.
+        for j in &js {
+            let pa = net.get(j.route_a).unwrap().point_at(j.arc_a);
+            let pb = net.get(j.route_b).unwrap().point_at(j.arc_b);
+            assert!(pa.approx_eq(j.position));
+            assert!(pb.approx_eq(j.position));
+        }
+    }
+
+    #[test]
+    fn bent_route_junctions_on_interior_segments() {
+        let net = RouteNetwork::from_routes([
+            Route::from_vertices(
+                RouteId(1),
+                "bent",
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(5.0, 0.0),
+                    Point::new(5.0, 5.0),
+                ],
+            )
+            .unwrap(),
+            Route::from_vertices(
+                RouteId(2),
+                "diag",
+                vec![Point::new(3.0, -1.0), Point::new(7.0, 3.0)],
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        let js = find_junctions(&net);
+        // The diagonal crosses the horizontal leg at (4, 0) and the
+        // vertical leg at (5, 1).
+        assert_eq!(js.len(), 2);
+        assert!(js.iter().any(|j| j.position.approx_eq(Point::new(4.0, 0.0))));
+        assert!(js.iter().any(|j| j.position.approx_eq(Point::new(5.0, 1.0))));
+    }
+}

@@ -1,0 +1,192 @@
+//! Routes: named, directed, arc-length-addressable line spatial objects.
+//!
+//! The paper (§2) assumes "the database stores a set of routes, and at any
+//! point in time each object moves along a unique route from the route
+//! database". A [`Route`] wraps a [`Polyline`] with an identity; travel
+//! direction along the route is the paper's binary `P.direction`
+//! sub-attribute, realised by [`Direction`].
+
+use modb_geom::{GeomError, Point, Polyline, Rect};
+
+/// Opaque identifier of a route in a [`crate::RouteNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouteId(pub u64);
+
+/// Travel direction along a route — the paper's binary `P.direction`
+/// sub-attribute ("these values may correspond to north-south, or
+/// east-west, or the two endpoints of the route").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Travel in order of increasing arc distance (toward the route's last
+    /// vertex).
+    #[default]
+    Forward,
+    /// Travel toward the route's first vertex.
+    Backward,
+}
+
+impl Direction {
+    /// The paper encodes direction as a bit; `0` is forward.
+    pub fn from_bit(bit: u8) -> Direction {
+        if bit == 0 {
+            Direction::Forward
+        } else {
+            Direction::Backward
+        }
+    }
+
+    /// Inverse of [`Direction::from_bit`].
+    pub fn to_bit(self) -> u8 {
+        match self {
+            Direction::Forward => 0,
+            Direction::Backward => 1,
+        }
+    }
+
+    /// Sign applied to travelled distance when advancing arc positions.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => 1.0,
+            Direction::Backward => -1.0,
+        }
+    }
+}
+
+/// A line spatial object: the geometry a moving object travels along.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    id: RouteId,
+    name: String,
+    polyline: Polyline,
+}
+
+impl Route {
+    /// Creates a route from an id, a human-readable name, and its geometry.
+    pub fn new(id: RouteId, name: impl Into<String>, polyline: Polyline) -> Self {
+        Route {
+            id,
+            name: name.into(),
+            polyline,
+        }
+    }
+
+    /// Convenience constructor from raw vertices.
+    pub fn from_vertices(
+        id: RouteId,
+        name: impl Into<String>,
+        vertices: Vec<Point>,
+    ) -> Result<Self, GeomError> {
+        Ok(Route::new(id, name, Polyline::new(vertices)?))
+    }
+
+    /// The route's identifier.
+    #[inline]
+    pub fn id(&self) -> RouteId {
+        self.id
+    }
+
+    /// The route's human-readable name (e.g. "Michigan Ave").
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying geometry.
+    #[inline]
+    pub fn polyline(&self) -> &Polyline {
+        &self.polyline
+    }
+
+    /// Total route length (miles).
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.polyline.length()
+    }
+
+    /// Bounding box of the route.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        self.polyline.bbox()
+    }
+
+    /// The (x, y) point at arc distance `arc`, clamped into the route.
+    #[inline]
+    pub fn point_at(&self, arc: f64) -> Point {
+        self.polyline.point_at_distance_clamped(arc)
+    }
+
+    /// Advances an arc position by `distance` travelled in `direction`,
+    /// clamping at the route's ends (a vehicle reaching the end of its
+    /// route stops there until it issues a route-change update).
+    pub fn advance(&self, arc: f64, distance: f64, direction: Direction) -> f64 {
+        debug_assert!(distance >= 0.0, "travelled distance cannot be negative");
+        (arc + direction.sign() * distance).clamp(0.0, self.length())
+    }
+
+    /// Route-distance between two arc positions on this route (§2). The
+    /// paper defines the route-distance between points on *different*
+    /// routes as infinite; that case is handled by
+    /// [`crate::RouteNetwork::route_distance`].
+    #[inline]
+    pub fn route_distance(&self, arc0: f64, arc1: f64) -> f64 {
+        self.polyline.route_distance(arc0, arc1)
+    }
+
+    /// Projects an arbitrary point onto the route, returning
+    /// `(arc_distance, euclidean_distance)`.
+    #[inline]
+    pub fn locate(&self, p: Point) -> (f64, f64) {
+        self.polyline.locate(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight() -> Route {
+        Route::from_vertices(
+            RouteId(1),
+            "test",
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn direction_bits_round_trip() {
+        assert_eq!(Direction::from_bit(0), Direction::Forward);
+        assert_eq!(Direction::from_bit(1), Direction::Backward);
+        assert_eq!(Direction::from_bit(7), Direction::Backward);
+        for d in [Direction::Forward, Direction::Backward] {
+            assert_eq!(Direction::from_bit(d.to_bit()), d);
+        }
+    }
+
+    #[test]
+    fn advance_forward_and_backward() {
+        let r = straight();
+        assert_eq!(r.advance(2.0, 3.0, Direction::Forward), 5.0);
+        assert_eq!(r.advance(5.0, 3.0, Direction::Backward), 2.0);
+    }
+
+    #[test]
+    fn advance_clamps_at_ends() {
+        let r = straight();
+        assert_eq!(r.advance(8.0, 5.0, Direction::Forward), 10.0);
+        assert_eq!(r.advance(2.0, 5.0, Direction::Backward), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = straight();
+        assert_eq!(r.id(), RouteId(1));
+        assert_eq!(r.name(), "test");
+        assert_eq!(r.length(), 10.0);
+        assert_eq!(r.point_at(4.0), Point::new(4.0, 0.0));
+        assert_eq!(r.route_distance(2.0, 9.0), 7.0);
+        let (arc, dist) = r.locate(Point::new(3.0, 4.0));
+        assert_eq!(arc, 3.0);
+        assert_eq!(dist, 4.0);
+    }
+}

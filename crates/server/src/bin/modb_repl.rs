@@ -1,0 +1,146 @@
+//! An interactive query console over a demo fleet.
+//!
+//! Reads `RETRIEVE …` queries from stdin (one per line) and prints
+//! answers; `\h` lists the grammar, `\q` quits. A seeded 50-vehicle fleet
+//! on a 10×10 grid is loaded at startup so there is something to query.
+//!
+//! Run with: `cargo run --release -p modb-server --bin modb_repl`
+//! (pipe queries in for scripted use: `echo "..." | modb_repl`).
+
+use std::io::{BufRead, Write};
+
+use modb_core::{
+    Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+};
+use modb_policy::BoundKind;
+use modb_query::QueryResult;
+use modb_routes::{generators, Direction};
+use modb_server::SharedDatabase;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HELP: &str = "\
+queries:
+  RETRIEVE POSITION OF OBJECT <id|'name'> AT TIME t
+  RETRIEVE OBJECTS INSIDE RECT (x0, y0, x1, y1) AT TIME t
+  RETRIEVE OBJECTS INSIDE POLYGON ((x,y), (x,y), ...) DURING t0 TO t1
+  RETRIEVE OBJECTS WITHIN r OF POINT (x, y) AT TIME t
+  RETRIEVE OBJECTS WITHIN r OF OBJECT <id|'name'> AT TIME t
+  RETRIEVE k NEAREST OBJECTS TO POINT (x, y) AT TIME t
+commands:  \\h help   \\q quit";
+
+fn demo_fleet() -> SharedDatabase {
+    let network = generators::grid_network(10, 10, 1.0, 0).expect("valid grid");
+    let route_ids = network.route_ids();
+    let db = SharedDatabase::new(Database::new(network, DatabaseConfig::default()));
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..50u64 {
+        let rid = route_ids[rng.gen_range(0..route_ids.len())];
+        let (arc, point) = db.with_read(|inner| {
+            let route = inner.network().get(rid).expect("route");
+            let arc = rng.gen_range(0.0..route.length());
+            (arc, route.point_at(arc))
+        });
+        db.register_moving(MovingObject {
+            id: ObjectId(i),
+            name: format!("veh-{i:02}"),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: rid,
+                start_position: point,
+                start_arc: arc,
+                direction: if rng.gen_bool(0.5) {
+                    Direction::Forward
+                } else {
+                    Direction::Backward
+                },
+                speed: rng.gen_range(0.2..1.0),
+                policy: PolicyDescriptor::CostBased {
+                    kind: BoundKind::Immediate,
+                    update_cost: 5.0,
+                },
+            },
+            max_speed: 1.5,
+            trip_end: Some(240.0),
+        })
+        .expect("registered");
+    }
+    db
+}
+
+fn print_result(db: &SharedDatabase, result: &QueryResult) {
+    match result {
+        QueryResult::Position(p) => println!(
+            "  ({:.3}, {:.3}) ± {:.3} mi  [interval miles {:.3}..{:.3}]",
+            p.position.x, p.position.y, p.bound, p.interval.0, p.interval.1
+        ),
+        QueryResult::Range(r) => {
+            let names = |ids: &[ObjectId]| -> String {
+                ids.iter()
+                    .map(|id| {
+                        db.with_read(|inner| {
+                            inner
+                                .moving(*id)
+                                .map(|o| o.name.clone())
+                                .unwrap_or_else(|_| format!("{id:?}"))
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!("  must: [{}]", names(&r.must));
+            println!("  may:  [{}]", names(&r.may));
+            println!("  ({} candidates filtered)", r.candidates);
+        }
+        QueryResult::Nearest(n) => {
+            for nb in &n.ranked {
+                let name = db.with_read(|inner| {
+                    inner
+                        .moving(nb.id)
+                        .map(|o| o.name.clone())
+                        .unwrap_or_default()
+                });
+                println!(
+                    "  {name}: {:.3} mi (±{:.3}) {}",
+                    nb.distance,
+                    nb.bound,
+                    if nb.certain { "[certain]" } else { "[possible]" }
+                );
+            }
+            println!("  ({} contenders outside the ranking)", n.contenders.len());
+        }
+    }
+}
+
+fn main() {
+    let db = demo_fleet();
+    println!(
+        "modb console — {} vehicles on a 10x10-mile grid. \\h for help.",
+        db.moving_count()
+    );
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("modb> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\q" | "quit" | "exit" => break,
+            "\\h" | "help" => {
+                println!("{HELP}");
+                continue;
+            }
+            query => match db.run_query(query) {
+                Ok(result) => print_result(&db, &result),
+                Err(e) => println!("  error: {e}"),
+            },
+        }
+    }
+}

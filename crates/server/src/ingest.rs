@@ -1,0 +1,365 @@
+//! Concurrent update ingestion: the server side of the wireless link.
+//!
+//! Position updates from thousands of vehicles arrive asynchronously; the
+//! [`IngestService`] fans them across worker threads that apply them to a
+//! [`SharedDatabase`], counting accepted and rejected messages.
+//!
+//! **Ordering.** The DBMS rejects stale timestamps, so updates from one
+//! object must be applied in send order. The service therefore *shards*
+//! by object id: each worker owns its own queue, and the
+//! [`IngestHandle`] routes every envelope for a given object to the same
+//! worker — per-object FIFO with cross-object parallelism.
+//!
+//! Rejections (stale timestamps after a vehicle reboot, off-route fixes,
+//! unknown objects) are normal radio-network operation — counted, not
+//! fatal.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, SendError, Sender};
+use modb_core::{ObjectId, UpdateMessage};
+
+/// What flows through a shard queue: an update to apply, or the stop
+/// sentinel that ends the worker. The sentinel (rather than relying on
+/// channel closure) makes [`IngestService::shutdown`] safe even while
+/// producer handles are still alive — without it, an outstanding
+/// [`IngestHandle`] clone would keep the channel open and deadlock the
+/// worker join.
+enum Job {
+    Apply(UpdateEnvelope),
+    Stop,
+}
+
+use crate::shared::SharedDatabase;
+
+/// A position update addressed to one object.
+#[derive(Debug, Clone)]
+pub struct UpdateEnvelope {
+    /// The sending object.
+    pub id: ObjectId,
+    /// The update payload.
+    pub msg: UpdateMessage,
+}
+
+/// Counters published by the ingest workers.
+#[derive(Debug, Default)]
+pub struct IngestStats {
+    accepted: AtomicUsize,
+    rejected: AtomicUsize,
+}
+
+impl IngestStats {
+    /// Updates applied successfully.
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Updates rejected by the DBMS (stale, off-route, unknown object…).
+    pub fn rejected(&self) -> usize {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// Producer-side handle: routes envelopes to the worker owning the
+/// object's shard, preserving per-object order.
+#[derive(Clone)]
+pub struct IngestHandle {
+    shards: Vec<Sender<Job>>,
+}
+
+impl std::fmt::Debug for IngestHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestHandle")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl IngestHandle {
+    /// Enqueues an update; blocks when the owning shard's queue is full
+    /// (back-pressure).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] when the service has shut down.
+    pub fn send(&self, envelope: UpdateEnvelope) -> Result<(), SendError<UpdateEnvelope>> {
+        let shard = (envelope.id.0 as usize) % self.shards.len();
+        self.shards[shard].send(Job::Apply(envelope)).map_err(|e| {
+            SendError(match e.0 {
+                Job::Apply(env) => env,
+                Job::Stop => unreachable!("handles only send Apply"),
+            })
+        })
+    }
+}
+
+/// A pool of ingest workers draining sharded update queues into the
+/// database.
+pub struct IngestService {
+    handle: Option<IngestHandle>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<IngestStats>,
+}
+
+impl IngestService {
+    /// Spawns `n_workers` sharded workers, each with a queue of capacity
+    /// `queue_depth` (both clamped to ≥ 1).
+    pub fn spawn(db: SharedDatabase, n_workers: usize, queue_depth: usize) -> Self {
+        let stats = Arc::new(IngestStats::default());
+        let mut shards = Vec::with_capacity(n_workers.max(1));
+        let mut workers = Vec::with_capacity(n_workers.max(1));
+        for _ in 0..n_workers.max(1) {
+            let (tx, rx) = bounded::<Job>(queue_depth.max(1));
+            let db = db.clone();
+            let stats = Arc::clone(&stats);
+            workers.push(std::thread::spawn(move || {
+                for job in rx.iter() {
+                    let envelope = match job {
+                        Job::Apply(env) => env,
+                        Job::Stop => break,
+                    };
+                    match db.apply_update(envelope.id, &envelope.msg) {
+                        Ok(()) => {
+                            stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }));
+            shards.push(tx);
+        }
+        IngestService {
+            handle: Some(IngestHandle { shards }),
+            workers,
+            stats,
+        }
+    }
+
+    /// A producer handle (one per vehicle link, typically). Cloneable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`IngestService::shutdown`].
+    pub fn handle(&self) -> IngestHandle {
+        self.handle
+            .as_ref()
+            .expect("ingest service already shut down")
+            .clone()
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Drains the queues and stops the workers, even if producer handles
+    /// are still alive (a stop sentinel is enqueued behind any pending
+    /// updates). Returns `(accepted, rejected)`.
+    pub fn shutdown(mut self) -> (usize, usize) {
+        self.stop_workers();
+        (self.stats.accepted(), self.stats.rejected())
+    }
+
+    fn stop_workers(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            for shard in &handle.shards {
+                // Queued behind pending updates: the worker drains them
+                // first, then exits. A full queue blocks briefly; a
+                // disconnected one means the worker is already gone.
+                let _ = shard.send(Job::Stop);
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for IngestService {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_core::{
+        Database, DatabaseConfig, MovingObject, PolicyDescriptor, PositionAttribute,
+        UpdatePosition,
+    };
+    use modb_geom::Point;
+    use modb_policy::BoundKind;
+    use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+
+    fn shared(n_objects: u64) -> SharedDatabase {
+        let route = Route::from_vertices(
+            RouteId(1),
+            "r",
+            vec![Point::new(0.0, 0.0), Point::new(1_000.0, 0.0)],
+        )
+        .unwrap();
+        let network = RouteNetwork::from_routes([route]).unwrap();
+        let db = SharedDatabase::new(Database::new(network, DatabaseConfig::default()));
+        for i in 0..n_objects {
+            db.register_moving(MovingObject {
+                id: ObjectId(i),
+                name: format!("veh-{i}"),
+                attr: PositionAttribute {
+                    start_time: 0.0,
+                    route: RouteId(1),
+                    start_position: Point::new(i as f64, 0.0),
+                    start_arc: i as f64,
+                    direction: Direction::Forward,
+                    speed: 1.0,
+                    policy: PolicyDescriptor::CostBased {
+                        kind: BoundKind::Immediate,
+                        update_cost: 5.0,
+                    },
+                },
+                max_speed: 1.5,
+                trip_end: None,
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn ingest_applies_all_valid_updates_in_order() {
+        let db = shared(50);
+        let service = IngestService::spawn(db.clone(), 4, 64);
+        let handle = service.handle();
+        // 10 producers; each owns 5 objects and sends monotone updates.
+        // Sharding by id keeps per-object order even across workers.
+        std::thread::scope(|s| {
+            for p in 0..10u64 {
+                let handle = handle.clone();
+                s.spawn(move || {
+                    for round in 1..=5u64 {
+                        for i in 0..50u64 {
+                            if i % 10 != p {
+                                continue;
+                            }
+                            handle
+                                .send(UpdateEnvelope {
+                                    id: ObjectId(i),
+                                    msg: UpdateMessage::basic(
+                                        round as f64,
+                                        UpdatePosition::Arc(i as f64 + round as f64),
+                                        0.9,
+                                    ),
+                                })
+                                .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        drop(handle);
+        let (accepted, rejected) = service.shutdown();
+        assert_eq!(accepted, 250);
+        assert_eq!(rejected, 0);
+        db.with_read(|inner| {
+            for i in 0..50u64 {
+                assert_eq!(inner.moving(ObjectId(i)).unwrap().attr.start_time, 5.0);
+            }
+        });
+    }
+
+    #[test]
+    fn rejections_are_counted_not_fatal() {
+        let db = shared(2);
+        let service = IngestService::spawn(db.clone(), 2, 8);
+        let handle = service.handle();
+        handle
+            .send(UpdateEnvelope {
+                id: ObjectId(0),
+                msg: UpdateMessage::basic(5.0, UpdatePosition::Arc(10.0), 1.0),
+            })
+            .unwrap();
+        handle
+            .send(UpdateEnvelope {
+                id: ObjectId(99), // unknown
+                msg: UpdateMessage::basic(5.0, UpdatePosition::Arc(1.0), 1.0),
+            })
+            .unwrap();
+        handle
+            .send(UpdateEnvelope {
+                id: ObjectId(1),
+                msg: UpdateMessage::basic(5.0, UpdatePosition::Arc(-3.0), 1.0), // invalid
+            })
+            .unwrap();
+        drop(handle);
+        let (accepted, rejected) = service.shutdown();
+        assert_eq!(accepted, 1);
+        assert_eq!(rejected, 2);
+    }
+
+    #[test]
+    fn queries_run_while_ingesting() {
+        let db = shared(100);
+        let service = IngestService::spawn(db.clone(), 4, 128);
+        let handle = service.handle();
+        let producer = std::thread::spawn(move || {
+            for round in 1..=20u64 {
+                for i in 0..100u64 {
+                    handle
+                        .send(UpdateEnvelope {
+                            id: ObjectId(i),
+                            msg: UpdateMessage::basic(
+                                round as f64 * 0.1,
+                                UpdatePosition::Arc(i as f64 + round as f64 * 0.1),
+                                1.0,
+                            ),
+                        })
+                        .unwrap();
+                }
+            }
+        });
+        for _ in 0..50 {
+            let r = db
+                .within_distance_of_point(Point::new(50.0, 0.0), 25.0, 2.0)
+                .unwrap();
+            assert!(r.candidates <= 100);
+        }
+        producer.join().unwrap();
+        let (accepted, rejected) = service.shutdown();
+        assert_eq!(accepted + rejected, 2000);
+        assert_eq!(rejected, 0, "sharded routing preserves per-object order");
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_workers() {
+        let db = shared(1);
+        let service = IngestService::spawn(db, 2, 4);
+        let handle = service.handle();
+        handle
+            .send(UpdateEnvelope {
+                id: ObjectId(0),
+                msg: UpdateMessage::basic(1.0, UpdatePosition::Arc(1.0), 1.0),
+            })
+            .unwrap();
+        drop(handle);
+        drop(service); // must not hang or leak
+    }
+
+    #[test]
+    fn send_after_shutdown_errors() {
+        let db = shared(1);
+        let service = IngestService::spawn(db, 1, 4);
+        let handle = service.handle();
+        let (a, r) = service.shutdown();
+        assert_eq!((a, r), (0, 0));
+        assert!(handle
+            .send(UpdateEnvelope {
+                id: ObjectId(0),
+                msg: UpdateMessage::basic(1.0, UpdatePosition::Arc(1.0), 1.0),
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # modb-server — service façade for the moving-objects database
+//!
+//! The paper's deployment (§1) has many vehicles sending position updates
+//! over wireless links while stationary and mobile users pose queries.
+//! This crate provides that service shape on top of `modb-core`:
+//!
+//! - [`SharedDatabase`]: a cloneable, thread-safe handle (readers–writer
+//!   locking via `parking_lot`) exposing the full query API, including the
+//!   `modb-query` text language.
+//! - [`IngestService`]: a sharded crossbeam-channel worker pool draining an
+//!   asynchronous stream of [`UpdateEnvelope`]s into the database with
+//!   per-object FIFO ordering, plus accepted/rejected counters — rejected
+//!   messages (stale, off-route, unknown sender) are radio-network
+//!   business as usual.
+
+#![warn(missing_docs)]
+
+mod ingest;
+mod shared;
+
+pub use ingest::{IngestHandle, IngestService, IngestStats, UpdateEnvelope};
+pub use shared::SharedDatabase;

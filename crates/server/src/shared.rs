@@ -1,0 +1,248 @@
+//! A thread-safe database handle.
+
+use std::sync::Arc;
+
+use modb_core::{
+    CoreError, Database, MovingObject, ObjectId, PositionAnswer, RangeAnswer, StationaryObject,
+    UpdateMessage,
+};
+use modb_geom::Point;
+use modb_index::QueryRegion;
+use modb_query::{QueryError, QueryResult};
+use parking_lot::RwLock;
+
+/// A cloneable, thread-safe handle to one moving-objects database.
+///
+/// Queries take a read lock (many concurrent readers); updates take a
+/// write lock. The lock is held only for the duration of one operation —
+/// the underlying [`Database`] operations are all short (no I/O).
+#[derive(Debug, Clone)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+}
+
+impl SharedDatabase {
+    /// Wraps a database for shared use.
+    pub fn new(db: Database) -> Self {
+        SharedDatabase {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Registers a moving object.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::register_moving`].
+    pub fn register_moving(&self, obj: MovingObject) -> Result<(), CoreError> {
+        self.inner.write().register_moving(obj)
+    }
+
+    /// Registers a stationary landmark.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::insert_stationary`].
+    pub fn insert_stationary(&self, obj: StationaryObject) -> Result<(), CoreError> {
+        self.inner.write().insert_stationary(obj)
+    }
+
+    /// Applies a position update.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::apply_update`].
+    pub fn apply_update(&self, id: ObjectId, msg: &UpdateMessage) -> Result<(), CoreError> {
+        self.inner.write().apply_update(id, msg)
+    }
+
+    /// Removes a moving object.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::remove_moving`].
+    pub fn remove_moving(&self, id: ObjectId) -> Result<MovingObject, CoreError> {
+        self.inner.write().remove_moving(id)
+    }
+
+    /// Position query with deviation bound.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::position_of`].
+    pub fn position_of(&self, id: ObjectId, t: f64) -> Result<PositionAnswer, CoreError> {
+        self.inner.read().position_of(id, t)
+    }
+
+    /// As-of position query.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::position_of_as_of`].
+    pub fn position_of_as_of(&self, id: ObjectId, t: f64) -> Result<PositionAnswer, CoreError> {
+        self.inner.read().position_of_as_of(id, t)
+    }
+
+    /// May/must range query via the time-space index.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::range_query`].
+    pub fn range_query(&self, region: &QueryRegion) -> Result<RangeAnswer, CoreError> {
+        self.inner.read().range_query(region)
+    }
+
+    /// Within-distance-of-point query.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::within_distance_of_point`].
+    pub fn within_distance_of_point(
+        &self,
+        center: Point,
+        radius: f64,
+        t: f64,
+    ) -> Result<RangeAnswer, CoreError> {
+        self.inner.read().within_distance_of_point(center, radius, t)
+    }
+
+    /// Executes a textual query (the `modb-query` language).
+    ///
+    /// # Errors
+    ///
+    /// See [`modb_query::run`].
+    pub fn run_query(&self, src: &str) -> Result<QueryResult, QueryError> {
+        modb_query::run(&self.inner.read(), src)
+    }
+
+    /// Number of moving objects.
+    pub fn moving_count(&self) -> usize {
+        self.inner.read().moving_count()
+    }
+
+    /// Runs an arbitrary read-only closure against the database (escape
+    /// hatch for operations not mirrored here).
+    pub fn with_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_core::{DatabaseConfig, PolicyDescriptor, PositionAttribute, UpdatePosition};
+    use modb_policy::BoundKind;
+    use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+
+    fn shared() -> SharedDatabase {
+        let route = Route::from_vertices(
+            RouteId(1),
+            "r",
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+        )
+        .unwrap();
+        let network = RouteNetwork::from_routes([route]).unwrap();
+        SharedDatabase::new(Database::new(network, DatabaseConfig::default()))
+    }
+
+    fn obj(id: u64, arc: f64) -> MovingObject {
+        MovingObject {
+            id: ObjectId(id),
+            name: format!("veh-{id}"),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: RouteId(1),
+                start_position: Point::new(arc, 0.0),
+                start_arc: arc,
+                direction: Direction::Forward,
+                speed: 1.0,
+                policy: PolicyDescriptor::CostBased {
+                    kind: BoundKind::Immediate,
+                    update_cost: 5.0,
+                },
+            },
+            max_speed: 1.5,
+            trip_end: None,
+        }
+    }
+
+    #[test]
+    fn basic_operations_through_handle() {
+        let db = shared();
+        db.register_moving(obj(1, 10.0)).unwrap();
+        assert_eq!(db.moving_count(), 1);
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(2.0, UpdatePosition::Arc(12.0), 0.5),
+        )
+        .unwrap();
+        let p = db.position_of(ObjectId(1), 4.0).unwrap();
+        assert_eq!(p.arc, 13.0);
+        let r = db
+            .run_query("RETRIEVE OBJECTS WITHIN 5 OF POINT (13, 0) AT TIME 4")
+            .unwrap();
+        assert_eq!(r.as_range().unwrap().all(), vec![ObjectId(1)]);
+        let past = db.position_of_as_of(ObjectId(1), 1.0).unwrap();
+        assert_eq!(past.arc, 11.0);
+        db.remove_moving(ObjectId(1)).unwrap();
+        assert_eq!(db.moving_count(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = shared();
+        let b = a.clone();
+        a.register_moving(obj(1, 10.0)).unwrap();
+        assert_eq!(b.moving_count(), 1);
+        b.with_read(|db| assert!(db.moving(ObjectId(1)).is_ok()));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let db = shared();
+        for i in 0..20 {
+            db.register_moving(obj(i, i as f64)).unwrap();
+        }
+        std::thread::scope(|s| {
+            // Writers: each thread updates its own disjoint objects.
+            for w in 0..4u64 {
+                let handle = db.clone();
+                s.spawn(move || {
+                    for round in 1..=50u64 {
+                        for i in (w * 5)..(w * 5 + 5) {
+                            let t = round as f64 * 0.1;
+                            handle
+                                .apply_update(
+                                    ObjectId(i),
+                                    &UpdateMessage::basic(
+                                        t,
+                                        UpdatePosition::Arc((i as f64 + t).min(100.0)),
+                                        0.8,
+                                    ),
+                                )
+                                .unwrap();
+                        }
+                    }
+                });
+            }
+            // Readers hammer queries concurrently.
+            for _ in 0..4 {
+                let handle = db.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let r = handle
+                            .within_distance_of_point(Point::new(50.0, 0.0), 30.0, 5.0)
+                            .unwrap();
+                        assert!(r.candidates <= 20);
+                    }
+                });
+            }
+        });
+        // All final updates applied: every object's start_time is 5.0.
+        db.with_read(|inner| {
+            for id in inner.moving_ids().collect::<Vec<_>>() {
+                assert_eq!(inner.moving(id).unwrap().attr.start_time, 5.0);
+            }
+        });
+    }
+}

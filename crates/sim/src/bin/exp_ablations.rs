@@ -1,0 +1,67 @@
+//! A1–A5: ablation studies over the quintuple's design choices
+//! (DESIGN.md §6): fitting method, speed predictor, adaptive switching,
+//! GPS noise, and simulation-tick sensitivity.
+//!
+//! Usage: `exp_ablations [n_trips] [duration_minutes]` — defaults 50 × 30.
+
+use modb_sim::experiments::ablations::{
+    ablation_table, run_adaptive_ablation, run_fitting_ablation, run_noise_ablation,
+    run_predictor_ablation, run_tick_ablation,
+};
+use modb_sim::WorkloadConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_trips = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(50);
+    let duration = args
+        .iter()
+        .filter_map(|a| a.parse::<f64>().ok())
+        .nth(1)
+        .unwrap_or(30.0);
+    let cfg = WorkloadConfig {
+        n_trips,
+        duration,
+        ..WorkloadConfig::default()
+    };
+    const C: f64 = 5.0;
+    eprintln!("running ablations: {n_trips} trips x {duration} min, C = {C}");
+
+    println!(
+        "{}",
+        ablation_table(
+            "A1: fitting method (ail estimator/predictor, C = 5)",
+            &run_fitting_ablation(42, cfg, C),
+        )
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "A2: speed predictor (immediate-linear estimator, C = 5)",
+            &run_predictor_ablation(42, cfg, C),
+        )
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "A3: adaptive switching vs fixed policies, per driving profile",
+            &run_adaptive_ablation(42, n_trips.min(20), duration, C),
+        )
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "A4: GPS noise robustness (ail; noise sd in miles)",
+            &run_noise_ablation(42, cfg, C, &[0.0, 0.01, 0.05, 0.2]),
+        )
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "A5: simulation tick sensitivity (ail)",
+            &run_tick_ablation(42, cfg, C, &[1.0 / 20.0, 1.0 / 60.0, 1.0 / 120.0]),
+        )
+    );
+}

@@ -1,0 +1,19 @@
+//! F4: deviation-bound curves over time since the last update — dl
+//! plateaus, ail/cil rise then decay (§3.3).
+//!
+//! Usage: `exp_f4_bound_shape [v] [v_max] [C]` — defaults are Example 1's
+//! v = 1, V = 1.5, C = 5.
+
+use modb_sim::experiments::bound_shape::{bound_shape_table, run_bound_shape};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let v = args.first().copied().unwrap_or(1.0);
+    let v_max = args.get(1).copied().unwrap_or(1.5);
+    let c = args.get(2).copied().unwrap_or(5.0);
+    let rows = run_bound_shape(v, v_max, c, 15.0, 0.5);
+    println!("{}", bound_shape_table(&rows, v, v_max, c));
+}

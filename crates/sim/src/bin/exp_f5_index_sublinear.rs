@@ -1,0 +1,17 @@
+//! F5: range-query cost via the 3-D R\*-tree vs exhaustive scan, as the
+//! fleet grows — §4's sublinearity claim.
+//!
+//! Usage: `exp_f5_index_sublinear [queries_per_size]` — default 50.
+
+use modb_sim::experiments::indexing::{run_sublinear, sublinear_table};
+
+fn main() {
+    let queries = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    let sizes = [1_000, 5_000, 20_000, 50_000];
+    eprintln!("running sublinearity experiment: fleets {sizes:?}, {queries} queries each");
+    let rows = run_sublinear(&sizes, queries);
+    println!("{}", sublinear_table(&rows));
+}

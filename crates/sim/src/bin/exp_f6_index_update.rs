@@ -1,0 +1,13 @@
+//! F6: index-maintenance throughput — §4.2's position-update step
+//! (delete the old o-plane's boxes, insert the new o-plane's).
+//!
+//! Usage: `exp_f6_index_update` (fixed fleet sizes).
+
+use modb_sim::experiments::indexing::{index_update_table, run_index_update};
+
+fn main() {
+    let sizes = [1_000, 5_000, 20_000];
+    eprintln!("running index-update experiment: fleets {sizes:?}");
+    let rows = run_index_update(&sizes);
+    println!("{}", index_update_table(&rows));
+}

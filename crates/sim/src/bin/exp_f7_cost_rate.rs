@@ -1,0 +1,18 @@
+//! F7 (supplementary): the cost-rate curve whose minimum Proposition 1
+//! identifies, at the Example 1 parameters.
+//!
+//! Usage: `exp_f7_cost_rate [a] [b] [C]` — defaults a = 1, b = 2, C = 5.
+
+use modb_sim::experiments::cost_rate_curve::{cost_rate_table, run_cost_rate_curve};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let a = args.first().copied().unwrap_or(1.0);
+    let b = args.get(1).copied().unwrap_or(2.0);
+    let c = args.get(2).copied().unwrap_or(5.0);
+    let rows = run_cost_rate_curve(a, b, c, 21);
+    println!("{}", cost_rate_table(&rows, a, b, c));
+}

@@ -1,0 +1,64 @@
+//! F1 + F2 + F3: the §3.4 policy sweep — messages, total cost, and average
+//! uncertainty per policy as functions of the message cost C.
+//!
+//! Usage: `exp_policy_sweep [n_trips] [duration_minutes] [--baselines]`
+//! Defaults: 100 one-hour trips, paper policies only.
+
+use modb_sim::experiments::policy_sweep::{run_sweep, MetricKind, SweepConfig};
+use modb_sim::WorkloadConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_trips = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(100);
+    let duration = args
+        .iter()
+        .filter_map(|a| a.parse::<f64>().ok())
+        .nth(1)
+        .unwrap_or(60.0);
+    let include_baselines = args.iter().any(|a| a == "--baselines");
+
+    let config = SweepConfig {
+        workload: WorkloadConfig {
+            n_trips,
+            duration,
+            ..WorkloadConfig::default()
+        },
+        include_baselines,
+        ..SweepConfig::default()
+    };
+    eprintln!(
+        "running sweep: {n_trips} trips x {duration} min x {} cost points{}",
+        config.c_values.len(),
+        if include_baselines { " + baselines" } else { "" }
+    );
+    let result = run_sweep(&config);
+    println!("{}", result.table(MetricKind::Messages));
+    println!("{}", result.table(MetricKind::TotalCost));
+    println!("{}", result.table(MetricKind::AvgUncertainty));
+    println!("{}", result.table(MetricKind::AvgDeviation));
+    println!(
+        "bound violations across all runs: {} (soundness check; expected 0)",
+        result.total_bound_violations()
+    );
+
+    // `--csv <dir>` also writes plot-ready files.
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let dir = std::path::PathBuf::from(
+            args.get(pos + 1).map(String::as_str).unwrap_or("results/csv"),
+        );
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for (kind, name) in [
+            (MetricKind::Messages, "f1_messages.csv"),
+            (MetricKind::TotalCost, "f2_total_cost.csv"),
+            (MetricKind::AvgUncertainty, "f3_uncertainty.csv"),
+            (MetricKind::AvgDeviation, "avg_deviation.csv"),
+        ] {
+            modb_sim::csv::write_sweep_csv(&result, kind, &dir.join(name))
+                .expect("write csv");
+        }
+        eprintln!("csv written to {}", dir.display());
+    }
+}

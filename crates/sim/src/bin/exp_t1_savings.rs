@@ -1,0 +1,30 @@
+//! T1: update savings vs the traditional non-temporal method (§1/§6's
+//! "15 % of the updates / 85 % of the bandwidth" headline).
+//!
+//! Usage: `exp_t1_savings [n_trips] [C]` — defaults 100 trips, C = 5.
+
+use modb_sim::experiments::savings::{run_savings, savings_table};
+use modb_sim::WorkloadConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_trips = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(100);
+    let c = args
+        .iter()
+        .filter_map(|a| a.parse::<f64>().ok())
+        .nth(1)
+        .unwrap_or(5.0);
+    eprintln!("running savings experiment: {n_trips} trips, C = {c}");
+    let rows = run_savings(
+        42,
+        WorkloadConfig {
+            n_trips,
+            ..WorkloadConfig::default()
+        },
+        c,
+    );
+    println!("{}", savings_table(&rows, c));
+}

@@ -1,0 +1,26 @@
+//! T3: may/must answer quality (Theorems 5–6) over simulated ground
+//! truth: `must ⊆ actually-in-G ⊆ must ∪ may` with zero violations.
+//!
+//! Usage: `exp_t3_may_must [n_objects] [n_queries]` — defaults 2000 / 100.
+
+use modb_sim::experiments::indexing::{may_must_table, run_may_must};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let n_objects = args.first().copied().unwrap_or(2_000);
+    let n_queries = args.get(1).copied().unwrap_or(100);
+    // t = 10: past the immediate policies' bound crossover, so intervals
+    // have shrunk and the must set is populated (Theorem 6 exercised).
+    eprintln!("running may/must experiment: {n_objects} objects, {n_queries} queries");
+    let r = run_may_must(n_objects, n_queries, 10.0);
+    println!("{}", may_must_table(&r));
+    if r.violations == 0 {
+        println!("soundness: OK (no violations)");
+    } else {
+        println!("soundness: FAILED ({} violations)", r.violations);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Plot-ready CSV export of experiment results.
+//!
+//! The paper presents its evaluation as plots; `render_table` prints the
+//! human-readable form and these helpers write the same data as CSV so a
+//! plotting tool can regenerate the figures. Plain `std::fs` — no
+//! serialisation dependency needed for flat numeric tables.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::experiments::ablations::AblationRow;
+use crate::experiments::policy_sweep::{MetricKind, SweepResult};
+
+/// Writes one sweep metric as CSV: header `c,<policy>,…`, one row per C.
+///
+/// # Errors
+///
+/// I/O failures propagate.
+pub fn write_sweep_csv(
+    result: &SweepResult,
+    kind: MetricKind,
+    path: &Path,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "c")?;
+    for p in &result.policies {
+        write!(f, ",{p}")?;
+    }
+    writeln!(f)?;
+    for &c in &result.c_values {
+        write!(f, "{c}")?;
+        for p in &result.policies {
+            let v = result
+                .get(p, c)
+                .map(|m| kind_value(kind, m))
+                .unwrap_or(f64::NAN);
+            write!(f, ",{v}")?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+fn kind_value(kind: MetricKind, m: &crate::metrics::AggregateMetrics) -> f64 {
+    match kind {
+        MetricKind::Messages => m.messages,
+        MetricKind::TotalCost => m.total_cost,
+        MetricKind::AvgUncertainty => m.avg_uncertainty,
+        MetricKind::AvgDeviation => m.avg_deviation,
+    }
+}
+
+/// Writes ablation rows as CSV.
+///
+/// # Errors
+///
+/// I/O failures propagate.
+pub fn write_ablation_csv(rows: &[AblationRow], path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "variant,messages,total_cost,avg_uncertainty,avg_deviation")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{},{}",
+            r.variant,
+            r.metrics.messages,
+            r.metrics.total_cost,
+            r.metrics.avg_uncertainty,
+            r.metrics.avg_deviation
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::policy_sweep::{run_sweep, SweepConfig};
+    use crate::WorkloadConfig;
+
+    #[test]
+    fn sweep_csv_round_trips() {
+        let result = run_sweep(&SweepConfig {
+            seed: 1,
+            workload: WorkloadConfig {
+                n_trips: 3,
+                duration: 5.0,
+                ..WorkloadConfig::default()
+            },
+            c_values: vec![1.0, 5.0],
+            include_baselines: false,
+            ..SweepConfig::default()
+        });
+        let dir = std::env::temp_dir().join("modb_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("messages.csv");
+        write_sweep_csv(&result, MetricKind::Messages, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "c,dl,ail,cil");
+        assert_eq!(lines.count(), 2);
+        // First data row starts with the first C value.
+        assert!(text.lines().nth(1).unwrap().starts_with("1,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ablation_csv_has_header_and_rows() {
+        use crate::experiments::ablations::run_fitting_ablation;
+        let rows = run_fitting_ablation(
+            2,
+            WorkloadConfig {
+                n_trips: 2,
+                duration: 5.0,
+                ..WorkloadConfig::default()
+            },
+            5.0,
+        );
+        let dir = std::env::temp_dir().join("modb_csv_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ablation.csv");
+        write_ablation_csv(&rows, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("variant,messages"));
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,337 @@
+//! Ablation studies for the quintuple's design choices (DESIGN.md §6).
+//!
+//! The paper fixes the simple fitting method and studies three predictor
+//! choices; the quintuple makes every slot swappable. These experiments
+//! vary one slot at a time on the same workload:
+//!
+//! - **A1 fitting**: simple vs least-squares fitting.
+//! - **A2 predictor**: current vs average-since-update vs trip-average.
+//! - **A3 adaptive**: the §3.1 regime-switching meta-policy vs its fixed
+//!   components, per driving profile.
+//! - **A4 gps noise**: policy robustness to positioning error (the paper
+//!   assumes exact GPS; this quantifies the sensitivity).
+//! - **A5 tick**: simulation-resolution sensitivity (a methodology check:
+//!   results should be stable as the tick shrinks).
+
+use modb_motion::{GpsSampler, TripProfile};
+use modb_policy::{
+    AdaptivePolicy, DeviationCost, EstimatorKind, FittingMethod, Policy, PolicyEngine,
+    PositionUpdate, Quintuple, SpeedPredictor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::{AggregateMetrics, RunMetrics};
+use crate::report::{fmt, render_table};
+use crate::runner::{run_policy, DEFAULT_TICK};
+use crate::workload::{Workload, WorkloadConfig};
+
+/// One labelled variant's aggregate on a workload.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Aggregated metrics.
+    pub metrics: AggregateMetrics,
+}
+
+fn aggregate_over<F>(workload: &Workload, mut make: F) -> AggregateMetrics
+where
+    F: FnMut(f64, PositionUpdate) -> Box<dyn Policy>,
+{
+    let cost = DeviationCost::UNIT_UNIFORM;
+    let runs: Vec<RunMetrics> = workload
+        .iter()
+        .map(|(route, trip)| {
+            let initial = PositionUpdate {
+                time: trip.start_time(),
+                arc: trip.start_arc(),
+                speed: trip.speed_at(trip.start_time() + DEFAULT_TICK),
+            };
+            let mut p = make(route.length(), initial);
+            run_policy(trip, route, p.as_mut(), &cost, DEFAULT_TICK, trip.max_speed().max(1e-6))
+                .expect("well-formed observations")
+        })
+        .collect();
+    AggregateMetrics::from_runs(&runs)
+}
+
+/// A1: fitting-method ablation at update cost `c`.
+pub fn run_fitting_ablation(seed: u64, cfg: WorkloadConfig, c: f64) -> Vec<AblationRow> {
+    let workload = Workload::generate(seed, cfg);
+    [FittingMethod::Simple, FittingMethod::LeastSquares]
+        .into_iter()
+        .map(|fitting| {
+            let q = Quintuple {
+                fitting,
+                ..Quintuple::ail(c)
+            };
+            AblationRow {
+                variant: format!("{fitting:?}"),
+                metrics: aggregate_over(&workload, |len, init| {
+                    Box::new(PolicyEngine::new(q, len, 1.0, init).expect("valid"))
+                }),
+            }
+        })
+        .collect()
+}
+
+/// A2: predictor ablation (immediate-linear estimator, all predictors).
+pub fn run_predictor_ablation(seed: u64, cfg: WorkloadConfig, c: f64) -> Vec<AblationRow> {
+    let workload = Workload::generate(seed, cfg);
+    [
+        SpeedPredictor::Current,
+        SpeedPredictor::AverageSinceUpdate,
+        SpeedPredictor::TripAverage,
+    ]
+    .into_iter()
+    .map(|predictor| {
+        let q = Quintuple {
+            predictor,
+            estimator: EstimatorKind::ImmediateLinear,
+            ..Quintuple::ail(c)
+        };
+        AblationRow {
+            variant: predictor.label().to_string(),
+            metrics: aggregate_over(&workload, |len, init| {
+                Box::new(PolicyEngine::new(q, len, 1.0, init).expect("valid"))
+            }),
+        }
+    })
+    .collect()
+}
+
+/// A3: adaptive meta-policy vs fixed ail and cil, per driving profile.
+pub fn run_adaptive_ablation(seed: u64, n_trips: usize, duration: f64, c: f64) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for profile in [TripProfile::Highway, TripProfile::City, TripProfile::Mixed] {
+        let workload = Workload::generate(
+            seed,
+            WorkloadConfig {
+                n_trips,
+                duration,
+                profile: Some(profile),
+                ..WorkloadConfig::default()
+            },
+        );
+        for variant in ["ail", "cil", "adaptive"] {
+            let metrics = aggregate_over(&workload, |len, init| match variant {
+                "ail" => Box::new(PolicyEngine::new(Quintuple::ail(c), len, 1.0, init).expect("valid")),
+                "cil" => Box::new(PolicyEngine::new(Quintuple::cil(c), len, 1.0, init).expect("valid")),
+                _ => Box::new(AdaptivePolicy::new(c, len, 1.0, init).expect("valid")),
+            });
+            rows.push(AblationRow {
+                variant: format!("{profile:?}/{variant}"),
+                metrics,
+            });
+        }
+    }
+    rows
+}
+
+/// A4: GPS-noise robustness — the onboard computer observes a noisy arc.
+///
+/// Implemented by perturbing the observation stream fed to the engine;
+/// the *metrics* are still computed against the true position, so the
+/// reported deviation cost reflects reality, not the corrupted belief.
+pub fn run_noise_ablation(seed: u64, cfg: WorkloadConfig, c: f64, sds: &[f64]) -> Vec<AblationRow> {
+    let workload = Workload::generate(seed, cfg);
+    let cost = DeviationCost::UNIT_UNIFORM;
+    sds.iter()
+        .map(|&sd| {
+            let sampler = if sd > 0.0 {
+                GpsSampler::noisy(sd)
+            } else {
+                GpsSampler::exact()
+            };
+            let runs: Vec<RunMetrics> = workload
+                .iter()
+                .enumerate()
+                .map(|(i, (route, trip))| {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 17);
+                    let initial = PositionUpdate {
+                        time: trip.start_time(),
+                        arc: trip.start_arc(),
+                        speed: trip.speed_at(trip.start_time() + DEFAULT_TICK),
+                    };
+                    let mut engine =
+                        PolicyEngine::new(Quintuple::ail(c), route.length(), 1.0, initial)
+                            .expect("valid");
+                    // Bespoke loop: feed noisy observations, measure truth.
+                    let mut m = RunMetrics::default();
+                    let n_ticks = (trip.curve().duration() / DEFAULT_TICK).round() as usize;
+                    let mut dev_acc = 0.0;
+                    let mut unc_acc = 0.0;
+                    for k in 1..=n_ticks {
+                        let t = trip.start_time() + k as f64 * DEFAULT_TICK;
+                        let true_arc = trip.arc_at(route, t);
+                        let observed =
+                            sampler.sample_arc(&mut rng, true_arc, route.length());
+                        let true_dev = (true_arc - engine.database_arc(t)).abs();
+                        m.deviation_cost += cost.tick_cost(true_dev, DEFAULT_TICK);
+                        dev_acc += true_dev * DEFAULT_TICK;
+                        unc_acc += engine.uncertainty(t, trip.max_speed().max(1e-6))
+                            * DEFAULT_TICK;
+                        m.max_deviation = m.max_deviation.max(true_dev);
+                        if engine
+                            .tick(t, observed, trip.speed_at(t))
+                            .expect("well-formed")
+                            .is_some()
+                        {
+                            m.messages += 1;
+                        }
+                    }
+                    m.duration = n_ticks as f64 * DEFAULT_TICK;
+                    m.avg_deviation = dev_acc / m.duration;
+                    m.avg_uncertainty = unc_acc / m.duration;
+                    m.total_cost = c * m.messages as f64 + m.deviation_cost;
+                    m
+                })
+                .collect();
+            AblationRow {
+                variant: format!("sd={sd}"),
+                metrics: AggregateMetrics::from_runs(&runs),
+            }
+        })
+        .collect()
+}
+
+/// A5: tick-resolution sensitivity for the ail policy.
+pub fn run_tick_ablation(seed: u64, cfg: WorkloadConfig, c: f64, ticks: &[f64]) -> Vec<AblationRow> {
+    let workload = Workload::generate(seed, cfg);
+    let cost = DeviationCost::UNIT_UNIFORM;
+    ticks
+        .iter()
+        .map(|&dt| {
+            let runs: Vec<RunMetrics> = workload
+                .iter()
+                .map(|(route, trip)| {
+                    let initial = PositionUpdate {
+                        time: trip.start_time(),
+                        arc: trip.start_arc(),
+                        speed: trip.speed_at(trip.start_time() + dt),
+                    };
+                    let mut engine =
+                        PolicyEngine::new(Quintuple::ail(c), route.length(), 1.0, initial)
+                            .expect("valid");
+                    run_policy(trip, route, &mut engine, &cost, dt, trip.max_speed().max(1e-6))
+                        .expect("well-formed")
+                })
+                .collect();
+            AblationRow {
+                variant: format!("dt={dt:.4}"),
+                metrics: AggregateMetrics::from_runs(&runs),
+            }
+        })
+        .collect()
+}
+
+/// Renders an ablation table.
+pub fn ablation_table(title: &str, rows: &[AblationRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                fmt(r.metrics.messages),
+                fmt(r.metrics.total_cost),
+                fmt(r.metrics.avg_uncertainty),
+                fmt(r.metrics.avg_deviation),
+            ]
+        })
+        .collect();
+    render_table(
+        title,
+        &["variant", "msgs/trip", "total cost", "avg unc", "avg dev"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            n_trips: 6,
+            duration: 15.0,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn fitting_ablation_runs_both_variants() {
+        let rows = run_fitting_ablation(3, cfg(), 5.0);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.metrics.total_cost > 0.0, "{}", r.variant);
+            assert_eq!(r.metrics.bound_violations, 0);
+        }
+    }
+
+    #[test]
+    fn predictor_ablation_has_three_variants() {
+        let rows = run_predictor_ablation(4, cfg(), 5.0);
+        assert_eq!(rows.len(), 3);
+        let labels: Vec<&str> = rows.iter().map(|r| r.variant.as_str()).collect();
+        assert!(labels.contains(&"current"));
+        assert!(labels.contains(&"avg-since-update"));
+        assert!(labels.contains(&"trip-avg"));
+    }
+
+    #[test]
+    fn adaptive_ablation_covers_profiles() {
+        let rows = run_adaptive_ablation(5, 4, 15.0, 5.0);
+        assert_eq!(rows.len(), 9);
+        // The adaptive policy should never be much worse than the worse of
+        // its two components on any profile.
+        for profile in ["Highway", "City", "Mixed"] {
+            let get = |v: &str| {
+                rows.iter()
+                    .find(|r| r.variant == format!("{profile}/{v}"))
+                    .unwrap()
+                    .metrics
+                    .total_cost
+            };
+            let worst_fixed = get("ail").max(get("cil"));
+            assert!(
+                get("adaptive") <= worst_fixed * 1.25,
+                "{profile}: adaptive {} vs worst fixed {worst_fixed}",
+                get("adaptive")
+            );
+        }
+    }
+
+    #[test]
+    fn noise_ablation_degrades_gracefully() {
+        let rows = run_noise_ablation(6, cfg(), 5.0, &[0.0, 0.05, 0.2]);
+        assert_eq!(rows.len(), 3);
+        // More noise cannot *reduce* the achieved deviation much; costs
+        // should be weakly increasing (allow 10 % wiggle for stochastic
+        // effects).
+        assert!(
+            rows[2].metrics.avg_deviation + 1e-9 >= rows[0].metrics.avg_deviation * 0.9,
+            "noise should not magically improve accuracy"
+        );
+    }
+
+    #[test]
+    fn tick_ablation_is_stable() {
+        let rows = run_tick_ablation(7, cfg(), 5.0, &[1.0 / 30.0, 1.0 / 60.0, 1.0 / 120.0]);
+        assert_eq!(rows.len(), 3);
+        // Message counts at 2 s vs 0.5 s ticks should agree within 25 %.
+        let m0 = rows[0].metrics.messages.max(1e-9);
+        let m2 = rows[2].metrics.messages.max(1e-9);
+        assert!(
+            (m0 / m2 - 1.0).abs() < 0.25,
+            "tick sensitivity too high: {m0} vs {m2}"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = run_fitting_ablation(8, cfg(), 5.0);
+        let t = ablation_table("A1", &rows);
+        assert!(t.contains("msgs/trip"));
+    }
+}

@@ -1,0 +1,108 @@
+//! F4: the shape of the deviation bound over time since the last update.
+//!
+//! §3.3's qualitative contrast: the dl bound rises and then *plateaus*,
+//! while the ail/cil bound rises and then *decreases* ("a surprising
+//! positive result"). This experiment tabulates both curves for the
+//! Example 1 parameters.
+
+use modb_policy::{combined_bound, fast_bound, slow_bound, BoundKind};
+
+use crate::report::{fmt, render_table};
+
+/// One sampled time point of the bound curves.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundShapeRow {
+    /// Minutes since the last update.
+    pub t: f64,
+    /// dl slow bound.
+    pub dl_slow: f64,
+    /// dl fast bound.
+    pub dl_fast: f64,
+    /// dl combined bound.
+    pub dl_combined: f64,
+    /// ail/cil slow bound.
+    pub imm_slow: f64,
+    /// ail/cil fast bound.
+    pub imm_fast: f64,
+    /// ail/cil combined bound.
+    pub imm_combined: f64,
+}
+
+/// Samples the bound curves on `[0, t_max]` at step `dt`, for declared
+/// speed `v`, maximum speed `v_max`, update cost `c`.
+pub fn run_bound_shape(v: f64, v_max: f64, c: f64, t_max: f64, dt: f64) -> Vec<BoundShapeRow> {
+    let mut rows = Vec::new();
+    let mut t = 0.0;
+    while t <= t_max + 1e-9 {
+        rows.push(BoundShapeRow {
+            t,
+            dl_slow: slow_bound(BoundKind::Delayed, v, c, t),
+            dl_fast: fast_bound(BoundKind::Delayed, v, v_max, c, t),
+            dl_combined: combined_bound(BoundKind::Delayed, v, v_max, c, t),
+            imm_slow: slow_bound(BoundKind::Immediate, v, c, t),
+            imm_fast: fast_bound(BoundKind::Immediate, v, v_max, c, t),
+            imm_combined: combined_bound(BoundKind::Immediate, v, v_max, c, t),
+        });
+        t += dt;
+    }
+    rows
+}
+
+/// Renders the bound-shape table.
+pub fn bound_shape_table(rows: &[BoundShapeRow], v: f64, v_max: f64, c: f64) -> String {
+    let title = format!(
+        "F4: deviation bound vs time since last update (v={v}, V={v_max}, C={c})\n\
+         shape: dl plateaus; ail/cil rise then decay as 2C/t"
+    );
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.t),
+                fmt(r.dl_slow),
+                fmt(r.dl_fast),
+                fmt(r.dl_combined),
+                fmt(r.imm_slow),
+                fmt(r.imm_fast),
+                fmt(r.imm_combined),
+            ]
+        })
+        .collect();
+    render_table(
+        &title,
+        &["t", "dl slow", "dl fast", "dl comb", "imm slow", "imm fast", "imm comb"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper_narrative() {
+        let rows = run_bound_shape(1.0, 1.5, 5.0, 15.0, 0.5);
+        // dl combined bound is non-decreasing.
+        for w in rows.windows(2) {
+            assert!(w[1].dl_combined >= w[0].dl_combined - 1e-12);
+        }
+        // dl plateaus: last two samples equal.
+        let n = rows.len();
+        assert!((rows[n - 1].dl_combined - rows[n - 2].dl_combined).abs() < 1e-12);
+        // Immediate bound decays at the tail.
+        assert!(rows[n - 1].imm_combined < rows[n / 2].imm_combined);
+        // Both start at zero.
+        assert_eq!(rows[0].dl_combined, 0.0);
+        assert_eq!(rows[0].imm_combined, 0.0);
+        // Immediate ≤ delayed at large t (why ail is superior).
+        assert!(rows[n - 1].imm_combined <= rows[n - 1].dl_combined);
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = run_bound_shape(1.0, 1.5, 5.0, 5.0, 1.0);
+        let t = bound_shape_table(&rows, 1.0, 1.5, 5.0);
+        assert!(t.contains("dl comb"));
+        assert!(t.lines().count() >= rows.len());
+    }
+}

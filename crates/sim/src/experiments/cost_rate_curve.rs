@@ -1,0 +1,104 @@
+//! F7 (supplementary): the cost-rate curve behind Proposition 1.
+//!
+//! Proposition 1 is a minimisation claim; this experiment tabulates the
+//! long-run cost per minute as a function of the update threshold `k` for
+//! the Example 1 parameters, showing the minimum landing exactly at
+//! `k_opt = √(a²b² + 2aC) − ab` — the "figure" a reader would sketch to
+//! understand the proposition.
+
+use modb_policy::{cost_rate, optimal_threshold};
+
+use crate::report::{fmt, render_table};
+
+/// One sampled threshold point.
+#[derive(Debug, Clone, Copy)]
+pub struct CostRateRow {
+    /// Update threshold `k` (miles).
+    pub k: f64,
+    /// Long-run cost per minute at that threshold.
+    pub rate: f64,
+    /// Whether this row is the analytic optimum.
+    pub is_optimum: bool,
+}
+
+/// Samples the cost-rate curve over `[k_opt/8, k_opt·8]` (log-spaced),
+/// inserting the analytic optimum as its own row.
+pub fn run_cost_rate_curve(a: f64, b: f64, c: f64, samples: usize) -> Vec<CostRateRow> {
+    let k_opt = optimal_threshold(a, b, c);
+    let lo = k_opt / 8.0;
+    let hi = k_opt * 8.0;
+    let mut rows: Vec<CostRateRow> = (0..samples)
+        .map(|i| {
+            let f = i as f64 / (samples - 1).max(1) as f64;
+            let k = lo * (hi / lo).powf(f);
+            CostRateRow {
+                k,
+                rate: cost_rate(k, a, b, c),
+                is_optimum: false,
+            }
+        })
+        .collect();
+    rows.push(CostRateRow {
+        k: k_opt,
+        rate: cost_rate(k_opt, a, b, c),
+        is_optimum: true,
+    });
+    rows.sort_by(|x, y| x.k.partial_cmp(&y.k).expect("finite"));
+    rows
+}
+
+/// Renders the curve as a table with the optimum marked.
+pub fn cost_rate_table(rows: &[CostRateRow], a: f64, b: f64, c: f64) -> String {
+    let title = format!(
+        "F7: long-run cost per minute vs update threshold k (a={a}, b={b}, C={c})\n\
+         Proposition 1: minimum at k_opt = sqrt(a^2 b^2 + 2aC) - ab"
+    );
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.k),
+                fmt(r.rate),
+                if r.is_optimum { "<- k_opt".into() } else { String::new() },
+            ]
+        })
+        .collect();
+    render_table(&title, &["k (mi)", "cost/min", ""], &table_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_is_the_minimum_row() {
+        let rows = run_cost_rate_curve(1.0, 2.0, 5.0, 25);
+        let opt = rows.iter().find(|r| r.is_optimum).expect("marked row");
+        for r in &rows {
+            assert!(opt.rate <= r.rate + 1e-12, "k={} beats k_opt", r.k);
+        }
+        // Example 1: k_opt ≈ 1.74.
+        assert!((opt.k - 1.7417).abs() < 1e-3);
+    }
+
+    #[test]
+    fn curve_is_unimodal_around_optimum() {
+        let rows = run_cost_rate_curve(0.5, 1.0, 10.0, 41);
+        let opt_idx = rows.iter().position(|r| r.is_optimum).unwrap();
+        // Non-increasing before, non-decreasing after (within tolerance).
+        for w in rows[..=opt_idx].windows(2) {
+            assert!(w[1].rate <= w[0].rate + 1e-9);
+        }
+        for w in rows[opt_idx..].windows(2) {
+            assert!(w[1].rate + 1e-9 >= w[0].rate);
+        }
+    }
+
+    #[test]
+    fn table_marks_optimum() {
+        let rows = run_cost_rate_curve(1.0, 2.0, 5.0, 9);
+        let t = cost_rate_table(&rows, 1.0, 2.0, 5.0);
+        assert!(t.contains("<- k_opt"));
+        assert!(t.contains("Proposition 1"));
+    }
+}

@@ -1,0 +1,161 @@
+//! T2: the paper's worked Example 1, analytic and replayed.
+//!
+//! Scenario: deviation cost 1 per mile-minute, C = 5, declared speed
+//! 1 mi/min, maximum speed 1.5 mi/min. The vehicle cruises exactly at the
+//! declared speed for 2 minutes and then stops in a jam.
+
+use modb_policy::{
+    fast_bound, fast_crossover_time, optimal_threshold, slow_bound, slow_crossover_time,
+    BoundKind, Policy, PolicyEngine, PositionUpdate, Quintuple,
+};
+
+use crate::report::{fmt, render_table};
+
+/// One checked quantity: paper value vs computed value.
+#[derive(Debug, Clone)]
+pub struct Example1Row {
+    /// What is being checked.
+    pub quantity: String,
+    /// Value stated in the paper.
+    pub paper: f64,
+    /// Value computed by this implementation.
+    pub computed: f64,
+}
+
+impl Example1Row {
+    /// Relative error between paper and computed values.
+    pub fn rel_error(&self) -> f64 {
+        (self.computed - self.paper).abs() / self.paper.abs().max(1e-12)
+    }
+}
+
+const C: f64 = 5.0;
+const V: f64 = 1.0;
+const VMAX: f64 = 1.5;
+
+/// Replays the jam scenario through a policy engine with tick `dt`,
+/// returning the time the first update fires.
+fn replay_first_update(quintuple: Quintuple, dt: f64) -> f64 {
+    let mut e = PolicyEngine::new(
+        quintuple,
+        1_000.0,
+        1.0,
+        PositionUpdate {
+            time: 0.0,
+            arc: 0.0,
+            speed: V,
+        },
+    )
+    .expect("valid quintuple");
+    let mut t = 0.0;
+    loop {
+        t += dt;
+        assert!(t < 60.0, "no update fired within an hour");
+        let (arc, speed) = if t <= 2.0 { (t, V) } else { (2.0, 0.0) };
+        if e.tick(t, arc, speed).expect("well-formed").is_some() {
+            return t;
+        }
+    }
+}
+
+/// Computes every Example 1 quantity.
+pub fn run_example1() -> Vec<Example1Row> {
+    let dt = 1.0 / 600.0;
+    vec![
+        Example1Row {
+            quantity: "dl optimal threshold k_opt (a=1, b=2, C=5)".into(),
+            paper: 1.74,
+            computed: optimal_threshold(1.0, 2.0, C),
+        },
+        Example1Row {
+            quantity: "dl update fires at minute (replayed jam)".into(),
+            paper: 2.0 + 1.74, // stop at minute 2 + 1:44 of stopping
+            computed: replay_first_update(Quintuple::dl(C), dt),
+        },
+        Example1Row {
+            quantity: "dl slow-bound plateau (miles)".into(),
+            paper: 3.16,
+            computed: slow_bound(BoundKind::Delayed, V, C, 100.0),
+        },
+        Example1Row {
+            quantity: "dl slow-bound crossover (minutes)".into(),
+            paper: 3.16, // √(2C/v) = √10
+            computed: slow_crossover_time(V, C),
+        },
+        Example1Row {
+            quantity: "dl fast-bound plateau (miles, V=1.5)".into(),
+            paper: 2.24,
+            computed: fast_bound(BoundKind::Delayed, V, VMAX, C, 100.0),
+        },
+        Example1Row {
+            quantity: "dl fast-bound crossover (minutes)".into(),
+            paper: 4.5,
+            computed: fast_crossover_time(V, VMAX, C),
+        },
+        Example1Row {
+            quantity: "ail slow bound at t=4 (10/t)".into(),
+            paper: 2.5,
+            computed: slow_bound(BoundKind::Immediate, V, C, 4.0),
+        },
+        Example1Row {
+            quantity: "ail slow bound at t=10 (10/t)".into(),
+            paper: 1.0,
+            computed: slow_bound(BoundKind::Immediate, V, C, 10.0),
+        },
+        Example1Row {
+            quantity: "ail fast bound at t=5 (10/t)".into(),
+            paper: 2.0,
+            computed: fast_bound(BoundKind::Immediate, V, VMAX, C, 5.0),
+        },
+        Example1Row {
+            quantity: "ail update fires at minute (replayed jam)".into(),
+            paper: 4.32, // t = 1 + √11
+            computed: replay_first_update(Quintuple::ail(C), dt),
+        },
+    ]
+}
+
+/// Renders the Example 1 table.
+pub fn example1_table(rows: &[Example1Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.quantity.clone(),
+                fmt(r.paper),
+                fmt(r.computed),
+                format!("{:.2}%", r.rel_error() * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        "T2: Example 1 (paper vs computed)",
+        &["quantity", "paper", "computed", "rel err"],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_example1_quantities_match_paper() {
+        for row in run_example1() {
+            assert!(
+                row.rel_error() < 0.01,
+                "{}: paper {} vs computed {}",
+                row.quantity,
+                row.paper,
+                row.computed
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = run_example1();
+        let t = example1_table(&rows);
+        assert_eq!(t.lines().count(), rows.len() + 3);
+    }
+}

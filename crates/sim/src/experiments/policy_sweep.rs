@@ -1,0 +1,264 @@
+//! The §3.4 evaluation: dl / ail / cil (plus baselines) swept over the
+//! update cost `C`. One sweep produces the data behind all three of the
+//! paper's plots — messages (F1), total cost (F2), and average uncertainty
+//! (F3) as functions of the message cost.
+
+use modb_policy::baselines::{FixedThresholdPolicy, PeriodicPolicy};
+use modb_policy::{DeviationCost, Policy, PolicyEngine, PositionUpdate, Quintuple};
+
+use crate::metrics::{AggregateMetrics, RunMetrics};
+use crate::report::{fmt, render_table};
+use crate::runner::{run_policy, DEFAULT_TICK};
+use crate::workload::{Workload, WorkloadConfig};
+
+/// The update costs the sweep evaluates — spanning two orders of
+/// magnitude around the paper's C = 5 example.
+pub const DEFAULT_C_VALUES: [f64; 7] = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Workload seed.
+    pub seed: u64,
+    /// Trip-set shape.
+    pub workload: WorkloadConfig,
+    /// Update costs to sweep.
+    pub c_values: Vec<f64>,
+    /// Also run the dead-reckoning baselines (fixed threshold B = 1 mile,
+    /// periodic 2-minute timer) for the ablation columns.
+    pub include_baselines: bool,
+    /// Simulation tick (minutes).
+    pub dt: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 42,
+            workload: WorkloadConfig::default(),
+            c_values: DEFAULT_C_VALUES.to_vec(),
+            include_baselines: false,
+            dt: DEFAULT_TICK,
+        }
+    }
+}
+
+/// One (policy, C) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Update cost.
+    pub c: f64,
+    /// Policy label.
+    pub policy: String,
+    /// Metrics averaged over the workload's trips.
+    pub metrics: AggregateMetrics,
+}
+
+/// Full sweep result.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// All cells, grouped by C then policy.
+    pub cells: Vec<SweepCell>,
+    /// Policy labels in display order.
+    pub policies: Vec<String>,
+    /// The swept C values.
+    pub c_values: Vec<f64>,
+}
+
+/// Which metric a table should display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Mean update messages per trip (plot F1).
+    Messages,
+    /// Mean total cost per trip (plot F2).
+    TotalCost,
+    /// Mean average uncertainty (plot F3).
+    AvgUncertainty,
+    /// Mean average actual deviation (diagnostic).
+    AvgDeviation,
+}
+
+impl MetricKind {
+    fn extract(self, m: &AggregateMetrics) -> f64 {
+        match self {
+            MetricKind::Messages => m.messages,
+            MetricKind::TotalCost => m.total_cost,
+            MetricKind::AvgUncertainty => m.avg_uncertainty,
+            MetricKind::AvgDeviation => m.avg_deviation,
+        }
+    }
+
+    fn title(self) -> &'static str {
+        match self {
+            MetricKind::Messages => "F1: position-update messages per trip vs message cost C",
+            MetricKind::TotalCost => "F2: total cost per trip vs message cost C",
+            MetricKind::AvgUncertainty => "F3: average uncertainty (miles) vs message cost C",
+            MetricKind::AvgDeviation => "average actual deviation (miles) vs message cost C",
+        }
+    }
+}
+
+impl SweepResult {
+    /// Looks up the aggregate for (policy, C).
+    pub fn get(&self, policy: &str, c: f64) -> Option<&AggregateMetrics> {
+        self.cells
+            .iter()
+            .find(|cell| cell.policy == policy && cell.c == c)
+            .map(|cell| &cell.metrics)
+    }
+
+    /// Renders one metric as a C-by-policy table.
+    pub fn table(&self, kind: MetricKind) -> String {
+        let mut headers: Vec<&str> = vec!["C"];
+        headers.extend(self.policies.iter().map(|s| s.as_str()));
+        let rows: Vec<Vec<String>> = self
+            .c_values
+            .iter()
+            .map(|&c| {
+                let mut row = vec![fmt(c)];
+                for p in &self.policies {
+                    row.push(
+                        self.get(p, c)
+                            .map(|m| fmt(kind.extract(m)))
+                            .unwrap_or_else(|| "-".into()),
+                    );
+                }
+                row
+            })
+            .collect();
+        render_table(kind.title(), &headers, &rows)
+    }
+
+    /// Total bound violations across every cell — must be zero for the
+    /// §3.3 bounds to be sound.
+    pub fn total_bound_violations(&self) -> usize {
+        self.cells.iter().map(|c| c.metrics.bound_violations).sum()
+    }
+}
+
+/// Runs the sweep.
+pub fn run_sweep(config: &SweepConfig) -> SweepResult {
+    let workload = Workload::generate(config.seed, config.workload);
+    let cost = DeviationCost::UNIT_UNIFORM;
+    let mut policies: Vec<String> = vec!["dl".into(), "ail".into(), "cil".into()];
+    if config.include_baselines {
+        policies.push("fixed-threshold".into());
+        policies.push("periodic".into());
+    }
+    let mut cells = Vec::with_capacity(policies.len() * config.c_values.len());
+    for &c in &config.c_values {
+        let mut runs: Vec<Vec<RunMetrics>> = vec![Vec::new(); policies.len()];
+        for (route, trip) in workload.iter() {
+            let initial = PositionUpdate {
+                time: trip.start_time(),
+                arc: trip.start_arc(),
+                speed: trip.speed_at(trip.start_time() + config.dt),
+            };
+            let v_max = trip.max_speed().max(1e-6);
+            for (pi, label) in policies.iter().enumerate() {
+                let mut policy: Box<dyn Policy> = match label.as_str() {
+                    "dl" => Box::new(
+                        PolicyEngine::new(Quintuple::dl(c), route.length(), 1.0, initial)
+                            .expect("valid quintuple"),
+                    ),
+                    "ail" => Box::new(
+                        PolicyEngine::new(Quintuple::ail(c), route.length(), 1.0, initial)
+                            .expect("valid quintuple"),
+                    ),
+                    "cil" => Box::new(
+                        PolicyEngine::new(Quintuple::cil(c), route.length(), 1.0, initial)
+                            .expect("valid quintuple"),
+                    ),
+                    "fixed-threshold" => Box::new(
+                        FixedThresholdPolicy::new(1.0, c, route.length(), 1.0, initial)
+                            .expect("valid baseline"),
+                    ),
+                    "periodic" => Box::new(
+                        PeriodicPolicy::new(2.0, c, route.length(), 1.0, initial)
+                            .expect("valid baseline"),
+                    ),
+                    other => unreachable!("unknown policy {other}"),
+                };
+                let m = run_policy(trip, route, policy.as_mut(), &cost, config.dt, v_max)
+                    .expect("simulation observations are well-formed");
+                runs[pi].push(m);
+            }
+        }
+        for (pi, label) in policies.iter().enumerate() {
+            cells.push(SweepCell {
+                c,
+                policy: label.clone(),
+                metrics: AggregateMetrics::from_runs(&runs[pi]),
+            });
+        }
+    }
+    SweepResult {
+        cells,
+        policies,
+        c_values: config.c_values.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep(include_baselines: bool) -> SweepResult {
+        run_sweep(&SweepConfig {
+            seed: 11,
+            workload: WorkloadConfig {
+                n_trips: 6,
+                duration: 20.0,
+                ..WorkloadConfig::default()
+            },
+            c_values: vec![1.0, 10.0],
+            include_baselines,
+            dt: DEFAULT_TICK,
+        })
+    }
+
+    #[test]
+    fn sweep_shapes_hold() {
+        let r = small_sweep(false);
+        assert_eq!(r.cells.len(), 6);
+        // Messages decrease in C for every paper policy.
+        for p in ["dl", "ail", "cil"] {
+            let cheap = r.get(p, 1.0).unwrap().messages;
+            let dear = r.get(p, 10.0).unwrap().messages;
+            assert!(cheap >= dear, "{p}: {cheap} < {dear}");
+        }
+        // Uncertainty increases in C.
+        for p in ["dl", "ail", "cil"] {
+            let cheap = r.get(p, 1.0).unwrap().avg_uncertainty;
+            let dear = r.get(p, 10.0).unwrap().avg_uncertainty;
+            assert!(dear >= cheap, "{p}: uncertainty {dear} < {cheap}");
+        }
+        // Bounds never violated.
+        assert_eq!(r.total_bound_violations(), 0);
+    }
+
+    #[test]
+    fn tables_render() {
+        let r = small_sweep(true);
+        assert_eq!(r.policies.len(), 5);
+        for kind in [
+            MetricKind::Messages,
+            MetricKind::TotalCost,
+            MetricKind::AvgUncertainty,
+            MetricKind::AvgDeviation,
+        ] {
+            let t = r.table(kind);
+            assert!(t.contains("ail"));
+            assert!(t.lines().count() >= 4, "{t}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = small_sweep(false);
+        let b = small_sweep(false);
+        for (ca, cb) in a.cells.iter().zip(b.cells.iter()) {
+            assert_eq!(ca.metrics, cb.metrics);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Metrics collected from a simulation run (§3.4).
+//!
+//! The paper's evaluation computes, per (speed-curve, policy, update cost):
+//! the total cost (a single number) and the average uncertainty (also a
+//! single number), then averages over the speed curves. [`RunMetrics`] is
+//! the per-run record; [`AggregateMetrics`] the average over a trip set.
+
+/// Metrics from running one policy over one trip.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunMetrics {
+    /// Position-update messages sent (excluding the trip-start write).
+    pub messages: usize,
+    /// Accumulated deviation cost `COST_d` (equation 1 for the uniform
+    /// function).
+    pub deviation_cost: f64,
+    /// Total cost: `C · messages + deviation_cost` (equation 2 summed over
+    /// the trip).
+    pub total_cost: f64,
+    /// Time-average of the DBMS-side uncertainty bound over the trip.
+    pub avg_uncertainty: f64,
+    /// Time-average of the *actual* deviation.
+    pub avg_deviation: f64,
+    /// Maximum actual deviation observed.
+    pub max_deviation: f64,
+    /// Ticks where the actual deviation exceeded the advertised bound by
+    /// more than one tick of slack (soundness check; expected 0).
+    pub bound_violations: usize,
+    /// Trip duration simulated (minutes).
+    pub duration: f64,
+}
+
+/// Averages of [`RunMetrics`] over a set of trips.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AggregateMetrics {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean messages per trip.
+    pub messages: f64,
+    /// Mean deviation cost per trip.
+    pub deviation_cost: f64,
+    /// Mean total cost per trip.
+    pub total_cost: f64,
+    /// Mean of per-trip average uncertainty.
+    pub avg_uncertainty: f64,
+    /// Mean of per-trip average deviation.
+    pub avg_deviation: f64,
+    /// Max of per-trip max deviation.
+    pub max_deviation: f64,
+    /// Total bound violations across runs.
+    pub bound_violations: usize,
+}
+
+impl AggregateMetrics {
+    /// Aggregates a slice of runs (empty slice → all-zero aggregate).
+    pub fn from_runs(runs: &[RunMetrics]) -> Self {
+        if runs.is_empty() {
+            return AggregateMetrics::default();
+        }
+        let n = runs.len() as f64;
+        AggregateMetrics {
+            runs: runs.len(),
+            messages: runs.iter().map(|r| r.messages as f64).sum::<f64>() / n,
+            deviation_cost: runs.iter().map(|r| r.deviation_cost).sum::<f64>() / n,
+            total_cost: runs.iter().map(|r| r.total_cost).sum::<f64>() / n,
+            avg_uncertainty: runs.iter().map(|r| r.avg_uncertainty).sum::<f64>() / n,
+            avg_deviation: runs.iter().map(|r| r.avg_deviation).sum::<f64>() / n,
+            max_deviation: runs.iter().map(|r| r.max_deviation).fold(0.0, f64::max),
+            bound_violations: runs.iter().map(|r| r.bound_violations).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_of_empty_is_zero() {
+        let a = AggregateMetrics::from_runs(&[]);
+        assert_eq!(a.runs, 0);
+        assert_eq!(a.total_cost, 0.0);
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let r1 = RunMetrics {
+            messages: 2,
+            deviation_cost: 4.0,
+            total_cost: 14.0,
+            avg_uncertainty: 1.0,
+            avg_deviation: 0.5,
+            max_deviation: 2.0,
+            bound_violations: 0,
+            duration: 60.0,
+        };
+        let r2 = RunMetrics {
+            messages: 4,
+            deviation_cost: 8.0,
+            total_cost: 28.0,
+            avg_uncertainty: 3.0,
+            avg_deviation: 1.5,
+            max_deviation: 5.0,
+            bound_violations: 1,
+            duration: 60.0,
+        };
+        let a = AggregateMetrics::from_runs(&[r1, r2]);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.messages, 3.0);
+        assert_eq!(a.deviation_cost, 6.0);
+        assert_eq!(a.total_cost, 21.0);
+        assert_eq!(a.avg_uncertainty, 2.0);
+        assert_eq!(a.avg_deviation, 1.0);
+        assert_eq!(a.max_deviation, 5.0);
+        assert_eq!(a.bound_violations, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table rendering for experiment binaries.
+//!
+//! The paper's results are "a set of plots"; we print the same data as
+//! aligned ASCII tables (one row per parameter value, one column per
+//! policy) so EXPERIMENTS.md can record paper-vs-measured directly.
+
+/// Renders an aligned table. `headers.len()` must equal each row's length.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    debug_assert!(rows.iter().all(|r| r.len() == headers.len()));
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:>width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 3 significant decimals, trimming noise.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            "demo",
+            &["C", "dl", "ail"],
+            &[
+                vec!["0.5".into(), "12.00".into(), "9.10".into()],
+                vec!["50".into(), "1.20".into(), "0.90".into()],
+            ],
+        );
+        assert!(t.contains("demo"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and rows have equal width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234), "0.1234");
+        assert_eq!(fmt(3.21987), "3.22");
+        assert_eq!(fmt(123.456), "123.5");
+    }
+}

@@ -1,0 +1,183 @@
+//! Workload generation: the "set of one-hour trips" of §3.4.
+
+use modb_geom::Point;
+use modb_motion::{Trip, TripProfile};
+use modb_routes::{Direction, Route, RouteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible set of trips, each bound to its own route.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// One route per trip (`routes[i]` carries `trips[i]`).
+    pub routes: Vec<Route>,
+    /// The trips.
+    pub trips: Vec<Trip>,
+}
+
+/// Parameters for [`Workload::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of trips.
+    pub n_trips: usize,
+    /// Trip duration in minutes (the paper uses one-hour trips).
+    pub duration: f64,
+    /// Speed-curve sampling tick (minutes).
+    pub dt: f64,
+    /// Driving regime; `None` cycles through all profiles.
+    pub profile: Option<TripProfile>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_trips: 100,
+            duration: 60.0,
+            dt: 1.0 / 60.0,
+            profile: None,
+        }
+    }
+}
+
+impl Workload {
+    /// Generates a seeded workload. Each trip gets a straight 120-mile
+    /// route of its own: policy behaviour depends only on the speed curve
+    /// (deviation is measured along the route), so simple geometry keeps
+    /// the experiment focused — the index experiments use richer networks.
+    pub fn generate(seed: u64, config: WorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut routes = Vec::with_capacity(config.n_trips);
+        let mut trips = Vec::with_capacity(config.n_trips);
+        for i in 0..config.n_trips {
+            let route = Route::from_vertices(
+                RouteId(i as u64),
+                format!("trip-route-{i}"),
+                vec![
+                    Point::new(0.0, i as f64),
+                    Point::new(120.0, i as f64),
+                ],
+            )
+            .expect("straight route is valid");
+            let profile = config.profile.unwrap_or(TripProfile::ALL[i % TripProfile::ALL.len()]);
+            let curve = profile
+                .generate(&mut rng, config.duration, config.dt)
+                .expect("valid generator config");
+            let trip = Trip::new(RouteId(i as u64), Direction::Forward, 0.0, 0.0, curve)
+                .expect("valid trip parameters");
+            routes.push(route);
+            trips.push(trip);
+        }
+        Workload { routes, trips }
+    }
+
+    /// Number of trips.
+    pub fn len(&self) -> usize {
+        self.trips.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.trips.is_empty()
+    }
+
+    /// Iterator over (route, trip) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Route, &Trip)> {
+        self.routes.iter().zip(self.trips.iter())
+    }
+}
+
+/// Deterministic fleet positions for index experiments: `n` objects spread
+/// over a network's routes with pseudo-random arcs and speeds.
+pub fn fleet_positions(
+    seed: u64,
+    n: usize,
+    route_ids: &[RouteId],
+    route_len: impl Fn(RouteId) -> f64,
+) -> Vec<(RouteId, f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let rid = route_ids[rng.gen_range(0..route_ids.len())];
+            let len = route_len(rid);
+            let arc = rng.gen_range(0.0..len);
+            let speed = rng.gen_range(0.1..1.2);
+            (rid, arc, speed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_reproducible() {
+        let cfg = WorkloadConfig {
+            n_trips: 8,
+            ..WorkloadConfig::default()
+        };
+        let a = Workload::generate(7, cfg);
+        let b = Workload::generate(7, cfg);
+        assert_eq!(a.len(), 8);
+        for ((_, ta), (_, tb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ta.curve().samples(), tb.curve().samples());
+        }
+        let c = Workload::generate(8, cfg);
+        assert_ne!(
+            a.trips[0].curve().samples(),
+            c.trips[0].curve().samples(),
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn workload_cycles_profiles() {
+        let w = Workload::generate(
+            1,
+            WorkloadConfig {
+                n_trips: 4,
+                duration: 10.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        // Jam trips travel far less than highway trips.
+        let dist: Vec<f64> = w.trips.iter().map(|t| t.curve().total_distance()).collect();
+        let max = dist.iter().copied().fold(0.0, f64::max);
+        let min = dist.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max > 3.0 * min, "profiles should differ: {dist:?}");
+    }
+
+    #[test]
+    fn fixed_profile_workload() {
+        let w = Workload::generate(
+            2,
+            WorkloadConfig {
+                n_trips: 3,
+                duration: 5.0,
+                profile: Some(TripProfile::Highway),
+                ..WorkloadConfig::default()
+            },
+        );
+        for (_, trip) in w.iter() {
+            let mean = trip.curve().total_distance() / trip.curve().duration();
+            assert!(mean > 0.7, "highway mean speed {mean}");
+        }
+    }
+
+    #[test]
+    fn fleet_positions_in_range() {
+        let ids = [RouteId(0), RouteId(1)];
+        let fleet = fleet_positions(3, 50, &ids, |_| 40.0);
+        assert_eq!(fleet.len(), 50);
+        for (rid, arc, speed) in fleet {
+            assert!(ids.contains(&rid));
+            assert!((0.0..40.0).contains(&arc));
+            assert!((0.1..1.2).contains(&speed));
+        }
+        // Determinism.
+        assert_eq!(
+            fleet_positions(3, 5, &ids, |_| 40.0),
+            fleet_positions(3, 5, &ids, |_| 40.0)
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Battlefield: the paper's §1 query — "retrieve the friendly helicopters
+//! that are currently in a given region" — including *future* queries
+//! ("where will the helicopters be in 10 minutes", §5) and the
+//! must/may distinction that matters when the answer drives decisions.
+//!
+//! Helicopters fly radial corridors out of a base; command asks which
+//! units are certainly inside an operation area now and at t+10.
+//!
+//! Run with: `cargo run --example battlefield`
+
+use modb::core::{
+    Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+};
+use modb::geom::{Point, Polygon, Rect};
+use modb::index::QueryRegion;
+use modb::policy::BoundKind;
+use modb::routes::{generators, Direction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const C: f64 = 2.0; // military link: cheap-ish messages, tight bounds
+const SQUADRON: usize = 24;
+
+fn main() {
+    // 16 flight corridors radiating 30 miles from the forward base.
+    let base = Point::new(0.0, 0.0);
+    let network = generators::radial_network(base, 30.0, 16, 0).expect("valid corridors");
+    let route_ids = network.route_ids();
+    let mut db = Database::new(network, DatabaseConfig::default());
+
+    let mut rng = StdRng::seed_from_u64(1944);
+    for i in 0..SQUADRON {
+        let rid = route_ids[rng.gen_range(0..route_ids.len())];
+        let route = db.network().get(rid).expect("corridor");
+        let arc = rng.gen_range(0.0..route.length() / 2.0);
+        db.register_moving(MovingObject {
+            id: ObjectId(i as u64),
+            name: format!("helo-{i:02}"),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: rid,
+                start_position: route.point_at(arc),
+                start_arc: arc,
+                direction: Direction::Forward, // outbound
+                speed: rng.gen_range(1.5..2.5), // 90–150 mph
+                policy: PolicyDescriptor::CostBased {
+                    kind: BoundKind::Immediate,
+                    update_cost: C,
+                },
+            },
+            max_speed: 3.0,
+            trip_end: Some(60.0),
+        })
+        .expect("registered");
+    }
+    println!("{SQUADRON} helicopters on 16 corridors out of base (0, 0)");
+
+    // Operation area: a 12×12-mile box northeast of the base.
+    let op_area = Polygon::rectangle(&Rect::new(Point::new(5.0, 5.0), Point::new(17.0, 17.0)))
+        .expect("valid polygon");
+
+    for (label, t) in [("now (t = 2)", 2.0), ("in 10 minutes (t = 12)", 12.0)] {
+        let region = QueryRegion::at_instant(op_area.clone(), t);
+        let answer = db.range_query(&region).expect("query ok");
+        println!(
+            "\n{label}: {} helicopters MUST be in the op area, {} MAY be:",
+            answer.must.len(),
+            answer.may.len()
+        );
+        for id in &answer.must {
+            let h = db.moving(*id).expect("known");
+            let p = db.position_of(*id, t).expect("known");
+            println!(
+                "  [MUST] {} at ({:+.1}, {:+.1}) ± {:.2} mi",
+                h.name, p.position.x, p.position.y, p.bound
+            );
+        }
+        for id in &answer.may {
+            let h = db.moving(*id).expect("known");
+            let p = db.position_of(*id, t).expect("known");
+            println!(
+                "  [may ] {} at ({:+.1}, {:+.1}) ± {:.2} mi",
+                h.name, p.position.x, p.position.y, p.bound
+            );
+        }
+    }
+
+    // "During" query: which units touch the op area at any point in the
+    // next 15 minutes? (An extension of the paper's instant queries.)
+    let during = QueryRegion::during(op_area, 0.0, 15.0);
+    let answer = db.range_query(&during).expect("query ok");
+    println!(
+        "\nany time in the next 15 minutes: {} certain, {} possible transits",
+        answer.must.len(),
+        answer.may.len()
+    );
+}

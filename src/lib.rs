@@ -1,0 +1,16 @@
+//! # modb — moving-objects database (umbrella crate)
+//!
+//! Re-exports the `modb-*` workspace crates under one roof. See the README
+//! for the architecture overview and `DESIGN.md` for the paper mapping.
+
+#![warn(missing_docs)]
+
+pub use modb_core as core;
+pub use modb_geom as geom;
+pub use modb_index as index;
+pub use modb_motion as motion;
+pub use modb_policy as policy;
+pub use modb_query as query;
+pub use modb_routes as routes;
+pub use modb_server as server;
+pub use modb_sim as sim;

@@ -1,0 +1,229 @@
+//! End-to-end integration: onboard policy engines feeding the DBMS over a
+//! simulated wireless link, with queries checked against ground truth.
+
+use modb::core::{
+    Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+    UpdateMessage, UpdatePosition,
+};
+use modb::geom::{Point, Polygon, Rect};
+use modb::index::QueryRegion;
+use modb::motion::{Trip, TripProfile};
+use modb::policy::{BoundKind, Policy, PolicyEngine, PositionUpdate, Quintuple};
+use modb::routes::{Direction, Route, RouteId, RouteNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const C: f64 = 5.0;
+const N: usize = 10;
+const DT: f64 = 1.0 / 60.0;
+
+struct World {
+    db: Database,
+    engines: Vec<PolicyEngine>,
+    trips: Vec<Trip>,
+    route: Route,
+    /// Simulation time already driven (see `drive_until`).
+    frontier: f64,
+}
+
+fn build_world(seed: u64, quintuple_for: fn(f64) -> Quintuple, kind: BoundKind) -> World {
+    let route = Route::from_vertices(
+        RouteId(1),
+        "loop",
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 10.0),
+            Point::new(100.0, 0.0),
+            Point::new(150.0, 10.0),
+        ],
+    )
+    .unwrap();
+    let network = RouteNetwork::from_routes([route.clone()]).unwrap();
+    let mut db = Database::new(network, DatabaseConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engines = Vec::new();
+    let mut trips = Vec::new();
+    for i in 0..N {
+        let start_arc = 5.0 * i as f64;
+        let profile = TripProfile::ALL[i % TripProfile::ALL.len()];
+        let curve = profile.generate(&mut rng, 30.0, DT).unwrap();
+        let trip = Trip::new(RouteId(1), Direction::Forward, start_arc, 0.0, curve).unwrap();
+        let v0 = trip.speed_at(DT);
+        db.register_moving(MovingObject {
+            id: ObjectId(i as u64),
+            name: format!("veh-{i}"),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: RouteId(1),
+                start_position: route.point_at(start_arc),
+                start_arc,
+                direction: Direction::Forward,
+                speed: v0,
+                policy: PolicyDescriptor::CostBased {
+                    kind,
+                    update_cost: C,
+                },
+            },
+            max_speed: trip.max_speed().max(0.1),
+            trip_end: Some(30.0),
+        })
+        .unwrap();
+        engines.push(
+            PolicyEngine::new(
+                quintuple_for(C),
+                route.length(),
+                1.0,
+                PositionUpdate {
+                    time: 0.0,
+                    arc: start_arc,
+                    speed: v0,
+                },
+            )
+            .unwrap(),
+        );
+        trips.push(trip);
+    }
+    World {
+        db,
+        engines,
+        trips,
+        route,
+        frontier: 0.0,
+    }
+}
+
+/// Advances the world from its current frontier to `t_end`, forwarding
+/// every fired update to the DB. Tracks the frontier in `World::frontier`.
+fn drive_until(world: &mut World, t_end: f64) -> usize {
+    let first = (world.frontier / DT).round() as usize + 1;
+    let last = (t_end / DT).round() as usize;
+    let mut messages = 0;
+    for step in first..=last {
+        let t = step as f64 * DT;
+        for (i, (engine, trip)) in world.engines.iter_mut().zip(&world.trips).enumerate() {
+            let arc = trip.arc_at(&world.route, t);
+            let speed = trip.speed_at(t);
+            if let Some(u) = engine.tick(t, arc, speed).unwrap() {
+                messages += 1;
+                world
+                    .db
+                    .apply_update(
+                        ObjectId(i as u64),
+                        &UpdateMessage::basic(u.time, UpdatePosition::Arc(u.arc), u.speed),
+                    )
+                    .unwrap();
+            }
+        }
+    }
+    world.frontier = t_end;
+    messages
+}
+
+#[test]
+fn dbms_position_answers_are_sound_ail() {
+    let mut world = build_world(1, Quintuple::ail, BoundKind::Immediate);
+    // Drive to each checkpoint and query at the current time (the model
+    // answers current and future queries; the past is not stored).
+    for step in [1, 60, 300, 600, 900, 1200] {
+        let t = step as f64 * DT;
+        drive_until(&mut world, t);
+        for i in 0..N {
+            let ans = world.db.position_of(ObjectId(i as u64), t).unwrap();
+            let actual_arc = world.trips[i].arc_at(&world.route, t);
+            let deviation = (actual_arc - ans.arc).abs();
+            // The DB state lags the engine by at most the current tick, so
+            // allow one tick of slack at max speed.
+            let slack = world.trips[i].max_speed() * DT + 1e-9;
+            assert!(
+                deviation <= ans.bound + slack,
+                "veh-{i} t={t}: deviation {deviation} > bound {}",
+                ans.bound
+            );
+            assert!(
+                actual_arc >= ans.interval.0 - slack && actual_arc <= ans.interval.1 + slack,
+                "veh-{i} t={t}: actual {actual_arc} outside interval {:?}",
+                ans.interval
+            );
+        }
+    }
+}
+
+#[test]
+fn dbms_position_answers_are_sound_dl() {
+    let mut world = build_world(2, Quintuple::dl, BoundKind::Delayed);
+    for step in [30, 300, 900] {
+        let t = step as f64 * DT;
+        drive_until(&mut world, t);
+        for i in 0..N {
+            let ans = world.db.position_of(ObjectId(i as u64), t).unwrap();
+            let actual_arc = world.trips[i].arc_at(&world.route, t);
+            let deviation = (actual_arc - ans.arc).abs();
+            let slack = world.trips[i].max_speed() * DT + 1e-9;
+            assert!(
+                deviation <= ans.bound + slack,
+                "veh-{i} t={t}: deviation {deviation} > bound {}",
+                ans.bound
+            );
+        }
+    }
+}
+
+#[test]
+fn range_queries_bracket_ground_truth() {
+    let mut world = build_world(3, Quintuple::ail, BoundKind::Immediate);
+    drive_until(&mut world, 15.0);
+    let t = 15.0;
+    for (x0, x1) in [(0.0, 30.0), (20.0, 60.0), (50.0, 150.0)] {
+        let g = Polygon::rectangle(&Rect::new(Point::new(x0, -1.0), Point::new(x1, 11.0))).unwrap();
+        let region = QueryRegion::at_instant(g.clone(), t);
+        let answer = world.db.range_query(&region).unwrap();
+        let all = answer.all();
+        for i in 0..N {
+            let actual = world.route.point_at(world.trips[i].arc_at(&world.route, t));
+            let id = ObjectId(i as u64);
+            if g.contains_point(actual) {
+                assert!(
+                    all.contains(&id),
+                    "veh-{i} actually in G but missing from may∪must"
+                );
+            }
+            if answer.must.contains(&id) {
+                assert!(
+                    g.contains_point(actual),
+                    "veh-{i} in must but actually outside G"
+                );
+            }
+        }
+        // Index agrees with scan.
+        let scan = world.db.range_query_scan(&region).unwrap();
+        assert_eq!(answer.must, scan.must);
+        assert_eq!(answer.may, scan.may);
+    }
+}
+
+#[test]
+fn updates_are_vastly_fewer_than_ticks() {
+    let mut world = build_world(4, Quintuple::ail, BoundKind::Immediate);
+    let messages = drive_until(&mut world, 30.0);
+    let ticks = N * (30.0 / DT) as usize;
+    assert!(
+        (messages as f64) < ticks as f64 * 0.02,
+        "sent {messages} messages for {ticks} vehicle-ticks"
+    );
+    assert!(messages > 0, "some updates must fire on mixed trips");
+}
+
+#[test]
+fn future_queries_use_decayed_bounds() {
+    let mut world = build_world(5, Quintuple::ail, BoundKind::Immediate);
+    drive_until(&mut world, 10.0);
+    // Query 20 minutes past the last update: ail bound = 2C/t is small.
+    let id = ObjectId(0);
+    let last_update = world.db.moving(id).unwrap().attr.start_time;
+    let ans = world.db.position_of(id, last_update + 20.0).unwrap();
+    assert!(
+        ans.bound <= 2.0 * C / 20.0 + 1e-9,
+        "future bound {} should have decayed",
+        ans.bound
+    );
+}

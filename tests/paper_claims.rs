@@ -1,0 +1,154 @@
+//! Integration tests pinning the paper's quantitative and qualitative
+//! claims (the experiment suite at test scale).
+
+use modb::sim::experiments::bound_shape::run_bound_shape;
+use modb::sim::experiments::example1::run_example1;
+use modb::sim::experiments::indexing::{run_may_must, run_sublinear};
+use modb::sim::experiments::policy_sweep::{run_sweep, SweepConfig};
+use modb::sim::experiments::savings::run_savings;
+use modb::sim::WorkloadConfig;
+
+fn small_workload(n: usize, minutes: f64) -> WorkloadConfig {
+    WorkloadConfig {
+        n_trips: n,
+        duration: minutes,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// §3.4: the ail policy is superior to dl and cil on total cost.
+#[test]
+fn ail_wins_on_total_cost() {
+    let r = run_sweep(&SweepConfig {
+        seed: 7,
+        workload: small_workload(12, 30.0),
+        c_values: vec![1.0, 5.0, 20.0],
+        include_baselines: false,
+        ..SweepConfig::default()
+    });
+    let mut ail_wins = 0;
+    let mut cells = 0;
+    for &c in &[1.0, 5.0, 20.0] {
+        let ail = r.get("ail", c).unwrap().total_cost;
+        for other in ["dl", "cil"] {
+            cells += 1;
+            if ail <= r.get(other, c).unwrap().total_cost + 1e-9 {
+                ail_wins += 1;
+            }
+        }
+    }
+    assert!(
+        ail_wins >= cells - 1,
+        "ail should win (or tie) almost everywhere: {ail_wins}/{cells}"
+    );
+}
+
+/// §3.4: ail's average uncertainty beats dl's at every cost level (the
+/// decaying bound).
+#[test]
+fn ail_uncertainty_beats_dl() {
+    let r = run_sweep(&SweepConfig {
+        seed: 8,
+        workload: small_workload(10, 30.0),
+        c_values: vec![1.0, 5.0, 20.0],
+        include_baselines: false,
+        ..SweepConfig::default()
+    });
+    for &c in &[1.0, 5.0, 20.0] {
+        assert!(
+            r.get("ail", c).unwrap().avg_uncertainty
+                <= r.get("dl", c).unwrap().avg_uncertainty + 1e-9,
+            "C={c}"
+        );
+    }
+}
+
+/// §1: update frequency decreases as the update cost increases.
+#[test]
+fn messages_monotone_in_cost() {
+    let r = run_sweep(&SweepConfig {
+        seed: 9,
+        workload: small_workload(10, 30.0),
+        c_values: vec![0.5, 5.0, 50.0],
+        include_baselines: false,
+        ..SweepConfig::default()
+    });
+    for p in ["dl", "ail", "cil"] {
+        let m05 = r.get(p, 0.5).unwrap().messages;
+        let m5 = r.get(p, 5.0).unwrap().messages;
+        let m50 = r.get(p, 50.0).unwrap().messages;
+        assert!(m05 >= m5 && m5 >= m50, "{p}: {m05} {m5} {m50}");
+    }
+}
+
+/// §3.3: the bounds are never violated across the full sweep.
+#[test]
+fn bounds_sound_across_sweep() {
+    let r = run_sweep(&SweepConfig {
+        seed: 10,
+        workload: small_workload(8, 20.0),
+        c_values: vec![0.5, 5.0, 50.0],
+        include_baselines: true,
+        ..SweepConfig::default()
+    });
+    assert_eq!(r.total_bound_violations(), 0);
+}
+
+/// §1/§6: the cost-based policies need a small fraction of the
+/// traditional method's updates at matched imprecision (paper: ~15 %).
+#[test]
+fn savings_match_headline() {
+    let rows = run_savings(11, small_workload(12, 30.0), 5.0);
+    for row in &rows {
+        assert!(
+            row.ratio < 0.35,
+            "{}: ratio {:.2} nowhere near the ~0.15 headline",
+            row.policy,
+            row.ratio
+        );
+    }
+    // At least one policy should be in the paper's ballpark.
+    assert!(
+        rows.iter().any(|r| r.ratio < 0.2),
+        "no policy reached ≤20%: {:?}",
+        rows.iter().map(|r| r.ratio).collect::<Vec<_>>()
+    );
+}
+
+/// Example 1: every worked number matches within 1 %.
+#[test]
+fn example1_numbers() {
+    for row in run_example1() {
+        assert!(
+            row.rel_error() < 0.01,
+            "{}: paper {} vs computed {}",
+            row.quantity,
+            row.paper,
+            row.computed
+        );
+    }
+}
+
+/// §3.3: the dl bound plateaus, the immediate bound decays.
+#[test]
+fn bound_shapes() {
+    let rows = run_bound_shape(1.0, 1.5, 5.0, 15.0, 0.25);
+    let n = rows.len();
+    assert!((rows[n - 1].dl_combined - rows[n - 5].dl_combined).abs() < 1e-12);
+    assert!(rows[n - 1].imm_combined < rows[n / 3].imm_combined);
+}
+
+/// §4: the index visits far fewer entries than the fleet and agrees with
+/// the scan (agreement asserted inside run_sublinear).
+#[test]
+fn index_is_selective() {
+    let rows = run_sublinear(&[600], 8);
+    assert!(rows[0].candidates < 300.0, "candidates {}", rows[0].candidates);
+}
+
+/// Theorems 5–6: may/must answers bracket simulated ground truth.
+#[test]
+fn may_must_sound() {
+    let r = run_may_must(200, 12, 8.0);
+    assert_eq!(r.violations, 0, "{r:?}");
+}

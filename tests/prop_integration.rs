@@ -1,0 +1,207 @@
+//! Property-based integration tests across crates: random fleets, random
+//! update streams, random queries — index answers must always equal scan
+//! answers, and bounds must always hold.
+
+use modb::core::{
+    Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+    UpdateMessage, UpdatePosition,
+};
+use modb::geom::{Point, Polygon, Rect};
+use modb::index::QueryRegion;
+use modb::policy::BoundKind;
+use modb::routes::{Direction, Route, RouteId, RouteNetwork};
+use proptest::prelude::*;
+
+const C: f64 = 5.0;
+
+fn network() -> RouteNetwork {
+    RouteNetwork::from_routes([
+        Route::from_vertices(
+            RouteId(1),
+            "east-west",
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+        )
+        .unwrap(),
+        Route::from_vertices(
+            RouteId(2),
+            "diagonal",
+            vec![Point::new(0.0, 30.0), Point::new(80.0, -30.0)],
+        )
+        .unwrap(),
+        Route::from_vertices(
+            RouteId(3),
+            "bent",
+            vec![
+                Point::new(10.0, 10.0),
+                Point::new(50.0, 40.0),
+                Point::new(90.0, 10.0),
+            ],
+        )
+        .unwrap(),
+    ])
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct FleetSpec {
+    objects: Vec<(u64, u64, f64, f64, bool, bool)>, // id, route, arc_frac, speed, backward, immediate
+    updates: Vec<(usize, f64, f64, f64)>,           // object index, time, arc_frac, speed
+    query: (f64, f64, f64, f64, f64),               // x0, y0, w, h, t
+}
+
+fn fleet_spec() -> impl Strategy<Value = FleetSpec> {
+    (
+        proptest::collection::vec(
+            (
+                1u64..4,
+                0.0f64..1.0,
+                0.0f64..1.4,
+                any::<bool>(),
+                any::<bool>(),
+            ),
+            1..20,
+        ),
+        proptest::collection::vec(
+            (0usize..20, 0.1f64..30.0, 0.0f64..1.0, 0.0f64..1.4),
+            0..30,
+        ),
+        (
+            -10.0f64..90.0,
+            -35.0f64..35.0,
+            2.0f64..40.0,
+            2.0f64..40.0,
+            0.0f64..40.0,
+        ),
+    )
+        .prop_map(|(raw_objects, updates, query)| FleetSpec {
+            objects: raw_objects
+                .into_iter()
+                .enumerate()
+                .map(|(i, (route, arc, speed, backward, immediate))| {
+                    (i as u64, route, arc, speed, backward, immediate)
+                })
+                .collect(),
+            updates,
+            query,
+        })
+}
+
+fn build(spec: &FleetSpec) -> Database {
+    let net = network();
+    let mut db = Database::new(net, DatabaseConfig::default());
+    for &(id, route, arc_frac, speed, backward, immediate) in &spec.objects {
+        let rid = RouteId(route);
+        let r = db.network().get(rid).unwrap();
+        let arc = arc_frac * r.length();
+        let start_position = r.point_at(arc);
+        db.register_moving(MovingObject {
+            id: ObjectId(id),
+            name: format!("veh-{id}"),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: rid,
+                start_position,
+                start_arc: arc,
+                direction: if backward {
+                    Direction::Backward
+                } else {
+                    Direction::Forward
+                },
+                speed,
+                policy: PolicyDescriptor::CostBased {
+                    kind: if immediate {
+                        BoundKind::Immediate
+                    } else {
+                        BoundKind::Delayed
+                    },
+                    update_cost: C,
+                },
+            },
+            max_speed: 1.5,
+            trip_end: None,
+        })
+        .unwrap();
+    }
+    // Apply the update stream; per-object timestamps must be monotone, so
+    // sort by time first and skip stale ones silently (the property is
+    // about query consistency, not update ordering).
+    let mut updates = spec.updates.clone();
+    updates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for (idx, time, arc_frac, speed) in updates {
+        let n = spec.objects.len();
+        let id = ObjectId(spec.objects[idx % n].0);
+        let rid = db.moving(id).unwrap().attr.route;
+        let len = db.network().get(rid).unwrap().length();
+        let _ = db.apply_update(
+            id,
+            &UpdateMessage::basic(time, UpdatePosition::Arc(arc_frac * len), speed),
+        );
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The index-backed range query and the exhaustive scan agree on every
+    /// random fleet, update stream, and query.
+    #[test]
+    fn index_equals_scan(spec in fleet_spec()) {
+        let db = build(&spec);
+        let (x0, y0, w, h, t) = spec.query;
+        let g = Polygon::rectangle(&Rect::new(
+            Point::new(x0, y0),
+            Point::new(x0 + w, y0 + h),
+        )).unwrap();
+        let region = QueryRegion::at_instant(g, t);
+        let a = db.range_query(&region).unwrap();
+        let b = db.range_query_scan(&region).unwrap();
+        prop_assert_eq!(&a.must, &b.must);
+        prop_assert_eq!(&a.may, &b.may);
+        // must and may are disjoint and sorted.
+        for id in &a.must {
+            prop_assert!(!a.may.contains(id));
+        }
+    }
+
+    /// Every position answer is internally consistent: the database
+    /// position lies inside its own uncertainty interval, the interval
+    /// path's ends resolve to the interval arcs, and the bound is
+    /// non-negative and finite.
+    #[test]
+    fn position_answers_consistent(spec in fleet_spec(), t in 0.0f64..60.0) {
+        let db = build(&spec);
+        for &(id, ..) in &spec.objects {
+            let ans = db.position_of(ObjectId(id), t).unwrap();
+            prop_assert!(ans.bound >= 0.0 && ans.bound.is_finite());
+            prop_assert!(ans.interval.0 <= ans.arc + 1e-9);
+            prop_assert!(ans.interval.1 >= ans.arc - 1e-9);
+            prop_assert!(!ans.interval_path.is_empty());
+            let rid = db.moving(ObjectId(id)).unwrap().attr.route;
+            let route = db.network().get(rid).unwrap();
+            let first = ans.interval_path.first().unwrap();
+            prop_assert!(first.approx_eq(route.point_at(ans.interval.0)));
+            let last = ans.interval_path.last().unwrap();
+            prop_assert!(last.approx_eq(route.point_at(ans.interval.1)));
+        }
+    }
+
+    /// The textual query language agrees with the native API on random
+    /// rectangles.
+    #[test]
+    fn query_language_matches_api(spec in fleet_spec()) {
+        let db = build(&spec);
+        let (x0, y0, w, h, t) = spec.query;
+        let src = format!(
+            "RETRIEVE OBJECTS INSIDE RECT ({x0}, {y0}, {}, {}) AT TIME {t}",
+            x0 + w, y0 + h
+        );
+        let via_text = modb::query::run(&db, &src).unwrap();
+        let g = Polygon::rectangle(&Rect::new(
+            Point::new(x0, y0),
+            Point::new(x0 + w, y0 + h),
+        )).unwrap();
+        let via_api = db.range_query(&QueryRegion::at_instant(g, t)).unwrap();
+        prop_assert_eq!(via_text.as_range().unwrap(), &via_api);
+    }
+}

@@ -1,0 +1,212 @@
+//! Route-change integration: a journey spanning two routes, with the §3.1
+//! forced update at the route change, driven end to end through the DBMS.
+
+use modb::core::{
+    Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+    UpdateMessage, UpdatePosition,
+};
+use modb::geom::Point;
+use modb::motion::{Journey, SpeedCurve, Trip};
+use modb::policy::{BoundKind, Policy, PolicyEngine, PositionUpdate, Quintuple};
+use modb::routes::{Direction, Route, RouteId, RouteNetwork};
+
+const C: f64 = 5.0;
+const DT: f64 = 1.0 / 60.0;
+
+fn network() -> RouteNetwork {
+    RouteNetwork::from_routes([
+        Route::from_vertices(
+            RouteId(1),
+            "main-street",
+            vec![Point::new(0.0, 0.0), Point::new(30.0, 0.0)],
+        )
+        .unwrap(),
+        Route::from_vertices(
+            RouteId(2),
+            "cross-street",
+            vec![Point::new(10.0, -20.0), Point::new(10.0, 20.0)],
+        )
+        .unwrap(),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn journey_with_route_change_stays_queryable() {
+    let net = network();
+    let mut db = Database::new(net, DatabaseConfig::default());
+
+    // Leg 1: 10 minutes east on main street from arc 0 at 1 mi/min.
+    // Leg 2: turn onto the cross street at (10, 0) — arc 20 on route 2 —
+    // and drive north for 10 minutes at 0.8 mi/min (declared 1.0, so the
+    // policy has work to do).
+    let leg1 = Trip::new(
+        RouteId(1),
+        Direction::Forward,
+        0.0,
+        0.0,
+        SpeedCurve::constant(1.0, 10 * 60, DT).unwrap(),
+    )
+    .unwrap();
+    let leg2 = Trip::new(
+        RouteId(2),
+        Direction::Forward,
+        20.0,
+        10.0,
+        SpeedCurve::constant(0.8, 10 * 60, DT).unwrap(),
+    )
+    .unwrap();
+    let journey = Journey::new(vec![leg1, leg2]).unwrap();
+    assert_eq!(journey.route_change_times(), vec![10.0]);
+
+    db.register_moving(MovingObject {
+        id: ObjectId(1),
+        name: "turner".into(),
+        attr: PositionAttribute {
+            start_time: 0.0,
+            route: RouteId(1),
+            start_position: Point::new(0.0, 0.0),
+            start_arc: 0.0,
+            direction: Direction::Forward,
+            speed: 1.0,
+            policy: PolicyDescriptor::CostBased {
+                kind: BoundKind::Immediate,
+                update_cost: C,
+            },
+        },
+        max_speed: 1.5,
+        trip_end: Some(20.0),
+    })
+    .unwrap();
+
+    // Onboard loop over the journey: the engine is rebuilt at the route
+    // change (a new route means fresh arc coordinates), and a
+    // route-change update is forced regardless of the deviation — the
+    // infinite cross-route distance of §3.1.
+    let mut engine = PolicyEngine::new(
+        Quintuple::ail(C),
+        30.0,
+        1.0,
+        PositionUpdate {
+            time: 0.0,
+            arc: 0.0,
+            speed: 1.0,
+        },
+    )
+    .unwrap();
+    let mut messages = 0;
+    let mut current_route = RouteId(1);
+    let n_ticks = (20.0 / DT).round() as usize;
+    for step in 1..=n_ticks {
+        let t = step as f64 * DT;
+        let leg = journey.leg_at(t);
+        let route = db.network().get(leg.route()).unwrap().clone();
+        let arc = leg.arc_at(&route, t);
+        let speed = leg.speed_at(t);
+        if leg.route() != current_route {
+            // Forced route-change update: new route, current position,
+            // current speed. Rebuild the onboard engine on the new route.
+            current_route = leg.route();
+            let msg = UpdateMessage::route_change(
+                t,
+                current_route,
+                UpdatePosition::Arc(arc),
+                Direction::Forward,
+                speed,
+            );
+            db.apply_update(ObjectId(1), &msg).unwrap();
+            engine = PolicyEngine::new(
+                Quintuple::ail(C),
+                route.length(),
+                1.0,
+                PositionUpdate {
+                    time: t,
+                    arc,
+                    speed,
+                },
+            )
+            .unwrap();
+            messages += 1;
+            continue;
+        }
+        if let Some(u) = engine.tick(t, arc, speed).unwrap() {
+            db.apply_update(
+                ObjectId(1),
+                &UpdateMessage::basic(u.time, UpdatePosition::Arc(u.arc), u.speed),
+            )
+            .unwrap();
+            messages += 1;
+        }
+    }
+    assert!(messages >= 1, "at least the route change must be sent");
+
+    // Mid-leg-1 historical belief (as-of) vs final state.
+    let stored = db.moving(ObjectId(1)).unwrap();
+    assert_eq!(stored.attr.route, RouteId(2), "route change persisted");
+
+    // Current position: on the cross street, y ≈ (t−10)·0.8 above −20+20.
+    let ans = db.position_of(ObjectId(1), 20.0).unwrap();
+    let actual = journey.leg_at(20.0 - 1e-9).position_at(
+        &db.network().get(RouteId(2)).unwrap().clone(),
+        20.0,
+    );
+    assert!(
+        (ans.position.x - 10.0).abs() < 1e-9,
+        "db position must be on the cross street"
+    );
+    let deviation = ans.position.distance(actual);
+    assert!(
+        deviation <= ans.bound + 1.5 * DT + 1e-9,
+        "deviation {deviation} exceeds bound {}",
+        ans.bound
+    );
+
+    // Range query via the text language finds it on the new route.
+    let r = modb::query::run(
+        &db,
+        "RETRIEVE OBJECTS INSIDE RECT (5, -5, 15, 20) AT TIME 20",
+    )
+    .unwrap();
+    assert_eq!(r.as_range().unwrap().all(), vec![ObjectId(1)]);
+    // And not on the old one.
+    let r = modb::query::run(
+        &db,
+        "RETRIEVE OBJECTS INSIDE RECT (20, -3, 30, 3) AT TIME 20",
+    )
+    .unwrap();
+    assert!(r.as_range().unwrap().all().is_empty());
+}
+
+#[test]
+fn stale_route_change_rejected_keeps_old_route() {
+    let net = network();
+    let mut db = Database::new(net, DatabaseConfig::default());
+    db.register_moving(MovingObject {
+        id: ObjectId(1),
+        name: "veh".into(),
+        attr: PositionAttribute {
+            start_time: 5.0,
+            route: RouteId(1),
+            start_position: Point::new(0.0, 0.0),
+            start_arc: 0.0,
+            direction: Direction::Forward,
+            speed: 1.0,
+            policy: PolicyDescriptor::CostBased {
+                kind: BoundKind::Immediate,
+                update_cost: C,
+            },
+        },
+        max_speed: 1.5,
+        trip_end: None,
+    })
+    .unwrap();
+    let stale = UpdateMessage::route_change(
+        4.0,
+        RouteId(2),
+        UpdatePosition::Arc(20.0),
+        Direction::Forward,
+        1.0,
+    );
+    assert!(db.apply_update(ObjectId(1), &stale).is_err());
+    assert_eq!(db.moving(ObjectId(1)).unwrap().attr.route, RouteId(1));
+}
