@@ -46,8 +46,8 @@ fn bench_ingest(c: &mut Criterion) {
     });
     group.finish();
     drop(handle);
-    let (_, rejected) = service.shutdown();
-    assert_eq!(rejected, 0, "monotone stamps must all apply");
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected(), 0, "monotone stamps must all apply");
 }
 
 fn bench_shared_queries(c: &mut Criterion) {

@@ -91,9 +91,56 @@ impl Database {
         }
     }
 
+    /// Rebuilds a database from externally held state — the
+    /// snapshot-restore path of `modb-wal`. Stationary objects are
+    /// re-inserted and moving objects re-registered (which re-validates
+    /// every field and rebuilds the time-space index entry from scratch,
+    /// so a restored database re-indexes identically to the original);
+    /// histories are re-attached afterwards, trimmed to
+    /// `config.history_capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Any error `insert_stationary` / `register_moving` would raise on
+    /// the same inputs.
+    pub fn from_parts(
+        network: RouteNetwork,
+        config: DatabaseConfig,
+        stationary: Vec<StationaryObject>,
+        moving: Vec<(MovingObject, Vec<PositionAttribute>)>,
+    ) -> Result<Self, CoreError> {
+        let mut db = Database::new(network, config);
+        for obj in stationary {
+            db.insert_stationary(obj)?;
+        }
+        for (obj, versions) in moving {
+            let id = obj.id;
+            db.register_moving(obj)?;
+            if config.history_capacity > 0 && !versions.is_empty() {
+                db.history.insert(
+                    id,
+                    AttributeHistory::from_versions(config.history_capacity, versions),
+                );
+            }
+        }
+        Ok(db)
+    }
+
     /// The route database.
     pub fn network(&self) -> &RouteNetwork {
         &self.network
+    }
+
+    /// Adds a route to the route database after construction (network
+    /// growth is append-only: existing routes never change, so index
+    /// entries stay valid).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Route`] when the id is already taken.
+    pub fn insert_route(&mut self, route: Route) -> Result<(), CoreError> {
+        self.network.insert(route)?;
+        Ok(())
     }
 
     /// The configuration.
@@ -114,6 +161,16 @@ impl Database {
     /// Iterator over moving-object ids.
     pub fn moving_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
         self.moving.keys().copied()
+    }
+
+    /// Iterator over all moving objects (arbitrary order).
+    pub fn moving_objects(&self) -> impl Iterator<Item = &MovingObject> {
+        self.moving.values()
+    }
+
+    /// Iterator over all stationary objects (arbitrary order).
+    pub fn stationary_objects(&self) -> impl Iterator<Item = &StationaryObject> {
+        self.stationary.values()
     }
 
     /// Looks up a moving object.
@@ -980,6 +1037,80 @@ mod tests {
         assert!(db.find_moving_by_name("ghost").is_none());
         assert_eq!(db.find_stationary_by_name("depot").unwrap().id, ObjectId(50));
         assert!(db.find_stationary_by_name("nowhere").is_none());
+    }
+
+    #[test]
+    fn from_parts_restores_state_and_reindexes() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0), object(2, 40.0, 0.5)]);
+        db.insert_stationary(StationaryObject::new(
+            ObjectId(100),
+            "depot",
+            Point::new(12.0, 0.0),
+        ))
+        .unwrap();
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(14.0), 0.5),
+        )
+        .unwrap();
+        // Disassemble through the public accessors, as a snapshot would.
+        let moving: Vec<_> = db
+            .moving_objects()
+            .map(|o| (o.clone(), db.history_of(o.id).to_vec()))
+            .collect();
+        let stationary: Vec<_> = db.stationary_objects().cloned().collect();
+        let rebuilt = Database::from_parts(
+            db.network().clone(),
+            *db.config(),
+            stationary,
+            moving,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.moving_count(), 2);
+        assert_eq!(rebuilt.stationary_count(), 1);
+        assert_eq!(rebuilt.history_of(ObjectId(1)).len(), 1);
+        // Identical query answers, index path included.
+        for t in [0.0, 5.0, 9.0] {
+            assert_eq!(
+                rebuilt.position_of(ObjectId(1), t).unwrap(),
+                db.position_of(ObjectId(1), t).unwrap()
+            );
+            let region = rect_region(0.0, 100.0, t);
+            let a = rebuilt.range_query(&region).unwrap();
+            let b = db.range_query(&region).unwrap();
+            assert_eq!(a.must, b.must);
+            assert_eq!(a.may, b.may);
+        }
+        assert_eq!(
+            rebuilt.position_of_as_of(ObjectId(1), 3.0).unwrap(),
+            db.position_of_as_of(ObjectId(1), 3.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn insert_route_grows_network() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        db.insert_route(
+            Route::from_vertices(
+                RouteId(7),
+                "new",
+                vec![Point::new(0.0, 10.0), Point::new(100.0, 10.0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(db.network().get(RouteId(7)).is_ok());
+        // Duplicate id rejected.
+        let dup = Route::from_vertices(RouteId(7), "dup", vec![Point::ORIGIN, Point::new(1.0, 0.0)])
+            .unwrap();
+        assert!(matches!(db.insert_route(dup), Err(CoreError::Route(_))));
+        // Objects can move onto the new route.
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::route_change(1.0, RouteId(7), UpdatePosition::Arc(5.0), Direction::Forward, 1.0),
+        )
+        .unwrap();
+        assert_eq!(db.moving(ObjectId(1)).unwrap().attr.route, RouteId(7));
     }
 
     #[test]

@@ -31,6 +31,23 @@ impl AttributeHistory {
         }
     }
 
+    /// Rebuilds a history from retained versions (oldest first) — the
+    /// snapshot-restore path. Versions beyond `capacity` are evicted
+    /// oldest-first, matching what repeated [`AttributeHistory::push`]
+    /// calls would have kept.
+    pub fn from_versions(capacity: usize, mut versions: Vec<PositionAttribute>) -> Self {
+        debug_assert!(
+            versions.windows(2).all(|w| w[0].start_time <= w[1].start_time),
+            "history must stay time-ordered"
+        );
+        if capacity == 0 {
+            versions.clear();
+        } else if versions.len() > capacity {
+            versions.drain(..versions.len() - capacity);
+        }
+        AttributeHistory { versions, capacity }
+    }
+
     /// Records a superseded version. Assumes monotone `start_time` (the
     /// DBMS rejects stale updates before this point).
     pub fn push(&mut self, attr: PositionAttribute) {
@@ -132,6 +149,19 @@ mod tests {
         assert_eq!(h.len(), 2);
         assert_eq!(h.versions()[0].start_time, 1.0);
         assert!(h.version_at(0.5).is_none(), "evicted epoch is gone");
+    }
+
+    #[test]
+    fn from_versions_matches_pushes() {
+        let versions = vec![attr(0.0, 0.0), attr(1.0, 1.0), attr(2.0, 2.0)];
+        let mut pushed = AttributeHistory::new(2);
+        for v in &versions {
+            pushed.push(v.clone());
+        }
+        let rebuilt = AttributeHistory::from_versions(2, versions.clone());
+        assert_eq!(rebuilt, pushed);
+        // Zero capacity drops everything.
+        assert!(AttributeHistory::from_versions(0, versions).is_empty());
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! Reads `RETRIEVE …` queries from stdin (one per line) and prints
 //! answers; `\h` lists the grammar, `\q` quits. A seeded 50-vehicle fleet
 //! on a 10×10 grid is loaded at startup so there is something to query.
+//! `\save <dir>` snapshots the full database state to a durability
+//! directory; `\load <dir>` replaces the session database with the state
+//! recovered from one (snapshot + any write-ahead-log segments).
 //!
 //! Run with: `cargo run --release -p modb-server --bin modb_repl`
 //! (pipe queries in for scripted use: `echo "..." | modb_repl`).
@@ -27,7 +30,7 @@ queries:
   RETRIEVE OBJECTS WITHIN r OF POINT (x, y) AT TIME t
   RETRIEVE OBJECTS WITHIN r OF OBJECT <id|'name'> AT TIME t
   RETRIEVE k NEAREST OBJECTS TO POINT (x, y) AT TIME t
-commands:  \\h help   \\q quit";
+commands:  \\h help   \\q quit   \\save <dir> snapshot state   \\load <dir> recover state";
 
 fn demo_fleet() -> SharedDatabase {
     let network = generators::grid_network(10, 10, 1.0, 0).expect("valid grid");
@@ -112,8 +115,39 @@ fn print_result(db: &SharedDatabase, result: &QueryResult) {
     }
 }
 
+/// Snapshots the whole session state into `dir`. The REPL has no live
+/// log, so the snapshot's LSN high-water mark is whatever the directory's
+/// log already reached (0 for a fresh directory) — recovery will replay
+/// nothing on top of it.
+fn save(db: &SharedDatabase, dir: &str) {
+    let path = std::path::Path::new(dir);
+    let lsn = modb_wal::list_segments(path)
+        .ok()
+        .and_then(|segments| {
+            let (_, last) = segments.into_iter().next_back()?;
+            let scan = modb_wal::scan_segment(&last).ok()?;
+            Some(scan.start_lsn + scan.records.len() as u64)
+        })
+        .unwrap_or(0);
+    match db.with_read(|inner| modb_wal::write_snapshot(path, inner, lsn)) {
+        Ok(file) => println!("  saved {} objects to {}", db.moving_count(), file.display()),
+        Err(e) => println!("  error: {e}"),
+    }
+}
+
+fn load(db: &mut SharedDatabase, dir: &str) {
+    match SharedDatabase::recover(std::path::Path::new(dir)) {
+        Ok((recovered, report)) => {
+            println!("  {report}");
+            println!("  loaded {} objects", recovered.moving_count());
+            *db = recovered;
+        }
+        Err(e) => println!("  error: {e}"),
+    }
+}
+
 fn main() {
-    let db = demo_fleet();
+    let mut db = demo_fleet();
     println!(
         "modb console — {} vehicles on a 10x10-mile grid. \\h for help.",
         db.moving_count()
@@ -135,6 +169,20 @@ fn main() {
             "\\q" | "quit" | "exit" => break,
             "\\h" | "help" => {
                 println!("{HELP}");
+                continue;
+            }
+            cmd if cmd.starts_with("\\save") => {
+                match cmd.strip_prefix("\\save").map(str::trim) {
+                    Some(dir) if !dir.is_empty() => save(&db, dir),
+                    _ => println!("  usage: \\save <dir>"),
+                }
+                continue;
+            }
+            cmd if cmd.starts_with("\\load") => {
+                match cmd.strip_prefix("\\load").map(str::trim) {
+                    Some(dir) if !dir.is_empty() => load(&mut db, dir),
+                    _ => println!("  usage: \\load <dir>"),
+                }
                 continue;
             }
             query => match db.run_query(query) {

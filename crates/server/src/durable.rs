@@ -1,0 +1,418 @@
+//! A [`SharedDatabase`] paired with a write-ahead log and snapshots: the
+//! durable deployment shape.
+//!
+//! [`DurableDatabase`] routes every mutation through both the in-memory
+//! database and the log, so the state in `dir` can always be rebuilt by
+//! [`DurableDatabase::open`] (or bare [`SharedDatabase::recover`]):
+//!
+//! - **Position updates** are logged *before* they are applied, accepted
+//!   or not — replay re-derives the same verdicts, and the log doubles
+//!   as a complete update-stream trace.
+//! - **Registrations, removals, and route insertions** are logged *after*
+//!   they succeed, so the log carries only mutations that actually
+//!   changed state.
+//! - **Snapshots** ([`DurableDatabase::snapshot`]) bound replay work;
+//!   they are quiescent-point operations — take them when no mutation is
+//!   in flight (shutdown, an operator REPL, between simulation phases).
+//!   Coordinated online snapshots are a roadmap item.
+
+use std::path::{Path, PathBuf};
+
+use modb_core::{Database, MovingObject, ObjectId, StationaryObject, UpdateMessage};
+use modb_routes::Route;
+use modb_wal::{
+    write_snapshot, RecoveryReport, SharedWal, WalError, WalOptions, WalRecord, WalWriter,
+};
+
+use crate::ingest::IngestService;
+use crate::shared::SharedDatabase;
+
+/// A shared database whose mutations are persisted to a directory of
+/// write-ahead-log segments and snapshots.
+#[derive(Debug, Clone)]
+pub struct DurableDatabase {
+    db: SharedDatabase,
+    wal: SharedWal,
+    dir: PathBuf,
+}
+
+impl DurableDatabase {
+    /// Starts durability for a freshly built database: creates the log in
+    /// `dir` and writes a genesis snapshot (which carries the route
+    /// network and configuration — the log alone cannot seed those).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::AlreadyExists`] when `dir` already holds a log (use
+    /// [`DurableDatabase::open`]); I/O failures.
+    pub fn create(dir: impl Into<PathBuf>, db: Database, opts: WalOptions) -> Result<Self, WalError> {
+        let dir = dir.into();
+        let writer = WalWriter::create(&dir, opts)?;
+        write_snapshot(&dir, &db, writer.next_lsn())?;
+        Ok(DurableDatabase {
+            db: SharedDatabase::new(db),
+            wal: SharedWal::new(writer),
+            dir,
+        })
+    }
+
+    /// Reopens a durability directory: recovers the state (snapshot +
+    /// replay + torn-tail truncation) and resumes the log where it left
+    /// off. Returns the handle and the recovery report.
+    ///
+    /// # Errors
+    ///
+    /// See [`modb_wal::recover`] and [`WalWriter::resume`].
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        opts: WalOptions,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let dir = dir.into();
+        let recovered = modb_wal::recover(&dir)?;
+        let writer = WalWriter::resume(&dir, opts, recovered.report.next_lsn)?;
+        Ok((
+            DurableDatabase {
+                db: SharedDatabase::new(recovered.database),
+                wal: SharedWal::new(writer),
+                dir,
+            },
+            recovered.report,
+        ))
+    }
+
+    /// The in-memory handle (queries go here; they never touch the log).
+    pub fn database(&self) -> &SharedDatabase {
+        &self.db
+    }
+
+    /// The shared log writer.
+    pub fn wal(&self) -> &SharedWal {
+        &self.wal
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Spawns a WAL-backed ingest service over this database (see
+    /// [`IngestService::spawn_with_wal`]).
+    pub fn ingest_service(&self, n_workers: usize, queue_depth: usize) -> IngestService {
+        IngestService::spawn_with_wal(self.db.clone(), self.wal.clone(), n_workers, queue_depth)
+    }
+
+    /// Registers a moving object, logging it on success.
+    ///
+    /// # Errors
+    ///
+    /// Database rejections ([`WalError::Core`]) and log I/O failures.
+    pub fn register_moving(&self, obj: MovingObject) -> Result<(), WalError> {
+        self.db.register_moving(obj.clone())?;
+        self.wal.append(&WalRecord::RegisterMoving(obj))?;
+        Ok(())
+    }
+
+    /// Registers a stationary landmark, logging it on success.
+    ///
+    /// # Errors
+    ///
+    /// Database rejections and log I/O failures.
+    pub fn insert_stationary(&self, obj: StationaryObject) -> Result<(), WalError> {
+        self.db.insert_stationary(obj.clone())?;
+        self.wal.append(&WalRecord::InsertStationary(obj))?;
+        Ok(())
+    }
+
+    /// Adds a route, logging it on success.
+    ///
+    /// # Errors
+    ///
+    /// Database rejections and log I/O failures.
+    pub fn insert_route(&self, route: Route) -> Result<(), WalError> {
+        self.db.insert_route(route.clone())?;
+        self.wal.append(&WalRecord::InsertRoute(route))?;
+        Ok(())
+    }
+
+    /// Removes a moving object, logging it on success.
+    ///
+    /// # Errors
+    ///
+    /// Database rejections and log I/O failures.
+    pub fn remove_moving(&self, id: ObjectId) -> Result<MovingObject, WalError> {
+        let obj = self.db.remove_moving(id)?;
+        self.wal.append(&WalRecord::RemoveMoving(id))?;
+        Ok(obj)
+    }
+
+    /// Applies a position update, logging the envelope *before* the
+    /// database sees it (accepted or not). For high-volume ingestion use
+    /// [`DurableDatabase::ingest_service`], which batches log writes per
+    /// worker instead of locking the writer per update.
+    ///
+    /// # Errors
+    ///
+    /// Log I/O failures ([`WalError::Io`]); database rejections
+    /// ([`WalError::Core`] — the envelope is still logged, mirroring
+    /// replay semantics).
+    pub fn apply_update(&self, id: ObjectId, msg: &UpdateMessage) -> Result<(), WalError> {
+        self.wal.append(&WalRecord::Update {
+            id,
+            msg: msg.clone(),
+        })?;
+        self.db.apply_update(id, msg)?;
+        Ok(())
+    }
+
+    /// Takes a point-in-time snapshot: fsyncs the log, then atomically
+    /// writes the full database state tagged with the current LSN.
+    /// Returns the snapshot path.
+    ///
+    /// Quiescent-point only: the caller must ensure no mutation is in
+    /// flight (an ingest service must be shut down or idle), otherwise an
+    /// update logged but not yet applied would be wrongly claimed by the
+    /// snapshot's high-water mark.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn snapshot(&self) -> Result<PathBuf, WalError> {
+        self.wal.with_writer(|w| {
+            w.sync()?;
+            let lsn = w.next_lsn();
+            self.db.with_read(|db| write_snapshot(&self.dir, db, lsn))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_core::{DatabaseConfig, PolicyDescriptor, PositionAttribute, UpdatePosition};
+    use modb_geom::Point;
+    use modb_policy::BoundKind;
+    use modb_routes::{Direction, RouteId, RouteNetwork};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "modb-durable-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fresh_db() -> Database {
+        let route = Route::from_vertices(
+            RouteId(1),
+            "main",
+            vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+        )
+        .unwrap();
+        Database::new(
+            RouteNetwork::from_routes([route]).unwrap(),
+            DatabaseConfig::default(),
+        )
+    }
+
+    fn vehicle(id: u64, arc: f64) -> MovingObject {
+        MovingObject {
+            id: ObjectId(id),
+            name: format!("veh-{id}"),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: RouteId(1),
+                start_position: Point::new(arc, 0.0),
+                start_arc: arc,
+                direction: Direction::Forward,
+                speed: 1.0,
+                policy: PolicyDescriptor::CostBased {
+                    kind: BoundKind::Immediate,
+                    update_cost: 5.0,
+                },
+            },
+            max_speed: 1.5,
+            trip_end: None,
+        }
+    }
+
+    #[test]
+    fn create_mutate_reopen_preserves_state() {
+        let dir = tmp("reopen");
+        let durable = DurableDatabase::create(&dir, fresh_db(), WalOptions::default()).unwrap();
+        durable.register_moving(vehicle(1, 10.0)).unwrap();
+        durable.register_moving(vehicle(2, 40.0)).unwrap();
+        durable
+            .insert_stationary(StationaryObject::new(
+                ObjectId(100),
+                "depot",
+                Point::new(12.0, 0.0),
+            ))
+            .unwrap();
+        durable
+            .apply_update(
+                ObjectId(1),
+                &UpdateMessage::basic(5.0, UpdatePosition::Arc(14.0), 0.5),
+            )
+            .unwrap();
+        // A rejected update is logged and the rejection surfaces.
+        assert!(matches!(
+            durable.apply_update(
+                ObjectId(1),
+                &UpdateMessage::basic(4.0, UpdatePosition::Arc(15.0), 0.5),
+            ),
+            Err(WalError::Core(_))
+        ));
+        durable.remove_moving(ObjectId(2)).unwrap();
+        let expected = durable.database().with_read(|db| db.clone());
+        drop(durable);
+
+        let (reopened, report) = DurableDatabase::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(report.snapshot_lsn, 0, "only the genesis snapshot exists");
+        assert_eq!(report.rejected, 1, "the stale update re-rejects on replay");
+        reopened.database().with_read(|db| {
+            assert_eq!(db.moving_count(), expected.moving_count());
+            assert_eq!(db.stationary_count(), expected.stationary_count());
+            assert_eq!(
+                db.moving(ObjectId(1)).unwrap(),
+                expected.moving(ObjectId(1)).unwrap()
+            );
+            assert_eq!(db.history_of(ObjectId(1)), expected.history_of(ObjectId(1)));
+        });
+        // The reopened handle keeps logging at the right LSN.
+        reopened.register_moving(vehicle(3, 70.0)).unwrap();
+        drop(reopened);
+        let (again, report) = DurableDatabase::open(&dir, WalOptions::default()).unwrap();
+        assert!(again.database().with_read(|db| db.moving(ObjectId(3)).is_ok()));
+        assert_eq!(report.next_lsn, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_bounds_replay() {
+        let dir = tmp("snapshot");
+        let durable = DurableDatabase::create(&dir, fresh_db(), WalOptions::default()).unwrap();
+        for i in 1..=5u64 {
+            durable.register_moving(vehicle(i, 10.0 * i as f64)).unwrap();
+        }
+        let path = durable.snapshot().unwrap();
+        assert!(path.exists());
+        durable
+            .apply_update(
+                ObjectId(1),
+                &UpdateMessage::basic(2.0, UpdatePosition::Arc(11.0), 1.0),
+            )
+            .unwrap();
+        drop(durable);
+        let (reopened, report) = DurableDatabase::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(report.snapshot_lsn, 5);
+        assert_eq!(report.replayed, 1, "only the post-snapshot update replays");
+        assert_eq!(report.skipped_records, 5);
+        reopened.database().with_read(|db| {
+            assert_eq!(db.moving_count(), 5);
+            assert_eq!(db.moving(ObjectId(1)).unwrap().attr.start_arc, 11.0);
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_dir_and_open_needs_snapshot() {
+        let dir = tmp("guards");
+        let durable = DurableDatabase::create(&dir, fresh_db(), WalOptions::default()).unwrap();
+        drop(durable);
+        assert!(matches!(
+            DurableDatabase::create(&dir, fresh_db(), WalOptions::default()),
+            Err(WalError::AlreadyExists(_))
+        ));
+        // A directory with no snapshot cannot be opened.
+        let empty = tmp("guards-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(matches!(
+            DurableDatabase::open(&empty, WalOptions::default()),
+            Err(WalError::NoSnapshot(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&empty).unwrap();
+    }
+
+    #[test]
+    fn wal_backed_ingest_round_trips_through_recovery() {
+        let dir = tmp("ingest");
+        let durable = DurableDatabase::create(&dir, fresh_db(), WalOptions::default()).unwrap();
+        for i in 0..20u64 {
+            durable.register_moving(vehicle(i, i as f64)).unwrap();
+        }
+        let service = durable.ingest_service(4, 64);
+        let handle = service.handle();
+        for round in 1..=10u64 {
+            for i in 0..20u64 {
+                handle
+                    .send(crate::ingest::UpdateEnvelope {
+                        id: ObjectId(i),
+                        msg: UpdateMessage::basic(
+                            round as f64,
+                            UpdatePosition::Arc(i as f64 + round as f64 * 0.1),
+                            0.9,
+                        ),
+                    })
+                    .unwrap();
+            }
+        }
+        drop(handle);
+        let stats = service.shutdown();
+        assert_eq!(stats.accepted, 200);
+        assert_eq!(stats.wal_errors, 0);
+        let expected = durable.database().with_read(|db| db.clone());
+        drop(durable);
+        let (reopened, report) = DurableDatabase::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(report.replayed, 220, "20 registrations + 200 updates");
+        reopened.database().with_read(|db| {
+            for i in 0..20u64 {
+                assert_eq!(
+                    db.moving(ObjectId(i)).unwrap(),
+                    expected.moving(ObjectId(i)).unwrap()
+                );
+            }
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequential_durable_writes_interleave_with_shared_queries() {
+        let dir = tmp("queries");
+        let durable = DurableDatabase::create(&dir, fresh_db(), WalOptions::default()).unwrap();
+        durable.register_moving(vehicle(1, 10.0)).unwrap();
+        let db = durable.database().clone();
+        let p = db.position_of(ObjectId(1), 2.0).unwrap();
+        assert_eq!(p.arc, 12.0);
+        durable
+            .insert_route(
+                Route::from_vertices(
+                    RouteId(2),
+                    "spur",
+                    vec![Point::new(0.0, 10.0), Point::new(100.0, 10.0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        durable
+            .apply_update(
+                ObjectId(1),
+                &UpdateMessage::route_change(
+                    3.0,
+                    RouteId(2),
+                    UpdatePosition::Arc(50.0),
+                    Direction::Forward,
+                    1.0,
+                ),
+            )
+            .unwrap();
+        drop(durable);
+        let (reopened, _) = DurableDatabase::open(&dir, WalOptions::default()).unwrap();
+        reopened.database().with_read(|db| {
+            assert_eq!(db.moving(ObjectId(1)).unwrap().attr.route, RouteId(2));
+            assert!(db.network().get(RouteId(2)).is_ok());
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -10,16 +10,31 @@
 //! [`IngestHandle`] routes every envelope for a given object to the same
 //! worker — per-object FIFO with cross-object parallelism.
 //!
+//! **Durability.** A service spawned with
+//! [`IngestService::spawn_with_wal`] logs every envelope to the
+//! write-ahead log *before* applying it. Each worker frames records into
+//! a private [`modb_wal::WalBatch`] (no lock, no I/O) and hands the batch
+//! to the shared writer every [`WAL_BATCH_RECORDS`] envelopes and at
+//! drain, so the WAL mutex is touched once per batch, not once per
+//! update. Rejected updates are logged too: replay re-derives the same
+//! verdicts, and the log doubles as a complete update-stream trace.
+//!
 //! Rejections (stale timestamps after a vehicle reboot, off-route fixes,
-//! unknown objects) are normal radio-network operation — counted, not
-//! fatal.
+//! unknown objects) are normal radio-network operation — counted by
+//! reason in [`IngestStats`], not fatal.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, SendError, Sender};
-use modb_core::{ObjectId, UpdateMessage};
+use modb_core::{CoreError, ObjectId, UpdateMessage};
+use modb_wal::{SharedWal, WalBatch, WalRecord};
+
+/// Envelopes a worker buffers in its private WAL batch before taking the
+/// shared writer lock once to flush them all.
+pub const WAL_BATCH_RECORDS: u64 = 32;
 
 /// What flows through a shard queue: an update to apply, or the stop
 /// sentinel that ends the worker. The sentinel (rather than relying on
@@ -43,11 +58,17 @@ pub struct UpdateEnvelope {
     pub msg: UpdateMessage,
 }
 
-/// Counters published by the ingest workers.
+/// Counters published by the ingest workers. Rejections are broken down
+/// by the DBMS verdict so operators can tell a fleet of rebooting
+/// vehicles (stale timestamps) from a map-matching problem (off-route).
 #[derive(Debug, Default)]
 pub struct IngestStats {
     accepted: AtomicUsize,
-    rejected: AtomicUsize,
+    stale: AtomicUsize,
+    off_route: AtomicUsize,
+    unknown_object: AtomicUsize,
+    other_rejected: AtomicUsize,
+    wal_errors: AtomicUsize,
 }
 
 impl IngestStats {
@@ -56,9 +77,113 @@ impl IngestStats {
         self.accepted.load(Ordering::Relaxed)
     }
 
-    /// Updates rejected by the DBMS (stale, off-route, unknown object…).
+    /// Total updates rejected by the DBMS, all reasons combined.
     pub fn rejected(&self) -> usize {
-        self.rejected.load(Ordering::Relaxed)
+        self.stale.load(Ordering::Relaxed)
+            + self.off_route.load(Ordering::Relaxed)
+            + self.unknown_object.load(Ordering::Relaxed)
+            + self.other_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Updates rejected for a timestamp older than the stored one.
+    pub fn stale(&self) -> usize {
+        self.stale.load(Ordering::Relaxed)
+    }
+
+    /// Updates rejected because the reported position was too far from
+    /// the route (map-matching tolerance exceeded).
+    pub fn off_route(&self) -> usize {
+        self.off_route.load(Ordering::Relaxed)
+    }
+
+    /// Updates addressed to an object the DBMS does not know.
+    pub fn unknown_object(&self) -> usize {
+        self.unknown_object.load(Ordering::Relaxed)
+    }
+
+    /// Updates rejected for any other reason (invalid fields, unknown
+    /// routes, …).
+    pub fn other_rejected(&self) -> usize {
+        self.other_rejected.load(Ordering::Relaxed)
+    }
+
+    /// WAL append failures (the update was still applied; the log is
+    /// missing records and a recovery would replay a shorter prefix).
+    pub fn wal_errors(&self) -> usize {
+        self.wal_errors.load(Ordering::Relaxed)
+    }
+
+    /// A coherent copy of all counters (each counter is read once; the
+    /// snapshot is consistent to within concurrent increments).
+    pub fn snapshot(&self) -> IngestStatsSnapshot {
+        IngestStatsSnapshot {
+            accepted: self.accepted(),
+            stale: self.stale(),
+            off_route: self.off_route(),
+            unknown_object: self.unknown_object(),
+            other_rejected: self.other_rejected(),
+            wal_errors: self.wal_errors(),
+        }
+    }
+
+    fn record(&self, outcome: &Result<(), CoreError>) {
+        let counter = match outcome {
+            Ok(()) => &self.accepted,
+            Err(CoreError::StaleUpdate { .. }) => &self.stale,
+            Err(CoreError::OffRoute { .. }) => &self.off_route,
+            Err(CoreError::UnknownObject(_)) => &self.unknown_object,
+            Err(_) => &self.other_rejected,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A plain-value copy of [`IngestStats`], printable for operator logs and
+/// experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStatsSnapshot {
+    /// Updates applied successfully.
+    pub accepted: usize,
+    /// Rejected: stale timestamp.
+    pub stale: usize,
+    /// Rejected: off-route position.
+    pub off_route: usize,
+    /// Rejected: unknown object.
+    pub unknown_object: usize,
+    /// Rejected: everything else.
+    pub other_rejected: usize,
+    /// WAL append failures.
+    pub wal_errors: usize,
+}
+
+impl IngestStatsSnapshot {
+    /// Total rejected, all reasons combined.
+    pub fn rejected(&self) -> usize {
+        self.stale + self.off_route + self.unknown_object + self.other_rejected
+    }
+
+    /// Total envelopes processed.
+    pub fn total(&self) -> usize {
+        self.accepted + self.rejected()
+    }
+}
+
+impl fmt::Display for IngestStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accepted, {} rejected ({} stale, {} off-route, {} unknown, {} other)",
+            self.accepted,
+            self.rejected(),
+            self.stale,
+            self.off_route,
+            self.unknown_object,
+            self.other_rejected,
+        )?;
+        if self.wal_errors > 0 {
+            write!(f, ", {} wal errors", self.wal_errors)?;
+        }
+        Ok(())
     }
 }
 
@@ -69,8 +194,8 @@ pub struct IngestHandle {
     shards: Vec<Sender<Job>>,
 }
 
-impl std::fmt::Debug for IngestHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Debug for IngestHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("IngestHandle")
             .field("shards", &self.shards.len())
             .finish()
@@ -101,12 +226,34 @@ pub struct IngestService {
     handle: Option<IngestHandle>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<IngestStats>,
+    wal: Option<SharedWal>,
 }
 
 impl IngestService {
     /// Spawns `n_workers` sharded workers, each with a queue of capacity
-    /// `queue_depth` (both clamped to ≥ 1).
+    /// `queue_depth` (both clamped to ≥ 1). No write-ahead logging.
     pub fn spawn(db: SharedDatabase, n_workers: usize, queue_depth: usize) -> Self {
+        Self::spawn_inner(db, None, n_workers, queue_depth)
+    }
+
+    /// Like [`IngestService::spawn`], but every envelope is appended to
+    /// `wal` (buffered per worker, flushed every [`WAL_BATCH_RECORDS`]
+    /// envelopes and at drain) *before* it is applied to the database.
+    pub fn spawn_with_wal(
+        db: SharedDatabase,
+        wal: SharedWal,
+        n_workers: usize,
+        queue_depth: usize,
+    ) -> Self {
+        Self::spawn_inner(db, Some(wal), n_workers, queue_depth)
+    }
+
+    fn spawn_inner(
+        db: SharedDatabase,
+        wal: Option<SharedWal>,
+        n_workers: usize,
+        queue_depth: usize,
+    ) -> Self {
         let stats = Arc::new(IngestStats::default());
         let mut shards = Vec::with_capacity(n_workers.max(1));
         let mut workers = Vec::with_capacity(n_workers.max(1));
@@ -114,19 +261,50 @@ impl IngestService {
             let (tx, rx) = bounded::<Job>(queue_depth.max(1));
             let db = db.clone();
             let stats = Arc::clone(&stats);
+            let wal = wal.clone();
             workers.push(std::thread::spawn(move || {
+                let mut batch = WalBatch::new();
+                let mut apply = |env: UpdateEnvelope| {
+                    if let Some(wal) = &wal {
+                        // Log before apply. The frame sits in this
+                        // worker's private batch until the batch is
+                        // handed to the shared writer; a crash loses the
+                        // batch *and* the in-memory state together, so
+                        // the log never trails what it claims to cover.
+                        batch.push(&WalRecord::Update {
+                            id: env.id,
+                            msg: env.msg.clone(),
+                        });
+                        if batch.records() >= WAL_BATCH_RECORDS
+                            && wal.append_batch(&mut batch).is_err()
+                        {
+                            stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+                            batch.clear();
+                        }
+                    }
+                    stats.record(&db.apply_update(env.id, &env.msg));
+                };
                 for job in rx.iter() {
-                    let envelope = match job {
-                        Job::Apply(env) => env,
-                        Job::Stop => break,
-                    };
-                    match db.apply_update(envelope.id, &envelope.msg) {
-                        Ok(()) => {
-                            stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    match job {
+                        Job::Apply(env) => apply(env),
+                        Job::Stop => {
+                            // Drain guarantee: everything enqueued before
+                            // the sentinel has already been applied
+                            // (FIFO); envelopes racing in behind it are
+                            // drained best-effort before the worker
+                            // exits, so a producer that saw `send` return
+                            // Ok before `shutdown` returned is not
+                            // silently dropped.
+                            while let Ok(Job::Apply(env)) = rx.try_recv() {
+                                apply(env);
+                            }
+                            break;
                         }
-                        Err(_) => {
-                            stats.rejected.fetch_add(1, Ordering::Relaxed);
-                        }
+                    }
+                }
+                if let Some(wal) = &wal {
+                    if wal.append_batch(&mut batch).is_err() {
+                        stats.wal_errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }));
@@ -136,6 +314,7 @@ impl IngestService {
             handle: Some(IngestHandle { shards }),
             workers,
             stats,
+            wal,
         }
     }
 
@@ -158,10 +337,16 @@ impl IngestService {
 
     /// Drains the queues and stops the workers, even if producer handles
     /// are still alive (a stop sentinel is enqueued behind any pending
-    /// updates). Returns `(accepted, rejected)`.
-    pub fn shutdown(mut self) -> (usize, usize) {
+    /// updates). Returns the final counters.
+    ///
+    /// **Drain guarantee.** Every envelope whose [`IngestHandle::send`]
+    /// returned `Ok` before this call is applied to the database — and,
+    /// for a WAL-backed service, flushed from the per-worker batches and
+    /// fsynced — before the workers stop. Envelopes sent concurrently
+    /// with the shutdown are drained best-effort.
+    pub fn shutdown(mut self) -> IngestStatsSnapshot {
         self.stop_workers();
-        (self.stats.accepted(), self.stats.rejected())
+        self.stats.snapshot()
     }
 
     fn stop_workers(&mut self) {
@@ -175,6 +360,13 @@ impl IngestService {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Workers have flushed their batches into the writer; one final
+        // sync makes the drained log durable regardless of fsync policy.
+        if let Some(wal) = &self.wal {
+            if wal.sync().is_err() {
+                self.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -195,6 +387,7 @@ mod tests {
     use modb_geom::Point;
     use modb_policy::BoundKind;
     use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+    use modb_wal::{FsyncPolicy, WalOptions, WalWriter};
 
     fn shared(n_objects: u64) -> SharedDatabase {
         let route = Route::from_vertices(
@@ -261,9 +454,9 @@ mod tests {
             }
         });
         drop(handle);
-        let (accepted, rejected) = service.shutdown();
-        assert_eq!(accepted, 250);
-        assert_eq!(rejected, 0);
+        let stats = service.shutdown();
+        assert_eq!(stats.accepted, 250);
+        assert_eq!(stats.rejected(), 0);
         db.with_read(|inner| {
             for i in 0..50u64 {
                 assert_eq!(inner.moving(ObjectId(i)).unwrap().attr.start_time, 5.0);
@@ -272,32 +465,35 @@ mod tests {
     }
 
     #[test]
-    fn rejections_are_counted_not_fatal() {
+    fn rejections_are_counted_by_reason() {
         let db = shared(2);
         let service = IngestService::spawn(db.clone(), 2, 8);
         let handle = service.handle();
-        handle
-            .send(UpdateEnvelope {
-                id: ObjectId(0),
-                msg: UpdateMessage::basic(5.0, UpdatePosition::Arc(10.0), 1.0),
-            })
-            .unwrap();
-        handle
-            .send(UpdateEnvelope {
-                id: ObjectId(99), // unknown
-                msg: UpdateMessage::basic(5.0, UpdatePosition::Arc(1.0), 1.0),
-            })
-            .unwrap();
-        handle
-            .send(UpdateEnvelope {
-                id: ObjectId(1),
-                msg: UpdateMessage::basic(5.0, UpdatePosition::Arc(-3.0), 1.0), // invalid
-            })
-            .unwrap();
+        let send = |id: u64, msg: UpdateMessage| {
+            handle.send(UpdateEnvelope { id: ObjectId(id), msg }).unwrap();
+        };
+        send(0, UpdateMessage::basic(5.0, UpdatePosition::Arc(10.0), 1.0)); // ok
+        send(0, UpdateMessage::basic(4.0, UpdatePosition::Arc(11.0), 1.0)); // stale
+        send(99, UpdateMessage::basic(5.0, UpdatePosition::Arc(1.0), 1.0)); // unknown
+        send(
+            1,
+            UpdateMessage::basic(5.0, UpdatePosition::Coordinates(Point::new(10.0, 50.0)), 1.0),
+        ); // off-route
+        send(1, UpdateMessage::basic(5.0, UpdatePosition::Arc(-3.0), 1.0)); // invalid
         drop(handle);
-        let (accepted, rejected) = service.shutdown();
-        assert_eq!(accepted, 1);
-        assert_eq!(rejected, 2);
+        let stats = service.shutdown();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.unknown_object, 1);
+        assert_eq!(stats.off_route, 1);
+        assert_eq!(stats.other_rejected, 1);
+        assert_eq!(stats.rejected(), 4);
+        assert_eq!(stats.total(), 5);
+        let line = stats.to_string();
+        assert!(line.contains("1 accepted"), "{line}");
+        assert!(line.contains("4 rejected"), "{line}");
+        assert!(line.contains("1 stale"), "{line}");
+        assert!(!line.contains("wal errors"), "{line}");
     }
 
     #[test]
@@ -328,9 +524,9 @@ mod tests {
             assert!(r.candidates <= 100);
         }
         producer.join().unwrap();
-        let (accepted, rejected) = service.shutdown();
-        assert_eq!(accepted + rejected, 2000);
-        assert_eq!(rejected, 0, "sharded routing preserves per-object order");
+        let stats = service.shutdown();
+        assert_eq!(stats.total(), 2000);
+        assert_eq!(stats.rejected(), 0, "sharded routing preserves per-object order");
     }
 
     #[test]
@@ -353,13 +549,74 @@ mod tests {
         let db = shared(1);
         let service = IngestService::spawn(db, 1, 4);
         let handle = service.handle();
-        let (a, r) = service.shutdown();
-        assert_eq!((a, r), (0, 0));
+        let stats = service.shutdown();
+        assert_eq!(stats.total(), 0);
         assert!(handle
             .send(UpdateEnvelope {
                 id: ObjectId(0),
                 msg: UpdateMessage::basic(1.0, UpdatePosition::Arc(1.0), 1.0),
             })
             .is_err());
+    }
+
+    #[test]
+    fn wal_backed_ingest_logs_every_envelope_before_stopping() {
+        let dir = std::env::temp_dir().join(format!("modb-ingest-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = shared(10);
+        let wal = SharedWal::new(
+            WalWriter::create(
+                &dir,
+                WalOptions {
+                    fsync: FsyncPolicy::Never,
+                    ..WalOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let service = IngestService::spawn_with_wal(db.clone(), wal.clone(), 4, 32);
+        let handle = service.handle();
+        std::thread::scope(|s| {
+            for p in 0..4u64 {
+                let handle = handle.clone();
+                s.spawn(move || {
+                    for round in 1..=25u64 {
+                        for i in 0..10u64 {
+                            if i % 4 != p {
+                                continue;
+                            }
+                            handle
+                                .send(UpdateEnvelope {
+                                    id: ObjectId(i),
+                                    // Every other round is stale: rejected
+                                    // but still logged.
+                                    msg: UpdateMessage::basic(
+                                        if round % 2 == 0 { 0.0 } else { round as f64 },
+                                        UpdatePosition::Arc(i as f64 + round as f64),
+                                        0.9,
+                                    ),
+                                })
+                                .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        drop(handle);
+        let stats = service.shutdown();
+        assert_eq!(stats.total(), 250);
+        assert!(stats.stale > 0, "even-round updates are stale");
+        assert_eq!(stats.wal_errors, 0);
+        // The drain flushed every worker batch: the log holds all 250
+        // envelopes, accepted and rejected alike.
+        assert_eq!(wal.next_lsn(), 250);
+        let mut logged = 0;
+        for (_, path) in modb_wal::list_segments(&dir).unwrap() {
+            let scan = modb_wal::scan_segment(&path).unwrap();
+            assert!(scan.torn.is_none());
+            logged += scan.records.len();
+        }
+        assert_eq!(logged, 250);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -9,14 +9,23 @@
 //!   `modb-query` text language.
 //! - [`IngestService`]: a sharded crossbeam-channel worker pool draining an
 //!   asynchronous stream of [`UpdateEnvelope`]s into the database with
-//!   per-object FIFO ordering, plus accepted/rejected counters — rejected
-//!   messages (stale, off-route, unknown sender) are radio-network
-//!   business as usual.
+//!   per-object FIFO ordering, plus per-reason accepted/rejected counters —
+//!   rejected messages (stale, off-route, unknown sender) are radio-network
+//!   business as usual. Spawned with a `modb-wal` writer, the workers log
+//!   every envelope before applying it.
+//! - [`DurableDatabase`]: the durable deployment shape — a shared database
+//!   whose mutations are write-ahead logged, with snapshots and crash
+//!   recovery ([`DurableDatabase::open`] / [`SharedDatabase::recover`]).
 
 #![warn(missing_docs)]
 
+mod durable;
 mod ingest;
 mod shared;
 
-pub use ingest::{IngestHandle, IngestService, IngestStats, UpdateEnvelope};
+pub use durable::DurableDatabase;
+pub use ingest::{
+    IngestHandle, IngestService, IngestStats, IngestStatsSnapshot, UpdateEnvelope,
+    WAL_BATCH_RECORDS,
+};
 pub use shared::SharedDatabase;

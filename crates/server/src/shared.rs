@@ -1,5 +1,6 @@
 //! A thread-safe database handle.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use modb_core::{
@@ -9,6 +10,8 @@ use modb_core::{
 use modb_geom::Point;
 use modb_index::QueryRegion;
 use modb_query::{QueryError, QueryResult};
+use modb_routes::Route;
+use modb_wal::{RecoveryReport, WalError};
 use parking_lot::RwLock;
 
 /// A cloneable, thread-safe handle to one moving-objects database.
@@ -29,6 +32,19 @@ impl SharedDatabase {
         }
     }
 
+    /// Rebuilds a shared database from a durability directory (latest
+    /// snapshot + write-ahead-log replay, torn tails truncated). See
+    /// [`modb_wal::recover`] for the procedure; see
+    /// [`crate::DurableDatabase::open`] to also resume logging.
+    ///
+    /// # Errors
+    ///
+    /// See [`modb_wal::recover`].
+    pub fn recover(dir: &Path) -> Result<(Self, RecoveryReport), WalError> {
+        let recovered = modb_wal::recover(dir)?;
+        Ok((SharedDatabase::new(recovered.database), recovered.report))
+    }
+
     /// Registers a moving object.
     ///
     /// # Errors
@@ -45,6 +61,15 @@ impl SharedDatabase {
     /// See [`Database::insert_stationary`].
     pub fn insert_stationary(&self, obj: StationaryObject) -> Result<(), CoreError> {
         self.inner.write().insert_stationary(obj)
+    }
+
+    /// Adds a route to the route network.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::insert_route`].
+    pub fn insert_route(&self, route: Route) -> Result<(), CoreError> {
+        self.inner.write().insert_route(route)
     }
 
     /// Applies a position update.

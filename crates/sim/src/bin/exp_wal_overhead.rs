@@ -1,0 +1,31 @@
+//! W1: ingest throughput with the write-ahead log on and off, across
+//! fsync policies — the measured price of durability.
+//!
+//! Usage: `exp_wal_overhead [n_objects] [rounds] [workers]`
+//! (defaults: 2000 objects × 50 rounds, 4 workers; the `Always` policy
+//! automatically runs a reduced round count).
+
+use modb_sim::experiments::wal_overhead::{run_wal_overhead, wal_overhead_table};
+
+fn arg_or(args: &mut impl Iterator<Item = String>, name: &str, default: usize) -> usize {
+    match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a positive integer, got {a:?}");
+            eprintln!("usage: exp_wal_overhead [n_objects] [rounds] [workers]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_objects = arg_or(&mut args, "n_objects", 2_000);
+    let rounds = arg_or(&mut args, "rounds", 50);
+    let workers = arg_or(&mut args, "workers", 4);
+    eprintln!(
+        "running wal-overhead experiment: {n_objects} objects x {rounds} rounds, {workers} workers"
+    );
+    let rows = run_wal_overhead(n_objects, rounds, workers);
+    println!("{}", wal_overhead_table(&rows));
+}

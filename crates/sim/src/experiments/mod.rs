@@ -8,3 +8,4 @@ pub mod example1;
 pub mod indexing;
 pub mod policy_sweep;
 pub mod savings;
+pub mod wal_overhead;

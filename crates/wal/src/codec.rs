@@ -1,0 +1,555 @@
+//! Hand-rolled binary codecs for the DBMS types that flow through the log
+//! and snapshots.
+//!
+//! The format is little-endian, length-prefixed where variable-sized, and
+//! deliberately boring: no compression, no varints, no self-description.
+//! Integrity is the frame CRC's job ([`crate::crc32`]); versioning is the
+//! container header's job (segment/snapshot magic + version). `f64`s are
+//! stored as raw IEEE-754 bits, so encode→decode round-trips are exact —
+//! including NaN payloads — which the property tests rely on.
+
+use modb_core::{
+    DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+    StationaryObject, UpdateMessage, UpdatePosition,
+};
+use modb_geom::Point;
+use modb_policy::BoundKind;
+use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+
+use crate::error::WalError;
+
+/// Cursor over a byte buffer being decoded.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WalError> {
+        if self.remaining() < n {
+            return Err(WalError::Decode(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1, "u8 underflow")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WalError> {
+        let b = self.take(4, "u32 underflow")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WalError> {
+        let b = self.take(8, "u64 underflow")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` stored as raw IEEE-754 bits.
+    pub fn f64(&mut self) -> Result<f64, WalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WalError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len, "string underflow")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WalError::Decode("invalid utf-8"))
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as raw IEEE-754 bits.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A type with a binary wire form.
+pub trait WalCodec: Sized {
+    /// Appends the binary form to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the reader.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError>;
+}
+
+impl WalCodec for Point {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.x);
+        put_f64(out, self.y);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        Ok(Point::new(r.f64()?, r.f64()?))
+    }
+}
+
+impl WalCodec for RouteId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        Ok(RouteId(r.u64()?))
+    }
+}
+
+impl WalCodec for ObjectId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        Ok(ObjectId(r.u64()?))
+    }
+}
+
+impl WalCodec for Direction {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.to_bit());
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        match r.u8()? {
+            0 => Ok(Direction::Forward),
+            1 => Ok(Direction::Backward),
+            _ => Err(WalError::Decode("bad direction tag")),
+        }
+    }
+}
+
+impl WalCodec for BoundKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            BoundKind::Delayed => 0,
+            BoundKind::Immediate => 1,
+        });
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        match r.u8()? {
+            0 => Ok(BoundKind::Delayed),
+            1 => Ok(BoundKind::Immediate),
+            _ => Err(WalError::Decode("bad bound-kind tag")),
+        }
+    }
+}
+
+impl WalCodec for PolicyDescriptor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            PolicyDescriptor::CostBased { kind, update_cost } => {
+                out.push(0);
+                kind.encode(out);
+                put_f64(out, update_cost);
+            }
+            PolicyDescriptor::FixedBound { bound } => {
+                out.push(1);
+                put_f64(out, bound);
+            }
+            PolicyDescriptor::Unbounded => out.push(2),
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        match r.u8()? {
+            0 => Ok(PolicyDescriptor::CostBased {
+                kind: BoundKind::decode(r)?,
+                update_cost: r.f64()?,
+            }),
+            1 => Ok(PolicyDescriptor::FixedBound { bound: r.f64()? }),
+            2 => Ok(PolicyDescriptor::Unbounded),
+            _ => Err(WalError::Decode("bad policy tag")),
+        }
+    }
+}
+
+impl WalCodec for UpdatePosition {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            UpdatePosition::Arc(a) => {
+                out.push(0);
+                put_f64(out, a);
+            }
+            UpdatePosition::Coordinates(p) => {
+                out.push(1);
+                p.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        match r.u8()? {
+            0 => Ok(UpdatePosition::Arc(r.f64()?)),
+            1 => Ok(UpdatePosition::Coordinates(Point::decode(r)?)),
+            _ => Err(WalError::Decode("bad update-position tag")),
+        }
+    }
+}
+
+fn put_option<T: WalCodec>(out: &mut Vec<u8>, v: &Option<T>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            v.encode(out);
+        }
+    }
+}
+
+fn get_option<T: WalCodec>(r: &mut ByteReader<'_>) -> Result<Option<T>, WalError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(T::decode(r)?)),
+        _ => Err(WalError::Decode("bad option tag")),
+    }
+}
+
+/// `Option<f64>` helper (no blanket impl for `f64` to keep the primitive
+/// helpers free-standing).
+fn put_option_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+    }
+}
+
+fn get_option_f64(r: &mut ByteReader<'_>) -> Result<Option<f64>, WalError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.f64()?)),
+        _ => Err(WalError::Decode("bad option tag")),
+    }
+}
+
+impl WalCodec for UpdateMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.time);
+        self.position.encode(out);
+        put_f64(out, self.speed);
+        put_option(out, &self.route);
+        put_option(out, &self.direction);
+        put_option(out, &self.policy);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        Ok(UpdateMessage {
+            time: r.f64()?,
+            position: UpdatePosition::decode(r)?,
+            speed: r.f64()?,
+            route: get_option(r)?,
+            direction: get_option(r)?,
+            policy: get_option(r)?,
+        })
+    }
+}
+
+impl WalCodec for PositionAttribute {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.start_time);
+        self.route.encode(out);
+        self.start_position.encode(out);
+        put_f64(out, self.start_arc);
+        self.direction.encode(out);
+        put_f64(out, self.speed);
+        self.policy.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        Ok(PositionAttribute {
+            start_time: r.f64()?,
+            route: RouteId::decode(r)?,
+            start_position: Point::decode(r)?,
+            start_arc: r.f64()?,
+            direction: Direction::decode(r)?,
+            speed: r.f64()?,
+            policy: PolicyDescriptor::decode(r)?,
+        })
+    }
+}
+
+impl WalCodec for MovingObject {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        put_string(out, &self.name);
+        self.attr.encode(out);
+        put_f64(out, self.max_speed);
+        put_option_f64(out, self.trip_end);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        Ok(MovingObject {
+            id: ObjectId::decode(r)?,
+            name: r.string()?,
+            attr: PositionAttribute::decode(r)?,
+            max_speed: r.f64()?,
+            trip_end: get_option_f64(r)?,
+        })
+    }
+}
+
+impl WalCodec for StationaryObject {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        put_string(out, &self.name);
+        self.position.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        Ok(StationaryObject::new(
+            ObjectId::decode(r)?,
+            r.string()?,
+            Point::decode(r)?,
+        ))
+    }
+}
+
+impl WalCodec for Route {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id().encode(out);
+        put_string(out, self.name());
+        let vertices = self.polyline().vertices();
+        put_u32(out, vertices.len() as u32);
+        for v in vertices {
+            v.encode(out);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        let id = RouteId::decode(r)?;
+        let name = r.string()?;
+        let n = r.u32()? as usize;
+        // Cap pre-allocation: a corrupt count must not OOM before the
+        // per-point underflow checks catch it.
+        let mut vertices = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            vertices.push(Point::decode(r)?);
+        }
+        Route::from_vertices(id, name, vertices).map_err(|_| WalError::Decode("invalid route geometry"))
+    }
+}
+
+impl WalCodec for RouteNetwork {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.len() as u32);
+        for route in self.iter() {
+            route.encode(out);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        let n = r.u32()? as usize;
+        let mut network = RouteNetwork::new();
+        for _ in 0..n {
+            network
+                .insert(Route::decode(r)?)
+                .map_err(|_| WalError::Decode("duplicate route in network"))?;
+        }
+        Ok(network)
+    }
+}
+
+impl WalCodec for DatabaseConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.map_match_tolerance);
+        put_f64(out, self.default_horizon);
+        put_f64(out, self.slab_minutes);
+        put_f64(out, self.refinement_dt);
+        put_u64(out, self.history_capacity as u64);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        Ok(DatabaseConfig {
+            map_match_tolerance: r.f64()?,
+            default_horizon: r.f64()?,
+            slab_minutes: r.f64()?,
+            refinement_dt: r.f64()?,
+            history_capacity: r.u64()? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: WalCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        let back = T::decode(&mut r).unwrap();
+        assert_eq!(back, v);
+        assert!(r.is_empty(), "trailing bytes after {v:?}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX);
+        put_f64(&mut buf, -0.0);
+        put_string(&mut buf, "véhicule");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.string().unwrap(), "véhicule");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn underflow_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+        let mut r = ByteReader::new(&[5, 0, 0, 0, b'a']);
+        assert!(r.string().is_err(), "declared length exceeds buffer");
+    }
+
+    #[test]
+    fn domain_types_round_trip() {
+        round_trip(Point::new(1.5, -2.5));
+        round_trip(RouteId(42));
+        round_trip(ObjectId(7));
+        round_trip(Direction::Backward);
+        round_trip(PolicyDescriptor::CostBased {
+            kind: BoundKind::Immediate,
+            update_cost: 5.0,
+        });
+        round_trip(PolicyDescriptor::FixedBound { bound: 0.25 });
+        round_trip(PolicyDescriptor::Unbounded);
+        round_trip(UpdatePosition::Arc(3.25));
+        round_trip(UpdatePosition::Coordinates(Point::new(0.0, -1.0)));
+        round_trip(
+            UpdateMessage::route_change(
+                6.0,
+                RouteId(3),
+                UpdatePosition::Coordinates(Point::new(1.0, 2.0)),
+                Direction::Backward,
+                0.5,
+            )
+            .with_policy(PolicyDescriptor::Unbounded),
+        );
+        round_trip(UpdateMessage::basic(1.0, UpdatePosition::Arc(2.0), 3.0));
+        round_trip(PositionAttribute {
+            start_time: 10.0,
+            route: RouteId(1),
+            start_position: Point::new(3.0, 4.0),
+            start_arc: 5.0,
+            direction: Direction::Forward,
+            speed: 0.9,
+            policy: PolicyDescriptor::CostBased {
+                kind: BoundKind::Delayed,
+                update_cost: 2.0,
+            },
+        });
+        round_trip(MovingObject {
+            id: ObjectId(9),
+            name: "veh-09".into(),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: RouteId(1),
+                start_position: Point::new(0.0, 0.0),
+                start_arc: 0.0,
+                direction: Direction::Forward,
+                speed: 1.0,
+                policy: PolicyDescriptor::Unbounded,
+            },
+            max_speed: 1.5,
+            trip_end: Some(240.0),
+        });
+        round_trip(StationaryObject::new(ObjectId(1), "depot", Point::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn route_and_network_round_trip() {
+        let route = Route::from_vertices(
+            RouteId(3),
+            "bent",
+            vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(10.0, 0.0)],
+        )
+        .unwrap();
+        round_trip(route.clone());
+        let network = RouteNetwork::from_routes([
+            route,
+            Route::from_vertices(RouteId(4), "straight", vec![Point::new(0.0, 1.0), Point::new(9.0, 1.0)])
+                .unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        network.encode(&mut buf);
+        let back = RouteNetwork::decode(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.route_ids(), network.route_ids());
+        assert_eq!(back.get(RouteId(3)).unwrap(), network.get(RouteId(3)).unwrap());
+    }
+
+    #[test]
+    fn config_round_trip() {
+        round_trip(DatabaseConfig::default());
+        round_trip(DatabaseConfig {
+            map_match_tolerance: 0.1,
+            default_horizon: 90.0,
+            slab_minutes: 2.0,
+            refinement_dt: 0.5,
+            history_capacity: 7,
+        });
+    }
+
+    #[test]
+    fn nan_time_round_trips_bit_exact() {
+        let msg = UpdateMessage::basic(f64::NAN, UpdatePosition::Arc(1.0), 1.0);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let back = UpdateMessage::decode(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(back.time.to_bits(), msg.time.to_bits());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(Direction::decode(&mut ByteReader::new(&[9])).is_err());
+        assert!(PolicyDescriptor::decode(&mut ByteReader::new(&[9])).is_err());
+        assert!(UpdatePosition::decode(&mut ByteReader::new(&[9])).is_err());
+        assert!(BoundKind::decode(&mut ByteReader::new(&[9])).is_err());
+    }
+}

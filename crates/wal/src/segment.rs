@@ -1,0 +1,149 @@
+//! Log segment files: naming, headers, and scanning.
+//!
+//! The log is a sequence of segment files `wal-<start_lsn>.log`, where the
+//! LSN (log sequence number) of a record is its ordinal position in the
+//! whole log, starting at 0. A segment holds the records
+//! `start_lsn, start_lsn + 1, …` in order; the writer rotates to a new
+//! segment once the current one exceeds the configured size.
+//!
+//! Segment layout:
+//!
+//! ```text
+//! [magic: 8 bytes "MODBWAL1"] [version: u32 LE] [start_lsn: u64 LE]
+//! [frame]*                                  — see crate::record framing
+//! ```
+
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{put_u32, put_u64, ByteReader};
+use crate::error::WalError;
+use crate::record::{decode_frames, FrameEnd, WalRecord};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"MODBWAL1";
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Segment header length in bytes.
+pub const SEGMENT_HEADER_BYTES: u64 = 20;
+
+/// File name for the segment starting at `start_lsn` (zero-padded so
+/// lexicographic order equals LSN order).
+pub fn segment_file_name(start_lsn: u64) -> String {
+    format!("wal-{start_lsn:020}.log")
+}
+
+/// Inverse of [`segment_file_name`]; `None` for non-segment files.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The encoded segment header.
+pub fn encode_header(start_lsn: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_BYTES as usize);
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    put_u32(&mut out, SEGMENT_VERSION);
+    put_u64(&mut out, start_lsn);
+    out
+}
+
+/// Lists the segment files in `dir`, sorted by start LSN. Non-segment
+/// files are ignored.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(lsn) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segments.push((lsn, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|&(lsn, _)| lsn);
+    Ok(segments)
+}
+
+/// Result of scanning one segment file.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Start LSN from the header.
+    pub start_lsn: u64,
+    /// Records decoded from the valid prefix, in order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (header + whole frames).
+    pub clean_bytes: u64,
+    /// Present when the file extends past the valid prefix (torn tail
+    /// write or corruption); carries the reason.
+    pub torn: Option<&'static str>,
+}
+
+/// Reads and validates a whole segment file. Header failures are reported
+/// as errors (the caller decides whether the segment is the rewritable
+/// tail of the log); frame failures are reported as a torn tail.
+pub fn scan_segment(path: &Path) -> Result<SegmentScan, WalError> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SEGMENT_HEADER_BYTES as usize {
+        return Err(WalError::CorruptSegment {
+            path: path.to_path_buf(),
+            offset: 0,
+            reason: "short header",
+        });
+    }
+    if bytes[..8] != SEGMENT_MAGIC {
+        return Err(WalError::CorruptSegment {
+            path: path.to_path_buf(),
+            offset: 0,
+            reason: "bad magic",
+        });
+    }
+    let mut r = ByteReader::new(&bytes[8..SEGMENT_HEADER_BYTES as usize]);
+    let version = r.u32().expect("header length checked");
+    let start_lsn = r.u64().expect("header length checked");
+    if version != SEGMENT_VERSION {
+        return Err(WalError::CorruptSegment {
+            path: path.to_path_buf(),
+            offset: 8,
+            reason: "unsupported version",
+        });
+    }
+    let (records, clean, end) = decode_frames(&bytes[SEGMENT_HEADER_BYTES as usize..]);
+    Ok(SegmentScan {
+        start_lsn,
+        records,
+        clean_bytes: SEGMENT_HEADER_BYTES + clean as u64,
+        torn: match end {
+            FrameEnd::Clean => None,
+            FrameEnd::Torn { reason } => Some(reason),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_sort() {
+        assert_eq!(segment_file_name(0), "wal-00000000000000000000.log");
+        assert_eq!(parse_segment_name(&segment_file_name(12345)), Some(12345));
+        assert_eq!(parse_segment_name("wal-abc.log"), None);
+        assert_eq!(parse_segment_name("snap-00000000000000000000.snap"), None);
+        assert_eq!(parse_segment_name("wal-123.log"), None, "unpadded rejected");
+        assert!(segment_file_name(9) < segment_file_name(10));
+        assert!(segment_file_name(99) < segment_file_name(100));
+    }
+
+    #[test]
+    fn header_encodes_magic_version_lsn() {
+        let h = encode_header(77);
+        assert_eq!(h.len() as u64, SEGMENT_HEADER_BYTES);
+        assert_eq!(&h[..8], &SEGMENT_MAGIC);
+        let mut r = ByteReader::new(&h[8..]);
+        assert_eq!(r.u32().unwrap(), SEGMENT_VERSION);
+        assert_eq!(r.u64().unwrap(), 77);
+    }
+}

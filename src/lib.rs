@@ -14,3 +14,4 @@ pub use modb_query as query;
 pub use modb_routes as routes;
 pub use modb_server as server;
 pub use modb_sim as sim;
+pub use modb_wal as wal;

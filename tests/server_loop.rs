@@ -115,9 +115,9 @@ fn vehicles_ingest_and_queries_agree_with_truth() {
     }
     reader.join().unwrap();
     drop(handle);
-    let (accepted, rejected) = service.shutdown();
-    assert_eq!(accepted, sent, "all policy updates must be applied");
-    assert_eq!(rejected, 0, "sharded ingest preserves per-object order");
+    let stats = service.shutdown();
+    assert_eq!(stats.accepted, sent, "all policy updates must be applied");
+    assert_eq!(stats.rejected(), 0, "sharded ingest preserves per-object order");
 
     // Post-drive: every DBMS answer is within its advertised bound of the
     // true position.
