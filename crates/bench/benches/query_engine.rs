@@ -1,0 +1,151 @@
+//! Benches for the epoch-snapshot query engine: locked reads vs snapshot
+//! reads (quiet and under writer churn), serial vs pool-parallel refine,
+//! and the cost of publishing an epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
+use modb_server::{QueryEngineConfig, SharedDatabase};
+use modb_sim::experiments::indexing::{build_city_db, query_regions};
+
+fn fleet(n: usize) -> (SharedDatabase, Vec<modb_index::QueryRegion>) {
+    let raw = build_city_db(77, n, 20);
+    let regions = query_regions(raw.network(), 64, 2.0, 5.0, 7);
+    (SharedDatabase::new(raw), regions)
+}
+
+fn manual_engine(db: &SharedDatabase, parallel_threshold: usize) -> modb_server::QueryEngine {
+    db.query_engine(QueryEngineConfig {
+        epoch_interval: None,
+        parallel_threshold,
+        ..QueryEngineConfig::default()
+    })
+}
+
+/// Locked vs snapshot range queries on a quiet database — measures the
+/// pure overhead/benefit of the snapshot hop with no contention.
+fn bench_quiet_reads(c: &mut Criterion) {
+    let (db, regions) = fleet(5_000);
+    let engine = manual_engine(&db, usize::MAX);
+    engine.publish_now();
+    let mut group = c.benchmark_group("query_engine_quiet");
+    let mut i = 0;
+    group.bench_function("range_locked", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(db.range_query(&regions[i % regions.len()]).expect("ok").candidates)
+        })
+    });
+    let mut i = 0;
+    group.bench_function("range_snapshot", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(
+                engine
+                    .range_query(&regions[i % regions.len()])
+                    .expect("ok")
+                    .candidates,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The same comparison with a writer hammering the database: the locked
+/// path serializes against it, the snapshot path does not.
+fn bench_contended_reads(c: &mut Criterion) {
+    let (db, regions) = fleet(5_000);
+    let engine = db.query_engine(QueryEngineConfig {
+        epoch_interval: Some(Duration::from_millis(25)),
+        ..QueryEngineConfig::default()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = db.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                round += 1;
+                for i in 0..64u64 {
+                    let _ = db.apply_update(
+                        ObjectId((round * 64 + i) % 5_000),
+                        &UpdateMessage::basic(
+                            round as f64 * 1e-5,
+                            UpdatePosition::Arc(0.5),
+                            0.7,
+                        ),
+                    );
+                }
+            }
+        })
+    };
+    let mut group = c.benchmark_group("query_engine_contended");
+    group.sample_size(20);
+    let mut i = 0;
+    group.bench_function("range_locked_vs_writer", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(db.range_query(&regions[i % regions.len()]).expect("ok").candidates)
+        })
+    });
+    let mut i = 0;
+    group.bench_function("range_snapshot_vs_writer", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(
+                engine
+                    .range_query(&regions[i % regions.len()])
+                    .expect("ok")
+                    .candidates,
+            )
+        })
+    });
+    group.finish();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer exits");
+}
+
+/// Serial vs pool-parallel refine on a region wide enough to pull a few
+/// thousand candidates, plus the publish (full clone) cost itself.
+fn bench_parallel_refine_and_publish(c: &mut Criterion) {
+    let (db, _) = fleet(10_000);
+    // A region covering most of the grid at a time when the whole fleet
+    // is still live: a worst-case candidate set.
+    let wide = query_regions(
+        &db.with_read(|inner| inner.network().clone()),
+        1,
+        18.0,
+        5.0,
+        11,
+    )
+    .remove(0);
+    let serial = manual_engine(&db, usize::MAX);
+    serial.publish_now();
+    let parallel = manual_engine(&db, 256);
+    parallel.publish_now();
+    let mut group = c.benchmark_group("query_engine_refine");
+    group.sample_size(20);
+    group.bench_function("wide_range_serial", |b| {
+        b.iter(|| black_box(serial.range_query(&wide).expect("ok").candidates))
+    });
+    group.bench_function("wide_range_parallel", |b| {
+        b.iter(|| black_box(parallel.range_query(&wide).expect("ok").candidates))
+    });
+    group.bench_function("publish_epoch_10k_fleet", |b| {
+        b.iter(|| black_box(serial.publish_now()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quiet_reads,
+    bench_contended_reads,
+    bench_parallel_refine_and_publish
+);
+criterion_main!(benches);

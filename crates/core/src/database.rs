@@ -497,34 +497,93 @@ impl Database {
     ///
     /// Route/geometry failures during refinement.
     pub fn range_query(&self, region: &QueryRegion) -> Result<RangeAnswer, CoreError> {
-        let (mut candidates, stats) = self.index.candidates_with_stats(region);
+        let (candidates, stats) = self.range_candidates(region);
+        self.refine_streaming(candidates, region, stats)
+    }
+
+    /// The filter step alone: candidate ids the index proposes for
+    /// `region` (plus the unindexed tail), with search statistics. Callers
+    /// that refine elsewhere — a parallel query engine splitting the
+    /// refine across workers — start here and feed slices to
+    /// [`Database::refine_slice`].
+    pub fn range_candidates(&self, region: &QueryRegion) -> (Vec<ObjectId>, SearchStats) {
+        let mut candidates = Vec::new();
+        let stats = self.index.candidates_into(region, &mut candidates);
         candidates.extend(self.unindexed.iter().copied());
-        self.refine(candidates, region, stats)
+        (candidates, stats)
     }
 
     /// Range query by exhaustive scan — the baseline the index is measured
     /// against (§4's sublinearity claim). Produces identical answers.
+    /// Candidates stream straight out of the object table; no id vector is
+    /// materialised up front.
     ///
     /// # Errors
     ///
     /// Route/geometry failures during refinement.
     pub fn range_query_scan(&self, region: &QueryRegion) -> Result<RangeAnswer, CoreError> {
-        let candidates: Vec<ObjectId> = self.moving.keys().copied().collect();
-        self.refine(candidates, region, SearchStats::default())
+        self.refine_streaming(
+            self.moving.keys().copied(),
+            region,
+            SearchStats::default(),
+        )
     }
 
-    fn refine(
+    /// Exact refinement of one pre-filtered candidate: the object's
+    /// uncertainty interval against the region's polygon over its time
+    /// span (Theorems 5–6). `None` means certainly outside.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownObject`] and route/geometry failures.
+    pub fn classify_candidate(
         &self,
-        candidates: Vec<ObjectId>,
+        id: ObjectId,
+        region: &QueryRegion,
+    ) -> Result<Option<Containment>, CoreError> {
+        self.classify(self.moving(id)?, region)
+    }
+
+    /// Refines a slice of pre-filtered candidates into `(must, may)` id
+    /// sets (unsorted — the caller merges and normalizes). This is the
+    /// unit of work a parallel refiner hands to each worker: `&self` only,
+    /// so workers refine disjoint slices of one immutable snapshot
+    /// concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Database::classify_candidate`].
+    pub fn refine_slice(
+        &self,
+        candidates: &[ObjectId],
+        region: &QueryRegion,
+    ) -> Result<(Vec<ObjectId>, Vec<ObjectId>), CoreError> {
+        let mut must = Vec::new();
+        let mut may = Vec::new();
+        for &id in candidates {
+            match self.classify(self.moving(id)?, region)? {
+                Some(Containment::Must) => must.push(id),
+                Some(Containment::May) => may.push(id),
+                None => {}
+            }
+        }
+        Ok((must, may))
+    }
+
+    /// Streaming refine: classifies candidates as the iterator yields them
+    /// — no upfront id vector.
+    fn refine_streaming(
+        &self,
+        candidates: impl IntoIterator<Item = ObjectId>,
         region: &QueryRegion,
         stats: SearchStats,
     ) -> Result<RangeAnswer, CoreError> {
         let mut answer = RangeAnswer {
-            candidates: candidates.len(),
             stats,
             ..RangeAnswer::default()
         };
         for id in candidates {
+            answer.candidates += 1;
             let obj = self.moving(id)?;
             match self.classify(obj, region)? {
                 Some(Containment::Must) => answer.must.push(id),
@@ -816,6 +875,44 @@ mod tests {
                 assert_eq!(a.may, b.may, "t={t} x=[{x0},{x1}]");
             }
         }
+    }
+
+    #[test]
+    fn slice_refinement_matches_full_query() {
+        let db = db_with(vec![
+            object(1, 0.0, 1.0),
+            object(2, 30.0, 1.0),
+            object(3, 60.0, 0.5),
+            object(4, 90.0, 0.0),
+        ]);
+        for (x0, x1, t) in [(0.0, 40.0, 2.0), (25.0, 95.0, 5.0), (0.0, 100.0, 0.0)] {
+            let region = rect_region(x0, x1, t);
+            let full = db.range_query(&region).unwrap();
+            let (candidates, stats) = db.range_candidates(&region);
+            assert_eq!(candidates.len(), full.candidates);
+            assert_eq!(stats, full.stats);
+            // Split the candidates into two slices, refine each, merge:
+            // same answer the engine's parallel refiner must reproduce.
+            let mid = candidates.len() / 2;
+            let (mut must, mut may) = db.refine_slice(&candidates[..mid], &region).unwrap();
+            let (m2, y2) = db.refine_slice(&candidates[mid..], &region).unwrap();
+            must.extend(m2);
+            may.extend(y2);
+            must.sort_unstable();
+            may.sort_unstable();
+            assert_eq!(must, full.must, "x=[{x0},{x1}] t={t}");
+            assert_eq!(may, full.may, "x=[{x0},{x1}] t={t}");
+            // Per-candidate classification agrees with set membership.
+            for &id in &candidates {
+                let c = db.classify_candidate(id, &region).unwrap();
+                assert_eq!(c == Some(Containment::Must), full.must.contains(&id));
+                assert_eq!(c == Some(Containment::May), full.may.contains(&id));
+            }
+        }
+        assert!(matches!(
+            db.classify_candidate(ObjectId(99), &rect_region(0.0, 1.0, 0.0)),
+            Err(CoreError::UnknownObject(_))
+        ));
     }
 
     #[test]

@@ -121,12 +121,34 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
     /// Like [`MovingObjectIndex::candidates`], with R\*-tree search
     /// statistics for the sublinearity experiments.
     pub fn candidates_with_stats(&self, region: &QueryRegion) -> (Vec<K>, SearchStats) {
-        let (mut hits, stats) = self.tree.query_with_stats(&region.aabb());
+        let mut hits = Vec::new();
+        let stats = self.candidates_into(region, &mut hits);
+        (hits, stats)
+    }
+
+    /// Appends the deduplicated candidates for `region` to `out` and
+    /// returns the search statistics. The caller owns (and typically
+    /// reuses) the buffer, so a hot query loop filters without allocating
+    /// a fresh vector per query; `&self` only, so any number of threads
+    /// may filter one immutable index concurrently.
+    pub fn candidates_into(&self, region: &QueryRegion, out: &mut Vec<K>) -> SearchStats {
+        let start = out.len();
+        let stats = self
+            .tree
+            .for_each_with_stats(&region.aabb(), |k| out.push(*k));
         // One object contributes one candidate even if several of its slab
         // boxes intersect.
-        let mut seen = std::collections::HashSet::with_capacity(hits.len());
-        hits.retain(|k| seen.insert(*k));
-        (hits, stats)
+        let mut seen = std::collections::HashSet::with_capacity(out.len() - start);
+        let mut write = start;
+        for read in start..out.len() {
+            let k = out[read];
+            if seen.insert(k) {
+                out[write] = k;
+                write += 1;
+            }
+        }
+        out.truncate(write);
+        stats
     }
 
     /// Candidates for a raw 3-D box (used by the benchmarks).
@@ -241,6 +263,29 @@ mod tests {
         let q = QueryRegion::during(g, 0.0, 30.0);
         let c = idx.candidates(&q);
         assert_eq!(c, vec![1], "one candidate even with many boxes hit");
+    }
+
+    #[test]
+    fn candidates_into_reuses_buffer_and_matches_allocating_path() {
+        let r = route();
+        let mut idx = MovingObjectIndex::new(0.5);
+        idx.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
+        idx.upsert(2u64, plane(50.0, 0.0), &r).unwrap();
+        let q = region(0.0, 100.0, 2.0);
+        let (alloc, alloc_stats) = idx.candidates_with_stats(&q);
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            buf.clear();
+            let stats = idx.candidates_into(&q, &mut buf);
+            assert_eq!(buf, alloc);
+            assert_eq!(stats, alloc_stats);
+        }
+        // Appends after existing content, deduplicating only the tail.
+        buf.clear();
+        buf.push(999);
+        idx.candidates_into(&q, &mut buf);
+        assert_eq!(buf[0], 999);
+        assert_eq!(&buf[1..], &alloc[..]);
     }
 
     #[test]

@@ -273,6 +273,15 @@ impl<T: Clone + PartialEq> RStarTree<T> {
         Self::search_rec(&self.root, query, &mut f, &mut stats);
     }
 
+    /// Like [`RStarTree::for_each_intersecting`], returning the search
+    /// statistics — the allocation-free analogue of
+    /// [`RStarTree::query_with_stats`].
+    pub fn for_each_with_stats<F: FnMut(&T)>(&self, query: &Aabb3, mut f: F) -> SearchStats {
+        let mut stats = SearchStats::default();
+        Self::search_rec(&self.root, query, &mut f, &mut stats);
+        stats
+    }
+
     fn search_rec<F: FnMut(&T)>(
         node: &Node<T>,
         query: &Aabb3,

@@ -1,0 +1,97 @@
+//! Multi-statement scripts: `;`-separated batches of queries.
+//!
+//! The language itself is single-statement; a REPL line or script file
+//! holds several statements separated by `;`. [`split_statements`] does
+//! the split (respecting single-quoted object names, where a `;` is
+//! literal text), and [`run_batch`] executes every statement in order
+//! against one database view, returning a per-statement verdict.
+//!
+//! `modb-server`'s query engine uses the same split to fan a batch
+//! across its worker pool against one epoch snapshot.
+
+use modb_core::Database;
+
+use crate::exec::QueryResult;
+use crate::QueryError;
+
+/// Splits a script on `;` separators that sit outside single-quoted
+/// string literals. Statements are trimmed; empty statements (leading,
+/// trailing, or doubled separators) are dropped.
+pub fn split_statements(src: &str) -> Vec<&str> {
+    let mut statements = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in src.char_indices() {
+        match c {
+            '\'' => in_string = !in_string,
+            ';' if !in_string => {
+                let stmt = src[start..i].trim();
+                if !stmt.is_empty() {
+                    statements.push(stmt);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = src[start..].trim();
+    if !tail.is_empty() {
+        statements.push(tail);
+    }
+    statements
+}
+
+/// Parses and executes every statement of a `;`-separated script against
+/// `db`, in order. Each statement gets its own verdict — one bad
+/// statement does not abort the rest.
+pub fn run_batch(db: &Database, src: &str) -> Vec<Result<QueryResult, QueryError>> {
+    split_statements(src)
+        .into_iter()
+        .map(|stmt| crate::run(db, stmt))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_semicolons_dropping_empties() {
+        assert_eq!(
+            split_statements("a; b ;;\n c ;"),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(split_statements(""), Vec::<&str>::new());
+        assert_eq!(split_statements(" ;; "), Vec::<&str>::new());
+        assert_eq!(split_statements("single"), vec!["single"]);
+    }
+
+    #[test]
+    fn semicolon_inside_string_literal_is_text() {
+        assert_eq!(
+            split_statements("RETRIEVE POSITION OF OBJECT 'a;b' AT TIME 1; next"),
+            vec!["RETRIEVE POSITION OF OBJECT 'a;b' AT TIME 1", "next"]
+        );
+    }
+
+    #[test]
+    fn run_batch_gives_per_statement_verdicts() {
+        use modb_geom::Point;
+        use modb_routes::{Route, RouteId, RouteNetwork};
+        let network = RouteNetwork::from_routes([Route::from_vertices(
+            RouteId(1),
+            "main",
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+        )
+        .unwrap()])
+        .unwrap();
+        let db = Database::new(network, modb_core::DatabaseConfig::default());
+        let results = run_batch(
+            &db,
+            "RETRIEVE OBJECTS INSIDE RECT (0, 0, 10, 10) AT TIME 5; nonsense;",
+        );
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(QueryError::Parse(_))));
+    }
+}

@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 mod ast;
+mod batch;
 mod exec;
 mod lexer;
 mod parser;
 
 pub use ast::{ObjectRef, Query, RegionSpec, TimeSpec};
+pub use batch::{run_batch, split_statements};
 pub use exec::{execute, run, ExecError, QueryResult};
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse, ParseError};

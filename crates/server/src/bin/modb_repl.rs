@@ -7,6 +7,12 @@
 //! directory; `\load <dir>` replaces the session database with the state
 //! recovered from one (snapshot + any write-ahead-log segments).
 //!
+//! Queries execute on a [`modb_server::QueryEngine`] — lock-free against
+//! the latest published epoch snapshot. Several statements separated by
+//! `;` on one line run as a batch fanned across the engine's worker pool.
+//! `\epoch` publishes a fresh snapshot and prints the engine's counters
+//! (per-epoch query counts, p50/p99 latency, candidate/refine ratio).
+//!
 //! Run with: `cargo run --release -p modb-server --bin modb_repl`
 //! (pipe queries in for scripted use: `echo "..." | modb_repl`).
 
@@ -18,7 +24,7 @@ use modb_core::{
 use modb_policy::BoundKind;
 use modb_query::QueryResult;
 use modb_routes::{generators, Direction};
-use modb_server::SharedDatabase;
+use modb_server::{QueryEngine, QueryEngineConfig, SharedDatabase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,7 +36,9 @@ queries:
   RETRIEVE OBJECTS WITHIN r OF POINT (x, y) AT TIME t
   RETRIEVE OBJECTS WITHIN r OF OBJECT <id|'name'> AT TIME t
   RETRIEVE k NEAREST OBJECTS TO POINT (x, y) AT TIME t
-commands:  \\h help   \\q quit   \\save <dir> snapshot state   \\load <dir> recover state";
+  (separate several statements with `;` to run them as one batch)
+commands:  \\h help   \\q quit   \\epoch publish snapshot + stats
+           \\save <dir> snapshot state   \\load <dir> recover state";
 
 fn demo_fleet() -> SharedDatabase {
     let network = generators::grid_network(10, 10, 1.0, 0).expect("valid grid");
@@ -146,8 +154,18 @@ fn load(db: &mut SharedDatabase, dir: &str) {
     }
 }
 
+/// The console publishes snapshots explicitly (`\epoch`, and after
+/// `\load`), so no background publisher thread is needed.
+fn console_engine(db: &SharedDatabase) -> QueryEngine {
+    db.query_engine(QueryEngineConfig {
+        epoch_interval: None,
+        ..QueryEngineConfig::default()
+    })
+}
+
 fn main() {
     let mut db = demo_fleet();
+    let mut engine = console_engine(&db);
     println!(
         "modb console — {} vehicles on a 10x10-mile grid. \\h for help.",
         db.moving_count()
@@ -171,6 +189,12 @@ fn main() {
                 println!("{HELP}");
                 continue;
             }
+            "\\epoch" => {
+                let epoch = engine.publish_now();
+                println!("  published epoch {epoch}");
+                println!("  {}", engine.stats());
+                continue;
+            }
             cmd if cmd.starts_with("\\save") => {
                 match cmd.strip_prefix("\\save").map(str::trim) {
                     Some(dir) if !dir.is_empty() => save(&db, dir),
@@ -180,12 +204,24 @@ fn main() {
             }
             cmd if cmd.starts_with("\\load") => {
                 match cmd.strip_prefix("\\load").map(str::trim) {
-                    Some(dir) if !dir.is_empty() => load(&mut db, dir),
+                    Some(dir) if !dir.is_empty() => {
+                        load(&mut db, dir);
+                        engine = console_engine(&db);
+                    }
                     _ => println!("  usage: \\load <dir>"),
                 }
                 continue;
             }
-            query => match db.run_query(query) {
+            script if script.contains(';') => {
+                for (i, result) in engine.run_batch(script).into_iter().enumerate() {
+                    println!("  -- statement {}", i + 1);
+                    match result {
+                        Ok(result) => print_result(&db, &result),
+                        Err(e) => println!("  error: {e}"),
+                    }
+                }
+            }
+            query => match engine.run_query(query) {
                 Ok(result) => print_result(&db, &result),
                 Err(e) => println!("  error: {e}"),
             },

@@ -101,6 +101,13 @@ impl DurableDatabase {
         IngestService::spawn_with_wal(self.db.clone(), self.wal.clone(), n_workers, queue_depth)
     }
 
+    /// Spawns a [`crate::QueryEngine`] over the in-memory handle: queries
+    /// run against epoch snapshots (never touching the log) while ingest
+    /// proceeds on the live database.
+    pub fn query_engine(&self, config: crate::QueryEngineConfig) -> crate::QueryEngine {
+        crate::QueryEngine::new(self.db.clone(), config)
+    }
+
     /// Registers a moving object, logging it on success.
     ///
     /// # Errors
@@ -164,8 +171,10 @@ impl DurableDatabase {
         Ok(())
     }
 
-    /// Takes a point-in-time snapshot: fsyncs the log, then atomically
-    /// writes the full database state tagged with the current LSN.
+    /// Takes a point-in-time snapshot: fsyncs the log, atomically writes
+    /// the full database state tagged with the current LSN, then compacts
+    /// the directory down to [`modb_wal::DEFAULT_SNAPSHOT_RETENTION`]
+    /// snapshots (deleting log segments every retained snapshot covers).
     /// Returns the snapshot path.
     ///
     /// Quiescent-point only: the caller must ensure no mutation is in
@@ -177,10 +186,24 @@ impl DurableDatabase {
     ///
     /// I/O failures.
     pub fn snapshot(&self) -> Result<PathBuf, WalError> {
+        self.snapshot_with_retention(modb_wal::DEFAULT_SNAPSHOT_RETENTION)
+    }
+
+    /// [`DurableDatabase::snapshot`] with an explicit snapshot retention
+    /// count (clamped to ≥ 1) for the post-snapshot compaction pass.
+    /// Compaction runs under the writer lock, so it cannot race a segment
+    /// rotation.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn snapshot_with_retention(&self, retention: usize) -> Result<PathBuf, WalError> {
         self.wal.with_writer(|w| {
             w.sync()?;
             let lsn = w.next_lsn();
-            self.db.with_read(|db| write_snapshot(&self.dir, db, lsn))
+            let path = self.db.with_read(|db| write_snapshot(&self.dir, db, lsn))?;
+            modb_wal::compact(&self.dir, retention)?;
+            Ok(path)
         })
     }
 }
@@ -312,6 +335,55 @@ mod tests {
             assert_eq!(db.moving_count(), 5);
             assert_eq!(db.moving(ObjectId(1)).unwrap().attr.start_arc, 11.0);
         });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_old_snapshots_and_covered_segments() {
+        let dir = tmp("compact");
+        let opts = WalOptions {
+            max_segment_bytes: 256, // force frequent rotation
+            ..WalOptions::default()
+        };
+        let durable = DurableDatabase::create(&dir, fresh_db(), opts).unwrap();
+        durable.register_moving(vehicle(1, 10.0)).unwrap();
+        for round in 1..=6u64 {
+            for step in 0..10u64 {
+                durable
+                    .apply_update(
+                        ObjectId(1),
+                        &UpdateMessage::basic(
+                            round as f64 + step as f64 * 0.01,
+                            UpdatePosition::Arc(10.0 + step as f64),
+                            0.9,
+                        ),
+                    )
+                    .unwrap();
+            }
+            durable.snapshot().unwrap();
+        }
+        // Genesis + 6 snapshots taken, but retention keeps only the
+        // newest DEFAULT_SNAPSHOT_RETENTION; covered segments are gone.
+        let snaps = modb_wal::list_snapshots(&dir).unwrap();
+        assert_eq!(snaps.len(), modb_wal::DEFAULT_SNAPSHOT_RETENTION);
+        let segs = modb_wal::list_segments(&dir).unwrap();
+        for pair in segs.windows(2) {
+            assert!(pair[1].0 > snaps[0].0, "covered segment survived");
+        }
+        // Reopening still recovers the exact final state.
+        let expected = durable.database().with_read(|db| db.clone());
+        drop(durable);
+        let (reopened, report) = DurableDatabase::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(report.replayed, 0, "snapshot is current");
+        reopened.database().with_read(|db| {
+            assert_eq!(
+                db.moving(ObjectId(1)).unwrap(),
+                expected.moving(ObjectId(1)).unwrap()
+            );
+        });
+        // Tight retention through the explicit knob.
+        reopened.snapshot_with_retention(1).unwrap();
+        assert_eq!(modb_wal::list_snapshots(&dir).unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -16,16 +16,27 @@
 //! - [`DurableDatabase`]: the durable deployment shape — a shared database
 //!   whose mutations are write-ahead logged, with snapshots and crash
 //!   recovery ([`DurableDatabase::open`] / [`SharedDatabase::recover`]).
+//! - [`QueryEngine`]: epoch-based snapshot reads plus a parallel query
+//!   executor — queries run lock-free against a recently published
+//!   immutable snapshot, batches and large refines fan out across a fixed
+//!   worker pool, and [`QueryStats`] tracks per-epoch counts and latency
+//!   percentiles (see the `query_engine` module docs for the staleness /
+//!   imprecision argument).
 
 #![warn(missing_docs)]
 
 mod durable;
 mod ingest;
+mod query_engine;
 mod shared;
 
 pub use durable::DurableDatabase;
 pub use ingest::{
     IngestHandle, IngestService, IngestStats, IngestStatsSnapshot, UpdateEnvelope,
     WAL_BATCH_RECORDS,
+};
+pub use query_engine::{
+    BatchRequest, EpochSnapshot, QueryEngine, QueryEngineConfig, QueryStats,
+    QueryStatsSnapshot,
 };
 pub use shared::SharedDatabase;

@@ -1,0 +1,1032 @@
+//! Epoch-based snapshot reads and a parallel query executor.
+//!
+//! Every query on [`crate::SharedDatabase`] holds the global read lock
+//! for its whole filter + refine pass, so one writer stalls every reader
+//! and readers serialize on lock traffic. This module changes the read
+//! concurrency model: an **epoch publisher** clones the database under a
+//! brief read lock into an immutable [`Arc<Database>`] snapshot, and
+//! queries execute against the latest published snapshot with **zero
+//! locks held during filter + refine**. Grabbing a snapshot is one
+//! `Arc` clone behind a cell lock held for nanoseconds; after that the
+//! query never contends with ingest or with other readers.
+//!
+//! On top of the snapshot path sits a fixed worker pool:
+//!
+//! - [`QueryEngine::execute_batch`] fans a batch of requests
+//!   ([`BatchRequest`]: typed `QueryRegion` / within-distance requests or
+//!   `modb-query` text) across the workers, all reading one consistent
+//!   snapshot.
+//! - For a single large range query, the refine step itself is split:
+//!   candidate slices go to the workers via [`Database::refine_slice`]
+//!   while the calling thread refines its own share
+//!   ([`QueryEngine::range_query`] with at least
+//!   [`QueryEngineConfig::parallel_threshold`] candidates).
+//!
+//! Batch jobs always refine serially — parallel refinement is only
+//! initiated from caller threads, never from inside a pool worker, so the
+//! pool cannot deadlock on itself.
+//!
+//! **Staleness vs the paper's uncertainty bounds.** A snapshot is at most
+//! one epoch interval Δt old. The paper's §3.3 deviation bound for a
+//! position attribute grows at most linearly in elapsed time with slope
+//! `D` (the speed bound used by the policy), so answering from a snapshot
+//! taken Δt ago widens the deviation bound by at most `D·Δt` — the same
+//! currency the update policies already trade in. With the default 50 ms
+//! epoch interval and the paper's example figures (D ≈ 1 mile/minute),
+//! that is under a thousandth of a mile of extra imprecision, bought in
+//! exchange for reads that scale with cores. Callers that need
+//! read-your-writes semantics call [`QueryEngine::publish_now`] first or
+//! query the locked [`crate::SharedDatabase`] directly.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use modb_core::{CoreError, Database, ObjectId, PositionAnswer, RangeAnswer};
+use modb_geom::Point;
+use modb_index::QueryRegion;
+use modb_query::{ExecError, QueryError, QueryResult};
+use parking_lot::RwLock;
+
+use crate::shared::SharedDatabase;
+
+/// An immutable point-in-time view of the database, shared by every query
+/// running against the same epoch.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    db: Arc<Database>,
+    epoch: u64,
+    published_at: Instant,
+}
+
+impl EpochSnapshot {
+    /// The snapshot's database state. All of [`Database`]'s query API is
+    /// available; nothing here takes a lock.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The shared handle to the snapshot state (for handing work to other
+    /// threads).
+    pub fn database_arc(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Monotone epoch number; 0 is the snapshot taken at engine start.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Wall-clock age of this snapshot — the staleness bound Δt in the
+    /// `D·Δt` imprecision argument.
+    pub fn age(&self) -> Duration {
+        self.published_at.elapsed()
+    }
+}
+
+/// Tuning knobs for [`QueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryEngineConfig {
+    /// Worker threads in the query pool (clamped to ≥ 1).
+    pub workers: usize,
+    /// Republish interval for the epoch snapshot; `None` disables the
+    /// background publisher (snapshots advance only via
+    /// [`QueryEngine::publish_now`]).
+    pub epoch_interval: Option<Duration>,
+    /// Interval for the periodic stats reporter (prints a
+    /// [`QueryStatsSnapshot`] line to stderr); `None` disables it.
+    pub report_interval: Option<Duration>,
+    /// Candidate-set size at which a single range query splits its refine
+    /// step across the pool instead of refining on the calling thread.
+    pub parallel_threshold: usize,
+    /// Per-worker job-queue depth (back-pressure bound, clamped to ≥ 1).
+    pub queue_depth: usize,
+}
+
+impl Default for QueryEngineConfig {
+    fn default() -> Self {
+        QueryEngineConfig {
+            workers: 4,
+            epoch_interval: Some(Duration::from_millis(50)),
+            report_interval: None,
+            parallel_threshold: 512,
+            queue_depth: 256,
+        }
+    }
+}
+
+/// Latency histogram buckets: bucket `b` counts queries whose latency in
+/// microseconds lies in `[2^(b-1), 2^b)`.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Counters published by the query engine, mirroring
+/// [`crate::IngestStats`] on the read side. All atomic; shared between
+/// the engine, its publisher/reporter threads, and any observer.
+pub struct QueryStats {
+    epoch: AtomicU64,
+    queries: AtomicU64,
+    epoch_queries: AtomicU64,
+    errors: AtomicU64,
+    candidates: AtomicU64,
+    matches: AtomicU64,
+    parallel_refines: AtomicU64,
+    batches: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        QueryStats {
+            epoch: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            epoch_queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            matches: AtomicU64::new(0),
+            parallel_refines: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl fmt::Debug for QueryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryStats")
+            .field("queries", &self.queries.load(Ordering::Relaxed))
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl QueryStats {
+    fn record(&self, elapsed: Duration, candidates: usize, matches: usize, error: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.epoch_queries.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.candidates.fetch_add(candidates as u64, Ordering::Relaxed);
+        self.matches.fetch_add(matches as u64, Ordering::Relaxed);
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - (us | 1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The histogram value at quantile `q` (0 < q ≤ 1), as the upper
+    /// bound of the bucket containing it — a conservative estimate with
+    /// power-of-two resolution.
+    fn percentile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for (bucket, &count) in counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= target {
+                return 1u64 << bucket;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+
+    /// A plain-value copy of the counters; `snapshot_age` is supplied by
+    /// the engine (it lives on the epoch cell, not in the counters).
+    pub fn snapshot(&self, snapshot_age: Duration) -> QueryStatsSnapshot {
+        QueryStatsSnapshot {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            epoch_queries: self.epoch_queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            matches: self.matches.load(Ordering::Relaxed),
+            parallel_refines: self.parallel_refines.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            p50_us: self.percentile_us(0.50),
+            p99_us: self.percentile_us(0.99),
+            snapshot_age,
+        }
+    }
+}
+
+/// A plain-value copy of [`QueryStats`], printable for operator logs —
+/// the read-side sibling of [`crate::IngestStatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStatsSnapshot {
+    /// Current epoch number.
+    pub epoch: u64,
+    /// Queries answered since engine start.
+    pub queries: u64,
+    /// Queries answered against the current epoch's snapshot.
+    pub epoch_queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Total filter-step candidates across all range queries.
+    pub candidates: u64,
+    /// Total refined matches (must + may) across all range queries.
+    pub matches: u64,
+    /// Range queries whose refine step ran on the worker pool.
+    pub parallel_refines: u64,
+    /// Batches executed via [`QueryEngine::execute_batch`].
+    pub batches: u64,
+    /// Median query latency (µs, bucketed upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile query latency (µs, bucketed upper bound).
+    pub p99_us: u64,
+    /// Age of the currently published snapshot.
+    pub snapshot_age: Duration,
+}
+
+impl QueryStatsSnapshot {
+    /// Refine selectivity: matched / filtered candidates (0 when no
+    /// candidates have been seen). Low values mean the filter step is
+    /// doing its job.
+    pub fn match_ratio(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.matches as f64 / self.candidates as f64
+        }
+    }
+}
+
+impl fmt::Display for QueryStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch {} (age {} ms): {} queries ({} this epoch), p50 {} us, p99 {} us, \
+             {} candidates -> {} matches ({:.2} ratio), {} parallel refines, {} batches, {} errors",
+            self.epoch,
+            self.snapshot_age.as_millis(),
+            self.queries,
+            self.epoch_queries,
+            self.p50_us,
+            self.p99_us,
+            self.candidates,
+            self.matches,
+            self.match_ratio(),
+            self.parallel_refines,
+            self.batches,
+            self.errors,
+        )
+    }
+}
+
+/// One request in a batch: a typed region query, the taxi-cab
+/// within-distance query, or a `modb-query` statement.
+#[derive(Debug, Clone)]
+pub enum BatchRequest {
+    /// A may/must range query over a region.
+    Region(QueryRegion),
+    /// "Objects within `radius` miles of `center` at time `t`".
+    WithinPoint {
+        /// Disc center.
+        center: Point,
+        /// Radius in miles.
+        radius: f64,
+        /// Query time.
+        t: f64,
+    },
+    /// A `modb-query` language statement.
+    Text(String),
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed pool of query workers. Each worker owns a bounded queue; jobs
+/// are dispatched round-robin (the crossbeam receivers are single
+/// consumer, matching the sharded ingest workers). Jobs never spawn
+/// nested pool work.
+struct WorkerPool {
+    shards: Vec<Sender<Job>>,
+    next: AtomicUsize,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let mut shards = Vec::with_capacity(workers);
+        let mut threads = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = bounded::<Job>(queue_depth.max(1));
+            threads.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            }));
+            shards.push(tx);
+        }
+        WorkerPool {
+            shards,
+            next: AtomicUsize::new(0),
+            threads,
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Dispatches a job; on a shut-down pool the job is handed back so
+    /// the caller can run it inline.
+    fn execute(&self, job: Job) -> Result<(), Job> {
+        if self.shards.is_empty() {
+            return Err(job);
+        }
+        let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard].send(job).map_err(|e| e.0)
+    }
+
+    fn shutdown(&mut self) {
+        self.shards.clear(); // closing the queues ends the workers
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The epoch/snapshot query engine over a [`SharedDatabase`]. See the
+/// module docs for the concurrency model and the staleness argument.
+#[derive(Debug)]
+pub struct QueryEngine {
+    db: SharedDatabase,
+    cell: Arc<RwLock<Arc<EpochSnapshot>>>,
+    stats: Arc<QueryStats>,
+    pool: WorkerPool,
+    parallel_threshold: usize,
+    publisher: Option<(Sender<()>, JoinHandle<()>)>,
+    reporter: Option<(Sender<()>, JoinHandle<()>)>,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.threads.len())
+            .finish()
+    }
+}
+
+/// Clones the live database under a brief read lock and installs it as
+/// the next epoch's snapshot.
+fn publish(
+    db: &SharedDatabase,
+    cell: &RwLock<Arc<EpochSnapshot>>,
+    stats: &QueryStats,
+) -> u64 {
+    let copy = db.with_read(|inner| inner.clone());
+    let epoch = stats.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+    stats.epoch_queries.store(0, Ordering::Relaxed);
+    *cell.write() = Arc::new(EpochSnapshot {
+        db: Arc::new(copy),
+        epoch,
+        published_at: Instant::now(),
+    });
+    epoch
+}
+
+impl QueryEngine {
+    /// Builds an engine over `db`: takes the epoch-0 snapshot, spawns the
+    /// worker pool, and (per `config`) the background epoch publisher and
+    /// stats reporter.
+    pub fn new(db: SharedDatabase, config: QueryEngineConfig) -> Self {
+        let stats = Arc::new(QueryStats::default());
+        let initial = Arc::new(EpochSnapshot {
+            db: Arc::new(db.with_read(|inner| inner.clone())),
+            epoch: 0,
+            published_at: Instant::now(),
+        });
+        let cell = Arc::new(RwLock::new(initial));
+        let publisher = config.epoch_interval.map(|interval| {
+            let (stop_tx, stop_rx) = bounded::<()>(1);
+            let db = db.clone();
+            let cell = Arc::clone(&cell);
+            let stats = Arc::clone(&stats);
+            let handle = std::thread::spawn(move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {
+                        publish(&db, &cell, &stats);
+                    }
+                    _ => break,
+                }
+            });
+            (stop_tx, handle)
+        });
+        let reporter = config.report_interval.map(|interval| {
+            let (stop_tx, stop_rx) = bounded::<()>(1);
+            let cell = Arc::clone(&cell);
+            let stats = Arc::clone(&stats);
+            let handle = std::thread::spawn(move || loop {
+                match stop_rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => {
+                        let age = cell.read().age();
+                        eprintln!("[query-engine] {}", stats.snapshot(age));
+                    }
+                    _ => break,
+                }
+            });
+            (stop_tx, handle)
+        });
+        QueryEngine {
+            pool: WorkerPool::spawn(config.workers, config.queue_depth),
+            parallel_threshold: config.parallel_threshold.max(2),
+            db,
+            cell,
+            stats,
+            publisher,
+            reporter,
+        }
+    }
+
+    /// The underlying locked handle (for read-your-writes queries and for
+    /// mutations, which always go through the live database).
+    pub fn database(&self) -> &SharedDatabase {
+        &self.db
+    }
+
+    /// The latest published snapshot: one `Arc` clone, no lock held
+    /// afterwards.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.cell.read().clone()
+    }
+
+    /// Publishes a fresh epoch immediately (read-your-writes barrier) and
+    /// returns its number.
+    pub fn publish_now(&self) -> u64 {
+        publish(&self.db, &self.cell, &self.stats)
+    }
+
+    /// Current counters plus the age of the published snapshot.
+    pub fn stats(&self) -> QueryStatsSnapshot {
+        let age = self.cell.read().age();
+        self.stats.snapshot(age)
+    }
+
+    /// May/must range query against the latest snapshot. Lock-free after
+    /// the snapshot grab; candidate sets of at least
+    /// [`QueryEngineConfig::parallel_threshold`] split their refine step
+    /// across the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::range_query`].
+    pub fn range_query(&self, region: &QueryRegion) -> Result<RangeAnswer, CoreError> {
+        let t0 = Instant::now();
+        let snap = self.snapshot();
+        let result = self.range_on_snapshot(&snap, region);
+        self.record_range(t0.elapsed(), &result);
+        result
+    }
+
+    /// "Objects within `radius` miles of `center` at time `t`" against
+    /// the latest snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::within_distance_of_point`].
+    pub fn within_distance_of_point(
+        &self,
+        center: Point,
+        radius: f64,
+        t: f64,
+    ) -> Result<RangeAnswer, CoreError> {
+        let region = modb_index::within_radius(center, radius, t)
+            .ok_or(CoreError::InvalidField("radius", radius))?;
+        self.range_query(&region)
+    }
+
+    /// Position query against the latest snapshot (§3.3 bound included).
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::position_of`].
+    pub fn position_of(&self, id: ObjectId, t: f64) -> Result<PositionAnswer, CoreError> {
+        let t0 = Instant::now();
+        let snap = self.snapshot();
+        let result = snap.database().position_of(id, t);
+        self.stats.record(t0.elapsed(), 0, 0, result.is_err());
+        result
+    }
+
+    /// Executes one `modb-query` statement against the latest snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`modb_query::run`].
+    pub fn run_query(&self, src: &str) -> Result<QueryResult, QueryError> {
+        let t0 = Instant::now();
+        let snap = self.snapshot();
+        let result = modb_query::run(snap.database(), src);
+        self.record_result(t0.elapsed(), &result);
+        result
+    }
+
+    /// Fans a batch of requests across the worker pool, all against one
+    /// consistent snapshot. Results come back in request order, each with
+    /// its own verdict. Batch jobs refine serially on their worker (see
+    /// the module docs' deadlock note).
+    pub fn execute_batch(
+        &self,
+        requests: Vec<BatchRequest>,
+    ) -> Vec<Result<QueryResult, QueryError>> {
+        let snap = self.snapshot();
+        let n = requests.len();
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded::<(usize, u64, Result<QueryResult, QueryError>)>(n.max(1));
+        for (idx, request) in requests.into_iter().enumerate() {
+            let db = Arc::clone(snap.database_arc());
+            let tx = tx.clone();
+            let job: Job = Box::new(move || {
+                let t0 = Instant::now();
+                let result = execute_request(&db, request);
+                let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                let _ = tx.send((idx, us, result));
+            });
+            if let Err(job) = self.pool.execute(job) {
+                job(); // pool shut down: run inline, the send still lands
+            }
+        }
+        drop(tx);
+        let mut results: Vec<Option<Result<QueryResult, QueryError>>> =
+            (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            match rx.recv() {
+                Ok((idx, us, result)) => {
+                    self.record_result(Duration::from_micros(us), &result);
+                    results[idx] = Some(result);
+                }
+                Err(_) => break,
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(QueryError::Exec(ExecError::InvalidRegion(
+                        "query worker dropped the request".into(),
+                    )))
+                })
+            })
+            .collect()
+    }
+
+    /// Parses a `;`-separated `modb-query` script and executes the
+    /// statements as one batch (one snapshot, fanned across the pool).
+    pub fn run_batch(&self, src: &str) -> Vec<Result<QueryResult, QueryError>> {
+        self.execute_batch(
+            modb_query::split_statements(src)
+                .into_iter()
+                .map(|s| BatchRequest::Text(s.to_string()))
+                .collect(),
+        )
+    }
+
+    /// Stops the background threads and the pool, returning the final
+    /// counters.
+    pub fn shutdown(mut self) -> QueryStatsSnapshot {
+        let snapshot = self.stats();
+        self.stop_threads();
+        snapshot
+    }
+
+    fn stop_threads(&mut self) {
+        for (stop, handle) in self.publisher.take().into_iter().chain(self.reporter.take()) {
+            let _ = stop.send(());
+            drop(stop);
+            let _ = handle.join();
+        }
+        self.pool.shutdown();
+    }
+
+    fn range_on_snapshot(
+        &self,
+        snap: &EpochSnapshot,
+        region: &QueryRegion,
+    ) -> Result<RangeAnswer, CoreError> {
+        let db = snap.database_arc();
+        let (candidates, stats) = db.range_candidates(region);
+        if candidates.len() >= self.parallel_threshold && self.pool.size() > 1 {
+            self.stats.parallel_refines.fetch_add(1, Ordering::Relaxed);
+            self.refine_parallel(db, candidates, region, stats)
+        } else {
+            let (must, may) = db.refine_slice(&candidates, region)?;
+            let mut answer = RangeAnswer {
+                must,
+                may,
+                candidates: candidates.len(),
+                stats,
+            };
+            answer.normalize();
+            Ok(answer)
+        }
+    }
+
+    /// Splits the refine step across the pool: the candidate list is cut
+    /// into `workers + 1` slices, the workers refine all but the first,
+    /// and the calling thread refines its own share while they run.
+    fn refine_parallel(
+        &self,
+        db: &Arc<Database>,
+        candidates: Vec<ObjectId>,
+        region: &QueryRegion,
+        stats: modb_index::SearchStats,
+    ) -> Result<RangeAnswer, CoreError> {
+        type SliceResult = Result<(Vec<ObjectId>, Vec<ObjectId>), CoreError>;
+        let slices = self.pool.size() + 1;
+        let slice_len = candidates.len().div_ceil(slices).max(1);
+        let mut chunks = candidates.chunks(slice_len);
+        let own = chunks.next().unwrap_or(&[]);
+        let (tx, rx) = bounded::<SliceResult>(slices);
+        let mut dispatched = 0;
+        for chunk in chunks {
+            let db = Arc::clone(db);
+            let region = region.clone();
+            let tx = tx.clone();
+            let chunk = chunk.to_vec();
+            let job: Job = Box::new(move || {
+                let _ = tx.send(db.refine_slice(&chunk, &region));
+            });
+            if let Err(job) = self.pool.execute(job) {
+                job();
+            }
+            dispatched += 1;
+        }
+        drop(tx);
+        // Refine our own slice while the workers chew on theirs.
+        let mut outcomes: Vec<SliceResult> = vec![db.refine_slice(own, region)];
+        for _ in 0..dispatched {
+            match rx.recv() {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(_) => break,
+            }
+        }
+        let mut answer = RangeAnswer {
+            candidates: candidates.len(),
+            stats,
+            ..RangeAnswer::default()
+        };
+        for outcome in outcomes {
+            let (must, may) = outcome?;
+            answer.must.extend(must);
+            answer.may.extend(may);
+        }
+        answer.normalize();
+        Ok(answer)
+    }
+
+    fn record_range(&self, elapsed: Duration, result: &Result<RangeAnswer, CoreError>) {
+        match result {
+            Ok(answer) => self.stats.record(
+                elapsed,
+                answer.candidates,
+                answer.must.len() + answer.may.len(),
+                false,
+            ),
+            Err(_) => self.stats.record(elapsed, 0, 0, true),
+        }
+    }
+
+    fn record_result(&self, elapsed: Duration, result: &Result<QueryResult, QueryError>) {
+        match result {
+            Ok(QueryResult::Range(answer)) => self.stats.record(
+                elapsed,
+                answer.candidates,
+                answer.must.len() + answer.may.len(),
+                false,
+            ),
+            Ok(_) => self.stats.record(elapsed, 0, 0, false),
+            Err(_) => self.stats.record(elapsed, 0, 0, true),
+        }
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Evaluates one batch request against a snapshot database (serial
+/// refine; runs on a pool worker).
+fn execute_request(db: &Database, request: BatchRequest) -> Result<QueryResult, QueryError> {
+    let core = |e: CoreError| QueryError::Exec(ExecError::Core(e));
+    match request {
+        BatchRequest::Region(region) => db
+            .range_query(&region)
+            .map(QueryResult::Range)
+            .map_err(core),
+        BatchRequest::WithinPoint { center, radius, t } => db
+            .within_distance_of_point(center, radius, t)
+            .map(QueryResult::Range)
+            .map_err(core),
+        BatchRequest::Text(src) => modb_query::run(db, &src),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_core::{
+        DatabaseConfig, MovingObject, PolicyDescriptor, PositionAttribute, UpdateMessage,
+        UpdatePosition,
+    };
+    use modb_geom::{Polygon, Rect};
+    use modb_policy::BoundKind;
+    use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+
+    fn shared(n_objects: u64) -> SharedDatabase {
+        let route = Route::from_vertices(
+            RouteId(1),
+            "r",
+            vec![Point::new(0.0, 0.0), Point::new(1_000.0, 0.0)],
+        )
+        .unwrap();
+        let network = RouteNetwork::from_routes([route]).unwrap();
+        let db = SharedDatabase::new(Database::new(network, DatabaseConfig::default()));
+        for i in 0..n_objects {
+            db.register_moving(MovingObject {
+                id: ObjectId(i),
+                name: format!("veh-{i}"),
+                attr: PositionAttribute {
+                    start_time: 0.0,
+                    route: RouteId(1),
+                    start_position: Point::new(i as f64, 0.0),
+                    start_arc: i as f64,
+                    direction: Direction::Forward,
+                    speed: 1.0,
+                    policy: PolicyDescriptor::CostBased {
+                        kind: BoundKind::Immediate,
+                        update_cost: 5.0,
+                    },
+                },
+                max_speed: 1.5,
+                trip_end: None,
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    fn manual_config() -> QueryEngineConfig {
+        QueryEngineConfig {
+            epoch_interval: None,
+            ..QueryEngineConfig::default()
+        }
+    }
+
+    fn region(x0: f64, x1: f64, t: f64) -> QueryRegion {
+        let g = Polygon::rectangle(&Rect::new(Point::new(x0, -1.0), Point::new(x1, 1.0)))
+            .unwrap();
+        QueryRegion::at_instant(g, t)
+    }
+
+    #[test]
+    fn snapshot_matches_locked_reads() {
+        let db = shared(100);
+        let engine = QueryEngine::new(db.clone(), manual_config());
+        for (x0, x1, t) in [(0.0, 50.0, 0.0), (10.0, 400.0, 5.0), (0.0, 1000.0, 2.0)] {
+            let r = region(x0, x1, t);
+            let locked = db.range_query(&r).unwrap();
+            let snap = engine.range_query(&r).unwrap();
+            assert_eq!(locked, snap, "x=[{x0},{x1}] t={t}");
+        }
+        let locked = db
+            .within_distance_of_point(Point::new(50.0, 0.0), 20.0, 1.0)
+            .unwrap();
+        let snap = engine
+            .within_distance_of_point(Point::new(50.0, 0.0), 20.0, 1.0)
+            .unwrap();
+        assert_eq!(locked, snap);
+        assert_eq!(
+            engine.position_of(ObjectId(3), 2.0).unwrap(),
+            db.position_of(ObjectId(3), 2.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_refine_matches_serial() {
+        let db = shared(500);
+        let serial = QueryEngine::new(
+            db.clone(),
+            QueryEngineConfig {
+                parallel_threshold: usize::MAX,
+                ..manual_config()
+            },
+        );
+        let parallel = QueryEngine::new(
+            db.clone(),
+            QueryEngineConfig {
+                parallel_threshold: 2,
+                workers: 4,
+                ..manual_config()
+            },
+        );
+        for (x0, x1, t) in [(0.0, 1000.0, 0.0), (100.0, 700.0, 3.0), (0.0, 20.0, 1.0)] {
+            let r = region(x0, x1, t);
+            assert_eq!(
+                serial.range_query(&r).unwrap(),
+                parallel.range_query(&r).unwrap(),
+                "x=[{x0},{x1}] t={t}"
+            );
+        }
+        assert!(parallel.stats().parallel_refines >= 2);
+        assert_eq!(serial.stats().parallel_refines, 0);
+    }
+
+    #[test]
+    fn staleness_is_bounded_by_publication() {
+        let db = shared(10);
+        let engine = QueryEngine::new(db.clone(), manual_config());
+        let epoch0 = engine.snapshot().epoch();
+        db.apply_update(
+            ObjectId(0),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(500.0), 1.0),
+        )
+        .unwrap();
+        // The snapshot still answers from the pre-update state…
+        assert_eq!(
+            engine.position_of(ObjectId(0), 5.0).unwrap().arc,
+            5.0,
+            "snapshot is stale until the next publish"
+        );
+        // …until a new epoch is published.
+        let epoch1 = engine.publish_now();
+        assert_eq!(epoch1, epoch0 + 1);
+        assert_eq!(engine.position_of(ObjectId(0), 5.0).unwrap().arc, 500.0);
+        assert_eq!(engine.snapshot().epoch(), epoch1);
+    }
+
+    #[test]
+    fn background_publisher_advances_epochs() {
+        let db = shared(5);
+        let engine = QueryEngine::new(
+            db.clone(),
+            QueryEngineConfig {
+                epoch_interval: Some(Duration::from_millis(2)),
+                ..QueryEngineConfig::default()
+            },
+        );
+        db.apply_update(
+            ObjectId(0),
+            &UpdateMessage::basic(1.0, UpdatePosition::Arc(123.0), 1.0),
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.snapshot().epoch() < 2 {
+            assert!(Instant::now() < deadline, "publisher never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The update became visible without any manual publish.
+        assert_eq!(engine.position_of(ObjectId(0), 1.0).unwrap().arc, 123.0);
+        let stats = engine.shutdown();
+        assert!(stats.epoch >= 2);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_verdicts() {
+        let db = shared(50);
+        let engine = QueryEngine::new(db.clone(), manual_config());
+        let results = engine.execute_batch(vec![
+            BatchRequest::Region(region(0.0, 30.0, 0.0)),
+            BatchRequest::Text("RETRIEVE POSITION OF OBJECT 7 AT TIME 2".into()),
+            BatchRequest::Text("garbage".into()),
+            BatchRequest::WithinPoint {
+                center: Point::new(10.0, 0.0),
+                radius: 5.0,
+                t: 0.0,
+            },
+        ]);
+        assert_eq!(results.len(), 4);
+        let expected = db.range_query(&region(0.0, 30.0, 0.0)).unwrap();
+        assert_eq!(results[0].as_ref().unwrap().as_range().unwrap(), &expected);
+        assert_eq!(
+            results[1].as_ref().unwrap().as_position().unwrap().arc,
+            9.0
+        );
+        assert!(matches!(results[2], Err(QueryError::Parse(_))));
+        let expected = db
+            .within_distance_of_point(Point::new(10.0, 0.0), 5.0, 0.0)
+            .unwrap();
+        assert_eq!(results[3].as_ref().unwrap().as_range().unwrap(), &expected);
+        let stats = engine.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn run_batch_splits_statements() {
+        let db = shared(20);
+        let engine = QueryEngine::new(db, manual_config());
+        let results = engine.run_batch(
+            "RETRIEVE POSITION OF OBJECT 1 AT TIME 0;\n\
+             RETRIEVE OBJECTS INSIDE RECT (0, -1, 10, 1) AT TIME 0;",
+        );
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn stats_report_latency_and_ratio() {
+        let db = shared(100);
+        let engine = QueryEngine::new(db, manual_config());
+        for _ in 0..20 {
+            engine.range_query(&region(0.0, 200.0, 0.0)).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 20);
+        assert_eq!(stats.epoch_queries, 20);
+        assert!(stats.p50_us > 0);
+        assert!(stats.p99_us >= stats.p50_us);
+        assert!(stats.candidates > 0);
+        assert!(stats.match_ratio() > 0.0 && stats.match_ratio() <= 1.0);
+        let line = stats.to_string();
+        assert!(line.contains("p99"), "{line}");
+        assert!(line.contains("epoch 0"), "{line}");
+        // Publishing resets the per-epoch counter but not totals.
+        engine.publish_now();
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 20);
+        assert_eq!(stats.epoch_queries, 0);
+    }
+
+    #[test]
+    fn drop_with_background_threads_does_not_hang() {
+        let db = shared(5);
+        let engine = QueryEngine::new(
+            db,
+            QueryEngineConfig {
+                epoch_interval: Some(Duration::from_millis(1)),
+                report_interval: Some(Duration::from_millis(1)),
+                ..QueryEngineConfig::default()
+            },
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        drop(engine); // must join publisher, reporter, and pool
+    }
+
+    #[test]
+    fn concurrent_snapshot_queries_with_live_writers() {
+        let db = shared(200);
+        let engine = QueryEngine::new(
+            db.clone(),
+            QueryEngineConfig {
+                epoch_interval: Some(Duration::from_millis(1)),
+                parallel_threshold: 64,
+                ..QueryEngineConfig::default()
+            },
+        );
+        std::thread::scope(|s| {
+            for w in 0..2u64 {
+                let db = db.clone();
+                s.spawn(move || {
+                    for round in 1..=100u64 {
+                        for i in (w * 100)..(w * 100 + 100) {
+                            db.apply_update(
+                                ObjectId(i),
+                                &UpdateMessage::basic(
+                                    round as f64 * 0.05,
+                                    UpdatePosition::Arc((i as f64 + round as f64).min(1000.0)),
+                                    0.9,
+                                ),
+                            )
+                            .unwrap();
+                        }
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let engine = &engine;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let r = engine.range_query(&region(0.0, 1000.0, 5.0)).unwrap();
+                        assert!(r.candidates <= 200);
+                        // A snapshot is internally consistent: the scan
+                        // baseline over the same snapshot agrees.
+                        let snap = engine.snapshot();
+                        let a = snap.database().range_query(&region(0.0, 400.0, 5.0)).unwrap();
+                        let b = snap
+                            .database()
+                            .range_query_scan(&region(0.0, 400.0, 5.0))
+                            .unwrap();
+                        assert_eq!(a.must, b.must);
+                        assert_eq!(a.may, b.may);
+                    }
+                });
+            }
+        });
+        let stats = engine.shutdown();
+        assert!(stats.queries >= 400);
+    }
+}

@@ -45,6 +45,13 @@ impl SharedDatabase {
         Ok((SharedDatabase::new(recovered.database), recovered.report))
     }
 
+    /// Spawns a [`crate::QueryEngine`] over this handle: epoch-snapshot
+    /// reads that never contend with writers, with a worker pool for
+    /// batches and parallel refinement.
+    pub fn query_engine(&self, config: crate::QueryEngineConfig) -> crate::QueryEngine {
+        crate::QueryEngine::new(self.clone(), config)
+    }
+
     /// Registers a moving object.
     ///
     /// # Errors

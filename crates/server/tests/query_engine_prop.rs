@@ -1,0 +1,199 @@
+//! Property tests for the epoch-snapshot query engine.
+//!
+//! The contract under test: a query answered by [`QueryEngine`] equals
+//! the answer the locked [`SharedDatabase`] path would have given **at
+//! the moment the snapshot was published** — staleness-adjusted
+//! equivalence. Updates applied after a publish must not leak into
+//! snapshot answers until the next publish, and the parallel refine
+//! split must be answer-for-answer identical to the serial path.
+
+use modb_core::{
+    Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+    UpdateMessage, UpdatePosition,
+};
+use modb_geom::{Point, Polygon, Rect};
+use modb_index::QueryRegion;
+use modb_policy::BoundKind;
+use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+use modb_server::{QueryEngineConfig, SharedDatabase};
+use proptest::prelude::*;
+
+const ROUTE_LEN: f64 = 100.0;
+
+fn vehicle(id: u64, arc: f64) -> MovingObject {
+    MovingObject {
+        id: ObjectId(id),
+        name: format!("veh-{id}"),
+        attr: PositionAttribute {
+            start_time: 0.0,
+            route: RouteId(1),
+            start_position: Point::new(arc, 0.0),
+            start_arc: arc,
+            direction: Direction::Forward,
+            speed: 1.0,
+            policy: PolicyDescriptor::CostBased {
+                kind: BoundKind::Immediate,
+                update_cost: 5.0,
+            },
+        },
+        max_speed: 1.5,
+        trip_end: None,
+    }
+}
+
+fn shared(n_objects: u64) -> SharedDatabase {
+    let network = RouteNetwork::from_routes([Route::from_vertices(
+        RouteId(1),
+        "main",
+        vec![Point::new(0.0, 0.0), Point::new(ROUTE_LEN, 0.0)],
+    )
+    .unwrap()])
+    .unwrap();
+    let db = SharedDatabase::new(Database::new(network, DatabaseConfig::default()));
+    for i in 0..n_objects {
+        db.register_moving(vehicle(i, (i as f64 * 7.3) % ROUTE_LEN))
+            .unwrap();
+    }
+    db
+}
+
+fn apply_stream(db: &SharedDatabase, updates: &[(u64, f64, f64, f64)]) {
+    for &(id, time, arc_frac, speed) in updates {
+        // Stale / unknown-object updates are legitimate rejections; the
+        // equivalence property only needs both sides to see the same
+        // final state, which "apply and ignore the verdict" gives us.
+        let _ = db.apply_update(
+            ObjectId(id),
+            &UpdateMessage::basic(time, UpdatePosition::Arc(arc_frac * ROUTE_LEN), speed),
+        );
+    }
+}
+
+fn region(x0: f64, x1: f64, t: f64) -> QueryRegion {
+    let (lo, hi) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+    let g = Polygon::rectangle(&Rect::new(
+        Point::new(lo, -2.0),
+        Point::new(hi + 0.5, 2.0),
+    ))
+    .unwrap();
+    QueryRegion::at_instant(g, t)
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    n_objects: u64,
+    before: Vec<(u64, f64, f64, f64)>,
+    after: Vec<(u64, f64, f64, f64)>,
+    regions: Vec<(f64, f64, f64)>,
+}
+
+fn update() -> impl Strategy<Value = (u64, f64, f64, f64)> {
+    (0u64..48, 0.0f64..30.0, 0.0f64..1.0, 0.1f64..1.4)
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        1u64..40,
+        proptest::collection::vec(update(), 0..60),
+        proptest::collection::vec(update(), 1..60),
+        proptest::collection::vec(
+            (0.0f64..ROUTE_LEN, 0.0f64..ROUTE_LEN, 0.0f64..40.0),
+            1..6,
+        ),
+    )
+        .prop_map(|(n_objects, before, after, regions)| Spec {
+            n_objects,
+            before,
+            after,
+            regions,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot answers equal the locked answers as of publication time,
+    /// no matter what happens to the live database afterwards — and the
+    /// parallel refine split changes nothing about the answers.
+    #[test]
+    fn snapshot_reads_equal_locked_reads_at_publication(
+        spec in spec(),
+        force_parallel in any::<bool>(),
+    ) {
+        let db = shared(spec.n_objects);
+        apply_stream(&db, &spec.before);
+        let engine = db.query_engine(QueryEngineConfig {
+            epoch_interval: None,
+            workers: 3,
+            parallel_threshold: if force_parallel { 2 } else { usize::MAX },
+            ..QueryEngineConfig::default()
+        });
+        // The reference is the locked view frozen at publication time.
+        let frozen = db.with_read(|inner| inner.clone());
+        engine.publish_now();
+        // Updates after the publish must NOT appear in snapshot answers.
+        apply_stream(&db, &spec.after);
+
+        for &(x0, x1, t) in &spec.regions {
+            let r = region(x0, x1, t);
+            let expected = frozen.range_query(&r).unwrap();
+            let got = engine.range_query(&r).unwrap();
+            prop_assert_eq!(&got, &expected, "region x=[{x0},{x1}] t={t}");
+
+            let expected = frozen
+                .within_distance_of_point(Point::new(x0, 0.0), 5.0, t)
+                .unwrap();
+            let got = engine
+                .within_distance_of_point(Point::new(x0, 0.0), 5.0, t)
+                .unwrap();
+            prop_assert_eq!(&got, &expected, "within x={x0} t={t}");
+        }
+        for id in 0..spec.n_objects {
+            prop_assert_eq!(
+                engine.position_of(ObjectId(id), 12.0).unwrap(),
+                frozen.position_of(ObjectId(id), 12.0).unwrap()
+            );
+        }
+        // Republishing catches the engine up to the live state.
+        engine.publish_now();
+        for &(x0, x1, t) in &spec.regions {
+            let r = region(x0, x1, t);
+            prop_assert_eq!(
+                engine.range_query(&r).unwrap(),
+                db.range_query(&r).unwrap()
+            );
+        }
+    }
+
+    /// A text batch through the engine gives the same per-statement
+    /// verdicts as running each statement serially on the frozen view.
+    #[test]
+    fn batched_statements_match_serial_execution(
+        spec in spec(),
+        t in 0.0f64..40.0,
+    ) {
+        let db = shared(spec.n_objects);
+        apply_stream(&db, &spec.before);
+        let engine = db.query_engine(QueryEngineConfig {
+            epoch_interval: None,
+            workers: 3,
+            ..QueryEngineConfig::default()
+        });
+        let frozen = db.with_read(|inner| inner.clone());
+        engine.publish_now();
+        apply_stream(&db, &spec.after);
+
+        let script = format!(
+            "RETRIEVE OBJECTS INSIDE RECT (0, -2, 50, 2) AT TIME {t};\n\
+             RETRIEVE POSITION OF OBJECT 0 AT TIME {t};\n\
+             RETRIEVE OBJECTS WITHIN 10 OF POINT (50, 0) AT TIME {t};\n\
+             RETRIEVE POSITION OF OBJECT 99999 AT TIME {t}"
+        );
+        let batched = engine.run_batch(&script);
+        let serial = modb_query::run_batch(&frozen, &script);
+        prop_assert_eq!(batched.len(), serial.len());
+        for (i, (b, s)) in batched.iter().zip(serial.iter()).enumerate() {
+            prop_assert_eq!(b, s, "statement {}", i + 1);
+        }
+    }
+}

@@ -7,5 +7,6 @@ pub mod cost_rate_curve;
 pub mod example1;
 pub mod indexing;
 pub mod policy_sweep;
+pub mod query_scaling;
 pub mod savings;
 pub mod wal_overhead;

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod codec;
+pub mod compact;
 pub mod crc32;
 pub mod error;
 pub mod record;
@@ -58,6 +59,7 @@ pub mod snapshot;
 pub mod writer;
 
 pub use codec::{ByteReader, WalCodec};
+pub use compact::{compact, CompactionReport, DEFAULT_SNAPSHOT_RETENTION};
 pub use crc32::crc32;
 pub use error::WalError;
 pub use record::{decode_frames, FrameEnd, WalRecord, MAX_RECORD_BYTES};
