@@ -142,10 +142,55 @@ fn bench_parallel_refine_and_publish(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full-clone vs change-log delta publication at 10k objects across
+/// churn levels (0.1%, 1%, 10% of the fleet touched between epochs).
+/// Each iteration applies the churn batch and republishes; the churn
+/// cost is identical in both modes, so the spread between the `full`
+/// and `delta` rows is publication cost alone. This times the whole
+/// `publish_now` cycle — for delta mode that includes the post-swap
+/// shadow catch-up; the W3 experiment (`exp_epoch_publish`) splits out
+/// the pre-swap visibility latency.
+fn bench_epoch_publish(c: &mut Criterion) {
+    const FLEET: usize = 10_000;
+    let mut group = c.benchmark_group("epoch_publish");
+    group.sample_size(20);
+    for churn in [FLEET / 1000, FLEET / 100, FLEET / 10] {
+        for incremental in [false, true] {
+            let (db, _) = fleet(FLEET);
+            let engine = db.query_engine(QueryEngineConfig {
+                epoch_interval: None,
+                incremental_publish: incremental,
+                ..QueryEngineConfig::default()
+            });
+            // Past the cold-buffer publish: the first incremental
+            // publish is a full clone.
+            engine.publish_now();
+            engine.publish_now();
+            let mode = if incremental { "delta" } else { "full" };
+            let mut round = 2u64;
+            group.bench_function(format!("{mode}_10k_churn_{churn}"), |b| {
+                b.iter(|| {
+                    round += 1;
+                    let t = round as f64 * 1e-5;
+                    for i in 0..churn as u64 {
+                        let _ = db.apply_update(
+                            ObjectId((round * churn as u64 + i) % FLEET as u64),
+                            &UpdateMessage::basic(t, UpdatePosition::Arc(0.5), 0.7),
+                        );
+                    }
+                    black_box(engine.publish_now())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_quiet_reads,
     bench_contended_reads,
-    bench_parallel_refine_and_publish
+    bench_parallel_refine_and_publish,
+    bench_epoch_publish
 );
 criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! The moving-objects database: update ingestion and query processing.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use modb_geom::Point;
 use modb_index::{MovingObjectIndex, OPlane, QueryRegion, SearchStats};
 use modb_routes::{Route, RouteNetwork};
 
 use crate::attr::{PolicyDescriptor, PositionAttribute};
+use crate::changes::{Change, ChangeCursor, ChangeLog, SyncReport};
 use crate::error::CoreError;
 use crate::history::AttributeHistory;
 use crate::object::{ObjectId, StationaryObject};
@@ -30,6 +32,11 @@ pub struct DatabaseConfig {
     /// Superseded position-attribute versions retained per object for
     /// as-of queries (0 disables history).
     pub history_capacity: usize,
+    /// Entries retained in the change log that feeds delta subscribers
+    /// ([`Database::changes_since`] / [`Database::sync_from`]). A
+    /// subscriber that falls further behind than this resyncs with a
+    /// full clone; 0 keeps nothing (subscribers always resync).
+    pub change_log_capacity: usize,
 }
 
 impl Default for DatabaseConfig {
@@ -40,6 +47,7 @@ impl Default for DatabaseConfig {
             slab_minutes: modb_index::DEFAULT_SLAB_MINUTES,
             refinement_dt: 1.0,
             history_capacity: 256,
+            change_log_capacity: 4096,
         }
     }
 }
@@ -63,30 +71,38 @@ pub struct MovingObject {
 /// objects with position attributes, and the 3-D time-space index.
 #[derive(Debug, Clone)]
 pub struct Database {
-    network: RouteNetwork,
+    /// The road map, shared: routes are append-only and individually
+    /// immutable, so clones of the database alias one network and
+    /// [`Database::insert_route`] copies-on-write only when aliased.
+    network: Arc<RouteNetwork>,
     moving: HashMap<ObjectId, MovingObject>,
     stationary: HashMap<ObjectId, StationaryObject>,
     index: MovingObjectIndex<ObjectId>,
     /// Ids of moving objects whose policies cannot be o-plane-indexed;
     /// they are appended to every candidate set (exact refinement still
-    /// applies). Kept sorted.
-    unindexed: Vec<ObjectId>,
+    /// applies).
+    unindexed: BTreeSet<ObjectId>,
     /// Superseded attribute versions per object (transaction-time
     /// history; see [`crate::AttributeHistory`]).
     history: HashMap<ObjectId, AttributeHistory>,
+    /// Epoch-stamped record of which objects mutated, drained by delta
+    /// subscribers (see [`crate::Change`]).
+    changes: ChangeLog,
     config: DatabaseConfig,
 }
 
 impl Database {
-    /// Creates a database over a route network.
-    pub fn new(network: RouteNetwork, config: DatabaseConfig) -> Self {
+    /// Creates a database over a route network (owned or already
+    /// shared — clones of an `Arc`'d network are free).
+    pub fn new(network: impl Into<Arc<RouteNetwork>>, config: DatabaseConfig) -> Self {
         Database {
             index: MovingObjectIndex::new(config.slab_minutes),
-            network,
+            network: network.into(),
             moving: HashMap::new(),
             stationary: HashMap::new(),
-            unindexed: Vec::new(),
+            unindexed: BTreeSet::new(),
             history: HashMap::new(),
+            changes: ChangeLog::new(config.change_log_capacity),
             config,
         }
     }
@@ -104,7 +120,7 @@ impl Database {
     /// Any error `insert_stationary` / `register_moving` would raise on
     /// the same inputs.
     pub fn from_parts(
-        network: RouteNetwork,
+        network: impl Into<Arc<RouteNetwork>>,
         config: DatabaseConfig,
         stationary: Vec<StationaryObject>,
         moving: Vec<(MovingObject, Vec<PositionAttribute>)>,
@@ -128,18 +144,28 @@ impl Database {
 
     /// The route database.
     pub fn network(&self) -> &RouteNetwork {
-        &self.network
+        &*self.network
+    }
+
+    /// The route database's shared handle — cloning it is free, and the
+    /// routes behind it never change in place (network growth is
+    /// append-only and copies-on-write).
+    pub fn network_arc(&self) -> Arc<RouteNetwork> {
+        Arc::clone(&self.network)
     }
 
     /// Adds a route to the route database after construction (network
     /// growth is append-only: existing routes never change, so index
-    /// entries stay valid).
+    /// entries stay valid). When the network is aliased by clones the
+    /// insert copies it first — readers of old handles keep the old map.
     ///
     /// # Errors
     ///
     /// [`CoreError::Route`] when the id is already taken.
     pub fn insert_route(&mut self, route: Route) -> Result<(), CoreError> {
-        self.network.insert(route)?;
+        let id = route.id();
+        Arc::make_mut(&mut self.network).insert(route)?;
+        self.changes.record(Change::Route(id));
         Ok(())
     }
 
@@ -211,7 +237,9 @@ impl Database {
         if self.stationary.contains_key(&obj.id) || self.moving.contains_key(&obj.id) {
             return Err(CoreError::DuplicateObject(obj.id));
         }
-        self.stationary.insert(obj.id, obj);
+        let id = obj.id;
+        self.stationary.insert(id, obj);
+        self.changes.record(Change::Stationary(id));
         Ok(())
     }
 
@@ -242,6 +270,7 @@ impl Database {
         }
         let id = obj.id;
         self.moving.insert(id, obj);
+        self.changes.record(Change::Moving(id));
         self.reindex(id)?;
         Ok(())
     }
@@ -255,9 +284,8 @@ impl Database {
         let obj = self.moving.remove(&id).ok_or(CoreError::UnknownObject(id))?;
         self.history.remove(&id);
         self.index.remove(&id);
-        if let Ok(pos) = self.unindexed.binary_search(&id) {
-            self.unindexed.remove(pos);
-        }
+        self.unindexed.remove(&id);
+        self.changes.record(Change::Moving(id));
         Ok(obj)
     }
 
@@ -275,6 +303,154 @@ impl Database {
             let _ = self.remove_moving(*id);
         }
         expired
+    }
+
+    // --- Versioned-store subscription API -----------------------------
+    //
+    // Consumers keep a (possibly stale) copy of this database and pull
+    // it forward in O(changes): the epoch publisher, the pause-free WAL
+    // snapshot path, and future replication followers all drain the same
+    // change log through these three methods.
+
+    /// The cursor one past the newest recorded change — where a new
+    /// subscriber starts after taking its initial full copy.
+    pub fn change_cursor(&self) -> ChangeCursor {
+        self.changes.cursor()
+    }
+
+    /// Changes recorded at or after `cursor`, oldest first, possibly
+    /// with repeats (subscribers dedup — each entry means "copy that
+    /// object's *current* state", so applying the set once suffices).
+    /// `None` when the bounded log evicted entries the cursor still
+    /// needs: the subscriber must fall back to a full copy.
+    pub fn changes_since(&self, cursor: ChangeCursor) -> Option<Vec<Change>> {
+        self.changes.since(cursor).map(Iterator::collect)
+    }
+
+    /// The number of change-log entries past which applying a delta
+    /// loses to a full clone. Re-syncing one changed object costs an
+    /// order of magnitude more than bulk-cloning it (per-object index
+    /// surgery vs a straight structure clone), so the break-even sits at
+    /// a modest fraction of the fleet; the floor keeps small fleets on
+    /// the delta path unconditionally.
+    fn delta_budget(&self) -> usize {
+        (self.moving.len() / 16).max(64)
+    }
+
+    /// Whether pulling a stale copy forward from `cursor` is worthwhile:
+    /// the log still holds the delta *and* it is small enough to beat a
+    /// full clone. [`Database::sync_from`] applies the same cutover
+    /// itself; this predicate lets callers skip optional maintenance
+    /// syncs (e.g. the shadow buffer's post-publish catch-up) that a
+    /// later full resync would supersede anyway.
+    pub fn delta_affordable(&self, cursor: ChangeCursor) -> bool {
+        match self.changes.since(cursor) {
+            Some(delta) => delta.count() <= self.delta_budget(),
+            None => false,
+        }
+    }
+
+    /// Pulls this (stale copy) database forward to `src`'s state by
+    /// applying the changes recorded since `cursor` — copying each
+    /// touched object's current state (or removing it), maintaining the
+    /// time-space index entry-by-entry (the §4.2 delete+insert
+    /// maintenance) instead of rebuilding it. Falls back to a full clone
+    /// when the delta is unservable (log truncated past `cursor`) or no
+    /// longer cheaper than cloning (more distinct objects touched than
+    /// the break-even fraction of the fleet). Either way, afterwards
+    /// `self` answers every query identically to `src`.
+    ///
+    /// `self` must be a clone of `src` as of `cursor` (or of any state
+    /// the recorded changes bridge from); the caller guarantees `src` is
+    /// not mutated concurrently. The target's *own* change log is not
+    /// advanced — it describes mutations applied through the target's
+    /// mutators, and replicas hand out cursors against themselves only
+    /// after a full clone.
+    pub fn sync_from(&mut self, src: &Database, cursor: ChangeCursor) -> SyncReport {
+        let target = src.changes.cursor();
+        let Some(delta) = src.changes.since(cursor) else {
+            *self = src.clone();
+            return SyncReport {
+                cursor: target,
+                full_resync: true,
+                applied: 0,
+            };
+        };
+        let touched: HashSet<Change> = delta.collect();
+        // Past the break-even point a full clone is cheaper than
+        // per-object surgery (and the gap only widens): cut over.
+        if touched.len() > src.delta_budget() {
+            *self = src.clone();
+            return SyncReport {
+                cursor: target,
+                full_resync: true,
+                applied: 0,
+            };
+        }
+        if !Arc::ptr_eq(&self.network, &src.network) {
+            self.network = Arc::clone(&src.network);
+        }
+        self.config = src.config;
+        let applied = touched.len();
+        for change in touched {
+            match change {
+                Change::Moving(id) => self.sync_moving_from(src, id),
+                Change::Stationary(id) => {
+                    if let Some(obj) = src.stationary.get(&id) {
+                        self.stationary.insert(id, obj.clone());
+                    }
+                }
+                // Covered by the network handle adoption above.
+                Change::Route(_) => {}
+            }
+        }
+        SyncReport {
+            cursor: target,
+            full_resync: false,
+            applied,
+        }
+    }
+
+    /// Copies one moving object's current state (attribute, history,
+    /// index entry, unindexed membership) from `src`, or erases it when
+    /// `src` no longer holds it.
+    fn sync_moving_from(&mut self, src: &Database, id: ObjectId) {
+        use std::collections::hash_map::Entry;
+        match src.moving.get(&id) {
+            Some(obj) => {
+                // clone_from lets displaced heap buffers (names, history
+                // vectors) be reused on the hot resync path.
+                match self.moving.entry(id) {
+                    Entry::Occupied(mut e) => e.get_mut().clone_from(obj),
+                    Entry::Vacant(e) => {
+                        e.insert(obj.clone());
+                    }
+                }
+                match src.history.get(&id) {
+                    Some(h) => match self.history.entry(id) {
+                        Entry::Occupied(mut e) => e.get_mut().clone_from(h),
+                        Entry::Vacant(e) => {
+                            e.insert(h.clone());
+                        }
+                    },
+                    None => {
+                        self.history.remove(&id);
+                    }
+                }
+                self.index.sync_entry_from(&src.index, &id);
+                if src.unindexed.contains(&id) {
+                    self.unindexed.insert(id);
+                } else {
+                    self.unindexed.remove(&id);
+                }
+            }
+            None => {
+                self.moving.remove(&id);
+                self.history.remove(&id);
+                self.index.remove(&id);
+                self.unindexed.remove(&id);
+            }
+        }
     }
 
     /// Applies a position-update message (§3.1), refreshing the position
@@ -304,23 +480,33 @@ impl Database {
         let (arc, point) = self.resolve_position(route, msg.position)?;
 
         let obj = self.moving.get_mut(&id).expect("checked above");
+        let mut next = obj.attr.clone();
+        next.start_time = msg.time;
+        next.route = route_id;
+        next.start_arc = arc;
+        next.start_position = point;
+        next.speed = msg.speed;
+        if let Some(dir) = msg.direction {
+            next.direction = dir;
+        }
+        if let Some(policy) = msg.policy {
+            next.policy = policy;
+        }
+        if next == obj.attr {
+            // Exact re-delivery of the attribute already in force (e.g.
+            // WAL replay over a snapshot that reflects it): accept
+            // without duplicating the history entry or re-indexing, so
+            // replay is idempotent.
+            return Ok(());
+        }
         if self.config.history_capacity > 0 {
             self.history
                 .entry(id)
                 .or_insert_with(|| AttributeHistory::new(self.config.history_capacity))
                 .push(obj.attr.clone());
         }
-        obj.attr.start_time = msg.time;
-        obj.attr.route = route_id;
-        obj.attr.start_arc = arc;
-        obj.attr.start_position = point;
-        obj.attr.speed = msg.speed;
-        if let Some(dir) = msg.direction {
-            obj.attr.direction = dir;
-        }
-        if let Some(policy) = msg.policy {
-            obj.attr.policy = policy;
-        }
+        obj.attr = next;
+        self.changes.record(Change::Moving(id));
         self.reindex(id)
     }
 
@@ -355,7 +541,6 @@ impl Database {
     /// Rebuilds the object's index entry from its stored attribute.
     fn reindex(&mut self, id: ObjectId) -> Result<(), CoreError> {
         let obj = self.moving.get(&id).expect("caller ensures presence");
-        let unindexed_pos = self.unindexed.binary_search(&id);
         match obj.attr.policy {
             PolicyDescriptor::CostBased { kind, update_cost } => {
                 let route = self.network.get(obj.attr.route)?;
@@ -375,15 +560,11 @@ impl Database {
                     end_time,
                 )?;
                 self.index.upsert(id, plane, route)?;
-                if let Ok(pos) = unindexed_pos {
-                    self.unindexed.remove(pos);
-                }
+                self.unindexed.remove(&id);
             }
             _ => {
                 self.index.remove(&id);
-                if let Err(pos) = unindexed_pos {
-                    self.unindexed.insert(pos, id);
-                }
+                self.unindexed.insert(id);
             }
         }
         Ok(())
@@ -1208,6 +1389,156 @@ mod tests {
         )
         .unwrap();
         assert_eq!(db.moving(ObjectId(1)).unwrap().attr.route, RouteId(7));
+    }
+
+    /// Observable equivalence: stored state, history, position answers,
+    /// and index-backed range answers (checked against the scan baseline
+    /// on both sides, so a desynced index cannot hide).
+    fn assert_same_view(a: &Database, b: &Database) {
+        assert_eq!(a.moving_count(), b.moving_count());
+        assert_eq!(a.stationary_count(), b.stationary_count());
+        assert_eq!(a.network().len(), b.network().len());
+        let mut ids: Vec<ObjectId> = a.moving_ids().collect();
+        ids.sort_unstable();
+        let mut b_ids: Vec<ObjectId> = b.moving_ids().collect();
+        b_ids.sort_unstable();
+        assert_eq!(ids, b_ids);
+        for &id in &ids {
+            assert_eq!(a.moving(id).unwrap(), b.moving(id).unwrap());
+            assert_eq!(a.history_of(id), b.history_of(id));
+        }
+        for t in [0.0, 3.0, 8.0] {
+            let region = rect_region(0.0, 100.0, t);
+            let ra = a.range_query(&region).unwrap();
+            let rb = b.range_query(&region).unwrap();
+            assert_eq!(ra.must, rb.must, "t={t}");
+            assert_eq!(ra.may, rb.may, "t={t}");
+            let scan = a.range_query_scan(&region).unwrap();
+            assert_eq!(ra.must, scan.must, "index vs scan t={t}");
+            assert_eq!(ra.may, scan.may, "index vs scan t={t}");
+        }
+    }
+
+    #[test]
+    fn sync_from_applies_deltas_incrementally() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0), object(2, 30.0, 1.0)]);
+        let mut shadow = db.clone();
+        let cursor = db.change_cursor();
+        // One mutation of every kind.
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(14.0), 0.5),
+        )
+        .unwrap();
+        db.remove_moving(ObjectId(2)).unwrap();
+        let mut fixed = object(3, 60.0, 1.0);
+        fixed.attr.policy = PolicyDescriptor::FixedBound { bound: 1.0 };
+        db.register_moving(fixed).unwrap();
+        db.insert_stationary(StationaryObject::new(
+            ObjectId(100),
+            "depot",
+            Point::new(12.0, 0.0),
+        ))
+        .unwrap();
+        db.insert_route(
+            Route::from_vertices(
+                RouteId(9),
+                "new",
+                vec![Point::new(0.0, 20.0), Point::new(100.0, 20.0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        let report = shadow.sync_from(&db, cursor);
+        assert!(!report.full_resync);
+        assert!(report.applied >= 4, "moving x3 + stationary + route touched");
+        assert_eq!(report.cursor, db.change_cursor());
+        assert_same_view(&shadow, &db);
+        // A second sync from the returned cursor is a no-op.
+        let again = shadow.sync_from(&db, report.cursor);
+        assert!(!again.full_resync);
+        assert_eq!(again.applied, 0);
+        assert_same_view(&shadow, &db);
+    }
+
+    #[test]
+    fn sync_from_falls_back_to_full_clone_when_log_truncated() {
+        let cfg = DatabaseConfig {
+            change_log_capacity: 2,
+            ..DatabaseConfig::default()
+        };
+        let mut db = Database::new(network(), cfg);
+        db.register_moving(object(1, 10.0, 1.0)).unwrap();
+        let mut shadow = db.clone();
+        let cursor = db.change_cursor();
+        // More changes than the log retains: the cursor is evicted.
+        for i in 2..=5 {
+            db.register_moving(object(i, 10.0 * i as f64, 1.0)).unwrap();
+        }
+        let report = shadow.sync_from(&db, cursor);
+        assert!(report.full_resync);
+        assert_eq!(report.cursor, db.change_cursor());
+        assert_same_view(&shadow, &db);
+    }
+
+    #[test]
+    fn changes_since_reports_truncation() {
+        let cfg = DatabaseConfig {
+            change_log_capacity: 2,
+            ..DatabaseConfig::default()
+        };
+        let mut db = Database::new(network(), cfg);
+        let cursor = db.change_cursor();
+        db.register_moving(object(1, 10.0, 1.0)).unwrap();
+        db.register_moving(object(2, 20.0, 1.0)).unwrap();
+        assert_eq!(db.changes_since(cursor).unwrap().len(), 2);
+        db.register_moving(object(3, 30.0, 1.0)).unwrap();
+        assert!(db.changes_since(cursor).is_none(), "evicted → resync");
+        assert_eq!(db.changes_since(db.change_cursor()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_network_until_a_route_is_inserted() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        let clone = db.clone();
+        assert!(Arc::ptr_eq(&db.network_arc(), &clone.network_arc()));
+        db.insert_route(
+            Route::from_vertices(
+                RouteId(9),
+                "new",
+                vec![Point::new(0.0, 20.0), Point::new(100.0, 20.0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Copy-on-write: the clone keeps the old map.
+        assert!(!Arc::ptr_eq(&db.network_arc(), &clone.network_arc()));
+        assert!(db.network().get(RouteId(9)).is_ok());
+        assert!(clone.network().get(RouteId(9)).is_err());
+    }
+
+    #[test]
+    fn identical_update_is_an_idempotent_noop() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        let msg = UpdateMessage::basic(5.0, UpdatePosition::Arc(14.0), 0.5);
+        db.apply_update(ObjectId(1), &msg).unwrap();
+        let attr = db.moving(ObjectId(1)).unwrap().attr.clone();
+        let cursor = db.change_cursor();
+        // Re-delivering the exact same update (the WAL-replay case)
+        // succeeds without a duplicate history entry or a new change.
+        db.apply_update(ObjectId(1), &msg).unwrap();
+        assert_eq!(db.history_of(ObjectId(1)).len(), 1);
+        assert_eq!(db.moving(ObjectId(1)).unwrap().attr, attr);
+        assert_eq!(db.changes_since(cursor).unwrap().len(), 0);
+        // A same-time update with different content is a real change.
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(15.0), 0.5),
+        )
+        .unwrap();
+        assert_eq!(db.history_of(ObjectId(1)).len(), 2);
+        assert_eq!(db.changes_since(cursor).unwrap().len(), 1);
     }
 
     #[test]

@@ -16,10 +16,17 @@
 //!
 //! Index-backed range queries and exhaustive-scan range queries return
 //! identical answers; the benchmarks measure the sublinearity gap.
+//!
+//! The database is also a *versioned store*: every mutation is recorded
+//! in a bounded change log, and subscribers holding a [`ChangeCursor`]
+//! pull a stale copy forward in O(changes) with
+//! [`Database::sync_from`] — the mechanism behind the epoch publisher
+//! and pause-free snapshots in `modb-server`.
 
 #![warn(missing_docs)]
 
 mod attr;
+mod changes;
 mod database;
 mod error;
 mod history;
@@ -30,6 +37,7 @@ mod route_distance_query;
 mod update;
 
 pub use attr::{PolicyDescriptor, PositionAttribute};
+pub use changes::{Change, ChangeCursor, SyncReport};
 pub use database::{Database, DatabaseConfig, MovingObject};
 pub use error::CoreError;
 pub use history::AttributeHistory;

@@ -6,11 +6,19 @@
 //! inserted in the 3-dimensional rectangles that intersect [the new
 //! o-plane] p2."
 //!
-//! Here each object's current o-plane is materialised as its slab boxes;
-//! a position update atomically deletes the old boxes and inserts the new
-//! ones. Filtering a [`QueryRegion`] returns candidate ids; exact may/must
-//! refinement against uncertainty intervals happens in `modb-core`, where
-//! routes are resolvable.
+//! Here each object's current o-plane is materialised as its slab boxes.
+//! The R\*-tree holds **one entry per object** — the union box of its
+//! slabs — and the slab boxes themselves are kept aside and tested
+//! per-candidate during filtering. The candidate set is identical to
+//! indexing every slab box individually (an object qualifies iff some
+//! slab box intersects the query box), but the §4.2 position-update
+//! maintenance becomes a single delete+insert instead of one per slab:
+//! with a 60-minute horizon and 5-minute slabs that is a 12× cut in tree
+//! surgery, which is what keeps both live updates and delta-synced
+//! shadow copies O(changes) with a small constant. Filtering a
+//! [`QueryRegion`] returns candidate ids; exact may/must refinement
+//! against uncertainty intervals happens in `modb-core`, where routes
+//! are resolvable.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -31,9 +39,15 @@ pub const DEFAULT_SLAB_MINUTES: f64 = 5.0;
 /// A 3-D time-space index over the o-planes of a fleet of moving objects.
 #[derive(Debug, Clone)]
 pub struct MovingObjectIndex<K> {
+    /// One entry per object: the union box of its slab boxes.
     tree: RStarTree<K>,
     planes: HashMap<K, (OPlane, Vec<Aabb3>)>,
     slab_minutes: f64,
+}
+
+/// Union box of a slab decomposition (empty for no boxes).
+fn union_of(boxes: &[Aabb3]) -> Aabb3 {
+    boxes.iter().fold(Aabb3::empty(), |a, b| a.union(b))
 }
 
 impl<K: Copy + Eq + Hash> Default for MovingObjectIndex<K> {
@@ -83,18 +97,59 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
     /// any) is left untouched.
     pub fn upsert(&mut self, key: K, plane: OPlane, route: &Route) -> Result<(), IndexError> {
         let boxes = plane.to_boxes(route, self.slab_minutes)?;
-        // Remove old boxes only after the new plane decomposed cleanly.
-        if let Some((_, old_boxes)) = self.planes.remove(&key) {
-            for b in &old_boxes {
-                let removed = self.tree.remove(b, &key);
-                debug_assert!(removed, "index out of sync: missing old box");
+        // Touch the old entry only after the new plane decomposed cleanly.
+        match self.planes.remove(&key) {
+            Some((_, old_boxes)) => {
+                let updated = self.tree.update(&union_of(&old_boxes), union_of(&boxes), &key);
+                debug_assert!(updated, "index out of sync: missing old entry");
             }
-        }
-        for b in &boxes {
-            self.tree.insert(*b, key);
+            None => self.tree.insert(union_of(&boxes), key),
         }
         self.planes.insert(key, (plane, boxes));
         Ok(())
+    }
+
+    /// Mirrors `src`'s entry for `key` into this index: the old boxes are
+    /// deleted and `src`'s current boxes inserted verbatim — the same
+    /// §4.2 delete+insert maintenance as [`MovingObjectIndex::upsert`],
+    /// but reusing `src`'s already-decomposed slab boxes instead of
+    /// re-decomposing the o-plane. Used by delta-applied shadow copies.
+    /// Returns `true` when `src` holds an entry for `key` (otherwise the
+    /// local entry, if any, was removed).
+    pub fn sync_entry_from(&mut self, src: &Self, key: &K) -> bool {
+        let old = self.planes.get(key).map(|(_, boxes)| union_of(boxes));
+        match src.planes.get(key) {
+            Some((plane, boxes)) => {
+                match old {
+                    Some(old_box) => {
+                        let updated = self.tree.update(&old_box, union_of(boxes), key);
+                        debug_assert!(updated, "index out of sync: missing entry on sync");
+                    }
+                    None => self.tree.insert(union_of(boxes), *key),
+                }
+                // clone_from reuses the displaced entry's heap buffers on
+                // the hot resync path.
+                match self.planes.entry(*key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let slot = e.get_mut();
+                        slot.0.clone_from(plane);
+                        slot.1.clone_from(boxes);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((plane.clone(), boxes.clone()));
+                    }
+                }
+                true
+            }
+            None => {
+                if let Some(old_box) = old {
+                    let removed = self.tree.remove(&old_box, key);
+                    debug_assert!(removed, "index out of sync: missing entry on sync");
+                    self.planes.remove(key);
+                }
+                false
+            }
+        }
     }
 
     /// Removes an object entirely (trip ended). Returns `true` when it was
@@ -102,10 +157,8 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
     pub fn remove(&mut self, key: &K) -> bool {
         match self.planes.remove(key) {
             Some((_, boxes)) => {
-                for b in &boxes {
-                    let removed = self.tree.remove(b, key);
-                    debug_assert!(removed, "index out of sync: missing box on remove");
-                }
+                let removed = self.tree.remove(&union_of(&boxes), key);
+                debug_assert!(removed, "index out of sync: missing entry on remove");
                 true
             }
             None => false,
@@ -126,36 +179,38 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
         (hits, stats)
     }
 
-    /// Appends the deduplicated candidates for `region` to `out` and
-    /// returns the search statistics. The caller owns (and typically
-    /// reuses) the buffer, so a hot query loop filters without allocating
-    /// a fresh vector per query; `&self` only, so any number of threads
-    /// may filter one immutable index concurrently.
+    /// Appends the candidates for `region` to `out` and returns the
+    /// search statistics. The tree prefilters on per-object union boxes;
+    /// an object only qualifies when one of its slab boxes intersects the
+    /// query box, so the candidate set equals what per-slab indexing
+    /// would produce (already deduplicated — one tree entry per object).
+    /// The caller owns (and typically reuses) the buffer, so a hot query
+    /// loop filters without allocating a fresh vector per query; `&self`
+    /// only, so any number of threads may filter one immutable index
+    /// concurrently.
     pub fn candidates_into(&self, region: &QueryRegion, out: &mut Vec<K>) -> SearchStats {
-        let start = out.len();
-        let stats = self
-            .tree
-            .for_each_with_stats(&region.aabb(), |k| out.push(*k));
-        // One object contributes one candidate even if several of its slab
-        // boxes intersect.
-        let mut seen = std::collections::HashSet::with_capacity(out.len() - start);
-        let mut write = start;
-        for read in start..out.len() {
-            let k = out[read];
-            if seen.insert(k) {
-                out[write] = k;
-                write += 1;
+        let query = region.aabb();
+        let planes = &self.planes;
+        self.tree.for_each_with_stats(&query, |k| {
+            if let Some((_, boxes)) = planes.get(k) {
+                if boxes.iter().any(|b| b.intersects(&query)) {
+                    out.push(*k);
+                }
             }
-        }
-        out.truncate(write);
-        stats
+        })
     }
 
     /// Candidates for a raw 3-D box (used by the benchmarks).
     pub fn candidates_for_box(&self, query: &Aabb3) -> Vec<K> {
-        let mut hits = self.tree.query_intersecting(query);
-        let mut seen = std::collections::HashSet::with_capacity(hits.len());
-        hits.retain(|k| seen.insert(*k));
+        let mut hits = Vec::new();
+        let planes = &self.planes;
+        self.tree.for_each_intersecting(query, |k| {
+            if let Some((_, boxes)) = planes.get(k) {
+                if boxes.iter().any(|b| b.intersects(query)) {
+                    hits.push(*k);
+                }
+            }
+        });
         hits
     }
 
@@ -232,10 +287,9 @@ mod tests {
         assert_eq!(idx.len(), 1);
         assert!(idx.candidates(&region(0.0, 5.0, 11.0)).is_empty());
         assert_eq!(idx.candidates(&region(78.0, 85.0, 11.0)), vec![1]);
-        // Tree holds only the new plane's boxes.
+        // One tree entry per object, covering only the new plane.
         let (entries, _, _) = idx.tree_stats();
-        let expected = idx.plane(&1).unwrap().to_boxes(&r, 5.0).unwrap().len();
-        assert_eq!(entries, expected);
+        assert_eq!(entries, 1);
     }
 
     #[test]
@@ -249,7 +303,7 @@ mod tests {
         assert_eq!(idx.len(), 1);
         assert!(idx.candidates(&region(0.0, 10.0, 2.0)).is_empty());
         let (entries, _, _) = idx.tree_stats();
-        assert!(entries > 0); // object 2's boxes remain
+        assert_eq!(entries, 1); // object 2's entry remains
     }
 
     #[test]
@@ -296,6 +350,29 @@ mod tests {
         // "Where will it be at t = 30?" Nominal arc 30.
         assert_eq!(idx.candidates(&region(25.0, 35.0, 30.0)), vec![1]);
         assert!(idx.candidates(&region(0.0, 3.0, 30.0)).is_empty());
+    }
+
+    #[test]
+    fn sync_entry_mirrors_source() {
+        let r = route();
+        let mut src = MovingObjectIndex::new(5.0);
+        src.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
+        src.upsert(2u64, plane(50.0, 0.0), &r).unwrap();
+        let mut shadow = src.clone();
+        // Source moves object 1 and drops object 2; the shadow mirrors
+        // entry-by-entry without re-decomposing.
+        src.upsert(1u64, plane(80.0, 10.0), &r).unwrap();
+        src.remove(&2);
+        assert!(shadow.sync_entry_from(&src, &1));
+        assert!(!shadow.sync_entry_from(&src, &2));
+        assert_eq!(shadow.len(), src.len());
+        assert_eq!(shadow.tree_stats().0, src.tree_stats().0);
+        for q in [region(78.0, 85.0, 11.0), region(0.0, 10.0, 2.0), region(45.0, 60.0, 2.0)] {
+            assert_eq!(shadow.candidates(&q), src.candidates(&q));
+        }
+        // Syncing an id neither side holds is a no-op.
+        assert!(!shadow.sync_entry_from(&src, &99));
+        assert_eq!(shadow.len(), 1);
     }
 
     #[test]

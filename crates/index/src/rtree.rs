@@ -228,9 +228,11 @@ impl<T: Clone + PartialEq> RStarTree<T> {
             Node::Internal(children) => {
                 let mut found_at = None;
                 for (i, (cb, child)) in children.iter_mut().enumerate() {
-                    if (cb.contains(bbox) || cb.intersects(bbox))
-                        && Self::remove_rec(child, bbox, value, orphans)
-                    {
+                    // A node's box is the union of its descendants', so any
+                    // ancestor of the exact entry *contains* its box —
+                    // descending merely intersecting children would search
+                    // every overlapping subtree.
+                    if cb.contains(bbox) && Self::remove_rec(child, bbox, value, orphans) {
                         found_at = Some(i);
                         break;
                     }
@@ -244,6 +246,56 @@ impl<T: Clone + PartialEq> RStarTree<T> {
                     children[i].0 = children[i].1.bbox();
                 }
                 true
+            }
+        }
+    }
+
+    /// Replaces the box of one `(old, value)` entry with `new`. When `new`
+    /// fits inside every node box on the entry's path, the entry is
+    /// rewritten in place — a single descent with no condensation, no
+    /// split, and no ancestor-box updates, which is the common case for
+    /// the §4.2 maintenance step (an object's refreshed o-plane largely
+    /// overlaps its old one). Otherwise falls back to remove+insert.
+    /// Returns `false` (and changes nothing) when no `(old, value)` entry
+    /// exists.
+    ///
+    /// Node boxes are left as-is on the in-place path, so they may cover
+    /// the removed `old` box a while longer — bounding boxes stay valid
+    /// covers, queries just prune marginally less until the region is
+    /// next restructured.
+    pub fn update(&mut self, old: &Aabb3, new: Aabb3, value: &T) -> bool {
+        if Self::update_rec(&mut self.root, old, &new, value) {
+            return true;
+        }
+        if self.remove(old, value) {
+            self.insert(new, value.clone());
+            return true;
+        }
+        false
+    }
+
+    /// In-place box rewrite: succeeds only along paths whose node boxes
+    /// contain both the old and the new box.
+    fn update_rec(node: &mut Node<T>, old: &Aabb3, new: &Aabb3, value: &T) -> bool {
+        match node {
+            Node::Leaf(entries) => {
+                if let Some(pos) = entries.iter().position(|(b, v)| b == old && v == value) {
+                    entries[pos].0 = *new;
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Internal(children) => {
+                for (cb, child) in children.iter_mut() {
+                    if cb.contains(old)
+                        && cb.contains(new)
+                        && Self::update_rec(child, old, new, value)
+                    {
+                        return true;
+                    }
+                }
+                false
             }
         }
     }

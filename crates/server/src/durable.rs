@@ -5,18 +5,26 @@
 //! database and the log, so the state in `dir` can always be rebuilt by
 //! [`DurableDatabase::open`] (or bare [`SharedDatabase::recover`]):
 //!
-//! - **Position updates** are logged *before* they are applied, accepted
-//!   or not — replay re-derives the same verdicts, and the log doubles
-//!   as a complete update-stream trace.
+//! - **Position updates** are applied first and logged immediately
+//!   after, accepted or not — replay re-derives the same verdicts, and
+//!   the log doubles as a complete update-stream trace. Apply-before-log
+//!   is the **watermark invariant** that makes online snapshots sound:
+//!   under the writer lock, every record with an assigned LSN is already
+//!   reflected in the in-memory state.
 //! - **Registrations, removals, and route insertions** are logged *after*
 //!   they succeed, so the log carries only mutations that actually
 //!   changed state.
-//! - **Snapshots** ([`DurableDatabase::snapshot`]) bound replay work;
-//!   they are quiescent-point operations — take them when no mutation is
-//!   in flight (shutdown, an operator REPL, between simulation phases).
-//!   Coordinated online snapshots are a roadmap item.
+//! - **Snapshots** ([`DurableDatabase::snapshot`]) bound replay work and
+//!   are **pause-free**: the watermark LSN is read under the writer
+//!   lock, the state is delta-synced into a private [`ShadowBuffer`]
+//!   copy under a brief read lock (O(changes) since the last snapshot),
+//!   and serialization runs with *no* database lock held — ingest and
+//!   queries proceed throughout. Replay from the watermark re-applies
+//!   any overlap idempotently (re-deliveries of an already-applied
+//!   update are no-ops; duplicate registrations re-reject).
 
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use modb_core::{Database, MovingObject, ObjectId, StationaryObject, UpdateMessage};
 use modb_routes::Route;
@@ -25,6 +33,7 @@ use modb_wal::{
 };
 
 use crate::ingest::IngestService;
+use crate::shadow::ShadowBuffer;
 use crate::shared::SharedDatabase;
 
 /// A shared database whose mutations are persisted to a directory of
@@ -34,6 +43,9 @@ pub struct DurableDatabase {
     db: SharedDatabase,
     wal: SharedWal,
     dir: PathBuf,
+    /// Delta-maintained copy reused across snapshots; the mutex also
+    /// serializes concurrent snapshot takers (clones share it).
+    shadow: Arc<Mutex<ShadowBuffer>>,
 }
 
 impl DurableDatabase {
@@ -53,6 +65,7 @@ impl DurableDatabase {
             db: SharedDatabase::new(db),
             wal: SharedWal::new(writer),
             dir,
+            shadow: Arc::new(Mutex::new(ShadowBuffer::new())),
         })
     }
 
@@ -75,6 +88,7 @@ impl DurableDatabase {
                 db: SharedDatabase::new(recovered.database),
                 wal: SharedWal::new(writer),
                 dir,
+                shadow: Arc::new(Mutex::new(ShadowBuffer::new())),
             },
             recovered.report,
         ))
@@ -152,35 +166,44 @@ impl DurableDatabase {
         Ok(obj)
     }
 
-    /// Applies a position update, logging the envelope *before* the
-    /// database sees it (accepted or not). For high-volume ingestion use
+    /// Applies a position update and logs the envelope immediately after
+    /// (accepted or not — the log stays a complete update-stream trace,
+    /// and replay re-derives the same verdicts). Apply-before-log keeps
+    /// the watermark invariant the pause-free snapshot relies on: a
+    /// record with an assigned LSN is never ahead of the in-memory
+    /// state. For high-volume ingestion use
     /// [`DurableDatabase::ingest_service`], which batches log writes per
     /// worker instead of locking the writer per update.
     ///
     /// # Errors
     ///
-    /// Log I/O failures ([`WalError::Io`]); database rejections
-    /// ([`WalError::Core`] — the envelope is still logged, mirroring
-    /// replay semantics).
+    /// Log I/O failures ([`WalError::Io`] — the update was applied but
+    /// not logged, like an ingest-service `wal_error`); database
+    /// rejections ([`WalError::Core`] — the envelope is still logged,
+    /// mirroring replay semantics).
     pub fn apply_update(&self, id: ObjectId, msg: &UpdateMessage) -> Result<(), WalError> {
+        let verdict = self.db.apply_update(id, msg);
         self.wal.append(&WalRecord::Update {
             id,
             msg: msg.clone(),
         })?;
-        self.db.apply_update(id, msg)?;
+        verdict?;
         Ok(())
     }
 
-    /// Takes a point-in-time snapshot: fsyncs the log, atomically writes
-    /// the full database state tagged with the current LSN, then compacts
-    /// the directory down to [`modb_wal::DEFAULT_SNAPSHOT_RETENTION`]
-    /// snapshots (deleting log segments every retained snapshot covers).
-    /// Returns the snapshot path.
+    /// Takes a pause-free point-in-time snapshot: fsyncs the log and
+    /// reads the watermark LSN under the writer lock, delta-syncs a
+    /// private shadow copy under a brief read lock (O(changes) since the
+    /// last snapshot), serializes it with **no database lock held**, then
+    /// compacts the directory down to
+    /// [`modb_wal::DEFAULT_SNAPSHOT_RETENTION`] snapshots (deleting log
+    /// segments every retained snapshot covers). Returns the snapshot
+    /// path.
     ///
-    /// Quiescent-point only: the caller must ensure no mutation is in
-    /// flight (an ingest service must be shut down or idle), otherwise an
-    /// update logged but not yet applied would be wrongly claimed by the
-    /// snapshot's high-water mark.
+    /// Safe while ingest is live: apply-before-log means every record
+    /// below the watermark is already in the state the shadow captures;
+    /// mutations racing past the watermark may also be captured, and
+    /// replay re-applies that overlap idempotently.
     ///
     /// # Errors
     ///
@@ -198,13 +221,28 @@ impl DurableDatabase {
     ///
     /// I/O failures.
     pub fn snapshot_with_retention(&self, retention: usize) -> Result<PathBuf, WalError> {
-        self.wal.with_writer(|w| {
+        // One snapshot at a time; queries and ingest never touch this
+        // mutex.
+        let mut shadow = self.shadow.lock().unwrap_or_else(|e| e.into_inner());
+        // Watermark: under the writer lock every assigned LSN is already
+        // applied (apply-before-log everywhere), so state captured after
+        // this point reflects at least every record below `lsn`.
+        let lsn = self.wal.with_writer(|w| -> Result<u64, WalError> {
             w.sync()?;
-            let lsn = w.next_lsn();
-            let path = self.db.with_read(|db| write_snapshot(&self.dir, db, lsn))?;
-            modb_wal::compact(&self.dir, retention)?;
-            Ok(path)
-        })
+            Ok(w.next_lsn())
+        })?;
+        // Brief read lock: pull the shadow copy forward by the change
+        // log. Ingest blocks only for this O(changes) sync.
+        let (state, report) = self.db.with_read(|src| shadow.refresh(src));
+        shadow.reap(); // any buffer the refresh retired drops lock-free
+        // Serialization runs unlocked — ingest and queries proceed.
+        let path = write_snapshot(&self.dir, &state, lsn)?;
+        shadow.store(state, report.cursor);
+        // Compaction under the writer lock so it cannot race a segment
+        // rotation.
+        self.wal
+            .with_writer(|_writer| modb_wal::compact(&self.dir, retention))?;
+        Ok(path)
     }
 }
 
@@ -445,6 +483,90 @@ mod tests {
                     expected.moving(ObjectId(i)).unwrap()
                 );
             }
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_proceeds_during_an_in_flight_snapshot() {
+        use modb_wal::FsyncPolicy;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let dir = tmp("online-snap");
+        let opts = WalOptions {
+            fsync: FsyncPolicy::Never,
+            ..WalOptions::default()
+        };
+        let durable = DurableDatabase::create(&dir, fresh_db(), opts).unwrap();
+        for i in 1..=4000u64 {
+            durable.register_moving(vehicle(i, (i % 90) as f64)).unwrap();
+        }
+        // Warm-up snapshot so the in-flight one below also exercises the
+        // delta-synced shadow path.
+        durable.snapshot().unwrap();
+
+        // Serializing 4000 objects holds no database lock, so the writer
+        // loop below must land updates strictly inside the snapshot
+        // window. The outer loop re-takes the snapshot in the (unlikely)
+        // event the scheduler never interleaved the two threads.
+        let in_flight = Arc::new(AtomicBool::new(false));
+        let mut updates_during_snapshot = 0u64;
+        let mut t = 1.0f64;
+        for _attempt in 0..20 {
+            std::thread::scope(|s| {
+                let snapper = {
+                    let durable = durable.clone();
+                    let in_flight = Arc::clone(&in_flight);
+                    s.spawn(move || {
+                        in_flight.store(true, Ordering::SeqCst);
+                        let path = durable.snapshot().unwrap();
+                        in_flight.store(false, Ordering::SeqCst);
+                        path
+                    })
+                };
+                while !in_flight.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                while in_flight.load(Ordering::SeqCst) {
+                    t += 0.001;
+                    durable
+                        .apply_update(
+                            ObjectId(1),
+                            &UpdateMessage::basic(
+                                t,
+                                UpdatePosition::Arc(20.0 + (t % 50.0)),
+                                0.9,
+                            ),
+                        )
+                        .unwrap();
+                    updates_during_snapshot += 1;
+                }
+                assert!(snapper.join().unwrap().exists());
+            });
+            if updates_during_snapshot > 0 {
+                break;
+            }
+        }
+        assert!(
+            updates_during_snapshot > 0,
+            "ingest never progressed while a snapshot was in flight"
+        );
+
+        // Crash (drop) and recover: replay resumes from the watermark and
+        // converges with the live state, including updates that raced the
+        // serialization (the overlap re-applies idempotently).
+        let expected = durable.database().with_read(|db| db.clone());
+        drop(durable);
+        let (reopened, report) = DurableDatabase::open(&dir, WalOptions::default()).unwrap();
+        assert!(report.snapshot_lsn > 0, "recovery starts from a snapshot");
+        reopened.database().with_read(|db| {
+            assert_eq!(db.moving_count(), expected.moving_count());
+            assert_eq!(
+                db.moving(ObjectId(1)).unwrap(),
+                expected.moving(ObjectId(1)).unwrap()
+            );
+            assert_eq!(db.history_of(ObjectId(1)), expected.history_of(ObjectId(1)));
         });
         std::fs::remove_dir_all(&dir).unwrap();
     }

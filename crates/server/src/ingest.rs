@@ -12,12 +12,15 @@
 //!
 //! **Durability.** A service spawned with
 //! [`IngestService::spawn_with_wal`] logs every envelope to the
-//! write-ahead log *before* applying it. Each worker frames records into
-//! a private [`modb_wal::WalBatch`] (no lock, no I/O) and hands the batch
-//! to the shared writer every [`WAL_BATCH_RECORDS`] envelopes and at
-//! drain, so the WAL mutex is touched once per batch, not once per
-//! update. Rejected updates are logged too: replay re-derives the same
-//! verdicts, and the log doubles as a complete update-stream trace.
+//! write-ahead log. Each worker frames the record into a private
+//! [`modb_wal::WalBatch`] (no lock, no I/O), applies the update, and
+//! hands the batch to the shared writer every [`WAL_BATCH_RECORDS`]
+//! envelopes and at drain, so the WAL mutex is touched once per batch,
+//! not once per update. Apply-before-flush means a record never receives
+//! an LSN ahead of the in-memory state — the watermark invariant behind
+//! [`crate::DurableDatabase`]'s pause-free snapshots. Rejected updates
+//! are logged too: replay re-derives the same verdicts, and the log
+//! doubles as a complete update-stream trace.
 //!
 //! Rejections (stale timestamps after a vehicle reboot, off-route fixes,
 //! unknown objects) are normal radio-network operation — counted by
@@ -237,8 +240,10 @@ impl IngestService {
     }
 
     /// Like [`IngestService::spawn`], but every envelope is appended to
-    /// `wal` (buffered per worker, flushed every [`WAL_BATCH_RECORDS`]
-    /// envelopes and at drain) *before* it is applied to the database.
+    /// `wal` (framed per worker before the update is applied, flushed to
+    /// the shared writer every [`WAL_BATCH_RECORDS`] envelopes and at
+    /// drain — always after application, preserving the snapshot
+    /// watermark invariant).
     pub fn spawn_with_wal(
         db: SharedDatabase,
         wal: SharedWal,
@@ -265,16 +270,21 @@ impl IngestService {
             workers.push(std::thread::spawn(move || {
                 let mut batch = WalBatch::new();
                 let mut apply = |env: UpdateEnvelope| {
-                    if let Some(wal) = &wal {
-                        // Log before apply. The frame sits in this
-                        // worker's private batch until the batch is
-                        // handed to the shared writer; a crash loses the
-                        // batch *and* the in-memory state together, so
-                        // the log never trails what it claims to cover.
+                    if wal.is_some() {
+                        // Frame first (no lock, no I/O) so the batch and
+                        // the in-memory state stay in lockstep — a crash
+                        // loses both together.
                         batch.push(&WalRecord::Update {
                             id: env.id,
                             msg: env.msg.clone(),
                         });
+                    }
+                    stats.record(&db.apply_update(env.id, &env.msg));
+                    // Flush only after applying: a record never gets an
+                    // LSN before its update is in the database, which is
+                    // the watermark invariant the pause-free snapshot
+                    // path relies on.
+                    if let Some(wal) = &wal {
                         if batch.records() >= WAL_BATCH_RECORDS
                             && wal.append_batch(&mut batch).is_err()
                         {
@@ -282,7 +292,6 @@ impl IngestService {
                             batch.clear();
                         }
                     }
-                    stats.record(&db.apply_update(env.id, &env.msg));
                 };
                 for job in rx.iter() {
                     match job {

@@ -12,10 +12,15 @@
 //!   per-object FIFO ordering, plus per-reason accepted/rejected counters —
 //!   rejected messages (stale, off-route, unknown sender) are radio-network
 //!   business as usual. Spawned with a `modb-wal` writer, the workers log
-//!   every envelope before applying it.
+//!   every envelope (batched, flushed after application so the WAL
+//!   watermark never runs ahead of the state).
+//! - [`ShadowBuffer`]: a delta-maintained shadow copy of the database —
+//!   the consumer side of `modb-core`'s change-log subscription, reused
+//!   by the epoch publisher and the pause-free snapshot path.
 //! - [`DurableDatabase`]: the durable deployment shape — a shared database
-//!   whose mutations are write-ahead logged, with snapshots and crash
-//!   recovery ([`DurableDatabase::open`] / [`SharedDatabase::recover`]).
+//!   whose mutations are write-ahead logged, with pause-free snapshots
+//!   (serialization holds no database lock) and crash recovery
+//!   ([`DurableDatabase::open`] / [`SharedDatabase::recover`]).
 //! - [`QueryEngine`]: epoch-based snapshot reads plus a parallel query
 //!   executor — queries run lock-free against a recently published
 //!   immutable snapshot, batches and large refines fan out across a fixed
@@ -28,6 +33,7 @@
 mod durable;
 mod ingest;
 mod query_engine;
+mod shadow;
 mod shared;
 
 pub use durable::DurableDatabase;
@@ -39,4 +45,5 @@ pub use query_engine::{
     BatchRequest, EpochSnapshot, QueryEngine, QueryEngineConfig, QueryStats,
     QueryStatsSnapshot,
 };
+pub use shadow::ShadowBuffer;
 pub use shared::SharedDatabase;

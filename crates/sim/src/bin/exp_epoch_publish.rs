@@ -1,0 +1,37 @@
+//! W3: epoch publication cost — full-clone publisher vs the change-log
+//! delta publisher, at 0.1% / 1% / 10% fleet churn between epochs.
+//!
+//! Usage: `exp_epoch_publish [n_objects] [grid] [rounds]`
+//! (defaults: 10000 objects on a 20x20 grid, 30 timed publishes per
+//! cell; churn levels are derived as 0.1%, 1% and 10% of the fleet).
+
+use modb_sim::experiments::epoch_publish::{epoch_publish_table, run_epoch_publish};
+
+fn arg_or(args: &mut impl Iterator<Item = String>, name: &str, default: usize) -> usize {
+    match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a positive integer, got {a:?}");
+            eprintln!("usage: exp_epoch_publish [n_objects] [grid] [rounds]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_objects = arg_or(&mut args, "n_objects", 10_000).max(10);
+    let grid = arg_or(&mut args, "grid", 20);
+    let rounds = arg_or(&mut args, "rounds", 30).max(1);
+    let churn_levels = [
+        (n_objects / 1000).max(1),
+        (n_objects / 100).max(1),
+        (n_objects / 10).max(1),
+    ];
+    eprintln!(
+        "running epoch-publish experiment: {n_objects} objects on a {grid}x{grid} grid, \
+         churn {churn_levels:?}, {rounds} publishes per cell"
+    );
+    let rows = run_epoch_publish(n_objects, grid, &churn_levels, rounds);
+    println!("{}", epoch_publish_table(n_objects, &rows));
+}

@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod bound_shape;
 pub mod cost_rate_curve;
+pub mod epoch_publish;
 pub mod example1;
 pub mod indexing;
 pub mod policy_sweep;

@@ -397,6 +397,7 @@ impl WalCodec for DatabaseConfig {
         put_f64(out, self.slab_minutes);
         put_f64(out, self.refinement_dt);
         put_u64(out, self.history_capacity as u64);
+        put_u64(out, self.change_log_capacity as u64);
     }
 
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
@@ -406,6 +407,7 @@ impl WalCodec for DatabaseConfig {
             slab_minutes: r.f64()?,
             refinement_dt: r.f64()?,
             history_capacity: r.u64()? as usize,
+            change_log_capacity: r.u64()? as usize,
         })
     }
 }
@@ -533,6 +535,7 @@ mod tests {
             slab_minutes: 2.0,
             refinement_dt: 0.5,
             history_capacity: 7,
+            change_log_capacity: 64,
         });
     }
 

@@ -23,6 +23,14 @@
 //! and the static route network, and the log preserves per-object order,
 //! so an update the live system rejected is rejected again on replay
 //! (and counted in [`RecoveryReport::rejected`]).
+//!
+//! Replay also tolerates *overlap*: a pause-free snapshot may capture
+//! mutations at or past its watermark LSN, so those records get replayed
+//! against state that already contains them. Re-delivering an applied
+//! update is a no-op in `Database::apply_update` (identical attribute),
+//! older ones re-reject as stale, and duplicate registrations / removals
+//! re-reject — state and history converge to the live outcome either
+//! way.
 
 use std::fmt;
 use std::path::{Path, PathBuf};

@@ -34,8 +34,9 @@ use crate::error::WalError;
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MODBSNP1";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added
+/// `DatabaseConfig::change_log_capacity` to the config codec.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// File name for the snapshot taken at `lsn` (zero-padded so
 /// lexicographic order equals LSN order).
@@ -115,10 +116,13 @@ fn sync_dir(dir: &Path) -> Result<(), WalError> {
 /// path. An existing snapshot at the same LSN is replaced — the content
 /// is necessarily identical.
 ///
-/// The caller is responsible for quiescence: `lsn` must be the writer's
-/// `next_lsn` with no in-flight mutations, so that the snapshot reflects
-/// exactly the records below `lsn` (see `SharedDatabase::save_snapshot`
-/// in `modb-server` for the coordinated path).
+/// Watermark contract: `db` must reflect **at least** every record with
+/// `lsn < snapshot_lsn` — capturing later mutations too is fine, because
+/// replay from the watermark re-applies the overlap idempotently
+/// (re-delivered updates are no-ops, duplicate registrations re-reject).
+/// `DurableDatabase::snapshot` in `modb-server` establishes this by
+/// applying mutations before logging them and reading `next_lsn` under
+/// the writer lock before capturing state.
 ///
 /// # Errors
 ///
