@@ -24,7 +24,7 @@ use modb_core::{
 use modb_policy::BoundKind;
 use modb_query::QueryResult;
 use modb_routes::{generators, Direction};
-use modb_server::{QueryEngine, QueryEngineConfig, SharedDatabase};
+use modb_server::{QueryEngine, QueryEngineConfig, ReplicaConfig, SharedDatabase, StandbyReplica};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,7 +38,9 @@ queries:
   RETRIEVE k NEAREST OBJECTS TO POINT (x, y) AT TIME t
   (separate several statements with `;` to run them as one batch)
 commands:  \\h help   \\q quit   \\epoch publish snapshot + stats
-           \\save <dir> snapshot state   \\load <dir> recover state";
+           \\save <dir> snapshot state   \\load <dir> recover state
+           \\replica <addr> <dir> follow a leader (queries move to the replica)
+           \\replica show lag/watermark stats   \\replica stop detach";
 
 fn demo_fleet() -> SharedDatabase {
     let network = generators::grid_network(10, 10, 1.0, 0).expect("valid grid");
@@ -166,6 +168,7 @@ fn console_engine(db: &SharedDatabase) -> QueryEngine {
 fn main() {
     let mut db = demo_fleet();
     let mut engine = console_engine(&db);
+    let mut replica: Option<StandbyReplica> = None;
     println!(
         "modb console — {} vehicles on a 10x10-mile grid. \\h for help.",
         db.moving_count()
@@ -193,6 +196,46 @@ fn main() {
                 let epoch = engine.publish_now();
                 println!("  published epoch {epoch}");
                 println!("  {}", engine.stats());
+                continue;
+            }
+            cmd if cmd.starts_with("\\replica") => {
+                let args: Vec<&str> = cmd
+                    .strip_prefix("\\replica")
+                    .unwrap_or("")
+                    .split_whitespace()
+                    .collect();
+                match args.as_slice() {
+                    [] => match &replica {
+                        Some(r) => println!("  {}", r.stats()),
+                        None => println!("  no replica attached — \\replica <addr> <dir>"),
+                    },
+                    ["stop"] => match replica.take() {
+                        Some(r) => println!("  detached: {}", r.shutdown()),
+                        None => println!("  no replica attached"),
+                    },
+                    [addr, dir] => {
+                        if let Some(r) = replica.take() {
+                            println!("  detached: {}", r.shutdown());
+                        }
+                        match StandbyReplica::open(
+                            std::path::Path::new(dir),
+                            addr.to_string(),
+                            ReplicaConfig::default(),
+                        ) {
+                            Ok(r) => {
+                                db = r.database().clone();
+                                engine = console_engine(&db);
+                                println!(
+                                    "  following {addr} into {dir}; queries now run on the \
+                                     replica (\\epoch publishes its latest applied state)"
+                                );
+                                replica = Some(r);
+                            }
+                            Err(e) => println!("  error: {e}"),
+                        }
+                    }
+                    _ => println!("  usage: \\replica [<addr> <dir> | stop]"),
+                }
                 continue;
             }
             cmd if cmd.starts_with("\\save") => {

@@ -33,6 +33,7 @@ use modb_wal::{
 };
 
 use crate::ingest::IngestService;
+use crate::replication::ShipHorizon;
 use crate::shadow::ShadowBuffer;
 use crate::shared::SharedDatabase;
 
@@ -46,6 +47,9 @@ pub struct DurableDatabase {
     /// Delta-maintained copy reused across snapshots; the mutex also
     /// serializes concurrent snapshot takers (clones share it).
     shadow: Arc<Mutex<ShadowBuffer>>,
+    /// Per-follower acknowledged LSNs; their minimum is the ship barrier
+    /// the post-snapshot compaction pass respects.
+    horizon: Arc<ShipHorizon>,
 }
 
 impl DurableDatabase {
@@ -66,6 +70,7 @@ impl DurableDatabase {
             wal: SharedWal::new(writer),
             dir,
             shadow: Arc::new(Mutex::new(ShadowBuffer::new())),
+            horizon: Arc::new(ShipHorizon::new()),
         })
     }
 
@@ -89,6 +94,7 @@ impl DurableDatabase {
                 wal: SharedWal::new(writer),
                 dir,
                 shadow: Arc::new(Mutex::new(ShadowBuffer::new())),
+                horizon: Arc::new(ShipHorizon::new()),
             },
             recovered.report,
         ))
@@ -107,6 +113,13 @@ impl DurableDatabase {
     /// The durability directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The replication horizon: connected followers' acknowledged LSNs,
+    /// whose minimum caps how far compaction may delete log (see
+    /// [`DurableDatabase::serve_replication`]).
+    pub fn ship_horizon(&self) -> &Arc<ShipHorizon> {
+        &self.horizon
     }
 
     /// Spawns a WAL-backed ingest service over this database (see
@@ -239,9 +252,12 @@ impl DurableDatabase {
         let path = write_snapshot(&self.dir, &state, lsn)?;
         shadow.store(state, report.cursor);
         // Compaction under the writer lock so it cannot race a segment
-        // rotation.
-        self.wal
-            .with_writer(|_writer| modb_wal::compact(&self.dir, retention))?;
+        // rotation. The ship barrier (minimum acknowledged LSN across
+        // connected replication followers) caps segment deletion so a
+        // slow-but-live follower is never orphaned mid-stream.
+        self.wal.with_writer(|_writer| {
+            modb_wal::compact_with_barrier(&self.dir, retention, self.horizon.min())
+        })?;
         Ok(path)
     }
 }

@@ -27,12 +27,21 @@
 //!   worker pool, and [`QueryStats`] tracks per-epoch counts and latency
 //!   percentiles (see the `query_engine` module docs for the staleness /
 //!   imprecision argument).
+//! - **Replication** ([`DurableDatabase::serve_replication`] /
+//!   [`StandbyReplica`]): the leader ships its WAL (bootstrap snapshot +
+//!   streamed segments) over a CRC-framed socket protocol to warm standby
+//!   followers, which replay it through the recovery seam into their own
+//!   database + query engine; follower acknowledgements form the
+//!   [`ShipHorizon`] compaction barrier, and replication lag prices into
+//!   the paper's deviation bound as `D·dt` (see the `replication` module
+//!   docs).
 
 #![warn(missing_docs)]
 
 mod durable;
 mod ingest;
 mod query_engine;
+mod replication;
 mod shadow;
 mod shared;
 
@@ -44,6 +53,10 @@ pub use ingest::{
 pub use query_engine::{
     BatchRequest, EpochSnapshot, QueryEngine, QueryEngineConfig, QueryStats,
     QueryStatsSnapshot,
+};
+pub use replication::{
+    ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicationConfig, ReplicationServer,
+    ReplicationStatsSnapshot, ShipHorizon, StandbyReplica,
 };
 pub use shadow::ShadowBuffer;
 pub use shared::SharedDatabase;

@@ -1,0 +1,640 @@
+//! The warm standby: a [`StandbyReplica`] connects to a leader, replays
+//! its WAL stream into a local [`SharedDatabase`] (through the same
+//! [`modb_wal::apply_record`] seam recovery uses), and persists what it
+//! applies to its own durability directory so a restart resumes from the
+//! local snapshot + cursor instead of re-bootstrapping.
+//!
+//! State machine (one worker thread):
+//!
+//! ```text
+//! Connecting ──connect──▶ Bootstrapping ──Snapshot──▶ CatchingUp
+//!     ▲                        │ (skipped when local state resumes)
+//!     │                        ▼
+//!     └──── disconnect ──── CatchingUp ◀──lag──▶ Steady
+//! ```
+//!
+//! Every hazard resolves to "reject and re-sync, never apply a torn
+//! record": a `Records` run is decoded with [`modb_wal::decode_frames`]
+//! and applied only if it is clean, complete, and contiguous with the
+//! applied watermark; duplicates below the watermark are skipped
+//! (idempotent re-delivery); anything else ends the session and the next
+//! `Hello` renegotiates from the watermark.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use modb_core::{Database, DatabaseConfig};
+use modb_routes::{Route, RouteNetwork};
+use modb_wal::snapshot::snapshot_file_name;
+use modb_wal::{
+    apply_record, decode_frames, list_segments, list_snapshots, read_snapshot, write_snapshot,
+    FrameEnd, WalError, WalOptions, WalWriter, DEFAULT_SNAPSHOT_RETENTION,
+};
+
+use crate::replication::protocol::{
+    send_message, FrameReader, Message, ReadEvent, PROTOCOL_VERSION,
+};
+use crate::shared::SharedDatabase;
+
+/// Tuning for a [`StandbyReplica`].
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Options for the replica's own log (what it applies, it persists).
+    pub wal: WalOptions,
+    /// Pause between reconnect attempts.
+    pub reconnect_backoff: Duration,
+    /// Socket read timeout (the granularity at which shutdown and
+    /// forced reconnects are noticed).
+    pub read_timeout: Duration,
+    /// Take a local snapshot every this many applied records (0 = only
+    /// the bootstrap snapshot). Local snapshots bound restart replay and
+    /// feed the local compaction pass.
+    pub snapshot_every: u64,
+    /// Snapshot retention for the local compaction pass.
+    pub snapshot_retention: usize,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            wal: WalOptions::default(),
+            reconnect_backoff: Duration::from_millis(25),
+            read_timeout: Duration::from_millis(10),
+            snapshot_every: 0,
+            snapshot_retention: DEFAULT_SNAPSHOT_RETENTION,
+        }
+    }
+}
+
+/// Where a replica is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaPhase {
+    /// Not connected; dialing the leader.
+    Connecting,
+    /// Connected without local state; waiting for a bootstrap snapshot.
+    Bootstrapping,
+    /// Applying a backlog; the watermark is behind the leader frontier.
+    CatchingUp,
+    /// At (or within one heartbeat of) the leader frontier.
+    Steady,
+}
+
+impl ReplicaPhase {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ReplicaPhase::Connecting,
+            1 => ReplicaPhase::Bootstrapping,
+            2 => ReplicaPhase::CatchingUp,
+            _ => ReplicaPhase::Steady,
+        }
+    }
+}
+
+impl fmt::Display for ReplicaPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplicaPhase::Connecting => "connecting",
+            ReplicaPhase::Bootstrapping => "bootstrapping",
+            ReplicaPhase::CatchingUp => "catching-up",
+            ReplicaPhase::Steady => "steady",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Default)]
+struct ReplicaStats {
+    connects: AtomicU64,
+    bootstraps: AtomicU64,
+    resyncs: AtomicU64,
+    rejected_messages: AtomicU64,
+    records_applied: AtomicU64,
+    records_skipped: AtomicU64,
+    snapshots_taken: AtomicU64,
+}
+
+/// Point-in-time view of a replica's progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatsSnapshot {
+    /// The applied watermark: every record with `lsn <` this is in the
+    /// local database (and local log).
+    pub applied_lsn: u64,
+    /// The leader frontier from the last heartbeat (0 before the first).
+    pub leader_lsn: u64,
+    /// `leader_lsn − applied_lsn` (saturating): staleness in records.
+    pub lag_records: u64,
+    /// Current lifecycle phase.
+    pub phase: ReplicaPhase,
+    /// Successful connections.
+    pub connects: u64,
+    /// Full snapshot bootstraps (0 after a warm restart that resumed).
+    pub bootstraps: u64,
+    /// Sessions ended early to renegotiate (fault or protocol reject).
+    pub resyncs: u64,
+    /// Messages rejected without being applied (torn runs, bad CRCs
+    /// surface as resyncs; this counts semantic rejects).
+    pub rejected_messages: u64,
+    /// Records applied to the local state.
+    pub records_applied: u64,
+    /// Duplicate records below the watermark skipped idempotently.
+    pub records_skipped: u64,
+    /// Local snapshots taken past bootstrap.
+    pub snapshots_taken: u64,
+}
+
+impl fmt::Display for ReplicaStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replica: {} @ lsn {} (leader {}, lag {}), {} connect(s), \
+             {} bootstrap(s), {} resync(s), {} applied / {} skipped / {} rejected",
+            self.phase,
+            self.applied_lsn,
+            self.leader_lsn,
+            self.lag_records,
+            self.connects,
+            self.bootstraps,
+            self.resyncs,
+            self.records_applied,
+            self.records_skipped,
+            self.rejected_messages,
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    applied: Mutex<u64>,
+    applied_cv: Condvar,
+    leader_lsn: AtomicU64,
+    phase: AtomicU8,
+    stop: AtomicBool,
+    force_reconnect: AtomicUsize,
+    stats: ReplicaStats,
+}
+
+impl Shared {
+    fn set_applied(&self, lsn: u64) {
+        let mut g = self.applied.lock().unwrap_or_else(|e| e.into_inner());
+        *g = lsn;
+        self.applied_cv.notify_all();
+    }
+
+    fn applied(&self) -> u64 {
+        *self.applied.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn set_phase(&self, phase: ReplicaPhase) {
+        self.phase.store(phase as u8, Ordering::SeqCst);
+    }
+}
+
+/// A warm standby follower of one leader. See the module docs for the
+/// state machine; see [`crate::DurableDatabase::serve_replication`] for
+/// the other end.
+#[derive(Debug)]
+pub struct StandbyReplica {
+    db: SharedDatabase,
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl StandbyReplica {
+    /// Opens (or resumes) a replica in `dir` following the leader at
+    /// `addr`. A directory holding a usable snapshot is recovered
+    /// locally first — the session then resumes from the recovered
+    /// watermark instead of re-bootstrapping. A fresh directory starts
+    /// empty and waits for the leader's bootstrap snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Local recovery failures (see [`modb_wal::recover`]); directory
+    /// creation failures.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        addr: impl Into<String>,
+        config: ReplicaConfig,
+    ) -> Result<Self, WalError> {
+        let dir = dir.into();
+        let addr = addr.into();
+        std::fs::create_dir_all(&dir)?;
+        let have_state = !list_snapshots(&dir)?.is_empty();
+        let (db, wal, applied) = if have_state {
+            let recovered = modb_wal::recover(&dir)?;
+            let writer = WalWriter::resume(&dir, config.wal.clone(), recovered.report.next_lsn)?;
+            (
+                recovered.database,
+                Some(writer),
+                recovered.report.next_lsn,
+            )
+        } else {
+            (placeholder_database(), None, 0)
+        };
+        let db = SharedDatabase::new(db);
+        let shared = Arc::new(Shared {
+            applied: Mutex::new(applied),
+            applied_cv: Condvar::new(),
+            leader_lsn: AtomicU64::new(0),
+            phase: AtomicU8::new(ReplicaPhase::Connecting as u8),
+            stop: AtomicBool::new(false),
+            force_reconnect: AtomicUsize::new(0),
+            stats: ReplicaStats::default(),
+        });
+        let worker = {
+            let db = db.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                Worker {
+                    dir,
+                    addr,
+                    config,
+                    db,
+                    shared,
+                    wal,
+                }
+                .run()
+            })
+        };
+        Ok(StandbyReplica {
+            db,
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    /// The replica's queryable database handle. Reads here see the
+    /// applied watermark — a position answer is as stale as the
+    /// replication lag, which widens the paper's deviation bound by at
+    /// most `D·dt` (DESIGN.md §10).
+    pub fn database(&self) -> &SharedDatabase {
+        &self.db
+    }
+
+    /// The applied watermark: every record with `lsn <` this is in the
+    /// local state.
+    pub fn applied_lsn(&self) -> u64 {
+        self.shared.applied()
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> ReplicaPhase {
+        ReplicaPhase::from_u8(self.shared.phase.load(Ordering::SeqCst))
+    }
+
+    /// Blocks until the applied watermark reaches `lsn` or the timeout
+    /// elapses; `true` when reached.
+    pub fn wait_for_lsn(&self, lsn: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self
+            .shared
+            .applied
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while *g < lsn {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (ng, _timeout) = self
+                .shared
+                .applied_cv
+                .wait_timeout(g, left)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+        }
+        true
+    }
+
+    /// Drops the current session (if any); the worker reconnects and
+    /// renegotiates from the applied watermark. Test hook for
+    /// disconnect-fault injection, harmless in production.
+    pub fn force_reconnect(&self) {
+        self.shared.force_reconnect.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Current progress counters.
+    pub fn stats(&self) -> ReplicaStatsSnapshot {
+        let applied_lsn = self.shared.applied();
+        let leader_lsn = self.shared.leader_lsn.load(Ordering::SeqCst);
+        let s = &self.shared.stats;
+        ReplicaStatsSnapshot {
+            applied_lsn,
+            leader_lsn,
+            lag_records: leader_lsn.saturating_sub(applied_lsn),
+            phase: self.phase(),
+            connects: s.connects.load(Ordering::Relaxed),
+            bootstraps: s.bootstraps.load(Ordering::Relaxed),
+            resyncs: s.resyncs.load(Ordering::Relaxed),
+            rejected_messages: s.rejected_messages.load(Ordering::Relaxed),
+            records_applied: s.records_applied.load(Ordering::Relaxed),
+            records_skipped: s.records_skipped.load(Ordering::Relaxed),
+            snapshots_taken: s.snapshots_taken.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the worker, closes the session, and returns the final
+    /// stats. The local directory keeps the applied state — a later
+    /// [`StandbyReplica::open`] resumes from it.
+    pub fn shutdown(mut self) -> ReplicaStatsSnapshot {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StandbyReplica {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// A replica with no state yet: an empty network, default config. The
+/// bootstrap snapshot replaces all of it (network, config, objects).
+fn placeholder_database() -> Database {
+    let network =
+        RouteNetwork::from_routes(Vec::<Route>::new()).expect("empty network is valid");
+    Database::new(network, DatabaseConfig::default())
+}
+
+/// Why a session ended (all roads lead back to Connecting).
+enum SessionEnd {
+    /// Stop flag observed — unwind the worker.
+    Shutdown,
+    /// Connection closed or forced; reconnect and resume.
+    Disconnected,
+    /// Protocol violation, torn run, or local apply/log failure —
+    /// reconnect and renegotiate (counted as a resync).
+    Resync,
+}
+
+struct Worker {
+    dir: PathBuf,
+    addr: String,
+    config: ReplicaConfig,
+    db: SharedDatabase,
+    shared: Arc<Shared>,
+    wal: Option<WalWriter>,
+}
+
+impl Worker {
+    fn run(mut self) {
+        let mut last_snapshot_lsn = self.shared.applied();
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            self.shared.set_phase(ReplicaPhase::Connecting);
+            let stream = match std::net::TcpStream::connect(&self.addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    self.backoff();
+                    continue;
+                }
+            };
+            self.shared.stats.connects.fetch_add(1, Ordering::Relaxed);
+            match self.session(stream, &mut last_snapshot_lsn) {
+                SessionEnd::Shutdown => break,
+                SessionEnd::Disconnected => self.backoff(),
+                SessionEnd::Resync => {
+                    self.shared.stats.resyncs.fetch_add(1, Ordering::Relaxed);
+                    self.backoff();
+                }
+            }
+        }
+    }
+
+    fn backoff(&self) {
+        // Sliced sleep so shutdown is prompt even with long backoffs.
+        let deadline = Instant::now() + self.config.reconnect_backoff;
+        while Instant::now() < deadline && !self.shared.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn session(&mut self, stream: std::net::TcpStream, last_snapshot_lsn: &mut u64) -> SessionEnd {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let mut tx = match stream.try_clone() {
+            Ok(tx) => tx,
+            Err(_) => return SessionEnd::Disconnected,
+        };
+        let reconnect_epoch = self.shared.force_reconnect.load(Ordering::SeqCst);
+        let hello = Message::Hello {
+            version: PROTOCOL_VERSION,
+            next_lsn: self.shared.applied(),
+            have_state: self.wal.is_some(),
+        };
+        if send_message(&mut tx, &hello).is_err() {
+            return SessionEnd::Disconnected;
+        }
+        self.shared.set_phase(if self.wal.is_some() {
+            ReplicaPhase::CatchingUp
+        } else {
+            ReplicaPhase::Bootstrapping
+        });
+        let mut reader = FrameReader::new(stream);
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return SessionEnd::Shutdown;
+            }
+            if self.shared.force_reconnect.load(Ordering::SeqCst) != reconnect_epoch {
+                return SessionEnd::Disconnected;
+            }
+            match reader.poll() {
+                Ok(ReadEvent::Message(msg)) => {
+                    match self.handle(msg, &mut tx, last_snapshot_lsn) {
+                        Ok(()) => {}
+                        Err(end) => return end,
+                    }
+                }
+                Ok(ReadEvent::Idle) => continue,
+                Ok(ReadEvent::Closed) => return SessionEnd::Disconnected,
+                // Framing lost (bad length / CRC / undecodable message):
+                // drop the connection and renegotiate.
+                Err(_) => return SessionEnd::Resync,
+            }
+        }
+    }
+
+    fn handle(
+        &mut self,
+        msg: Message,
+        tx: &mut std::net::TcpStream,
+        last_snapshot_lsn: &mut u64,
+    ) -> Result<(), SessionEnd> {
+        match msg {
+            Message::Snapshot { lsn, bytes } => self.bootstrap(lsn, &bytes, tx, last_snapshot_lsn),
+            Message::Records {
+                start_lsn,
+                count,
+                frames,
+            } => self.apply_run(start_lsn, count, &frames, tx, last_snapshot_lsn),
+            Message::Heartbeat { leader_next_lsn } => {
+                self.shared
+                    .leader_lsn
+                    .store(leader_next_lsn, Ordering::SeqCst);
+                let applied = self.shared.applied();
+                if self.wal.is_some() {
+                    self.shared.set_phase(if applied >= leader_next_lsn {
+                        ReplicaPhase::Steady
+                    } else {
+                        ReplicaPhase::CatchingUp
+                    });
+                }
+                self.ack(tx, applied)
+            }
+            // Leaders never send Hello or Ack.
+            Message::Hello { .. } | Message::Ack { .. } => {
+                self.reject();
+                Err(SessionEnd::Resync)
+            }
+        }
+    }
+
+    fn ack(&self, tx: &mut std::net::TcpStream, applied_lsn: u64) -> Result<(), SessionEnd> {
+        send_message(tx, &Message::Ack { applied_lsn }).map_err(|_| SessionEnd::Disconnected)
+    }
+
+    fn reject(&self) {
+        self.shared
+            .stats
+            .rejected_messages
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Installs a bootstrap snapshot: validate, persist atomically, wipe
+    /// the stale local log, restart the local writer at the snapshot
+    /// LSN, and swap the in-memory database under the shared handle.
+    fn bootstrap(
+        &mut self,
+        lsn: u64,
+        bytes: &[u8],
+        tx: &mut std::net::TcpStream,
+        last_snapshot_lsn: &mut u64,
+    ) -> Result<(), SessionEnd> {
+        let tmp = self.dir.join("incoming.snap.tmp");
+        let install = (|| -> Result<Database, WalError> {
+            std::fs::write(&tmp, bytes)?;
+            // The snapshot file self-validates (magic, version, CRC,
+            // full decode) before anything local is disturbed.
+            let (db, embedded_lsn) = read_snapshot(&tmp)?;
+            if embedded_lsn != lsn {
+                return Err(WalError::Decode("snapshot lsn does not match message"));
+            }
+            // Local log and snapshots describe a dead timeline now.
+            self.wal = None;
+            for (_, path) in list_segments(&self.dir)? {
+                std::fs::remove_file(path)?;
+            }
+            for (_, path) in list_snapshots(&self.dir)? {
+                std::fs::remove_file(path)?;
+            }
+            std::fs::rename(&tmp, self.dir.join(snapshot_file_name(lsn)))?;
+            self.wal = Some(WalWriter::resume(&self.dir, self.config.wal.clone(), lsn)?);
+            Ok(db)
+        })();
+        let db = match install {
+            Ok(db) => db,
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.reject();
+                return Err(SessionEnd::Resync);
+            }
+        };
+        self.db.replace(db);
+        self.shared.set_applied(lsn);
+        *last_snapshot_lsn = lsn;
+        self.shared.stats.bootstraps.fetch_add(1, Ordering::Relaxed);
+        self.shared.set_phase(ReplicaPhase::CatchingUp);
+        self.ack(tx, lsn)
+    }
+
+    /// Applies one `Records` run: all-or-nothing validation, then
+    /// record-by-record apply-before-log, skipping the watermark overlap.
+    fn apply_run(
+        &mut self,
+        start_lsn: u64,
+        count: u32,
+        frames: &[u8],
+        tx: &mut std::net::TcpStream,
+        last_snapshot_lsn: &mut u64,
+    ) -> Result<(), SessionEnd> {
+        let Some(wal) = self.wal.as_mut() else {
+            // Records before a bootstrap snapshot: protocol desync.
+            self.reject();
+            return Err(SessionEnd::Resync);
+        };
+        let (records, _clean, end) = decode_frames(frames);
+        if !matches!(end, FrameEnd::Clean) || records.len() != count as usize {
+            // A torn or short run is never applied, not even partially.
+            self.reject();
+            return Err(SessionEnd::Resync);
+        }
+        let mut applied = self.shared.applied();
+        if start_lsn > applied {
+            // A gap would desynchronize the watermark from the stream.
+            self.reject();
+            return Err(SessionEnd::Resync);
+        }
+        for (i, rec) in records.into_iter().enumerate() {
+            let lsn = start_lsn + i as u64;
+            if lsn < applied {
+                // Watermark overlap (duplicate delivery): already
+                // applied and logged; skipping is the idempotent path.
+                self.shared
+                    .stats
+                    .records_skipped
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Apply-before-log, the same watermark invariant the leader
+            // maintains: acceptance verdicts are re-derived locally.
+            self.db.with_write(|db| {
+                let _accepted = apply_record(db, rec.clone());
+            });
+            if wal.append(&rec).is_err() {
+                // The record is applied but not logged: the in-memory
+                // state is ahead of the local log, which a restart would
+                // silently lose. Fall back to a re-sync (the leader
+                // re-ships from the last durable watermark).
+                self.shared.set_applied(applied);
+                return Err(SessionEnd::Resync);
+            }
+            applied = lsn + 1;
+            self.shared
+                .stats
+                .records_applied
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.set_applied(applied);
+        if self.config.snapshot_every > 0
+            && applied.saturating_sub(*last_snapshot_lsn) >= self.config.snapshot_every
+        {
+            if self.local_snapshot(applied).is_ok() {
+                *last_snapshot_lsn = applied;
+                self.shared
+                    .stats
+                    .snapshots_taken
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.ack(tx, applied)
+    }
+
+    /// A local snapshot at the applied watermark: the worker is the only
+    /// writer, so the state is exactly the log prefix below `applied`.
+    fn local_snapshot(&mut self, applied: u64) -> Result<(), WalError> {
+        let wal = self.wal.as_mut().expect("snapshot only after bootstrap");
+        wal.sync()?;
+        let state = self.db.with_read(|db| db.clone());
+        write_snapshot(&self.dir, &state, applied)?;
+        modb_wal::compact(&self.dir, self.config.snapshot_retention)?;
+        Ok(())
+    }
+}

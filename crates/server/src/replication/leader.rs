@@ -1,0 +1,403 @@
+//! Leader side of WAL shipping: accept followers, bootstrap them from a
+//! snapshot, then stream log segments as the writer grows them.
+//!
+//! One thread accepts connections; each follower gets a session thread
+//! pair — a **shipper** (tailing the log with [`SegmentTailer`] and
+//! writing `Snapshot` / `Records` / `Heartbeat` messages) and an
+//! **ack reader** (draining `Ack` messages into the acknowledged-LSN
+//! watermark). The watermark feeds the [`ShipHorizon`], which
+//! [`crate::DurableDatabase::snapshot_with_retention`] passes to
+//! [`modb_wal::compact_with_barrier`] so compaction never deletes a
+//! segment a connected follower still has to read.
+
+use std::fmt;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use modb_wal::{list_segments, list_snapshots, read_snapshot, SegmentTailer, SharedWal, WalError};
+
+use crate::durable::DurableDatabase;
+use crate::replication::horizon::ShipHorizon;
+use crate::replication::protocol::{
+    send_message, FrameReader, Message, ReadEvent, PROTOCOL_VERSION,
+};
+
+/// Tuning for [`DurableDatabase::serve_replication`].
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Records per `Records` message (bounds catch-up burst size).
+    pub chunk_records: usize,
+    /// Sleep between tail polls when the follower is caught up.
+    pub poll_interval: Duration,
+    /// Cadence of `Heartbeat` messages while idle (carries the leader's
+    /// log frontier, so the follower can report lag).
+    pub heartbeat_interval: Duration,
+    /// Socket write timeout; a follower stalled longer than this is
+    /// disconnected (its horizon entry is then released, letting
+    /// compaction proceed).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            chunk_records: 512,
+            poll_interval: Duration::from_millis(2),
+            heartbeat_interval: Duration::from_millis(100),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ServerStats {
+    connections: AtomicU64,
+    snapshots_shipped: AtomicU64,
+    records_shipped: AtomicU64,
+}
+
+/// Point-in-time view of a replication server's activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationStatsSnapshot {
+    /// Followers currently connected (live horizon entries).
+    pub followers: usize,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// The leader's log frontier (next LSN to be written).
+    pub leader_next_lsn: u64,
+    /// Lowest acknowledged LSN across connected followers (the ship
+    /// barrier), when any are connected.
+    pub min_acked_lsn: Option<u64>,
+    /// `leader_next_lsn − min_acked_lsn`: the worst follower's lag in
+    /// records (0 with no followers).
+    pub max_lag_records: u64,
+    /// Bootstrap snapshots shipped.
+    pub snapshots_shipped: u64,
+    /// Log records shipped (re-sends after a reconnect count again).
+    pub records_shipped: u64,
+}
+
+impl fmt::Display for ReplicationStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replication: {} follower(s), {} connection(s), frontier lsn {}, \
+             max lag {} record(s), {} snapshot(s) + {} record(s) shipped",
+            self.followers,
+            self.connections,
+            self.leader_next_lsn,
+            self.max_lag_records,
+            self.snapshots_shipped,
+            self.records_shipped,
+        )
+    }
+}
+
+/// Handle to a running leader-side replication listener. Dropping (or
+/// [`ReplicationServer::shutdown`]) stops the accept loop and all
+/// follower sessions.
+#[derive(Debug)]
+pub struct ReplicationServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    horizon: Arc<ShipHorizon>,
+    wal: SharedWal,
+}
+
+impl ReplicationServer {
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current activity counters and lag.
+    pub fn stats(&self) -> ReplicationStatsSnapshot {
+        let leader_next_lsn = self.wal.next_lsn();
+        let min_acked_lsn = self.horizon.min();
+        ReplicationStatsSnapshot {
+            followers: self.horizon.followers(),
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            leader_next_lsn,
+            min_acked_lsn,
+            max_lag_records: min_acked_lsn.map_or(0, |a| leader_next_lsn.saturating_sub(a)),
+            snapshots_shipped: self.stats.snapshots_shipped.load(Ordering::Relaxed),
+            records_shipped: self.stats.records_shipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, disconnects followers, and returns the final
+    /// stats.
+    pub fn shutdown(mut self) -> ReplicationStatsSnapshot {
+        let stats = self.stats();
+        self.stop_and_join();
+        stats
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicationServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl DurableDatabase {
+    /// Starts serving this database's log to followers on `addr` (use
+    /// port 0 for an ephemeral port, then
+    /// [`ReplicationServer::local_addr`]). Each accepted follower is
+    /// bootstrapped from the newest readable snapshot if its log
+    /// position cannot be resumed, then streamed records as they are
+    /// appended; its acknowledged watermark pins log compaction via the
+    /// ship barrier.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn serve_replication(
+        &self,
+        addr: impl ToSocketAddrs,
+        config: ReplicationConfig,
+    ) -> Result<ReplicationServer, WalError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let horizon = self.ship_horizon().clone();
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let horizon = Arc::clone(&horizon);
+            let dir = self.dir().to_path_buf();
+            let wal = self.wal().clone();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                accept_loop(listener, dir, wal, horizon, stats, config, stop)
+            })
+        };
+        Ok(ReplicationServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            stats,
+            horizon,
+            wal: self.wal().clone(),
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    dir: PathBuf,
+    wal: SharedWal,
+    horizon: Arc<ShipHorizon>,
+    stats: Arc<ServerStats>,
+    config: ReplicationConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let dir = dir.clone();
+                let wal = wal.clone();
+                let horizon = Arc::clone(&horizon);
+                let stats = Arc::clone(&stats);
+                let config = config.clone();
+                let stop = Arc::clone(&stop);
+                sessions.push(std::thread::spawn(move || {
+                    handle_follower(stream, &dir, wal, horizon, stats, config, stop)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+        sessions.retain(|h| !h.is_finished());
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+/// One follower session: handshake, optional bootstrap, then ship until
+/// disconnect or shutdown. The horizon entry is registered at 0 (pinning
+/// the whole log) *before* the resume point is chosen, and released on
+/// the way out.
+fn handle_follower(
+    mut stream: TcpStream,
+    dir: &Path,
+    wal: SharedWal,
+    horizon: Arc<ShipHorizon>,
+    stats: Arc<ServerStats>,
+    config: ReplicationConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let _ = stream.set_write_timeout(config.write_timeout);
+    let hid = horizon.register(0);
+    let _ = run_session(&mut stream, dir, &wal, &horizon, hid, &stats, &config, &stop);
+    horizon.release(hid);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_session(
+    stream: &mut TcpStream,
+    dir: &Path,
+    wal: &SharedWal,
+    horizon: &ShipHorizon,
+    hid: u64,
+    stats: &ServerStats,
+    config: &ReplicationConfig,
+    stop: &AtomicBool,
+) -> Result<(), WalError> {
+    // Read side runs on a clone so acks drain while the shipper blocks
+    // in writes.
+    let reader_stream = stream.try_clone()?;
+
+    // ---- Handshake: wait (bounded) for the follower's Hello.
+    let mut reader = FrameReader::new(reader_stream);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let hello = loop {
+        if stop.load(Ordering::SeqCst) || Instant::now() > deadline {
+            return Ok(());
+        }
+        match reader.poll()? {
+            ReadEvent::Message(Message::Hello {
+                version,
+                next_lsn,
+                have_state,
+            }) => {
+                if version != PROTOCOL_VERSION {
+                    return Err(WalError::Decode("replication protocol version mismatch"));
+                }
+                break (next_lsn, have_state);
+            }
+            ReadEvent::Message(_) => {
+                return Err(WalError::Decode("expected Hello"));
+            }
+            ReadEvent::Idle => continue,
+            ReadEvent::Closed => return Ok(()),
+        }
+    };
+
+    // ---- Resume or bootstrap. The horizon entry (still at 0) keeps
+    // every segment alive while we decide.
+    let (follower_lsn, have_state) = hello;
+    let leader_next = wal.next_lsn();
+    let resumable = have_state && follower_lsn <= leader_next && {
+        let segments = list_segments(dir)?;
+        // The follower's next record must still be on disk — either
+        // inside a surviving segment or exactly at the frontier.
+        segments.first().is_some_and(|&(start, _)| start <= follower_lsn)
+    };
+    let cursor = if resumable {
+        follower_lsn
+    } else {
+        // Newest snapshot that actually reads back (same fallback ladder
+        // as recovery).
+        let snapshots = list_snapshots(dir)?;
+        let chosen = snapshots
+            .iter()
+            .rev()
+            .find(|(_, path)| read_snapshot(path).is_ok());
+        let Some((lsn, path)) = chosen else {
+            return Err(WalError::NoSnapshot(dir.to_path_buf()));
+        };
+        let bytes = std::fs::read(path)?;
+        send_message(stream, &Message::Snapshot { lsn: *lsn, bytes })?;
+        stats.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+        *lsn
+    };
+    horizon.advance(hid, cursor);
+
+    // ---- Ack reader: drains the follower's watermark into `acked`.
+    let acked = Arc::new(AtomicU64::new(cursor));
+    let done = Arc::new(AtomicBool::new(false));
+    let ack_thread = {
+        let acked = Arc::clone(&acked);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            loop {
+                if done.load(Ordering::SeqCst) {
+                    break;
+                }
+                match reader.poll() {
+                    Ok(ReadEvent::Message(Message::Ack { applied_lsn })) => {
+                        acked.fetch_max(applied_lsn, Ordering::SeqCst);
+                    }
+                    Ok(ReadEvent::Idle) => continue,
+                    // Anything else — close, garbage, a second Hello —
+                    // ends the session.
+                    Ok(_) | Err(_) => break,
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    // ---- Ship loop.
+    let mut tailer = SegmentTailer::new(dir, cursor);
+    let mut last_heartbeat: Option<Instant> = None;
+    let result = loop {
+        if stop.load(Ordering::SeqCst) || done.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+        horizon.advance(hid, acked.load(Ordering::SeqCst));
+        match tailer.poll(config.chunk_records) {
+            Ok(Some(chunk)) => {
+                let mut frames = Vec::new();
+                for rec in &chunk.records {
+                    rec.encode_frame(&mut frames);
+                }
+                let count = chunk.records.len();
+                let msg = Message::Records {
+                    start_lsn: chunk.start_lsn,
+                    count: count as u32,
+                    frames,
+                };
+                if let Err(e) = send_message(stream, &msg) {
+                    break Err(e);
+                }
+                stats.records_shipped.fetch_add(count as u64, Ordering::Relaxed);
+            }
+            Ok(None) => {
+                let due = last_heartbeat.is_none_or(|t| t.elapsed() >= config.heartbeat_interval);
+                if due {
+                    let hb = Message::Heartbeat {
+                        leader_next_lsn: wal.next_lsn(),
+                    };
+                    if let Err(e) = send_message(stream, &hb) {
+                        break Err(e);
+                    }
+                    last_heartbeat = Some(Instant::now());
+                }
+                std::thread::sleep(config.poll_interval);
+            }
+            // A gap or interior corruption under a live session: give up
+            // on this connection; the follower reconnects and
+            // re-bootstraps from a snapshot.
+            Err(e) => break Err(e),
+        }
+    };
+    done.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = ack_thread.join();
+    result
+}

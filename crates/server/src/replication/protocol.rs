@@ -1,0 +1,377 @@
+//! The replication wire protocol.
+//!
+//! Same framing discipline as the log itself: every message travels as
+//! `[len: u32 LE][crc32(payload): u32 LE][payload]`, where the payload is
+//! a tag byte followed by the message body. The CRC is checked before a
+//! byte of the payload is interpreted, so a frame corrupted in flight is
+//! rejected whole — the session ends and the follower re-syncs, exactly
+//! like recovery refusing a damaged interior record.
+//!
+//! Messages:
+//!
+//! | tag | message     | direction          | body                                  |
+//! |-----|-------------|--------------------|---------------------------------------|
+//! | 1   | `Hello`     | follower → leader  | `version u32, next_lsn u64, have_state u8` |
+//! | 2   | `Snapshot`  | leader → follower  | `lsn u64, bytes (raw snapshot file)`  |
+//! | 3   | `Records`   | leader → follower  | `start_lsn u64, count u32, frames`    |
+//! | 4   | `Heartbeat` | leader → follower  | `leader_next_lsn u64`                 |
+//! | 5   | `Ack`       | follower → leader  | `applied_lsn u64`                     |
+//!
+//! `Records` carries a run of consecutive WAL frames *in their on-disk
+//! encoding* (inner length + CRC per record), so the follower validates
+//! each record a second time with the same [`modb_wal::decode_frames`]
+//! path recovery uses — a partially delivered or torn run can never be
+//! applied.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use modb_wal::codec::{put_u32, put_u64};
+use modb_wal::{crc32, ByteReader, WalError};
+
+/// Protocol version spoken by this build; a mismatched `Hello` is
+/// rejected.
+pub(crate) const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on one message's payload: a bootstrap snapshot plus
+/// headroom. Anything larger is treated as stream corruption.
+pub(crate) const MAX_MESSAGE_BYTES: u32 = 64 * 1024 * 1024;
+
+/// One protocol message (see the module table).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Message {
+    /// Follower's opening line: who it is and where its log ends.
+    Hello {
+        version: u32,
+        next_lsn: u64,
+        have_state: bool,
+    },
+    /// A full bootstrap snapshot (the raw snapshot file, self-validating
+    /// via its own magic/version/CRC).
+    Snapshot { lsn: u64, bytes: Vec<u8> },
+    /// `count` consecutive WAL frames starting at `start_lsn`.
+    Records {
+        start_lsn: u64,
+        count: u32,
+        frames: Vec<u8>,
+    },
+    /// Leader keepalive carrying its log frontier (lag = frontier −
+    /// follower applied watermark).
+    Heartbeat { leader_next_lsn: u64 },
+    /// Follower's applied watermark; advances the leader's ship barrier.
+    Ack { applied_lsn: u64 },
+}
+
+impl Message {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Hello {
+                version,
+                next_lsn,
+                have_state,
+            } => {
+                out.push(1);
+                put_u32(out, *version);
+                put_u64(out, *next_lsn);
+                out.push(u8::from(*have_state));
+            }
+            Message::Snapshot { lsn, bytes } => {
+                out.push(2);
+                put_u64(out, *lsn);
+                out.extend_from_slice(bytes);
+            }
+            Message::Records {
+                start_lsn,
+                count,
+                frames,
+            } => {
+                out.push(3);
+                put_u64(out, *start_lsn);
+                put_u32(out, *count);
+                out.extend_from_slice(frames);
+            }
+            Message::Heartbeat { leader_next_lsn } => {
+                out.push(4);
+                put_u64(out, *leader_next_lsn);
+            }
+            Message::Ack { applied_lsn } => {
+                out.push(5);
+                put_u64(out, *applied_lsn);
+            }
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, WalError> {
+        let mut r = ByteReader::new(payload);
+        let msg = match r.u8()? {
+            1 => {
+                let version = r.u32()?;
+                let next_lsn = r.u64()?;
+                let have_state = r.u8()? != 0;
+                Message::Hello {
+                    version,
+                    next_lsn,
+                    have_state,
+                }
+            }
+            2 => {
+                let lsn = r.u64()?;
+                // The rest of the payload is the raw snapshot file.
+                return Ok(Message::Snapshot {
+                    lsn,
+                    bytes: payload[payload.len() - r.remaining()..].to_vec(),
+                });
+            }
+            3 => {
+                let start_lsn = r.u64()?;
+                let count = r.u32()?;
+                // The rest of the payload is the concatenated WAL frames.
+                return Ok(Message::Records {
+                    start_lsn,
+                    count,
+                    frames: payload[payload.len() - r.remaining()..].to_vec(),
+                });
+            }
+            4 => Message::Heartbeat {
+                leader_next_lsn: r.u64()?,
+            },
+            5 => Message::Ack {
+                applied_lsn: r.u64()?,
+            },
+            _ => return Err(WalError::Decode("unknown replication message tag")),
+        };
+        if !r.is_empty() {
+            return Err(WalError::Decode("trailing bytes in replication message"));
+        }
+        Ok(msg)
+    }
+}
+
+/// Frames and sends one message (blocking, honoring the stream's write
+/// timeout).
+pub(crate) fn send_message(stream: &mut TcpStream, msg: &Message) -> Result<(), WalError> {
+    let mut payload = Vec::new();
+    msg.encode_payload(&mut payload);
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)?;
+    Ok(())
+}
+
+/// What one [`FrameReader::poll`] observed.
+#[derive(Debug)]
+pub(crate) enum ReadEvent {
+    /// A whole, CRC-valid message.
+    Message(Message),
+    /// No complete frame yet (read timed out or a frame is partially
+    /// buffered).
+    Idle,
+    /// The peer closed the connection.
+    Closed,
+}
+
+/// Accumulating frame decoder over a socket. Reads are bounded by the
+/// stream's read timeout, so a poll returns [`ReadEvent::Idle`] rather
+/// than blocking forever; bytes of a partial frame are buffered across
+/// polls. A length or CRC violation is a hard [`WalError::Decode`] — the
+/// stream cannot be re-synchronized after framing is lost.
+#[derive(Debug)]
+pub(crate) struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    pub(crate) fn new(stream: TcpStream) -> Self {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads once and decodes if a whole frame is available.
+    pub(crate) fn poll(&mut self) -> Result<ReadEvent, WalError> {
+        if let Some(msg) = self.try_decode()? {
+            return Ok(ReadEvent::Message(msg));
+        }
+        let mut tmp = [0u8; 64 * 1024];
+        match self.stream.read(&mut tmp) {
+            Ok(0) => Ok(ReadEvent::Closed),
+            Ok(n) => {
+                self.buf.extend_from_slice(&tmp[..n]);
+                match self.try_decode()? {
+                    Some(msg) => Ok(ReadEvent::Message(msg)),
+                    None => Ok(ReadEvent::Idle),
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                Ok(ReadEvent::Idle)
+            }
+            Err(e) => Err(WalError::Io(e)),
+        }
+    }
+
+    fn try_decode(&mut self) -> Result<Option<Message>, WalError> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len == 0 || len > MAX_MESSAGE_BYTES {
+            return Err(WalError::Decode("implausible replication frame length"));
+        }
+        let crc = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        let total = 8 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = &self.buf[8..total];
+        if crc32(payload) != crc {
+            return Err(WalError::Decode("replication frame crc mismatch"));
+        }
+        let msg = Message::decode_payload(payload)?;
+        self.buf.drain(..total);
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                next_lsn: 42,
+                have_state: true,
+            },
+            Message::Snapshot {
+                lsn: 7,
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            Message::Records {
+                start_lsn: 9,
+                count: 2,
+                frames: vec![0xde, 0xad, 0xbe, 0xef],
+            },
+            Message::Heartbeat { leader_next_lsn: 11 },
+            Message::Ack { applied_lsn: 10 },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_message() {
+        let (mut tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut reader = FrameReader::new(rx);
+        for msg in sample_messages() {
+            send_message(&mut tx, &msg).unwrap();
+            let got = loop {
+                match reader.poll().unwrap() {
+                    ReadEvent::Message(m) => break m,
+                    ReadEvent::Idle => continue,
+                    ReadEvent::Closed => panic!("peer closed"),
+                }
+            };
+            assert_eq!(got, msg);
+        }
+        drop(tx);
+        assert!(matches!(reader.poll().unwrap(), ReadEvent::Closed));
+    }
+
+    #[test]
+    fn corrupt_crc_is_a_hard_error() {
+        let (mut tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut payload = Vec::new();
+        Message::Ack { applied_lsn: 3 }.encode_payload(&mut payload);
+        let mut frame = Vec::new();
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload) ^ 1); // flipped
+        frame.extend_from_slice(&payload);
+        tx.write_all(&frame).unwrap();
+        let mut reader = FrameReader::new(rx);
+        let err = loop {
+            match reader.poll() {
+                Ok(ReadEvent::Idle) => continue,
+                Ok(other) => panic!("{other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, WalError::Decode(_)), "{err}");
+    }
+
+    #[test]
+    fn implausible_length_is_a_hard_error() {
+        let (mut tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut frame = Vec::new();
+        put_u32(&mut frame, MAX_MESSAGE_BYTES + 1);
+        put_u32(&mut frame, 0);
+        tx.write_all(&frame).unwrap();
+        let mut reader = FrameReader::new(rx);
+        let err = loop {
+            match reader.poll() {
+                Ok(ReadEvent::Idle) => continue,
+                Ok(other) => panic!("{other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, WalError::Decode(_)), "{err}");
+    }
+
+    #[test]
+    fn partial_frames_accumulate_across_polls() {
+        let (mut tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        let msg = Message::Records {
+            start_lsn: 5,
+            count: 1,
+            frames: vec![9; 300],
+        };
+        let mut payload = Vec::new();
+        msg.encode_payload(&mut payload);
+        let mut frame = Vec::new();
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        let mut reader = FrameReader::new(rx);
+        // Send in three slices with idle polls in between.
+        let thirds = frame.len() / 3;
+        tx.write_all(&frame[..thirds]).unwrap();
+        tx.flush().unwrap();
+        loop {
+            match reader.poll().unwrap() {
+                ReadEvent::Idle => break,
+                ReadEvent::Message(_) => panic!("frame not complete yet"),
+                ReadEvent::Closed => panic!("closed"),
+            }
+        }
+        tx.write_all(&frame[thirds..2 * thirds]).unwrap();
+        tx.write_all(&frame[2 * thirds..]).unwrap();
+        let got = loop {
+            match reader.poll().unwrap() {
+                ReadEvent::Message(m) => break m,
+                ReadEvent::Idle => continue,
+                ReadEvent::Closed => panic!("closed"),
+            }
+        };
+        assert_eq!(got, msg);
+    }
+}

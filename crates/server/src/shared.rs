@@ -157,6 +157,21 @@ impl SharedDatabase {
     pub fn with_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
         f(&self.inner.read())
     }
+
+    /// Runs a mutating closure under the write lock. Crate-internal: the
+    /// replication follower applies raw WAL records through
+    /// [`modb_wal::apply_record`], which needs `&mut Database`.
+    pub(crate) fn with_write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Swaps the wrapped database in place. Existing clones (and query
+    /// engines built over them) observe the new state on their next lock
+    /// acquisition — this is how a replica installs a bootstrap snapshot
+    /// without invalidating handles.
+    pub(crate) fn replace(&self, db: Database) {
+        *self.inner.write() = db;
+    }
 }
 
 #[cfg(test)]

@@ -107,22 +107,24 @@ fn epoch_publication_never_tears_under_concurrent_writes() {
     std::thread::scope(|s| {
         // Writers: disjoint object ranges, monotone report times, the
         // arc invariant on every update.
-        for w in 0..N_WRITERS {
-            let db = db.clone();
-            let chunk = N_OBJECTS / N_WRITERS;
-            s.spawn(move || {
-                for round in 1..=ROUNDS {
-                    let t = round as f64 * 0.1;
-                    for i in (w * chunk)..((w + 1) * chunk) {
-                        db.apply_update(
-                            ObjectId(i),
-                            &UpdateMessage::basic(t, UpdatePosition::Arc(arc_for(i, t)), 1.0),
-                        )
-                        .unwrap();
+        let writers: Vec<_> = (0..N_WRITERS)
+            .map(|w| {
+                let db = db.clone();
+                let chunk = N_OBJECTS / N_WRITERS;
+                s.spawn(move || {
+                    for round in 1..=ROUNDS {
+                        let t = round as f64 * 0.1;
+                        for i in (w * chunk)..((w + 1) * chunk) {
+                            db.apply_update(
+                                ObjectId(i),
+                                &UpdateMessage::basic(t, UpdatePosition::Arc(arc_for(i, t)), 1.0),
+                            )
+                            .unwrap();
+                        }
                     }
-                }
-            });
-        }
+                })
+            })
+            .collect();
 
         // Readers: snapshots must always be whole, and epochs monotone.
         let stop = &stop;
@@ -154,29 +156,25 @@ fn epoch_publication_never_tears_under_concurrent_writes() {
             });
         }
 
-        // Re-join the writers first, then release the readers.
-        // (Scoped threads join automatically; the flag stops the readers
-        // once the writers are done and one final epoch has landed.)
-        s.spawn(|| {
-            // This thread just waits for the writers by observing the
-            // final state, then flips the stop flag.
-            let deadline = std::time::Instant::now() + Duration::from_secs(60);
-            loop {
-                let done = db.with_read(|inner| {
-                    (0..N_OBJECTS).all(|i| {
-                        inner.moving(ObjectId(i)).unwrap().attr.start_time
-                            >= ROUNDS as f64 * 0.1
-                    })
-                });
-                if done || std::time::Instant::now() > deadline {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            // Let at least one more epoch publish the final state.
-            std::thread::sleep(Duration::from_millis(10));
-            stop.store(true, Ordering::Relaxed);
-        });
+        // Join the writers deterministically, then hold the readers
+        // until the publisher has sealed the post-write state into an
+        // epoch. Epochs advance unconditionally every interval, so
+        // waiting for the counter to move past its at-join value is a
+        // condition wait on the publisher itself — no wall-clock sleep
+        // to be too short on a slow or 1-core runner.
+        for h in writers {
+            h.join().unwrap();
+        }
+        let sealed = engine.snapshot().epoch();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while engine.snapshot().epoch() <= sealed {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "publisher stalled: epoch stuck at {sealed}"
+            );
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
     });
 
     // After the dust settles: a manual publish exposes the final state,

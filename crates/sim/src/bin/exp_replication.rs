@@ -1,0 +1,39 @@
+//! W4: warm-standby follower lag vs update rate, with the measured
+//! leader-vs-follower deviation checked against the lag-widened
+//! `2·v_max·Δ` bound (DESIGN.md §10).
+//!
+//! Usage: `exp_replication [n_objects] [batches]`
+//! (defaults: 500 objects, 120 update batches per rate; the rate
+//! levels are derived as n/4, n and 4n updates per batch).
+
+use modb_sim::experiments::replication::{replication_lag_table, run_replication_lag};
+
+const V_MAX: f64 = 2.0;
+
+fn arg_or(args: &mut impl Iterator<Item = String>, name: &str, default: usize) -> usize {
+    match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a positive integer, got {a:?}");
+            eprintln!("usage: exp_replication [n_objects] [batches]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_objects = arg_or(&mut args, "n_objects", 500).max(10);
+    let batches = arg_or(&mut args, "batches", 120).max(4) as u64;
+    let rates = [(n_objects / 4).max(1), n_objects, n_objects * 4];
+    eprintln!(
+        "running replication-lag experiment: {n_objects} objects, rates {rates:?} \
+         updates/batch, {batches} batches per rate, v_max {V_MAX}"
+    );
+    let rows = run_replication_lag(n_objects, &rates, batches, V_MAX);
+    println!("{}", replication_lag_table(n_objects, V_MAX, &rows));
+    if rows.iter().any(|r| !r.within_bound) {
+        eprintln!("FAIL: a measured deviation escaped its lag-widened bound");
+        std::process::exit(1);
+    }
+}

@@ -9,5 +9,6 @@ pub mod example1;
 pub mod indexing;
 pub mod policy_sweep;
 pub mod query_scaling;
+pub mod replication;
 pub mod savings;
 pub mod wal_overhead;

@@ -40,7 +40,8 @@ pub struct CompactionReport {
     /// Bytes of log reclaimed by the deleted segments.
     pub segment_bytes_reclaimed: u64,
     /// The cover point: every deleted segment held only records with
-    /// `lsn <` this (the oldest retained snapshot's LSN).
+    /// `lsn <` this (the oldest retained snapshot's LSN, further lowered
+    /// to the ship barrier when one is in force).
     pub cover_lsn: u64,
 }
 
@@ -68,6 +69,26 @@ impl fmt::Display for CompactionReport {
 /// leaves the directory recoverable (deletion order is oldest-first, and
 /// nothing recovery needs is ever deleted).
 pub fn compact(dir: &Path, retention: usize) -> Result<CompactionReport, WalError> {
+    compact_with_barrier(dir, retention, None)
+}
+
+/// [`compact`] with a **ship barrier**: when `barrier` is `Some(lsn)`, no
+/// segment holding records at or above `lsn` is deleted, even if every
+/// retained snapshot covers it. This is the replication horizon — a
+/// leader streaming segments to a follower must not garbage-collect log
+/// the follower has not acknowledged yet, or a slow-but-live follower
+/// would be orphaned mid-stream and forced to re-bootstrap from a full
+/// snapshot. Snapshot pruning is unaffected (followers bootstrap from
+/// fresh snapshots; old ones are only the local corruption ladder).
+///
+/// # Errors
+///
+/// Same as [`compact`].
+pub fn compact_with_barrier(
+    dir: &Path,
+    retention: usize,
+    barrier: Option<u64>,
+) -> Result<CompactionReport, WalError> {
     let retention = retention.max(1);
     let mut report = CompactionReport::default();
     let snapshots = list_snapshots(dir)?;
@@ -80,8 +101,13 @@ pub fn compact(dir: &Path, retention: usize) -> Result<CompactionReport, WalErro
         report.snapshots_removed += 1;
     }
     // Recovery may fall back past a damaged newest snapshot, so segments
-    // survive until the *oldest retained* snapshot covers them.
-    report.cover_lsn = snapshots[keep_from].0;
+    // survive until the *oldest retained* snapshot covers them — and a
+    // ship barrier lowers the cover point further: an unshipped record is
+    // live for replication even when recovery no longer needs it.
+    report.cover_lsn = match barrier {
+        Some(b) => snapshots[keep_from].0.min(b),
+        None => snapshots[keep_from].0,
+    };
 
     let segments = list_segments(dir)?;
     // A segment holds the records [start_lsn, next segment's start_lsn);
@@ -104,6 +130,7 @@ pub fn compact(dir: &Path, retention: usize) -> Result<CompactionReport, WalErro
 mod tests {
     use super::*;
     use crate::record::WalRecord;
+    use crate::segment::segment_file_name;
     use crate::snapshot::write_snapshot;
     use crate::writer::{WalOptions, WalWriter};
     use modb_core::{Database, DatabaseConfig, MovingObject, ObjectId, UpdateMessage, UpdatePosition};
@@ -269,6 +296,67 @@ mod tests {
             recovered.database.moving(ObjectId(1)).unwrap(),
             expected.moving(ObjectId(1)).unwrap()
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression: a slow follower's unshipped horizon must pin segments.
+    /// Without the barrier, the plain `compact` below deletes every
+    /// segment the retained snapshot covers — including the ones a
+    /// replication stream positioned at `horizon` still has to read —
+    /// which is exactly the orphaned-follower bug the barrier fixes.
+    #[test]
+    fn ship_barrier_pins_unshipped_segments() {
+        let dir = tmp("barrier");
+        let expected = populate(&dir, 60, 15);
+        let segs_before = list_segments(&dir).unwrap();
+        assert!(segs_before.len() > 3, "{segs_before:?}");
+        // A follower is still reading from early in the log.
+        let horizon = segs_before[1].0;
+
+        // Sanity (the bug this guards against): an unbarriered compaction
+        // on an identical directory WOULD delete the follower's segment.
+        let shadow = tmp("barrier-shadow");
+        std::fs::create_dir_all(&shadow).unwrap();
+        for entry in fs::read_dir(&dir).unwrap() {
+            let entry = entry.unwrap();
+            fs::copy(entry.path(), shadow.join(entry.file_name())).unwrap();
+        }
+        let unbarriered = compact(&shadow, 1).unwrap();
+        assert!(unbarriered.cover_lsn > horizon, "scenario not exercised");
+        assert!(
+            !shadow.join(segment_file_name(horizon)).exists(),
+            "without a barrier the follower's segment is GC'd"
+        );
+        fs::remove_dir_all(&shadow).unwrap();
+
+        // With the barrier, every segment holding records >= horizon
+        // survives, and the follower can keep streaming.
+        let report = compact_with_barrier(&dir, 1, Some(horizon)).unwrap();
+        assert_eq!(report.cover_lsn, horizon, "barrier lowers the cover");
+        assert!(report.segments_removed > 0, "segments below it still go");
+        let segs = list_segments(&dir).unwrap();
+        assert!(
+            segs.iter().any(|&(start, _)| start == horizon),
+            "the follower's segment survived"
+        );
+        for pair in segs.windows(2) {
+            assert!(pair[1].0 > horizon, "segment holding >= horizon deleted");
+        }
+        // Recovery still works (the barrier only ever keeps more).
+        let recovered = crate::recover(&dir).unwrap();
+        assert_eq!(
+            recovered.database.moving(ObjectId(1)).unwrap(),
+            expected.moving(ObjectId(1)).unwrap()
+        );
+        // Once the follower catches up (barrier past the tail), the
+        // previously pinned segments become reclaimable again…
+        let tail_lsn = list_segments(&dir).unwrap().last().unwrap().0;
+        let caught_up = compact_with_barrier(&dir, 1, Some(tail_lsn + 1_000)).unwrap();
+        assert!(caught_up.segments_removed > 0, "pinned segments released");
+        assert!(caught_up.cover_lsn > horizon);
+        // …and a further pass is idempotent.
+        let again = compact_with_barrier(&dir, 1, Some(tail_lsn + 1_000)).unwrap();
+        assert_eq!(again.segments_removed, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -55,15 +55,19 @@ pub mod error;
 pub mod record;
 pub mod recovery;
 pub mod segment;
+pub mod ship;
 pub mod snapshot;
 pub mod writer;
 
 pub use codec::{ByteReader, WalCodec};
-pub use compact::{compact, CompactionReport, DEFAULT_SNAPSHOT_RETENTION};
+pub use compact::{
+    compact, compact_with_barrier, CompactionReport, DEFAULT_SNAPSHOT_RETENTION,
+};
 pub use crc32::crc32;
 pub use error::WalError;
 pub use record::{decode_frames, FrameEnd, WalRecord, MAX_RECORD_BYTES};
-pub use recovery::{recover, Recovered, RecoveryReport};
+pub use recovery::{apply_record, recover, Recovered, RecoveryReport};
 pub use segment::{list_segments, scan_segment, SegmentScan};
+pub use ship::{SegmentTailer, TailChunk};
 pub use snapshot::{list_snapshots, read_snapshot, write_snapshot};
 pub use writer::{FsyncPolicy, SharedWal, WalBatch, WalOptions, WalWriter};

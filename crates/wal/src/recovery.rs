@@ -95,9 +95,19 @@ pub struct Recovered {
     pub report: RecoveryReport,
 }
 
-/// Replays one record through the database, classifying the outcome.
-/// Returns `true` when the mutation was accepted.
-fn replay(db: &mut Database, rec: WalRecord) -> bool {
+/// Replays one record through the database's ordinary mutation methods,
+/// classifying the outcome. Returns `true` when the mutation was
+/// accepted, `false` when the database rejected it (stale / off-route /
+/// duplicate / unknown — the same verdicts the live system gave, which
+/// replay re-derives deterministically).
+///
+/// This is the single application seam shared by [`recover`] and any
+/// other log consumer — notably a replication follower replaying shipped
+/// records — so replicated state is re-validated and re-indexed exactly
+/// like recovered state. Re-delivery at or past a watermark is
+/// idempotent: an already-applied update is a no-op, older ones
+/// re-reject as stale, and duplicate registrations / removals re-reject.
+pub fn apply_record(db: &mut Database, rec: WalRecord) -> bool {
     match rec {
         WalRecord::RegisterMoving(obj) => db.register_moving(obj).is_ok(),
         WalRecord::InsertStationary(obj) => db.insert_stationary(obj).is_ok(),
@@ -204,7 +214,7 @@ pub fn recover(dir: &Path) -> Result<Recovered, WalError> {
         for rec in scan.records {
             if lsn < snapshot_lsn {
                 report.skipped_records += 1;
-            } else if replay(&mut db, rec) {
+            } else if apply_record(&mut db, rec) {
                 report.replayed += 1;
             } else {
                 report.rejected += 1;
@@ -277,7 +287,7 @@ mod tests {
     /// Applies `rec` to `db` and logs it, mirroring the live system.
     fn apply_and_log(db: &mut Database, w: &mut WalWriter, rec: WalRecord) {
         w.append(&rec).unwrap();
-        let _ = replay(db, rec);
+        let _ = apply_record(db, rec);
     }
 
     /// A scripted workload: returns the reference database, with the log

@@ -1,0 +1,516 @@
+//! Segment tailing for log shipping: an incremental reader that follows
+//! the log as the writer grows it.
+//!
+//! A [`SegmentTailer`] holds a cursor (the LSN of the next record to
+//! deliver) and, on each [`SegmentTailer::poll`], reads whatever whole
+//! frames have appeared past it — including from the writer's **active
+//! tail segment**. The subtlety the tailer owns is distinguishing "not
+//! written yet" from "corrupt":
+//!
+//! - A torn frame at the end of the **last** segment is treated as data
+//!   in flight (the writer's `write_all` may race our read), so the poll
+//!   simply reports nothing new; the rest of the frame is picked up next
+//!   time. This is the same judgement recovery makes about a torn tail,
+//!   applied online.
+//! - A torn frame in a segment that already has a **successor** can never
+//!   complete, so it is reported as [`WalError::CorruptSegment`].
+//! - A cursor below the oldest segment on disk means compaction got there
+//!   first ([`WalError::SegmentGap`]); the consumer must re-bootstrap
+//!   from a snapshot. Leaders prevent this for connected followers with
+//!   the ship barrier ([`crate::compact_with_barrier`]).
+//!
+//! Reads are incremental: the tailer remembers its byte offset in the
+//! current segment and only reads the suffix on each poll, so following
+//! a hot log costs O(new bytes), not O(segment).
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+use crate::error::WalError;
+use crate::record::{WalRecord, MAX_RECORD_BYTES};
+use crate::segment::{list_segments, scan_segment, SEGMENT_HEADER_BYTES};
+
+/// A run of consecutive records delivered by one [`SegmentTailer::poll`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailChunk {
+    /// LSN of `records[0]`; the chunk covers
+    /// `[start_lsn, start_lsn + records.len())`.
+    pub start_lsn: u64,
+    /// The decoded records, in log order.
+    pub records: Vec<WalRecord>,
+}
+
+impl TailChunk {
+    /// LSN one past the last record in the chunk.
+    pub fn end_lsn(&self) -> u64 {
+        self.start_lsn + self.records.len() as u64
+    }
+}
+
+/// Byte position within the segment currently being tailed.
+#[derive(Debug, Clone)]
+struct Position {
+    start_lsn: u64,
+    path: PathBuf,
+    /// Offset of the next unread frame (≥ the header length); everything
+    /// before it has been validated and delivered.
+    offset: u64,
+}
+
+/// An incremental, CRC-validating reader over a live log directory. See
+/// the module docs for torn-tail semantics.
+#[derive(Debug)]
+pub struct SegmentTailer {
+    dir: PathBuf,
+    next_lsn: u64,
+    pos: Option<Position>,
+}
+
+impl SegmentTailer {
+    /// A tailer positioned at `start_lsn` in `dir`. Positioning is lazy:
+    /// the directory is not touched until the first poll, so the cursor
+    /// may point at log that does not exist yet.
+    pub fn new(dir: impl Into<PathBuf>, start_lsn: u64) -> Self {
+        SegmentTailer {
+            dir: dir.into(),
+            next_lsn: start_lsn,
+            pos: None,
+        }
+    }
+
+    /// The LSN of the next record a poll would deliver.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Reads up to `max_records` whole records at the cursor. `Ok(None)`
+    /// means caught up: nothing new is on disk yet (including the
+    /// in-flight-write case of a torn tail on the last segment).
+    ///
+    /// # Errors
+    ///
+    /// - [`WalError::SegmentGap`] when the cursor's segment no longer
+    ///   exists (compacted away) — re-bootstrap from a snapshot.
+    /// - [`WalError::CorruptSegment`] for a torn frame in a non-final
+    ///   segment, or a cursor pointing past a finished segment's content.
+    /// - I/O failures.
+    pub fn poll(&mut self, max_records: usize) -> Result<Option<TailChunk>, WalError> {
+        if max_records == 0 {
+            return Ok(None);
+        }
+        // Two passes at most: one at the current position and, when it
+        // ends exactly on a finished segment boundary, one on the
+        // successor segment.
+        for _ in 0..2 {
+            if self.pos.is_none() {
+                if !self.locate()? {
+                    return Ok(None);
+                }
+            }
+            let pos = self.pos.as_ref().expect("located above");
+            let (records, consumed, torn) = read_frames_from(&pos.path, pos.offset, max_records)?;
+            if !records.is_empty() {
+                let chunk = TailChunk {
+                    start_lsn: self.next_lsn,
+                    records,
+                };
+                let pos = self.pos.as_mut().expect("located above");
+                pos.offset += consumed;
+                self.next_lsn = chunk.end_lsn();
+                return Ok(Some(chunk));
+            }
+            // Nothing whole at the cursor: either the segment is finished
+            // and the log continues in a successor, or we are caught up.
+            let segments = list_segments(&self.dir)?;
+            let is_last = segments
+                .last()
+                .is_some_and(|&(start, _)| start == pos.start_lsn);
+            if let Some(reason) = torn {
+                if is_last {
+                    return Ok(None); // write in flight; retry later
+                }
+                return Err(WalError::CorruptSegment {
+                    path: pos.path.clone(),
+                    offset: pos.offset,
+                    reason,
+                });
+            }
+            if segments
+                .iter()
+                .any(|&(start, _)| start == self.next_lsn && start > pos.start_lsn)
+            {
+                // The current segment ended exactly at the cursor and a
+                // successor picks up there: switch and read it.
+                self.pos = None;
+                continue;
+            }
+            // Caught up — or our file read raced a rotation (the final
+            // frames of this segment landed after the read but before
+            // the listing). Either way the next poll re-reads the suffix
+            // and makes progress, so report nothing new rather than
+            // misdiagnose the race.
+            return Ok(None);
+        }
+        Ok(None)
+    }
+
+    /// Finds the segment containing `next_lsn` and the byte offset of
+    /// that record within it. Returns `false` when the log has not grown
+    /// to the cursor yet.
+    fn locate(&mut self) -> Result<bool, WalError> {
+        let segments = list_segments(&self.dir)?;
+        let Some(idx) = segments
+            .iter()
+            .rposition(|&(start, _)| start <= self.next_lsn)
+        else {
+            if let Some(&(found, _)) = segments.first() {
+                // Everything on disk starts after the cursor: the log
+                // below it has been compacted away.
+                return Err(WalError::SegmentGap {
+                    expected: self.next_lsn,
+                    found,
+                });
+            }
+            return Ok(false); // empty directory; the log may appear later
+        };
+        let (start_lsn, ref path) = segments[idx];
+        let last = idx + 1 == segments.len();
+        // One full validating scan to find the frame boundary of the
+        // cursor record; from then on reads are incremental.
+        let scan = match scan_segment(path) {
+            Ok(scan) => scan,
+            // A rotating writer creates the successor file before its
+            // header write lands on disk; a short header on the *last*
+            // segment is that write in flight, not corruption — wait,
+            // exactly as for a torn tail frame. (A full-length header
+            // with bad magic or version stays a hard error: the 20-byte
+            // header is written in one call and never rewritten.)
+            Err(WalError::CorruptSegment {
+                reason: "short header",
+                ..
+            }) if last => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let have = scan.records.len() as u64;
+        let skip = self.next_lsn - start_lsn;
+        if skip > have {
+            // The cursor points past this segment's content.
+            if last {
+                if scan.torn.is_some() {
+                    // The missing records may be mid-write; wait.
+                    return Ok(false);
+                }
+                // A clean final segment that is short of the cursor: the
+                // cursor is from a different timeline (e.g. a follower
+                // ahead of a restored leader). Report it as a gap.
+                return Err(WalError::SegmentGap {
+                    expected: self.next_lsn,
+                    found: start_lsn + have,
+                });
+            }
+            return Err(WalError::CorruptSegment {
+                path: path.clone(),
+                offset: scan.clean_bytes,
+                reason: scan.torn.unwrap_or("segment ends before successor"),
+            });
+        }
+        let offset = SEGMENT_HEADER_BYTES + frame_bytes(path, skip)?;
+        self.pos = Some(Position {
+            start_lsn,
+            path: path.clone(),
+            offset,
+        });
+        Ok(true)
+    }
+}
+
+/// Byte length of the first `n_frames` whole frames after the header of
+/// `path`. The frames were already validated by the caller's scan, so
+/// this only walks the length prefixes.
+fn frame_bytes(path: &Path, n_frames: u64) -> Result<u64, WalError> {
+    if n_frames == 0 {
+        return Ok(0);
+    }
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let body = &bytes[SEGMENT_HEADER_BYTES as usize..];
+    let mut pos = 0usize;
+    for _ in 0..n_frames {
+        let len = u32::from_le_bytes([
+            body[pos],
+            body[pos + 1],
+            body[pos + 2],
+            body[pos + 3],
+        ]) as usize;
+        pos += 8 + len;
+    }
+    Ok(pos as u64)
+}
+
+/// Reads up to `max_records` whole frames starting at `offset`, returning
+/// the records, bytes consumed, and the torn reason when the suffix ends
+/// mid-frame. Mirrors [`crate::decode_frames`] but stops at the record
+/// cap so a long catch-up is delivered in bounded chunks.
+fn read_frames_from(
+    path: &Path,
+    offset: u64,
+    max_records: usize,
+) -> Result<(Vec<WalRecord>, u64, Option<&'static str>), WalError> {
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() && records.len() < max_records {
+        let rest = &buf[pos..];
+        if rest.len() < 8 {
+            return Ok((records, pos as u64, Some("truncated frame header")));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len == 0 || len > MAX_RECORD_BYTES {
+            return Ok((records, pos as u64, Some("implausible frame length")));
+        }
+        let len = len as usize;
+        if rest.len() < 8 + len {
+            return Ok((records, pos as u64, Some("truncated frame payload")));
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != crc {
+            return Ok((records, pos as u64, Some("crc mismatch")));
+        }
+        match WalRecord::decode_payload(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => return Ok((records, pos as u64, Some("undecodable payload"))),
+        }
+        pos += 8 + len;
+    }
+    Ok((records, pos as u64, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalRecord;
+    use crate::writer::{FsyncPolicy, WalOptions, WalWriter};
+    use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("modb-wal-ship-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn update(i: u64) -> WalRecord {
+        WalRecord::Update {
+            id: ObjectId(i % 7),
+            msg: UpdateMessage::basic(i as f64, UpdatePosition::Arc(i as f64 * 0.5), 1.0),
+        }
+    }
+
+    fn small() -> WalOptions {
+        WalOptions {
+            fsync: FsyncPolicy::Never,
+            max_segment_bytes: 256,
+        }
+    }
+
+    /// Drains the tailer completely; asserts chunk LSNs are contiguous.
+    fn drain(tailer: &mut SegmentTailer, max: usize) -> Vec<WalRecord> {
+        let mut out = Vec::new();
+        while let Some(chunk) = tailer.poll(max).unwrap() {
+            assert_eq!(chunk.start_lsn, tailer.next_lsn() - chunk.records.len() as u64);
+            out.extend(chunk.records);
+        }
+        out
+    }
+
+    #[test]
+    fn follows_appends_across_rotations() {
+        let dir = tmp("follow");
+        let mut w = WalWriter::create(&dir, small()).unwrap();
+        let mut tailer = SegmentTailer::new(&dir, 0);
+        assert!(tailer.poll(64).unwrap().is_none(), "nothing yet");
+        let mut shipped = Vec::new();
+        for round in 0..6u64 {
+            for i in 0..10u64 {
+                w.append(&update(round * 10 + i)).unwrap();
+            }
+            shipped.extend(drain(&mut tailer, 7));
+            assert_eq!(tailer.next_lsn(), (round + 1) * 10, "round {round}");
+        }
+        let expected: Vec<WalRecord> = (0..60).map(update).collect();
+        assert_eq!(shipped, expected);
+        assert!(list_segments(&dir).unwrap().len() > 1, "rotation happened");
+        assert!(tailer.poll(64).unwrap().is_none(), "caught up");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn starts_mid_log_and_mid_segment() {
+        let dir = tmp("mid");
+        let mut w = WalWriter::create(&dir, small()).unwrap();
+        for i in 0..40u64 {
+            w.append(&update(i)).unwrap();
+        }
+        for start in [0u64, 1, 17, 39, 40] {
+            let mut tailer = SegmentTailer::new(&dir, start);
+            let got = drain(&mut tailer, 1000);
+            let expected: Vec<WalRecord> = (start..40).map(update).collect();
+            assert_eq!(got, expected, "start {start}");
+            assert_eq!(tailer.next_lsn(), 40);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_of_last_segment_means_wait() {
+        let dir = tmp("torn-wait");
+        let mut w = WalWriter::create(&dir, small()).unwrap();
+        for i in 0..3u64 {
+            w.append(&update(i)).unwrap();
+        }
+        // Simulate a write in flight: half a frame at the end.
+        let (_, last) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&last).unwrap();
+        let mut frame = Vec::new();
+        update(3).encode_frame(&mut frame);
+        bytes.extend_from_slice(&frame[..frame.len() / 2]);
+        std::fs::write(&last, &bytes).unwrap();
+
+        let mut tailer = SegmentTailer::new(&dir, 0);
+        let chunk = tailer.poll(64).unwrap().unwrap();
+        assert_eq!(chunk.records.len(), 3, "whole frames delivered");
+        assert!(tailer.poll(64).unwrap().is_none(), "torn tail = wait");
+        // The rest of the frame arrives: the record is delivered.
+        bytes.extend_from_slice(&frame[frame.len() / 2..]);
+        std::fs::write(&last, &bytes).unwrap();
+        let chunk = tailer.poll(64).unwrap().unwrap();
+        assert_eq!(chunk.start_lsn, 3);
+        assert_eq!(chunk.records, vec![update(3)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression for a race found by the replication fault harness: a
+    /// rotating writer creates the successor segment file before its
+    /// header hits the disk. A tailer that lists-then-opens in that
+    /// window must wait, not report corruption (which would kill a
+    /// perfectly healthy replication session).
+    #[test]
+    fn half_written_successor_header_means_wait() {
+        use crate::segment::{encode_header, segment_file_name};
+        let dir = tmp("half-header");
+        let mut w = WalWriter::create(&dir, small()).unwrap();
+        for i in 0..10u64 {
+            w.append(&update(i)).unwrap();
+        }
+        w.sync().unwrap();
+        let mut tailer = SegmentTailer::new(&dir, 0);
+        assert_eq!(drain(&mut tailer, 64).len(), 10);
+
+        // Mid-rotation: the successor exists with only part of its
+        // header written.
+        let header = encode_header(10);
+        let successor = dir.join(segment_file_name(10));
+        std::fs::write(&successor, &header[..7]).unwrap();
+        assert!(tailer.poll(64).unwrap().is_none(), "header in flight = wait");
+        // An empty just-created file is the same case.
+        std::fs::write(&successor, []).unwrap();
+        assert!(tailer.poll(64).unwrap().is_none(), "empty successor = wait");
+
+        // The rotation completes and records land: the tailer resumes.
+        let mut bytes = header;
+        for i in 10..13u64 {
+            update(i).encode_frame(&mut bytes);
+        }
+        std::fs::write(&successor, &bytes).unwrap();
+        let chunk = tailer.poll(64).unwrap().unwrap();
+        assert_eq!(chunk.start_lsn, 10);
+        assert_eq!(chunk.records, (10..13).map(update).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_interior_segment_is_corruption() {
+        let dir = tmp("torn-interior");
+        let mut w = WalWriter::create(&dir, small()).unwrap();
+        for i in 0..40u64 {
+            w.append(&update(i)).unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 2);
+        let mid = &segments[segments.len() / 2].1;
+        let mut bytes = std::fs::read(mid).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xff;
+        std::fs::write(mid, &bytes).unwrap();
+        let mut tailer = SegmentTailer::new(&dir, 0);
+        let err = loop {
+            match tailer.poll(4) {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("interior corruption must not read as caught-up"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, WalError::CorruptSegment { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compacted_cursor_is_a_gap() {
+        let dir = tmp("gap");
+        let mut w = WalWriter::create(&dir, small()).unwrap();
+        for i in 0..40u64 {
+            w.append(&update(i)).unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 2);
+        std::fs::remove_file(&segments[0].1).unwrap();
+        let mut tailer = SegmentTailer::new(&dir, 0);
+        assert!(matches!(
+            tailer.poll(64),
+            Err(WalError::SegmentGap { expected: 0, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cursor_past_the_log_waits_then_gaps() {
+        let dir = tmp("future");
+        // Empty directory: the log may simply not exist yet.
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut tailer = SegmentTailer::new(&dir, 5);
+        assert!(tailer.poll(64).unwrap().is_none());
+        // A clean log shorter than the cursor is a different timeline.
+        let mut w = WalWriter::create(&dir, small()).unwrap();
+        w.append(&update(0)).unwrap();
+        w.sync().unwrap();
+        assert!(matches!(
+            tailer.poll(64),
+            Err(WalError::SegmentGap { expected: 5, found: 1 })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunk_cap_bounds_delivery() {
+        let dir = tmp("cap");
+        let mut w = WalWriter::create(&dir, WalOptions::default()).unwrap();
+        for i in 0..10u64 {
+            w.append(&update(i)).unwrap();
+        }
+        let mut tailer = SegmentTailer::new(&dir, 0);
+        let chunk = tailer.poll(4).unwrap().unwrap();
+        assert_eq!(chunk.records.len(), 4);
+        assert_eq!(chunk.end_lsn(), 4);
+        assert!(tailer.poll(0).unwrap().is_none(), "zero cap reads nothing");
+        let rest = drain(&mut tailer, 4);
+        assert_eq!(rest.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
