@@ -499,6 +499,18 @@ impl Database {
             // replay is idempotent.
             return Ok(());
         }
+        if msg.time == obj.attr.start_time {
+            // Same-instant revision: last writer wins *in place*. Pushing
+            // the superseded attribute would leave two versions in force
+            // at one timestamp — an infinite-speed trajectory that breaks
+            // the truthfulness premise of every deviation bound (§3.3,
+            // W4's 2·v_max·Δ). Coalescing keeps the trajectory
+            // single-valued per instant and stays deterministic under
+            // WAL replay.
+            obj.attr = next;
+            self.changes.record(Change::Moving(id));
+            return self.reindex(id);
+        }
         if self.config.history_capacity > 0 {
             self.history
                 .entry(id)
@@ -963,6 +975,49 @@ mod tests {
         // Position now extrapolates from the new update.
         let ans = db.position_of(ObjectId(1), 7.0).unwrap();
         assert_eq!(ans.arc, 13.0);
+    }
+
+    #[test]
+    fn same_timestamp_update_coalesces_without_history_push() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(12.0), 0.5),
+        )
+        .unwrap();
+        // Same instant, different content: the revision replaces the
+        // attribute in place. The old code pushed the superseded t=5
+        // attribute into history, leaving two versions in force at t=5
+        // — an infinite-speed trajectory.
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(20.0), 1.0),
+        )
+        .unwrap();
+        let o = db.moving(ObjectId(1)).unwrap();
+        assert_eq!(o.attr.start_arc, 20.0);
+        assert_eq!(o.attr.speed, 1.0);
+        let history = db.history_of(ObjectId(1));
+        assert!(
+            history.iter().all(|v| v.start_time < 5.0),
+            "history must hold no version at the coalesced instant: {history:?}"
+        );
+        // Exactly one attribute answers for t=5: queries see the winner.
+        assert_eq!(db.position_of(ObjectId(1), 5.0).unwrap().arc, 20.0);
+        // The index reflects the winner too (it moved 8 arc units).
+        let ans = db.position_of(ObjectId(1), 7.0).unwrap();
+        assert_eq!(ans.arc, 22.0);
+    }
+
+    #[test]
+    fn same_timestamp_idempotent_redelivery_still_accepted() {
+        let mut db = db_with(vec![object(1, 10.0, 1.0)]);
+        let msg = UpdateMessage::basic(5.0, UpdatePosition::Arc(12.0), 0.5);
+        db.apply_update(ObjectId(1), &msg).unwrap();
+        let history_len = db.history_of(ObjectId(1)).len();
+        db.apply_update(ObjectId(1), &msg).unwrap();
+        assert_eq!(db.history_of(ObjectId(1)).len(), history_len);
+        assert_eq!(db.moving(ObjectId(1)).unwrap().attr.start_arc, 12.0);
     }
 
     #[test]
@@ -1531,13 +1586,16 @@ mod tests {
         assert_eq!(db.history_of(ObjectId(1)).len(), 1);
         assert_eq!(db.moving(ObjectId(1)).unwrap().attr, attr);
         assert_eq!(db.changes_since(cursor).unwrap().len(), 0);
-        // A same-time update with different content is a real change.
+        // A same-time update with different content is a real change —
+        // but it coalesces in place (no history push): two versions in
+        // force at one instant would be an infinite-speed trajectory.
         db.apply_update(
             ObjectId(1),
             &UpdateMessage::basic(5.0, UpdatePosition::Arc(15.0), 0.5),
         )
         .unwrap();
-        assert_eq!(db.history_of(ObjectId(1)).len(), 2);
+        assert_eq!(db.history_of(ObjectId(1)).len(), 1);
+        assert_eq!(db.moving(ObjectId(1)).unwrap().attr.start_arc, 15.0);
         assert_eq!(db.changes_since(cursor).unwrap().len(), 1);
     }
 

@@ -193,7 +193,10 @@ mod tests {
         let c = ramp();
         assert_eq!(c.distance_between(1.0, 3.0), 1.0);
         assert_eq!(c.average_speed(1.0, 3.0), 0.5);
+        // Zero and negative spans never divide: the average is 0, not
+        // NaN/inf (the zero-Δt guard a same-instant update relies on).
         assert_eq!(c.average_speed(2.0, 2.0), 0.0);
+        assert_eq!(c.average_speed(3.0, 1.0), 0.0);
         // Antisymmetry for inverted intervals.
         assert_eq!(c.distance_between(3.0, 1.0), -1.0);
     }

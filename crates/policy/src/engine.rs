@@ -472,6 +472,30 @@ mod tests {
         }
     }
 
+    /// Zero elapsed time since the last update never divides: a deviation
+    /// that appears at the very instant of the previous update (the
+    /// zero-Δt case a same-timestamp position update produces) either
+    /// stays silent — the estimators cannot fit a zero-length ramp — or
+    /// fires with a finite declared speed, never NaN/inf.
+    #[test]
+    fn same_instant_deviation_never_yields_infinite_speed() {
+        for q in [Quintuple::dl(C), Quintuple::ail(C), Quintuple::cil(C)] {
+            let mut e = engine(q);
+            // Tick at t = 0 — the exact time of the trip-start update —
+            // with a large instantaneous deviation.
+            let fired = e.tick(0.0, 500.0, 1.0).unwrap();
+            if let Some(u) = fired {
+                assert!(u.speed.is_finite(), "declared speed {}", u.speed);
+            }
+            // Repeated same-instant ticks are fine too.
+            for _ in 0..3 {
+                if let Some(u) = e.tick(0.0, 500.0, 1.0).unwrap() {
+                    assert!(u.speed.is_finite());
+                }
+            }
+        }
+    }
+
     /// Database position extrapolates at the declared speed and clamps at
     /// the route end.
     #[test]

@@ -12,6 +12,10 @@
 //! `;` on one line run as a batch fanned across the engine's worker pool.
 //! `\epoch` publishes a fresh snapshot and prints the engine's counters
 //! (per-epoch query counts, p50/p99 latency, candidate/refine ratio).
+//! `\connect <addr>` points the console at a remote query front-end
+//! ([`modb_server::DurableDatabase::serve_queries`]): queries and batches
+//! then travel the wire, and `\stats` scrapes the server's combined
+//! metrics frame (query counters, ingest, WAL I/O, replication horizon).
 //!
 //! Run with: `cargo run --release -p modb-server --bin modb_repl`
 //! (pipe queries in for scripted use: `echo "..." | modb_repl`).
@@ -24,7 +28,9 @@ use modb_core::{
 use modb_policy::BoundKind;
 use modb_query::QueryResult;
 use modb_routes::{generators, Direction};
-use modb_server::{QueryEngine, QueryEngineConfig, ReplicaConfig, SharedDatabase, StandbyReplica};
+use modb_server::{
+    QueryClient, QueryEngine, QueryEngineConfig, ReplicaConfig, SharedDatabase, StandbyReplica,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,7 +46,10 @@ queries:
 commands:  \\h help   \\q quit   \\epoch publish snapshot + stats
            \\save <dir> snapshot state   \\load <dir> recover state
            \\replica <addr> <dir> follow a leader (queries move to the replica)
-           \\replica show lag/watermark stats   \\replica stop detach";
+           \\replica show lag/watermark stats   \\replica stop detach
+           \\connect <addr> send queries to a remote front-end
+           \\connect show connection   \\connect stop go local again
+           \\stats scrape the remote server (local engine stats otherwise)";
 
 fn demo_fleet() -> SharedDatabase {
     let network = generators::grid_network(10, 10, 1.0, 0).expect("valid grid");
@@ -156,6 +165,65 @@ fn load(db: &mut SharedDatabase, dir: &str) {
     }
 }
 
+/// Prints a verdict that came over the wire. Ids stay raw — the remote
+/// database's names are not resolvable against the local demo fleet.
+fn print_remote(result: &QueryResult) {
+    match result {
+        QueryResult::Position(p) => println!(
+            "  ({:.3}, {:.3}) ± {:.3} mi  [interval miles {:.3}..{:.3}]",
+            p.position.x, p.position.y, p.bound, p.interval.0, p.interval.1
+        ),
+        QueryResult::Range(r) => {
+            let ids = |ids: &[ObjectId]| {
+                ids.iter()
+                    .map(|id| format!("#{}", id.0))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!("  must: [{}]", ids(&r.must));
+            println!("  may:  [{}]", ids(&r.may));
+            println!("  ({} candidates filtered)", r.candidates);
+        }
+        QueryResult::Nearest(n) => {
+            for nb in &n.ranked {
+                println!(
+                    "  #{}: {:.3} mi (±{:.3}) {}",
+                    nb.id.0,
+                    nb.distance,
+                    nb.bound,
+                    if nb.certain { "[certain]" } else { "[possible]" }
+                );
+            }
+            println!("  ({} contenders outside the ranking)", n.contenders.len());
+        }
+    }
+}
+
+/// Runs a script on the remote front-end, printing per-statement
+/// verdicts. Returns `false` when the connection died (the caller then
+/// drops it and the console goes local again).
+fn run_remote(client: &mut QueryClient, script: &str) -> bool {
+    match client.batch(script) {
+        Ok(verdicts) => {
+            let many = verdicts.len() > 1;
+            for (i, verdict) in verdicts.iter().enumerate() {
+                if many {
+                    println!("  -- statement {}", i + 1);
+                }
+                match verdict {
+                    Ok(result) => print_remote(result),
+                    Err(e) => println!("  error: {e}"),
+                }
+            }
+            true
+        }
+        Err(e) => {
+            println!("  connection lost: {e}");
+            false
+        }
+    }
+}
+
 /// The console publishes snapshots explicitly (`\epoch`, and after
 /// `\load`), so no background publisher thread is needed.
 fn console_engine(db: &SharedDatabase) -> QueryEngine {
@@ -169,6 +237,7 @@ fn main() {
     let mut db = demo_fleet();
     let mut engine = console_engine(&db);
     let mut replica: Option<StandbyReplica> = None;
+    let mut remote: Option<QueryClient> = None;
     println!(
         "modb console — {} vehicles on a 10x10-mile grid. \\h for help.",
         db.moving_count()
@@ -238,6 +307,58 @@ fn main() {
                 }
                 continue;
             }
+            "\\stats" => {
+                match &mut remote {
+                    Some(client) => match client.stats() {
+                        Ok(stats) => {
+                            for l in stats.prometheus_text().lines() {
+                                if !l.starts_with('#') {
+                                    println!("  {l}");
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            println!("  connection lost: {e}");
+                            remote = None;
+                        }
+                    },
+                    None => println!("  {}", engine.stats()),
+                }
+                continue;
+            }
+            cmd if cmd.starts_with("\\connect") => {
+                let args: Vec<&str> = cmd
+                    .strip_prefix("\\connect")
+                    .unwrap_or("")
+                    .split_whitespace()
+                    .collect();
+                match args.as_slice() {
+                    [] => match &remote {
+                        Some(client) => println!("  connected to {}", client.server_addr()),
+                        None => println!("  not connected — \\connect <addr>"),
+                    },
+                    ["stop"] => match remote.take() {
+                        Some(client) => {
+                            println!("  disconnected from {}", client.server_addr());
+                            client.close();
+                        }
+                        None => println!("  not connected"),
+                    },
+                    [addr] => match QueryClient::connect(addr) {
+                        Ok(client) => {
+                            println!(
+                                "  connected to {}; queries now run remotely \
+                                 (\\connect stop to go local)",
+                                client.server_addr()
+                            );
+                            remote = Some(client);
+                        }
+                        Err(e) => println!("  error: {e}"),
+                    },
+                    _ => println!("  usage: \\connect [<addr> | stop]"),
+                }
+                continue;
+            }
             cmd if cmd.starts_with("\\save") => {
                 match cmd.strip_prefix("\\save").map(str::trim) {
                     Some(dir) if !dir.is_empty() => save(&db, dir),
@@ -254,6 +375,12 @@ fn main() {
                     _ => println!("  usage: \\load <dir>"),
                 }
                 continue;
+            }
+            script if remote.is_some() => {
+                let client = remote.as_mut().expect("checked above");
+                if !run_remote(client, script) {
+                    remote = None;
+                }
             }
             script if script.contains(';') => {
                 for (i, result) in engine.run_batch(script).into_iter().enumerate() {

@@ -223,6 +223,36 @@ impl IngestHandle {
     }
 }
 
+/// Read-only observer over a running [`IngestService`]: counters plus the
+/// instantaneous queue depth, detached from the service's lifetime (see
+/// [`IngestService::monitor`]).
+#[derive(Clone)]
+pub struct IngestMonitor {
+    stats: Arc<IngestStats>,
+    shards: Vec<Sender<Job>>,
+}
+
+impl fmt::Debug for IngestMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IngestMonitor")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl IngestMonitor {
+    /// Plain-value copy of the accept/reject counters.
+    pub fn snapshot(&self) -> IngestStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Envelopes enqueued but not yet applied, summed across shards.
+    /// Reads 0 once the workers have drained after a shutdown.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+}
+
 /// A pool of ingest workers draining sharded update queues into the
 /// database.
 pub struct IngestService {
@@ -342,6 +372,39 @@ impl IngestService {
     /// Shared counters.
     pub fn stats(&self) -> &IngestStats {
         &self.stats
+    }
+
+    /// Envelopes currently queued across all shards (enqueued but not
+    /// yet picked up by a worker). An instantaneous gauge for the stats
+    /// scrape: sustained non-zero depth means ingest is running behind
+    /// the offered load. Returns 0 after shutdown.
+    pub fn queue_depth(&self) -> usize {
+        self.handle
+            .as_ref()
+            .map(|h| h.shards.iter().map(|s| s.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// An observer handle for the stats scrape: owns clones of the
+    /// counters and shard senders, so the query front-end can read
+    /// accept/reject totals and the instantaneous queue depth without
+    /// borrowing the service. Holding a monitor does not keep the workers
+    /// alive — shutdown stops them via the stop sentinel, not channel
+    /// closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`IngestService::shutdown`].
+    pub fn monitor(&self) -> IngestMonitor {
+        IngestMonitor {
+            stats: Arc::clone(&self.stats),
+            shards: self
+                .handle
+                .as_ref()
+                .expect("ingest service already shut down")
+                .shards
+                .clone(),
+        }
     }
 
     /// Drains the queues and stops the workers, even if producer handles

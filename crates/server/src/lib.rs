@@ -35,11 +35,18 @@
 //!   [`ShipHorizon`] compaction barrier, and replication lag prices into
 //!   the paper's deviation bound as `D·dt` (see the `replication` module
 //!   docs).
+//! - **Query front-end** ([`DurableDatabase::serve_queries`] /
+//!   [`QueryClient`]): remote `;`-batches and a one-frame metrics scrape
+//!   ([`ServerStatsSnapshot`], with a Prometheus text exposition) over
+//!   the same CRC-framed socket protocol, with connection caps, frame
+//!   caps, stalled-client deadlines, and drained shutdown (see the `net`
+//!   module docs).
 
 #![warn(missing_docs)]
 
 mod durable;
 mod ingest;
+mod net;
 mod query_engine;
 mod replication;
 mod shadow;
@@ -47,8 +54,12 @@ mod shared;
 
 pub use durable::DurableDatabase;
 pub use ingest::{
-    IngestHandle, IngestService, IngestStats, IngestStatsSnapshot, UpdateEnvelope,
+    IngestHandle, IngestMonitor, IngestService, IngestStats, IngestStatsSnapshot, UpdateEnvelope,
     WAL_BATCH_RECORDS,
+};
+pub use net::{
+    QueryClient, QueryClientConfig, QueryServer, QueryServerConfig, RemoteVerdict,
+    ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use query_engine::{
     BatchRequest, EpochSnapshot, QueryEngine, QueryEngineConfig, QueryStats,

@@ -1,0 +1,179 @@
+//! Client side of the query front-end: a small blocking library (and the
+//! REPL's `\connect` backend) that speaks the protocol in
+//! [`crate::net::protocol`].
+
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use modb_wal::WalError;
+
+use crate::net::protocol::{
+    send_message, FrameReader, Message, ReadEvent, RemoteVerdict, ServerStatsSnapshot,
+    DEFAULT_MAX_FRAME_BYTES, NET_PROTOCOL_VERSION,
+};
+
+/// Tuning for [`QueryClient`].
+#[derive(Debug, Clone)]
+pub struct QueryClientConfig {
+    /// How long to wait for the complete response to one request
+    /// (handshake, batch, or scrape).
+    pub response_timeout: Duration,
+    /// Per-message payload ceiling on the receive side.
+    pub max_frame_bytes: u32,
+}
+
+impl Default for QueryClientConfig {
+    fn default() -> Self {
+        QueryClientConfig {
+            response_timeout: Duration::from_secs(30),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+fn timeout_error(what: &str) -> WalError {
+    WalError::Io(std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        format!("timed out waiting for {what}"),
+    ))
+}
+
+/// A blocking connection to a [`crate::net::QueryServer`]. One request
+/// runs at a time: [`QueryClient::batch`] sends a `;`-script and
+/// collects the per-statement verdicts, [`QueryClient::stats`] scrapes
+/// the server's counters.
+#[derive(Debug)]
+pub struct QueryClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    config: QueryClientConfig,
+    addr: SocketAddr,
+}
+
+impl QueryClient {
+    /// Connects and handshakes with default tuning.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, a `Refused` server (capacity or version),
+    /// or a handshake timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WalError> {
+        Self::connect_with(addr, QueryClientConfig::default())
+    }
+
+    /// [`QueryClient::connect`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryClient::connect`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: QueryClientConfig,
+    ) -> Result<Self, WalError> {
+        let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(10)))?;
+        stream.set_write_timeout(Some(config.response_timeout))?;
+        let reader = FrameReader::new(stream.try_clone()?, config.max_frame_bytes);
+        let mut client = QueryClient {
+            stream,
+            reader,
+            config,
+            addr: peer,
+        };
+        send_message(
+            &mut client.stream,
+            &Message::Hello {
+                version: NET_PROTOCOL_VERSION,
+            },
+        )?;
+        match client.next_message("handshake")? {
+            Message::HelloAck { .. } => Ok(client),
+            Message::Refused { reason } => Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                reason,
+            ))),
+            _ => Err(WalError::Decode("unexpected handshake reply")),
+        }
+    }
+
+    /// The server address this client is connected to.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs a `;`-separated script as one server-side batch, returning
+    /// one verdict per statement in script order — the same vector a
+    /// local [`crate::QueryEngine::run_batch`] would produce, with
+    /// errors rendered to their display strings.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations (out-of-order statement
+    /// indices, a count mismatch), or a response timeout.
+    pub fn batch(&mut self, script: &str) -> Result<Vec<RemoteVerdict>, WalError> {
+        send_message(
+            &mut self.stream,
+            &Message::Batch {
+                script: script.to_string(),
+            },
+        )?;
+        let mut verdicts: Vec<RemoteVerdict> = Vec::new();
+        loop {
+            match self.next_message("batch results")? {
+                Message::Statement { index, verdict } => {
+                    if index as usize != verdicts.len() {
+                        return Err(WalError::Decode("statement results out of order"));
+                    }
+                    verdicts.push(verdict);
+                }
+                Message::BatchDone { count } => {
+                    if count as usize != verdicts.len() {
+                        return Err(WalError::Decode("batch result count mismatch"));
+                    }
+                    return Ok(verdicts);
+                }
+                _ => return Err(WalError::Decode("unexpected message in batch reply")),
+            }
+        }
+    }
+
+    /// Scrapes the server's combined stats frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, or a response timeout.
+    pub fn stats(&mut self) -> Result<ServerStatsSnapshot, WalError> {
+        send_message(&mut self.stream, &Message::StatsRequest)?;
+        match self.next_message("stats reply")? {
+            Message::StatsReply(stats) => Ok(stats),
+            _ => Err(WalError::Decode("unexpected message in stats reply")),
+        }
+    }
+
+    /// Closes the connection (also happens on drop).
+    pub fn close(self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn next_message(&mut self, what: &str) -> Result<Message, WalError> {
+        let deadline = Instant::now() + self.config.response_timeout;
+        loop {
+            match self.reader.poll()? {
+                ReadEvent::Message(msg) => return Ok(msg),
+                ReadEvent::Idle => {
+                    if Instant::now() > deadline {
+                        return Err(timeout_error(what));
+                    }
+                }
+                ReadEvent::Closed => {
+                    return Err(WalError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        format!("server closed the connection during {what}"),
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,764 @@
+//! The query front-end wire protocol.
+//!
+//! Same framing discipline as the WAL and the replication stream: every
+//! message travels as `[len: u32 LE][crc32(payload): u32 LE][payload]`,
+//! where the payload is a tag byte followed by the message body. The CRC
+//! is checked before a byte of the payload is interpreted, so a frame
+//! corrupted in flight is rejected whole and the connection ends — the
+//! stream cannot be re-synchronized after framing is lost.
+//!
+//! Messages:
+//!
+//! | tag | message        | direction       | body                               |
+//! |-----|----------------|-----------------|------------------------------------|
+//! | 1   | `Hello`        | client → server | `version u32`                      |
+//! | 2   | `Batch`        | client → server | `script string`                    |
+//! | 3   | `StatsRequest` | client → server | —                                  |
+//! | 4   | `HelloAck`     | server → client | `version u32`                      |
+//! | 5   | `Statement`    | server → client | `index u32, verdict`               |
+//! | 6   | `BatchDone`    | server → client | `count u32`                        |
+//! | 7   | `StatsReply`   | server → client | [`ServerStatsSnapshot`]            |
+//! | 8   | `Refused`      | server → client | `reason string`                    |
+//!
+//! A `Batch` is answered by one `Statement` per `;`-separated statement
+//! (in script order) followed by a `BatchDone` carrying the count, so a
+//! client can stream results without knowing the statement count up
+//! front. Query results are encoded structurally (the full
+//! [`QueryResult`] tree — positions, bounds, uncertainty intervals,
+//! may/must sets, neighbour rankings); query *errors* travel as their
+//! display strings, which keeps every `modb-query` error representable
+//! without the server and client sharing an error-enum encoding.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use modb_core::{NearestAnswer, Neighbour, ObjectId, PositionAnswer, RangeAnswer};
+use modb_geom::Point;
+use modb_index::SearchStats;
+use modb_query::QueryResult;
+use modb_wal::codec::{put_f64, put_string, put_u32, put_u64};
+use modb_wal::{crc32, ByteReader, WalError};
+
+use crate::ingest::IngestStatsSnapshot;
+use crate::query_engine::QueryStatsSnapshot;
+
+/// Protocol version spoken by this build; a mismatched `Hello` is
+/// refused.
+pub(crate) const NET_PROTOCOL_VERSION: u32 = 1;
+
+/// Default ceiling on one message's payload. Query scripts and result
+/// sets are small next to replication snapshots, so the front-end default
+/// is far below the replication stream's 64 MiB.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 4 * 1024 * 1024;
+
+/// The outcome of one remote statement: the structural result, or the
+/// server-side error rendered to its display string.
+pub type RemoteVerdict = Result<QueryResult, String>;
+
+/// Everything a monitoring scrape wants from a serving node, gathered in
+/// one frame so the numbers are from (nearly) the same instant: query
+/// engine counters and latency percentiles, ingest accept/reject
+/// counters, WAL I/O totals, the ingest queue depth, and the replication
+/// ship horizon. [`ServerStatsSnapshot::prometheus_text`] renders the
+/// standard text exposition for scrapers that speak it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Query engine counters (epoch, totals, p50/p99 latency).
+    pub query: QueryStatsSnapshot,
+    /// Ingest accept/reject counters (zeroed when no ingest service is
+    /// attached to the server).
+    pub ingest: IngestStatsSnapshot,
+    /// Payload bytes appended to the WAL since open (headers excluded).
+    pub wal_bytes_appended: u64,
+    /// `fsync` calls issued by the WAL writer since open.
+    pub wal_fsyncs: u64,
+    /// The log frontier (next LSN to be written).
+    pub wal_next_lsn: u64,
+    /// Update envelopes enqueued but not yet applied across all ingest
+    /// shards (0 when no ingest service is attached).
+    pub ingest_queue_depth: u64,
+    /// Replication followers currently registered on the ship horizon.
+    pub followers: u64,
+    /// Lowest acknowledged LSN across followers (the compaction barrier),
+    /// when any are connected.
+    pub min_acked_lsn: Option<u64>,
+}
+
+impl ServerStatsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`# TYPE` lines plus one sample per metric). Gauges and counters
+    /// are labelled as such; `modb_replication_min_acked_lsn` is omitted
+    /// when no follower is connected rather than inventing a sentinel.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut metric = |name: &str, kind: &str, value: u64| {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        metric("modb_query_epoch", "gauge", self.query.epoch);
+        metric("modb_queries_total", "counter", self.query.queries);
+        metric("modb_query_epoch_queries", "gauge", self.query.epoch_queries);
+        metric("modb_query_errors_total", "counter", self.query.errors);
+        metric("modb_query_candidates_total", "counter", self.query.candidates);
+        metric("modb_query_matches_total", "counter", self.query.matches);
+        metric(
+            "modb_query_parallel_refines_total",
+            "counter",
+            self.query.parallel_refines,
+        );
+        metric("modb_query_batches_total", "counter", self.query.batches);
+        metric(
+            "modb_query_delta_publishes_total",
+            "counter",
+            self.query.delta_publishes,
+        );
+        metric(
+            "modb_query_full_publishes_total",
+            "counter",
+            self.query.full_publishes,
+        );
+        metric("modb_query_publish_nanoseconds_total", "counter", self.query.publish_ns);
+        metric("modb_query_p50_microseconds", "gauge", self.query.p50_us);
+        metric("modb_query_p99_microseconds", "gauge", self.query.p99_us);
+        metric(
+            "modb_query_snapshot_age_microseconds",
+            "gauge",
+            self.query.snapshot_age.as_micros() as u64,
+        );
+        metric("modb_ingest_accepted_total", "counter", self.ingest.accepted as u64);
+        metric("modb_ingest_stale_total", "counter", self.ingest.stale as u64);
+        metric("modb_ingest_off_route_total", "counter", self.ingest.off_route as u64);
+        metric(
+            "modb_ingest_unknown_object_total",
+            "counter",
+            self.ingest.unknown_object as u64,
+        );
+        metric(
+            "modb_ingest_other_rejected_total",
+            "counter",
+            self.ingest.other_rejected as u64,
+        );
+        metric("modb_ingest_wal_errors_total", "counter", self.ingest.wal_errors as u64);
+        metric("modb_ingest_queue_depth", "gauge", self.ingest_queue_depth);
+        metric("modb_wal_bytes_appended_total", "counter", self.wal_bytes_appended);
+        metric("modb_wal_fsyncs_total", "counter", self.wal_fsyncs);
+        metric("modb_wal_next_lsn", "gauge", self.wal_next_lsn);
+        metric("modb_replication_followers", "gauge", self.followers);
+        if let Some(lsn) = self.min_acked_lsn {
+            metric("modb_replication_min_acked_lsn", "gauge", lsn);
+        }
+        out
+    }
+}
+
+/// One protocol message (see the module table).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Message {
+    /// Client's opening line.
+    Hello { version: u32 },
+    /// A `;`-separated query script to run as one batch.
+    Batch { script: String },
+    /// Ask for a [`ServerStatsSnapshot`].
+    StatsRequest,
+    /// Handshake accepted.
+    HelloAck { version: u32 },
+    /// One statement's verdict, in script order.
+    Statement { index: u32, verdict: RemoteVerdict },
+    /// End of a batch's statement stream.
+    BatchDone { count: u32 },
+    /// The stats scrape.
+    StatsReply(ServerStatsSnapshot),
+    /// The server declined (version mismatch, at connection capacity);
+    /// the connection closes after this.
+    Refused { reason: String },
+}
+
+fn put_point(out: &mut Vec<u8>, p: &Point) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+fn read_point(r: &mut ByteReader<'_>) -> Result<Point, WalError> {
+    Ok(Point::new(r.f64()?, r.f64()?))
+}
+
+fn put_ids(out: &mut Vec<u8>, ids: &[ObjectId]) {
+    put_u32(out, ids.len() as u32);
+    for id in ids {
+        put_u64(out, id.0);
+    }
+}
+
+fn read_ids(r: &mut ByteReader<'_>) -> Result<Vec<ObjectId>, WalError> {
+    let n = r.u32()? as usize;
+    let mut ids = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        ids.push(ObjectId(r.u64()?));
+    }
+    Ok(ids)
+}
+
+fn put_neighbours(out: &mut Vec<u8>, ns: &[Neighbour]) {
+    put_u32(out, ns.len() as u32);
+    for n in ns {
+        put_u64(out, n.id.0);
+        put_f64(out, n.distance);
+        put_f64(out, n.bound);
+        out.push(u8::from(n.certain));
+    }
+}
+
+fn read_neighbours(r: &mut ByteReader<'_>) -> Result<Vec<Neighbour>, WalError> {
+    let n = r.u32()? as usize;
+    let mut ns = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        ns.push(Neighbour {
+            id: ObjectId(r.u64()?),
+            distance: r.f64()?,
+            bound: r.f64()?,
+            certain: r.u8()? != 0,
+        });
+    }
+    Ok(ns)
+}
+
+fn put_query_result(out: &mut Vec<u8>, result: &QueryResult) {
+    match result {
+        QueryResult::Position(p) => {
+            out.push(1);
+            put_point(out, &p.position);
+            put_f64(out, p.arc);
+            put_f64(out, p.bound);
+            put_f64(out, p.interval.0);
+            put_f64(out, p.interval.1);
+            put_u32(out, p.interval_path.len() as u32);
+            for pt in &p.interval_path {
+                put_point(out, pt);
+            }
+        }
+        QueryResult::Range(a) => {
+            out.push(2);
+            put_ids(out, &a.must);
+            put_ids(out, &a.may);
+            put_u64(out, a.candidates as u64);
+            put_u64(out, a.stats.nodes_visited as u64);
+            put_u64(out, a.stats.entries_tested as u64);
+            put_u64(out, a.stats.matches as u64);
+        }
+        QueryResult::Nearest(a) => {
+            out.push(3);
+            put_neighbours(out, &a.ranked);
+            put_neighbours(out, &a.contenders);
+        }
+    }
+}
+
+fn read_query_result(r: &mut ByteReader<'_>) -> Result<QueryResult, WalError> {
+    Ok(match r.u8()? {
+        1 => {
+            let position = read_point(r)?;
+            let arc = r.f64()?;
+            let bound = r.f64()?;
+            let interval = (r.f64()?, r.f64()?);
+            let n = r.u32()? as usize;
+            let mut interval_path = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                interval_path.push(read_point(r)?);
+            }
+            QueryResult::Position(PositionAnswer {
+                position,
+                arc,
+                bound,
+                interval,
+                interval_path,
+            })
+        }
+        2 => {
+            let must = read_ids(r)?;
+            let may = read_ids(r)?;
+            let candidates = r.u64()? as usize;
+            let stats = SearchStats {
+                nodes_visited: r.u64()? as usize,
+                entries_tested: r.u64()? as usize,
+                matches: r.u64()? as usize,
+            };
+            QueryResult::Range(RangeAnswer {
+                must,
+                may,
+                candidates,
+                stats,
+            })
+        }
+        3 => {
+            let ranked = read_neighbours(r)?;
+            let contenders = read_neighbours(r)?;
+            QueryResult::Nearest(NearestAnswer { ranked, contenders })
+        }
+        _ => return Err(WalError::Decode("unknown query result kind")),
+    })
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &ServerStatsSnapshot) {
+    put_u64(out, s.query.epoch);
+    put_u64(out, s.query.queries);
+    put_u64(out, s.query.epoch_queries);
+    put_u64(out, s.query.errors);
+    put_u64(out, s.query.candidates);
+    put_u64(out, s.query.matches);
+    put_u64(out, s.query.parallel_refines);
+    put_u64(out, s.query.batches);
+    put_u64(out, s.query.delta_publishes);
+    put_u64(out, s.query.full_publishes);
+    put_u64(out, s.query.publish_ns);
+    put_u64(out, s.query.p50_us);
+    put_u64(out, s.query.p99_us);
+    put_u64(out, s.query.snapshot_age.as_nanos() as u64);
+    put_u64(out, s.ingest.accepted as u64);
+    put_u64(out, s.ingest.stale as u64);
+    put_u64(out, s.ingest.off_route as u64);
+    put_u64(out, s.ingest.unknown_object as u64);
+    put_u64(out, s.ingest.other_rejected as u64);
+    put_u64(out, s.ingest.wal_errors as u64);
+    put_u64(out, s.wal_bytes_appended);
+    put_u64(out, s.wal_fsyncs);
+    put_u64(out, s.wal_next_lsn);
+    put_u64(out, s.ingest_queue_depth);
+    put_u64(out, s.followers);
+    match s.min_acked_lsn {
+        Some(lsn) => {
+            out.push(1);
+            put_u64(out, lsn);
+        }
+        None => out.push(0),
+    }
+}
+
+fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
+    let query = QueryStatsSnapshot {
+        epoch: r.u64()?,
+        queries: r.u64()?,
+        epoch_queries: r.u64()?,
+        errors: r.u64()?,
+        candidates: r.u64()?,
+        matches: r.u64()?,
+        parallel_refines: r.u64()?,
+        batches: r.u64()?,
+        delta_publishes: r.u64()?,
+        full_publishes: r.u64()?,
+        publish_ns: r.u64()?,
+        p50_us: r.u64()?,
+        p99_us: r.u64()?,
+        snapshot_age: Duration::from_nanos(r.u64()?),
+    };
+    let ingest = IngestStatsSnapshot {
+        accepted: r.u64()? as usize,
+        stale: r.u64()? as usize,
+        off_route: r.u64()? as usize,
+        unknown_object: r.u64()? as usize,
+        other_rejected: r.u64()? as usize,
+        wal_errors: r.u64()? as usize,
+    };
+    let wal_bytes_appended = r.u64()?;
+    let wal_fsyncs = r.u64()?;
+    let wal_next_lsn = r.u64()?;
+    let ingest_queue_depth = r.u64()?;
+    let followers = r.u64()?;
+    let min_acked_lsn = if r.u8()? != 0 { Some(r.u64()?) } else { None };
+    Ok(ServerStatsSnapshot {
+        query,
+        ingest,
+        wal_bytes_appended,
+        wal_fsyncs,
+        wal_next_lsn,
+        ingest_queue_depth,
+        followers,
+        min_acked_lsn,
+    })
+}
+
+impl Message {
+    pub(crate) fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Hello { version } => {
+                out.push(1);
+                put_u32(out, *version);
+            }
+            Message::Batch { script } => {
+                out.push(2);
+                put_string(out, script);
+            }
+            Message::StatsRequest => out.push(3),
+            Message::HelloAck { version } => {
+                out.push(4);
+                put_u32(out, *version);
+            }
+            Message::Statement { index, verdict } => {
+                out.push(5);
+                put_u32(out, *index);
+                match verdict {
+                    Ok(result) => {
+                        out.push(1);
+                        put_query_result(out, result);
+                    }
+                    Err(msg) => {
+                        out.push(0);
+                        put_string(out, msg);
+                    }
+                }
+            }
+            Message::BatchDone { count } => {
+                out.push(6);
+                put_u32(out, *count);
+            }
+            Message::StatsReply(stats) => {
+                out.push(7);
+                put_stats(out, stats);
+            }
+            Message::Refused { reason } => {
+                out.push(8);
+                put_string(out, reason);
+            }
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, WalError> {
+        let mut r = ByteReader::new(payload);
+        let msg = match r.u8()? {
+            1 => Message::Hello { version: r.u32()? },
+            2 => Message::Batch { script: r.string()? },
+            3 => Message::StatsRequest,
+            4 => Message::HelloAck { version: r.u32()? },
+            5 => {
+                let index = r.u32()?;
+                let verdict = match r.u8()? {
+                    1 => Ok(read_query_result(&mut r)?),
+                    0 => Err(r.string()?),
+                    _ => return Err(WalError::Decode("bad statement verdict flag")),
+                };
+                Message::Statement { index, verdict }
+            }
+            6 => Message::BatchDone { count: r.u32()? },
+            7 => Message::StatsReply(read_stats(&mut r)?),
+            8 => Message::Refused { reason: r.string()? },
+            _ => return Err(WalError::Decode("unknown front-end message tag")),
+        };
+        if !r.is_empty() {
+            return Err(WalError::Decode("trailing bytes in front-end message"));
+        }
+        Ok(msg)
+    }
+}
+
+/// Frames and sends one message (blocking, honoring the stream's write
+/// timeout).
+pub(crate) fn send_message(stream: &mut TcpStream, msg: &Message) -> Result<(), WalError> {
+    let mut payload = Vec::new();
+    msg.encode_payload(&mut payload);
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame)?;
+    Ok(())
+}
+
+/// What one [`FrameReader::poll`] observed.
+#[derive(Debug)]
+pub(crate) enum ReadEvent {
+    /// A whole, CRC-valid message.
+    Message(Message),
+    /// No complete frame yet (read timed out or a frame is partially
+    /// buffered).
+    Idle,
+    /// The peer closed the connection.
+    Closed,
+}
+
+/// Accumulating frame decoder over a socket, bounded by `max_frame_bytes`
+/// per message. Reads honor the stream's read timeout, so a poll returns
+/// [`ReadEvent::Idle`] rather than blocking forever; bytes of a partial
+/// frame are buffered across polls. A length or CRC violation is a hard
+/// [`WalError::Decode`].
+#[derive(Debug)]
+pub(crate) struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame_bytes: u32,
+}
+
+impl FrameReader {
+    pub(crate) fn new(stream: TcpStream, max_frame_bytes: u32) -> Self {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+            max_frame_bytes,
+        }
+    }
+
+    /// `true` while bytes of an unfinished frame sit in the buffer — the
+    /// server's stalled-client deadline keys off this.
+    pub(crate) fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads once and decodes if a whole frame is available.
+    pub(crate) fn poll(&mut self) -> Result<ReadEvent, WalError> {
+        if let Some(msg) = self.try_decode()? {
+            return Ok(ReadEvent::Message(msg));
+        }
+        let mut tmp = [0u8; 64 * 1024];
+        match self.stream.read(&mut tmp) {
+            Ok(0) => Ok(ReadEvent::Closed),
+            Ok(n) => {
+                self.buf.extend_from_slice(&tmp[..n]);
+                match self.try_decode()? {
+                    Some(msg) => Ok(ReadEvent::Message(msg)),
+                    None => Ok(ReadEvent::Idle),
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                Ok(ReadEvent::Idle)
+            }
+            Err(e) => Err(WalError::Io(e)),
+        }
+    }
+
+    fn try_decode(&mut self) -> Result<Option<Message>, WalError> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len == 0 || len > self.max_frame_bytes {
+            return Err(WalError::Decode("implausible front-end frame length"));
+        }
+        let crc = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        let total = 8 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = &self.buf[8..total];
+        if crc32(payload) != crc {
+            return Err(WalError::Decode("front-end frame crc mismatch"));
+        }
+        let msg = Message::decode_payload(payload)?;
+        self.buf.drain(..total);
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    fn sample_stats() -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            query: QueryStatsSnapshot {
+                epoch: 3,
+                queries: 100,
+                epoch_queries: 40,
+                errors: 2,
+                candidates: 500,
+                matches: 123,
+                parallel_refines: 7,
+                batches: 9,
+                delta_publishes: 2,
+                full_publishes: 1,
+                publish_ns: 12_345,
+                p50_us: 64,
+                p99_us: 1024,
+                snapshot_age: Duration::from_micros(873),
+            },
+            ingest: IngestStatsSnapshot {
+                accepted: 10,
+                stale: 1,
+                off_route: 2,
+                unknown_object: 3,
+                other_rejected: 4,
+                wal_errors: 0,
+            },
+            wal_bytes_appended: 4_096,
+            wal_fsyncs: 17,
+            wal_next_lsn: 88,
+            ingest_queue_depth: 5,
+            followers: 2,
+            min_acked_lsn: Some(80),
+        }
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello {
+                version: NET_PROTOCOL_VERSION,
+            },
+            Message::Batch {
+                script: "RETRIEVE POSITION OF OBJECT 1 AT TIME 5; RETRIEVE \
+                         OBJECTS INSIDE RECT (0, 0, 5, 5) AT TIME 5"
+                    .into(),
+            },
+            Message::StatsRequest,
+            Message::HelloAck {
+                version: NET_PROTOCOL_VERSION,
+            },
+            Message::Statement {
+                index: 0,
+                verdict: Ok(QueryResult::Position(PositionAnswer {
+                    position: Point::new(1.5, -2.25),
+                    arc: 7.0,
+                    bound: 0.5,
+                    interval: (6.5, 7.5),
+                    interval_path: vec![Point::new(6.5, 0.0), Point::new(7.5, 0.0)],
+                })),
+            },
+            Message::Statement {
+                index: 1,
+                verdict: Ok(QueryResult::Range(RangeAnswer {
+                    must: vec![ObjectId(1), ObjectId(4)],
+                    may: vec![ObjectId(9)],
+                    candidates: 6,
+                    stats: SearchStats {
+                        nodes_visited: 3,
+                        entries_tested: 12,
+                        matches: 3,
+                    },
+                })),
+            },
+            Message::Statement {
+                index: 2,
+                verdict: Ok(QueryResult::Nearest(NearestAnswer {
+                    ranked: vec![Neighbour {
+                        id: ObjectId(2),
+                        distance: 1.25,
+                        bound: 0.1,
+                        certain: true,
+                    }],
+                    contenders: vec![Neighbour {
+                        id: ObjectId(5),
+                        distance: 1.5,
+                        bound: 0.5,
+                        certain: false,
+                    }],
+                })),
+            },
+            Message::Statement {
+                index: 3,
+                verdict: Err("lex error at byte 0: unterminated string literal".into()),
+            },
+            Message::BatchDone { count: 4 },
+            Message::StatsReply(sample_stats()),
+            Message::Refused {
+                reason: "server at connection capacity".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_message() {
+        let (mut tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut reader = FrameReader::new(rx, DEFAULT_MAX_FRAME_BYTES);
+        for msg in sample_messages() {
+            send_message(&mut tx, &msg).unwrap();
+            let got = loop {
+                match reader.poll().unwrap() {
+                    ReadEvent::Message(m) => break m,
+                    ReadEvent::Idle => continue,
+                    ReadEvent::Closed => panic!("peer closed"),
+                }
+            };
+            assert_eq!(got, msg);
+        }
+        drop(tx);
+        assert!(matches!(reader.poll().unwrap(), ReadEvent::Closed));
+    }
+
+    #[test]
+    fn oversized_frame_is_a_hard_error() {
+        let (mut tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut frame = Vec::new();
+        put_u32(&mut frame, 1024 + 1); // over this reader's ceiling
+        put_u32(&mut frame, 0);
+        tx.write_all(&frame).unwrap();
+        let mut reader = FrameReader::new(rx, 1024);
+        let err = loop {
+            match reader.poll() {
+                Ok(ReadEvent::Idle) => continue,
+                Ok(other) => panic!("{other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, WalError::Decode(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_crc_is_a_hard_error() {
+        let (mut tx, rx) = pair();
+        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut payload = Vec::new();
+        Message::StatsRequest.encode_payload(&mut payload);
+        let mut frame = Vec::new();
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload) ^ 1); // flipped
+        frame.extend_from_slice(&payload);
+        tx.write_all(&frame).unwrap();
+        let mut reader = FrameReader::new(rx, DEFAULT_MAX_FRAME_BYTES);
+        let err = loop {
+            match reader.poll() {
+                Ok(ReadEvent::Idle) => continue,
+                Ok(other) => panic!("{other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, WalError::Decode(_)), "{err}");
+    }
+
+    #[test]
+    fn prometheus_text_carries_every_counter() {
+        let stats = sample_stats();
+        let text = stats.prometheus_text();
+        for (metric, value) in [
+            ("modb_query_epoch", 3),
+            ("modb_queries_total", 100),
+            ("modb_query_errors_total", 2),
+            ("modb_query_p50_microseconds", 64),
+            ("modb_query_p99_microseconds", 1024),
+            ("modb_ingest_accepted_total", 10),
+            ("modb_ingest_queue_depth", 5),
+            ("modb_wal_bytes_appended_total", 4096),
+            ("modb_wal_fsyncs_total", 17),
+            ("modb_wal_next_lsn", 88),
+            ("modb_replication_followers", 2),
+            ("modb_replication_min_acked_lsn", 80),
+        ] {
+            assert!(
+                text.lines().any(|l| l == format!("{metric} {value}")),
+                "missing `{metric} {value}` in:\n{text}"
+            );
+            assert!(
+                text.lines().any(|l| l.starts_with(&format!("# TYPE {metric} "))),
+                "missing TYPE line for {metric}"
+            );
+        }
+        // No follower connected: the barrier gauge disappears entirely.
+        let empty = ServerStatsSnapshot {
+            min_acked_lsn: None,
+            ..stats
+        };
+        assert!(!empty.prometheus_text().contains("min_acked_lsn"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Server side of the query front-end: accept clients, run their
+//! `;`-batches on the [`QueryEngine`], and answer stats scrapes.
+//!
+//! One thread accepts connections (same shape as the replication
+//! leader); each client gets a session thread that handshakes, then
+//! loops over `Batch` / `StatsRequest` messages. Robustness is fail-fast
+//! per connection and fail-safe for the server:
+//!
+//! - **Connection cap**: past [`QueryServerConfig::max_connections`]
+//!   live sessions, a new client is sent `Refused` and closed — the
+//!   accept loop never blocks on a slow client.
+//! - **Frame cap**: a frame above
+//!   [`QueryServerConfig::max_frame_bytes`] is stream corruption; the
+//!   session ends without reading the body.
+//! - **Request deadline**: a client that starts a frame and stalls
+//!   (bytes buffered, no complete message) past
+//!   [`QueryServerConfig::request_deadline`] is disconnected; its slot
+//!   is released. Idle connections with *no* partial frame are fine —
+//!   consoles sit at prompts for minutes.
+//! - **Drained shutdown**: [`QueryServer::shutdown`] stops accepting and
+//!   joins every session; a batch already delivered or executing finishes
+//!   and its results are written out before the session exits, so a
+//!   client never sees a half-answered batch from a clean shutdown.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use modb_wal::{SharedWal, WalError};
+
+use crate::durable::DurableDatabase;
+use crate::ingest::IngestMonitor;
+use crate::net::protocol::{
+    send_message, FrameReader, Message, ReadEvent, ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
+    NET_PROTOCOL_VERSION,
+};
+use crate::query_engine::QueryEngine;
+use crate::replication::ShipHorizon;
+
+/// Tuning for [`DurableDatabase::serve_queries`].
+#[derive(Debug, Clone)]
+pub struct QueryServerConfig {
+    /// Live sessions beyond this are refused at accept.
+    pub max_connections: usize,
+    /// Per-message payload ceiling; a larger frame ends the session.
+    pub max_frame_bytes: u32,
+    /// How long a partially received request may sit before the client
+    /// is declared stalled and disconnected.
+    pub request_deadline: Duration,
+    /// Socket write timeout; a client not draining its results is
+    /// disconnected.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for QueryServerConfig {
+    fn default() -> Self {
+        QueryServerConfig {
+            max_connections: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            request_deadline: Duration::from_secs(10),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Everything a session needs, shared across connection threads.
+struct ServeContext {
+    engine: Arc<QueryEngine>,
+    wal: SharedWal,
+    horizon: Arc<ShipHorizon>,
+    ingest: Option<IngestMonitor>,
+    config: QueryServerConfig,
+}
+
+impl ServeContext {
+    /// One consistent scrape: every gauge and counter read back to back.
+    fn scrape(&self) -> ServerStatsSnapshot {
+        let (wal_bytes_appended, wal_fsyncs) = self.wal.io_counters();
+        ServerStatsSnapshot {
+            query: self.engine.stats(),
+            ingest: self
+                .ingest
+                .as_ref()
+                .map(|m| m.snapshot())
+                .unwrap_or_default(),
+            wal_bytes_appended,
+            wal_fsyncs,
+            wal_next_lsn: self.wal.next_lsn(),
+            ingest_queue_depth: self
+                .ingest
+                .as_ref()
+                .map(|m| m.queue_depth() as u64)
+                .unwrap_or(0),
+            followers: self.horizon.followers() as u64,
+            min_acked_lsn: self.horizon.min(),
+        }
+    }
+}
+
+/// Handle to a running query front-end listener. Dropping (or
+/// [`QueryServer::shutdown`]) stops the accept loop and joins every
+/// session after its in-flight batch drains.
+#[derive(Debug)]
+pub struct QueryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    active: Arc<AtomicUsize>,
+}
+
+impl QueryServer {
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently holding a connection slot. Drops back to 0
+    /// once every client has disconnected — the fault tests use this to
+    /// prove no slot leaks.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and joins all sessions (draining their in-flight
+    /// batches).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl DurableDatabase {
+    /// Starts serving queries and stats scrapes on `addr` (use port 0
+    /// for an ephemeral port, then [`QueryServer::local_addr`]). Batches
+    /// run on `engine` exactly as a local
+    /// [`QueryEngine::run_batch`] call would; pass an
+    /// [`IngestMonitor`] to include ingest counters and queue depth in
+    /// the scrape (they read as zero without one).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn serve_queries(
+        &self,
+        engine: Arc<QueryEngine>,
+        ingest: Option<IngestMonitor>,
+        addr: impl ToSocketAddrs,
+        config: QueryServerConfig,
+    ) -> Result<QueryServer, WalError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let ctx = Arc::new(ServeContext {
+            engine,
+            wal: self.wal().clone(),
+            horizon: Arc::clone(self.ship_horizon()),
+            ingest,
+            config,
+        });
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let active = Arc::clone(&active);
+            std::thread::spawn(move || accept_loop(listener, ctx, active, stop))
+        };
+        Ok(QueryServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            active,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ctx: Arc<ServeContext>,
+    active: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                if active.load(Ordering::SeqCst) >= ctx.config.max_connections {
+                    // Refuse inline: a capacity rejection is one small
+                    // write and must not consume a thread or a slot.
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+                    let _ = send_message(
+                        &mut stream,
+                        &Message::Refused {
+                            reason: "server at connection capacity".into(),
+                        },
+                    );
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let ctx = Arc::clone(&ctx);
+                let active = Arc::clone(&active);
+                let stop = Arc::clone(&stop);
+                sessions.push(std::thread::spawn(move || {
+                    handle_client(stream, &ctx, &stop);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+        sessions.retain(|h| !h.is_finished());
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+/// One client session: handshake, then serve batches and scrapes until
+/// the peer closes, violates the protocol, stalls past the deadline, or
+/// the server shuts down.
+fn handle_client(mut stream: TcpStream, ctx: &ServeContext, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+    let _ = stream.set_write_timeout(ctx.config.write_timeout);
+    let _ = run_session(&mut stream, ctx, stop);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn run_session(
+    stream: &mut TcpStream,
+    ctx: &ServeContext,
+    stop: &AtomicBool,
+) -> Result<(), WalError> {
+    let reader_stream = stream.try_clone()?;
+    let mut reader = FrameReader::new(reader_stream, ctx.config.max_frame_bytes);
+
+    // ---- Handshake: wait (bounded) for the client's Hello.
+    let deadline = Instant::now() + ctx.config.request_deadline;
+    loop {
+        if stop.load(Ordering::SeqCst) || Instant::now() > deadline {
+            return Ok(());
+        }
+        match reader.poll()? {
+            ReadEvent::Message(Message::Hello { version }) => {
+                if version != NET_PROTOCOL_VERSION {
+                    let _ = send_message(
+                        stream,
+                        &Message::Refused {
+                            reason: format!(
+                                "protocol version mismatch: client {version}, \
+                                 server {NET_PROTOCOL_VERSION}"
+                            ),
+                        },
+                    );
+                    return Ok(());
+                }
+                send_message(
+                    stream,
+                    &Message::HelloAck {
+                        version: NET_PROTOCOL_VERSION,
+                    },
+                )?;
+                break;
+            }
+            ReadEvent::Message(_) => {
+                return Err(WalError::Decode("expected Hello"));
+            }
+            ReadEvent::Idle => continue,
+            ReadEvent::Closed => return Ok(()),
+        }
+    }
+
+    // ---- Serve loop. Shutdown is observed on Idle, not up front: a
+    // request already delivered when the stop flag flips is still
+    // answered in full (the drain guarantee), and only then does the
+    // session exit.
+    let mut partial_since: Option<Instant> = None;
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
+        match reader.poll()? {
+            ReadEvent::Message(Message::Batch { script }) => {
+                partial_since = None;
+                // Synchronous execution: shutdown observed after this
+                // point still lets the full response stream out (the
+                // drain guarantee).
+                let verdicts = ctx.engine.run_batch(&script);
+                let count = verdicts.len() as u32;
+                for (index, verdict) in verdicts.into_iter().enumerate() {
+                    send_message(
+                        stream,
+                        &Message::Statement {
+                            index: index as u32,
+                            verdict: verdict.map_err(|e| e.to_string()),
+                        },
+                    )?;
+                }
+                send_message(stream, &Message::BatchDone { count })?;
+            }
+            ReadEvent::Message(Message::StatsRequest) => {
+                partial_since = None;
+                send_message(stream, &Message::StatsReply(ctx.scrape()))?;
+            }
+            ReadEvent::Message(_) => {
+                // A server-only message from a client is a protocol
+                // violation.
+                return Err(WalError::Decode("unexpected client message"));
+            }
+            ReadEvent::Idle => {
+                if stopping {
+                    return Ok(());
+                }
+                if reader.has_partial() {
+                    let since = *partial_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > ctx.config.request_deadline {
+                        return Err(WalError::Decode("client stalled mid-request"));
+                    }
+                } else {
+                    partial_since = None;
+                }
+            }
+            ReadEvent::Closed => return Ok(()),
+        }
+    }
+}

@@ -202,13 +202,16 @@ impl fmt::Debug for QueryStats {
 
 impl QueryStats {
     fn record(&self, elapsed: Duration, candidates: usize, matches: usize, error: bool) {
+        // Ceilings first, subordinates second, with release/acquire
+        // pairing so `snapshot` (which reads in the opposite order) can
+        // never observe a subordinate ahead of its ceiling.
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.epoch_queries.fetch_add(1, Ordering::Relaxed);
+        self.epoch_queries.fetch_add(1, Ordering::Release);
         if error {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.errors.fetch_add(1, Ordering::Release);
         }
         self.candidates.fetch_add(candidates as u64, Ordering::Relaxed);
-        self.matches.fetch_add(matches as u64, Ordering::Relaxed);
+        self.matches.fetch_add(matches as u64, Ordering::Release);
         let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         let bucket = (64 - (us | 1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
@@ -240,14 +243,29 @@ impl QueryStats {
 
     /// A plain-value copy of the counters; `snapshot_age` is supplied by
     /// the engine (it lives on the epoch cell, not in the counters).
+    ///
+    /// The copy is internally *consistent*: a scrape racing a
+    /// mid-flight [`record`](Self::record) can never report
+    /// `epoch_queries > queries`, `errors > queries`, or
+    /// `matches > candidates`. Dependent counters are loaded in the
+    /// opposite order to the writer (so the subordinate value is never
+    /// newer than its ceiling) and clamped — the clamp also covers the
+    /// epoch-reset race, where `epoch_queries` flies back to 0.
     pub fn snapshot(&self, snapshot_age: Duration) -> QueryStatsSnapshot {
+        // Writer order in `record` is queries → epoch_queries → errors →
+        // candidates → matches; read each subordinate before its ceiling.
+        let epoch_queries = self.epoch_queries.load(Ordering::Acquire);
+        let errors = self.errors.load(Ordering::Acquire);
+        let matches = self.matches.load(Ordering::Acquire);
+        let candidates = self.candidates.load(Ordering::Acquire);
+        let queries = self.queries.load(Ordering::Acquire);
         QueryStatsSnapshot {
             epoch: self.epoch.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            epoch_queries: self.epoch_queries.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            candidates: self.candidates.load(Ordering::Relaxed),
-            matches: self.matches.load(Ordering::Relaxed),
+            queries,
+            epoch_queries: epoch_queries.min(queries),
+            errors: errors.min(queries),
+            candidates,
+            matches: matches.min(candidates),
             parallel_refines: self.parallel_refines.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             delta_publishes: self.delta_publishes.load(Ordering::Relaxed),
@@ -726,13 +744,18 @@ impl QueryEngine {
 
     /// Parses a `;`-separated `modb-query` script and executes the
     /// statements as one batch (one snapshot, fanned across the pool).
+    /// A script whose quoting never closes cannot be split; that comes
+    /// back as a single parse-error verdict for the whole batch.
     pub fn run_batch(&self, src: &str) -> Vec<Result<QueryResult, QueryError>> {
-        self.execute_batch(
-            modb_query::split_statements(src)
-                .into_iter()
-                .map(|s| BatchRequest::Text(s.to_string()))
-                .collect(),
-        )
+        match modb_query::split_statements(src) {
+            Ok(statements) => self.execute_batch(
+                statements
+                    .into_iter()
+                    .map(|s| BatchRequest::Text(s.to_string()))
+                    .collect(),
+            ),
+            Err(e) => vec![Err(QueryError::Parse(modb_query::ParseError::Lex(e)))],
+        }
     }
 
     /// Stops the background threads and the pool, returning the final
@@ -1103,6 +1126,90 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.queries, 20);
         assert_eq!(stats.epoch_queries, 0);
+    }
+
+    #[test]
+    fn run_batch_rejects_unterminated_literal_as_one_verdict() {
+        let db = shared(5);
+        let engine = QueryEngine::new(db, manual_config());
+        let results = engine.run_batch(
+            "RETRIEVE POSITION OF OBJECT 'veh-1 AT TIME 0; RETRIEVE POSITION OF OBJECT 2 AT TIME 0",
+        );
+        assert_eq!(results.len(), 1, "an unsplittable script is one verdict");
+        assert!(matches!(results[0], Err(QueryError::Parse(_))));
+        // Quoted `;` still splits correctly (two statements, not three).
+        let engine2 = QueryEngine::new(shared(5), manual_config());
+        let results = engine2.run_batch(
+            "RETRIEVE POSITION OF OBJECT 'a;b' AT TIME 0; RETRIEVE POSITION OF OBJECT 1 AT TIME 0",
+        );
+        assert_eq!(results.len(), 2);
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn percentile_edges() {
+        // Empty histogram: every quantile is 0.
+        let stats = QueryStats::default();
+        assert_eq!(stats.percentile_us(0.5), 0);
+        assert_eq!(stats.percentile_us(1.0), 0);
+        // One sample at ~100 µs: every quantile is its bucket's upper
+        // bound (128 = 2^7).
+        stats.record(Duration::from_micros(100), 0, 0, false);
+        assert_eq!(stats.percentile_us(0.001), 128);
+        assert_eq!(stats.percentile_us(1.0), 128);
+        // A latency beyond the top bucket saturates instead of indexing
+        // out of bounds, and q = 1.0 lands on it.
+        stats.record(Duration::from_secs(u64::MAX / 1_000_000_000), 0, 0, false);
+        assert_eq!(stats.percentile_us(1.0), 1u64 << (LATENCY_BUCKETS - 1));
+        // The median is still the small sample.
+        assert_eq!(stats.percentile_us(0.5), 128);
+    }
+
+    #[test]
+    fn snapshot_is_never_torn_under_concurrent_records() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let stats = Arc::new(QueryStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..3)
+            .map(|_| {
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // matches < candidates per record, error on some.
+                        stats.record(Duration::from_micros(7), 5, 2, n % 4 == 0);
+                        n += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..5_000 {
+            let snap = stats.snapshot(Duration::ZERO);
+            assert!(
+                snap.epoch_queries <= snap.queries,
+                "torn: epoch_queries {} > queries {}",
+                snap.epoch_queries,
+                snap.queries
+            );
+            assert!(
+                snap.errors <= snap.queries,
+                "torn: errors {} > queries {}",
+                snap.errors,
+                snap.queries
+            );
+            assert!(
+                snap.matches <= snap.candidates,
+                "torn: matches {} > candidates {}",
+                snap.matches,
+                snap.candidates
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

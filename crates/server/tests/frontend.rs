@@ -1,0 +1,223 @@
+//! End-to-end tests for the query front-end: remote batches must be
+//! byte-for-byte the verdicts a local `run_batch` produces, the stats
+//! scrape must round-trip every counter, capacity refusals must be
+//! clean, and a shutdown must drain an in-flight batch.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::*;
+use modb_server::{
+    DurableDatabase, QueryClient, QueryEngineConfig, QueryServer, QueryServerConfig,
+    UpdateEnvelope,
+};
+
+const WAIT: Duration = Duration::from_secs(30);
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A durable database with a handful of vehicles at known arcs, its
+/// engine (manual epoch publishing for determinism), and a running
+/// front-end.
+fn serve(
+    name: &str,
+    config: QueryServerConfig,
+) -> (DurableDatabase, Arc<modb_server::QueryEngine>, QueryServer) {
+    let durable = DurableDatabase::create(tmp(name), fresh_db(), test_wal_options()).unwrap();
+    for i in 0..8u64 {
+        durable.register_moving(vehicle(i, 100.0 * i as f64)).unwrap();
+    }
+    for i in 0..8u64 {
+        durable
+            .apply_update(modb_core::ObjectId(i), &update(5.0, 100.0 * i as f64 + 5.0))
+            .unwrap();
+    }
+    let engine = Arc::new(durable.query_engine(QueryEngineConfig {
+        epoch_interval: None,
+        report_interval: None,
+        ..QueryEngineConfig::default()
+    }));
+    engine.publish_now();
+    let server = durable
+        .serve_queries(Arc::clone(&engine), None, "127.0.0.1:0", config)
+        .unwrap();
+    (durable, engine, server)
+}
+
+/// A script covering every result kind plus two distinct error shapes
+/// (an exec error and a parse error).
+const SCRIPT: &str = "RETRIEVE POSITION OF OBJECT 3 AT TIME 6; \
+                      RETRIEVE OBJECTS INSIDE RECT (0, -1, 450, 1) AT TIME 6; \
+                      RETRIEVE 3 NEAREST OBJECTS TO POINT (200, 0) AT TIME 6; \
+                      RETRIEVE POSITION OF OBJECT 'no-such-vehicle' AT TIME 6; \
+                      RETRIEVE NONSENSE";
+
+#[test]
+fn remote_batch_matches_local_run_batch() {
+    let (_durable, engine, server) = serve("net-parity", QueryServerConfig::default());
+    let mut client = QueryClient::connect(server.local_addr()).unwrap();
+
+    let remote = client.batch(SCRIPT).unwrap();
+    let local = engine.run_batch(SCRIPT);
+    assert_eq!(remote.len(), local.len());
+    for (i, (r, l)) in remote.iter().zip(&local).enumerate() {
+        match (r, l) {
+            (Ok(r), Ok(l)) => assert_eq!(r, l, "statement {i}"),
+            (Err(r), Err(l)) => assert_eq!(r, &l.to_string(), "statement {i}"),
+            other => panic!("statement {i}: verdict kinds diverge: {other:?}"),
+        }
+    }
+
+    // A second batch on the same connection (the session loops).
+    let again = client.batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6").unwrap();
+    assert_eq!(again.len(), 1);
+    assert!(again[0].is_ok());
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn stats_scrape_round_trips_every_counter() {
+    let (durable, engine, server) = serve("net-stats", QueryServerConfig::default());
+    let service = durable.ingest_service(2, 16);
+    let monitor = service.monitor();
+    // Rewire: serve a second front-end that carries the ingest monitor
+    // (the helper starts one without).
+    let server2 = durable
+        .serve_queries(
+            Arc::clone(&engine),
+            Some(monitor),
+            "127.0.0.1:0",
+            QueryServerConfig::default(),
+        )
+        .unwrap();
+
+    let handle = service.handle();
+    for i in 0..8u64 {
+        handle
+            .send(UpdateEnvelope {
+                id: modb_core::ObjectId(i),
+                msg: update(10.0, 100.0 * i as f64 + 10.0),
+            })
+            .unwrap();
+    }
+    // One stale rejection: an update older than the applied one.
+    handle
+        .send(UpdateEnvelope {
+            id: modb_core::ObjectId(0),
+            msg: update(1.0, 1.0),
+        })
+        .unwrap();
+    wait_until("ingest drained", || {
+        monitor_totals(&service) == 9 && service.queue_depth() == 0
+    });
+
+    let mut client = QueryClient::connect(server2.local_addr()).unwrap();
+    client.batch(SCRIPT).unwrap();
+    let stats = client.stats().unwrap();
+
+    // Query side: the batch ran 5 statements, 2 of them errors.
+    assert_eq!(stats.query.queries, 5);
+    assert_eq!(stats.query.errors, 2);
+    assert_eq!(stats.query.batches, 1);
+    assert!(stats.query.epoch >= 1);
+    assert!(stats.query.epoch_queries <= stats.query.queries);
+    assert!(stats.query.matches <= stats.query.candidates);
+
+    // Ingest side.
+    assert_eq!(stats.ingest.accepted, 8);
+    assert_eq!(stats.ingest.stale, 1);
+    assert_eq!(stats.ingest_queue_depth, 0);
+
+    // WAL side: registrations + updates all logged; counters agree with
+    // the writer's own view.
+    let (bytes, fsyncs) = durable.wal().io_counters();
+    assert!(bytes > 0);
+    assert_eq!(stats.wal_bytes_appended, bytes);
+    assert_eq!(stats.wal_fsyncs, fsyncs);
+    assert_eq!(stats.wal_next_lsn, durable.wal().next_lsn());
+
+    // No replication attached.
+    assert_eq!(stats.followers, 0);
+    assert_eq!(stats.min_acked_lsn, None);
+
+    // The text exposition carries the same numbers.
+    let text = stats.prometheus_text();
+    assert!(text.contains("modb_queries_total 5"), "{text}");
+    assert!(text.contains("modb_ingest_accepted_total 8"), "{text}");
+    assert!(text.contains(&format!("modb_wal_bytes_appended_total {bytes}")), "{text}");
+
+    client.close();
+    service.shutdown();
+    server2.shutdown();
+    server.shutdown();
+}
+
+fn monitor_totals(service: &modb_server::IngestService) -> usize {
+    service.stats().snapshot().total()
+}
+
+#[test]
+fn capacity_overflow_is_refused_and_slot_reuse_works() {
+    let (_durable, _engine, server) = serve(
+        "net-capacity",
+        QueryServerConfig {
+            max_connections: 1,
+            ..QueryServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let first = QueryClient::connect(addr).unwrap();
+    wait_until("first session registered", || server.active_connections() == 1);
+
+    let err = QueryClient::connect(addr).expect_err("second client must be refused");
+    assert!(
+        err.to_string().contains("capacity"),
+        "refusal should carry the reason, got: {err}"
+    );
+
+    // Releasing the slot lets a new client in.
+    first.close();
+    wait_until("slot released", || server.active_connections() == 0);
+    let mut third = QueryClient::connect(addr).unwrap();
+    assert!(third.batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6").unwrap()[0].is_ok());
+    third.close();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_a_delivered_batch() {
+    let (_durable, engine, server) = serve("net-drain", QueryServerConfig::default());
+    let mut client = QueryClient::connect(server.local_addr()).unwrap();
+    // Prove the session is established and serving.
+    assert_eq!(client.batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6").unwrap().len(), 1);
+
+    // Deliver a large batch and immediately shut the server down from
+    // another thread: the batch frame is already on the wire, so the
+    // drain guarantee says every statement is still answered.
+    let statements = 64;
+    let script = vec!["RETRIEVE OBJECTS INSIDE RECT (0, -1, 900, 1) AT TIME 6"; statements]
+        .join("; ");
+    let shutdown = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(2));
+        server.shutdown();
+    });
+    let verdicts = client.batch(&script).expect("drained batch must complete");
+    assert_eq!(verdicts.len(), statements);
+    for v in &verdicts {
+        assert!(v.is_ok());
+    }
+    let expected = engine.run_batch(&script);
+    for (v, e) in verdicts.iter().zip(&expected) {
+        assert_eq!(v.as_ref().unwrap(), e.as_ref().unwrap());
+    }
+    shutdown.join().unwrap();
+}

@@ -1,0 +1,235 @@
+//! Fault injection for the query front-end, in the style of
+//! `replication_faults`: misbehaving clients hit the server at the byte
+//! level — garbage headers, oversized frames, disconnects mid-batch,
+//! and stalls mid-frame. The invariant under every fault: the offending
+//! session ends, its connection slot is released (no leak), and the
+//! server keeps answering healthy clients — it never wedges.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::*;
+use modb_server::{
+    DurableDatabase, QueryClient, QueryEngineConfig, QueryServer, QueryServerConfig,
+};
+use modb_wal::crc32;
+
+const WAIT: Duration = Duration::from_secs(30);
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn serve(name: &str, config: QueryServerConfig) -> (DurableDatabase, QueryServer) {
+    let durable = DurableDatabase::create(tmp(name), fresh_db(), test_wal_options()).unwrap();
+    for i in 0..4u64 {
+        durable.register_moving(vehicle(i, 100.0 * i as f64)).unwrap();
+    }
+    let engine = Arc::new(durable.query_engine(QueryEngineConfig {
+        epoch_interval: None,
+        report_interval: None,
+        ..QueryEngineConfig::default()
+    }));
+    engine.publish_now();
+    let server = durable
+        .serve_queries(engine, None, "127.0.0.1:0", config)
+        .unwrap();
+    (durable, server)
+}
+
+// ---------------------------------------------------------------------
+// Hand-rolled wire helpers (the protocol encoder is crate-private; the
+// framing is `[len u32 LE][crc32 u32 LE][tag + body]`).
+// ---------------------------------------------------------------------
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn hello_payload() -> Vec<u8> {
+    let mut p = vec![1u8]; // Hello tag
+    p.extend_from_slice(&1u32.to_le_bytes()); // protocol version
+    p
+}
+
+fn batch_payload(script: &str) -> Vec<u8> {
+    let mut p = vec![2u8]; // Batch tag
+    p.extend_from_slice(&(script.len() as u32).to_le_bytes());
+    p.extend_from_slice(script.as_bytes());
+    p
+}
+
+/// Connects raw and completes the handshake by hand, returning the
+/// stream positioned after the `HelloAck` frame.
+fn raw_handshake(addr: SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(&frame(&hello_payload())).unwrap();
+    let mut header = [0u8; 8];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+    assert_eq!(body[0], 4, "expected HelloAck, got tag {}", body[0]);
+    stream
+}
+
+/// Reads until EOF (or error), proving the server closed the session.
+fn assert_closed(stream: &mut TcpStream) {
+    let mut sink = [0u8; 4096];
+    let deadline = Instant::now() + WAIT;
+    loop {
+        assert!(Instant::now() < deadline, "server never closed the connection");
+        match stream.read(&mut sink) {
+            Ok(0) => return,                       // clean EOF
+            Ok(_) => continue,                     // drain whatever was in flight
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return, // reset also counts as closed
+        }
+    }
+}
+
+/// The server still answers a healthy client — the wedge check.
+fn assert_healthy(addr: SocketAddr) {
+    let mut client = QueryClient::connect(addr).unwrap();
+    let verdicts = client
+        .batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 3")
+        .unwrap();
+    assert_eq!(verdicts.len(), 1);
+    assert!(verdicts[0].is_ok(), "{:?}", verdicts[0]);
+    client.close();
+}
+
+// ---------------------------------------------------------------------
+// The faults
+// ---------------------------------------------------------------------
+
+#[test]
+fn garbage_header_ends_the_session_without_leaking_a_slot() {
+    let (_durable, server) = serve("fault-garbage", QueryServerConfig::default());
+    let addr = server.local_addr();
+
+    let mut vandal = TcpStream::connect(addr).unwrap();
+    vandal
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    // 16 bytes that decode to an implausible length — framing is
+    // unrecoverable and the server must hang up.
+    vandal.write_all(&[0xffu8; 16]).unwrap();
+    assert_closed(&mut vandal);
+    wait_until("slot released", || server.active_connections() == 0);
+
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_rejected_after_handshake() {
+    let (_durable, server) = serve(
+        "fault-oversize",
+        QueryServerConfig {
+            max_frame_bytes: 1024,
+            ..QueryServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let mut vandal = raw_handshake(addr);
+    // A header announcing a payload over the 1 KiB ceiling: the session
+    // must end without waiting for (or allocating) the body.
+    vandal.write_all(&(64 * 1024u32).to_le_bytes()).unwrap();
+    vandal.write_all(&0u32.to_le_bytes()).unwrap();
+    assert_closed(&mut vandal);
+    wait_until("slot released", || server.active_connections() == 0);
+
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_mid_batch_does_not_wedge_the_server() {
+    let (_durable, server) = serve("fault-disconnect", QueryServerConfig::default());
+    let addr = server.local_addr();
+
+    // Deliver a sizable batch, then vanish before reading a single
+    // result: the server's writes hit a dead socket and the session must
+    // clean up.
+    let mut vandal = raw_handshake(addr);
+    let script = vec!["RETRIEVE OBJECTS INSIDE RECT (0, -1, 900, 1) AT TIME 3"; 32].join("; ");
+    vandal.write_all(&frame(&batch_payload(&script))).unwrap();
+    vandal.shutdown(Shutdown::Both).unwrap();
+    drop(vandal);
+    wait_until("slot released", || server.active_connections() == 0);
+
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn stalled_client_is_disconnected_at_the_request_deadline() {
+    let (_durable, server) = serve(
+        "fault-stall",
+        QueryServerConfig {
+            request_deadline: Duration::from_millis(200),
+            ..QueryServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Send half a frame and go silent. An *idle* connection (no partial
+    // frame) may sit forever; a half-delivered request may not.
+    let mut staller = raw_handshake(addr);
+    let full = frame(&batch_payload("RETRIEVE POSITION OF OBJECT 0 AT TIME 3"));
+    staller.write_all(&full[..full.len() / 2]).unwrap();
+    let stalled_at = Instant::now();
+    assert_closed(&mut staller);
+    assert!(
+        stalled_at.elapsed() >= Duration::from_millis(150),
+        "disconnected suspiciously early — deadline not honored?"
+    );
+    wait_until("slot released", || server.active_connections() == 0);
+
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connection_without_partial_frame_survives_the_deadline() {
+    let (_durable, server) = serve(
+        "fault-idle",
+        QueryServerConfig {
+            request_deadline: Duration::from_millis(100),
+            ..QueryServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let mut client = QueryClient::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // 3× the deadline
+    let verdicts = client
+        .batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 3")
+        .expect("an idle console must not be reaped");
+    assert!(verdicts[0].is_ok());
+    client.close();
+    server.shutdown();
+}

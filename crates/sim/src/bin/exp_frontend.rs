@@ -1,0 +1,36 @@
+//! W5: query front-end overhead — per-statement cost of the loopback
+//! TCP path vs the in-process engine, with a remote/local parity check.
+//!
+//! Usage: `exp_frontend [n_objects] [reps]`
+//! (defaults: 500 objects, 20 repetitions per batch size; batch sizes
+//! are fixed at 1, 4, 16, 64 statements).
+
+use modb_sim::experiments::frontend::{frontend_table, run_frontend_overhead};
+
+fn arg_or(args: &mut impl Iterator<Item = String>, name: &str, default: usize) -> usize {
+    match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a positive integer, got {a:?}");
+            eprintln!("usage: exp_frontend [n_objects] [reps]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_objects = arg_or(&mut args, "n_objects", 500).max(4);
+    let reps = arg_or(&mut args, "reps", 20).max(1);
+    let sizes = [1usize, 4, 16, 64];
+    eprintln!(
+        "running front-end overhead experiment: {n_objects} objects, batch sizes \
+         {sizes:?}, {reps} reps per size"
+    );
+    let rows = run_frontend_overhead(n_objects, &sizes, reps);
+    println!("{}", frontend_table(n_objects, &rows));
+    if rows.iter().any(|r| !r.parity) {
+        eprintln!("FAIL: a remote batch diverged from the local engine");
+        std::process::exit(1);
+    }
+}

@@ -115,6 +115,8 @@ pub struct WalWriter {
     segment_start_lsn: u64,
     next_lsn: u64,
     unsynced: u64,
+    bytes_appended: u64,
+    fsyncs: u64,
 }
 
 impl WalWriter {
@@ -139,6 +141,8 @@ impl WalWriter {
             segment_start_lsn: 0,
             next_lsn: 0,
             unsynced: 0,
+            bytes_appended: 0,
+            fsyncs: 0,
         })
     }
 
@@ -175,6 +179,8 @@ impl WalWriter {
                     segment_start_lsn: start_lsn,
                     next_lsn,
                     unsynced: 0,
+                    bytes_appended: 0,
+                    fsyncs: 0,
                 })
             }
             None => {
@@ -187,6 +193,8 @@ impl WalWriter {
                     segment_start_lsn: next_lsn,
                     next_lsn,
                     unsynced: 0,
+                    bytes_appended: 0,
+                    fsyncs: 0,
                 })
             }
         }
@@ -261,6 +269,7 @@ impl WalWriter {
         }
         self.file.write_all(bytes)?;
         self.segment_bytes += bytes.len() as u64;
+        self.bytes_appended += bytes.len() as u64;
         self.next_lsn += records;
         self.unsynced += records;
         match self.opts.fsync {
@@ -280,8 +289,7 @@ impl WalWriter {
         // treats interior (non-last) segments as immutable truth and will
         // not truncate them, so they must be durable before a successor
         // exists.
-        self.file.sync_data()?;
-        self.unsynced = 0;
+        self.sync()?;
         let (file, segment_bytes) = Self::open_segment(&self.dir, self.next_lsn)?;
         self.file = file;
         self.segment_bytes = segment_bytes;
@@ -297,7 +305,23 @@ impl WalWriter {
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.file.sync_data()?;
         self.unsynced = 0;
+        self.fsyncs += 1;
         Ok(())
+    }
+
+    /// Total record-payload bytes appended since this writer was opened
+    /// (segment headers excluded). Observability counter for the stats
+    /// scrape; resets on restart, like the process it describes.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Number of explicit data fsyncs issued since this writer was
+    /// opened (policy syncs, rotation syncs, and forced
+    /// [`WalWriter::sync`] calls; segment-header creation syncs are not
+    /// counted).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 }
 
@@ -357,6 +381,14 @@ impl SharedWal {
     /// Runs a closure against the locked writer (snapshot coordination).
     pub fn with_writer<R>(&self, f: impl FnOnce(&mut WalWriter) -> R) -> R {
         f(&mut self.lock())
+    }
+
+    /// `(bytes_appended, fsyncs)` counters, read under one lock so the
+    /// pair is consistent. See [`WalWriter::bytes_appended`] /
+    /// [`WalWriter::fsyncs`].
+    pub fn io_counters(&self) -> (u64, u64) {
+        let w = self.lock();
+        (w.bytes_appended(), w.fsyncs())
     }
 }
 
@@ -508,6 +540,44 @@ mod tests {
             assert_eq!(scan.records.len(), 7, "policy {name}");
             std::fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn io_counters_track_bytes_and_fsyncs() {
+        let dir = tmp("io-counters");
+        let mut w = WalWriter::create(
+            &dir,
+            WalOptions {
+                fsync: FsyncPolicy::EveryN(3),
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!((w.bytes_appended(), w.fsyncs()), (0, 0));
+        for i in 0..7 {
+            w.append(&update(i)).unwrap();
+        }
+        // EveryN(3) over 7 records: syncs after records 3 and 6.
+        assert_eq!(w.fsyncs(), 2);
+        let bytes = w.bytes_appended();
+        assert!(bytes > 0, "appended payload bytes must be counted");
+        w.sync().unwrap();
+        assert_eq!(w.fsyncs(), 3, "forced sync counts");
+        assert_eq!(w.bytes_appended(), bytes, "sync appends nothing");
+        // Rotation syncs the finished segment.
+        let mut w = WalWriter::create(
+            &tmp("io-counters-rotate"),
+            WalOptions {
+                fsync: FsyncPolicy::Never,
+                max_segment_bytes: 128,
+            },
+        )
+        .unwrap();
+        for i in 0..20 {
+            w.append(&update(i)).unwrap();
+        }
+        assert!(w.fsyncs() > 0, "rotation must count its segment sync");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
