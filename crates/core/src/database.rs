@@ -144,7 +144,7 @@ impl Database {
 
     /// The route database.
     pub fn network(&self) -> &RouteNetwork {
-        &*self.network
+        &self.network
     }
 
     /// The route database's shared handle — cloning it is free, and the
@@ -281,7 +281,10 @@ impl Database {
     ///
     /// [`CoreError::UnknownObject`] when absent.
     pub fn remove_moving(&mut self, id: ObjectId) -> Result<MovingObject, CoreError> {
-        let obj = self.moving.remove(&id).ok_or(CoreError::UnknownObject(id))?;
+        let obj = self
+            .moving
+            .remove(&id)
+            .ok_or(CoreError::UnknownObject(id))?;
         self.history.remove(&id);
         self.index.remove(&id);
         self.unindexed.remove(&id);
@@ -611,10 +614,7 @@ impl Database {
     /// The retained attribute history for an object (empty slice when
     /// history is disabled or no update has superseded the registration).
     pub fn history_of(&self, id: ObjectId) -> &[PositionAttribute] {
-        self.history
-            .get(&id)
-            .map(|h| h.versions())
-            .unwrap_or(&[])
+        self.history.get(&id).map(|h| h.versions()).unwrap_or(&[])
     }
 
     /// As-of position query: "where did the DBMS believe `m` was at time
@@ -662,7 +662,11 @@ impl Database {
     /// the current time, or some time in the future", §4.2): times before
     /// the object's `P.starttime` are skipped — the DBMS had no position
     /// knowledge for the object then (as-of queries serve the past).
-    fn classify(&self, obj: &MovingObject, region: &QueryRegion) -> Result<Option<Containment>, CoreError> {
+    fn classify(
+        &self,
+        obj: &MovingObject,
+        region: &QueryRegion,
+    ) -> Result<Option<Containment>, CoreError> {
         let route = self.network.get(obj.attr.route)?;
         let mut best: Option<Containment> = None;
         for t in region.refinement_times(self.config.refinement_dt) {
@@ -715,11 +719,7 @@ impl Database {
     ///
     /// Route/geometry failures during refinement.
     pub fn range_query_scan(&self, region: &QueryRegion) -> Result<RangeAnswer, CoreError> {
-        self.refine_streaming(
-            self.moving.keys().copied(),
-            region,
-            SearchStats::default(),
-        )
+        self.refine_streaming(self.moving.keys().copied(), region, SearchStats::default())
     }
 
     /// Exact refinement of one pre-filtered candidate: the object's
@@ -1075,7 +1075,7 @@ mod tests {
     }
 
     #[test]
-    fn route_change_update(){
+    fn route_change_update() {
         let mut db = db_with(vec![object(1, 50.0, 1.0)]);
         db.apply_update(
             ObjectId(1),
@@ -1218,8 +1218,12 @@ mod tests {
         assert!(!a.all().contains(&ObjectId(1)));
         assert!(a.all().contains(&ObjectId(2)));
         // Invalid radius.
-        assert!(db.within_distance_of_point(Point::new(0.0, 0.0), 0.0, 0.0).is_err());
-        assert!(db.within_distance_of_object(ObjectId(1), -1.0, 0.0).is_err());
+        assert!(db
+            .within_distance_of_point(Point::new(0.0, 0.0), 0.0, 0.0)
+            .is_err());
+        assert!(db
+            .within_distance_of_object(ObjectId(1), -1.0, 0.0)
+            .is_err());
     }
 
     #[test]
@@ -1368,7 +1372,10 @@ mod tests {
         .unwrap();
         assert_eq!(db.find_moving_by_name("veh-1").unwrap().id, ObjectId(1));
         assert!(db.find_moving_by_name("ghost").is_none());
-        assert_eq!(db.find_stationary_by_name("depot").unwrap().id, ObjectId(50));
+        assert_eq!(
+            db.find_stationary_by_name("depot").unwrap().id,
+            ObjectId(50)
+        );
         assert!(db.find_stationary_by_name("nowhere").is_none());
     }
 
@@ -1392,13 +1399,8 @@ mod tests {
             .map(|o| (o.clone(), db.history_of(o.id).to_vec()))
             .collect();
         let stationary: Vec<_> = db.stationary_objects().cloned().collect();
-        let rebuilt = Database::from_parts(
-            db.network().clone(),
-            *db.config(),
-            stationary,
-            moving,
-        )
-        .unwrap();
+        let rebuilt =
+            Database::from_parts(db.network().clone(), *db.config(), stationary, moving).unwrap();
         assert_eq!(rebuilt.moving_count(), 2);
         assert_eq!(rebuilt.stationary_count(), 1);
         assert_eq!(rebuilt.history_of(ObjectId(1)).len(), 1);
@@ -1434,13 +1436,20 @@ mod tests {
         .unwrap();
         assert!(db.network().get(RouteId(7)).is_ok());
         // Duplicate id rejected.
-        let dup = Route::from_vertices(RouteId(7), "dup", vec![Point::ORIGIN, Point::new(1.0, 0.0)])
-            .unwrap();
+        let dup =
+            Route::from_vertices(RouteId(7), "dup", vec![Point::ORIGIN, Point::new(1.0, 0.0)])
+                .unwrap();
         assert!(matches!(db.insert_route(dup), Err(CoreError::Route(_))));
         // Objects can move onto the new route.
         db.apply_update(
             ObjectId(1),
-            &UpdateMessage::route_change(1.0, RouteId(7), UpdatePosition::Arc(5.0), Direction::Forward, 1.0),
+            &UpdateMessage::route_change(
+                1.0,
+                RouteId(7),
+                UpdatePosition::Arc(5.0),
+                Direction::Forward,
+                1.0,
+            ),
         )
         .unwrap();
         assert_eq!(db.moving(ObjectId(1)).unwrap().attr.route, RouteId(7));
@@ -1507,7 +1516,10 @@ mod tests {
 
         let report = shadow.sync_from(&db, cursor);
         assert!(!report.full_resync);
-        assert!(report.applied >= 4, "moving x3 + stationary + route touched");
+        assert!(
+            report.applied >= 4,
+            "moving x3 + stationary + route touched"
+        );
         assert_eq!(report.cursor, db.change_cursor());
         assert_same_view(&shadow, &db);
         // A second sync from the returned cursor is a no-op.
@@ -1608,7 +1620,10 @@ mod tests {
             Point::new(1.0, 1.0),
         ))
         .unwrap();
-        assert_eq!(db.stationary(ObjectId(1)).unwrap().name, "33 N Michigan Ave");
+        assert_eq!(
+            db.stationary(ObjectId(1)).unwrap().name,
+            "33 N Michigan Ave"
+        );
         assert!(matches!(
             db.insert_stationary(StationaryObject::new(ObjectId(1), "dup", Point::ORIGIN)),
             Err(CoreError::DuplicateObject(_))

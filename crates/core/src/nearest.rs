@@ -54,32 +54,24 @@ pub struct NearestAnswer {
     pub contenders: Vec<Neighbour>,
 }
 
-impl Database {
-    /// The `k` moving objects nearest to `center` at time `t`, with
-    /// certain/possible classification (see module docs).
+impl NearestAnswer {
+    /// Runs the top-k selection over a full set of distance intervals:
+    /// sort by `(distance, id)`, rank the first `k`, keep trailing
+    /// objects whose optimistic distance undercuts a ranked object's
+    /// pessimistic distance as contenders, and mark a ranked object
+    /// certain iff its pessimistic distance is at most the optimistic
+    /// distance of every unranked object. Incoming `certain` flags are
+    /// ignored (recomputed).
     ///
-    /// Evaluation is a scan over database positions — k-NN has no o-plane
-    /// filter (a nearest query has no fixed region) and fleet sizes up to
-    /// ~10⁵ scan in microseconds; an incremental-expansion index search is
-    /// an optimisation left documented in DESIGN.md.
-    ///
-    /// # Errors
-    ///
-    /// [`CoreError::InvalidField`] for `k = 0`; route resolution errors
-    /// propagate.
-    pub fn nearest(&self, center: Point, k: usize, t: f64) -> Result<NearestAnswer, CoreError> {
-        if k == 0 {
-            return Err(CoreError::InvalidField("k", 0.0));
-        }
-        let mut all: Vec<Neighbour> = Vec::with_capacity(self.moving_count());
-        for id in self.moving_ids().collect::<Vec<_>>() {
-            let ans = self.position_of(id, t)?;
-            all.push(Neighbour {
-                id,
-                distance: ans.position.distance(center),
-                bound: ans.bound,
-                certain: false,
-            });
+    /// This is the whole of [`Database::nearest`] after the position
+    /// scan — factored out so a scatter-gather router can pool every
+    /// shard's neighbours and re-run the selection globally: the
+    /// certain/contender classification needs the *minimum* optimistic
+    /// distance over all non-ranked objects, which no single shard's
+    /// top-k can supply.
+    pub fn from_neighbours(mut all: Vec<Neighbour>, k: usize) -> NearestAnswer {
+        for n in &mut all {
+            n.certain = false;
         }
         all.sort_by(|a, b| {
             a.distance
@@ -116,7 +108,38 @@ impl Database {
         for n in &mut ranked {
             n.certain = n.pessimistic() <= min_outside_optimistic;
         }
-        Ok(NearestAnswer { ranked, contenders })
+        NearestAnswer { ranked, contenders }
+    }
+}
+
+impl Database {
+    /// The `k` moving objects nearest to `center` at time `t`, with
+    /// certain/possible classification (see module docs).
+    ///
+    /// Evaluation is a scan over database positions — k-NN has no o-plane
+    /// filter (a nearest query has no fixed region) and fleet sizes up to
+    /// ~10⁵ scan in microseconds; an incremental-expansion index search is
+    /// an optimisation left documented in DESIGN.md.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidField`] for `k = 0`; route resolution errors
+    /// propagate.
+    pub fn nearest(&self, center: Point, k: usize, t: f64) -> Result<NearestAnswer, CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidField("k", 0.0));
+        }
+        let mut all: Vec<Neighbour> = Vec::with_capacity(self.moving_count());
+        for id in self.moving_ids().collect::<Vec<_>>() {
+            let ans = self.position_of(id, t)?;
+            all.push(Neighbour {
+                id,
+                distance: ans.position.distance(center),
+                bound: ans.bound,
+                certain: false,
+            });
+        }
+        Ok(NearestAnswer::from_neighbours(all, k))
     }
 }
 
@@ -204,6 +227,37 @@ mod tests {
         assert!(db.nearest(Point::new(0.0, 0.0), 0, 0.0).is_err());
         let a = db.nearest(Point::new(0.0, 0.0), 3, 0.0).unwrap();
         assert!(a.ranked.is_empty() && a.contenders.is_empty());
+    }
+
+    /// The factored-out selection is insensitive to input order and to
+    /// stale incoming `certain` flags — the property a scatter-gather
+    /// router relies on when pooling per-shard neighbour sets.
+    #[test]
+    fn from_neighbours_is_order_insensitive() {
+        let mk = |id: u64, d: f64, b: f64, certain: bool| Neighbour {
+            id: ObjectId(id),
+            distance: d,
+            bound: b,
+            certain,
+        };
+        let a = vec![
+            mk(1, 5.0, 1.0, false),
+            mk(2, 6.0, 2.0, false),
+            mk(3, 20.0, 0.5, false),
+            mk(4, 5.0, 0.1, false),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        for n in &mut b {
+            n.certain = true; // stale per-shard flags must be recomputed
+        }
+        let ans_a = NearestAnswer::from_neighbours(a, 2);
+        let ans_b = NearestAnswer::from_neighbours(b, 2);
+        assert_eq!(ans_a, ans_b);
+        // Equal distances break ties by id: 1 and 4 both sit at 5.0, so
+        // 1 ranks first.
+        assert_eq!(ans_a.ranked[0].id, ObjectId(1));
+        assert_eq!(ans_a.ranked[1].id, ObjectId(4));
     }
 
     #[test]

@@ -29,7 +29,8 @@ use modb_policy::BoundKind;
 use modb_query::QueryResult;
 use modb_routes::{generators, Direction};
 use modb_server::{
-    QueryClient, QueryEngine, QueryEngineConfig, ReplicaConfig, SharedDatabase, StandbyReplica,
+    ClusterRouter, QueryClient, QueryEngine, QueryEngineConfig, ReplicaConfig, ShardMap,
+    SharedDatabase, StandbyReplica,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,7 +50,10 @@ commands:  \\h help   \\q quit   \\epoch publish snapshot + stats
            \\replica show lag/watermark stats   \\replica stop detach
            \\connect <addr> send queries to a remote front-end
            \\connect show connection   \\connect stop go local again
-           \\stats scrape the remote server (local engine stats otherwise)";
+           \\cluster <addr> <addr> ... scatter-gather queries across shard
+           servers (hash-of-id shard map; takes precedence over \\connect)
+           \\cluster show shards   \\cluster stop disband
+           \\stats scrape the remote server/cluster (local stats otherwise)";
 
 fn demo_fleet() -> SharedDatabase {
     let network = generators::grid_network(10, 10, 1.0, 0).expect("valid grid");
@@ -126,7 +130,11 @@ fn print_result(db: &SharedDatabase, result: &QueryResult) {
                     "  {name}: {:.3} mi (±{:.3}) {}",
                     nb.distance,
                     nb.bound,
-                    if nb.certain { "[certain]" } else { "[possible]" }
+                    if nb.certain {
+                        "[certain]"
+                    } else {
+                        "[possible]"
+                    }
                 );
             }
             println!("  ({} contenders outside the ranking)", n.contenders.len());
@@ -149,7 +157,11 @@ fn save(db: &SharedDatabase, dir: &str) {
         })
         .unwrap_or(0);
     match db.with_read(|inner| modb_wal::write_snapshot(path, inner, lsn)) {
-        Ok(file) => println!("  saved {} objects to {}", db.moving_count(), file.display()),
+        Ok(file) => println!(
+            "  saved {} objects to {}",
+            db.moving_count(),
+            file.display()
+        ),
         Err(e) => println!("  error: {e}"),
     }
 }
@@ -191,7 +203,11 @@ fn print_remote(result: &QueryResult) {
                     nb.id.0,
                     nb.distance,
                     nb.bound,
-                    if nb.certain { "[certain]" } else { "[possible]" }
+                    if nb.certain {
+                        "[certain]"
+                    } else {
+                        "[possible]"
+                    }
                 );
             }
             println!("  ({} contenders outside the ranking)", n.contenders.len());
@@ -224,6 +240,31 @@ fn run_remote(client: &mut QueryClient, script: &str) -> bool {
     }
 }
 
+/// Runs a script through the scatter-gather router, printing merged
+/// per-statement verdicts. Returns `false` on a cluster-level failure
+/// (a dead shard); the caller then disbands the cluster.
+fn run_cluster(router: &mut ClusterRouter, script: &str) -> bool {
+    match router.run_batch(script) {
+        Ok(verdicts) => {
+            let many = verdicts.len() > 1;
+            for (i, verdict) in verdicts.iter().enumerate() {
+                if many {
+                    println!("  -- statement {}", i + 1);
+                }
+                match verdict {
+                    Ok(result) => print_remote(result),
+                    Err(e) => println!("  error: {e}"),
+                }
+            }
+            true
+        }
+        Err(e) => {
+            println!("  cluster failed: {e}");
+            false
+        }
+    }
+}
+
 /// The console publishes snapshots explicitly (`\epoch`, and after
 /// `\load`), so no background publisher thread is needed.
 fn console_engine(db: &SharedDatabase) -> QueryEngine {
@@ -238,6 +279,7 @@ fn main() {
     let mut engine = console_engine(&db);
     let mut replica: Option<StandbyReplica> = None;
     let mut remote: Option<QueryClient> = None;
+    let mut cluster: Option<ClusterRouter> = None;
     println!(
         "modb console — {} vehicles on a 10x10-mile grid. \\h for help.",
         db.moving_count()
@@ -308,6 +350,27 @@ fn main() {
                 continue;
             }
             "\\stats" => {
+                if let Some(router) = &mut cluster {
+                    match router.stats() {
+                        Ok(snapshots) => {
+                            for (shard, stats) in snapshots.iter().enumerate() {
+                                println!("  -- shard {shard}");
+                                for l in stats.prometheus_text().lines() {
+                                    if !l.starts_with('#') {
+                                        println!("  {l}");
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            println!("  cluster failed: {e}");
+                            if let Some(router) = cluster.take() {
+                                router.close();
+                            }
+                        }
+                    }
+                    continue;
+                }
                 match &mut remote {
                     Some(client) => match client.stats() {
                         Ok(stats) => {
@@ -359,6 +422,54 @@ fn main() {
                 }
                 continue;
             }
+            cmd if cmd.starts_with("\\cluster") => {
+                let args: Vec<&str> = cmd
+                    .strip_prefix("\\cluster")
+                    .unwrap_or("")
+                    .split_whitespace()
+                    .collect();
+                match args.as_slice() {
+                    [] => match &cluster {
+                        Some(router) => {
+                            println!("  scatter-gather across {} shards", router.shards())
+                        }
+                        None => println!("  no cluster — \\cluster <addr> <addr> ..."),
+                    },
+                    ["stop"] => match cluster.take() {
+                        Some(router) => {
+                            println!("  disbanded {}-shard cluster", router.shards());
+                            router.close();
+                        }
+                        None => println!("  no cluster"),
+                    },
+                    addrs => {
+                        let parsed: Result<Vec<std::net::SocketAddr>, _> =
+                            addrs.iter().map(|a| a.parse()).collect();
+                        match parsed {
+                            Err(e) => println!("  error: bad address: {e}"),
+                            Ok(parsed) => {
+                                match ClusterRouter::connect(&parsed, ShardMap::hash(parsed.len()))
+                                {
+                                    Ok(router) => {
+                                        if let Some(old) = cluster.take() {
+                                            println!("  disbanded {}-shard cluster", old.shards());
+                                            old.close();
+                                        }
+                                        println!(
+                                            "  scatter-gather across {} shards \
+                                             (hash-of-id map; \\cluster stop to go local)",
+                                            router.shards()
+                                        );
+                                        cluster = Some(router);
+                                    }
+                                    Err(e) => println!("  error: {e}"),
+                                }
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
             cmd if cmd.starts_with("\\save") => {
                 match cmd.strip_prefix("\\save").map(str::trim) {
                     Some(dir) if !dir.is_empty() => save(&db, dir),
@@ -375,6 +486,14 @@ fn main() {
                     _ => println!("  usage: \\load <dir>"),
                 }
                 continue;
+            }
+            script if cluster.is_some() => {
+                let router = cluster.as_mut().expect("checked above");
+                if !run_cluster(router, script) {
+                    if let Some(router) = cluster.take() {
+                        router.close();
+                    }
+                }
             }
             script if remote.is_some() => {
                 let client = remote.as_mut().expect("checked above");

@@ -1,0 +1,320 @@
+//! Cost-modeled shard-key evaluation.
+//!
+//! Choosing a shard key is a design problem, not a decree: the right
+//! key depends on the workload. In the tradition of database-design
+//! advisors (mongodb-d4 being the direct inspiration), a candidate
+//! [`ShardMap`] is *scored against a recorded workload* along three
+//! normalized axes, each in `[0, 1]` (lower is better):
+//!
+//! - **Network** — the scatter-gather fan-out: the mean fraction of the
+//!   cluster each operation touches. An update or an id-routed position
+//!   lookup touches one shard; a range query touches every shard whose
+//!   region its rectangle intersects (all of them, under a hash key).
+//!   This is the paper's §5 communication cost, lifted from one radio
+//!   link to the cluster interconnect.
+//! - **Disk** — WAL imbalance: how unevenly the update log lands
+//!   across shards, as `(max − mean) / (total − mean)` of per-shard
+//!   logged-update counts (0 = perfectly even, 1 = one shard takes
+//!   everything). A skewed key turns one shard's WAL into the
+//!   cluster's write bottleneck.
+//! - **Skew** — temporal load imbalance: the same `(max − mean) /
+//!   (total − mean)` statistic per time segment (the workload's span
+//!   split into [`CostModel::segments`] slices), weighted by each
+//!   segment's share of operations. A fleet that commutes east in the
+//!   morning can be balanced *on average* while overloading one shard
+//!   every rush hour; segmenting catches what the aggregate hides.
+//!
+//! The verdict is the weighted mean `(α·network + β·disk + γ·skew) /
+//! (α + β + γ)`. Experiment W6 (`exp_sharding`) scores hash and
+//! spatial keys against generated workloads and reports the breakdown.
+
+use std::collections::HashMap;
+
+use modb_core::ObjectId;
+use modb_geom::{Point, Rect};
+
+use crate::cluster::ShardMap;
+
+/// One operation in a recorded workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOp {
+    /// A position update from an object (routed to its home shard,
+    /// appended to that shard's WAL).
+    Update {
+        /// The reporting object.
+        id: ObjectId,
+    },
+    /// A position lookup (routed to the home shard).
+    Position {
+        /// The object queried.
+        id: ObjectId,
+    },
+    /// A spatial range query over a rectangle (fans out to every shard
+    /// whose region intersects it).
+    Range {
+        /// The query rectangle.
+        rect: Rect,
+    },
+}
+
+/// A workload trace to score shard maps against: object registrations
+/// (with start positions, so spatial keys can place them) plus a
+/// time-stamped operation stream.
+#[derive(Debug, Clone, Default)]
+pub struct RecordedWorkload {
+    starts: HashMap<ObjectId, Point>,
+    ops: Vec<(f64, WorkloadOp)>,
+}
+
+impl RecordedWorkload {
+    /// An empty trace.
+    pub fn new() -> Self {
+        RecordedWorkload::default()
+    }
+
+    /// Records an object's start position — the input a spatial key
+    /// assigns shards from.
+    pub fn register(&mut self, id: ObjectId, start: Point) {
+        self.starts.insert(id, start);
+    }
+
+    /// Appends one operation at time `at`.
+    pub fn push(&mut self, at: f64, op: WorkloadOp) {
+        self.ops.push((at, op));
+    }
+
+    /// The recorded operations, in recording order.
+    pub fn ops(&self) -> &[(f64, WorkloadOp)] {
+        &self.ops
+    }
+
+    /// Registered objects.
+    pub fn objects(&self) -> usize {
+        self.starts.len()
+    }
+
+    fn start_of(&self, id: ObjectId) -> Point {
+        // Unregistered ids still cost something somewhere; the origin
+        // is as good a deterministic guess as any.
+        self.starts
+            .get(&id)
+            .copied()
+            .unwrap_or(Point::new(0.0, 0.0))
+    }
+}
+
+/// Weights for the three cost axes, plus the temporal resolution of the
+/// skew term. All three components are normalized to `[0, 1]`, so the
+/// weights express relative importance, not unit conversions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Weight of the network (fan-out) term.
+    pub alpha: f64,
+    /// Weight of the disk (WAL imbalance) term.
+    pub beta: f64,
+    /// Weight of the temporal-skew term.
+    pub gamma: f64,
+    /// Time segments the workload span is split into for the skew term.
+    pub segments: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0,
+            segments: 9,
+        }
+    }
+}
+
+/// A scored shard map: the three components and their weighted mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Mean fraction of the cluster touched per operation.
+    pub network: f64,
+    /// Imbalance of logged updates across shards.
+    pub disk: f64,
+    /// Op-weighted per-segment load imbalance.
+    pub skew: f64,
+    /// `(α·network + β·disk + γ·skew) / (α + β + γ)`.
+    pub total: f64,
+}
+
+/// `(max − mean) / (total − mean)`: 0 when every shard carries the
+/// same load, 1 when one shard carries all of it. Degenerate inputs
+/// (no load, or a single shard) are perfectly balanced by definition.
+fn imbalance(per_shard: &[f64]) -> f64 {
+    let total: f64 = per_shard.iter().sum();
+    if total <= 0.0 || per_shard.len() < 2 {
+        return 0.0;
+    }
+    let mean = total / per_shard.len() as f64;
+    let max = per_shard.iter().cloned().fold(0.0, f64::max);
+    ((max - mean) / (total - mean)).clamp(0.0, 1.0)
+}
+
+impl CostModel {
+    /// Scores `map` against `workload`. Deterministic: same inputs,
+    /// same breakdown.
+    pub fn score(&self, map: &ShardMap, workload: &RecordedWorkload) -> CostBreakdown {
+        let shards = map.shards();
+        let ops = workload.ops();
+        // Time span for the skew segments.
+        let (t0, t1) = ops
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(t, _)| {
+                (lo.min(t), hi.max(t))
+            });
+        let segments = self.segments.max(1);
+        let seg_of = |t: f64| -> usize {
+            if t1 <= t0 {
+                0
+            } else {
+                (((t - t0) / (t1 - t0) * segments as f64) as usize).min(segments - 1)
+            }
+        };
+
+        let mut fanout_sum = 0.0;
+        let mut wal_per_shard = vec![0.0; shards];
+        let mut seg_loads = vec![vec![0.0; shards]; segments];
+        for &(t, ref op) in ops {
+            let touched: Vec<usize> = match op {
+                WorkloadOp::Update { id } => {
+                    let home = map.assign(*id, workload.start_of(*id));
+                    wal_per_shard[home] += 1.0;
+                    vec![home]
+                }
+                WorkloadOp::Position { id } => {
+                    vec![map.assign(*id, workload.start_of(*id))]
+                }
+                WorkloadOp::Range { rect } => map.shards_for_rect(rect),
+            };
+            fanout_sum += touched.len() as f64 / shards as f64;
+            let seg = seg_of(t);
+            for &s in &touched {
+                seg_loads[seg][s] += 1.0;
+            }
+        }
+
+        let network = if ops.is_empty() {
+            0.0
+        } else {
+            fanout_sum / ops.len() as f64
+        };
+        let disk = imbalance(&wal_per_shard);
+        let total_load: f64 = ops.len() as f64;
+        let skew = if total_load <= 0.0 {
+            0.0
+        } else {
+            seg_loads
+                .iter()
+                .map(|loads| {
+                    let seg_total: f64 = loads.iter().sum();
+                    imbalance(loads) * seg_total
+                })
+                .sum::<f64>()
+                / seg_loads
+                    .iter()
+                    .map(|loads| loads.iter().sum::<f64>())
+                    .sum::<f64>()
+                    .max(1.0)
+        };
+
+        let weight = self.alpha + self.beta + self.gamma;
+        let total = if weight > 0.0 {
+            (self.alpha * network + self.beta * disk + self.gamma * skew) / weight
+        } else {
+            0.0
+        };
+        CostBreakdown {
+            network,
+            disk,
+            skew,
+            total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corridor() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(90.0, 30.0))
+    }
+
+    /// Fleet spread evenly over three vertical strips, each object
+    /// updating in place; local range queries in the left strip.
+    fn local_workload() -> RecordedWorkload {
+        let mut w = RecordedWorkload::new();
+        for i in 0..300u64 {
+            let x = (i % 3) as f64 * 30.0 + 15.0;
+            w.register(ObjectId(i), Point::new(x, 15.0));
+        }
+        for t in 0..10 {
+            for i in 0..300u64 {
+                w.push(t as f64, WorkloadOp::Update { id: ObjectId(i) });
+            }
+            w.push(
+                t as f64,
+                WorkloadOp::Range {
+                    rect: Rect::new(Point::new(1.0, 1.0), Point::new(20.0, 20.0)),
+                },
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn spatial_key_beats_hash_on_local_range_queries() {
+        let w = local_workload();
+        let model = CostModel::default();
+        let hash = model.score(&ShardMap::hash(3), &w);
+        let spatial = model.score(&ShardMap::vertical_strips(corridor(), 3), &w);
+        // The spatial key answers the left-strip query from one shard.
+        assert!(spatial.network < hash.network, "{spatial:?} vs {hash:?}");
+        assert!(spatial.total < hash.total);
+        // Both keys spread this even fleet's WAL roughly evenly (hash
+        // placement is statistical, so its slack is wider).
+        assert!(spatial.disk < 0.1, "{spatial:?}");
+        assert!(hash.disk < 0.3, "{hash:?}");
+    }
+
+    #[test]
+    fn skew_term_catches_a_clustered_fleet() {
+        // Whole fleet in the left strip: a vertical spatial key piles
+        // every update on shard 0.
+        let mut w = RecordedWorkload::new();
+        for i in 0..300u64 {
+            w.register(ObjectId(i), Point::new(5.0, 15.0));
+            w.push(0.0, WorkloadOp::Update { id: ObjectId(i) });
+            w.push(1.0, WorkloadOp::Update { id: ObjectId(i) });
+        }
+        let model = CostModel::default();
+        let spatial = model.score(&ShardMap::vertical_strips(corridor(), 3), &w);
+        let hash = model.score(&ShardMap::hash(3), &w);
+        assert!(spatial.disk > 0.9, "{spatial:?}");
+        assert!(spatial.skew > 0.9, "{spatial:?}");
+        assert!(hash.disk < 0.3, "{hash:?}");
+        assert!(hash.total < spatial.total);
+    }
+
+    #[test]
+    fn imbalance_is_normalized() {
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[10.0]), 0.0);
+        assert_eq!(imbalance(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(imbalance(&[12.0, 0.0, 0.0]), 1.0);
+        let mid = imbalance(&[8.0, 4.0, 0.0]);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn empty_workload_scores_zero() {
+        let b = CostModel::default().score(&ShardMap::hash(3), &RecordedWorkload::new());
+        assert_eq!(b.total, 0.0);
+        assert_eq!(b.network, 0.0);
+    }
+}

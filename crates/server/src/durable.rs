@@ -61,7 +61,11 @@ impl DurableDatabase {
     ///
     /// [`WalError::AlreadyExists`] when `dir` already holds a log (use
     /// [`DurableDatabase::open`]); I/O failures.
-    pub fn create(dir: impl Into<PathBuf>, db: Database, opts: WalOptions) -> Result<Self, WalError> {
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        db: Database,
+        opts: WalOptions,
+    ) -> Result<Self, WalError> {
         let dir = dir.into();
         let writer = WalWriter::create(&dir, opts)?;
         write_snapshot(&dir, &db, writer.next_lsn())?;
@@ -196,10 +200,7 @@ impl DurableDatabase {
     /// mirroring replay semantics).
     pub fn apply_update(&self, id: ObjectId, msg: &UpdateMessage) -> Result<(), WalError> {
         let verdict = self.db.apply_update(id, msg);
-        self.wal.append(&WalRecord::Update {
-            id,
-            msg: msg.clone(),
-        })?;
+        self.wal.append(&WalRecord::Update { id, msg: *msg })?;
         verdict?;
         Ok(())
     }
@@ -248,7 +249,7 @@ impl DurableDatabase {
         // log. Ingest blocks only for this O(changes) sync.
         let (state, report) = self.db.with_read(|src| shadow.refresh(src));
         shadow.reap(); // any buffer the refresh retired drops lock-free
-        // Serialization runs unlocked — ingest and queries proceed.
+                       // Serialization runs unlocked — ingest and queries proceed.
         let path = write_snapshot(&self.dir, &state, lsn)?;
         shadow.store(state, report.cursor);
         // Compaction under the writer lock so it cannot race a segment
@@ -271,10 +272,7 @@ mod tests {
     use modb_routes::{Direction, RouteId, RouteNetwork};
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "modb-durable-{}-{name}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("modb-durable-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -360,7 +358,9 @@ mod tests {
         reopened.register_moving(vehicle(3, 70.0)).unwrap();
         drop(reopened);
         let (again, report) = DurableDatabase::open(&dir, WalOptions::default()).unwrap();
-        assert!(again.database().with_read(|db| db.moving(ObjectId(3)).is_ok()));
+        assert!(again
+            .database()
+            .with_read(|db| db.moving(ObjectId(3)).is_ok()));
         assert_eq!(report.next_lsn, 7);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -370,7 +370,9 @@ mod tests {
         let dir = tmp("snapshot");
         let durable = DurableDatabase::create(&dir, fresh_db(), WalOptions::default()).unwrap();
         for i in 1..=5u64 {
-            durable.register_moving(vehicle(i, 10.0 * i as f64)).unwrap();
+            durable
+                .register_moving(vehicle(i, 10.0 * i as f64))
+                .unwrap();
         }
         let path = durable.snapshot().unwrap();
         assert!(path.exists());
@@ -516,7 +518,9 @@ mod tests {
         };
         let durable = DurableDatabase::create(&dir, fresh_db(), opts).unwrap();
         for i in 1..=4000u64 {
-            durable.register_moving(vehicle(i, (i % 90) as f64)).unwrap();
+            durable
+                .register_moving(vehicle(i, (i % 90) as f64))
+                .unwrap();
         }
         // Warm-up snapshot so the in-flight one below also exercises the
         // delta-synced shadow path.
@@ -549,11 +553,7 @@ mod tests {
                     durable
                         .apply_update(
                             ObjectId(1),
-                            &UpdateMessage::basic(
-                                t,
-                                UpdatePosition::Arc(20.0 + (t % 50.0)),
-                                0.9,
-                            ),
+                            &UpdateMessage::basic(t, UpdatePosition::Arc(20.0 + (t % 50.0)), 0.9),
                         )
                         .unwrap();
                     updates_during_snapshot += 1;

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, SendError, Sender};
+use crossbeam::channel::{bounded, Receiver, SendError, Sender};
 use modb_core::{CoreError, ObjectId, UpdateMessage};
 use modb_wal::{SharedWal, WalBatch, WalRecord};
 
@@ -39,15 +39,34 @@ use modb_wal::{SharedWal, WalBatch, WalRecord};
 /// shared writer lock once to flush them all.
 pub const WAL_BATCH_RECORDS: u64 = 32;
 
-/// What flows through a shard queue: an update to apply, or the stop
-/// sentinel that ends the worker. The sentinel (rather than relying on
-/// channel closure) makes [`IngestService::shutdown`] safe even while
-/// producer handles are still alive — without it, an outstanding
-/// [`IngestHandle`] clone would keep the channel open and deadlock the
-/// worker join.
+/// What flows through a shard queue: an update to apply (fire-and-forget
+/// or acknowledged), or the stop sentinel that ends the worker. The
+/// sentinel (rather than relying on channel closure) makes
+/// [`IngestService::shutdown`] safe even while producer handles are
+/// still alive — without it, an outstanding [`IngestHandle`] clone would
+/// keep the channel open and deadlock the worker join.
 enum Job {
     Apply(UpdateEnvelope),
+    /// Apply, flush the worker's WAL batch immediately, and reply with
+    /// the [`UpdateOutcome`] — the remote-ingest path, where the caller
+    /// is waiting to hand the client a read-your-writes token.
+    ApplyAcked(UpdateEnvelope, Sender<UpdateOutcome>),
     Stop,
+}
+
+/// What an acknowledged apply reports back to the producer.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The WAL frontier (next LSN) observed *after* this envelope's
+    /// record was flushed — every record of this update stream with an
+    /// LSN below `lsn` is already applied to the in-memory database
+    /// (apply-before-log), so a query snapshot published at frontier
+    /// ≥ `lsn` is guaranteed to cover this update. 0 when the service
+    /// has no WAL.
+    pub lsn: u64,
+    /// The DBMS verdict (rejected updates are applied-and-logged as
+    /// rejections, same as the fire-and-forget path).
+    pub verdict: Result<(), CoreError>,
 }
 
 use crate::shared::SharedDatabase;
@@ -217,9 +236,41 @@ impl IngestHandle {
         self.shards[shard].send(Job::Apply(envelope)).map_err(|e| {
             SendError(match e.0 {
                 Job::Apply(env) => env,
-                Job::Stop => unreachable!("handles only send Apply"),
+                _ => unreachable!("send only enqueues Apply"),
             })
         })
+    }
+
+    /// Enqueues an update for an *acknowledged* apply: the worker
+    /// applies it, flushes its WAL batch immediately (assigning the
+    /// record an LSN), and delivers an [`UpdateOutcome`] on the returned
+    /// receiver. Blocks when the owning shard's queue is full
+    /// (back-pressure), like [`IngestHandle::send`]; per-object FIFO
+    /// order with concurrent `send` calls is preserved (same shard
+    /// queue).
+    ///
+    /// The receiver yields exactly one outcome; it errors instead if the
+    /// service shuts down before the envelope is applied (only possible
+    /// for envelopes racing in behind the stop sentinel).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] when the service has shut down.
+    pub fn send_acked(
+        &self,
+        envelope: UpdateEnvelope,
+    ) -> Result<Receiver<UpdateOutcome>, SendError<UpdateEnvelope>> {
+        let shard = (envelope.id.0 as usize) % self.shards.len();
+        let (tx, rx) = bounded(1);
+        self.shards[shard]
+            .send(Job::ApplyAcked(envelope, tx))
+            .map(|()| rx)
+            .map_err(|e| {
+                SendError(match e.0 {
+                    Job::ApplyAcked(env, _) => env,
+                    _ => unreachable!("send_acked only enqueues ApplyAcked"),
+                })
+            })
     }
 }
 
@@ -251,6 +302,18 @@ impl IngestMonitor {
     pub fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()
     }
+}
+
+/// What the query front-end needs to accept remote `Update` frames: a
+/// producer [`IngestHandle`] for the acknowledged-apply path plus an
+/// [`IngestMonitor`] for the stats scrape. Cloneable and detached from
+/// the service's lifetime, like its parts.
+#[derive(Clone, Debug)]
+pub struct IngestFrontend {
+    /// Producer handle the server routes remote updates through.
+    pub handle: IngestHandle,
+    /// Observer for the scrape's ingest counters and queue depth.
+    pub monitor: IngestMonitor,
 }
 
 /// A pool of ingest workers draining sharded update queues into the
@@ -299,33 +362,42 @@ impl IngestService {
             let wal = wal.clone();
             workers.push(std::thread::spawn(move || {
                 let mut batch = WalBatch::new();
-                let mut apply = |env: UpdateEnvelope| {
+                let mut apply = |env: UpdateEnvelope, ack: Option<Sender<UpdateOutcome>>| {
                     if wal.is_some() {
                         // Frame first (no lock, no I/O) so the batch and
                         // the in-memory state stay in lockstep — a crash
                         // loses both together.
                         batch.push(&WalRecord::Update {
                             id: env.id,
-                            msg: env.msg.clone(),
+                            msg: env.msg,
                         });
                     }
-                    stats.record(&db.apply_update(env.id, &env.msg));
+                    let verdict = db.apply_update(env.id, &env.msg);
+                    stats.record(&verdict);
                     // Flush only after applying: a record never gets an
                     // LSN before its update is in the database, which is
                     // the watermark invariant the pause-free snapshot
-                    // path relies on.
+                    // path relies on. An acknowledged apply flushes
+                    // unconditionally — its LSN backs a read-your-writes
+                    // token, so it cannot sit in the private batch.
                     if let Some(wal) = &wal {
-                        if batch.records() >= WAL_BATCH_RECORDS
+                        if (ack.is_some() || batch.records() >= WAL_BATCH_RECORDS)
                             && wal.append_batch(&mut batch).is_err()
                         {
                             stats.wal_errors.fetch_add(1, Ordering::Relaxed);
                             batch.clear();
                         }
                     }
+                    if let Some(ack) = ack {
+                        let lsn = wal.as_ref().map(|w| w.next_lsn()).unwrap_or(0);
+                        // A dropped receiver (caller gave up) is fine.
+                        let _ = ack.send(UpdateOutcome { lsn, verdict });
+                    }
                 };
                 for job in rx.iter() {
                     match job {
-                        Job::Apply(env) => apply(env),
+                        Job::Apply(env) => apply(env, None),
+                        Job::ApplyAcked(env, tx) => apply(env, Some(tx)),
                         Job::Stop => {
                             // Drain guarantee: everything enqueued before
                             // the sentinel has already been applied
@@ -334,8 +406,12 @@ impl IngestService {
                             // exits, so a producer that saw `send` return
                             // Ok before `shutdown` returned is not
                             // silently dropped.
-                            while let Ok(Job::Apply(env)) = rx.try_recv() {
-                                apply(env);
+                            while let Ok(job) = rx.try_recv() {
+                                match job {
+                                    Job::Apply(env) => apply(env, None),
+                                    Job::ApplyAcked(env, tx) => apply(env, Some(tx)),
+                                    Job::Stop => {}
+                                }
                             }
                             break;
                         }
@@ -407,6 +483,21 @@ impl IngestService {
         }
     }
 
+    /// Bundles [`IngestService::handle`] and [`IngestService::monitor`]
+    /// for [`crate::DurableDatabase::serve_queries`], which needs both:
+    /// the handle to route remote `Update` frames through the shard
+    /// queues, the monitor for the stats scrape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`IngestService::shutdown`].
+    pub fn frontend(&self) -> IngestFrontend {
+        IngestFrontend {
+            handle: self.handle(),
+            monitor: self.monitor(),
+        }
+    }
+
     /// Drains the queues and stops the workers, even if producer handles
     /// are still alive (a stop sentinel is enqueued behind any pending
     /// updates). Returns the final counters.
@@ -453,8 +544,7 @@ impl Drop for IngestService {
 mod tests {
     use super::*;
     use modb_core::{
-        Database, DatabaseConfig, MovingObject, PolicyDescriptor, PositionAttribute,
-        UpdatePosition,
+        Database, DatabaseConfig, MovingObject, PolicyDescriptor, PositionAttribute, UpdatePosition,
     };
     use modb_geom::Point;
     use modb_policy::BoundKind;
@@ -542,14 +632,23 @@ mod tests {
         let service = IngestService::spawn(db.clone(), 2, 8);
         let handle = service.handle();
         let send = |id: u64, msg: UpdateMessage| {
-            handle.send(UpdateEnvelope { id: ObjectId(id), msg }).unwrap();
+            handle
+                .send(UpdateEnvelope {
+                    id: ObjectId(id),
+                    msg,
+                })
+                .unwrap();
         };
         send(0, UpdateMessage::basic(5.0, UpdatePosition::Arc(10.0), 1.0)); // ok
         send(0, UpdateMessage::basic(4.0, UpdatePosition::Arc(11.0), 1.0)); // stale
         send(99, UpdateMessage::basic(5.0, UpdatePosition::Arc(1.0), 1.0)); // unknown
         send(
             1,
-            UpdateMessage::basic(5.0, UpdatePosition::Coordinates(Point::new(10.0, 50.0)), 1.0),
+            UpdateMessage::basic(
+                5.0,
+                UpdatePosition::Coordinates(Point::new(10.0, 50.0)),
+                1.0,
+            ),
         ); // off-route
         send(1, UpdateMessage::basic(5.0, UpdatePosition::Arc(-3.0), 1.0)); // invalid
         drop(handle);
@@ -598,7 +697,11 @@ mod tests {
         producer.join().unwrap();
         let stats = service.shutdown();
         assert_eq!(stats.total(), 2000);
-        assert_eq!(stats.rejected(), 0, "sharded routing preserves per-object order");
+        assert_eq!(
+            stats.rejected(),
+            0,
+            "sharded routing preserves per-object order"
+        );
     }
 
     #[test]
@@ -629,6 +732,60 @@ mod tests {
                 msg: UpdateMessage::basic(1.0, UpdatePosition::Arc(1.0), 1.0),
             })
             .is_err());
+    }
+
+    #[test]
+    fn acked_apply_flushes_immediately_and_reports_the_frontier() {
+        let dir = std::env::temp_dir().join(format!("modb-ingest-ack-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = shared(4);
+        let wal = SharedWal::new(
+            WalWriter::create(
+                &dir,
+                WalOptions {
+                    fsync: FsyncPolicy::Never,
+                    ..WalOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let service = IngestService::spawn_with_wal(db.clone(), wal.clone(), 2, 8);
+        let handle = service.handle();
+        let mut last_lsn = 0;
+        for round in 1..=5u64 {
+            let rx = handle
+                .send_acked(UpdateEnvelope {
+                    id: ObjectId(round % 4),
+                    msg: UpdateMessage::basic(round as f64, UpdatePosition::Arc(round as f64), 1.0),
+                })
+                .unwrap();
+            let outcome = rx.recv().unwrap();
+            assert!(outcome.verdict.is_ok());
+            // Acked applies bypass the 32-record batch threshold: every
+            // ack sees its own record already flushed, so the reported
+            // frontier strictly advances.
+            assert!(outcome.lsn > last_lsn, "{} !> {last_lsn}", outcome.lsn);
+            last_lsn = outcome.lsn;
+        }
+        assert_eq!(wal.next_lsn(), 5);
+        // A rejected update is applied-and-logged too: the frontier
+        // still advances and the verdict carries the DBMS error.
+        let rx = handle
+            .send_acked(UpdateEnvelope {
+                id: ObjectId(1),
+                msg: UpdateMessage::basic(0.5, UpdatePosition::Arc(9.0), 1.0),
+            })
+            .unwrap();
+        let outcome = rx.recv().unwrap();
+        assert!(matches!(
+            outcome.verdict,
+            Err(CoreError::StaleUpdate { .. })
+        ));
+        assert_eq!(outcome.lsn, 6);
+        drop(handle);
+        let stats = service.shutdown();
+        assert_eq!(stats.total(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -41,9 +41,17 @@
 //!   the same CRC-framed socket protocol, with connection caps, frame
 //!   caps, stalled-client deadlines, and drained shutdown (see the `net`
 //!   module docs).
+//! - **Sharded cluster** ([`cluster`]): partition the fleet across N
+//!   such servers — [`ShardMap`] key strategies (hash-of-id, spatial
+//!   regions), a scatter-gather [`ClusterRouter`] whose merged verdicts
+//!   match a single node holding the union fleet, remote ingest routed
+//!   to the owning shard with per-shard read-your-writes tokens, and a
+//!   [`CostModel`] scoring candidate maps against recorded workloads
+//!   (see the `cluster` module docs).
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 mod durable;
 mod ingest;
 mod net;
@@ -52,18 +60,21 @@ mod replication;
 mod shadow;
 mod shared;
 
+pub use cluster::{
+    ClusterError, ClusterRouter, CostBreakdown, CostModel, RecordedWorkload, ShardKey, ShardMap,
+    WorkloadOp,
+};
 pub use durable::DurableDatabase;
 pub use ingest::{
-    IngestHandle, IngestMonitor, IngestService, IngestStats, IngestStatsSnapshot, UpdateEnvelope,
-    WAL_BATCH_RECORDS,
+    IngestFrontend, IngestHandle, IngestMonitor, IngestService, IngestStats, IngestStatsSnapshot,
+    UpdateEnvelope, UpdateOutcome, WAL_BATCH_RECORDS,
 };
 pub use net::{
-    QueryClient, QueryClientConfig, QueryServer, QueryServerConfig, RemoteVerdict,
-    ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
+    QueryClient, QueryClientConfig, QueryServer, QueryServerConfig, RemoteUpdateVerdict,
+    RemoteVerdict, ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use query_engine::{
-    BatchRequest, EpochSnapshot, QueryEngine, QueryEngineConfig, QueryStats,
-    QueryStatsSnapshot,
+    BatchRequest, EpochSnapshot, QueryEngine, QueryEngineConfig, QueryStats, QueryStatsSnapshot,
 };
 pub use replication::{
     ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicationConfig, ReplicationServer,

@@ -5,11 +5,12 @@
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use modb_core::{ObjectId, UpdateMessage};
 use modb_wal::WalError;
 
 use crate::net::protocol::{
-    send_message, FrameReader, Message, ReadEvent, RemoteVerdict, ServerStatsSnapshot,
-    DEFAULT_MAX_FRAME_BYTES, NET_PROTOCOL_VERSION,
+    send_message, FrameReader, Message, ReadEvent, RemoteUpdateVerdict, RemoteVerdict,
+    ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES, NET_PROTOCOL_VERSION,
 };
 
 /// Tuning for [`QueryClient`].
@@ -40,14 +41,23 @@ fn timeout_error(what: &str) -> WalError {
 
 /// A blocking connection to a [`crate::net::QueryServer`]. One request
 /// runs at a time: [`QueryClient::batch`] sends a `;`-script and
-/// collects the per-statement verdicts, [`QueryClient::stats`] scrapes
-/// the server's counters.
+/// collects the per-statement verdicts, [`QueryClient::update`] /
+/// [`QueryClient::update_batch`] push position updates through the
+/// server's ingest shards, and [`QueryClient::stats`] scrapes the
+/// server's counters.
+///
+/// **Read your writes.** Every update ack carries the server's WAL
+/// frontier; the client keeps the highest as its token
+/// ([`QueryClient::token`]) and stamps it on every batch, so a query
+/// issued after an acknowledged update on this connection never misses
+/// that update, regardless of the server's epoch cadence.
 #[derive(Debug)]
 pub struct QueryClient {
     stream: TcpStream,
     reader: FrameReader,
     config: QueryClientConfig,
     addr: SocketAddr,
+    token: u64,
 }
 
 impl QueryClient {
@@ -81,6 +91,7 @@ impl QueryClient {
             reader,
             config,
             addr: peer,
+            token: 0,
         };
         send_message(
             &mut client.stream,
@@ -113,10 +124,29 @@ impl QueryClient {
     /// Transport failures, protocol violations (out-of-order statement
     /// indices, a count mismatch), or a response timeout.
     pub fn batch(&mut self, script: &str) -> Result<Vec<RemoteVerdict>, WalError> {
+        let token = self.token;
+        self.batch_with_token(script, token)
+    }
+
+    /// [`QueryClient::batch`] with an explicit read-your-writes floor:
+    /// the server republishes its query snapshot first if none published
+    /// so far covers WAL frontier `min_lsn` (0 = no floor). Use a token
+    /// from another connection's update ack to read *its* writes; plain
+    /// [`QueryClient::batch`] already covers this connection's own.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryClient::batch`].
+    pub fn batch_with_token(
+        &mut self,
+        script: &str,
+        min_lsn: u64,
+    ) -> Result<Vec<RemoteVerdict>, WalError> {
         send_message(
             &mut self.stream,
             &Message::Batch {
                 script: script.to_string(),
+                min_lsn,
             },
         )?;
         let mut verdicts: Vec<RemoteVerdict> = Vec::new();
@@ -136,6 +166,71 @@ impl QueryClient {
                 }
                 _ => return Err(WalError::Decode("unexpected message in batch reply")),
             }
+        }
+    }
+
+    /// Sends one position update through the server's ingest shards and
+    /// waits for the ack. The verdict distinguishes applied, rejected
+    /// by the DBMS (still logged), and refused at the protocol boundary
+    /// (non-finite fields — never logged); transport-level failures are
+    /// the `Err` side. On ack the client's read-your-writes token
+    /// advances, so a following [`QueryClient::batch`] sees the write.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, or a response timeout.
+    pub fn update(
+        &mut self,
+        id: ObjectId,
+        msg: &UpdateMessage,
+    ) -> Result<RemoteUpdateVerdict, WalError> {
+        send_message(&mut self.stream, &Message::Update { id, msg: *msg })?;
+        let (lsn, mut verdicts) = self.recv_update_ack(1)?;
+        self.token = self.token.max(lsn);
+        Ok(verdicts.remove(0))
+    }
+
+    /// Sends several updates in one frame (one ack, one token advance).
+    /// Verdicts come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryClient::update`].
+    pub fn update_batch(
+        &mut self,
+        updates: &[(ObjectId, UpdateMessage)],
+    ) -> Result<Vec<RemoteUpdateVerdict>, WalError> {
+        send_message(
+            &mut self.stream,
+            &Message::UpdateBatch {
+                updates: updates.to_vec(),
+            },
+        )?;
+        let (lsn, verdicts) = self.recv_update_ack(updates.len())?;
+        self.token = self.token.max(lsn);
+        Ok(verdicts)
+    }
+
+    /// The highest acknowledged WAL frontier seen on this connection —
+    /// the read-your-writes floor [`QueryClient::batch`] stamps on every
+    /// script. Hand it to [`QueryClient::batch_with_token`] on another
+    /// connection to make *that* reader see this writer's updates.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    fn recv_update_ack(
+        &mut self,
+        expected: usize,
+    ) -> Result<(u64, Vec<RemoteUpdateVerdict>), WalError> {
+        match self.next_message("update ack")? {
+            Message::UpdateAck { lsn, verdicts } => {
+                if verdicts.len() != expected {
+                    return Err(WalError::Decode("update ack verdict count mismatch"));
+                }
+                Ok((lsn, verdicts))
+            }
+            _ => Err(WalError::Decode("unexpected message in update ack")),
         }
     }
 

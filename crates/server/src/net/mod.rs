@@ -25,5 +25,7 @@ mod protocol;
 mod server;
 
 pub use client::{QueryClient, QueryClientConfig};
-pub use protocol::{RemoteVerdict, ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES};
+pub use protocol::{
+    RemoteUpdateVerdict, RemoteVerdict, ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
+};
 pub use server::{QueryServer, QueryServerConfig};

@@ -12,13 +12,16 @@
 //! | tag | message        | direction       | body                               |
 //! |-----|----------------|-----------------|------------------------------------|
 //! | 1   | `Hello`        | client → server | `version u32`                      |
-//! | 2   | `Batch`        | client → server | `script string`                    |
+//! | 2   | `Batch`        | client → server | `script string, min_lsn u64`       |
 //! | 3   | `StatsRequest` | client → server | —                                  |
 //! | 4   | `HelloAck`     | server → client | `version u32`                      |
 //! | 5   | `Statement`    | server → client | `index u32, verdict`               |
 //! | 6   | `BatchDone`    | server → client | `count u32`                        |
 //! | 7   | `StatsReply`   | server → client | [`ServerStatsSnapshot`]            |
 //! | 8   | `Refused`      | server → client | `reason string`                    |
+//! | 9   | `Update`       | client → server | `id u64, msg UpdateMessage`        |
+//! | 10  | `UpdateBatch`  | client → server | `count u32, (id, msg)*`            |
+//! | 11  | `UpdateAck`    | server → client | `lsn u64, count u32, verdict*`     |
 //!
 //! A `Batch` is answered by one `Statement` per `;`-separated statement
 //! (in script order) followed by a `BatchDone` carrying the count, so a
@@ -28,25 +31,40 @@
 //! may/must sets, neighbour rankings); query *errors* travel as their
 //! display strings, which keeps every `modb-query` error representable
 //! without the server and client sharing an error-enum encoding.
+//!
+//! **Remote ingest (v2).** `Update` / `UpdateBatch` push position
+//! updates through the server's ingest shards (per-object FIFO, WAL
+//! logging, the works — the same path local producers use). The
+//! `UpdateAck` carries one [`RemoteUpdateVerdict`] per envelope plus the
+//! WAL frontier observed after the batch flushed: a **read-your-writes
+//! token**. A later `Batch` carrying that token as `min_lsn` is
+//! guaranteed to run against a snapshot covering every acknowledged
+//! update (`min_lsn = 0` asks for no such floor). Envelopes with
+//! non-finite time/coordinates/speed are refused at this boundary with
+//! [`RemoteUpdateVerdict::Invalid`] — never applied, never logged — so a
+//! malicious or broken client cannot poison a shard's WAL with values
+//! the local path would reject only after logging.
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use modb_core::{NearestAnswer, Neighbour, ObjectId, PositionAnswer, RangeAnswer};
+use modb_core::{NearestAnswer, Neighbour, ObjectId, PositionAnswer, RangeAnswer, UpdateMessage};
 use modb_geom::Point;
 use modb_index::SearchStats;
 use modb_query::QueryResult;
 use modb_wal::codec::{put_f64, put_string, put_u32, put_u64};
-use modb_wal::{crc32, ByteReader, WalError};
+use modb_wal::{crc32, ByteReader, WalCodec, WalError};
 
 use crate::ingest::IngestStatsSnapshot;
 use crate::query_engine::QueryStatsSnapshot;
 
 /// Protocol version spoken by this build; a mismatched `Hello` is
-/// refused.
-pub(crate) const NET_PROTOCOL_VERSION: u32 = 1;
+/// refused. v2 added remote ingest (`Update`/`UpdateBatch`/`UpdateAck`),
+/// the `min_lsn` read-your-writes floor on `Batch`, and the shard label
+/// in the stats frame.
+pub(crate) const NET_PROTOCOL_VERSION: u32 = 2;
 
 /// Default ceiling on one message's payload. Query scripts and result
 /// sets are small next to replication snapshots, so the front-end default
@@ -56,6 +74,31 @@ pub const DEFAULT_MAX_FRAME_BYTES: u32 = 4 * 1024 * 1024;
 /// The outcome of one remote statement: the structural result, or the
 /// server-side error rendered to its display string.
 pub type RemoteVerdict = Result<QueryResult, String>;
+
+/// The outcome of one remote update envelope, per the ingest contract:
+/// DBMS rejections are *applied-and-logged* outcomes (stale timestamps
+/// and off-route fixes are radio-network business as usual), while a
+/// protocol-boundary refusal never touched the database or the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteUpdateVerdict {
+    /// Applied and logged.
+    Accepted,
+    /// Rejected by the DBMS (stale, off-route, unknown object, …) —
+    /// still logged, like the local ingest path. Carries the display
+    /// string of the [`modb_core::CoreError`].
+    Rejected(String),
+    /// Refused at the protocol boundary (non-finite time, coordinates,
+    /// or speed; or no ingest service attached): not applied, not
+    /// logged.
+    Invalid(String),
+}
+
+impl RemoteUpdateVerdict {
+    /// `true` for [`RemoteUpdateVerdict::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, RemoteUpdateVerdict::Accepted)
+    }
+}
 
 /// Everything a monitoring scrape wants from a serving node, gathered in
 /// one frame so the numbers are from (nearly) the same instant: query
@@ -84,6 +127,11 @@ pub struct ServerStatsSnapshot {
     /// Lowest acknowledged LSN across followers (the compaction barrier),
     /// when any are connected.
     pub min_acked_lsn: Option<u64>,
+    /// This node's shard number in a cluster, when it has one
+    /// ([`crate::QueryServerConfig::shard`]); rendered as a
+    /// `shard="N"` label on every Prometheus sample so a scraped
+    /// cluster's series stay distinguishable.
+    pub shard: Option<u64>,
 }
 
 impl ServerStatsSnapshot {
@@ -91,17 +139,31 @@ impl ServerStatsSnapshot {
     /// (`# TYPE` lines plus one sample per metric). Gauges and counters
     /// are labelled as such; `modb_replication_min_acked_lsn` is omitted
     /// when no follower is connected rather than inventing a sentinel.
+    /// A cluster node (`shard` set) gets a `shard="N"` label on every
+    /// sample.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
+        let labels = match self.shard {
+            Some(n) => format!("{{shard=\"{n}\"}}"),
+            None => String::new(),
+        };
         let mut metric = |name: &str, kind: &str, value: u64| {
             let _ = writeln!(out, "# TYPE {name} {kind}");
-            let _ = writeln!(out, "{name} {value}");
+            let _ = writeln!(out, "{name}{labels} {value}");
         };
         metric("modb_query_epoch", "gauge", self.query.epoch);
         metric("modb_queries_total", "counter", self.query.queries);
-        metric("modb_query_epoch_queries", "gauge", self.query.epoch_queries);
+        metric(
+            "modb_query_epoch_queries",
+            "gauge",
+            self.query.epoch_queries,
+        );
         metric("modb_query_errors_total", "counter", self.query.errors);
-        metric("modb_query_candidates_total", "counter", self.query.candidates);
+        metric(
+            "modb_query_candidates_total",
+            "counter",
+            self.query.candidates,
+        );
         metric("modb_query_matches_total", "counter", self.query.matches);
         metric(
             "modb_query_parallel_refines_total",
@@ -119,7 +181,11 @@ impl ServerStatsSnapshot {
             "counter",
             self.query.full_publishes,
         );
-        metric("modb_query_publish_nanoseconds_total", "counter", self.query.publish_ns);
+        metric(
+            "modb_query_publish_nanoseconds_total",
+            "counter",
+            self.query.publish_ns,
+        );
         metric("modb_query_p50_microseconds", "gauge", self.query.p50_us);
         metric("modb_query_p99_microseconds", "gauge", self.query.p99_us);
         metric(
@@ -127,9 +193,21 @@ impl ServerStatsSnapshot {
             "gauge",
             self.query.snapshot_age.as_micros() as u64,
         );
-        metric("modb_ingest_accepted_total", "counter", self.ingest.accepted as u64);
-        metric("modb_ingest_stale_total", "counter", self.ingest.stale as u64);
-        metric("modb_ingest_off_route_total", "counter", self.ingest.off_route as u64);
+        metric(
+            "modb_ingest_accepted_total",
+            "counter",
+            self.ingest.accepted as u64,
+        );
+        metric(
+            "modb_ingest_stale_total",
+            "counter",
+            self.ingest.stale as u64,
+        );
+        metric(
+            "modb_ingest_off_route_total",
+            "counter",
+            self.ingest.off_route as u64,
+        );
         metric(
             "modb_ingest_unknown_object_total",
             "counter",
@@ -140,9 +218,17 @@ impl ServerStatsSnapshot {
             "counter",
             self.ingest.other_rejected as u64,
         );
-        metric("modb_ingest_wal_errors_total", "counter", self.ingest.wal_errors as u64);
+        metric(
+            "modb_ingest_wal_errors_total",
+            "counter",
+            self.ingest.wal_errors as u64,
+        );
         metric("modb_ingest_queue_depth", "gauge", self.ingest_queue_depth);
-        metric("modb_wal_bytes_appended_total", "counter", self.wal_bytes_appended);
+        metric(
+            "modb_wal_bytes_appended_total",
+            "counter",
+            self.wal_bytes_appended,
+        );
         metric("modb_wal_fsyncs_total", "counter", self.wal_fsyncs);
         metric("modb_wal_next_lsn", "gauge", self.wal_next_lsn);
         metric("modb_replication_followers", "gauge", self.followers);
@@ -158,8 +244,10 @@ impl ServerStatsSnapshot {
 pub(crate) enum Message {
     /// Client's opening line.
     Hello { version: u32 },
-    /// A `;`-separated query script to run as one batch.
-    Batch { script: String },
+    /// A `;`-separated query script to run as one batch. `min_lsn` is
+    /// the read-your-writes floor: the batch must run against a
+    /// snapshot covering at least this WAL frontier (0 = no floor).
+    Batch { script: String, min_lsn: u64 },
     /// Ask for a [`ServerStatsSnapshot`].
     StatsRequest,
     /// Handshake accepted.
@@ -173,6 +261,20 @@ pub(crate) enum Message {
     /// The server declined (version mismatch, at connection capacity);
     /// the connection closes after this.
     Refused { reason: String },
+    /// One position update for the ingest path.
+    Update { id: ObjectId, msg: UpdateMessage },
+    /// Several position updates in one frame (amortized framing, one
+    /// ack).
+    UpdateBatch {
+        updates: Vec<(ObjectId, UpdateMessage)>,
+    },
+    /// Reply to `Update`/`UpdateBatch`: one verdict per envelope in
+    /// frame order, plus the WAL frontier after the flush — the
+    /// read-your-writes token (0 when the serving node has no WAL).
+    UpdateAck {
+        lsn: u64,
+        verdicts: Vec<RemoteUpdateVerdict>,
+    },
 }
 
 fn put_point(out: &mut Vec<u8>, p: &Point) {
@@ -300,6 +402,29 @@ fn read_query_result(r: &mut ByteReader<'_>) -> Result<QueryResult, WalError> {
     })
 }
 
+fn put_update_verdict(out: &mut Vec<u8>, v: &RemoteUpdateVerdict) {
+    match v {
+        RemoteUpdateVerdict::Accepted => out.push(0),
+        RemoteUpdateVerdict::Rejected(msg) => {
+            out.push(1);
+            put_string(out, msg);
+        }
+        RemoteUpdateVerdict::Invalid(msg) => {
+            out.push(2);
+            put_string(out, msg);
+        }
+    }
+}
+
+fn read_update_verdict(r: &mut ByteReader<'_>) -> Result<RemoteUpdateVerdict, WalError> {
+    Ok(match r.u8()? {
+        0 => RemoteUpdateVerdict::Accepted,
+        1 => RemoteUpdateVerdict::Rejected(r.string()?),
+        2 => RemoteUpdateVerdict::Invalid(r.string()?),
+        _ => return Err(WalError::Decode("unknown update verdict tag")),
+    })
+}
+
 fn put_stats(out: &mut Vec<u8>, s: &ServerStatsSnapshot) {
     put_u64(out, s.query.epoch);
     put_u64(out, s.query.queries);
@@ -330,6 +455,13 @@ fn put_stats(out: &mut Vec<u8>, s: &ServerStatsSnapshot) {
         Some(lsn) => {
             out.push(1);
             put_u64(out, lsn);
+        }
+        None => out.push(0),
+    }
+    match s.shard {
+        Some(n) => {
+            out.push(1);
+            put_u64(out, n);
         }
         None => out.push(0),
     }
@@ -366,6 +498,7 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
     let ingest_queue_depth = r.u64()?;
     let followers = r.u64()?;
     let min_acked_lsn = if r.u8()? != 0 { Some(r.u64()?) } else { None };
+    let shard = if r.u8()? != 0 { Some(r.u64()?) } else { None };
     Ok(ServerStatsSnapshot {
         query,
         ingest,
@@ -375,6 +508,7 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
         ingest_queue_depth,
         followers,
         min_acked_lsn,
+        shard,
     })
 }
 
@@ -385,9 +519,10 @@ impl Message {
                 out.push(1);
                 put_u32(out, *version);
             }
-            Message::Batch { script } => {
+            Message::Batch { script, min_lsn } => {
                 out.push(2);
                 put_string(out, script);
+                put_u64(out, *min_lsn);
             }
             Message::StatsRequest => out.push(3),
             Message::HelloAck { version } => {
@@ -420,6 +555,27 @@ impl Message {
                 out.push(8);
                 put_string(out, reason);
             }
+            Message::Update { id, msg } => {
+                out.push(9);
+                put_u64(out, id.0);
+                msg.encode(out);
+            }
+            Message::UpdateBatch { updates } => {
+                out.push(10);
+                put_u32(out, updates.len() as u32);
+                for (id, msg) in updates {
+                    put_u64(out, id.0);
+                    msg.encode(out);
+                }
+            }
+            Message::UpdateAck { lsn, verdicts } => {
+                out.push(11);
+                put_u64(out, *lsn);
+                put_u32(out, verdicts.len() as u32);
+                for v in verdicts {
+                    put_update_verdict(out, v);
+                }
+            }
         }
     }
 
@@ -427,7 +583,10 @@ impl Message {
         let mut r = ByteReader::new(payload);
         let msg = match r.u8()? {
             1 => Message::Hello { version: r.u32()? },
-            2 => Message::Batch { script: r.string()? },
+            2 => Message::Batch {
+                script: r.string()?,
+                min_lsn: r.u64()?,
+            },
             3 => Message::StatsRequest,
             4 => Message::HelloAck { version: r.u32()? },
             5 => {
@@ -441,7 +600,32 @@ impl Message {
             }
             6 => Message::BatchDone { count: r.u32()? },
             7 => Message::StatsReply(read_stats(&mut r)?),
-            8 => Message::Refused { reason: r.string()? },
+            8 => Message::Refused {
+                reason: r.string()?,
+            },
+            9 => Message::Update {
+                id: ObjectId(r.u64()?),
+                msg: UpdateMessage::decode(&mut r)?,
+            },
+            10 => {
+                let n = r.u32()? as usize;
+                let mut updates = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let id = ObjectId(r.u64()?);
+                    let msg = UpdateMessage::decode(&mut r)?;
+                    updates.push((id, msg));
+                }
+                Message::UpdateBatch { updates }
+            }
+            11 => {
+                let lsn = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut verdicts = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    verdicts.push(read_update_verdict(&mut r)?);
+                }
+                Message::UpdateAck { lsn, verdicts }
+            }
             _ => return Err(WalError::Decode("unknown front-end message tag")),
         };
         if !r.is_empty() {
@@ -465,6 +649,9 @@ pub(crate) fn send_message(stream: &mut TcpStream, msg: &Message) -> Result<(), 
 }
 
 /// What one [`FrameReader::poll`] observed.
+// One short-lived value per poll; boxing `Message` would buy stack bytes
+// at the price of a heap allocation per frame.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub(crate) enum ReadEvent {
     /// A whole, CRC-valid message.
@@ -597,6 +784,7 @@ mod tests {
             ingest_queue_depth: 5,
             followers: 2,
             min_acked_lsn: Some(80),
+            shard: Some(3),
         }
     }
 
@@ -609,6 +797,7 @@ mod tests {
                 script: "RETRIEVE POSITION OF OBJECT 1 AT TIME 5; RETRIEVE \
                          OBJECTS INSIDE RECT (0, 0, 5, 5) AT TIME 5"
                     .into(),
+                min_lsn: 42,
             },
             Message::StatsRequest,
             Message::HelloAck {
@@ -663,13 +852,48 @@ mod tests {
             Message::Refused {
                 reason: "server at connection capacity".into(),
             },
+            Message::Update {
+                id: ObjectId(17),
+                msg: UpdateMessage::basic(5.0, modb_core::UpdatePosition::Arc(12.5), 0.9),
+            },
+            Message::UpdateBatch {
+                updates: vec![
+                    (
+                        ObjectId(1),
+                        UpdateMessage::basic(
+                            1.0,
+                            modb_core::UpdatePosition::Coordinates(Point::new(3.0, 4.0)),
+                            1.1,
+                        ),
+                    ),
+                    (
+                        ObjectId(2),
+                        UpdateMessage::route_change(
+                            2.0,
+                            modb_routes::RouteId(7),
+                            modb_core::UpdatePosition::Arc(0.5),
+                            modb_routes::Direction::Backward,
+                            0.8,
+                        ),
+                    ),
+                ],
+            },
+            Message::UpdateAck {
+                lsn: 91,
+                verdicts: vec![
+                    RemoteUpdateVerdict::Accepted,
+                    RemoteUpdateVerdict::Rejected("stale update: 1 is not newer than 2".into()),
+                    RemoteUpdateVerdict::Invalid("non-finite speed NaN".into()),
+                ],
+            },
         ]
     }
 
     #[test]
     fn round_trips_every_message() {
         let (mut tx, rx) = pair();
-        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
         let mut reader = FrameReader::new(rx, DEFAULT_MAX_FRAME_BYTES);
         for msg in sample_messages() {
             send_message(&mut tx, &msg).unwrap();
@@ -689,7 +913,8 @@ mod tests {
     #[test]
     fn oversized_frame_is_a_hard_error() {
         let (mut tx, rx) = pair();
-        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
         let mut frame = Vec::new();
         put_u32(&mut frame, 1024 + 1); // over this reader's ceiling
         put_u32(&mut frame, 0);
@@ -708,7 +933,8 @@ mod tests {
     #[test]
     fn corrupt_crc_is_a_hard_error() {
         let (mut tx, rx) = pair();
-        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
         let mut payload = Vec::new();
         Message::StatsRequest.encode_payload(&mut payload);
         let mut frame = Vec::new();
@@ -729,7 +955,10 @@ mod tests {
 
     #[test]
     fn prometheus_text_carries_every_counter() {
-        let stats = sample_stats();
+        let stats = ServerStatsSnapshot {
+            shard: None,
+            ..sample_stats()
+        };
         let text = stats.prometheus_text();
         for (metric, value) in [
             ("modb_query_epoch", 3),
@@ -750,7 +979,8 @@ mod tests {
                 "missing `{metric} {value}` in:\n{text}"
             );
             assert!(
-                text.lines().any(|l| l.starts_with(&format!("# TYPE {metric} "))),
+                text.lines()
+                    .any(|l| l.starts_with(&format!("# TYPE {metric} "))),
                 "missing TYPE line for {metric}"
             );
         }
@@ -760,5 +990,26 @@ mod tests {
             ..stats
         };
         assert!(!empty.prometheus_text().contains("min_acked_lsn"));
+    }
+
+    #[test]
+    fn prometheus_text_labels_every_sample_with_the_shard() {
+        let stats = sample_stats(); // shard = Some(3)
+        let text = stats.prometheus_text();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.contains("{shard=\"3\"}"),
+                "unlabelled sample on a cluster node: {line}"
+            );
+        }
+        assert!(
+            text.lines()
+                .any(|l| l == "modb_queries_total{shard=\"3\"} 100"),
+            "{text}"
+        );
+        // TYPE lines stay label-free (labels belong on samples).
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            assert!(!line.contains("shard="), "{line}");
+        }
     }
 }

@@ -23,18 +23,19 @@
 //!   client never sees a half-answered batch from a clean shutdown.
 
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
 use modb_wal::{SharedWal, WalError};
 
 use crate::durable::DurableDatabase;
-use crate::ingest::IngestMonitor;
+use crate::ingest::{IngestFrontend, UpdateEnvelope};
 use crate::net::protocol::{
-    send_message, FrameReader, Message, ReadEvent, ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
-    NET_PROTOCOL_VERSION,
+    send_message, FrameReader, Message, ReadEvent, RemoteUpdateVerdict, ServerStatsSnapshot,
+    DEFAULT_MAX_FRAME_BYTES, NET_PROTOCOL_VERSION,
 };
 use crate::query_engine::QueryEngine;
 use crate::replication::ShipHorizon;
@@ -52,6 +53,10 @@ pub struct QueryServerConfig {
     /// Socket write timeout; a client not draining its results is
     /// disconnected.
     pub write_timeout: Option<Duration>,
+    /// This node's shard number when it serves as one cluster member;
+    /// stamped on every stats scrape (and thence every Prometheus
+    /// sample) so per-shard series stay distinguishable.
+    pub shard: Option<u64>,
 }
 
 impl Default for QueryServerConfig {
@@ -61,6 +66,7 @@ impl Default for QueryServerConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             request_deadline: Duration::from_secs(10),
             write_timeout: Some(Duration::from_secs(10)),
+            shard: None,
         }
     }
 }
@@ -70,8 +76,12 @@ struct ServeContext {
     engine: Arc<QueryEngine>,
     wal: SharedWal,
     horizon: Arc<ShipHorizon>,
-    ingest: Option<IngestMonitor>,
+    ingest: Option<IngestFrontend>,
     config: QueryServerConfig,
+    /// WAL frontier known to be covered by a published engine snapshot —
+    /// the server side of the read-your-writes token. Monotone;
+    /// sessions race it up with `fetch_max`.
+    published_frontier: AtomicU64,
 }
 
 impl ServeContext {
@@ -83,7 +93,7 @@ impl ServeContext {
             ingest: self
                 .ingest
                 .as_ref()
-                .map(|m| m.snapshot())
+                .map(|f| f.monitor.snapshot())
                 .unwrap_or_default(),
             wal_bytes_appended,
             wal_fsyncs,
@@ -91,12 +101,100 @@ impl ServeContext {
             ingest_queue_depth: self
                 .ingest
                 .as_ref()
-                .map(|m| m.queue_depth() as u64)
+                .map(|f| f.monitor.queue_depth() as u64)
                 .unwrap_or(0),
             followers: self.horizon.followers() as u64,
             min_acked_lsn: self.horizon.min(),
+            shard: self.config.shard,
         }
     }
+
+    /// Honors a batch's read-your-writes floor: when no published
+    /// snapshot is known to cover WAL frontier `min_lsn`, publish one
+    /// now. Apply-before-log makes this sound — every record below the
+    /// frontier read here was applied to the in-memory database before
+    /// it got its LSN, so the snapshot published after covers them all.
+    fn ensure_covers(&self, min_lsn: u64) {
+        if min_lsn == 0 || self.published_frontier.load(Ordering::Acquire) >= min_lsn {
+            return;
+        }
+        let frontier = self.wal.next_lsn();
+        self.engine.publish_now();
+        self.published_frontier
+            .fetch_max(frontier, Ordering::AcqRel);
+    }
+}
+
+/// Refuses non-finite numeric fields at the protocol boundary. The local
+/// ingest path logs an envelope before the DBMS judges it; accepting a
+/// NaN here would poison the shard's WAL with a record replay can only
+/// reject — so it never reaches the ingest queue at all.
+fn validate_update(msg: &UpdateMessage) -> Result<(), String> {
+    if !msg.time.is_finite() {
+        return Err(format!("non-finite time {}", msg.time));
+    }
+    if !msg.speed.is_finite() {
+        return Err(format!("non-finite speed {}", msg.speed));
+    }
+    match &msg.position {
+        UpdatePosition::Arc(a) if !a.is_finite() => Err(format!("non-finite arc {a}")),
+        UpdatePosition::Coordinates(p) if !p.is_finite() => {
+            Err(format!("non-finite coordinates ({}, {})", p.x, p.y))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Routes one frame's envelopes through the ingest shards and gathers
+/// the ack: every valid envelope is dispatched before any outcome is
+/// awaited (preserving per-object FIFO and letting the shard workers run
+/// in parallel), and the reported LSN is the highest flushed frontier —
+/// a token covering every accepted envelope of the frame.
+fn apply_updates(
+    ctx: &ServeContext,
+    updates: Vec<(ObjectId, UpdateMessage)>,
+) -> (u64, Vec<RemoteUpdateVerdict>) {
+    let Some(frontend) = &ctx.ingest else {
+        let verdicts = updates
+            .iter()
+            .map(|_| RemoteUpdateVerdict::Invalid("no ingest service attached".into()))
+            .collect();
+        return (0, verdicts);
+    };
+    let mut verdicts: Vec<Option<RemoteUpdateVerdict>> = vec![None; updates.len()];
+    let mut pending = Vec::with_capacity(updates.len());
+    for (i, (id, msg)) in updates.into_iter().enumerate() {
+        if let Err(reason) = validate_update(&msg) {
+            verdicts[i] = Some(RemoteUpdateVerdict::Invalid(reason));
+            continue;
+        }
+        match frontend.handle.send_acked(UpdateEnvelope { id, msg }) {
+            Ok(rx) => pending.push((i, rx)),
+            Err(_) => {
+                verdicts[i] = Some(RemoteUpdateVerdict::Invalid(
+                    "ingest service shut down".into(),
+                ));
+            }
+        }
+    }
+    let mut lsn = 0;
+    for (i, rx) in pending {
+        verdicts[i] = Some(match rx.recv() {
+            Ok(outcome) => {
+                lsn = lsn.max(outcome.lsn);
+                match outcome.verdict {
+                    Ok(()) => RemoteUpdateVerdict::Accepted,
+                    Err(e) => RemoteUpdateVerdict::Rejected(e.to_string()),
+                }
+            }
+            Err(_) => RemoteUpdateVerdict::Invalid("ingest service shut down".into()),
+        });
+    }
+    let verdicts = verdicts
+        .into_iter()
+        .map(|v| v.expect("every envelope got a verdict"))
+        .collect();
+    (lsn, verdicts)
 }
 
 /// Handle to a running query front-end listener. Dropping (or
@@ -148,8 +246,10 @@ impl DurableDatabase {
     /// for an ephemeral port, then [`QueryServer::local_addr`]). Batches
     /// run on `engine` exactly as a local
     /// [`QueryEngine::run_batch`] call would; pass an
-    /// [`IngestMonitor`] to include ingest counters and queue depth in
-    /// the scrape (they read as zero without one).
+    /// [`IngestFrontend`] to accept remote `Update` frames through the
+    /// ingest shards and to include ingest counters and queue depth in
+    /// the scrape (without one, updates are refused with a typed verdict
+    /// and the ingest counters read as zero).
     ///
     /// # Errors
     ///
@@ -157,7 +257,7 @@ impl DurableDatabase {
     pub fn serve_queries(
         &self,
         engine: Arc<QueryEngine>,
-        ingest: Option<IngestMonitor>,
+        ingest: Option<IngestFrontend>,
         addr: impl ToSocketAddrs,
         config: QueryServerConfig,
     ) -> Result<QueryServer, WalError> {
@@ -172,6 +272,7 @@ impl DurableDatabase {
             horizon: Arc::clone(self.ship_horizon()),
             ingest,
             config,
+            published_frontier: AtomicU64::new(0),
         });
         let accept = {
             let stop = Arc::clone(&stop);
@@ -294,8 +395,11 @@ fn run_session(
     loop {
         let stopping = stop.load(Ordering::SeqCst);
         match reader.poll()? {
-            ReadEvent::Message(Message::Batch { script }) => {
+            ReadEvent::Message(Message::Batch { script, min_lsn }) => {
                 partial_since = None;
+                // Read-your-writes: republish first if no published
+                // snapshot covers the client's token.
+                ctx.ensure_covers(min_lsn);
                 // Synchronous execution: shutdown observed after this
                 // point still lets the full response stream out (the
                 // drain guarantee).
@@ -315,6 +419,16 @@ fn run_session(
             ReadEvent::Message(Message::StatsRequest) => {
                 partial_since = None;
                 send_message(stream, &Message::StatsReply(ctx.scrape()))?;
+            }
+            ReadEvent::Message(Message::Update { id, msg }) => {
+                partial_since = None;
+                let (lsn, verdicts) = apply_updates(ctx, vec![(id, msg)]);
+                send_message(stream, &Message::UpdateAck { lsn, verdicts })?;
+            }
+            ReadEvent::Message(Message::UpdateBatch { updates }) => {
+                partial_since = None;
+                let (lsn, verdicts) = apply_updates(ctx, updates);
+                send_message(stream, &Message::UpdateAck { lsn, verdicts })?;
             }
             ReadEvent::Message(_) => {
                 // A server-only message from a client is a protocol

@@ -210,7 +210,8 @@ impl QueryStats {
         if error {
             self.errors.fetch_add(1, Ordering::Release);
         }
-        self.candidates.fetch_add(candidates as u64, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(candidates as u64, Ordering::Relaxed);
         self.matches.fetch_add(matches as u64, Ordering::Release);
         let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         let bucket = (64 - (us | 1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
@@ -566,12 +567,9 @@ impl QueryEngine {
                 let cell = Arc::clone(&cell);
                 let stats = Arc::clone(&stats);
                 let shadow = Arc::clone(&shadow);
-                let handle = std::thread::spawn(move || loop {
-                    match stop_rx.recv_timeout(interval) {
-                        Err(RecvTimeoutError::Timeout) => {
-                            publish(&db, &cell, &stats, &shadow, incremental);
-                        }
-                        _ => break,
+                let handle = std::thread::spawn(move || {
+                    while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                        publish(&db, &cell, &stats, &shadow, incremental);
                     }
                 });
                 (stop_tx, handle)
@@ -580,13 +578,10 @@ impl QueryEngine {
             let (stop_tx, stop_rx) = bounded::<()>(1);
             let cell = Arc::clone(&cell);
             let stats = Arc::clone(&stats);
-            let handle = std::thread::spawn(move || loop {
-                match stop_rx.recv_timeout(interval) {
-                    Err(RecvTimeoutError::Timeout) => {
-                        let age = cell.read().age();
-                        eprintln!("[query-engine] {}", stats.snapshot(age));
-                    }
-                    _ => break,
+            let handle = std::thread::spawn(move || {
+                while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                    let age = cell.read().age();
+                    eprintln!("[query-engine] {}", stats.snapshot(age));
                 }
             });
             (stop_tx, handle)
@@ -767,7 +762,12 @@ impl QueryEngine {
     }
 
     fn stop_threads(&mut self) {
-        for (stop, handle) in self.publisher.take().into_iter().chain(self.reporter.take()) {
+        for (stop, handle) in self
+            .publisher
+            .take()
+            .into_iter()
+            .chain(self.reporter.take())
+        {
             let _ = stop.send(());
             drop(stop);
             let _ = handle.join();
@@ -952,8 +952,7 @@ mod tests {
     }
 
     fn region(x0: f64, x1: f64, t: f64) -> QueryRegion {
-        let g = Polygon::rectangle(&Rect::new(Point::new(x0, -1.0), Point::new(x1, 1.0)))
-            .unwrap();
+        let g = Polygon::rectangle(&Rect::new(Point::new(x0, -1.0), Point::new(x1, 1.0))).unwrap();
         QueryRegion::at_instant(g, t)
     }
 
@@ -1076,10 +1075,7 @@ mod tests {
         assert_eq!(results.len(), 4);
         let expected = db.range_query(&region(0.0, 30.0, 0.0)).unwrap();
         assert_eq!(results[0].as_ref().unwrap().as_range().unwrap(), &expected);
-        assert_eq!(
-            results[1].as_ref().unwrap().as_position().unwrap().arc,
-            9.0
-        );
+        assert_eq!(results[1].as_ref().unwrap().as_position().unwrap().arc, 9.0);
         assert!(matches!(results[2], Err(QueryError::Parse(_))));
         let expected = db
             .within_distance_of_point(Point::new(10.0, 0.0), 5.0, 0.0)
@@ -1179,7 +1175,7 @@ mod tests {
                     let mut n = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         // matches < candidates per record, error on some.
-                        stats.record(Duration::from_micros(7), 5, 2, n % 4 == 0);
+                        stats.record(Duration::from_micros(7), 5, 2, n.is_multiple_of(4));
                         n += 1;
                     }
                 })
@@ -1252,16 +1248,15 @@ mod tests {
         for round in 1..=3u64 {
             db.apply_update(
                 ObjectId(round),
-                &UpdateMessage::basic(
-                    round as f64,
-                    UpdatePosition::Arc(500.0 + round as f64),
-                    1.0,
-                ),
+                &UpdateMessage::basic(round as f64, UpdatePosition::Arc(500.0 + round as f64), 1.0),
             )
             .unwrap();
             engine.publish_now();
             assert_eq!(
-                engine.position_of(ObjectId(round), round as f64).unwrap().arc,
+                engine
+                    .position_of(ObjectId(round), round as f64)
+                    .unwrap()
+                    .arc,
                 500.0 + round as f64
             );
         }
@@ -1356,7 +1351,10 @@ mod tests {
                         // A snapshot is internally consistent: the scan
                         // baseline over the same snapshot agrees.
                         let snap = engine.snapshot();
-                        let a = snap.database().range_query(&region(0.0, 400.0, 5.0)).unwrap();
+                        let a = snap
+                            .database()
+                            .range_query(&region(0.0, 400.0, 5.0))
+                            .unwrap();
                         let b = snap
                             .database()
                             .range_query_scan(&region(0.0, 400.0, 5.0))

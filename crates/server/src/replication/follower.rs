@@ -225,12 +225,8 @@ impl StandbyReplica {
         let have_state = !list_snapshots(&dir)?.is_empty();
         let (db, wal, applied) = if have_state {
             let recovered = modb_wal::recover(&dir)?;
-            let writer = WalWriter::resume(&dir, config.wal.clone(), recovered.report.next_lsn)?;
-            (
-                recovered.database,
-                Some(writer),
-                recovered.report.next_lsn,
-            )
+            let writer = WalWriter::resume(&dir, config.wal, recovered.report.next_lsn)?;
+            (recovered.database, Some(writer), recovered.report.next_lsn)
         } else {
             (placeholder_database(), None, 0)
         };
@@ -360,8 +356,7 @@ impl Drop for StandbyReplica {
 /// A replica with no state yet: an empty network, default config. The
 /// bootstrap snapshot replaces all of it (network, config, objects).
 fn placeholder_database() -> Database {
-    let network =
-        RouteNetwork::from_routes(Vec::<Route>::new()).expect("empty network is valid");
+    let network = RouteNetwork::from_routes(Vec::<Route>::new()).expect("empty network is valid");
     Database::new(network, DatabaseConfig::default())
 }
 
@@ -447,12 +442,10 @@ impl Worker {
                 return SessionEnd::Disconnected;
             }
             match reader.poll() {
-                Ok(ReadEvent::Message(msg)) => {
-                    match self.handle(msg, &mut tx, last_snapshot_lsn) {
-                        Ok(()) => {}
-                        Err(end) => return end,
-                    }
-                }
+                Ok(ReadEvent::Message(msg)) => match self.handle(msg, &mut tx, last_snapshot_lsn) {
+                    Ok(()) => {}
+                    Err(end) => return end,
+                },
                 Ok(ReadEvent::Idle) => continue,
                 Ok(ReadEvent::Closed) => return SessionEnd::Disconnected,
                 // Framing lost (bad length / CRC / undecodable message):
@@ -536,7 +529,7 @@ impl Worker {
                 std::fs::remove_file(path)?;
             }
             std::fs::rename(&tmp, self.dir.join(snapshot_file_name(lsn)))?;
-            self.wal = Some(WalWriter::resume(&self.dir, self.config.wal.clone(), lsn)?);
+            self.wal = Some(WalWriter::resume(&self.dir, self.config.wal, lsn)?);
             Ok(db)
         })();
         let db = match install {
@@ -615,14 +608,13 @@ impl Worker {
         self.shared.set_applied(applied);
         if self.config.snapshot_every > 0
             && applied.saturating_sub(*last_snapshot_lsn) >= self.config.snapshot_every
+            && self.local_snapshot(applied).is_ok()
         {
-            if self.local_snapshot(applied).is_ok() {
-                *last_snapshot_lsn = applied;
-                self.shared
-                    .stats
-                    .snapshots_taken
-                    .fetch_add(1, Ordering::Relaxed);
-            }
+            *last_snapshot_lsn = applied;
+            self.shared
+                .stats
+                .snapshots_taken
+                .fetch_add(1, Ordering::Relaxed);
         }
         self.ack(tx, applied)
     }

@@ -251,7 +251,16 @@ fn handle_follower(
     let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
     let _ = stream.set_write_timeout(config.write_timeout);
     let hid = horizon.register(0);
-    let _ = run_session(&mut stream, dir, &wal, &horizon, hid, &stats, &config, &stop);
+    let _ = run_session(
+        &mut stream,
+        dir,
+        &wal,
+        &horizon,
+        hid,
+        &stats,
+        &config,
+        &stop,
+    );
     horizon.release(hid);
     let _ = stream.shutdown(Shutdown::Both);
 }
@@ -305,7 +314,9 @@ fn run_session(
         let segments = list_segments(dir)?;
         // The follower's next record must still be on disk — either
         // inside a surviving segment or exactly at the frontier.
-        segments.first().is_some_and(|&(start, _)| start <= follower_lsn)
+        segments
+            .first()
+            .is_some_and(|&(start, _)| start <= follower_lsn)
     };
     let cursor = if resumable {
         follower_lsn
@@ -375,7 +386,9 @@ fn run_session(
                 if let Err(e) = send_message(stream, &msg) {
                     break Err(e);
                 }
-                stats.records_shipped.fetch_add(count as u64, Ordering::Relaxed);
+                stats
+                    .records_shipped
+                    .fetch_add(count as u64, Ordering::Relaxed);
             }
             Ok(None) => {
                 let due = last_heartbeat.is_none_or(|t| t.elapsed() >= config.heartbeat_interval);

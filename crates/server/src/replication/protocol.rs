@@ -270,7 +270,9 @@ mod tests {
                 count: 2,
                 frames: vec![0xde, 0xad, 0xbe, 0xef],
             },
-            Message::Heartbeat { leader_next_lsn: 11 },
+            Message::Heartbeat {
+                leader_next_lsn: 11,
+            },
             Message::Ack { applied_lsn: 10 },
         ]
     }
@@ -278,7 +280,8 @@ mod tests {
     #[test]
     fn round_trips_every_message() {
         let (mut tx, rx) = pair();
-        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
         let mut reader = FrameReader::new(rx);
         for msg in sample_messages() {
             send_message(&mut tx, &msg).unwrap();
@@ -298,7 +301,8 @@ mod tests {
     #[test]
     fn corrupt_crc_is_a_hard_error() {
         let (mut tx, rx) = pair();
-        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
         let mut payload = Vec::new();
         Message::Ack { applied_lsn: 3 }.encode_payload(&mut payload);
         let mut frame = Vec::new();
@@ -320,7 +324,8 @@ mod tests {
     #[test]
     fn implausible_length_is_a_hard_error() {
         let (mut tx, rx) = pair();
-        rx.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
         let mut frame = Vec::new();
         put_u32(&mut frame, MAX_MESSAGE_BYTES + 1);
         put_u32(&mut frame, 0);
@@ -339,7 +344,8 @@ mod tests {
     #[test]
     fn partial_frames_accumulate_across_polls() {
         let (mut tx, rx) = pair();
-        rx.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
         let msg = Message::Records {
             start_lsn: 5,
             count: 1,
@@ -356,12 +362,10 @@ mod tests {
         let thirds = frame.len() / 3;
         tx.write_all(&frame[..thirds]).unwrap();
         tx.flush().unwrap();
-        loop {
-            match reader.poll().unwrap() {
-                ReadEvent::Idle => break,
-                ReadEvent::Message(_) => panic!("frame not complete yet"),
-                ReadEvent::Closed => panic!("closed"),
-            }
+        match reader.poll().unwrap() {
+            ReadEvent::Idle => {}
+            ReadEvent::Message(_) => panic!("frame not complete yet"),
+            ReadEvent::Closed => panic!("closed"),
         }
         tx.write_all(&frame[thirds..2 * thirds]).unwrap();
         tx.write_all(&frame[2 * thirds..]).unwrap();

@@ -116,8 +116,8 @@ impl ShadowBuffer {
 mod tests {
     use super::*;
     use modb_core::{
-        DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
-        UpdateMessage, UpdatePosition,
+        DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute, UpdateMessage,
+        UpdatePosition,
     };
     use modb_geom::Point;
     use modb_policy::BoundKind;
@@ -175,10 +175,7 @@ mod tests {
         assert!(!report.full_resync, "delta path taken");
         assert_eq!(report.applied, 2);
         assert_eq!(second.moving_count(), 4);
-        assert_eq!(
-            second.moving(ObjectId(2)).unwrap().attr.start_arc,
-            33.0
-        );
+        assert_eq!(second.moving(ObjectId(2)).unwrap().attr.start_arc, 33.0);
         assert!(second.moving(ObjectId(5)).is_err());
         buf.store(second, report.cursor);
 

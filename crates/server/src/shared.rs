@@ -135,7 +135,9 @@ impl SharedDatabase {
         radius: f64,
         t: f64,
     ) -> Result<RangeAnswer, CoreError> {
-        self.inner.read().within_distance_of_point(center, radius, t)
+        self.inner
+            .read()
+            .within_distance_of_point(center, radius, t)
     }
 
     /// Executes a textual query (the `modb-query` language).

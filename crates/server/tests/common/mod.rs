@@ -93,7 +93,11 @@ pub fn test_replica_config() -> ReplicaConfig {
 /// Full logical equality: same objects, same position attributes, same
 /// transaction-time history, same landmark set.
 pub fn assert_converged(leader: &Database, follower: &Database) {
-    assert_eq!(leader.moving_count(), follower.moving_count(), "moving count");
+    assert_eq!(
+        leader.moving_count(),
+        follower.moving_count(),
+        "moving count"
+    );
     assert_eq!(
         leader.stationary_count(),
         follower.stationary_count(),

@@ -10,8 +10,7 @@ use std::time::{Duration, Instant};
 
 use common::*;
 use modb_server::{
-    DurableDatabase, QueryClient, QueryEngineConfig, QueryServer, QueryServerConfig,
-    UpdateEnvelope,
+    DurableDatabase, QueryClient, QueryEngineConfig, QueryServer, QueryServerConfig, UpdateEnvelope,
 };
 
 const WAIT: Duration = Duration::from_secs(30);
@@ -33,7 +32,9 @@ fn serve(
 ) -> (DurableDatabase, Arc<modb_server::QueryEngine>, QueryServer) {
     let durable = DurableDatabase::create(tmp(name), fresh_db(), test_wal_options()).unwrap();
     for i in 0..8u64 {
-        durable.register_moving(vehicle(i, 100.0 * i as f64)).unwrap();
+        durable
+            .register_moving(vehicle(i, 100.0 * i as f64))
+            .unwrap();
     }
     for i in 0..8u64 {
         durable
@@ -77,7 +78,9 @@ fn remote_batch_matches_local_run_batch() {
     }
 
     // A second batch on the same connection (the session loops).
-    let again = client.batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6").unwrap();
+    let again = client
+        .batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6")
+        .unwrap();
     assert_eq!(again.len(), 1);
     assert!(again[0].is_ok());
     client.close();
@@ -88,13 +91,12 @@ fn remote_batch_matches_local_run_batch() {
 fn stats_scrape_round_trips_every_counter() {
     let (durable, engine, server) = serve("net-stats", QueryServerConfig::default());
     let service = durable.ingest_service(2, 16);
-    let monitor = service.monitor();
-    // Rewire: serve a second front-end that carries the ingest monitor
+    // Rewire: serve a second front-end that carries the ingest frontend
     // (the helper starts one without).
     let server2 = durable
         .serve_queries(
             Arc::clone(&engine),
-            Some(monitor),
+            Some(service.frontend()),
             "127.0.0.1:0",
             QueryServerConfig::default(),
         )
@@ -153,7 +155,10 @@ fn stats_scrape_round_trips_every_counter() {
     let text = stats.prometheus_text();
     assert!(text.contains("modb_queries_total 5"), "{text}");
     assert!(text.contains("modb_ingest_accepted_total 8"), "{text}");
-    assert!(text.contains(&format!("modb_wal_bytes_appended_total {bytes}")), "{text}");
+    assert!(
+        text.contains(&format!("modb_wal_bytes_appended_total {bytes}")),
+        "{text}"
+    );
 
     client.close();
     service.shutdown();
@@ -176,7 +181,9 @@ fn capacity_overflow_is_refused_and_slot_reuse_works() {
     );
     let addr = server.local_addr();
     let first = QueryClient::connect(addr).unwrap();
-    wait_until("first session registered", || server.active_connections() == 1);
+    wait_until("first session registered", || {
+        server.active_connections() == 1
+    });
 
     let err = QueryClient::connect(addr).expect_err("second client must be refused");
     assert!(
@@ -188,7 +195,10 @@ fn capacity_overflow_is_refused_and_slot_reuse_works() {
     first.close();
     wait_until("slot released", || server.active_connections() == 0);
     let mut third = QueryClient::connect(addr).unwrap();
-    assert!(third.batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6").unwrap()[0].is_ok());
+    assert!(third
+        .batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6")
+        .unwrap()[0]
+        .is_ok());
     third.close();
     server.shutdown();
 }
@@ -198,14 +208,20 @@ fn shutdown_drains_a_delivered_batch() {
     let (_durable, engine, server) = serve("net-drain", QueryServerConfig::default());
     let mut client = QueryClient::connect(server.local_addr()).unwrap();
     // Prove the session is established and serving.
-    assert_eq!(client.batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6").unwrap().len(), 1);
+    assert_eq!(
+        client
+            .batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 6")
+            .unwrap()
+            .len(),
+        1
+    );
 
     // Deliver a large batch and immediately shut the server down from
     // another thread: the batch frame is already on the wire, so the
     // drain guarantee says every statement is still answered.
     let statements = 64;
-    let script = vec!["RETRIEVE OBJECTS INSIDE RECT (0, -1, 900, 1) AT TIME 6"; statements]
-        .join("; ");
+    let script =
+        vec!["RETRIEVE OBJECTS INSIDE RECT (0, -1, 900, 1) AT TIME 6"; statements].join("; ");
     let shutdown = std::thread::spawn(move || {
         std::thread::sleep(Duration::from_millis(2));
         server.shutdown();

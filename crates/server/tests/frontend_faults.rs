@@ -31,7 +31,9 @@ fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
 fn serve(name: &str, config: QueryServerConfig) -> (DurableDatabase, QueryServer) {
     let durable = DurableDatabase::create(tmp(name), fresh_db(), test_wal_options()).unwrap();
     for i in 0..4u64 {
-        durable.register_moving(vehicle(i, 100.0 * i as f64)).unwrap();
+        durable
+            .register_moving(vehicle(i, 100.0 * i as f64))
+            .unwrap();
     }
     let engine = Arc::new(durable.query_engine(QueryEngineConfig {
         epoch_interval: None,
@@ -60,7 +62,7 @@ fn frame(payload: &[u8]) -> Vec<u8> {
 
 fn hello_payload() -> Vec<u8> {
     let mut p = vec![1u8]; // Hello tag
-    p.extend_from_slice(&1u32.to_le_bytes()); // protocol version
+    p.extend_from_slice(&2u32.to_le_bytes()); // protocol version
     p
 }
 
@@ -68,6 +70,7 @@ fn batch_payload(script: &str) -> Vec<u8> {
     let mut p = vec![2u8]; // Batch tag
     p.extend_from_slice(&(script.len() as u32).to_le_bytes());
     p.extend_from_slice(script.as_bytes());
+    p.extend_from_slice(&0u64.to_le_bytes()); // min_lsn: no floor
     p
 }
 
@@ -94,10 +97,13 @@ fn assert_closed(stream: &mut TcpStream) {
     let mut sink = [0u8; 4096];
     let deadline = Instant::now() + WAIT;
     loop {
-        assert!(Instant::now() < deadline, "server never closed the connection");
+        assert!(
+            Instant::now() < deadline,
+            "server never closed the connection"
+        );
         match stream.read(&mut sink) {
-            Ok(0) => return,                       // clean EOF
-            Ok(_) => continue,                     // drain whatever was in flight
+            Ok(0) => return,   // clean EOF
+            Ok(_) => continue, // drain whatever was in flight
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>

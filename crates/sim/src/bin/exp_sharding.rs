@@ -1,0 +1,69 @@
+//! W6: shard-key evaluation — cost-model scores for hash vs spatial
+//! keys on two generated workloads, plus a live scatter-gather parity
+//! check against a single union node.
+//!
+//! Usage: `exp_sharding [n_objects] [ticks] [--json PATH]`
+//! (defaults: 300 objects, 24 ticks, 3 shards; `--json` writes the
+//! scores and parity bits as a JSON document, the CI artifact
+//! `BENCH_sharding.json`).
+
+use modb_sim::experiments::sharding::{
+    cluster_parity, score_shard_keys, sharding_json, sharding_table,
+};
+
+fn arg_or(args: &mut impl Iterator<Item = String>, name: &str, default: usize) -> usize {
+    match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a positive integer, got {a:?}");
+            eprintln!("usage: exp_sharding [n_objects] [ticks] [--json PATH]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        let flag_and_path: Vec<String> = args.drain(i..(i + 2).min(args.len())).collect();
+        flag_and_path.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --json requires a path");
+            std::process::exit(2);
+        })
+    });
+    let mut args = args.into_iter();
+    let n_objects = arg_or(&mut args, "n_objects", 300).max(6);
+    let ticks = arg_or(&mut args, "ticks", 24).max(2);
+    let n_shards = 3;
+
+    eprintln!(
+        "scoring shard keys: {n_objects} objects, {ticks} ticks, {n_shards} shards, \
+         workloads [corridor-dispatch, district-rush]"
+    );
+    let rows = score_shard_keys(n_objects, n_shards, ticks);
+    println!("{}", sharding_table(n_objects, n_shards, &rows));
+
+    eprintln!("parity check: {n_shards}-shard cluster vs union node (hash key)");
+    let parity_hash = cluster_parity(n_objects.min(24), n_shards, false);
+    eprintln!("parity check: {n_shards}-shard cluster vs union node (spatial key)");
+    let parity_spatial = cluster_parity(n_objects.min(24), n_shards, true);
+    println!(
+        "parity: hash={} spatial={}",
+        if parity_hash { "ok" } else { "DIVERGED" },
+        if parity_spatial { "ok" } else { "DIVERGED" }
+    );
+
+    if let Some(path) = json_path {
+        let json = sharding_json(&rows, parity_hash, parity_spatial);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if !(parity_hash && parity_spatial) {
+        eprintln!("FAIL: the routed cluster diverged from the union node");
+        std::process::exit(1);
+    }
+}

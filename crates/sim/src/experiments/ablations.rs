@@ -49,8 +49,15 @@ where
                 speed: trip.speed_at(trip.start_time() + DEFAULT_TICK),
             };
             let mut p = make(route.length(), initial);
-            run_policy(trip, route, p.as_mut(), &cost, DEFAULT_TICK, trip.max_speed().max(1e-6))
-                .expect("well-formed observations")
+            run_policy(
+                trip,
+                route,
+                p.as_mut(),
+                &cost,
+                DEFAULT_TICK,
+                trip.max_speed().max(1e-6),
+            )
+            .expect("well-formed observations")
         })
         .collect();
     AggregateMetrics::from_runs(&runs)
@@ -116,8 +123,12 @@ pub fn run_adaptive_ablation(seed: u64, n_trips: usize, duration: f64, c: f64) -
         );
         for variant in ["ail", "cil", "adaptive"] {
             let metrics = aggregate_over(&workload, |len, init| match variant {
-                "ail" => Box::new(PolicyEngine::new(Quintuple::ail(c), len, 1.0, init).expect("valid")),
-                "cil" => Box::new(PolicyEngine::new(Quintuple::cil(c), len, 1.0, init).expect("valid")),
+                "ail" => {
+                    Box::new(PolicyEngine::new(Quintuple::ail(c), len, 1.0, init).expect("valid"))
+                }
+                "cil" => {
+                    Box::new(PolicyEngine::new(Quintuple::cil(c), len, 1.0, init).expect("valid"))
+                }
                 _ => Box::new(AdaptivePolicy::new(c, len, 1.0, init).expect("valid")),
             });
             rows.push(AblationRow {
@@ -165,13 +176,11 @@ pub fn run_noise_ablation(seed: u64, cfg: WorkloadConfig, c: f64, sds: &[f64]) -
                     for k in 1..=n_ticks {
                         let t = trip.start_time() + k as f64 * DEFAULT_TICK;
                         let true_arc = trip.arc_at(route, t);
-                        let observed =
-                            sampler.sample_arc(&mut rng, true_arc, route.length());
+                        let observed = sampler.sample_arc(&mut rng, true_arc, route.length());
                         let true_dev = (true_arc - engine.database_arc(t)).abs();
                         m.deviation_cost += cost.tick_cost(true_dev, DEFAULT_TICK);
                         dev_acc += true_dev * DEFAULT_TICK;
-                        unc_acc += engine.uncertainty(t, trip.max_speed().max(1e-6))
-                            * DEFAULT_TICK;
+                        unc_acc += engine.uncertainty(t, trip.max_speed().max(1e-6)) * DEFAULT_TICK;
                         m.max_deviation = m.max_deviation.max(true_dev);
                         if engine
                             .tick(t, observed, trip.speed_at(t))
@@ -197,7 +206,12 @@ pub fn run_noise_ablation(seed: u64, cfg: WorkloadConfig, c: f64, sds: &[f64]) -
 }
 
 /// A5: tick-resolution sensitivity for the ail policy.
-pub fn run_tick_ablation(seed: u64, cfg: WorkloadConfig, c: f64, ticks: &[f64]) -> Vec<AblationRow> {
+pub fn run_tick_ablation(
+    seed: u64,
+    cfg: WorkloadConfig,
+    c: f64,
+    ticks: &[f64],
+) -> Vec<AblationRow> {
     let workload = Workload::generate(seed, cfg);
     let cost = DeviationCost::UNIT_UNIFORM;
     ticks
@@ -214,8 +228,15 @@ pub fn run_tick_ablation(seed: u64, cfg: WorkloadConfig, c: f64, ticks: &[f64]) 
                     let mut engine =
                         PolicyEngine::new(Quintuple::ail(c), route.length(), 1.0, initial)
                             .expect("valid");
-                    run_policy(trip, route, &mut engine, &cost, dt, trip.max_speed().max(1e-6))
-                        .expect("well-formed")
+                    run_policy(
+                        trip,
+                        route,
+                        &mut engine,
+                        &cost,
+                        dt,
+                        trip.max_speed().max(1e-6),
+                    )
+                    .expect("well-formed")
                 })
                 .collect();
             AblationRow {

@@ -70,7 +70,9 @@ pub fn bound_shape_table(rows: &[BoundShapeRow], v: f64, v_max: f64, c: f64) -> 
         .collect();
     render_table(
         &title,
-        &["t", "dl slow", "dl fast", "dl comb", "imm slow", "imm fast", "imm comb"],
+        &[
+            "t", "dl slow", "dl fast", "dl comb", "imm slow", "imm fast", "imm comb",
+        ],
         &table_rows,
     )
 }

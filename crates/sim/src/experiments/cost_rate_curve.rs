@@ -59,7 +59,11 @@ pub fn cost_rate_table(rows: &[CostRateRow], a: f64, b: f64, c: f64) -> String {
             vec![
                 fmt(r.k),
                 fmt(r.rate),
-                if r.is_optimum { "<- k_opt".into() } else { String::new() },
+                if r.is_optimum {
+                    "<- k_opt".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();

@@ -194,7 +194,12 @@ mod tests {
             assert!(pair[1].speedup > 0.0);
         }
         for r in &rows {
-            assert!(r.visible_us > 0.0, "{} at churn {} timed nothing", r.label, r.churn);
+            assert!(
+                r.visible_us > 0.0,
+                "{} at churn {} timed nothing",
+                r.label,
+                r.churn
+            );
             assert!(
                 r.cycle_us >= r.visible_us,
                 "{} at churn {}: the whole call cannot be faster than its pre-swap part",

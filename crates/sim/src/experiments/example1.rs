@@ -5,8 +5,8 @@
 //! declared speed for 2 minutes and then stops in a jam.
 
 use modb_policy::{
-    fast_bound, fast_crossover_time, optimal_threshold, slow_bound, slow_crossover_time,
-    BoundKind, Policy, PolicyEngine, PositionUpdate, Quintuple,
+    fast_bound, fast_crossover_time, optimal_threshold, slow_bound, slow_crossover_time, BoundKind,
+    Policy, PolicyEngine, PositionUpdate, Quintuple,
 };
 
 use crate::report::{fmt, render_table};

@@ -27,9 +27,7 @@ use modb_core::{
 use modb_geom::Point;
 use modb_policy::BoundKind;
 use modb_routes::{Direction, Route, RouteId, RouteNetwork};
-use modb_server::{
-    DurableDatabase, QueryClient, QueryEngineConfig, QueryServerConfig,
-};
+use modb_server::{DurableDatabase, QueryClient, QueryEngineConfig, QueryServerConfig};
 use modb_wal::{FsyncPolicy, WalOptions};
 
 use crate::report::{fmt, render_table};
@@ -144,11 +142,7 @@ pub fn run_frontend_overhead(
         durable
             .apply_update(
                 ObjectId(i),
-                &UpdateMessage::basic(
-                    4.0,
-                    UpdatePosition::Arc(5.0 + i as f64 * 7.0 + 4.0),
-                    1.0,
-                ),
+                &UpdateMessage::basic(4.0, UpdatePosition::Arc(5.0 + i as f64 * 7.0 + 4.0), 1.0),
             )
             .expect("update");
     }
@@ -258,7 +252,11 @@ mod tests {
         let rows = run_frontend_overhead(16, &[1, 8], 3);
         assert_eq!(rows.len(), 2);
         for r in &rows {
-            assert!(r.parity, "batch {}: remote diverged from local", r.batch_size);
+            assert!(
+                r.parity,
+                "batch {}: remote diverged from local",
+                r.batch_size
+            );
             assert!(r.local_us > 0.0);
             assert!(r.remote_us > 0.0);
         }

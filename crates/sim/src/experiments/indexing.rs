@@ -66,15 +66,22 @@ pub fn build_city_db(seed: u64, n: usize, grid: usize) -> Database {
 
 /// Deterministic query regions over a network's extent: squares of
 /// `side` miles at time `t`.
-pub fn query_regions(network: &RouteNetwork, n: usize, side: f64, t: f64, seed: u64) -> Vec<QueryRegion> {
+pub fn query_regions(
+    network: &RouteNetwork,
+    n: usize,
+    side: f64,
+    t: f64,
+    seed: u64,
+) -> Vec<QueryRegion> {
     let bbox = network.bbox();
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let x = rng.gen_range(bbox.min.x..(bbox.max.x - side).max(bbox.min.x + 1e-9));
             let y = rng.gen_range(bbox.min.y..(bbox.max.y - side).max(bbox.min.y + 1e-9));
-            let g = Polygon::rectangle(&Rect::new(Point::new(x, y), Point::new(x + side, y + side)))
-                .expect("valid rectangle");
+            let g =
+                Polygon::rectangle(&Rect::new(Point::new(x, y), Point::new(x + side, y + side)))
+                    .expect("valid rectangle");
             QueryRegion::at_instant(g, t)
         })
         .collect()
@@ -163,7 +170,14 @@ pub fn sublinear_table(rows: &[SublinearRow]) -> String {
         .collect();
     render_table(
         "F5: range-query cost, 3-D R*-tree vs exhaustive scan (2x2-mile queries, t=3)",
-        &["fleet", "index us/q", "scan us/q", "speedup", "nodes/q", "cands/q"],
+        &[
+            "fleet",
+            "index us/q",
+            "scan us/q",
+            "speedup",
+            "nodes/q",
+            "cands/q",
+        ],
         &table_rows,
     )
 }
@@ -284,13 +298,7 @@ pub fn run_index_update(sizes: &[usize]) -> Vec<IndexUpdateRow> {
 pub fn index_update_table(rows: &[IndexUpdateRow]) -> String {
     let table_rows: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.n.to_string(),
-                r.updates.to_string(),
-                fmt(r.us_per_update),
-            ]
-        })
+        .map(|r| vec![r.n.to_string(), r.updates.to_string(), fmt(r.us_per_update)])
         .collect();
     render_table(
         "F6: index maintenance on position updates (delete old o-plane, insert new)",

@@ -12,4 +12,5 @@ pub mod policy_sweep;
 pub mod query_scaling;
 pub mod replication;
 pub mod savings;
+pub mod sharding;
 pub mod wal_overhead;

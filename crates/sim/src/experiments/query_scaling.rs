@@ -8,7 +8,7 @@
 //!   its whole filter + refine pass, serializing against the writer.
 //! - **snapshot**: queries run on [`modb_server::QueryEngine`] against
 //!   the latest published epoch snapshot — zero locks held during filter
-//!   + refine; the writer only ever contends with the (brief) publisher
+//!   and refine; the writer only ever contends with the brief publisher
 //!   clone.
 //!
 //! A background writer applies position updates as fast as it can for
@@ -245,7 +245,12 @@ mod tests {
             assert!(pair[1].speedup > 0.0);
         }
         for r in &rows {
-            assert!(r.queries > 0, "{} at {} threads answered none", r.label, r.threads);
+            assert!(
+                r.queries > 0,
+                "{} at {} threads answered none",
+                r.label,
+                r.threads
+            );
             assert!(r.qps > 0.0);
             assert!(r.mean_us > 0.0);
         }

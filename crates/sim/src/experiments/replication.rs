@@ -148,7 +148,7 @@ impl Fleet {
         // Speeds swing between v_max/4 and v_max so stale predictions
         // genuinely drift, per-object phase-shifted so batches are not
         // lockstep.
-        self.speeds[id] = if ((t / BATCH_DT) as usize + id) % 3 == 0 {
+        self.speeds[id] = if ((t / BATCH_DT) as usize + id).is_multiple_of(3) {
             self.v_max
         } else {
             self.v_max * 0.25
@@ -215,7 +215,7 @@ fn run_phase(n_objects: usize, rate: usize, batches: u64, v_max: f64) -> Replica
         fsync: FsyncPolicy::Never,
         max_segment_bytes: 64 * 1024,
     };
-    let leader = DurableDatabase::create(&ldir, fresh_db(), wal.clone()).expect("leader");
+    let leader = DurableDatabase::create(&ldir, fresh_db(), wal).expect("leader");
     for i in 0..n_objects as u64 {
         leader
             .register_moving(vehicle(i, 10.0 + i as f64 * 3.0, v_max))
@@ -265,7 +265,9 @@ fn run_phase(n_objects: usize, rate: usize, batches: u64, v_max: f64) -> Replica
             // truthfulness premise of the bound is gone).
             let t = (batch - 1) as f64 * BATCH_DT + (u as f64 + 1.0) / rate as f64 * BATCH_DT;
             let msg = fleet.truthful_update(id, t);
-            leader.apply_update(ObjectId(id as u64), &msg).expect("update");
+            leader
+                .apply_update(ObjectId(id as u64), &msg)
+                .expect("update");
         }
         let lag = leader
             .wal()

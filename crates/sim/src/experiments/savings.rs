@@ -69,8 +69,8 @@ pub fn run_savings(seed: u64, workload_cfg: WorkloadConfig, c: f64) -> Vec<Savin
                     arc: trip.start_arc(),
                     speed: 0.0,
                 };
-                let mut p = TraditionalPolicy::new(tolerance, c, initial)
-                    .expect("positive tolerance");
+                let mut p =
+                    TraditionalPolicy::new(tolerance, c, initial).expect("positive tolerance");
                 run_policy(trip, route, &mut p, &cost, dt, trip.max_speed().max(1e-6))
                     .expect("well-formed observations")
             })

@@ -13,7 +13,6 @@
 //! [`ALWAYS_ROUNDS_DIVISOR`]; throughput numbers stay comparable because
 //! the metric is updates per second.
 
-use std::path::PathBuf;
 use std::time::Instant;
 
 use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
@@ -108,7 +107,7 @@ fn drive(
     (stats.accepted, seconds)
 }
 
-fn log_footprint(dir: &PathBuf) -> (u64, usize) {
+fn log_footprint(dir: &std::path::Path) -> (u64, usize) {
     let segments = modb_wal::list_segments(dir).expect("listable");
     let bytes = segments
         .iter()

@@ -117,8 +117,7 @@ pub fn compact_with_barrier(
         let (_, path) = &pair[0];
         let (next_start, _) = &pair[1];
         if *next_start <= report.cover_lsn {
-            report.segment_bytes_reclaimed +=
-                fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            report.segment_bytes_reclaimed += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
             fs::remove_file(path)?;
             report.segments_removed += 1;
         }
@@ -133,7 +132,9 @@ mod tests {
     use crate::segment::segment_file_name;
     use crate::snapshot::write_snapshot;
     use crate::writer::{WalOptions, WalWriter};
-    use modb_core::{Database, DatabaseConfig, MovingObject, ObjectId, UpdateMessage, UpdatePosition};
+    use modb_core::{
+        Database, DatabaseConfig, MovingObject, ObjectId, UpdateMessage, UpdatePosition,
+    };
     use modb_core::{PolicyDescriptor, PositionAttribute};
     use modb_geom::Point;
     use modb_policy::BoundKind;
@@ -195,7 +196,8 @@ mod tests {
         let mut wal = WalWriter::create(dir, small_segments()).unwrap();
         write_snapshot(dir, &db, wal.next_lsn()).unwrap();
         db.register_moving(vehicle(1, 10.0)).unwrap();
-        wal.append(&WalRecord::RegisterMoving(vehicle(1, 10.0))).unwrap();
+        wal.append(&WalRecord::RegisterMoving(vehicle(1, 10.0)))
+            .unwrap();
         for round in 1..=rounds {
             let msg = UpdateMessage::basic(
                 round as f64,
@@ -204,7 +206,7 @@ mod tests {
             );
             wal.append(&WalRecord::Update {
                 id: ObjectId(1),
-                msg: msg.clone(),
+                msg,
             })
             .unwrap();
             db.apply_update(ObjectId(1), &msg).unwrap();

@@ -53,7 +53,11 @@ impl fmt::Display for WalError {
         match self {
             WalError::Io(e) => write!(f, "wal i/o error: {e}"),
             WalError::Decode(what) => write!(f, "wal decode error: {what}"),
-            WalError::CorruptSegment { path, offset, reason } => write!(
+            WalError::CorruptSegment {
+                path,
+                offset,
+                reason,
+            } => write!(
                 f,
                 "corrupt wal segment {} at byte {offset}: {reason}",
                 path.display()
@@ -107,10 +111,13 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        let e: WalError = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire").into();
+        let e: WalError = std::io::Error::other("disk on fire").into();
         assert!(e.to_string().contains("disk on fire"));
         assert!(e.source().is_some());
-        let e = WalError::SegmentGap { expected: 10, found: 20 };
+        let e = WalError::SegmentGap {
+            expected: 10,
+            found: 20,
+        };
         assert!(e.to_string().contains("lsn 10"));
         assert!(e.source().is_none());
         let e = WalError::Decode("bad tag");

@@ -104,10 +104,8 @@ impl SegmentTailer {
         // ends exactly on a finished segment boundary, one on the
         // successor segment.
         for _ in 0..2 {
-            if self.pos.is_none() {
-                if !self.locate()? {
-                    return Ok(None);
-                }
+            if self.pos.is_none() && !self.locate()? {
+                return Ok(None);
             }
             let pos = self.pos.as_ref().expect("located above");
             let (records, consumed, torn) = read_frames_from(&pos.path, pos.offset, max_records)?;
@@ -238,12 +236,8 @@ fn frame_bytes(path: &Path, n_frames: u64) -> Result<u64, WalError> {
     let body = &bytes[SEGMENT_HEADER_BYTES as usize..];
     let mut pos = 0usize;
     for _ in 0..n_frames {
-        let len = u32::from_le_bytes([
-            body[pos],
-            body[pos + 1],
-            body[pos + 2],
-            body[pos + 3],
-        ]) as usize;
+        let len =
+            u32::from_le_bytes([body[pos], body[pos + 1], body[pos + 2], body[pos + 3]]) as usize;
         pos += 8 + len;
     }
     Ok(pos as u64)
@@ -300,8 +294,7 @@ mod tests {
     use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
 
     fn tmp(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("modb-wal-ship-{}-{name}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("modb-wal-ship-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -324,7 +317,10 @@ mod tests {
     fn drain(tailer: &mut SegmentTailer, max: usize) -> Vec<WalRecord> {
         let mut out = Vec::new();
         while let Some(chunk) = tailer.poll(max).unwrap() {
-            assert_eq!(chunk.start_lsn, tailer.next_lsn() - chunk.records.len() as u64);
+            assert_eq!(
+                chunk.start_lsn,
+                tailer.next_lsn() - chunk.records.len() as u64
+            );
             out.extend(chunk.records);
         }
         out
@@ -418,7 +414,10 @@ mod tests {
         let header = encode_header(10);
         let successor = dir.join(segment_file_name(10));
         std::fs::write(&successor, &header[..7]).unwrap();
-        assert!(tailer.poll(64).unwrap().is_none(), "header in flight = wait");
+        assert!(
+            tailer.poll(64).unwrap().is_none(),
+            "header in flight = wait"
+        );
         // An empty just-created file is the same case.
         std::fs::write(&successor, []).unwrap();
         assert!(tailer.poll(64).unwrap().is_none(), "empty successor = wait");
@@ -492,7 +491,10 @@ mod tests {
         w.sync().unwrap();
         assert!(matches!(
             tailer.poll(64),
-            Err(WalError::SegmentGap { expected: 5, found: 1 })
+            Err(WalError::SegmentGap {
+                expected: 5,
+                found: 1
+            })
         ));
         std::fs::remove_dir_all(&dir).unwrap();
     }

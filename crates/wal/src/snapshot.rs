@@ -67,6 +67,16 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
     Ok(snapshots)
 }
 
+/// Decoded snapshot payload: `(lsn, config, network, stationary, moving
+/// objects with their transaction-time history)`.
+type DecodedSnapshot = (
+    u64,
+    DatabaseConfig,
+    RouteNetwork,
+    Vec<StationaryObject>,
+    Vec<(MovingObject, Vec<PositionAttribute>)>,
+);
+
 fn encode_snapshot(db: &Database, lsn: u64) -> Vec<u8> {
     let mut payload = Vec::with_capacity(4096);
     put_u64(&mut payload, lsn);
@@ -183,7 +193,7 @@ pub fn read_snapshot(path: &Path) -> Result<(Database, u64), WalError> {
     }
 
     let mut r = ByteReader::new(payload);
-    let parse = (|| -> Result<(u64, DatabaseConfig, RouteNetwork, Vec<StationaryObject>, Vec<(MovingObject, Vec<PositionAttribute>)>), WalError> {
+    let parse = (|| -> Result<DecodedSnapshot, WalError> {
         let lsn = r.u64()?;
         let config = DatabaseConfig::decode(&mut r)?;
         let network = RouteNetwork::decode(&mut r)?;
@@ -223,10 +233,8 @@ mod tests {
     use modb_routes::{Direction, Route, RouteId};
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "modb-wal-snapshot-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("modb-wal-snapshot-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -341,7 +349,10 @@ mod tests {
         std::fs::write(&path, &good[..good.len() - 1]).unwrap();
         assert!(matches!(
             read_snapshot(&path),
-            Err(WalError::BadSnapshot { reason: "length mismatch", .. })
+            Err(WalError::BadSnapshot {
+                reason: "length mismatch",
+                ..
+            })
         ));
         // Flipped payload byte.
         let mut bad = good.clone();
@@ -350,7 +361,10 @@ mod tests {
         std::fs::write(&path, &bad).unwrap();
         assert!(matches!(
             read_snapshot(&path),
-            Err(WalError::BadSnapshot { reason: "crc mismatch", .. })
+            Err(WalError::BadSnapshot {
+                reason: "crc mismatch",
+                ..
+            })
         ));
         // Wrong magic.
         let mut bad = good.clone();
@@ -358,13 +372,19 @@ mod tests {
         std::fs::write(&path, &bad).unwrap();
         assert!(matches!(
             read_snapshot(&path),
-            Err(WalError::BadSnapshot { reason: "bad magic", .. })
+            Err(WalError::BadSnapshot {
+                reason: "bad magic",
+                ..
+            })
         ));
         // Short file.
         std::fs::write(&path, b"MODB").unwrap();
         assert!(matches!(
             read_snapshot(&path),
-            Err(WalError::BadSnapshot { reason: "short header", .. })
+            Err(WalError::BadSnapshot {
+                reason: "short header",
+                ..
+            })
         ));
         std::fs::remove_dir_all(&dir).unwrap();
     }

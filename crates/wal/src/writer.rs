@@ -399,10 +399,8 @@ mod tests {
     use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "modb-wal-writer-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("modb-wal-writer-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -515,7 +513,10 @@ mod tests {
         // A future segment is an inconsistency.
         assert!(matches!(
             WalWriter::resume(&dir2, WalOptions::default(), 3),
-            Err(WalError::SegmentGap { expected: 3, found: 9 })
+            Err(WalError::SegmentGap {
+                expected: 3,
+                found: 9
+            })
         ));
         std::fs::remove_dir_all(&dir).unwrap();
         std::fs::remove_dir_all(&dir2).unwrap();
@@ -530,8 +531,14 @@ mod tests {
             ("never", FsyncPolicy::Never),
         ] {
             let dir = tmp(&format!("fsync-{name}"));
-            let mut w = WalWriter::create(&dir, WalOptions { fsync, ..WalOptions::default() })
-                .unwrap();
+            let mut w = WalWriter::create(
+                &dir,
+                WalOptions {
+                    fsync,
+                    ..WalOptions::default()
+                },
+            )
+            .unwrap();
             for i in 0..7 {
                 w.append(&update(i)).unwrap();
             }
@@ -566,7 +573,7 @@ mod tests {
         assert_eq!(w.bytes_appended(), bytes, "sync appends nothing");
         // Rotation syncs the finished segment.
         let mut w = WalWriter::create(
-            &tmp("io-counters-rotate"),
+            tmp("io-counters-rotate"),
             WalOptions {
                 fsync: FsyncPolicy::Never,
                 max_segment_bytes: 128,

@@ -102,11 +102,7 @@ fn vehicles_ingest_and_queries_agree_with_truth() {
                 handle
                     .send(UpdateEnvelope {
                         id: ObjectId(i as u64),
-                        msg: UpdateMessage::basic(
-                            u.time,
-                            UpdatePosition::Arc(u.arc),
-                            u.speed,
-                        ),
+                        msg: UpdateMessage::basic(u.time, UpdatePosition::Arc(u.arc), u.speed),
                     })
                     .unwrap();
                 sent += 1;
@@ -117,15 +113,19 @@ fn vehicles_ingest_and_queries_agree_with_truth() {
     drop(handle);
     let stats = service.shutdown();
     assert_eq!(stats.accepted, sent, "all policy updates must be applied");
-    assert_eq!(stats.rejected(), 0, "sharded ingest preserves per-object order");
+    assert_eq!(
+        stats.rejected(),
+        0,
+        "sharded ingest preserves per-object order"
+    );
 
     // Post-drive: every DBMS answer is within its advertised bound of the
     // true position.
-    for i in 0..FLEET {
+    for (i, trip) in trips.iter().enumerate().take(FLEET) {
         let ans = db.position_of(ObjectId(i as u64), MINUTES).unwrap();
-        let true_arc = trips[i].arc_at(&route, MINUTES);
+        let true_arc = trip.arc_at(&route, MINUTES);
         let deviation = (true_arc - ans.arc).abs();
-        let slack = trips[i].max_speed() * DT + 1e-9;
+        let slack = trip.max_speed() * DT + 1e-9;
         assert!(
             deviation <= ans.bound + slack,
             "veh-{i}: deviation {deviation} > bound {}",

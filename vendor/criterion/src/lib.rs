@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and runnable
+//! without the real statistics engine: each benchmark runs a short
+//! timed loop and prints a mean per-iteration time. No warm-up
+//! modeling, no outlier analysis, no HTML reports — numbers are
+//! indicative only. The API mirrors the subset the benches use:
+//! `Criterion::{bench_function, benchmark_group}`, groups with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, so benchmarked results are not
+/// dead-code-eliminated.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Label for a parameterized benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id rendered as just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    label: String,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed small iteration count and prints
+    /// the mean (upstream calibrates the count statistically).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let per_iter = elapsed / self.iters.max(1) as u32;
+        println!(
+            "{:<56} {:>12?}/iter ({} iters)",
+            self.label, per_iter, self.iters
+        );
+    }
+}
+
+fn run_one(label: String, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { iters: 10, label };
+    f(&mut b);
+}
+
+/// Top-level benchmark registry (the `c` in `fn bench(c: &mut
+/// Criterion)`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    /// Accepted for API compatibility; the stand-in's iteration count
+    /// is fixed.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self._sample_size = n;
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's iteration count
+    /// is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under this group's prefix.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(format!("{}/{}", self.prefix, name), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark; the closure receives the
+    /// borrowed input.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(format!("{}/{}", self.prefix, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream emits summary reports here).
+    pub fn finish(self) {}
+}
+
+/// Upstream-compatible measurement knob; unused by the stand-in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallTime;
+
+/// Bundles benchmark functions into one runner, mirroring upstream's
+/// plain `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert!(runs >= 10, "iter must drive the routine");
+    }
+
+    #[test]
+    fn groups_run_parameterized_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut hits = 0u64;
+        group.bench_with_input(BenchmarkId::new("p", 3), &3u64, |b, &n| {
+            b.iter(|| hits += n)
+        });
+        group.finish();
+        assert!(hits >= 30);
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Provides `crossbeam::channel`'s bounded MPMC channel over
+//! `std::sync::mpsc::sync_channel`. The std receiver is single-consumer,
+//! so the stand-in shares it behind an `Arc<Mutex<..>>`: clones contend
+//! on the mutex instead of on a lock-free queue. Throughput under heavy
+//! multi-consumer load is worse than real crossbeam; semantics
+//! (blocking bounded sends, rendezvous at capacity 0, disconnect on
+//! last-handle drop) are the same.
+
+pub mod channel {
+    //! Multi-producer multi-consumer bounded channels.
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    /// Sending half; clone freely across threads.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+                queued: self.queued.clone(),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// Receiving half; clone freely (clones share one queue — each
+    /// message is delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: self.inner.clone(),
+                queued: self.queued.clone(),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// The channel is disconnected: every receiver is gone and `msg`
+    /// was not delivered.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendError<T> {}
+
+    /// The channel is empty and every sender is gone.
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Why a non-blocking receive returned nothing.
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub enum TryRecvError {
+        /// No message waiting right now.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Why a bounded-wait receive returned nothing.
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with no message.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages
+    /// (`cap == 0` is a rendezvous channel: every send blocks for its
+    /// receive).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        let queued = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                queued: queued.clone(),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+                queued,
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `msg`, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map(|()| {
+                    self.queued.fetch_add(1, Ordering::Relaxed);
+                })
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+
+        /// Messages currently queued (delivered but not yet received).
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::Relaxed)
+        }
+
+        /// `true` when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Takes the next message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when every sender is gone and the queue is
+        /// drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.lock().recv().map_err(|_| RecvError).inspect(|_| {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+            })
+        }
+
+        /// Takes the next message if one is already queued.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] or [`TryRecvError::Disconnected`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.lock()
+                .try_recv()
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                })
+                .inspect(|_| {
+                    self.queued.fetch_sub(1, Ordering::Relaxed);
+                })
+        }
+
+        /// Takes the next message, blocking at most `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] or
+        /// [`RecvTimeoutError::Disconnected`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.lock()
+                .recv_timeout(timeout)
+                .map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
+                .inspect(|_| {
+                    self.queued.fetch_sub(1, Ordering::Relaxed);
+                })
+        }
+
+        /// Blocking iterator over incoming messages; ends when every
+        /// sender is gone and the queue is drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_roundtrip_and_disconnect() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn timeout_fires_when_empty() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_errors_once_receivers_are_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn cloned_receivers_split_the_stream() {
+        let (tx, rx1) = bounded(4);
+        let rx2 = rx1.clone();
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let mut got = vec![rx1.recv().unwrap(), rx2.recv().unwrap()];
+        got.push(rx1.recv().unwrap());
+        got.push(rx2.recv().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for `parking_lot` (see `vendor/README.md`).
+//!
+//! Wraps `std::sync::RwLock` behind the `parking_lot` calling
+//! convention the workspace uses: `read()` / `write()` return guards
+//! directly rather than `Result`s. Poisoning is swallowed (as
+//! `parking_lot` never poisons): a panic mid-critical-section lets the
+//! next locker proceed with whatever state the panicker left, exactly
+//! the semantics the real crate provides.
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// Reader-writer lock with non-poisoning guards.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in an unlocked lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Takes a shared read guard, blocking while a writer holds the
+    /// lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Takes the exclusive write guard, blocking until all readers and
+    /// writers release.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = RwLock::new(1);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 41;
+        assert_eq!(*lock.read(), 42);
+        assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn guards_are_not_poisoned_by_panics() {
+        let lock = std::sync::Arc::new(RwLock::new(0));
+        let l2 = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        *lock.write() = 7;
+        assert_eq!(*lock.read(), 7);
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Re-implements the API subset this workspace's property tests use:
+//! the `proptest!` macro with `#![proptest_config(..)]`, `prop_assert*`
+//! / `prop_assume!`, range and tuple strategies, `prop_map`, `Just`,
+//! `prop_oneof!`, `collection::vec`, `option::of`, and `any::<T>()`.
+//!
+//! Differences from upstream, deliberately accepted for a vendored
+//! test-only stand-in:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs and
+//!   the case number; it is not minimized.
+//! - **Deterministic seeding.** Cases derive from a fixed seed mixed
+//!   with the test's name, so every run explores the same inputs — a
+//!   failure seen once reproduces every time, and CI never flakes.
+//! - **`prop_assume!` passes instead of retrying** (the case counts as
+//!   vacuous rather than being regenerated).
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test configuration and the per-test RNG.
+
+    /// How many random cases each `proptest!` test runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test (upstream default: 256).
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases, other knobs default.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a generated case did not pass: a failed assertion
+    /// (`Fail`) or a rejected precondition (`Reject`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed with the contained message.
+        Fail(String),
+        /// The case was rejected (upstream regenerates; this stand-in
+        /// counts it as a vacuous pass).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with `reason`.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// SplitMix64 generator seeded from the test name: deterministic
+    /// per test, different streams for different tests.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `name`.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name, folded into a golden base seed.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[0, bound)`; 0 when `bound == 0`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            if bound == 0 {
+                0
+            } else {
+                (self.next_u64() % bound as u64) as usize
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: the canonical whole-domain strategy of a type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy over their whole domain.
+    pub trait ArbitraryValue {
+        /// One uniformly distributed value of the type.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: ArbitraryValue + std::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy of `T`: uniform over the whole domain.
+    pub fn any<T: ArbitraryValue + std::fmt::Debug>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies over collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a
+    /// [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + rng.below(span);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `Vec`s of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies over `Option`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match upstream's default: Some three times out of four,
+            // so optional fields are mostly exercised but None stays
+            // covered.
+            if rng.below(4) < 3 {
+                Some(self.0.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` or `Some` of an `inner` value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; the body runs once per generated case. Supports a
+/// leading `#![proptest_config(..)]` to set the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@with ($cfg); $($rest)*}
+    };
+    (@with ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                        #[allow(unused_mut)]
+                        let mut body =
+                            || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            };
+                        body()
+                    };
+                    match outcome {
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            ::std::panic!(
+                                "proptest case {}/{} of `{}` failed:\n{}",
+                                case + 1,
+                                config.cases,
+                                stringify!($name),
+                                message,
+                            );
+                        }
+                        // Rejected cases count as vacuous passes
+                        // (upstream regenerates them instead).
+                        _ => {}
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@with ($crate::test_runner::Config::default()); $($rest)*}
+    };
+}
+
+/// Fails the current case unless `cond` holds. Inside `proptest!`
+/// bodies only (expands to an early `return Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("{}: `{:?}` == `{:?}`", ::std::format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: `{:?}` != `{:?}`", left, right),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counting it as a vacuous pass) unless
+/// `cond` holds. Upstream regenerates the case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// A strategy drawing uniformly from the listed strategies (all must
+/// share a `Value` type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u64> {
+        prop_oneof![Just(1u64), 10u64..20, (100u64..=109).prop_map(|x| x)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 0u64..10,
+            f in -1.0f64..1.0,
+            v in crate::collection::vec(small(), 0..5),
+            o in crate::option::of(0u64..3),
+            b in any::<bool>(),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(v.len() < 5);
+            for y in v {
+                prop_assert!(y == 1 || (10..20).contains(&y) || (100..110).contains(&y));
+            }
+            if let Some(z) = o {
+                prop_assert!(z < 3, "z out of bounds: {}", z);
+            }
+            prop_assume!(b || x < 10);
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(pair in (0u32..4, Just("tag"))) {
+            let (n, tag) = pair;
+            prop_assert!(n < 4);
+            prop_assert_eq!(tag, "tag");
+        }
+    }
+
+    #[test]
+    fn deterministic_streams_differ_by_name() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::deterministic("a");
+        let mut b = TestRng::deterministic("b");
+        let mut a2 = TestRng::deterministic("a");
+        assert_ne!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_u64(), {
+            a2.next_u64();
+            a2.next_u64()
+        });
+    }
+}

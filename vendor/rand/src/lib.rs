@@ -1,0 +1,215 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in containers with no network access and no
+//! registry cache, so external crates are vendored as minimal local
+//! implementations (see `vendor/README.md`). This crate re-implements
+//! exactly the `rand` 0.8 API subset the workspace uses: `StdRng` +
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen, gen_range, gen_bool}`
+//! over integer and float ranges.
+//!
+//! The generator is SplitMix64 — statistically fine for simulations and
+//! tests, NOT cryptographic, and a *different stream* than upstream
+//! `rand`'s ChaCha-backed `StdRng`: seeds remain deterministic but
+//! produce different sequences than upstream would.
+
+/// A seedable pseudo-random generator core.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen`] can produce (upstream: `Standard: Distribution<T>`).
+pub trait Standard01 {
+    /// Draws one value from the generator's "standard" distribution:
+    /// uniform `[0, 1)` for floats, uniform bits for integers, a fair
+    /// coin for `bool`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard01 for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1) at full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard01 for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard01 for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard01 for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard01 for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts (upstream: `SampleRange<T>`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: f64 = Standard01::draw(rng);
+                self.start + (u as $t) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let u: f64 = Standard01::draw(rng);
+                start + (u as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// The user-facing sampling interface, auto-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// One value from the standard distribution of `T` (see
+    /// [`Standard01`]).
+    fn gen<T: Standard01>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// A value uniform in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_one(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = Standard01::draw(self);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit SplitMix64 generator (upstream's `StdRng`
+    /// is ChaCha12 — same role, different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): one 64-bit add and
+            // two xor-shift-multiply finalization rounds per output.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(5u64..17);
+            assert!((5..17).contains(&x));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(-8i32..=8);
+            assert!((-8..=8).contains(&i));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
