@@ -62,8 +62,8 @@ fn bench_index_update(c: &mut Criterion) {
 
 fn bench_refinement(c: &mut Criterion) {
     let db = build_city_db(11, 1_000, 20);
-    let g = Polygon::rectangle(&Rect::new(Point::new(5.0, 5.0), Point::new(9.0, 9.0)))
-        .expect("valid");
+    let g =
+        Polygon::rectangle(&Rect::new(Point::new(5.0, 5.0), Point::new(9.0, 9.0))).expect("valid");
     let region = QueryRegion::at_instant(g, 3.0);
     c.bench_function("t3_refine_candidates", |b| {
         b.iter(|| black_box(db.range_query(&region).expect("ok").must.len()))
@@ -78,7 +78,11 @@ fn bench_rtree(c: &mut Criterion) {
             (
                 Aabb3::new(
                     [f % 97.0, (f * 0.61) % 89.0, (f * 0.37) % 59.0],
-                    [f % 97.0 + 1.0, (f * 0.61) % 89.0 + 1.0, (f * 0.37) % 59.0 + 1.0],
+                    [
+                        f % 97.0 + 1.0,
+                        (f * 0.61) % 89.0 + 1.0,
+                        (f * 0.37) % 59.0 + 1.0,
+                    ],
                 ),
                 i,
             )

@@ -38,9 +38,8 @@ fn bench_policy_sweep_unit(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
-                let mut engine =
-                    PolicyEngine::new(quintuple, route.length(), 1.0, initial(&trip))
-                        .expect("valid");
+                let mut engine = PolicyEngine::new(quintuple, route.length(), 1.0, initial(&trip))
+                    .expect("valid");
                 let m = run_policy(
                     &trip,
                     &route,
@@ -102,7 +101,13 @@ fn bench_savings_baseline(c: &mut Criterion) {
 fn bench_threshold_and_bounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("t2_closed_forms");
     group.bench_function("prop1_optimal_threshold", |b| {
-        b.iter(|| black_box(optimal_threshold(black_box(1.0), black_box(2.0), black_box(C))))
+        b.iter(|| {
+            black_box(optimal_threshold(
+                black_box(1.0),
+                black_box(2.0),
+                black_box(C),
+            ))
+        })
     });
     group.bench_function("prop4_combined_bound", |b| {
         b.iter(|| {

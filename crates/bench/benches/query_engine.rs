@@ -37,7 +37,11 @@ fn bench_quiet_reads(c: &mut Criterion) {
     group.bench_function("range_locked", |b| {
         b.iter(|| {
             i += 1;
-            black_box(db.range_query(&regions[i % regions.len()]).expect("ok").candidates)
+            black_box(
+                db.range_query(&regions[i % regions.len()])
+                    .expect("ok")
+                    .candidates,
+            )
         })
     });
     let mut i = 0;
@@ -74,11 +78,7 @@ fn bench_contended_reads(c: &mut Criterion) {
                 for i in 0..64u64 {
                     let _ = db.apply_update(
                         ObjectId((round * 64 + i) % 5_000),
-                        &UpdateMessage::basic(
-                            round as f64 * 1e-5,
-                            UpdatePosition::Arc(0.5),
-                            0.7,
-                        ),
+                        &UpdateMessage::basic(round as f64 * 1e-5, UpdatePosition::Arc(0.5), 0.7),
                     );
                 }
             }
@@ -90,7 +90,11 @@ fn bench_contended_reads(c: &mut Criterion) {
     group.bench_function("range_locked_vs_writer", |b| {
         b.iter(|| {
             i += 1;
-            black_box(db.range_query(&regions[i % regions.len()]).expect("ok").candidates)
+            black_box(
+                db.range_query(&regions[i % regions.len()])
+                    .expect("ok")
+                    .candidates,
+            )
         })
     });
     let mut i = 0;

@@ -89,5 +89,10 @@ fn bench_query_language(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_shared_queries, bench_query_language);
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_shared_queries,
+    bench_query_language
+);
 criterion_main!(benches);

@@ -61,6 +61,7 @@ fn bench_append(c: &mut Criterion) {
             WalOptions {
                 fsync,
                 max_segment_bytes: 256 * 1024 * 1024,
+                ..WalOptions::default()
             },
         )
         .expect("fresh dir");

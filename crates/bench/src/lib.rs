@@ -33,7 +33,6 @@ pub fn fixture_trip(seed: u64, minutes: f64) -> (Route, Trip) {
     let curve = TripProfile::Mixed
         .generate(&mut rng, minutes, 1.0 / 60.0)
         .expect("valid curve");
-    let trip =
-        Trip::new(RouteId(1), Direction::Forward, 0.0, 0.0, curve).expect("valid trip");
+    let trip = Trip::new(RouteId(1), Direction::Forward, 0.0, 0.0, curve).expect("valid trip");
     (route, trip)
 }

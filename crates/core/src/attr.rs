@@ -168,8 +168,7 @@ mod tests {
     fn cost_based_bound_matches_policy_crate() {
         let a = attr(CB);
         let t = 14.0; // 4 minutes after the update
-        let expected =
-            modb_policy::combined_bound(BoundKind::Delayed, 1.0, 1.5, 5.0, 4.0);
+        let expected = modb_policy::combined_bound(BoundKind::Delayed, 1.0, 1.5, 5.0, 4.0);
         assert_eq!(a.policy.deviation_bound(1.0, 1.5, 4.0), expected);
         let (lo, hi) = a.uncertainty_arcs(100.0, 1.5, t);
         assert!(lo <= a.database_arc(100.0, t));

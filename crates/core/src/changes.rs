@@ -95,10 +95,7 @@ impl ChangeLog {
     /// Changes recorded at or after `cursor`, oldest first. `None` when
     /// the log cannot serve the cursor — entries were evicted, or the
     /// cursor belongs to a log that ran ahead of this one.
-    pub(crate) fn since(
-        &self,
-        cursor: ChangeCursor,
-    ) -> Option<impl Iterator<Item = Change> + '_> {
+    pub(crate) fn since(&self, cursor: ChangeCursor) -> Option<impl Iterator<Item = Change> + '_> {
         if cursor.seq > self.head || cursor.seq < self.tail() {
             return None;
         }
@@ -139,7 +136,11 @@ mod tests {
         let drained: Vec<Change> = log.since(start).unwrap().collect();
         assert_eq!(
             drained,
-            vec![m(1), Change::Stationary(ObjectId(2)), Change::Route(RouteId(3))]
+            vec![
+                m(1),
+                Change::Stationary(ObjectId(2)),
+                Change::Route(RouteId(3))
+            ]
         );
         // Draining from the new head yields nothing.
         let head = log.cursor();
@@ -156,14 +157,21 @@ mod tests {
         log.record(m(3)); // evicts m(1)
         assert!(log.since(start).is_none(), "evicted range is unservable");
         let mid = ChangeCursor { seq: 1 };
-        assert_eq!(log.since(mid).unwrap().collect::<Vec<_>>(), vec![m(2), m(3)]);
+        assert_eq!(
+            log.since(mid).unwrap().collect::<Vec<_>>(),
+            vec![m(2), m(3)]
+        );
     }
 
     #[test]
     fn zero_capacity_always_resyncs() {
         let mut log = ChangeLog::new(0);
         let start = log.cursor();
-        assert_eq!(log.since(start).unwrap().count(), 0, "empty head is servable");
+        assert_eq!(
+            log.since(start).unwrap().count(),
+            0,
+            "empty head is servable"
+        );
         log.record(m(1));
         assert!(log.since(start).is_none());
         assert_eq!(log.cursor().seq(), 1, "sequence still advances");

@@ -47,7 +47,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::UnknownObject(id) => write!(f, "unknown object {id:?}"),
             CoreError::DuplicateObject(id) => write!(f, "duplicate object {id:?}"),
-            CoreError::OffRoute { distance, tolerance } => write!(
+            CoreError::OffRoute {
+                distance,
+                tolerance,
+            } => write!(
                 f,
                 "position is {distance} miles from the nearest route (tolerance {tolerance})"
             ),

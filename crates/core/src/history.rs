@@ -37,7 +37,9 @@ impl AttributeHistory {
     /// calls would have kept.
     pub fn from_versions(capacity: usize, mut versions: Vec<PositionAttribute>) -> Self {
         debug_assert!(
-            versions.windows(2).all(|w| w[0].start_time <= w[1].start_time),
+            versions
+                .windows(2)
+                .all(|w| w[0].start_time <= w[1].start_time),
             "history must stay time-ordered"
         );
         if capacity == 0 {
@@ -89,9 +91,7 @@ impl AttributeHistory {
     /// uses the live attribute.
     pub fn version_at(&self, t: f64) -> Option<&PositionAttribute> {
         // partition_point gives the first version with start_time > t.
-        let idx = self
-            .versions
-            .partition_point(|v| v.start_time <= t);
+        let idx = self.versions.partition_point(|v| v.start_time <= t);
         if idx == 0 {
             return None; // t predates everything retained
         }

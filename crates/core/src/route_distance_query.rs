@@ -128,7 +128,9 @@ mod tests {
     fn route_distance_semantics() {
         let d = db();
         // t = 10: fixed bounds are fully in force (kinematic cap passed).
-        let a = d.within_route_distance_of_object(ObjectId(1), 3.0, 10.0).unwrap();
+        let a = d
+            .within_route_distance_of_object(ObjectId(1), 3.0, 10.0)
+            .unwrap();
         assert_eq!(a.must, vec![ObjectId(2)]);
         assert_eq!(a.may, vec![ObjectId(3)]);
         assert!(!a.all().contains(&ObjectId(4)));
@@ -154,7 +156,9 @@ mod tests {
     #[test]
     fn target_excluded_from_answer() {
         let d = db();
-        let a = d.within_route_distance_of_object(ObjectId(1), 50.0, 10.0).unwrap();
+        let a = d
+            .within_route_distance_of_object(ObjectId(1), 50.0, 10.0)
+            .unwrap();
         assert!(!a.all().contains(&ObjectId(1)));
     }
 }

@@ -82,7 +82,10 @@ impl Point {
     /// `t` is not clamped; values outside `[0, 1]` extrapolate.
     #[inline]
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// Unit vector in the direction of `self`, or `None` for (near-)zero

@@ -145,8 +145,7 @@ impl Polygon {
         if self.contains_point(s.a) || self.contains_point(s.b) {
             return true;
         }
-        self.edges()
-            .any(|e| segments_intersect(e.a, e.b, s.a, s.b))
+        self.edges().any(|e| segments_intersect(e.a, e.b, s.a, s.b))
     }
 
     /// Returns `true` when a polyline path (given as its vertex sequence)
@@ -301,26 +300,21 @@ mod tests {
     fn segment_intersection() {
         let sq = unit_square();
         // Fully inside.
-        assert!(sq.intersects_segment(&Segment::new(
-            Point::new(0.2, 0.2),
-            Point::new(0.8, 0.8)
-        )));
+        assert!(sq.intersects_segment(&Segment::new(Point::new(0.2, 0.2), Point::new(0.8, 0.8))));
         // Crossing through.
-        assert!(sq.intersects_segment(&Segment::new(
-            Point::new(-1.0, 0.5),
-            Point::new(2.0, 0.5)
-        )));
+        assert!(sq.intersects_segment(&Segment::new(Point::new(-1.0, 0.5), Point::new(2.0, 0.5))));
         // Fully outside.
-        assert!(!sq.intersects_segment(&Segment::new(
-            Point::new(2.0, 2.0),
-            Point::new(3.0, 3.0)
-        )));
+        assert!(!sq.intersects_segment(&Segment::new(Point::new(2.0, 2.0), Point::new(3.0, 3.0))));
     }
 
     #[test]
     fn path_may_and_must_semantics() {
         let sq = unit_square();
-        let inside = [Point::new(0.2, 0.2), Point::new(0.8, 0.2), Point::new(0.8, 0.8)];
+        let inside = [
+            Point::new(0.2, 0.2),
+            Point::new(0.8, 0.2),
+            Point::new(0.8, 0.8),
+        ];
         assert!(sq.intersects_path(&inside));
         assert!(sq.contains_path(&inside));
 

@@ -115,7 +115,10 @@ impl Polyline {
         // Binary search over cumulative lengths; `partition_point` returns
         // the first index with cum > d, so the containing segment starts at
         // idx - 1.
-        let idx = self.cum.partition_point(|&c| c <= d).min(self.cum.len() - 1);
+        let idx = self
+            .cum
+            .partition_point(|&c| c <= d)
+            .min(self.cum.len() - 1);
         let i = idx - 1;
         let seg_len = self.cum[idx] - self.cum[i];
         let t = if seg_len < EPS {
@@ -342,7 +345,10 @@ mod tests {
     #[test]
     fn interval_points_degenerate_and_errors() {
         let p = l_shape();
-        assert_eq!(p.interval_points(5.0, 5.0).unwrap(), vec![Point::new(5.0, 0.0)]);
+        assert_eq!(
+            p.interval_points(5.0, 5.0).unwrap(),
+            vec![Point::new(5.0, 0.0)]
+        );
         assert!(matches!(
             p.interval_points(6.0, 5.0),
             Err(GeomError::InvertedInterval { .. })

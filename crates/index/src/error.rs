@@ -61,8 +61,11 @@ mod tests {
         assert!(e.to_string().contains("speed"));
         let g: IndexError = GeomError::ZeroLength.into();
         assert!(matches!(g, IndexError::Geom(_)));
-        assert!(IndexError::EmptyTimeSpan { start: 2.0, end: 1.0 }
-            .to_string()
-            .contains("[2, 1]"));
+        assert!(IndexError::EmptyTimeSpan {
+            start: 2.0,
+            end: 1.0
+        }
+        .to_string()
+        .contains("[2, 1]"));
     }
 }

@@ -100,7 +100,9 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
         // Touch the old entry only after the new plane decomposed cleanly.
         match self.planes.remove(&key) {
             Some((_, old_boxes)) => {
-                let updated = self.tree.update(&union_of(&old_boxes), union_of(&boxes), &key);
+                let updated = self
+                    .tree
+                    .update(&union_of(&old_boxes), union_of(&boxes), &key);
                 debug_assert!(updated, "index out of sync: missing old entry");
             }
             None => self.tree.insert(union_of(&boxes), key),
@@ -312,8 +314,8 @@ mod tests {
         // Tiny slabs → many boxes per plane; a wide query catches several.
         let mut idx = MovingObjectIndex::new(0.5);
         idx.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
-        let g = Polygon::rectangle(&Rect::new(Point::new(0.0, -1.0), Point::new(100.0, 1.0)))
-            .unwrap();
+        let g =
+            Polygon::rectangle(&Rect::new(Point::new(0.0, -1.0), Point::new(100.0, 1.0))).unwrap();
         let q = QueryRegion::during(g, 0.0, 30.0);
         let c = idx.candidates(&q);
         assert_eq!(c, vec![1], "one candidate even with many boxes hit");
@@ -367,7 +369,11 @@ mod tests {
         assert!(!shadow.sync_entry_from(&src, &2));
         assert_eq!(shadow.len(), src.len());
         assert_eq!(shadow.tree_stats().0, src.tree_stats().0);
-        for q in [region(78.0, 85.0, 11.0), region(0.0, 10.0, 2.0), region(45.0, 60.0, 2.0)] {
+        for q in [
+            region(78.0, 85.0, 11.0),
+            region(0.0, 10.0, 2.0),
+            region(45.0, 60.0, 2.0),
+        ] {
             assert_eq!(shadow.candidates(&q), src.candidates(&q));
         }
         // Syncing an id neither side holds is a no-op.

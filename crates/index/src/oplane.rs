@@ -138,9 +138,7 @@ impl OPlane {
     fn slab_lu(&self, t0: f64, t1: f64) -> (f64, f64) {
         let tr0 = (t0 - self.start_time).max(0.0);
         let tr1 = (t1 - self.start_time).max(0.0);
-        let candidates = |cross: f64| -> [f64; 3] {
-            [tr0, tr1, cross.clamp(tr0, tr1)]
-        };
+        let candidates = |cross: f64| -> [f64; 3] { [tr0, tr1, cross.clamp(tr0, tr1)] };
         let bs_cross = slow_crossover_time(self.speed, self.update_cost);
         let bf_cross = fast_crossover_time(self.speed, self.max_speed, self.update_cost);
         let bs_max = candidates(if bs_cross.is_finite() { bs_cross } else { tr1 })
@@ -223,7 +221,18 @@ mod tests {
     }
 
     fn plane(kind: BoundKind, direction: Direction, start_arc: f64) -> OPlane {
-        OPlane::new(RouteId(1), start_arc, direction, 1.0, 1.5, C, kind, 0.0, 20.0).unwrap()
+        OPlane::new(
+            RouteId(1),
+            start_arc,
+            direction,
+            1.0,
+            1.5,
+            C,
+            kind,
+            0.0,
+            20.0,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -246,7 +255,10 @@ mod tests {
             mk(-1.0, 20.0),
             Err(IndexError::InvalidParameter("speed", _))
         ));
-        assert!(matches!(mk(1.0, 0.0), Err(IndexError::EmptyTimeSpan { .. })));
+        assert!(matches!(
+            mk(1.0, 0.0),
+            Err(IndexError::EmptyTimeSpan { .. })
+        ));
     }
 
     #[test]
@@ -271,8 +283,14 @@ mod tests {
         assert!((l - 9.0).abs() < 1e-12);
         assert!((u - 11.0).abs() < 1e-12);
         // Interval width shrinks as t grows past the crossovers.
-        let w5 = { let (l, u) = p.lu(5.0); u - l };
-        let w15 = { let (l, u) = p.lu(15.0); u - l };
+        let w5 = {
+            let (l, u) = p.lu(5.0);
+            u - l
+        };
+        let w15 = {
+            let (l, u) = p.lu(15.0);
+            u - l
+        };
         assert!(w15 < w5);
     }
 

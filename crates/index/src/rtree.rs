@@ -334,12 +334,7 @@ impl<T: Clone + PartialEq> RStarTree<T> {
         stats
     }
 
-    fn search_rec<F: FnMut(&T)>(
-        node: &Node<T>,
-        query: &Aabb3,
-        f: &mut F,
-        stats: &mut SearchStats,
-    ) {
+    fn search_rec<F: FnMut(&T)>(node: &Node<T>, query: &Aabb3, f: &mut F, stats: &mut SearchStats) {
         stats.nodes_visited += 1;
         match node {
             Node::Leaf(entries) => {
@@ -436,7 +431,11 @@ fn collect_entries<T>(node: Node<T>, out: &mut Vec<(Aabb3, T)>) {
 /// R\* choose-subtree: at the level above leaves minimise overlap
 /// enlargement (ties: volume enlargement, then volume); higher up minimise
 /// volume enlargement (ties: volume).
-fn choose_subtree<T>(children: &[(Aabb3, Box<Node<T>>)], bbox: &Aabb3, at_leaf_level: bool) -> usize {
+fn choose_subtree<T>(
+    children: &[(Aabb3, Box<Node<T>>)],
+    bbox: &Aabb3,
+    at_leaf_level: bool,
+) -> usize {
     let mut best = 0;
     let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     for (i, (cb, _)) in children.iter().enumerate() {
@@ -516,7 +515,10 @@ fn rstar_split<E>(mut entries: Vec<E>, bbox_of: impl Fn(&E) -> Aabb3) -> (Vec<E>
         let right = entries[k..]
             .iter()
             .fold(Aabb3::empty(), |a, e| a.union(&bbox_of(e)));
-        let key = (left.intersection_volume(&right), left.volume() + right.volume());
+        let key = (
+            left.intersection_volume(&right),
+            left.volume() + right.volume(),
+        );
         if key < best_key {
             best_key = key;
             best_k = k;
@@ -567,7 +569,9 @@ mod tests {
         let mut hits = t.query_intersecting(&cube(0.0, 0.0, 0.0, 2.0));
         hits.sort_unstable();
         assert_eq!(hits, vec![1, 3]);
-        assert!(t.query_intersecting(&cube(100.0, 100.0, 100.0, 1.0)).is_empty());
+        assert!(t
+            .query_intersecting(&cube(100.0, 100.0, 100.0, 1.0))
+            .is_empty());
     }
 
     #[test]
@@ -599,7 +603,9 @@ mod tests {
         // Deterministic pseudo-random placement (LCG).
         let mut state: u64 = 0x2545F4914F6CDD1D;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 100.0
         };
         for i in 0..800u64 {
@@ -656,9 +662,7 @@ mod tests {
     #[test]
     fn remove_down_to_empty() {
         let mut t = RStarTree::new();
-        let boxes: Vec<Aabb3> = (0..100)
-            .map(|i| cube(i as f64, 0.0, 0.0, 0.5))
-            .collect();
+        let boxes: Vec<Aabb3> = (0..100).map(|i| cube(i as f64, 0.0, 0.0, 0.5)).collect();
         for (i, b) in boxes.iter().enumerate() {
             t.insert(*b, i as u64);
         }

@@ -22,9 +22,7 @@ fn boxes(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<(Aabb3, u64)>> 
     .prop_map(|raw| {
         raw.into_iter()
             .enumerate()
-            .map(|(i, (x, y, t, w, h, d))| {
-                (Aabb3::new([x, y, t], [x + w, y + h, t + d]), i as u64)
-            })
+            .map(|(i, (x, y, t, w, h, d))| (Aabb3::new([x, y, t], [x + w, y + h, t + d]), i as u64))
             .collect()
     })
 }

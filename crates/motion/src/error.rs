@@ -49,9 +49,12 @@ mod tests {
     fn displays() {
         assert!(MotionError::EmptyCurve.to_string().contains("no samples"));
         assert!(MotionError::InvalidTick(0.0).to_string().contains("tick"));
-        assert!(MotionError::InvalidSpeed { index: 3, value: -1.0 }
-            .to_string()
-            .contains("sample 3"));
+        assert!(MotionError::InvalidSpeed {
+            index: 3,
+            value: -1.0
+        }
+        .to_string()
+        .contains("sample 3"));
         assert!(MotionError::InvalidTripParameter("start_arc")
             .to_string()
             .contains("start_arc"));

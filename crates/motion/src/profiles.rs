@@ -70,7 +70,15 @@ impl TripProfile {
 
 /// Ornstein–Uhlenbeck-style mean-reverting fluctuation around `mu`,
 /// clamped to `[0, cap]`.
-fn ou_step<R: Rng + ?Sized>(rng: &mut R, v: f64, mu: f64, theta: f64, sigma: f64, dt: f64, cap: f64) -> f64 {
+fn ou_step<R: Rng + ?Sized>(
+    rng: &mut R,
+    v: f64,
+    mu: f64,
+    theta: f64,
+    sigma: f64,
+    dt: f64,
+    cap: f64,
+) -> f64 {
     let drift = theta * (mu - v) * dt;
     let shock = normal(rng, 0.0, sigma * dt.sqrt());
     (v + drift + shock).clamp(0.0, cap)
@@ -178,7 +186,10 @@ mod tests {
             let c = gen(p, 1);
             assert!((c.duration() - 60.0).abs() < 1e-9, "{p:?}");
             assert_eq!(c.samples().len(), 3600);
-            assert!(c.samples().iter().all(|&v| (0.0..=2.0).contains(&v)), "{p:?}");
+            assert!(
+                c.samples().iter().all(|&v| (0.0..=2.0).contains(&v)),
+                "{p:?}"
+            );
         }
     }
 
@@ -188,7 +199,10 @@ mod tests {
         let mean = c.total_distance() / c.duration();
         assert!((mean - HIGHWAY_SPEED).abs() < 0.15, "mean speed {mean}");
         // Mild fluctuation: never drops to a complete stop.
-        assert!(c.samples().iter().all(|&v| v > 0.3), "highway should not stop");
+        assert!(
+            c.samples().iter().all(|&v| v > 0.3),
+            "highway should not stop"
+        );
     }
 
     #[test]
@@ -196,8 +210,14 @@ mod tests {
         let c = gen(TripProfile::City, 3);
         let stopped = c.samples().iter().filter(|&&v| v < 0.01).count();
         let cruising = c.samples().iter().filter(|&&v| v > 0.3).count();
-        assert!(stopped > 100, "city trip should include stops, got {stopped}");
-        assert!(cruising > 500, "city trip should include cruising, got {cruising}");
+        assert!(
+            stopped > 100,
+            "city trip should include stops, got {stopped}"
+        );
+        assert!(
+            cruising > 500,
+            "city trip should include cruising, got {cruising}"
+        );
     }
 
     #[test]
@@ -229,6 +249,8 @@ mod tests {
     fn invalid_tick_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(TripProfile::Highway.generate(&mut rng, 60.0, 0.0).is_err());
-        assert!(TripProfile::Highway.generate(&mut rng, 0.0001, 1.0).is_err());
+        assert!(TripProfile::Highway
+            .generate(&mut rng, 0.0001, 1.0)
+            .is_err());
     }
 }

@@ -277,7 +277,11 @@ mod tests {
         let mut arc = 0.0;
         for i in 1..=(20 * 60) {
             let t = i as f64 * dt;
-            let v = if (t as usize).is_multiple_of(3) { 0.0 } else { 1.2 };
+            let v = if (t as usize).is_multiple_of(3) {
+                0.0
+            } else {
+                1.2
+            };
             arc += v * dt;
             let prev_bound = p.uncertainty(t - dt, 1.5);
             let dev = (arc - p.database_arc(t)).abs();

@@ -50,7 +50,11 @@ impl TraditionalPolicy {
     /// # Errors
     ///
     /// Rejects non-positive tolerance or cost.
-    pub fn new(tolerance: f64, update_cost: f64, initial: PositionUpdate) -> Result<Self, PolicyError> {
+    pub fn new(
+        tolerance: f64,
+        update_cost: f64,
+        initial: PositionUpdate,
+    ) -> Result<Self, PolicyError> {
         if tolerance <= 0.0 || !tolerance.is_finite() {
             return Err(PolicyError::InvalidCostParameter("tolerance", tolerance));
         }
@@ -194,8 +198,7 @@ impl Policy for PeriodicPolicy {
 
     fn database_arc(&self, now: f64) -> f64 {
         let elapsed = (now - self.last.time).max(0.0);
-        (self.last.arc + self.direction_sign * self.last.speed * elapsed)
-            .clamp(0.0, self.route_len)
+        (self.last.arc + self.direction_sign * self.last.speed * elapsed).clamp(0.0, self.route_len)
     }
 
     fn last_update(&self) -> PositionUpdate {
@@ -294,8 +297,7 @@ impl Policy for FixedThresholdPolicy {
 
     fn database_arc(&self, now: f64) -> f64 {
         let elapsed = (now - self.last.time).max(0.0);
-        (self.last.arc + self.direction_sign * self.last.speed * elapsed)
-            .clamp(0.0, self.route_len)
+        (self.last.arc + self.direction_sign * self.last.speed * elapsed).clamp(0.0, self.route_len)
     }
 
     fn last_update(&self) -> PositionUpdate {
@@ -363,13 +365,19 @@ mod tests {
         }
         assert_eq!(fire_times.len(), 3);
         for (i, ft) in fire_times.iter().enumerate() {
-            assert!((ft - 2.0 * (i as f64 + 1.0)).abs() < 0.02, "fire {i} at {ft}");
+            assert!(
+                (ft - 2.0 * (i as f64 + 1.0)).abs() < 0.02,
+                "fire {i} at {ft}"
+            );
         }
         // Dead reckoning between fires.
         let last = p.last_update();
         assert!((p.database_arc(last.time + 0.5) - (last.arc + 0.5)).abs() < 1e-9);
         // Uncertainty is capped by the period.
-        assert_eq!(p.uncertainty(last.time + 100.0, 1.5), 1.0 * 2.0_f64.min(100.0));
+        assert_eq!(
+            p.uncertainty(last.time + 100.0, 1.5),
+            1.0 * 2.0_f64.min(100.0)
+        );
     }
 
     #[test]

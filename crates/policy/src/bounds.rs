@@ -189,7 +189,10 @@ mod tests {
             for t in [0.1, 1.0, 3.0, 10.0, 60.0] {
                 let cb = combined_bound(kind, V, VMAX, C, t);
                 assert!(cb + 1e-12 >= slow_bound(kind, V, C, t), "{kind:?} t={t}");
-                assert!(cb + 1e-12 >= fast_bound(kind, V, VMAX, C, t), "{kind:?} t={t}");
+                assert!(
+                    cb + 1e-12 >= fast_bound(kind, V, VMAX, C, t),
+                    "{kind:?} t={t}"
+                );
             }
         }
     }

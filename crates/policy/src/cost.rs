@@ -91,9 +91,7 @@ impl DeviationCost {
         debug_assert!(a > 0.0 && k >= 0.0);
         match *self {
             DeviationCost::Uniform { rate } => rate * k * k / (2.0 * a),
-            DeviationCost::Step { threshold, penalty } => {
-                penalty * ((k - threshold) / a).max(0.0)
-            }
+            DeviationCost::Step { threshold, penalty } => penalty * ((k - threshold) / a).max(0.0),
         }
     }
 }
@@ -106,16 +104,27 @@ mod tests {
     fn validation() {
         assert!(DeviationCost::UNIT_UNIFORM.validate().is_ok());
         assert!(DeviationCost::Uniform { rate: 0.0 }.validate().is_err());
-        assert!(DeviationCost::Uniform { rate: f64::NAN }.validate().is_err());
-        assert!(DeviationCost::Step { threshold: 1.0, penalty: 1.0 }
-            .validate()
-            .is_ok());
-        assert!(DeviationCost::Step { threshold: -1.0, penalty: 1.0 }
+        assert!(DeviationCost::Uniform { rate: f64::NAN }
             .validate()
             .is_err());
-        assert!(DeviationCost::Step { threshold: 1.0, penalty: 0.0 }
-            .validate()
-            .is_err());
+        assert!(DeviationCost::Step {
+            threshold: 1.0,
+            penalty: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(DeviationCost::Step {
+            threshold: -1.0,
+            penalty: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(DeviationCost::Step {
+            threshold: 1.0,
+            penalty: 0.0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -177,7 +177,10 @@ mod tests {
             update_cost: 1.0,
             horizon: Horizon::Fixed(10.0),
         };
-        let fit = FittedEstimator { slope: 1.0, delay: 1.0 };
+        let fit = FittedEstimator {
+            slope: 1.0,
+            delay: 1.0,
+        };
         // Without update: crosses 2 − 0.5 = 1.5 above delay → t = 2.5,
         // above for 7.5. With update: t = 3, above for 7.
         // Benefit = 3 · 0.5 = 1.5 ≥ 1 → fire.
@@ -207,7 +210,10 @@ mod tests {
             update_cost: 5.0,
             horizon: Horizon::Fixed(-3.0),
         };
-        assert_eq!(d.horizon_minutes(&FittedEstimator::immediate(1.0), 1.0), 0.0);
+        assert_eq!(
+            d.horizon_minutes(&FittedEstimator::immediate(1.0), 1.0),
+            0.0
+        );
         assert!(!d.should_update(&FittedEstimator::immediate(1.0), 1.0));
     }
 }

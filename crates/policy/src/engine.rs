@@ -107,17 +107,21 @@ impl Quintuple {
     /// non-canonical quintuples).
     pub fn label(&self) -> String {
         match (self.estimator, self.predictor, self.deviation_cost) {
-            (EstimatorKind::DelayedLinear, SpeedPredictor::Current, DeviationCost::Uniform { .. }) => {
-                "dl".to_string()
-            }
+            (
+                EstimatorKind::DelayedLinear,
+                SpeedPredictor::Current,
+                DeviationCost::Uniform { .. },
+            ) => "dl".to_string(),
             (
                 EstimatorKind::ImmediateLinear,
                 SpeedPredictor::AverageSinceUpdate,
                 DeviationCost::Uniform { .. },
             ) => "ail".to_string(),
-            (EstimatorKind::ImmediateLinear, SpeedPredictor::Current, DeviationCost::Uniform { .. }) => {
-                "cil".to_string()
-            }
+            (
+                EstimatorKind::ImmediateLinear,
+                SpeedPredictor::Current,
+                DeviationCost::Uniform { .. },
+            ) => "cil".to_string(),
             _ => {
                 let est = match self.estimator {
                     EstimatorKind::DelayedLinear => "delayed",
@@ -214,7 +218,10 @@ impl PolicyEngine {
             return Err(PolicyError::InvalidObservation("initial.arc", initial.arc));
         }
         if !initial.speed.is_finite() || initial.speed < 0.0 {
-            return Err(PolicyError::InvalidObservation("initial.speed", initial.speed));
+            return Err(PolicyError::InvalidObservation(
+                "initial.speed",
+                initial.speed,
+            ));
         }
         Ok(PolicyEngine {
             quintuple,
@@ -302,7 +309,10 @@ impl Policy for PolicyEngine {
             return Err(PolicyError::InvalidObservation("actual_arc", actual_arc));
         }
         if !current_speed.is_finite() || current_speed < 0.0 {
-            return Err(PolicyError::InvalidObservation("current_speed", current_speed));
+            return Err(PolicyError::InvalidObservation(
+                "current_speed",
+                current_speed,
+            ));
         }
         self.last_seen = now;
 
@@ -354,8 +364,7 @@ impl Policy for PolicyEngine {
 
     fn database_arc(&self, now: f64) -> f64 {
         let elapsed = (now - self.last.time).max(0.0);
-        (self.last.arc + self.direction_sign * self.last.speed * elapsed)
-            .clamp(0.0, self.route_len)
+        (self.last.arc + self.direction_sign * self.last.speed * elapsed).clamp(0.0, self.route_len)
     }
 
     fn last_update(&self) -> PositionUpdate {

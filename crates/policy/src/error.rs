@@ -32,13 +32,19 @@ impl fmt::Display for PolicyError {
                 write!(f, "update cost must be positive and finite, got {c}")
             }
             PolicyError::InvalidCostParameter(name, v) => {
-                write!(f, "cost parameter `{name}` must be positive and finite, got {v}")
+                write!(
+                    f,
+                    "cost parameter `{name}` must be positive and finite, got {v}"
+                )
             }
             PolicyError::InvalidRouteLength(l) => {
                 write!(f, "route length must be positive and finite, got {l}")
             }
             PolicyError::TimeWentBackwards { last, now } => {
-                write!(f, "observation at t={now} precedes last observation t={last}")
+                write!(
+                    f,
+                    "observation at t={now} precedes last observation t={last}"
+                )
             }
             PolicyError::InvalidObservation(name, v) => {
                 write!(f, "observation `{name}` invalid: {v}")
@@ -55,10 +61,15 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(PolicyError::InvalidUpdateCost(-1.0).to_string().contains("-1"));
-        assert!(PolicyError::TimeWentBackwards { last: 5.0, now: 3.0 }
+        assert!(PolicyError::InvalidUpdateCost(-1.0)
             .to_string()
-            .contains("t=3"));
+            .contains("-1"));
+        assert!(PolicyError::TimeWentBackwards {
+            last: 5.0,
+            now: 3.0
+        }
+        .to_string()
+        .contains("t=3"));
         assert!(PolicyError::InvalidObservation("speed", f64::NAN)
             .to_string()
             .contains("speed"));

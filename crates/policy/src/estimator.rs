@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn eval_respects_delay() {
-        let f = FittedEstimator { slope: 2.0, delay: 3.0 };
+        let f = FittedEstimator {
+            slope: 2.0,
+            delay: 3.0,
+        };
         assert_eq!(f.eval(0.0), 0.0);
         assert_eq!(f.eval(2.9), 0.0);
         assert_eq!(f.eval(3.0), 0.0);
@@ -86,7 +89,10 @@ mod tests {
 
     #[test]
     fn integral_is_triangle_area() {
-        let f = FittedEstimator { slope: 2.0, delay: 1.0 };
+        let f = FittedEstimator {
+            slope: 2.0,
+            delay: 1.0,
+        };
         assert_eq!(f.integral(1.0), 0.0);
         // From t=1 to t=3 the ramp rises to 4: area = ½·2·4 = 4.
         assert_eq!(f.integral(3.0), 4.0);
@@ -96,7 +102,10 @@ mod tests {
 
     #[test]
     fn time_to_reach() {
-        let f = FittedEstimator { slope: 0.5, delay: 2.0 };
+        let f = FittedEstimator {
+            slope: 0.5,
+            delay: 2.0,
+        };
         assert_eq!(f.time_to_reach(1.0), 4.0);
         assert_eq!(f.time_to_reach(0.0), 0.0);
         let flat = FittedEstimator::immediate(0.0);
@@ -105,7 +114,10 @@ mod tests {
 
     #[test]
     fn integral_matches_numeric() {
-        let f = FittedEstimator { slope: 0.7, delay: 1.3 };
+        let f = FittedEstimator {
+            slope: 0.7,
+            delay: 1.3,
+        };
         let tau = 6.0;
         let mut acc = 0.0;
         let dt = 1e-5;

@@ -124,7 +124,10 @@ impl FittingMethod {
                 if ramp <= 0.0 {
                     return None;
                 }
-                Some(FittedEstimator { slope: k / ramp, delay: b })
+                Some(FittedEstimator {
+                    slope: k / ramp,
+                    delay: b,
+                })
             }
             FittingMethod::LeastSquares => {
                 // Slope through the origin of the ramp: minimise
@@ -141,7 +144,10 @@ impl FittingMethod {
                 if den <= 0.0 {
                     return None;
                 }
-                Some(FittedEstimator { slope: num / den, delay: b })
+                Some(FittedEstimator {
+                    slope: num / den,
+                    delay: b,
+                })
             }
         }
     }

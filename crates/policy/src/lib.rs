@@ -22,8 +22,8 @@
 mod adaptive;
 pub mod baselines;
 mod bounds;
-mod decision;
 mod cost;
+mod decision;
 mod engine;
 mod error;
 mod estimator;

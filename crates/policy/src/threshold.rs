@@ -150,7 +150,12 @@ mod tests {
     /// verification over a grid).
     #[test]
     fn threshold_minimises_cost_rate() {
-        for &(a, b, c) in &[(1.0, 2.0, 5.0), (0.5, 0.0, 5.0), (2.0, 1.0, 0.5), (0.1, 10.0, 50.0)] {
+        for &(a, b, c) in &[
+            (1.0, 2.0, 5.0),
+            (0.5, 0.0, 5.0),
+            (2.0, 1.0, 0.5),
+            (0.1, 10.0, 50.0),
+        ] {
             let k_opt = optimal_threshold(a, b, c);
             let best = cost_rate(k_opt, a, b, c);
             let mut k = k_opt / 50.0;
@@ -191,7 +196,10 @@ mod tests {
         };
         let (a, b, c) = (0.5, 1.0, 5.0);
         let k = optimal_threshold_numeric(&cost, a, b, c, 100.0);
-        assert!(k >= 1.0 - 1e-6, "optimal step threshold {k} below the free zone");
+        assert!(
+            k >= 1.0 - 1e-6,
+            "optimal step threshold {k} below the free zone"
+        );
         let best = cost_rate_general(&cost, k, a, b, c);
         for candidate in [0.5, 1.0, 2.0, 5.0, 20.0, 80.0] {
             assert!(best <= cost_rate_general(&cost, candidate, a, b, c) + 1e-9);

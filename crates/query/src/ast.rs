@@ -114,9 +114,6 @@ mod tests {
             at: 0.0,
         };
         assert_eq!(a.clone(), a);
-        assert_ne!(
-            ObjectRef::Id(ObjectId(1)),
-            ObjectRef::Name("1".into())
-        );
+        assert_ne!(ObjectRef::Id(ObjectId(1)), ObjectRef::Name("1".into()));
     }
 }

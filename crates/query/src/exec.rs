@@ -137,9 +137,9 @@ pub fn execute(db: &Database, query: &Query) -> Result<QueryResult, ExecError> {
         )?)),
         Query::WithinObject { object, radius, at } => {
             let id = resolve(db, object)?;
-            Ok(QueryResult::Range(db.within_distance_of_object(
-                id, *radius, *at,
-            )?))
+            Ok(QueryResult::Range(
+                db.within_distance_of_object(id, *radius, *at)?,
+            ))
         }
     }
 }
@@ -176,7 +176,11 @@ mod tests {
         for (i, arc) in [(1u64, 10.0), (2, 30.0), (3, 60.0)] {
             db.register_moving(MovingObject {
                 id: ObjectId(i),
-                name: if i == 2 { "ABT312".into() } else { format!("veh-{i}") },
+                name: if i == 2 {
+                    "ABT312".into()
+                } else {
+                    format!("veh-{i}")
+                },
                 attr: PositionAttribute {
                     start_time: 0.0,
                     route: RouteId(1),
@@ -237,7 +241,11 @@ mod tests {
         let d = db();
         // Object 1 (starts at 10, speed 1) passes through [18, 22] between
         // t=8 and t=12 — caught by a DURING query over [0, 15].
-        let r = run(&d, "RETRIEVE OBJECTS INSIDE RECT (18, -1, 22, 1) DURING 0 TO 15").unwrap();
+        let r = run(
+            &d,
+            "RETRIEVE OBJECTS INSIDE RECT (18, -1, 22, 1) DURING 0 TO 15",
+        )
+        .unwrap();
         assert!(r.as_range().unwrap().all().contains(&ObjectId(1)));
     }
 
@@ -246,7 +254,11 @@ mod tests {
         let d = db();
         let r = run(&d, "RETRIEVE OBJECTS WITHIN 5 OF POINT (12, 0) AT TIME 0").unwrap();
         assert!(r.as_range().unwrap().all().contains(&ObjectId(1)));
-        let r = run(&d, "RETRIEVE OBJECTS WITHIN 25 OF OBJECT 'ABT312' AT TIME 0").unwrap();
+        let r = run(
+            &d,
+            "RETRIEVE OBJECTS WITHIN 25 OF OBJECT 'ABT312' AT TIME 0",
+        )
+        .unwrap();
         let all = r.as_range().unwrap().all();
         assert!(all.contains(&ObjectId(1)));
         assert!(!all.contains(&ObjectId(2)), "anchor excluded");
@@ -296,8 +308,7 @@ mod tests {
         let d = db();
         let via_text = run(&d, "RETRIEVE OBJECTS INSIDE RECT (0, -1, 100, 1) AT TIME 2").unwrap();
         let region = QueryRegion::at_instant(
-            Polygon::rectangle(&Rect::new(Point::new(0.0, -1.0), Point::new(100.0, 1.0)))
-                .unwrap(),
+            Polygon::rectangle(&Rect::new(Point::new(0.0, -1.0), Point::new(100.0, 1.0))).unwrap(),
             2.0,
         );
         let via_api = d.range_query(&region).unwrap();

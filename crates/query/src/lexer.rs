@@ -120,9 +120,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 {
                     // Stop a trailing +/- that is not part of an exponent.
                     let ch = bytes[i] as char;
-                    if (ch == '+' || ch == '-')
-                        && !matches!(bytes[i - 1] as char, 'e' | 'E')
-                    {
+                    if (ch == '+' || ch == '-') && !matches!(bytes[i - 1] as char, 'e' | 'E') {
                         break;
                     }
                     i += 1;

@@ -64,7 +64,10 @@ impl fmt::Display for ParseError {
                 offset,
             } => match found {
                 Some(tok) => write!(f, "expected {expected} at byte {offset}, found `{tok}`"),
-                None => write!(f, "expected {expected} at byte {offset}, found end of input"),
+                None => write!(
+                    f,
+                    "expected {expected} at byte {offset}, found end of input"
+                ),
             },
             ParseError::TrailingInput { offset } => {
                 write!(f, "unexpected trailing input at byte {offset}")
@@ -426,10 +429,9 @@ mod tests {
 
     #[test]
     fn parse_polygon_during_query() {
-        let q = parse(
-            "RETRIEVE OBJECTS INSIDE POLYGON ((0,0), (4,0), (4,4), (0,4)) DURING 0 TO 15",
-        )
-        .unwrap();
+        let q =
+            parse("RETRIEVE OBJECTS INSIDE POLYGON ((0,0), (4,0), (4,4), (0,4)) DURING 0 TO 15")
+                .unwrap();
         match q {
             Query::Range {
                 region: RegionSpec::Polygon(pts),

@@ -185,7 +185,7 @@ mod tests {
     fn grid_counts_and_geometry() {
         let n = grid_network(3, 4, 1.0, 0).unwrap();
         assert_eq!(n.len(), 7); // 4 horizontal + 3 vertical
-        // Horizontal street 2 runs at y = 2 with length (nx-1)*spacing = 2.
+                                // Horizontal street 2 runs at y = 2 with length (nx-1)*spacing = 2.
         let r = n.get(RouteId(2)).unwrap();
         assert_eq!(r.length(), 2.0);
         assert_eq!(r.point_at(0.0), Point::new(0.0, 2.0));

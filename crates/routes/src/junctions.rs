@@ -168,7 +168,11 @@ mod tests {
         // The diagonal crosses the horizontal leg at (4, 0) and the
         // vertical leg at (5, 1).
         assert_eq!(js.len(), 2);
-        assert!(js.iter().any(|j| j.position.approx_eq(Point::new(4.0, 0.0))));
-        assert!(js.iter().any(|j| j.position.approx_eq(Point::new(5.0, 1.0))));
+        assert!(js
+            .iter()
+            .any(|j| j.position.approx_eq(Point::new(4.0, 0.0))));
+        assert!(js
+            .iter()
+            .any(|j| j.position.approx_eq(Point::new(5.0, 1.0))));
     }
 }

@@ -29,8 +29,8 @@ use modb_policy::BoundKind;
 use modb_query::QueryResult;
 use modb_routes::{generators, Direction};
 use modb_server::{
-    ClusterRouter, QueryClient, QueryEngine, QueryEngineConfig, ReplicaConfig, ShardMap,
-    SharedDatabase, StandbyReplica,
+    ClusterRouter, QueryClient, QueryEngine, QueryEngineConfig, ReplicaConfig, ServerStatsSnapshot,
+    ShardMap, SharedDatabase, StandbyReplica,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,6 +54,22 @@ commands:  \\h help   \\q quit   \\epoch publish snapshot + stats
            servers (hash-of-id shard map; takes precedence over \\connect)
            \\cluster show shards   \\cluster stop disband
            \\stats scrape the remote server/cluster (local stats otherwise)";
+
+/// Derived WAL efficiency for `\stats`: how many log bytes each fsync
+/// paid for, and the mean group-commit collapse factor. Group commit
+/// drives both up under concurrent acked ingest.
+fn print_wal_efficiency(stats: &ServerStatsSnapshot) {
+    if let Some(per_fsync) = stats.wal_bytes_written.checked_div(stats.wal_fsyncs) {
+        println!("  wal bytes/fsync: {per_fsync}");
+    }
+    if stats.wal_group_commits > 0 {
+        println!(
+            "  wal group-commit mean batch: {:.1} (last {})",
+            stats.wal_group_tickets as f64 / stats.wal_group_commits as f64,
+            stats.wal_group_last_batch
+        );
+    }
+}
 
 fn demo_fleet() -> SharedDatabase {
     let network = generators::grid_network(10, 10, 1.0, 0).expect("valid grid");
@@ -360,6 +376,7 @@ fn main() {
                                         println!("  {l}");
                                     }
                                 }
+                                print_wal_efficiency(stats);
                             }
                         }
                         Err(e) => {
@@ -379,6 +396,7 @@ fn main() {
                                     println!("  {l}");
                                 }
                             }
+                            print_wal_efficiency(&stats);
                         }
                         Err(e) => {
                             println!("  connection lost: {e}");

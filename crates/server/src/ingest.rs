@@ -22,6 +22,12 @@
 //! are logged too: replay re-derives the same verdicts, and the log
 //! doubles as a complete update-stream trace.
 //!
+//! Acknowledged applies additionally promise durability: before the ack
+//! is delivered, the worker waits on a shared
+//! [`modb_wal::GroupCommitter`], which collapses every concurrently
+//! waiting worker's fsync into one — the fsync rate stays pinned near
+//! the disk's flush rate no matter how many workers are acking.
+//!
 //! Rejections (stale timestamps after a vehicle reboot, off-route fixes,
 //! unknown objects) are normal radio-network operation — counted by
 //! reason in [`IngestStats`], not fatal.
@@ -33,7 +39,9 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, SendError, Sender};
 use modb_core::{CoreError, ObjectId, UpdateMessage};
-use modb_wal::{SharedWal, WalBatch, WalRecord};
+use modb_wal::{
+    GroupCommitHandle, GroupCommitStats, GroupCommitter, SharedWal, WalBatch, WalRecord,
+};
 
 /// Envelopes a worker buffers in its private WAL batch before taking the
 /// shared writer lock once to flush them all.
@@ -281,6 +289,7 @@ impl IngestHandle {
 pub struct IngestMonitor {
     stats: Arc<IngestStats>,
     shards: Vec<Sender<Job>>,
+    commit: Option<GroupCommitHandle>,
 }
 
 impl fmt::Debug for IngestMonitor {
@@ -301,6 +310,11 @@ impl IngestMonitor {
     /// Reads 0 once the workers have drained after a shutdown.
     pub fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Group-commit coalescing counters (`None` for a WAL-less service).
+    pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
+        self.commit.as_ref().map(GroupCommitHandle::stats)
     }
 }
 
@@ -323,6 +337,7 @@ pub struct IngestService {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<IngestStats>,
     wal: Option<SharedWal>,
+    committer: Option<GroupCommitter>,
 }
 
 impl IngestService {
@@ -353,6 +368,9 @@ impl IngestService {
         queue_depth: usize,
     ) -> Self {
         let stats = Arc::new(IngestStats::default());
+        // One committer serves every worker: concurrent acked applies
+        // share fsyncs instead of issuing their own.
+        let committer = wal.as_ref().map(|w| GroupCommitter::spawn(w.clone()));
         let mut shards = Vec::with_capacity(n_workers.max(1));
         let mut workers = Vec::with_capacity(n_workers.max(1));
         for _ in 0..n_workers.max(1) {
@@ -360,6 +378,7 @@ impl IngestService {
             let db = db.clone();
             let stats = Arc::clone(&stats);
             let wal = wal.clone();
+            let commit = committer.as_ref().map(GroupCommitter::handle);
             workers.push(std::thread::spawn(move || {
                 let mut batch = WalBatch::new();
                 let mut apply = |env: UpdateEnvelope, ack: Option<Sender<UpdateOutcome>>| {
@@ -390,6 +409,15 @@ impl IngestService {
                     }
                     if let Some(ack) = ack {
                         let lsn = wal.as_ref().map(|w| w.next_lsn()).unwrap_or(0);
+                        // The ack promises durability: wait on the shared
+                        // committer, whose one fsync covers every worker
+                        // acking concurrently (group commit). The token
+                        // itself is unchanged — still the WAL frontier.
+                        if let Some(commit) = &commit {
+                            if commit.commit(lsn).is_err() {
+                                stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                         // A dropped receiver (caller gave up) is fine.
                         let _ = ack.send(UpdateOutcome { lsn, verdict });
                     }
@@ -430,6 +458,7 @@ impl IngestService {
             workers,
             stats,
             wal,
+            committer,
         }
     }
 
@@ -480,7 +509,14 @@ impl IngestService {
                 .expect("ingest service already shut down")
                 .shards
                 .clone(),
+            commit: self.committer.as_ref().map(GroupCommitter::handle),
         }
+    }
+
+    /// Group-commit coalescing counters (`None` for a WAL-less service,
+    /// or after shutdown).
+    pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
+        self.committer.as_ref().map(GroupCommitter::stats)
     }
 
     /// Bundles [`IngestService::handle`] and [`IngestService::monitor`]
@@ -523,6 +559,14 @@ impl IngestService {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Workers are joined (none can be blocked in a commit wait
+        // anymore); now the committer can drain its last tickets and
+        // stop.
+        if let Some(committer) = self.committer.take() {
+            if committer.shutdown().is_err() {
+                self.stats.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
         // Workers have flushed their batches into the writer; one final
         // sync makes the drained log durable regardless of fsync policy.
@@ -785,6 +829,66 @@ mod tests {
         drop(handle);
         let stats = service.shutdown();
         assert_eq!(stats.total(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_acked_ingest_group_commits() {
+        let dir = std::env::temp_dir().join(format!("modb-ingest-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = shared(16);
+        let wal = SharedWal::new(
+            WalWriter::create(
+                &dir,
+                WalOptions {
+                    // Every fsync in this test is the group committer's.
+                    fsync: FsyncPolicy::Never,
+                    ..WalOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let service = IngestService::spawn_with_wal(db, wal.clone(), 4, 32);
+        let handle = service.handle();
+        let per_producer = 20u64;
+        std::thread::scope(|s| {
+            for p in 0..8u64 {
+                let handle = handle.clone();
+                s.spawn(move || {
+                    for round in 1..=per_producer {
+                        let rx = handle
+                            .send_acked(UpdateEnvelope {
+                                id: ObjectId((p * 2) % 16),
+                                msg: UpdateMessage::basic(
+                                    (p * per_producer + round) as f64,
+                                    UpdatePosition::Arc(round as f64),
+                                    1.0,
+                                ),
+                            })
+                            .unwrap();
+                        let outcome = rx.recv().unwrap();
+                        assert!(outcome.lsn > 0, "acked applies carry a frontier");
+                    }
+                });
+            }
+        });
+        let gc = service.group_commit_stats().expect("wal-backed service");
+        assert!(gc.commits >= 1);
+        assert!(
+            gc.commits <= gc.tickets,
+            "never more fsyncs than tickets: {gc:?}"
+        );
+        assert_eq!(service.monitor().group_commit_stats(), Some(gc));
+        let (_, fsyncs) = wal.io_counters();
+        assert_eq!(
+            fsyncs, gc.commits,
+            "policy is Never: the committer owns every fsync"
+        );
+        drop(handle);
+        let stats = service.shutdown();
+        assert_eq!(stats.total() as u64, 8 * per_producer);
+        assert_eq!(stats.wal_errors, 0);
+        assert_eq!(wal.next_lsn(), 8 * per_producer);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -63,8 +63,9 @@ use crate::query_engine::QueryStatsSnapshot;
 /// Protocol version spoken by this build; a mismatched `Hello` is
 /// refused. v2 added remote ingest (`Update`/`UpdateBatch`/`UpdateAck`),
 /// the `min_lsn` read-your-writes floor on `Batch`, and the shard label
-/// in the stats frame.
-pub(crate) const NET_PROTOCOL_VERSION: u32 = 2;
+/// in the stats frame. v3 widened the stats frame with the group-commit
+/// counters (tickets, commits, last batch size).
+pub(crate) const NET_PROTOCOL_VERSION: u32 = 3;
 
 /// Default ceiling on one message's payload. Query scripts and result
 /// sets are small next to replication snapshots, so the front-end default
@@ -113,10 +114,20 @@ pub struct ServerStatsSnapshot {
     /// Ingest accept/reject counters (zeroed when no ingest service is
     /// attached to the server).
     pub ingest: IngestStatsSnapshot,
-    /// Payload bytes appended to the WAL since open (headers excluded).
-    pub wal_bytes_appended: u64,
+    /// Bytes written to the log since open (encoded frames, after delta
+    /// coding and compression; segment headers excluded).
+    pub wal_bytes_written: u64,
     /// `fsync` calls issued by the WAL writer since open.
     pub wal_fsyncs: u64,
+    /// Group-commit tickets enqueued (acked updates that waited for a
+    /// shared fsync); 0 when no group committer is running.
+    pub wal_group_tickets: u64,
+    /// Fsyncs the group committer issued; `tickets / commits` is the
+    /// mean collapse factor.
+    pub wal_group_commits: u64,
+    /// Tickets satisfied by the most recent group fsync (> 1 means
+    /// collapsing is happening right now).
+    pub wal_group_last_batch: u64,
     /// The log frontier (next LSN to be written).
     pub wal_next_lsn: u64,
     /// Update envelopes enqueued but not yet applied across all ingest
@@ -225,11 +236,26 @@ impl ServerStatsSnapshot {
         );
         metric("modb_ingest_queue_depth", "gauge", self.ingest_queue_depth);
         metric(
-            "modb_wal_bytes_appended_total",
+            "modb_wal_bytes_written_total",
             "counter",
-            self.wal_bytes_appended,
+            self.wal_bytes_written,
         );
         metric("modb_wal_fsyncs_total", "counter", self.wal_fsyncs);
+        metric(
+            "modb_wal_group_commit_tickets_total",
+            "counter",
+            self.wal_group_tickets,
+        );
+        metric(
+            "modb_wal_group_commits_total",
+            "counter",
+            self.wal_group_commits,
+        );
+        metric(
+            "modb_wal_group_commit_batch_size",
+            "gauge",
+            self.wal_group_last_batch,
+        );
         metric("modb_wal_next_lsn", "gauge", self.wal_next_lsn);
         metric("modb_replication_followers", "gauge", self.followers);
         if let Some(lsn) = self.min_acked_lsn {
@@ -446,8 +472,11 @@ fn put_stats(out: &mut Vec<u8>, s: &ServerStatsSnapshot) {
     put_u64(out, s.ingest.unknown_object as u64);
     put_u64(out, s.ingest.other_rejected as u64);
     put_u64(out, s.ingest.wal_errors as u64);
-    put_u64(out, s.wal_bytes_appended);
+    put_u64(out, s.wal_bytes_written);
     put_u64(out, s.wal_fsyncs);
+    put_u64(out, s.wal_group_tickets);
+    put_u64(out, s.wal_group_commits);
+    put_u64(out, s.wal_group_last_batch);
     put_u64(out, s.wal_next_lsn);
     put_u64(out, s.ingest_queue_depth);
     put_u64(out, s.followers);
@@ -492,8 +521,11 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
         other_rejected: r.u64()? as usize,
         wal_errors: r.u64()? as usize,
     };
-    let wal_bytes_appended = r.u64()?;
+    let wal_bytes_written = r.u64()?;
     let wal_fsyncs = r.u64()?;
+    let wal_group_tickets = r.u64()?;
+    let wal_group_commits = r.u64()?;
+    let wal_group_last_batch = r.u64()?;
     let wal_next_lsn = r.u64()?;
     let ingest_queue_depth = r.u64()?;
     let followers = r.u64()?;
@@ -502,8 +534,11 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
     Ok(ServerStatsSnapshot {
         query,
         ingest,
-        wal_bytes_appended,
+        wal_bytes_written,
         wal_fsyncs,
+        wal_group_tickets,
+        wal_group_commits,
+        wal_group_last_batch,
         wal_next_lsn,
         ingest_queue_depth,
         followers,
@@ -778,8 +813,11 @@ mod tests {
                 other_rejected: 4,
                 wal_errors: 0,
             },
-            wal_bytes_appended: 4_096,
+            wal_bytes_written: 4_096,
             wal_fsyncs: 17,
+            wal_group_tickets: 96,
+            wal_group_commits: 12,
+            wal_group_last_batch: 8,
             wal_next_lsn: 88,
             ingest_queue_depth: 5,
             followers: 2,
@@ -968,8 +1006,11 @@ mod tests {
             ("modb_query_p99_microseconds", 1024),
             ("modb_ingest_accepted_total", 10),
             ("modb_ingest_queue_depth", 5),
-            ("modb_wal_bytes_appended_total", 4096),
+            ("modb_wal_bytes_written_total", 4096),
             ("modb_wal_fsyncs_total", 17),
+            ("modb_wal_group_commit_tickets_total", 96),
+            ("modb_wal_group_commits_total", 12),
+            ("modb_wal_group_commit_batch_size", 8),
             ("modb_wal_next_lsn", 88),
             ("modb_replication_followers", 2),
             ("modb_replication_min_acked_lsn", 80),

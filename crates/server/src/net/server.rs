@@ -87,7 +87,12 @@ struct ServeContext {
 impl ServeContext {
     /// One consistent scrape: every gauge and counter read back to back.
     fn scrape(&self) -> ServerStatsSnapshot {
-        let (wal_bytes_appended, wal_fsyncs) = self.wal.io_counters();
+        let (wal_bytes_written, wal_fsyncs) = self.wal.io_counters();
+        let group = self
+            .ingest
+            .as_ref()
+            .and_then(|f| f.monitor.group_commit_stats())
+            .unwrap_or_default();
         ServerStatsSnapshot {
             query: self.engine.stats(),
             ingest: self
@@ -95,8 +100,11 @@ impl ServeContext {
                 .as_ref()
                 .map(|f| f.monitor.snapshot())
                 .unwrap_or_default(),
-            wal_bytes_appended,
+            wal_bytes_written,
             wal_fsyncs,
+            wal_group_tickets: group.tickets,
+            wal_group_commits: group.commits,
+            wal_group_last_batch: group.last_batch,
             wal_next_lsn: self.wal.next_lsn(),
             ingest_queue_depth: self
                 .ingest

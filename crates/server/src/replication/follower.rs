@@ -14,8 +14,10 @@
 //! ```
 //!
 //! Every hazard resolves to "reject and re-sync, never apply a torn
-//! record": a `Records` run is decoded with [`modb_wal::decode_frames`]
-//! and applied only if it is clean, complete, and contiguous with the
+//! record": a `Records` run is decoded with [`modb_wal::decode_frames`],
+//! a `Blocks` run (protocol v2: verbatim segment frames, decompressed
+//! here on apply) with the per-version path recovery uses, and either is
+//! applied only if it is clean, complete, and contiguous with the
 //! applied watermark; duplicates below the watermark are skipped
 //! (idempotent re-delivery); anything else ends the session and the next
 //! `Hello` renegotiates from the watermark.
@@ -31,8 +33,9 @@ use modb_core::{Database, DatabaseConfig};
 use modb_routes::{Route, RouteNetwork};
 use modb_wal::snapshot::snapshot_file_name;
 use modb_wal::{
-    apply_record, decode_frames, list_segments, list_snapshots, read_snapshot, write_snapshot,
-    FrameEnd, WalError, WalOptions, WalWriter, DEFAULT_SNAPSHOT_RETENTION,
+    apply_record, decode_block_frames, decode_frames, list_segments, list_snapshots, read_snapshot,
+    write_snapshot, FrameEnd, WalError, WalOptions, WalRecord, WalWriter,
+    DEFAULT_SNAPSHOT_RETENTION, SEGMENT_VERSION, SEGMENT_VERSION_V2,
 };
 
 use crate::replication::protocol::{
@@ -468,6 +471,12 @@ impl Worker {
                 count,
                 frames,
             } => self.apply_run(start_lsn, count, &frames, tx, last_snapshot_lsn),
+            Message::Blocks {
+                start_lsn,
+                count,
+                version,
+                frames,
+            } => self.apply_blocks(start_lsn, count, version, &frames, tx, last_snapshot_lsn),
             Message::Heartbeat { leader_next_lsn } => {
                 self.shared
                     .leader_lsn
@@ -558,17 +567,59 @@ impl Worker {
         tx: &mut std::net::TcpStream,
         last_snapshot_lsn: &mut u64,
     ) -> Result<(), SessionEnd> {
-        let Some(wal) = self.wal.as_mut() else {
-            // Records before a bootstrap snapshot: protocol desync.
-            self.reject();
-            return Err(SessionEnd::Resync);
-        };
         let (records, _clean, end) = decode_frames(frames);
         if !matches!(end, FrameEnd::Clean) || records.len() != count as usize {
             // A torn or short run is never applied, not even partially.
             self.reject();
             return Err(SessionEnd::Resync);
         }
+        self.apply_records(start_lsn, records, tx, last_snapshot_lsn)
+    }
+
+    /// Applies one `Blocks` run: the frames are verbatim segment bytes,
+    /// so they decode through the same per-version path recovery uses
+    /// (v2 blocks decompress here, on apply). Wire chunks are whole
+    /// frames — a torn tail is not a crash artifact but corruption in
+    /// flight that slipped past the CRC, so it rejects the run.
+    fn apply_blocks(
+        &mut self,
+        start_lsn: u64,
+        count: u32,
+        version: u32,
+        frames: &[u8],
+        tx: &mut std::net::TcpStream,
+        last_snapshot_lsn: &mut u64,
+    ) -> Result<(), SessionEnd> {
+        let (records, _clean, end) = match version {
+            SEGMENT_VERSION => decode_frames(frames),
+            SEGMENT_VERSION_V2 => decode_block_frames(frames),
+            _ => {
+                self.reject();
+                return Err(SessionEnd::Resync);
+            }
+        };
+        if !matches!(end, FrameEnd::Clean) || records.len() != count as usize {
+            self.reject();
+            return Err(SessionEnd::Resync);
+        }
+        self.apply_records(start_lsn, records, tx, last_snapshot_lsn)
+    }
+
+    /// The shared tail of both run shapes: contiguity check against the
+    /// watermark, then record-by-record apply-before-log with idempotent
+    /// overlap skipping.
+    fn apply_records(
+        &mut self,
+        start_lsn: u64,
+        records: Vec<WalRecord>,
+        tx: &mut std::net::TcpStream,
+        last_snapshot_lsn: &mut u64,
+    ) -> Result<(), SessionEnd> {
+        let Some(wal) = self.wal.as_mut() else {
+            // Records before a bootstrap snapshot: protocol desync.
+            self.reject();
+            return Err(SessionEnd::Resync);
+        };
         let mut applied = self.shared.applied();
         if start_lsn > applied {
             // A gap would desynchronize the watermark from the stream.

@@ -23,7 +23,7 @@ use modb_wal::{list_segments, list_snapshots, read_snapshot, SegmentTailer, Shar
 use crate::durable::DurableDatabase;
 use crate::replication::horizon::ShipHorizon;
 use crate::replication::protocol::{
-    send_message, FrameReader, Message, ReadEvent, PROTOCOL_VERSION,
+    send_message, FrameReader, Message, ReadEvent, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Tuning for [`DurableDatabase::serve_replication`].
@@ -293,10 +293,10 @@ fn run_session(
                 next_lsn,
                 have_state,
             }) => {
-                if version != PROTOCOL_VERSION {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     return Err(WalError::Decode("replication protocol version mismatch"));
                 }
-                break (next_lsn, have_state);
+                break (version, next_lsn, have_state);
             }
             ReadEvent::Message(_) => {
                 return Err(WalError::Decode("expected Hello"));
@@ -308,7 +308,7 @@ fn run_session(
 
     // ---- Resume or bootstrap. The horizon entry (still at 0) keeps
     // every segment alive while we decide.
-    let (follower_lsn, have_state) = hello;
+    let (peer_version, follower_lsn, have_state) = hello;
     let leader_next = wal.next_lsn();
     let resumable = have_state && follower_lsn <= leader_next && {
         let segments = list_segments(dir)?;
@@ -363,7 +363,9 @@ fn run_session(
         })
     };
 
-    // ---- Ship loop.
+    // ---- Ship loop. A version-2 follower gets segment frames verbatim
+    // (`Blocks` — compressed blocks go out exactly as they sit on disk);
+    // a version-1 follower gets decoded records re-framed (`Records`).
     let mut tailer = SegmentTailer::new(dir, cursor);
     let mut last_heartbeat: Option<Instant> = None;
     let result = loop {
@@ -371,24 +373,42 @@ fn run_session(
             break Ok(());
         }
         horizon.advance(hid, acked.load(Ordering::SeqCst));
-        match tailer.poll(config.chunk_records) {
-            Ok(Some(chunk)) => {
-                let mut frames = Vec::new();
-                for rec in &chunk.records {
-                    rec.encode_frame(&mut frames);
-                }
-                let count = chunk.records.len();
-                let msg = Message::Records {
-                    start_lsn: chunk.start_lsn,
-                    count: count as u32,
-                    frames,
-                };
+        let next = if peer_version >= 2 {
+            tailer.poll_blocks(config.chunk_records).map(|opt| {
+                opt.map(|chunk| {
+                    let count = chunk.records;
+                    let msg = Message::Blocks {
+                        start_lsn: chunk.start_lsn,
+                        count: count as u32,
+                        version: chunk.segment_version,
+                        frames: chunk.frames,
+                    };
+                    (msg, count)
+                })
+            })
+        } else {
+            tailer.poll(config.chunk_records).map(|opt| {
+                opt.map(|chunk| {
+                    let mut frames = Vec::new();
+                    for rec in &chunk.records {
+                        rec.encode_frame(&mut frames);
+                    }
+                    let count = chunk.records.len() as u64;
+                    let msg = Message::Records {
+                        start_lsn: chunk.start_lsn,
+                        count: count as u32,
+                        frames,
+                    };
+                    (msg, count)
+                })
+            })
+        };
+        match next {
+            Ok(Some((msg, count))) => {
                 if let Err(e) = send_message(stream, &msg) {
                     break Err(e);
                 }
-                stats
-                    .records_shipped
-                    .fetch_add(count as u64, Ordering::Relaxed);
+                stats.records_shipped.fetch_add(count, Ordering::Relaxed);
             }
             Ok(None) => {
                 let due = last_heartbeat.is_none_or(|t| t.elapsed() >= config.heartbeat_interval);
@@ -413,4 +433,200 @@ fn run_session(
     let _ = stream.shutdown(Shutdown::Both);
     let _ = ack_thread.join();
     result
+}
+
+#[cfg(test)]
+mod tests {
+    //! Wire-level version negotiation: these speak the protocol by hand
+    //! (the in-tree [`crate::StandbyReplica`] always negotiates v2, so
+    //! the v1 `Records` fallback is only reachable from here).
+
+    use super::*;
+    use modb_core::{
+        Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+        UpdateMessage, UpdatePosition,
+    };
+    use modb_geom::Point;
+    use modb_policy::BoundKind;
+    use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+    use modb_wal::{
+        decode_block_frames, decode_frames, FrameEnd, FsyncPolicy, WalOptions, SEGMENT_VERSION,
+        SEGMENT_VERSION_V2,
+    };
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("modb-leader-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn vehicle(id: u64) -> MovingObject {
+        MovingObject {
+            id: ObjectId(id),
+            name: format!("veh-{id}"),
+            attr: PositionAttribute {
+                start_time: 0.0,
+                route: RouteId(1),
+                start_position: Point::new(0.0, 0.0),
+                start_arc: 0.0,
+                direction: Direction::Forward,
+                speed: 1.0,
+                policy: PolicyDescriptor::CostBased {
+                    kind: BoundKind::Immediate,
+                    update_cost: 5.0,
+                },
+            },
+            max_speed: 1.5,
+            trip_end: None,
+        }
+    }
+
+    /// A leader with `updates` logged records past the two registrations.
+    fn leader(name: &str, updates: u64) -> (DurableDatabase, ReplicationServer) {
+        let route = Route::from_vertices(
+            RouteId(1),
+            "main",
+            vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)],
+        )
+        .unwrap();
+        let db = Database::new(
+            RouteNetwork::from_routes([route]).unwrap(),
+            DatabaseConfig::default(),
+        );
+        let opts = WalOptions {
+            fsync: FsyncPolicy::Never,
+            max_segment_bytes: 512,
+            ..WalOptions::default()
+        };
+        let durable = DurableDatabase::create(tmp(name), db, opts).unwrap();
+        durable.register_moving(vehicle(1)).unwrap();
+        durable.register_moving(vehicle(2)).unwrap();
+        for i in 0..updates {
+            let id = ObjectId(1 + i % 2);
+            let msg = UpdateMessage::basic(i as f64, UpdatePosition::Arc((i % 100) as f64), 1.0);
+            durable.apply_update(id, &msg).unwrap();
+        }
+        let config = ReplicationConfig {
+            poll_interval: Duration::from_millis(1),
+            heartbeat_interval: Duration::from_millis(20),
+            ..ReplicationConfig::default()
+        };
+        let server = durable.serve_replication("127.0.0.1:0", config).unwrap();
+        (durable, server)
+    }
+
+    fn dial(server: &ReplicationServer, version: u32) -> (TcpStream, FrameReader) {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let mut tx = stream.try_clone().unwrap();
+        send_message(
+            &mut tx,
+            &Message::Hello {
+                version,
+                next_lsn: 0,
+                have_state: false,
+            },
+        )
+        .unwrap();
+        (tx, FrameReader::new(stream))
+    }
+
+    fn next_message(reader: &mut FrameReader) -> Option<Message> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match reader.poll() {
+                Ok(ReadEvent::Message(m)) => return Some(m),
+                Ok(ReadEvent::Idle) if Instant::now() < deadline => continue,
+                Ok(ReadEvent::Idle) => panic!("timed out waiting for a message"),
+                Ok(ReadEvent::Closed) | Err(_) => return None,
+            }
+        }
+    }
+
+    /// Drains the stream until `expected` records arrived, returning the
+    /// decoded records; `assert_shape` sees every data message.
+    fn drain(
+        reader: &mut FrameReader,
+        expected: u64,
+        mut assert_shape: impl FnMut(&Message) -> Vec<modb_wal::WalRecord>,
+    ) -> Vec<modb_wal::WalRecord> {
+        let mut records = Vec::new();
+        while (records.len() as u64) < expected {
+            let msg = next_message(reader).expect("leader closed before the stream caught up");
+            match msg {
+                Message::Heartbeat { .. } => continue,
+                Message::Snapshot { .. } => panic!("second bootstrap"),
+                ref data => records.extend(assert_shape(data)),
+            }
+        }
+        assert_eq!(records.len() as u64, expected, "no over-delivery");
+        records
+    }
+
+    #[test]
+    fn v1_hello_is_served_decoded_records() {
+        let (durable, server) = leader("v1-records", 38);
+        let total = 2 + 38;
+        let (_tx, mut reader) = dial(&server, 1);
+        let Some(Message::Snapshot { lsn: 0, .. }) = next_message(&mut reader) else {
+            panic!("expected the bootstrap snapshot at lsn 0");
+        };
+        let records = drain(&mut reader, total, |msg| {
+            let Message::Records { count, frames, .. } = msg else {
+                panic!("v1 follower must never see {msg:?}");
+            };
+            let (recs, _, end) = decode_frames(frames);
+            assert!(matches!(end, FrameEnd::Clean));
+            assert_eq!(recs.len(), *count as usize);
+            recs
+        });
+        assert_eq!(records.len() as u64, durable.wal().next_lsn());
+        server.shutdown();
+    }
+
+    #[test]
+    fn v2_hello_is_served_verbatim_blocks() {
+        let (durable, server) = leader("v2-blocks", 38);
+        let total = 2 + 38;
+        let (_tx, mut reader) = dial(&server, PROTOCOL_VERSION);
+        let Some(Message::Snapshot { lsn: 0, .. }) = next_message(&mut reader) else {
+            panic!("expected the bootstrap snapshot at lsn 0");
+        };
+        let records = drain(&mut reader, total, |msg| {
+            let Message::Blocks {
+                count,
+                version,
+                frames,
+                ..
+            } = msg
+            else {
+                panic!("v2 follower must never see {msg:?}");
+            };
+            let (recs, _, end) = match *version {
+                SEGMENT_VERSION => decode_frames(frames),
+                SEGMENT_VERSION_V2 => decode_block_frames(frames),
+                other => panic!("unknown segment version {other}"),
+            };
+            assert!(matches!(end, FrameEnd::Clean));
+            assert_eq!(recs.len(), *count as usize);
+            recs
+        });
+        assert_eq!(records.len() as u64, durable.wal().next_lsn());
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_hello_version_is_rejected() {
+        let (_durable, server) = leader("v3-reject", 4);
+        for version in [0, PROTOCOL_VERSION + 1, u32::MAX] {
+            let (_tx, mut reader) = dial(&server, version);
+            assert!(
+                next_message(&mut reader).is_none(),
+                "version {version} must be disconnected, not served"
+            );
+        }
+        server.shutdown();
+    }
 }

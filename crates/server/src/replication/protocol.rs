@@ -16,12 +16,22 @@
 //! | 3   | `Records`   | leader → follower  | `start_lsn u64, count u32, frames`    |
 //! | 4   | `Heartbeat` | leader → follower  | `leader_next_lsn u64`                 |
 //! | 5   | `Ack`       | follower → leader  | `applied_lsn u64`                     |
+//! | 6   | `Blocks`    | leader → follower  | `start_lsn u64, count u32, version u32, frames` |
 //!
 //! `Records` carries a run of consecutive WAL frames *in their on-disk
 //! encoding* (inner length + CRC per record), so the follower validates
 //! each record a second time with the same [`modb_wal::decode_frames`]
 //! path recovery uses — a partially delivered or torn run can never be
 //! applied.
+//!
+//! `Blocks` (protocol v2) is the same idea one layer up: a run of
+//! *segment* frames shipped verbatim off the leader's disk, each holding
+//! a v2 block (delta-coded, possibly LZ-compressed) or a single v1
+//! record, with `version` naming the segment format the frames came
+//! from. Compression paid once at append time is reused on the wire;
+//! the follower decompresses on apply. A v1 leader never sends it, and
+//! a v1 follower never negotiates it — the leader falls back to
+//! `Records` when a follower's `Hello` says version 1.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -29,9 +39,13 @@ use std::net::TcpStream;
 use modb_wal::codec::{put_u32, put_u64};
 use modb_wal::{crc32, ByteReader, WalError};
 
-/// Protocol version spoken by this build; a mismatched `Hello` is
-/// rejected.
-pub(crate) const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version spoken by this build. Version 2 adds the `Blocks`
+/// message (verbatim segment-frame shipping); a leader still accepts a
+/// version-1 `Hello` and serves that follower decoded `Records`.
+pub(crate) const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest follower version the leader still serves (`Records` path).
+pub(crate) const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Hard ceiling on one message's payload: a bootstrap snapshot plus
 /// headroom. Anything larger is treated as stream corruption.
@@ -60,6 +74,15 @@ pub(crate) enum Message {
     Heartbeat { leader_next_lsn: u64 },
     /// Follower's applied watermark; advances the leader's ship barrier.
     Ack { applied_lsn: u64 },
+    /// `count` consecutive records starting at `start_lsn`, as verbatim
+    /// segment frames from a segment of format `version` (v2 frames hold
+    /// whole compressed blocks; protocol v2 only).
+    Blocks {
+        start_lsn: u64,
+        count: u32,
+        version: u32,
+        frames: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -97,6 +120,18 @@ impl Message {
             Message::Ack { applied_lsn } => {
                 out.push(5);
                 put_u64(out, *applied_lsn);
+            }
+            Message::Blocks {
+                start_lsn,
+                count,
+                version,
+                frames,
+            } => {
+                out.push(6);
+                put_u64(out, *start_lsn);
+                put_u32(out, *count);
+                put_u32(out, *version);
+                out.extend_from_slice(frames);
             }
         }
     }
@@ -138,6 +173,18 @@ impl Message {
             5 => Message::Ack {
                 applied_lsn: r.u64()?,
             },
+            6 => {
+                let start_lsn = r.u64()?;
+                let count = r.u32()?;
+                let version = r.u32()?;
+                // The rest of the payload is the verbatim segment frames.
+                return Ok(Message::Blocks {
+                    start_lsn,
+                    count,
+                    version,
+                    frames: payload[payload.len() - r.remaining()..].to_vec(),
+                });
+            }
             _ => return Err(WalError::Decode("unknown replication message tag")),
         };
         if !r.is_empty() {
@@ -274,6 +321,12 @@ mod tests {
                 leader_next_lsn: 11,
             },
             Message::Ack { applied_lsn: 10 },
+            Message::Blocks {
+                start_lsn: 13,
+                count: 3,
+                version: 2,
+                frames: vec![0xca, 0xfe, 0xf0, 0x0d, 0x01],
+            },
         ]
     }
 

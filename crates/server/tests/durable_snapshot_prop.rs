@@ -28,10 +28,8 @@ static CASE: AtomicU64 = AtomicU64::new(0);
 
 fn tmp() -> PathBuf {
     let n = CASE.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "modb-durable-snap-prop-{}-{n}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("modb-durable-snap-prop-{}-{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }

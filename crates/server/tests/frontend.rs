@@ -143,9 +143,12 @@ fn stats_scrape_round_trips_every_counter() {
     // the writer's own view.
     let (bytes, fsyncs) = durable.wal().io_counters();
     assert!(bytes > 0);
-    assert_eq!(stats.wal_bytes_appended, bytes);
+    assert_eq!(stats.wal_bytes_written, bytes);
     assert_eq!(stats.wal_fsyncs, fsyncs);
     assert_eq!(stats.wal_next_lsn, durable.wal().next_lsn());
+    // Group-commit counters flow through the scrape; the fire-and-forget
+    // sends above never wait on a ticket, so only the shape is asserted.
+    assert!(stats.wal_group_commits <= stats.wal_group_tickets);
 
     // No replication attached.
     assert_eq!(stats.followers, 0);
@@ -156,9 +159,10 @@ fn stats_scrape_round_trips_every_counter() {
     assert!(text.contains("modb_queries_total 5"), "{text}");
     assert!(text.contains("modb_ingest_accepted_total 8"), "{text}");
     assert!(
-        text.contains(&format!("modb_wal_bytes_appended_total {bytes}")),
+        text.contains(&format!("modb_wal_bytes_written_total {bytes}")),
         "{text}"
     );
+    assert!(text.contains("modb_wal_group_commit_batch_size"), "{text}");
 
     client.close();
     service.shutdown();

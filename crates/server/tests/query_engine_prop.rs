@@ -71,11 +71,8 @@ fn apply_stream(db: &SharedDatabase, updates: &[(u64, f64, f64, f64)]) {
 
 fn region(x0: f64, x1: f64, t: f64) -> QueryRegion {
     let (lo, hi) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
-    let g = Polygon::rectangle(&Rect::new(
-        Point::new(lo, -2.0),
-        Point::new(hi + 0.5, 2.0),
-    ))
-    .unwrap();
+    let g =
+        Polygon::rectangle(&Rect::new(Point::new(lo, -2.0), Point::new(hi + 0.5, 2.0))).unwrap();
     QueryRegion::at_instant(g, t)
 }
 
@@ -96,10 +93,7 @@ fn spec() -> impl Strategy<Value = Spec> {
         1u64..40,
         proptest::collection::vec(update(), 0..60),
         proptest::collection::vec(update(), 1..60),
-        proptest::collection::vec(
-            (0.0f64..ROUTE_LEN, 0.0f64..ROUTE_LEN, 0.0f64..40.0),
-            1..6,
-        ),
+        proptest::collection::vec((0.0f64..ROUTE_LEN, 0.0f64..ROUTE_LEN, 0.0f64..40.0), 1..6),
     )
         .prop_map(|(n_objects, before, after, regions)| Spec {
             n_objects,

@@ -74,8 +74,7 @@ impl FaultProxy {
                                 let _ = client.shutdown(Shutdown::Both);
                                 continue;
                             };
-                            let fault =
-                                faults.lock().unwrap().pop_front().unwrap_or(Fault::None);
+                            let fault = faults.lock().unwrap().pop_front().unwrap_or(Fault::None);
                             let stop = Arc::clone(&stop);
                             pumps.push(std::thread::spawn(move || {
                                 run_connection(client, upstream, fault, stop)

@@ -69,7 +69,11 @@ fn restart_resumes_from_local_snapshot_without_rebootstrap() {
     );
     let frontier = leader.wal().next_lsn();
     assert!(replica.wait_for_lsn(frontier, WAIT), "resume timed out");
-    assert_eq!(replica.stats().bootstraps, 0, "restart must not re-bootstrap");
+    assert_eq!(
+        replica.stats().bootstraps,
+        0,
+        "restart must not re-bootstrap"
+    );
     // Steady is declared on the next heartbeat after catch-up.
     let deadline = std::time::Instant::now() + WAIT;
     while replica.phase() != ReplicaPhase::Steady {

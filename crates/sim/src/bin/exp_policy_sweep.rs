@@ -32,7 +32,11 @@ fn main() {
     eprintln!(
         "running sweep: {n_trips} trips x {duration} min x {} cost points{}",
         config.c_values.len(),
-        if include_baselines { " + baselines" } else { "" }
+        if include_baselines {
+            " + baselines"
+        } else {
+            ""
+        }
     );
     let result = run_sweep(&config);
     println!("{}", result.table(MetricKind::Messages));
@@ -47,7 +51,9 @@ fn main() {
     // `--csv <dir>` also writes plot-ready files.
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
         let dir = std::path::PathBuf::from(
-            args.get(pos + 1).map(String::as_str).unwrap_or("results/csv"),
+            args.get(pos + 1)
+                .map(String::as_str)
+                .unwrap_or("results/csv"),
         );
         std::fs::create_dir_all(&dir).expect("create csv dir");
         for (kind, name) in [
@@ -56,8 +62,7 @@ fn main() {
             (MetricKind::AvgUncertainty, "f3_uncertainty.csv"),
             (MetricKind::AvgDeviation, "avg_deviation.csv"),
         ] {
-            modb_sim::csv::write_sweep_csv(&result, kind, &dir.join(name))
-                .expect("write csv");
+            modb_sim::csv::write_sweep_csv(&result, kind, &dir.join(name)).expect("write csv");
         }
         eprintln!("csv written to {}", dir.display());
     }

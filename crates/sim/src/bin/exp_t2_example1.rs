@@ -6,9 +6,6 @@ use modb_sim::experiments::example1::{example1_table, run_example1};
 fn main() {
     let rows = run_example1();
     println!("{}", example1_table(&rows));
-    let worst = rows
-        .iter()
-        .map(|r| r.rel_error())
-        .fold(0.0_f64, f64::max);
+    let worst = rows.iter().map(|r| r.rel_error()).fold(0.0_f64, f64::max);
     println!("worst relative error: {:.3}%", worst * 100.0);
 }

@@ -16,11 +16,7 @@ use crate::experiments::policy_sweep::{MetricKind, SweepResult};
 /// # Errors
 ///
 /// I/O failures propagate.
-pub fn write_sweep_csv(
-    result: &SweepResult,
-    kind: MetricKind,
-    path: &Path,
-) -> std::io::Result<()> {
+pub fn write_sweep_csv(result: &SweepResult, kind: MetricKind, path: &Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     write!(f, "c")?;
     for p in &result.policies {
@@ -57,7 +53,10 @@ fn kind_value(kind: MetricKind, m: &crate::metrics::AggregateMetrics) -> f64 {
 /// I/O failures propagate.
 pub fn write_ablation_csv(rows: &[AblationRow], path: &Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    writeln!(f, "variant,messages,total_cost,avg_uncertainty,avg_deviation")?;
+    writeln!(
+        f,
+        "variant,messages,total_cost,avg_uncertainty,avg_deviation"
+    )?;
     for r in rows {
         writeln!(
             f,

@@ -14,3 +14,4 @@ pub mod replication;
 pub mod savings;
 pub mod sharding;
 pub mod wal_overhead;
+pub mod wal_throughput;

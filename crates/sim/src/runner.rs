@@ -113,8 +113,15 @@ mod tests {
         )
         .unwrap();
         let mut p = engine(5.0, 1.0);
-        let m = run_policy(&trip, &r, &mut p, &DeviationCost::UNIT_UNIFORM, DEFAULT_TICK, 1.5)
-            .unwrap();
+        let m = run_policy(
+            &trip,
+            &r,
+            &mut p,
+            &DeviationCost::UNIT_UNIFORM,
+            DEFAULT_TICK,
+            1.5,
+        )
+        .unwrap();
         assert_eq!(m.messages, 0);
         assert!(m.deviation_cost < 1e-9);
         assert!(m.total_cost < 1e-9);
@@ -137,8 +144,15 @@ mod tests {
         )
         .unwrap();
         let mut p = engine(5.0, 1.0);
-        let m = run_policy(&trip, &r, &mut p, &DeviationCost::UNIT_UNIFORM, DEFAULT_TICK, 1.0)
-            .unwrap();
+        let m = run_policy(
+            &trip,
+            &r,
+            &mut p,
+            &DeviationCost::UNIT_UNIFORM,
+            DEFAULT_TICK,
+            1.0,
+        )
+        .unwrap();
         // The ail engine fires once (at t ≈ 4.32) declaring ~0 average
         // speed; afterwards the stopped vehicle accrues no deviation...
         // except the declared avg speed is small but nonzero, so a couple
@@ -168,10 +182,24 @@ mod tests {
         .unwrap();
         let mut cheap = engine(0.5, 1.0);
         let mut dear = engine(20.0, 1.0);
-        let mc = run_policy(&trip, &r, &mut cheap, &DeviationCost::UNIT_UNIFORM, DEFAULT_TICK, 1.0)
-            .unwrap();
-        let md = run_policy(&trip, &r, &mut dear, &DeviationCost::UNIT_UNIFORM, DEFAULT_TICK, 1.0)
-            .unwrap();
+        let mc = run_policy(
+            &trip,
+            &r,
+            &mut cheap,
+            &DeviationCost::UNIT_UNIFORM,
+            DEFAULT_TICK,
+            1.0,
+        )
+        .unwrap();
+        let md = run_policy(
+            &trip,
+            &r,
+            &mut dear,
+            &DeviationCost::UNIT_UNIFORM,
+            DEFAULT_TICK,
+            1.0,
+        )
+        .unwrap();
         assert!(
             mc.messages > md.messages,
             "C=0.5 sent {} messages, C=20 sent {}",

@@ -52,13 +52,12 @@ impl Workload {
             let route = Route::from_vertices(
                 RouteId(i as u64),
                 format!("trip-route-{i}"),
-                vec![
-                    Point::new(0.0, i as f64),
-                    Point::new(120.0, i as f64),
-                ],
+                vec![Point::new(0.0, i as f64), Point::new(120.0, i as f64)],
             )
             .expect("straight route is valid");
-            let profile = config.profile.unwrap_or(TripProfile::ALL[i % TripProfile::ALL.len()]);
+            let profile = config
+                .profile
+                .unwrap_or(TripProfile::ALL[i % TripProfile::ALL.len()]);
             let curve = profile
                 .generate(&mut rng, config.duration, config.dt)
                 .expect("valid generator config");

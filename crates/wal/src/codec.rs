@@ -9,8 +9,8 @@
 //! including NaN payloads — which the property tests rely on.
 
 use modb_core::{
-    DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
-    StationaryObject, UpdateMessage, UpdatePosition,
+    DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute, StationaryObject,
+    UpdateMessage, UpdatePosition,
 };
 use modb_geom::Point;
 use modb_policy::BoundKind;
@@ -101,6 +101,53 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
 pub fn put_string(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends an LEB128 varint (7 bits per byte, little-endian groups,
+/// high bit = continuation). Small values — the common case for the v2
+/// delta stream — cost one byte.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads an LEB128 varint written by [`put_varint`].
+///
+/// # Errors
+///
+/// [`WalError::Decode`] on buffer underflow or a varint longer than the
+/// 10 bytes a `u64` can need.
+pub fn read_varint(r: &mut ByteReader<'_>) -> Result<u64, WalError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = r.u8().map_err(|_| WalError::Decode("varint underflow"))?;
+        if shift == 63 && b > 1 {
+            return Err(WalError::Decode("varint overflow"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WalError::Decode("varint overflow"));
+        }
+    }
+}
+
+/// ZigZag-maps a signed value so small magnitudes (of either sign)
+/// become small varints: 0, -1, 1, -2, … → 0, 1, 2, 3, …
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// A type with a binary wire form.
@@ -366,7 +413,8 @@ impl WalCodec for Route {
         for _ in 0..n {
             vertices.push(Point::decode(r)?);
         }
-        Route::from_vertices(id, name, vertices).map_err(|_| WalError::Decode("invalid route geometry"))
+        Route::from_vertices(id, name, vertices)
+            .map_err(|_| WalError::Decode("invalid route geometry"))
     }
 }
 
@@ -500,7 +548,11 @@ mod tests {
             max_speed: 1.5,
             trip_end: Some(240.0),
         });
-        round_trip(StationaryObject::new(ObjectId(1), "depot", Point::new(1.0, 2.0)));
+        round_trip(StationaryObject::new(
+            ObjectId(1),
+            "depot",
+            Point::new(1.0, 2.0),
+        ));
     }
 
     #[test]
@@ -508,14 +560,22 @@ mod tests {
         let route = Route::from_vertices(
             RouteId(3),
             "bent",
-            vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0), Point::new(10.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 5.0),
+                Point::new(10.0, 0.0),
+            ],
         )
         .unwrap();
         round_trip(route.clone());
         let network = RouteNetwork::from_routes([
             route,
-            Route::from_vertices(RouteId(4), "straight", vec![Point::new(0.0, 1.0), Point::new(9.0, 1.0)])
-                .unwrap(),
+            Route::from_vertices(
+                RouteId(4),
+                "straight",
+                vec![Point::new(0.0, 1.0), Point::new(9.0, 1.0)],
+            )
+            .unwrap(),
         ])
         .unwrap();
         let mut buf = Vec::new();
@@ -523,7 +583,10 @@ mod tests {
         let back = RouteNetwork::decode(&mut ByteReader::new(&buf)).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.route_ids(), network.route_ids());
-        assert_eq!(back.get(RouteId(3)).unwrap(), network.get(RouteId(3)).unwrap());
+        assert_eq!(
+            back.get(RouteId(3)).unwrap(),
+            network.get(RouteId(3)).unwrap()
+        );
     }
 
     #[test]
@@ -554,5 +617,49 @@ mod tests {
         assert!(PolicyDescriptor::decode(&mut ByteReader::new(&[9])).is_err());
         assert!(UpdatePosition::decode(&mut ByteReader::new(&[9])).is_err());
         assert!(BoundKind::decode(&mut ByteReader::new(&[9])).is_err());
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(read_varint(&mut r).unwrap(), v);
+            assert!(r.is_empty());
+        }
+        assert_eq!(
+            {
+                let mut b = Vec::new();
+                put_varint(&mut b, 0);
+                b.len()
+            },
+            1,
+            "small values cost one byte"
+        );
+        // Underflow and over-long encodings are rejected.
+        assert!(read_varint(&mut ByteReader::new(&[0x80])).is_err());
+        assert!(read_varint(&mut ByteReader::new(&[0xff; 11])).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips_and_orders_by_magnitude() {
+        for v in [0i64, -1, 1, -2, 2, 1_000, -1_000, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-1) < zigzag(2));
+        assert_eq!(zigzag(0), 0);
     }
 }

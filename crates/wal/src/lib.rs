@@ -48,10 +48,13 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod block;
 pub mod codec;
+pub mod commit;
 pub mod compact;
 pub mod crc32;
 pub mod error;
+pub mod lz;
 pub mod record;
 pub mod recovery;
 pub mod segment;
@@ -59,15 +62,18 @@ pub mod ship;
 pub mod snapshot;
 pub mod writer;
 
+pub use block::{decode_block, decode_block_frames, encode_block, frame_block, peek_block_count};
 pub use codec::{ByteReader, WalCodec};
-pub use compact::{
-    compact, compact_with_barrier, CompactionReport, DEFAULT_SNAPSHOT_RETENTION,
-};
+pub use commit::{GroupCommitHandle, GroupCommitStats, GroupCommitter};
+pub use compact::{compact, compact_with_barrier, CompactionReport, DEFAULT_SNAPSHOT_RETENTION};
 pub use crc32::crc32;
 pub use error::WalError;
 pub use record::{decode_frames, FrameEnd, WalRecord, MAX_RECORD_BYTES};
 pub use recovery::{apply_record, recover, Recovered, RecoveryReport};
-pub use segment::{list_segments, scan_segment, SegmentScan};
-pub use ship::{SegmentTailer, TailChunk};
+pub use segment::{
+    list_segments, read_segment_version, scan_segment, SegmentScan, SEGMENT_VERSION,
+    SEGMENT_VERSION_V2,
+};
+pub use ship::{RawChunk, SegmentTailer, TailChunk};
 pub use snapshot::{list_snapshots, read_snapshot, write_snapshot};
-pub use writer::{FsyncPolicy, SharedWal, WalBatch, WalOptions, WalWriter};
+pub use writer::{FsyncPolicy, SegmentFormat, SharedWal, WalBatch, WalOptions, WalWriter};

@@ -132,39 +132,60 @@ pub enum FrameEnd {
     },
 }
 
+/// Splits the first CRC frame off `buf`: `Ok(Some((payload, frame_len)))`
+/// for a whole valid frame, `Ok(None)` at end of input, `Err(reason)`
+/// when the prefix is not a complete valid frame (a torn tail). Shared by
+/// the v1 record scan, the v2 block scan, and the tailer.
+pub(crate) fn split_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, &'static str> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf.len() < 8 {
+        return Err("truncated frame header");
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if len == 0 || len > MAX_RECORD_BYTES {
+        return Err("implausible frame length");
+    }
+    let len = len as usize;
+    if buf.len() < 8 + len {
+        return Err("truncated frame payload");
+    }
+    let payload = &buf[8..8 + len];
+    if crc32(payload) != crc {
+        return Err("crc mismatch");
+    }
+    Ok(Some((payload, 8 + len)))
+}
+
 /// Decodes consecutive frames from `buf`, returning the records, the byte
 /// length of the valid prefix, and how decoding ended. Never fails: any
 /// invalid frame terminates the scan.
 pub fn decode_frames(buf: &[u8]) -> (Vec<WalRecord>, usize, FrameEnd) {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    while pos < buf.len() {
-        let rest = &buf[pos..];
-        if rest.len() < 8 {
-            return (records, pos, FrameEnd::Torn { reason: "truncated frame header" });
+    loop {
+        match split_frame(&buf[pos..]) {
+            Ok(None) => return (records, pos, FrameEnd::Clean),
+            Ok(Some((payload, frame_len))) => match WalRecord::decode_payload(payload) {
+                Ok(rec) => {
+                    records.push(rec);
+                    pos += frame_len;
+                }
+                Err(_) => {
+                    return (
+                        records,
+                        pos,
+                        FrameEnd::Torn {
+                            reason: "undecodable payload",
+                        },
+                    )
+                }
+            },
+            Err(reason) => return (records, pos, FrameEnd::Torn { reason }),
         }
-        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
-        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
-        if len == 0 || len > MAX_RECORD_BYTES {
-            return (records, pos, FrameEnd::Torn { reason: "implausible frame length" });
-        }
-        let len = len as usize;
-        if rest.len() < 8 + len {
-            return (records, pos, FrameEnd::Torn { reason: "truncated frame payload" });
-        }
-        let payload = &rest[8..8 + len];
-        if crc32(payload) != crc {
-            return (records, pos, FrameEnd::Torn { reason: "crc mismatch" });
-        }
-        match WalRecord::decode_payload(payload) {
-            Ok(rec) => records.push(rec),
-            Err(_) => {
-                return (records, pos, FrameEnd::Torn { reason: "undecodable payload" });
-            }
-        }
-        pos += 8 + len;
     }
-    (records, pos, FrameEnd::Clean)
 }
 
 #[cfg(test)]
@@ -274,7 +295,12 @@ mod tests {
         let (decoded, clean, end) = decode_frames(&buf);
         assert_eq!(decoded.len(), 1);
         assert_eq!(clean, valid);
-        assert_eq!(end, FrameEnd::Torn { reason: "implausible frame length" });
+        assert_eq!(
+            end,
+            FrameEnd::Torn {
+                reason: "implausible frame length"
+            }
+        );
     }
 
     #[test]

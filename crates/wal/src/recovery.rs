@@ -79,7 +79,11 @@ impl fmt::Display for RecoveryReport {
             self.skipped_records,
         )?;
         match self.torn {
-            Some(reason) => write!(f, "truncated {} torn bytes ({reason}); ", self.truncated_bytes)?,
+            Some(reason) => write!(
+                f,
+                "truncated {} torn bytes ({reason}); ",
+                self.truncated_bytes
+            )?,
             None => write!(f, "clean tail; ")?,
         }
         write!(f, "next lsn {}", self.next_lsn)
@@ -179,7 +183,10 @@ pub fn recover(dir: &Path) -> Result<Recovered, WalError> {
             // A crash between creating a segment file and syncing its
             // header leaves a short header in the *last* file: that is a
             // torn tail, not corruption. Anything else is.
-            Err(WalError::CorruptSegment { reason: "short header", .. }) if last => {
+            Err(WalError::CorruptSegment {
+                reason: "short header",
+                ..
+            }) if last => {
                 std::fs::remove_file(path)?;
                 report.torn = Some("short header");
                 break;
@@ -237,18 +244,16 @@ mod tests {
     use crate::snapshot::write_snapshot;
     use crate::writer::{FsyncPolicy, WalOptions, WalWriter};
     use modb_core::{
-        DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, StationaryObject,
-        UpdateMessage, UpdatePosition,
+        DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, StationaryObject, UpdateMessage,
+        UpdatePosition,
     };
     use modb_geom::Point;
     use modb_policy::BoundKind;
     use modb_routes::{Direction, Route, RouteId};
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "modb-wal-recovery-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("modb-wal-recovery-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -370,7 +375,9 @@ mod tests {
         for t in [0.0, 6.0, 12.0] {
             let g = Polygon::rectangle(&Rect::new(Point::new(0.0, -20.0), Point::new(100.0, 20.0)))
                 .unwrap();
-            let ra = a.range_query(&QueryRegion::at_instant(g.clone(), t)).unwrap();
+            let ra = a
+                .range_query(&QueryRegion::at_instant(g.clone(), t))
+                .unwrap();
             let rb = b.range_query(&QueryRegion::at_instant(g, t)).unwrap();
             assert_eq!(ra.must, rb.must);
             assert_eq!(ra.may, rb.may);
@@ -412,6 +419,7 @@ mod tests {
         let opts = WalOptions {
             fsync: FsyncPolicy::Never,
             max_segment_bytes: 200, // force many segments
+            ..WalOptions::default()
         };
         let reference = scripted(&dir, 4, opts);
         assert!(list_segments(&dir).unwrap().len() > 1);
@@ -454,6 +462,7 @@ mod tests {
         let opts = WalOptions {
             fsync: FsyncPolicy::Never,
             max_segment_bytes: 200,
+            ..WalOptions::default()
         };
         scripted(&dir, usize::MAX, opts);
         let segments = list_segments(&dir).unwrap();
@@ -478,6 +487,7 @@ mod tests {
         let opts = WalOptions {
             fsync: FsyncPolicy::Never,
             max_segment_bytes: 200,
+            ..WalOptions::default()
         };
         scripted(&dir, usize::MAX, opts);
         let segments = list_segments(&dir).unwrap();

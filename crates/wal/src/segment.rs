@@ -23,8 +23,11 @@ use crate::record::{decode_frames, FrameEnd, WalRecord};
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"MODBWAL1";
-/// Current segment format version.
+/// v1 segment format: one record per CRC frame.
 pub const SEGMENT_VERSION: u32 = 1;
+/// v2 segment format: one delta-encoded (optionally compressed) *block*
+/// of records per CRC frame — see [`crate::block`].
+pub const SEGMENT_VERSION_V2: u32 = 2;
 /// Segment header length in bytes.
 pub const SEGMENT_HEADER_BYTES: u64 = 20;
 
@@ -43,13 +46,54 @@ pub fn parse_segment_name(name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// The encoded segment header.
-pub fn encode_header(start_lsn: u64) -> Vec<u8> {
+/// The encoded segment header for a given format version.
+pub fn encode_header(version: u32, start_lsn: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(SEGMENT_HEADER_BYTES as usize);
     out.extend_from_slice(&SEGMENT_MAGIC);
-    put_u32(&mut out, SEGMENT_VERSION);
+    put_u32(&mut out, version);
     put_u64(&mut out, start_lsn);
     out
+}
+
+/// Reads just the format version from a segment's header — what
+/// [`crate::WalWriter::resume`] needs to keep appending to an existing
+/// tail segment in *its* format rather than the configured one.
+///
+/// # Errors
+///
+/// [`WalError::CorruptSegment`] for a short header, bad magic, or an
+/// unknown version; I/O failures.
+pub fn read_segment_version(path: &Path) -> Result<u32, WalError> {
+    let mut head = [0u8; SEGMENT_HEADER_BYTES as usize];
+    let mut file = fs::File::open(path)?;
+    let mut got = 0usize;
+    while got < head.len() {
+        let n = file.read(&mut head[got..])?;
+        if n == 0 {
+            return Err(WalError::CorruptSegment {
+                path: path.to_path_buf(),
+                offset: 0,
+                reason: "short header",
+            });
+        }
+        got += n;
+    }
+    if head[..8] != SEGMENT_MAGIC {
+        return Err(WalError::CorruptSegment {
+            path: path.to_path_buf(),
+            offset: 0,
+            reason: "bad magic",
+        });
+    }
+    let version = u32::from_le_bytes([head[8], head[9], head[10], head[11]]);
+    if version != SEGMENT_VERSION && version != SEGMENT_VERSION_V2 {
+        return Err(WalError::CorruptSegment {
+            path: path.to_path_buf(),
+            offset: 8,
+            reason: "unsupported version",
+        });
+    }
+    Ok(version)
 }
 
 /// Lists the segment files in `dir`, sorted by start LSN. Non-segment
@@ -71,6 +115,9 @@ pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
 pub struct SegmentScan {
     /// Start LSN from the header.
     pub start_lsn: u64,
+    /// Format version from the header ([`SEGMENT_VERSION`] or
+    /// [`SEGMENT_VERSION_V2`]).
+    pub version: u32,
     /// Records decoded from the valid prefix, in order.
     pub records: Vec<WalRecord>,
     /// Byte length of the valid prefix (header + whole frames).
@@ -103,16 +150,21 @@ pub fn scan_segment(path: &Path) -> Result<SegmentScan, WalError> {
     let mut r = ByteReader::new(&bytes[8..SEGMENT_HEADER_BYTES as usize]);
     let version = r.u32().expect("header length checked");
     let start_lsn = r.u64().expect("header length checked");
-    if version != SEGMENT_VERSION {
-        return Err(WalError::CorruptSegment {
-            path: path.to_path_buf(),
-            offset: 8,
-            reason: "unsupported version",
-        });
-    }
-    let (records, clean, end) = decode_frames(&bytes[SEGMENT_HEADER_BYTES as usize..]);
+    let body = &bytes[SEGMENT_HEADER_BYTES as usize..];
+    let (records, clean, end) = match version {
+        SEGMENT_VERSION => decode_frames(body),
+        SEGMENT_VERSION_V2 => crate::block::decode_block_frames(body),
+        _ => {
+            return Err(WalError::CorruptSegment {
+                path: path.to_path_buf(),
+                offset: 8,
+                reason: "unsupported version",
+            })
+        }
+    };
     Ok(SegmentScan {
         start_lsn,
+        version,
         records,
         clean_bytes: SEGMENT_HEADER_BYTES + clean as u64,
         torn: match end {
@@ -139,11 +191,43 @@ mod tests {
 
     #[test]
     fn header_encodes_magic_version_lsn() {
-        let h = encode_header(77);
-        assert_eq!(h.len() as u64, SEGMENT_HEADER_BYTES);
-        assert_eq!(&h[..8], &SEGMENT_MAGIC);
-        let mut r = ByteReader::new(&h[8..]);
-        assert_eq!(r.u32().unwrap(), SEGMENT_VERSION);
-        assert_eq!(r.u64().unwrap(), 77);
+        for version in [SEGMENT_VERSION, SEGMENT_VERSION_V2] {
+            let h = encode_header(version, 77);
+            assert_eq!(h.len() as u64, SEGMENT_HEADER_BYTES);
+            assert_eq!(&h[..8], &SEGMENT_MAGIC);
+            let mut r = ByteReader::new(&h[8..]);
+            assert_eq!(r.u32().unwrap(), version);
+            assert_eq!(r.u64().unwrap(), 77);
+        }
+    }
+
+    #[test]
+    fn version_peek_matches_header() {
+        let dir = std::env::temp_dir().join(format!("modb-wal-segver-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for version in [SEGMENT_VERSION, SEGMENT_VERSION_V2] {
+            let path = dir.join(segment_file_name(u64::from(version)));
+            std::fs::write(&path, encode_header(version, 5)).unwrap();
+            assert_eq!(read_segment_version(&path).unwrap(), version);
+        }
+        let bad = dir.join(segment_file_name(99));
+        std::fs::write(&bad, encode_header(9, 5)).unwrap();
+        assert!(matches!(
+            read_segment_version(&bad),
+            Err(WalError::CorruptSegment {
+                reason: "unsupported version",
+                ..
+            })
+        ));
+        std::fs::write(&bad, &encode_header(1, 5)[..7]).unwrap();
+        assert!(matches!(
+            read_segment_version(&bad),
+            Err(WalError::CorruptSegment {
+                reason: "short header",
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -19,6 +19,18 @@
 //!   from a snapshot. Leaders prevent this for connected followers with
 //!   the ship barrier ([`crate::compact_with_barrier`]).
 //!
+//! The tailer is format-aware: v1 segments carry one record per frame,
+//! v2 segments one *block* per frame ([`crate::block`]). Two delivery
+//! shapes exist:
+//!
+//! - [`SegmentTailer::poll`] decodes — a [`TailChunk`] of records,
+//!   whatever the segment format. The local-apply path.
+//! - [`SegmentTailer::poll_blocks`] ships the on-disk frame bytes
+//!   **verbatim** as a [`RawChunk`], peeking only the per-frame record
+//!   counts for LSN accounting. Compressed blocks cross the replication
+//!   wire as-is and the follower decompresses on apply — the disk-format
+//!   savings are the wire-format savings.
+//!
 //! Reads are incremental: the tailer remembers its byte offset in the
 //! current segment and only reads the suffix on each poll, so following
 //! a hot log costs O(new bytes), not O(segment).
@@ -27,10 +39,10 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
-use crate::crc32::crc32;
+use crate::block::{decode_block, peek_block_count};
 use crate::error::WalError;
-use crate::record::{WalRecord, MAX_RECORD_BYTES};
-use crate::segment::{list_segments, scan_segment, SEGMENT_HEADER_BYTES};
+use crate::record::{split_frame, WalRecord};
+use crate::segment::{list_segments, scan_segment, SEGMENT_HEADER_BYTES, SEGMENT_VERSION_V2};
 
 /// A run of consecutive records delivered by one [`SegmentTailer::poll`].
 #[derive(Debug, Clone, PartialEq)]
@@ -49,11 +61,37 @@ impl TailChunk {
     }
 }
 
+/// A run of whole on-disk frames delivered by
+/// [`SegmentTailer::poll_blocks`] — CRC-validated but not decoded, ready
+/// to ship verbatim. A chunk never spans segments, so one format version
+/// describes all its frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawChunk {
+    /// LSN of the first record in the first frame.
+    pub start_lsn: u64,
+    /// Total records across the frames (peeked from block headers).
+    pub records: u64,
+    /// Segment format version the frames were written in
+    /// ([`crate::SEGMENT_VERSION`] or [`crate::SEGMENT_VERSION_V2`]).
+    pub segment_version: u32,
+    /// The frame bytes exactly as stored (`len + crc + payload`, …).
+    pub frames: Vec<u8>,
+}
+
+impl RawChunk {
+    /// LSN one past the last record in the chunk.
+    pub fn end_lsn(&self) -> u64 {
+        self.start_lsn + self.records
+    }
+}
+
 /// Byte position within the segment currently being tailed.
 #[derive(Debug, Clone)]
 struct Position {
     start_lsn: u64,
     path: PathBuf,
+    /// The segment's format version, from its header.
+    version: u32,
     /// Offset of the next unread frame (≥ the header length); everything
     /// before it has been validated and delivered.
     offset: u64,
@@ -72,6 +110,11 @@ impl SegmentTailer {
     /// A tailer positioned at `start_lsn` in `dir`. Positioning is lazy:
     /// the directory is not touched until the first poll, so the cursor
     /// may point at log that does not exist yet.
+    ///
+    /// On a v2 segment the cursor may land *inside* a block; blocks are
+    /// indivisible on the wire, so the tailer rewinds to the enclosing
+    /// block boundary and re-delivers the block's earlier records —
+    /// consumers already skip below their applied watermark.
     pub fn new(dir: impl Into<PathBuf>, start_lsn: u64) -> Self {
         SegmentTailer {
             dir: dir.into(),
@@ -85,9 +128,11 @@ impl SegmentTailer {
         self.next_lsn
     }
 
-    /// Reads up to `max_records` whole records at the cursor. `Ok(None)`
-    /// means caught up: nothing new is on disk yet (including the
-    /// in-flight-write case of a torn tail on the last segment).
+    /// Reads and decodes up to `max_records` whole records at the cursor
+    /// (a v2 block is decoded whole, so the cap can overshoot by one
+    /// block). `Ok(None)` means caught up: nothing new is on disk yet
+    /// (including the in-flight-write case of a torn tail on the last
+    /// segment).
     ///
     /// # Errors
     ///
@@ -108,7 +153,8 @@ impl SegmentTailer {
                 return Ok(None);
             }
             let pos = self.pos.as_ref().expect("located above");
-            let (records, consumed, torn) = read_frames_from(&pos.path, pos.offset, max_records)?;
+            let (records, consumed, torn) =
+                read_frames_from(&pos.path, pos.version, pos.offset, max_records)?;
             if !records.is_empty() {
                 let chunk = TailChunk {
                     start_lsn: self.next_lsn,
@@ -119,44 +165,91 @@ impl SegmentTailer {
                 self.next_lsn = chunk.end_lsn();
                 return Ok(Some(chunk));
             }
-            // Nothing whole at the cursor: either the segment is finished
-            // and the log continues in a successor, or we are caught up.
-            let segments = list_segments(&self.dir)?;
-            let is_last = segments
-                .last()
-                .is_some_and(|&(start, _)| start == pos.start_lsn);
-            if let Some(reason) = torn {
-                if is_last {
-                    return Ok(None); // write in flight; retry later
-                }
-                return Err(WalError::CorruptSegment {
-                    path: pos.path.clone(),
-                    offset: pos.offset,
-                    reason,
-                });
+            if !self.advance_past_empty(torn)? {
+                return Ok(None);
             }
-            if segments
-                .iter()
-                .any(|&(start, _)| start == self.next_lsn && start > pos.start_lsn)
-            {
-                // The current segment ended exactly at the cursor and a
-                // successor picks up there: switch and read it.
-                self.pos = None;
-                continue;
-            }
-            // Caught up — or our file read raced a rotation (the final
-            // frames of this segment landed after the read but before
-            // the listing). Either way the next poll re-reads the suffix
-            // and makes progress, so report nothing new rather than
-            // misdiagnose the race.
-            return Ok(None);
         }
         Ok(None)
     }
 
+    /// Like [`SegmentTailer::poll`], but delivers the on-disk frame
+    /// bytes verbatim (CRC-validated, record counts peeked, payloads
+    /// *not* decoded) for shipping. Same torn-tail/gap semantics.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SegmentTailer::poll`].
+    pub fn poll_blocks(&mut self, max_records: usize) -> Result<Option<RawChunk>, WalError> {
+        if max_records == 0 {
+            return Ok(None);
+        }
+        for _ in 0..2 {
+            if self.pos.is_none() && !self.locate()? {
+                return Ok(None);
+            }
+            let pos = self.pos.as_ref().expect("located above");
+            let raw = read_raw_frames_from(&pos.path, pos.version, pos.offset, max_records)?;
+            if raw.records > 0 {
+                let chunk = RawChunk {
+                    start_lsn: self.next_lsn,
+                    records: raw.records,
+                    segment_version: pos.version,
+                    frames: raw.frames,
+                };
+                let pos = self.pos.as_mut().expect("located above");
+                pos.offset += raw.consumed;
+                self.next_lsn = chunk.end_lsn();
+                return Ok(Some(chunk));
+            }
+            if !self.advance_past_empty(raw.torn)? {
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    /// After a read that yielded no records: decides whether to retry on
+    /// a successor segment (`Ok(true)`), report caught-up (`Ok(false)`),
+    /// or fail. Shared tail logic of both poll flavours.
+    fn advance_past_empty(&mut self, torn: Option<&'static str>) -> Result<bool, WalError> {
+        let pos = self.pos.as_ref().expect("positioned");
+        // Nothing whole at the cursor: either the segment is finished
+        // and the log continues in a successor, or we are caught up.
+        let segments = list_segments(&self.dir)?;
+        let is_last = segments
+            .last()
+            .is_some_and(|&(start, _)| start == pos.start_lsn);
+        if let Some(reason) = torn {
+            if is_last {
+                return Ok(false); // write in flight; retry later
+            }
+            return Err(WalError::CorruptSegment {
+                path: pos.path.clone(),
+                offset: pos.offset,
+                reason,
+            });
+        }
+        if segments
+            .iter()
+            .any(|&(start, _)| start == self.next_lsn && start > pos.start_lsn)
+        {
+            // The current segment ended exactly at the cursor and a
+            // successor picks up there: switch and read it.
+            self.pos = None;
+            return Ok(true);
+        }
+        // Caught up — or our file read raced a rotation (the final
+        // frames of this segment landed after the read but before
+        // the listing). Either way the next poll re-reads the suffix
+        // and makes progress, so report nothing new rather than
+        // misdiagnose the race.
+        Ok(false)
+    }
+
     /// Finds the segment containing `next_lsn` and the byte offset of
-    /// that record within it. Returns `false` when the log has not grown
-    /// to the cursor yet.
+    /// that record within it (rounded down to a block boundary on v2
+    /// segments, rewinding `next_lsn` to match). Returns `false` when
+    /// the log has not grown to the cursor yet.
     fn locate(&mut self) -> Result<bool, WalError> {
         let segments = list_segments(&self.dir)?;
         let Some(idx) = segments
@@ -214,41 +307,66 @@ impl SegmentTailer {
                 reason: scan.torn.unwrap_or("segment ends before successor"),
             });
         }
-        let offset = SEGMENT_HEADER_BYTES + frame_bytes(path, skip)?;
+        let (frame_bytes, skipped) = skip_offset(path, scan.version, skip)?;
+        if skipped < skip {
+            // v2 cursor inside a block: blocks are indivisible, so back
+            // up to the boundary and re-deliver (consumers dedupe by
+            // watermark).
+            self.next_lsn = start_lsn + skipped;
+        }
         self.pos = Some(Position {
             start_lsn,
             path: path.clone(),
-            offset,
+            version: scan.version,
+            offset: SEGMENT_HEADER_BYTES + frame_bytes,
         });
         Ok(true)
     }
 }
 
-/// Byte length of the first `n_frames` whole frames after the header of
-/// `path`. The frames were already validated by the caller's scan, so
-/// this only walks the length prefixes.
-fn frame_bytes(path: &Path, n_frames: u64) -> Result<u64, WalError> {
-    if n_frames == 0 {
-        return Ok(0);
+/// Byte length and record count of the longest run of whole frames after
+/// the header of `path` that holds **at most** `skip` records. The
+/// frames were already validated by the caller's scan, so this only
+/// walks length prefixes and (for v2) block-header counts. Returns
+/// `(byte_len, records_covered)`; `records_covered < skip` iff the skip
+/// target falls inside a v2 block.
+fn skip_offset(path: &Path, version: u32, skip: u64) -> Result<(u64, u64), WalError> {
+    if skip == 0 {
+        return Ok((0, 0));
     }
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     let body = &bytes[SEGMENT_HEADER_BYTES as usize..];
     let mut pos = 0usize;
-    for _ in 0..n_frames {
-        let len =
-            u32::from_le_bytes([body[pos], body[pos + 1], body[pos + 2], body[pos + 3]]) as usize;
-        pos += 8 + len;
+    let mut skipped = 0u64;
+    while skipped < skip {
+        let Ok(Some((payload, frame_len))) = split_frame(&body[pos..]) else {
+            break; // validated by the caller's scan; stop defensively
+        };
+        let count = if version == SEGMENT_VERSION_V2 {
+            match peek_block_count(payload) {
+                Ok(n) => n,
+                Err(_) => break,
+            }
+        } else {
+            1
+        };
+        if skipped + count > skip {
+            break; // the target LSN is inside this block
+        }
+        pos += frame_len;
+        skipped += count;
     }
-    Ok(pos as u64)
+    Ok((pos as u64, skipped))
 }
 
-/// Reads up to `max_records` whole frames starting at `offset`, returning
-/// the records, bytes consumed, and the torn reason when the suffix ends
-/// mid-frame. Mirrors [`crate::decode_frames`] but stops at the record
-/// cap so a long catch-up is delivered in bounded chunks.
+/// Reads and decodes up to `max_records` records' worth of whole frames
+/// starting at `offset`, returning the records, bytes consumed, and the
+/// torn reason when the suffix ends mid-frame. A v2 block is decoded
+/// whole, so the cap can overshoot by one block.
 fn read_frames_from(
     path: &Path,
+    version: u32,
     offset: u64,
     max_records: usize,
 ) -> Result<(Vec<WalRecord>, u64, Option<&'static str>), WalError> {
@@ -260,37 +378,95 @@ fn read_frames_from(
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos < buf.len() && records.len() < max_records {
-        let rest = &buf[pos..];
-        if rest.len() < 8 {
-            return Ok((records, pos as u64, Some("truncated frame header")));
+        match split_frame(&buf[pos..]) {
+            Ok(None) => break,
+            Ok(Some((payload, frame_len))) => {
+                if version == SEGMENT_VERSION_V2 {
+                    match decode_block(payload) {
+                        Ok(recs) => records.extend(recs),
+                        Err(_) => return Ok((records, pos as u64, Some("undecodable block"))),
+                    }
+                } else {
+                    match WalRecord::decode_payload(payload) {
+                        Ok(rec) => records.push(rec),
+                        Err(_) => return Ok((records, pos as u64, Some("undecodable payload"))),
+                    }
+                }
+                pos += frame_len;
+            }
+            Err(reason) => return Ok((records, pos as u64, Some(reason))),
         }
-        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
-        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
-        if len == 0 || len > MAX_RECORD_BYTES {
-            return Ok((records, pos as u64, Some("implausible frame length")));
-        }
-        let len = len as usize;
-        if rest.len() < 8 + len {
-            return Ok((records, pos as u64, Some("truncated frame payload")));
-        }
-        let payload = &rest[8..8 + len];
-        if crc32(payload) != crc {
-            return Ok((records, pos as u64, Some("crc mismatch")));
-        }
-        match WalRecord::decode_payload(payload) {
-            Ok(rec) => records.push(rec),
-            Err(_) => return Ok((records, pos as u64, Some("undecodable payload"))),
-        }
-        pos += 8 + len;
     }
     Ok((records, pos as u64, None))
+}
+
+/// What [`read_raw_frames_from`] read: whole validated frames, verbatim.
+struct RawFrames {
+    /// Records the frames carry (blocks count their contents).
+    records: u64,
+    /// Bytes consumed from the segment (equals `frames.len()`).
+    consumed: u64,
+    /// The frame bytes, CRC-validated and unmodified.
+    frames: Vec<u8>,
+    /// Why reading stopped early, if the tail was torn.
+    torn: Option<&'static str>,
+}
+
+/// Raw twin of [`read_frames_from`]: validates CRCs and peeks record
+/// counts but keeps the frame bytes verbatim.
+fn read_raw_frames_from(
+    path: &Path,
+    version: u32,
+    offset: u64,
+    max_records: usize,
+) -> Result<RawFrames, WalError> {
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+
+    let mut count = 0u64;
+    let mut pos = 0usize;
+    let mut torn = None;
+    while pos < buf.len() && count < max_records as u64 {
+        match split_frame(&buf[pos..]) {
+            Ok(None) => break,
+            Ok(Some((payload, frame_len))) => {
+                let n = if version == SEGMENT_VERSION_V2 {
+                    match peek_block_count(payload) {
+                        Ok(n) => n,
+                        Err(_) => {
+                            torn = Some("undecodable block");
+                            break;
+                        }
+                    }
+                } else {
+                    1
+                };
+                count += n;
+                pos += frame_len;
+            }
+            Err(reason) => {
+                torn = Some(reason);
+                break;
+            }
+        }
+    }
+    buf.truncate(pos);
+    Ok(RawFrames {
+        records: count,
+        consumed: pos as u64,
+        frames: buf,
+        torn,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::{encode_block, frame_block};
     use crate::record::WalRecord;
-    use crate::writer::{FsyncPolicy, WalOptions, WalWriter};
+    use crate::writer::{FsyncPolicy, SegmentFormat, WalBatch, WalOptions, WalWriter};
     use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
 
     fn tmp(name: &str) -> PathBuf {
@@ -310,7 +486,17 @@ mod tests {
         WalOptions {
             fsync: FsyncPolicy::Never,
             max_segment_bytes: 256,
+            ..WalOptions::default()
         }
+    }
+
+    /// A framed one-record v2 block, as the writer would produce it.
+    fn v2_frame(rec: &WalRecord) -> Vec<u8> {
+        let mut payload = Vec::new();
+        encode_block(std::slice::from_ref(rec), true, &mut payload);
+        let mut frame = Vec::new();
+        frame_block(&payload, &mut frame);
+        frame
     }
 
     /// Drains the tailer completely; asserts chunk LSNs are contiguous.
@@ -365,6 +551,32 @@ mod tests {
     }
 
     #[test]
+    fn cursor_inside_a_block_rewinds_to_its_boundary() {
+        let dir = tmp("mid-block");
+        let mut w = WalWriter::create(&dir, WalOptions::default()).unwrap();
+        let mut batch = WalBatch::new();
+        for i in 0..10u64 {
+            batch.push(&update(i));
+        }
+        w.append_batch(&mut batch).unwrap(); // one 10-record block
+        for i in 10..13u64 {
+            w.append(&update(i)).unwrap();
+        }
+        // A cursor at LSN 4 lands inside the block: the tailer rewinds
+        // to 0 and re-delivers; the consumer's watermark dedupes.
+        let mut tailer = SegmentTailer::new(&dir, 4);
+        let chunk = tailer.poll(1000).unwrap().unwrap();
+        assert_eq!(chunk.start_lsn, 0);
+        assert_eq!(chunk.records.len(), 13);
+        // A cursor on the boundary does not rewind.
+        let mut tailer = SegmentTailer::new(&dir, 10);
+        let chunk = tailer.poll(1000).unwrap().unwrap();
+        assert_eq!(chunk.start_lsn, 10);
+        assert_eq!(chunk.records, (10..13).map(update).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn torn_tail_of_last_segment_means_wait() {
         let dir = tmp("torn-wait");
         let mut w = WalWriter::create(&dir, small()).unwrap();
@@ -374,8 +586,7 @@ mod tests {
         // Simulate a write in flight: half a frame at the end.
         let (_, last) = list_segments(&dir).unwrap().pop().unwrap();
         let mut bytes = std::fs::read(&last).unwrap();
-        let mut frame = Vec::new();
-        update(3).encode_frame(&mut frame);
+        let frame = v2_frame(&update(3));
         bytes.extend_from_slice(&frame[..frame.len() / 2]);
         std::fs::write(&last, &bytes).unwrap();
 
@@ -411,7 +622,7 @@ mod tests {
 
         // Mid-rotation: the successor exists with only part of its
         // header written.
-        let header = encode_header(10);
+        let header = encode_header(SEGMENT_VERSION_V2, 10);
         let successor = dir.join(segment_file_name(10));
         std::fs::write(&successor, &header[..7]).unwrap();
         assert!(
@@ -425,7 +636,7 @@ mod tests {
         // The rotation completes and records land: the tailer resumes.
         let mut bytes = header;
         for i in 10..13u64 {
-            update(i).encode_frame(&mut bytes);
+            bytes.extend_from_slice(&v2_frame(&update(i)));
         }
         std::fs::write(&successor, &bytes).unwrap();
         let chunk = tailer.poll(64).unwrap().unwrap();
@@ -513,6 +724,75 @@ mod tests {
         assert!(tailer.poll(0).unwrap().is_none(), "zero cap reads nothing");
         let rest = drain(&mut tailer, 4);
         assert_eq!(rest.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_version_log_is_followed_end_to_end() {
+        let dir = tmp("mixed");
+        let mut w = WalWriter::create(
+            &dir,
+            WalOptions {
+                format: SegmentFormat::V1,
+                ..small()
+            },
+        )
+        .unwrap();
+        for i in 0..10u64 {
+            w.append(&update(i)).unwrap();
+        }
+        drop(w);
+        // Upgrade: resume with v2 configured. The v1 tail segment keeps
+        // its format; rotation switches.
+        let mut w = WalWriter::resume(&dir, small(), 10).unwrap();
+        assert_eq!(w.segment_version(), 1, "tail segment stays v1");
+        for i in 10..40u64 {
+            w.append(&update(i)).unwrap();
+        }
+        assert_eq!(w.segment_version(), 2, "rotation switched to v2");
+        let mut tailer = SegmentTailer::new(&dir, 0);
+        let got = drain(&mut tailer, 9);
+        assert_eq!(got, (0..40).map(update).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn raw_blocks_match_decoded_records_and_stay_compressed() {
+        let dir = tmp("raw");
+        let mut w = WalWriter::create(&dir, small()).unwrap();
+        let mut batch = WalBatch::new();
+        let mut v1_bytes = 0usize;
+        for i in 0..50u64 {
+            let rec = update(i);
+            let mut f = Vec::new();
+            rec.encode_frame(&mut f);
+            v1_bytes += f.len();
+            batch.push(&rec);
+            if batch.records() == 10 {
+                w.append_batch(&mut batch).unwrap();
+            }
+        }
+        w.append_batch(&mut batch).unwrap();
+        let mut raw = SegmentTailer::new(&dir, 0);
+        let mut decoded = SegmentTailer::new(&dir, 0);
+        let mut shipped_bytes = 0usize;
+        let mut records = Vec::new();
+        while let Some(chunk) = raw.poll_blocks(8).unwrap() {
+            shipped_bytes += chunk.frames.len();
+            assert_eq!(chunk.segment_version, 2);
+            // What a follower does: decode the shipped frames.
+            let (recs, clean, end) = crate::block::decode_block_frames(&chunk.frames);
+            assert_eq!(end, crate::record::FrameEnd::Clean);
+            assert_eq!(clean, chunk.frames.len());
+            assert_eq!(recs.len() as u64, chunk.records);
+            records.extend(recs);
+        }
+        assert_eq!(records, drain(&mut decoded, 1000));
+        assert_eq!(records, (0..50).map(update).collect::<Vec<_>>());
+        assert!(
+            shipped_bytes * 2 < v1_bytes,
+            "wire bytes must at least halve: {shipped_bytes} vs {v1_bytes}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,7 +16,7 @@ use modb_geom::Point;
 use modb_policy::BoundKind;
 use modb_routes::{Direction, Route, RouteId, RouteNetwork};
 use modb_wal::{
-    decode_frames, list_segments, recover, write_snapshot, ByteReader, WalCodec, WalOptions,
+    decode_block_frames, list_segments, recover, write_snapshot, ByteReader, WalCodec, WalOptions,
     WalRecord, WalWriter,
 };
 use proptest::prelude::*;
@@ -30,7 +30,11 @@ fn direction() -> impl Strategy<Value = Direction> {
 fn policy() -> impl Strategy<Value = PolicyDescriptor> {
     prop_oneof![
         (any::<bool>(), 0.1f64..100.0).prop_map(|(imm, c)| PolicyDescriptor::CostBased {
-            kind: if imm { BoundKind::Immediate } else { BoundKind::Delayed },
+            kind: if imm {
+                BoundKind::Immediate
+            } else {
+                BoundKind::Delayed
+            },
             update_cost: c,
         }),
         (0.0f64..10.0).prop_map(|b| PolicyDescriptor::FixedBound { bound: b }),
@@ -55,14 +59,16 @@ fn update_message() -> impl Strategy<Value = UpdateMessage> {
         proptest::option::of(direction()),
         proptest::option::of(policy()),
     )
-        .prop_map(|(time, position, speed, route, direction, policy)| UpdateMessage {
-            time,
-            position,
-            speed,
-            route,
-            direction,
-            policy,
-        })
+        .prop_map(
+            |(time, position, speed, route, direction, policy)| UpdateMessage {
+                time,
+                position,
+                speed,
+                route,
+                direction,
+                policy,
+            },
+        )
 }
 
 fn position_attribute() -> impl Strategy<Value = PositionAttribute> {
@@ -195,10 +201,7 @@ fn assert_equivalent(a: &Database, b: &Database) -> Result<(), TestCaseError> {
         prop_assert_eq!(a.moving(id).unwrap(), b.moving(id).unwrap());
         prop_assert_eq!(a.history_of(id), b.history_of(id));
         for t in [0.0, 7.5, 20.0] {
-            prop_assert_eq!(
-                a.position_of(id, t).unwrap(),
-                b.position_of(id, t).unwrap()
-            );
+            prop_assert_eq!(a.position_of(id, t).unwrap(), b.position_of(id, t).unwrap());
         }
     }
     // Range answers (the index path) must agree too.
@@ -210,7 +213,9 @@ fn assert_equivalent(a: &Database, b: &Database) -> Result<(), TestCaseError> {
             Point::new(ROUTE_LEN, 5.0),
         ))
         .unwrap();
-        let ra = a.range_query(&QueryRegion::at_instant(g.clone(), t)).unwrap();
+        let ra = a
+            .range_query(&QueryRegion::at_instant(g.clone(), t))
+            .unwrap();
         let rb = b.range_query(&QueryRegion::at_instant(g, t)).unwrap();
         prop_assert_eq!(ra.must, rb.must);
         prop_assert_eq!(ra.may, rb.may);
@@ -230,10 +235,7 @@ struct CrashSpec {
 fn crash_spec() -> impl Strategy<Value = CrashSpec> {
     (
         1u64..6,
-        proptest::collection::vec(
-            (0u64..7, 0.0f64..30.0, 0.0f64..1.0, 0.0f64..1.4),
-            0..40,
-        ),
+        proptest::collection::vec((0u64..7, 0.0f64..30.0, 0.0f64..1.0, 0.0f64..1.4), 0..40),
         0.0f64..1.0,
     )
         .prop_map(|(n_objects, updates, cut_frac)| CrashSpec {
@@ -294,10 +296,12 @@ proptest! {
 
         let recovered = recover(&dir).unwrap();
 
-        // Reference: replay exactly the whole frames that survived.
+        // Reference: replay exactly the whole frames that survived (the
+        // default format is v2, one block per frame — see wal_v2.rs for
+        // the mixed-version variants of this property).
         const HEADER: usize = modb_wal::segment::SEGMENT_HEADER_BYTES as usize;
         let (surviving, _, _) = if cut > HEADER {
-            decode_frames(&full[HEADER..cut])
+            decode_block_frames(&full[HEADER..cut])
         } else {
             // The cut ate the segment header: recovery deletes the file
             // and starts from the (empty) snapshot.

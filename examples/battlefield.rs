@@ -41,7 +41,7 @@ fn main() {
                 route: rid,
                 start_position: route.point_at(arc),
                 start_arc: arc,
-                direction: Direction::Forward, // outbound
+                direction: Direction::Forward,  // outbound
                 speed: rng.gen_range(1.5..2.5), // 90–150 mph
                 policy: PolicyDescriptor::CostBased {
                     kind: BoundKind::Immediate,

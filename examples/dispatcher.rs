@@ -29,7 +29,11 @@ fn main() {
         let arc = rng.gen_range(0.0..route.length() / 2.0);
         db.register_moving(MovingObject {
             id: ObjectId(i),
-            name: if i == 4 { "ABT312".into() } else { format!("unit-{i:02}") },
+            name: if i == 4 {
+                "ABT312".into()
+            } else {
+                format!("unit-{i:02}")
+            },
             attr: PositionAttribute {
                 start_time: 0.0,
                 route: rid,
@@ -107,7 +111,9 @@ fn main() {
 
     // As-of query (API-level): where did the DBMS believe ABT312 was at
     // t = 3, before its t = 6 update rewrote the attribute?
-    let then = db.position_of_as_of(ObjectId(4), 3.0).expect("history kept");
+    let then = db
+        .position_of_as_of(ObjectId(4), 3.0)
+        .expect("history kept");
     let now = db.position_of(ObjectId(4), 10.0).expect("known");
     println!(
         "as-of t=3 belief: ({:.2}, {:.2}) ± {:.2} | current t=10 belief: ({:.2}, {:.2}) ± {:.2}",

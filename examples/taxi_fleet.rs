@@ -65,7 +65,10 @@ fn main() {
         })
         .expect("cab registered");
     }
-    println!("fleet registered: {} cabs on a 12x12-mile grid", db.moving_count());
+    println!(
+        "fleet registered: {} cabs on a 12x12-mile grid",
+        db.moving_count()
+    );
 
     // Dispatch queries at a few times; watch the answer tighten as the
     // ail bound decays.

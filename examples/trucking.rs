@@ -48,8 +48,8 @@ fn main() {
         let curve = TripProfile::Mixed
             .generate(&mut rng, 45.0, 1.0 / 60.0)
             .expect("valid curve");
-        let trip = Trip::new(RouteId(1), Direction::Forward, start_arc, 0.0, curve)
-            .expect("valid trip");
+        let trip =
+            Trip::new(RouteId(1), Direction::Forward, start_arc, 0.0, curve).expect("valid trip");
         let initial_speed = trip.speed_at(1.0 / 60.0);
         db.register_moving(MovingObject {
             id: ObjectId(i as u64),
@@ -138,7 +138,11 @@ fn main() {
     for id in answer.all() {
         let truck = db.moving(id).expect("known");
         let pos = db.position_of(id, t_now).expect("known");
-        let kind = if answer.must.contains(&id) { "MUST" } else { "may " };
+        let kind = if answer.must.contains(&id) {
+            "MUST"
+        } else {
+            "may "
+        };
         println!(
             "  [{kind}] {} at ({:.2}, {:.2}) ± {:.2} mi",
             truck.name, pos.position.x, pos.position.y, pos.bound

@@ -143,7 +143,11 @@ fn bound_shapes() {
 #[test]
 fn index_is_selective() {
     let rows = run_sublinear(&[600], 8);
-    assert!(rows[0].candidates < 300.0, "candidates {}", rows[0].candidates);
+    assert!(
+        rows[0].candidates < 300.0,
+        "candidates {}",
+        rows[0].candidates
+    );
 }
 
 /// Theorems 5–6: may/must answers bracket simulated ground truth.

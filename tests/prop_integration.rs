@@ -61,10 +61,7 @@ fn fleet_spec() -> impl Strategy<Value = FleetSpec> {
             ),
             1..20,
         ),
-        proptest::collection::vec(
-            (0usize..20, 0.1f64..30.0, 0.0f64..1.0, 0.0f64..1.4),
-            0..30,
-        ),
+        proptest::collection::vec((0usize..20, 0.1f64..30.0, 0.0f64..1.0, 0.0f64..1.4), 0..30),
         (
             -10.0f64..90.0,
             -35.0f64..35.0,

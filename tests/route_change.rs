@@ -146,10 +146,9 @@ fn journey_with_route_change_stays_queryable() {
 
     // Current position: on the cross street, y ≈ (t−10)·0.8 above −20+20.
     let ans = db.position_of(ObjectId(1), 20.0).unwrap();
-    let actual = journey.leg_at(20.0 - 1e-9).position_at(
-        &db.network().get(RouteId(2)).unwrap().clone(),
-        20.0,
-    );
+    let actual = journey
+        .leg_at(20.0 - 1e-9)
+        .position_at(&db.network().get(RouteId(2)).unwrap().clone(), 20.0);
     assert!(
         (ans.position.x - 10.0).abs() < 1e-9,
         "db position must be on the cross street"
