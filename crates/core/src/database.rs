@@ -4,7 +4,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use modb_geom::Point;
-use modb_index::{MovingObjectIndex, OPlane, QueryRegion, SearchStats};
+use modb_index::{BandConfig, BandStats, MovingObjectIndex, OPlane, QueryRegion, SearchStats};
 use modb_routes::{Route, RouteNetwork};
 
 use crate::attr::{PolicyDescriptor, PositionAttribute};
@@ -24,8 +24,11 @@ pub struct DatabaseConfig {
     /// Horizon (minutes) an o-plane extends past its update when the
     /// object has no known trip end — the `T` of §4.2's index time span.
     pub default_horizon: f64,
-    /// Slab duration (minutes) for o-plane decomposition.
-    pub slab_minutes: f64,
+    /// Speed-band layout of the time-space index: band edges plus
+    /// per-band slab duration / fine-horizon for o-plane decomposition.
+    /// [`BandConfig::single`] (the default) reproduces the historical
+    /// un-partitioned single-tree index exactly.
+    pub bands: BandConfig,
     /// Sampling step (minutes) for exact refinement of time-interval
     /// queries.
     pub refinement_dt: f64,
@@ -44,7 +47,7 @@ impl Default for DatabaseConfig {
         DatabaseConfig {
             map_match_tolerance: 0.25,
             default_horizon: 60.0,
-            slab_minutes: modb_index::DEFAULT_SLAB_MINUTES,
+            bands: BandConfig::default(),
             refinement_dt: 1.0,
             history_capacity: 256,
             change_log_capacity: 4096,
@@ -96,7 +99,7 @@ impl Database {
     /// shared — clones of an `Arc`'d network are free).
     pub fn new(network: impl Into<Arc<RouteNetwork>>, config: DatabaseConfig) -> Self {
         Database {
-            index: MovingObjectIndex::new(config.slab_minutes),
+            index: MovingObjectIndex::with_config(config.bands),
             network: network.into(),
             moving: HashMap::new(),
             stationary: HashMap::new(),
@@ -182,6 +185,25 @@ impl Database {
     /// Number of stationary objects.
     pub fn stationary_count(&self) -> usize {
         self.stationary.len()
+    }
+
+    /// Per-band tree statistics of the time-space index (slowest band
+    /// first) — the raw material for `modb_index_band_entries{band="N"}`.
+    pub fn index_band_stats(&self) -> Vec<BandStats> {
+        self.index.band_stats()
+    }
+
+    /// Upserts and entry syncs that moved an object between speed bands
+    /// since this database (or the clone lineage it came from) was
+    /// created — city↔highway regime changes.
+    pub fn index_band_migrations(&self) -> u64 {
+        self.index.migrations()
+    }
+
+    /// Aggregate `(entries, nodes, max height)` across the index's band
+    /// trees.
+    pub fn index_tree_stats(&self) -> (usize, usize, usize) {
+        self.index.tree_stats()
     }
 
     /// Iterator over moving-object ids.
@@ -270,6 +292,31 @@ impl Database {
         }
         let id = obj.id;
         self.moving.insert(id, obj);
+        self.changes.record(Change::Moving(id));
+        self.reindex(id)?;
+        Ok(())
+    }
+
+    /// Revises the DBMS-known maximum trip speed `V` of a moving object
+    /// (§3.3) — e.g. a fleet vehicle reclassified from city stop-and-go
+    /// to highway cruise. The index entry is rebuilt under the new
+    /// speed, which migrates it between speed bands when the new `V`
+    /// falls in a different band ([`BandConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownObject`] when absent;
+    /// [`CoreError::InvalidField`] for a non-finite or non-positive
+    /// speed (the stored value is untouched).
+    pub fn set_max_speed(&mut self, id: ObjectId, max_speed: f64) -> Result<(), CoreError> {
+        if !max_speed.is_finite() || max_speed <= 0.0 {
+            return Err(CoreError::InvalidField("max_speed", max_speed));
+        }
+        let obj = self
+            .moving
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownObject(id))?;
+        obj.max_speed = max_speed;
         self.changes.record(Change::Moving(id));
         self.reindex(id)?;
         Ok(())
@@ -1458,6 +1505,81 @@ mod tests {
     /// Observable equivalence: stored state, history, position answers,
     /// and index-backed range answers (checked against the scan baseline
     /// on both sides, so a desynced index cannot hide).
+    #[test]
+    fn set_max_speed_migrates_bands_and_syncs() {
+        let cfg = DatabaseConfig {
+            bands: BandConfig::uniform(&[1.0], 5.0).unwrap(),
+            ..DatabaseConfig::default()
+        };
+        let mut db = Database::new(network(), cfg);
+        let mut o = object(1, 10.0, 0.5);
+        o.max_speed = 0.8;
+        db.register_moving(o).unwrap();
+        let mut shadow = db.clone();
+        let cursor = db.change_cursor();
+        assert_eq!(db.index_band_stats()[0].entries, 1);
+
+        // Reclassified for highway duty: the entry migrates bands.
+        db.set_max_speed(ObjectId(1), 2.5).unwrap();
+        assert_eq!(db.index_band_migrations(), 1);
+        let stats = db.index_band_stats();
+        assert_eq!((stats[0].entries, stats[1].entries), (0, 1));
+        assert_eq!(db.moving(ObjectId(1)).unwrap().max_speed, 2.5);
+
+        // Bad inputs leave the stored value untouched.
+        assert!(db.set_max_speed(ObjectId(1), f64::NAN).is_err());
+        assert!(db.set_max_speed(ObjectId(1), -1.0).is_err());
+        assert!(db.set_max_speed(ObjectId(9), 1.0).is_err());
+        assert_eq!(db.moving(ObjectId(1)).unwrap().max_speed, 2.5);
+
+        // A delta-synced shadow mirrors the migration.
+        let report = shadow.sync_from(&db, cursor);
+        assert!(!report.full_resync);
+        let s = shadow.index_band_stats();
+        assert_eq!((s[0].entries, s[1].entries), (0, 1));
+        assert_same_view(&shadow, &db);
+    }
+
+    #[test]
+    fn banded_config_partitions_index_and_shadow_syncs() {
+        let cfg = DatabaseConfig {
+            bands: BandConfig::uniform(&[1.0], 5.0).unwrap(),
+            ..DatabaseConfig::default()
+        };
+        let mut db = Database::new(network(), cfg);
+        let mut slow = object(1, 10.0, 0.5);
+        slow.max_speed = 0.8;
+        let mut fast = object(2, 60.0, 1.2);
+        fast.max_speed = 2.5;
+        db.register_moving(slow).unwrap();
+        db.register_moving(fast).unwrap();
+        let stats = db.index_band_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!((stats[0].entries, stats[1].entries), (1, 1));
+        assert_eq!(db.index_band_migrations(), 0);
+        assert_eq!(db.index_tree_stats().0, 2);
+
+        // Banded index answers are identical to the exhaustive scan.
+        let mut shadow = db.clone();
+        let cursor = db.change_cursor();
+        assert_same_view(&db, &db.clone());
+
+        // Delta-sync mirrors band membership: the shadow's per-band
+        // entry counts track the source after updates flow through.
+        db.apply_update(
+            ObjectId(1),
+            &UpdateMessage::basic(5.0, UpdatePosition::Arc(12.0), 0.6),
+        )
+        .unwrap();
+        let report = shadow.sync_from(&db, cursor);
+        assert!(!report.full_resync);
+        let (a, b) = (shadow.index_band_stats(), db.index_band_stats());
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.entries, sb.entries);
+        }
+        assert_same_view(&shadow, &db);
+    }
+
     fn assert_same_view(a: &Database, b: &Database) {
         assert_eq!(a.moving_count(), b.moving_count());
         assert_eq!(a.stationary_count(), b.stationary_count());

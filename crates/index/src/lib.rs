@@ -12,7 +12,8 @@
 //! - [`QueryRegion`]: `R_G(t₀)` — polygon G lifted to time t₀ (Theorems
 //!   5–6), plus a time-interval extension.
 //! - [`MovingObjectIndex`]: o-plane maintenance (§4.2's delete-old /
-//!   insert-new on every position update) and candidate filtering.
+//!   insert-new on every position update) and candidate filtering, over
+//!   speed-banded per-band trees configured by a [`BandConfig`].
 //!
 //! Exact may/must refinement lives in `modb-core`, which can resolve
 //! routes; the index layer guarantees no false negatives.
@@ -26,7 +27,9 @@ mod rtree;
 mod timespace;
 
 pub use error::IndexError;
-pub use moving_index::{MovingObjectIndex, DEFAULT_SLAB_MINUTES};
+pub use moving_index::{
+    BandConfig, BandSpec, BandStats, MovingObjectIndex, DEFAULT_SLAB_MINUTES, MAX_BANDS,
+};
 pub use oplane::OPlane;
 pub use rtree::{RStarTree, SearchStats};
 pub use timespace::{within_radius, QueryRegion};

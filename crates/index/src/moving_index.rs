@@ -1,4 +1,5 @@
-//! The moving-object index: o-plane maintenance over the R\*-tree (§4.2).
+//! The moving-object index: o-plane maintenance over speed-banded
+//! R\*-trees (§4.2, extended with speed partitioning).
 //!
 //! "The index is updated whenever a position-update is received from a
 //! moving object o. … the id of o is removed from the 3-dimensional
@@ -7,7 +8,7 @@
 //! o-plane] p2."
 //!
 //! Here each object's current o-plane is materialised as its slab boxes.
-//! The R\*-tree holds **one entry per object** — the union box of its
+//! Each tree holds **one entry per object** — the union box of its
 //! slabs — and the slab boxes themselves are kept aside and tested
 //! per-candidate during filtering. The candidate set is identical to
 //! indexing every slab box individually (an object qualifies iff some
@@ -15,10 +16,26 @@
 //! maintenance becomes a single delete+insert instead of one per slab:
 //! with a 60-minute horizon and 5-minute slabs that is a 12× cut in tree
 //! surgery, which is what keeps both live updates and delta-synced
-//! shadow copies O(changes) with a small constant. Filtering a
-//! [`QueryRegion`] returns candidate ids; exact may/must refinement
-//! against uncertainty intervals happens in `modb-core`, where routes
-//! are resolvable.
+//! shadow copies O(changes) with a small constant.
+//!
+//! **Speed bands.** A fast object's o-plane sweeps a long stretch of
+//! route, so its union box is enormous next to a slow neighbour's; in one
+//! shared tree those boxes inflate every internal node they touch and
+//! smother the slow objects filed under them ("Speed Partitioning for
+//! Indexing Moving Objects", arXiv 1411.4940). The index is therefore a
+//! *partition-aware facade*: a [`BandConfig`] cuts the fleet into speed
+//! bands by the o-plane's `max_speed`, each band gets its own
+//! [`RStarTree`] (with a band-specific slab duration and fine-horizon),
+//! and an upsert that lands in a different band than the stored entry
+//! *migrates* the object — delete from the old band's tree, insert into
+//! the new band's. A query probes every band and merges; since an object
+//! lives in exactly one band, the merged candidate set needs no
+//! cross-band dedup. [`BandConfig::single`] (one all-speeds band) is
+//! bit-identical to the pre-banding single-tree index.
+//!
+//! Filtering a [`QueryRegion`] returns candidate ids; exact may/must
+//! refinement against uncertainty intervals happens in `modb-core`,
+//! where routes are resolvable.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -36,13 +53,254 @@ use crate::timespace::QueryRegion;
 /// plane is ~12 boxes.
 pub const DEFAULT_SLAB_MINUTES: f64 = 5.0;
 
-/// A 3-D time-space index over the o-planes of a fleet of moving objects.
+/// Hard cap on the number of speed bands. Keeps [`BandConfig`] `Copy`
+/// (it rides inside `DatabaseConfig`, WAL snapshots, and the stats
+/// frame) and matches practice — speed-partitioning studies use a
+/// handful of partitions, not dozens.
+pub const MAX_BANDS: usize = 8;
+
+/// One speed band: the objects whose o-plane `max_speed` falls at or
+/// below `max_speed` (and above the previous band's edge), indexed in
+/// their own R\*-tree with this band's decomposition knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandSpec {
+    /// Upper speed edge (inclusive); `f64::INFINITY` on the last band.
+    pub max_speed: f64,
+    /// Slab duration (minutes) for o-plane decomposition in this band.
+    pub slab_minutes: f64,
+    /// Fine-decomposition horizon (minutes past an o-plane's update):
+    /// slabs beyond it collapse into one coarse tail box
+    /// ([`OPlane::to_boxes_with_horizon`]). `f64::INFINITY` = fine slabs
+    /// over the whole plane, exactly [`OPlane::to_boxes`].
+    pub fine_horizon: f64,
+}
+
+/// Speed-band layout of a [`MovingObjectIndex`]: ascending upper speed
+/// edges, each with a per-band slab duration and fine-horizon. The last
+/// band always has an infinite edge, so every `max_speed` maps to
+/// exactly one band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandConfig {
+    bands: [BandSpec; MAX_BANDS],
+    len: usize,
+}
+
+fn sane_slab(slab_minutes: f64) -> f64 {
+    if slab_minutes.is_finite() && slab_minutes > 0.0 {
+        slab_minutes
+    } else {
+        DEFAULT_SLAB_MINUTES
+    }
+}
+
+impl Default for BandConfig {
+    fn default() -> Self {
+        BandConfig::single(DEFAULT_SLAB_MINUTES)
+    }
+}
+
+impl BandConfig {
+    /// One all-speeds band — the pre-banding behavior, bit-identical to
+    /// the historical single-tree index. Non-positive or non-finite slab
+    /// durations fall back to [`DEFAULT_SLAB_MINUTES`].
+    pub fn single(slab_minutes: f64) -> Self {
+        let mut bands = [BandSpec {
+            max_speed: f64::INFINITY,
+            slab_minutes: sane_slab(slab_minutes),
+            fine_horizon: f64::INFINITY,
+        }; MAX_BANDS];
+        bands[0].max_speed = f64::INFINITY;
+        BandConfig { bands, len: 1 }
+    }
+
+    /// Bands cut at `edges` (ascending upper speed edges; an implicit
+    /// unbounded band is appended), every band using the same
+    /// `slab_minutes` and no fine-horizon. Candidate sets are **equal**
+    /// to [`BandConfig::single`]'s — only the tree partitioning changes —
+    /// which is what the banded≡single proptest pins down.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::InvalidParameter`] when an edge is non-finite,
+    /// non-positive, or not strictly ascending, or when `edges` needs
+    /// more than [`MAX_BANDS`] bands.
+    pub fn uniform(edges: &[f64], slab_minutes: f64) -> Result<Self, IndexError> {
+        if edges.len() + 1 > MAX_BANDS {
+            return Err(IndexError::InvalidParameter(
+                "band_edges",
+                edges.len() as f64,
+            ));
+        }
+        let mut config = BandConfig::single(slab_minutes);
+        let mut prev = 0.0;
+        for (i, &edge) in edges.iter().enumerate() {
+            if !edge.is_finite() || edge <= prev {
+                return Err(IndexError::InvalidParameter("band_edge", edge));
+            }
+            prev = edge;
+            config.bands[i].max_speed = edge;
+            config.bands[i].slab_minutes = config.bands[0].slab_minutes;
+        }
+        config.len = edges.len() + 1;
+        config.bands[edges.len()] = BandSpec {
+            max_speed: f64::INFINITY,
+            slab_minutes: config.bands[0].slab_minutes,
+            fine_horizon: f64::INFINITY,
+        };
+        Ok(config)
+    }
+
+    /// Like [`BandConfig::uniform`], but each band's slab duration is
+    /// scaled so the route stretch swept per slab stays roughly constant:
+    /// band `i` gets `base_slab · e₀ / eᵢ` where `eᵢ` is its upper edge
+    /// (the unbounded last band uses twice its lower edge as a nominal
+    /// top). Faster bands therefore get finer slabs — tighter slab boxes,
+    /// fewer false-positive candidates — which is the banded index's
+    /// candidate-ratio win in W8. Slabs are floored at `base_slab / 16`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BandConfig::uniform`].
+    pub fn speed_scaled(edges: &[f64], base_slab: f64) -> Result<Self, IndexError> {
+        let mut config = BandConfig::uniform(edges, base_slab)?;
+        if edges.is_empty() {
+            return Ok(config);
+        }
+        let base = config.bands[0].slab_minutes;
+        let e0 = edges[0];
+        for i in 0..config.len {
+            let top = if config.bands[i].max_speed.is_finite() {
+                config.bands[i].max_speed
+            } else {
+                2.0 * edges[edges.len() - 1]
+            };
+            config.bands[i].slab_minutes = (base * e0 / top).max(base / 16.0);
+        }
+        Ok(config)
+    }
+
+    /// Reassembles a config from explicit band specs — the
+    /// deserialization path (WAL snapshots, the stats frame). Accepts
+    /// exactly what the builders produce: 1..=[`MAX_BANDS`] bands,
+    /// strictly ascending positive edges with the last infinite,
+    /// finite positive slab durations, positive (possibly infinite)
+    /// fine-horizons.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::InvalidParameter`] on any violation.
+    pub fn from_bands(specs: &[BandSpec]) -> Result<Self, IndexError> {
+        if specs.is_empty() || specs.len() > MAX_BANDS {
+            return Err(IndexError::InvalidParameter(
+                "band_count",
+                specs.len() as f64,
+            ));
+        }
+        let mut prev = 0.0;
+        for (i, spec) in specs.iter().enumerate() {
+            let last = i == specs.len() - 1;
+            if last != spec.max_speed.is_infinite() || spec.max_speed <= prev {
+                return Err(IndexError::InvalidParameter("band_edge", spec.max_speed));
+            }
+            prev = spec.max_speed;
+            if !spec.slab_minutes.is_finite() || spec.slab_minutes <= 0.0 {
+                return Err(IndexError::InvalidParameter(
+                    "slab_minutes",
+                    spec.slab_minutes,
+                ));
+            }
+            if spec.fine_horizon.is_nan() || spec.fine_horizon <= 0.0 {
+                return Err(IndexError::InvalidParameter(
+                    "fine_horizon",
+                    spec.fine_horizon,
+                ));
+            }
+        }
+        let mut config = BandConfig::single(specs[0].slab_minutes);
+        config.bands[..specs.len()].copy_from_slice(specs);
+        config.len = specs.len();
+        Ok(config)
+    }
+
+    /// Returns `self` with band `band`'s slab duration replaced
+    /// (out-of-range bands and bad durations are ignored).
+    #[must_use]
+    pub fn with_band_slab(mut self, band: usize, slab_minutes: f64) -> Self {
+        if band < self.len && slab_minutes.is_finite() && slab_minutes > 0.0 {
+            self.bands[band].slab_minutes = slab_minutes;
+        }
+        self
+    }
+
+    /// Returns `self` with band `band`'s fine-horizon replaced
+    /// (out-of-range bands and non-positive/NaN horizons are ignored;
+    /// `f64::INFINITY` restores full fine decomposition).
+    #[must_use]
+    pub fn with_band_horizon(mut self, band: usize, fine_horizon: f64) -> Self {
+        if band < self.len && !fine_horizon.is_nan() && fine_horizon > 0.0 {
+            self.bands[band].fine_horizon = fine_horizon;
+        }
+        self
+    }
+
+    /// The configured bands, slowest first.
+    pub fn bands(&self) -> &[BandSpec] {
+        &self.bands[..self.len]
+    }
+
+    /// Number of bands (≥ 1).
+    pub fn band_count(&self) -> usize {
+        self.len
+    }
+
+    /// The band index for an o-plane with this `max_speed`: the first
+    /// band whose upper edge is at or above it. The last band's edge is
+    /// infinite, so every finite speed (and, defensively, NaN) lands
+    /// somewhere.
+    pub fn band_for(&self, max_speed: f64) -> usize {
+        self.bands[..self.len]
+            .iter()
+            .position(|b| max_speed <= b.max_speed)
+            .unwrap_or(self.len - 1)
+    }
+}
+
+/// Per-band tree statistics, for the stats frame and the W8 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandStats {
+    /// Band index (0 = slowest).
+    pub band: usize,
+    /// Objects whose union box lives in this band's tree.
+    pub entries: usize,
+    /// Nodes in this band's tree.
+    pub nodes: usize,
+    /// Height of this band's tree.
+    pub height: usize,
+}
+
+/// One object's stored state: its o-plane, the slab boxes it decomposed
+/// into under its band's knobs, and the band its union box is filed in.
+/// `boxes` empty means *no tree entry anywhere* (a degenerate
+/// decomposition must not plant an `Aabb3::empty()` union box in a
+/// tree — see `upsert`).
+#[derive(Debug, Clone)]
+struct Stored {
+    plane: OPlane,
+    boxes: Vec<Aabb3>,
+    band: usize,
+}
+
+/// A 3-D time-space index over the o-planes of a fleet of moving
+/// objects, partitioned into speed bands (one R\*-tree per band).
 #[derive(Debug, Clone)]
 pub struct MovingObjectIndex<K> {
-    /// One entry per object: the union box of its slab boxes.
-    tree: RStarTree<K>,
-    planes: HashMap<K, (OPlane, Vec<Aabb3>)>,
-    slab_minutes: f64,
+    /// One tree per band; `trees[i]` holds the union boxes of the
+    /// objects in band `i`.
+    trees: Vec<RStarTree<K>>,
+    planes: HashMap<K, Stored>,
+    config: BandConfig,
+    /// Upserts (and entry syncs) that moved an object between bands.
+    migrations: u64,
 }
 
 /// Union box of a slab decomposition (empty for no boxes).
@@ -57,18 +315,27 @@ impl<K: Copy + Eq + Hash> Default for MovingObjectIndex<K> {
 }
 
 impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
-    /// Creates an empty index with the given slab duration (minutes);
-    /// non-positive values fall back to [`DEFAULT_SLAB_MINUTES`].
+    /// Creates an empty single-band index with the given slab duration
+    /// (minutes); non-positive values fall back to
+    /// [`DEFAULT_SLAB_MINUTES`]. Identical to the historical
+    /// un-partitioned index.
     pub fn new(slab_minutes: f64) -> Self {
+        MovingObjectIndex::with_config(BandConfig::single(slab_minutes))
+    }
+
+    /// Creates an empty index partitioned per `config`.
+    pub fn with_config(config: BandConfig) -> Self {
         MovingObjectIndex {
-            tree: RStarTree::new(),
+            trees: (0..config.band_count()).map(|_| RStarTree::new()).collect(),
             planes: HashMap::new(),
-            slab_minutes: if slab_minutes.is_finite() && slab_minutes > 0.0 {
-                slab_minutes
-            } else {
-                DEFAULT_SLAB_MINUTES
-            },
+            config,
+            migrations: 0,
         }
+    }
+
+    /// The band layout.
+    pub fn config(&self) -> &BandConfig {
+        &self.config
     }
 
     /// Number of indexed objects.
@@ -85,29 +352,90 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
 
     /// The stored o-plane for `key`, if any.
     pub fn plane(&self, key: &K) -> Option<&OPlane> {
-        self.planes.get(key).map(|(p, _)| p)
+        self.planes.get(key).map(|s| &s.plane)
+    }
+
+    /// The band `key`'s entry is filed in, if indexed. `None` for
+    /// unknown keys *and* for entries whose decomposition was empty
+    /// (no tree holds them).
+    pub fn band_of(&self, key: &K) -> Option<usize> {
+        self.planes
+            .get(key)
+            .filter(|s| !s.boxes.is_empty())
+            .map(|s| s.band)
+    }
+
+    /// Upserts (and entry syncs) that moved an object from one band's
+    /// tree to another — the city↔highway regime-change counter
+    /// surfaced as `modb_index_band_migrations_total`.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Deletes `key`'s union box from its band's tree, if it has one.
+    fn detach(trees: &mut [RStarTree<K>], key: &K, stored: &Stored) {
+        if !stored.boxes.is_empty() {
+            let removed = trees[stored.band].remove(&union_of(&stored.boxes), key);
+            debug_assert!(removed, "index out of sync: missing tree entry");
+        }
+    }
+
+    /// Installs `key` with an already-decomposed plane: tree surgery
+    /// (update in place within a band, delete+insert across bands,
+    /// nothing for empty decompositions) plus the side-table write.
+    fn install(&mut self, key: K, plane: OPlane, boxes: Vec<Aabb3>, band: usize) {
+        match self.planes.get_mut(&key) {
+            Some(stored) => {
+                match (stored.boxes.is_empty(), boxes.is_empty()) {
+                    (false, false) if stored.band == band => {
+                        let updated = self.trees[band].update(
+                            &union_of(&stored.boxes),
+                            union_of(&boxes),
+                            &key,
+                        );
+                        debug_assert!(updated, "index out of sync: missing old entry");
+                    }
+                    (false, false) => {
+                        // Band migration: the object's speed regime
+                        // changed, so its union box moves trees.
+                        Self::detach(&mut self.trees, &key, stored);
+                        self.trees[band].insert(union_of(&boxes), key);
+                        self.migrations += 1;
+                    }
+                    (false, true) => Self::detach(&mut self.trees, &key, stored),
+                    (true, false) => self.trees[band].insert(union_of(&boxes), key),
+                    (true, true) => {}
+                }
+                stored.plane = plane;
+                stored.boxes = boxes;
+                stored.band = band;
+            }
+            None => {
+                if !boxes.is_empty() {
+                    self.trees[band].insert(union_of(&boxes), key);
+                }
+                self.planes.insert(key, Stored { plane, boxes, band });
+            }
+        }
     }
 
     /// Installs (or replaces) the o-plane of object `key` — the §4.2
-    /// position-update maintenance step.
+    /// position-update maintenance step. The plane's `max_speed` selects
+    /// the band; an entry whose band changed is migrated (delete from
+    /// the old band's tree, insert into the new band's). A decomposition
+    /// with no boxes installs **no** tree entry — a degenerate
+    /// `Aabb3::empty()` union box must never pollute a tree.
     ///
     /// # Errors
     ///
     /// Propagates o-plane decomposition errors; on error the old plane (if
     /// any) is left untouched.
     pub fn upsert(&mut self, key: K, plane: OPlane, route: &Route) -> Result<(), IndexError> {
-        let boxes = plane.to_boxes(route, self.slab_minutes)?;
+        let band = self.config.band_for(plane.max_speed);
+        let spec = self.config.bands()[band];
+        let boxes = plane.to_boxes_with_horizon(route, spec.slab_minutes, spec.fine_horizon)?;
         // Touch the old entry only after the new plane decomposed cleanly.
-        match self.planes.remove(&key) {
-            Some((_, old_boxes)) => {
-                let updated = self
-                    .tree
-                    .update(&union_of(&old_boxes), union_of(&boxes), &key);
-                debug_assert!(updated, "index out of sync: missing old entry");
-            }
-            None => self.tree.insert(union_of(&boxes), key),
-        }
-        self.planes.insert(key, (plane, boxes));
+        self.install(key, plane, boxes, band);
         Ok(())
     }
 
@@ -115,39 +443,59 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
     /// deleted and `src`'s current boxes inserted verbatim — the same
     /// §4.2 delete+insert maintenance as [`MovingObjectIndex::upsert`],
     /// but reusing `src`'s already-decomposed slab boxes instead of
-    /// re-decomposing the o-plane. Used by delta-applied shadow copies.
+    /// re-decomposing the o-plane. **Band membership is mirrored too**:
+    /// the entry lands in the same band `src` filed it under, so a
+    /// delta-synced shadow copy partitions identically to its source
+    /// (the caller guarantees the configs match — shadows are clones).
     /// Returns `true` when `src` holds an entry for `key` (otherwise the
     /// local entry, if any, was removed).
     pub fn sync_entry_from(&mut self, src: &Self, key: &K) -> bool {
-        let old = self.planes.get(key).map(|(_, boxes)| union_of(boxes));
+        debug_assert_eq!(
+            self.config, src.config,
+            "sync_entry_from across band configs"
+        );
         match src.planes.get(key) {
-            Some((plane, boxes)) => {
-                match old {
-                    Some(old_box) => {
-                        let updated = self.tree.update(&old_box, union_of(boxes), key);
-                        debug_assert!(updated, "index out of sync: missing entry on sync");
+            Some(entry) => {
+                match self.planes.get_mut(key) {
+                    Some(stored) => {
+                        match (stored.boxes.is_empty(), entry.boxes.is_empty()) {
+                            (false, false) if stored.band == entry.band => {
+                                let updated = self.trees[entry.band].update(
+                                    &union_of(&stored.boxes),
+                                    union_of(&entry.boxes),
+                                    key,
+                                );
+                                debug_assert!(updated, "index out of sync: missing entry on sync");
+                            }
+                            (false, false) => {
+                                Self::detach(&mut self.trees, key, stored);
+                                self.trees[entry.band].insert(union_of(&entry.boxes), *key);
+                                self.migrations += 1;
+                            }
+                            (false, true) => Self::detach(&mut self.trees, key, stored),
+                            (true, false) => {
+                                self.trees[entry.band].insert(union_of(&entry.boxes), *key)
+                            }
+                            (true, true) => {}
+                        }
+                        // clone_from reuses the displaced entry's heap
+                        // buffers on the hot resync path.
+                        stored.plane.clone_from(&entry.plane);
+                        stored.boxes.clone_from(&entry.boxes);
+                        stored.band = entry.band;
                     }
-                    None => self.tree.insert(union_of(boxes), *key),
-                }
-                // clone_from reuses the displaced entry's heap buffers on
-                // the hot resync path.
-                match self.planes.entry(*key) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        let slot = e.get_mut();
-                        slot.0.clone_from(plane);
-                        slot.1.clone_from(boxes);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert((plane.clone(), boxes.clone()));
+                    None => {
+                        if !entry.boxes.is_empty() {
+                            self.trees[entry.band].insert(union_of(&entry.boxes), *key);
+                        }
+                        self.planes.insert(*key, entry.clone());
                     }
                 }
                 true
             }
             None => {
-                if let Some(old_box) = old {
-                    let removed = self.tree.remove(&old_box, key);
-                    debug_assert!(removed, "index out of sync: missing entry on sync");
-                    self.planes.remove(key);
+                if let Some(stored) = self.planes.remove(key) {
+                    Self::detach(&mut self.trees, key, &stored);
                 }
                 false
             }
@@ -158,9 +506,8 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
     /// present.
     pub fn remove(&mut self, key: &K) -> bool {
         match self.planes.remove(key) {
-            Some((_, boxes)) => {
-                let removed = self.tree.remove(&union_of(&boxes), key);
-                debug_assert!(removed, "index out of sync: missing entry on remove");
+            Some(stored) => {
+                Self::detach(&mut self.trees, key, &stored);
                 true
             }
             None => false,
@@ -174,7 +521,7 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
     }
 
     /// Like [`MovingObjectIndex::candidates`], with R\*-tree search
-    /// statistics for the sublinearity experiments.
+    /// statistics (summed across bands) for the sublinearity experiments.
     pub fn candidates_with_stats(&self, region: &QueryRegion) -> (Vec<K>, SearchStats) {
         let mut hits = Vec::new();
         let stats = self.candidates_into(region, &mut hits);
@@ -182,43 +529,82 @@ impl<K: Copy + Eq + Hash> MovingObjectIndex<K> {
     }
 
     /// Appends the candidates for `region` to `out` and returns the
-    /// search statistics. The tree prefilters on per-object union boxes;
-    /// an object only qualifies when one of its slab boxes intersects the
-    /// query box, so the candidate set equals what per-slab indexing
-    /// would produce (already deduplicated — one tree entry per object).
-    /// The caller owns (and typically reuses) the buffer, so a hot query
-    /// loop filters without allocating a fresh vector per query; `&self`
-    /// only, so any number of threads may filter one immutable index
-    /// concurrently.
+    /// search statistics (summed across the band trees). Each tree
+    /// prefilters on per-object union boxes; an object only qualifies
+    /// when one of its slab boxes intersects the query box, so the
+    /// candidate set equals what per-slab indexing would produce
+    /// (already deduplicated — one tree entry per object, each object in
+    /// exactly one band). The caller owns (and typically reuses) the
+    /// buffer, so a hot query loop filters without allocating a fresh
+    /// vector per query; `&self` only, so any number of threads may
+    /// filter one immutable index concurrently.
     pub fn candidates_into(&self, region: &QueryRegion, out: &mut Vec<K>) -> SearchStats {
         let query = region.aabb();
-        let planes = &self.planes;
-        self.tree.for_each_with_stats(&query, |k| {
-            if let Some((_, boxes)) = planes.get(k) {
-                if boxes.iter().any(|b| b.intersects(&query)) {
-                    out.push(*k);
-                }
-            }
-        })
+        let mut stats = SearchStats::default();
+        for tree in &self.trees {
+            let s = tree.for_each_with_stats(&query, Self::slab_filter(&self.planes, &query, out));
+            stats.nodes_visited += s.nodes_visited;
+            stats.entries_tested += s.entries_tested;
+            stats.matches += s.matches;
+        }
+        stats
     }
 
     /// Candidates for a raw 3-D box (used by the benchmarks).
     pub fn candidates_for_box(&self, query: &Aabb3) -> Vec<K> {
         let mut hits = Vec::new();
-        let planes = &self.planes;
-        self.tree.for_each_intersecting(query, |k| {
-            if let Some((_, boxes)) = planes.get(k) {
-                if boxes.iter().any(|b| b.intersects(query)) {
-                    hits.push(*k);
-                }
-            }
-        });
+        for tree in &self.trees {
+            tree.for_each_intersecting(query, Self::slab_filter(&self.planes, query, &mut hits));
+        }
         hits
     }
 
-    /// Underlying tree statistics: `(entries, nodes, height)`.
+    /// The per-candidate slab filter shared by every probe path: a tree
+    /// hit (union box intersects) only becomes a candidate when one of
+    /// its *slab* boxes intersects the query box.
+    fn slab_filter<'a>(
+        planes: &'a HashMap<K, Stored>,
+        query: &'a Aabb3,
+        out: &'a mut Vec<K>,
+    ) -> impl FnMut(&K) + 'a {
+        move |k| {
+            if let Some(stored) = planes.get(k) {
+                if stored.boxes.iter().any(|b| b.intersects(query)) {
+                    out.push(*k);
+                }
+            }
+        }
+    }
+
+    /// Aggregate tree statistics across bands: `(entries, nodes,
+    /// max height)`.
     pub fn tree_stats(&self) -> (usize, usize, usize) {
-        (self.tree.len(), self.tree.node_count(), self.tree.height())
+        self.trees.iter().fold((0, 0, 0), |(e, n, h), t| {
+            (e + t.len(), n + t.node_count(), h.max(t.height()))
+        })
+    }
+
+    /// Per-band tree statistics, slowest band first.
+    pub fn band_stats(&self) -> Vec<BandStats> {
+        self.trees
+            .iter()
+            .enumerate()
+            .map(|(band, t)| BandStats {
+                band,
+                entries: t.len(),
+                nodes: t.node_count(),
+                height: t.height(),
+            })
+            .collect()
+    }
+
+    /// Test seam: installs a pre-decomposed entry directly, bypassing
+    /// o-plane decomposition — lets tests exercise the empty-boxes
+    /// degenerate path that `to_boxes` can never produce.
+    #[cfg(test)]
+    fn install_raw(&mut self, key: K, plane: OPlane, boxes: Vec<Aabb3>) {
+        let band = self.config.band_for(plane.max_speed);
+        self.install(key, plane, boxes, band);
     }
 }
 
@@ -241,12 +627,16 @@ mod tests {
     }
 
     fn plane(start_arc: f64, t0: f64) -> OPlane {
+        plane_v(start_arc, t0, 1.5)
+    }
+
+    fn plane_v(start_arc: f64, t0: f64, max_speed: f64) -> OPlane {
         OPlane::new(
             RouteId(1),
             start_arc,
             Direction::Forward,
-            1.0,
-            1.5,
+            1.0_f64.min(max_speed),
+            max_speed,
             C,
             BoundKind::Immediate,
             t0,
@@ -292,6 +682,8 @@ mod tests {
         // One tree entry per object, covering only the new plane.
         let (entries, _, _) = idx.tree_stats();
         assert_eq!(entries, 1);
+        // Same band both times: no migration counted.
+        assert_eq!(idx.migrations(), 0);
     }
 
     #[test]
@@ -390,5 +782,191 @@ mod tests {
         let mut idx = idx;
         idx.upsert(9u64, plane(0.0, 0.0), &r).unwrap();
         assert_eq!(idx.len(), 1);
+    }
+
+    // --- band-specific behavior -------------------------------------
+
+    #[test]
+    fn band_config_layout_and_selection() {
+        let c = BandConfig::single(5.0);
+        assert_eq!(c.band_count(), 1);
+        assert_eq!(c.band_for(0.0), 0);
+        assert_eq!(c.band_for(1e9), 0);
+
+        let c = BandConfig::uniform(&[0.5, 1.5], 5.0).unwrap();
+        assert_eq!(c.band_count(), 3);
+        assert_eq!(c.band_for(0.3), 0);
+        assert_eq!(c.band_for(0.5), 0); // edge inclusive
+        assert_eq!(c.band_for(1.0), 1);
+        assert_eq!(c.band_for(7.0), 2);
+        assert_eq!(c.band_for(f64::NAN), 2); // defensively: last band
+        assert!(c.bands()[2].max_speed.is_infinite());
+
+        // Bad edges rejected.
+        assert!(BandConfig::uniform(&[1.0, 0.5], 5.0).is_err());
+        assert!(BandConfig::uniform(&[0.0], 5.0).is_err());
+        assert!(BandConfig::uniform(&[f64::NAN], 5.0).is_err());
+        assert!(BandConfig::uniform(&[1., 2., 3., 4., 5., 6., 7., 8.], 5.0).is_err());
+
+        // Scaled slabs shrink for faster bands; floored at base/16.
+        let c = BandConfig::speed_scaled(&[0.5, 2.0], 4.0).unwrap();
+        assert_eq!(c.bands()[0].slab_minutes, 4.0);
+        assert_eq!(c.bands()[1].slab_minutes, 1.0); // 4 · 0.5/2.0
+        assert_eq!(c.bands()[2].slab_minutes, 0.5); // 4 · 0.5/(2·2.0)
+        let c = BandConfig::speed_scaled(&[0.1, 100.0], 4.0).unwrap();
+        assert_eq!(c.bands()[2].slab_minutes, 0.25); // floored
+
+        // Builder overrides.
+        let c = BandConfig::uniform(&[1.0], 5.0)
+            .unwrap()
+            .with_band_slab(1, 2.5)
+            .with_band_horizon(1, 30.0);
+        assert_eq!(c.bands()[1].slab_minutes, 2.5);
+        assert_eq!(c.bands()[1].fine_horizon, 30.0);
+        // Out-of-range / bad values ignored.
+        let same = c.with_band_slab(9, 1.0).with_band_horizon(0, f64::NAN);
+        assert_eq!(same, c);
+    }
+
+    #[test]
+    fn objects_partition_by_max_speed() {
+        let r = route();
+        let config = BandConfig::uniform(&[1.0], 5.0).unwrap();
+        let mut idx = MovingObjectIndex::with_config(config);
+        idx.upsert(1u64, plane_v(0.0, 0.0, 0.6), &r).unwrap(); // slow band
+        idx.upsert(2u64, plane_v(50.0, 0.0, 2.5), &r).unwrap(); // fast band
+        assert_eq!(idx.band_of(&1), Some(0));
+        assert_eq!(idx.band_of(&2), Some(1));
+        let stats = idx.band_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].entries, 1);
+        assert_eq!(stats[1].entries, 1);
+        assert_eq!(idx.tree_stats().0, 2);
+        // Queries probe both bands and merge.
+        let mut c = idx.candidates(&region(0.0, 100.0, 1.0));
+        c.sort_unstable();
+        assert_eq!(c, vec![1, 2]);
+    }
+
+    #[test]
+    fn upsert_across_bands_migrates() {
+        let r = route();
+        let config = BandConfig::uniform(&[1.0], 5.0).unwrap();
+        let mut idx = MovingObjectIndex::with_config(config);
+        idx.upsert(1u64, plane_v(10.0, 0.0, 0.6), &r).unwrap();
+        assert_eq!(idx.band_of(&1), Some(0));
+        assert_eq!(idx.migrations(), 0);
+        // The DBMS learns a highway-grade top speed: the entry migrates.
+        idx.upsert(1u64, plane_v(12.0, 5.0, 2.0), &r).unwrap();
+        assert_eq!(idx.band_of(&1), Some(1));
+        assert_eq!(idx.migrations(), 1);
+        let stats = idx.band_stats();
+        assert_eq!((stats[0].entries, stats[1].entries), (0, 1));
+        // Still exactly one entry overall, findable where it now is.
+        assert_eq!(idx.tree_stats().0, 1);
+        assert_eq!(idx.candidates(&region(10.0, 25.0, 6.0)), vec![1]);
+        // And back: stop-and-go again.
+        idx.upsert(1u64, plane_v(14.0, 10.0, 0.5), &r).unwrap();
+        assert_eq!(idx.band_of(&1), Some(0));
+        assert_eq!(idx.migrations(), 2);
+    }
+
+    #[test]
+    fn sync_mirrors_band_membership_and_migrations() {
+        let r = route();
+        let config = BandConfig::uniform(&[1.0], 5.0).unwrap();
+        let mut src = MovingObjectIndex::with_config(config);
+        src.upsert(1u64, plane_v(0.0, 0.0, 0.6), &r).unwrap();
+        src.upsert(2u64, plane_v(50.0, 0.0, 2.5), &r).unwrap();
+        let mut shadow = src.clone();
+        // Source migrates object 1 to the fast band.
+        src.upsert(1u64, plane_v(5.0, 5.0, 3.0), &r).unwrap();
+        assert!(shadow.sync_entry_from(&src, &1));
+        assert_eq!(shadow.band_of(&1), src.band_of(&1));
+        assert_eq!(shadow.band_of(&1), Some(1));
+        // The shadow observed the band move as a migration of its own.
+        assert_eq!(shadow.migrations(), 1);
+        for (a, b) in shadow.band_stats().iter().zip(src.band_stats()) {
+            assert_eq!(a.entries, b.entries);
+        }
+        for q in [region(0.0, 30.0, 6.0), region(40.0, 70.0, 2.0)] {
+            let mut cs = shadow.candidates(&q);
+            let mut ct = src.candidates(&q);
+            cs.sort_unstable();
+            ct.sort_unstable();
+            assert_eq!(cs, ct);
+        }
+    }
+
+    #[test]
+    fn single_band_is_bit_identical_to_legacy_layout() {
+        let r = route();
+        let mut banded = MovingObjectIndex::with_config(BandConfig::single(5.0));
+        let mut legacy = MovingObjectIndex::new(5.0);
+        for (k, arc) in [(1u64, 0.0), (2, 30.0), (3, 60.0), (4, 90.0)] {
+            banded.upsert(k, plane(arc, 0.0), &r).unwrap();
+            legacy.upsert(k, plane(arc, 0.0), &r).unwrap();
+        }
+        assert_eq!(banded.tree_stats(), legacy.tree_stats());
+        for q in [
+            region(0.0, 10.0, 2.0),
+            region(25.0, 65.0, 4.0),
+            region(0.0, 100.0, 9.0),
+        ] {
+            let (ca, sa) = banded.candidates_with_stats(&q);
+            let (cb, sb) = legacy.candidates_with_stats(&q);
+            assert_eq!(ca, cb);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    /// The empty-decomposition degenerate path: no `Aabb3::empty()` union
+    /// box may reach a tree, and remove/sync must cope with entries that
+    /// have no tree presence.
+    #[test]
+    fn empty_boxes_skip_tree_entry() {
+        let r = route();
+        let mut idx = MovingObjectIndex::new(5.0);
+        idx.install_raw(1u64, plane(0.0, 0.0), Vec::new());
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.tree_stats().0, 0, "no tree entry for empty boxes");
+        assert_eq!(idx.band_of(&1), None);
+        assert!(idx.candidates(&region(0.0, 100.0, 1.0)).is_empty());
+        // Upserting a real plane over the degenerate entry inserts.
+        idx.upsert(1u64, plane(0.0, 0.0), &r).unwrap();
+        assert_eq!(idx.tree_stats().0, 1);
+        assert_eq!(idx.candidates(&region(0.0, 10.0, 1.0)), vec![1]);
+        // And back to degenerate: the tree entry is deleted.
+        idx.install_raw(1u64, plane(0.0, 0.0), Vec::new());
+        assert_eq!(idx.tree_stats().0, 0);
+        // Remove of a degenerate entry succeeds without tree surgery.
+        assert!(idx.remove(&1));
+        assert_eq!(idx.len(), 0);
+
+        // Sync paths: a shadow mirrors degenerate entries as degenerate.
+        let mut src = MovingObjectIndex::new(5.0);
+        src.install_raw(7u64, plane(10.0, 0.0), Vec::new());
+        let mut shadow = MovingObjectIndex::new(5.0);
+        shadow.upsert(7u64, plane(10.0, 0.0), &r).unwrap();
+        assert!(shadow.sync_entry_from(&src, &7));
+        assert_eq!(shadow.tree_stats().0, 0, "sync dropped the tree entry");
+        assert_eq!(shadow.len(), 1);
+        // Degenerate → real on the source side re-inserts on sync.
+        src.upsert(7u64, plane(10.0, 0.0), &r).unwrap();
+        assert!(shadow.sync_entry_from(&src, &7));
+        assert_eq!(shadow.tree_stats().0, 1);
+    }
+
+    #[test]
+    fn per_band_horizon_bounds_fast_band_boxes() {
+        let r = route();
+        let config = BandConfig::uniform(&[1.0], 5.0)
+            .unwrap()
+            .with_band_horizon(1, 20.0);
+        let mut idx = MovingObjectIndex::with_config(config);
+        idx.upsert(1u64, plane_v(0.0, 0.0, 2.5), &r).unwrap();
+        // 4 fine slabs + 1 coarse tail instead of 12 fine slabs —
+        // but the far future is still covered (soundness).
+        assert_eq!(idx.candidates(&region(30.0, 60.0, 50.0)), vec![1]);
     }
 }

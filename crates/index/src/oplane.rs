@@ -163,23 +163,62 @@ impl OPlane {
     /// [`IndexError::InvalidParameter`] for a bad slab duration; geometry
     /// errors propagate.
     pub fn to_boxes(&self, route: &Route, slab_duration: f64) -> Result<Vec<Aabb3>, IndexError> {
+        self.to_boxes_with_horizon(route, slab_duration, f64::INFINITY)
+    }
+
+    /// Like [`OPlane::to_boxes`], but fine slabs stop `fine_horizon`
+    /// minutes past `start_time`; the remainder of the plane's span (if
+    /// any) is covered by **one** coarse tail slab. Coverage is identical
+    /// to [`OPlane::to_boxes`] — every uncertainty interval stays inside
+    /// some box, so filtering stays sound — only the granularity of the
+    /// tail changes. A speed band with a short horizon uses this to keep
+    /// the slab count of fast objects bounded: fine boxes where queries
+    /// concentrate (near now), one conservative box for the far future.
+    ///
+    /// `fine_horizon = f64::INFINITY` (or anything at or past the plane's
+    /// span) reproduces `to_boxes` exactly. A non-positive or NaN horizon
+    /// is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OPlane::to_boxes`], plus
+    /// [`IndexError::InvalidParameter`] for a bad `fine_horizon`.
+    pub fn to_boxes_with_horizon(
+        &self,
+        route: &Route,
+        slab_duration: f64,
+        fine_horizon: f64,
+    ) -> Result<Vec<Aabb3>, IndexError> {
         if route.id() != self.route {
             return Err(IndexError::RouteMismatch);
         }
         if !slab_duration.is_finite() || slab_duration <= 0.0 {
             return Err(IndexError::InvalidParameter("slab_duration", slab_duration));
         }
+        if fine_horizon.is_nan() || fine_horizon <= 0.0 {
+            return Err(IndexError::InvalidParameter("fine_horizon", fine_horizon));
+        }
         let span = self.end_time - self.start_time;
-        let n_slabs = (span / slab_duration).ceil() as usize;
+        let fine_span = span.min(fine_horizon);
+        let n_fine = ((fine_span / slab_duration).ceil() as usize).max(1);
+        let tail = fine_span < span;
         let route_len = route.length();
-        let mut boxes = Vec::with_capacity(n_slabs.max(1));
-        for i in 0..n_slabs.max(1) {
-            let t0 = self.start_time + i as f64 * slab_duration;
-            let t1 = (t0 + slab_duration).min(self.end_time);
+        let mut boxes = Vec::with_capacity(n_fine + usize::from(tail));
+        let mut slab = |t0: f64, t1: f64| -> Result<(), IndexError> {
             let (l, u) = self.slab_lu(t0, t1);
             let (arc_lo, arc_hi) = self.arcs_from_lu(route_len, l, u);
             let rect = route.polyline().interval_bbox(arc_lo, arc_hi)?;
             boxes.push(Aabb3::from_rect_time(&rect, t0, t1));
+            Ok(())
+        };
+        let fine_end = self.start_time + fine_span;
+        for i in 0..n_fine {
+            let t0 = self.start_time + i as f64 * slab_duration;
+            let t1 = (t0 + slab_duration).min(fine_end);
+            slab(t0, t1)?;
+        }
+        if tail {
+            slab(fine_end, self.end_time)?;
         }
         Ok(boxes)
     }
@@ -357,6 +396,46 @@ mod tests {
         assert!((t_max - 20.0).abs() < 1e-12);
         let t_min = boxes.iter().map(|b| b.min[2]).fold(f64::MAX, f64::min);
         assert!((t_min - 0.0).abs() < 1e-12);
+    }
+
+    /// A finite fine-horizon keeps full coverage: fine slabs up to the
+    /// horizon, then exactly one coarse tail box to the cutoff.
+    #[test]
+    fn horizon_decomposition_covers_with_one_tail_box() {
+        let route = straight_route();
+        for kind in [BoundKind::Delayed, BoundKind::Immediate] {
+            for dir in [Direction::Forward, Direction::Backward] {
+                let p = plane(kind, dir, 50.0);
+                let boxes = p.to_boxes_with_horizon(&route, 2.5, 10.0).unwrap();
+                // 4 fine slabs over [0, 10], one tail over [10, 20].
+                assert_eq!(boxes.len(), 5);
+                let t_max = boxes.iter().map(|b| b.max[2]).fold(f64::MIN, f64::max);
+                assert!((t_max - 20.0).abs() < 1e-12);
+                let mut t = 0.0;
+                while t <= 20.0 {
+                    let (lo, hi) = p.arc_interval(route.length(), t);
+                    for arc in [lo, 0.5 * (lo + hi), hi] {
+                        let pt = route.point_at(arc);
+                        let covered = boxes.iter().any(|b| b.contains_point([pt.x, pt.y, t]));
+                        assert!(covered, "{kind:?} {dir:?}: arc {arc} at t={t} uncovered");
+                    }
+                    t += 0.25;
+                }
+            }
+        }
+        // An infinite (or span-covering) horizon reproduces to_boxes.
+        let p = plane(BoundKind::Delayed, Direction::Forward, 0.0);
+        assert_eq!(
+            p.to_boxes_with_horizon(&route, 4.0, f64::INFINITY).unwrap(),
+            p.to_boxes(&route, 4.0).unwrap()
+        );
+        assert_eq!(
+            p.to_boxes_with_horizon(&route, 4.0, 20.0).unwrap(),
+            p.to_boxes(&route, 4.0).unwrap()
+        );
+        // Bad horizons rejected.
+        assert!(p.to_boxes_with_horizon(&route, 4.0, 0.0).is_err());
+        assert!(p.to_boxes_with_horizon(&route, 4.0, f64::NAN).is_err());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests: the R\*-tree against a brute-force oracle, and
 //! o-plane coverage under random parameters.
 
-use modb_geom::{Aabb3, Point};
-use modb_index::{OPlane, RStarTree};
+use modb_geom::{Aabb3, Point, Polygon, Rect};
+use modb_index::{BandConfig, MovingObjectIndex, OPlane, QueryRegion, RStarTree};
 use modb_policy::BoundKind;
 use modb_routes::{Direction, Route, RouteId};
 use proptest::prelude::*;
@@ -37,6 +37,118 @@ fn query_box() -> impl Strategy<Value = Aabb3> {
         1.0f64..30.0,
     )
         .prop_map(|(x, y, t, w, h, d)| Aabb3::new([x, y, t], [x + w, y + h, t + d]))
+}
+
+/// One moving object's trip parameters, as drawn by the fleet strategy.
+#[derive(Clone, Debug)]
+struct Mover {
+    start_arc: f64,
+    t0: f64,
+    speed: f64,
+    max_speed: f64,
+    backward: bool,
+    immediate: bool,
+}
+
+const TRIP_MINUTES: f64 = 40.0;
+
+fn band_route() -> Route {
+    Route::from_vertices(
+        RouteId(1),
+        "r",
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(60.0, 40.0),
+            Point::new(120.0, 0.0),
+        ],
+    )
+    .unwrap()
+}
+
+fn mover_plane(m: &Mover, route_len: f64) -> OPlane {
+    OPlane::new(
+        RouteId(1),
+        m.start_arc.min(route_len),
+        if m.backward {
+            Direction::Backward
+        } else {
+            Direction::Forward
+        },
+        m.speed.min(m.max_speed),
+        m.max_speed,
+        5.0,
+        if m.immediate {
+            BoundKind::Immediate
+        } else {
+            BoundKind::Delayed
+        },
+        m.t0,
+        m.t0 + TRIP_MINUTES,
+    )
+    .unwrap()
+}
+
+fn fleet(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Mover>> {
+    proptest::collection::vec(
+        (
+            0.0f64..140.0,
+            0.0f64..10.0,
+            0.05f64..2.0,
+            0.0f64..1.5,
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        n,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(
+                |(start_arc, t0, speed, headroom, backward, immediate)| Mover {
+                    start_arc,
+                    t0,
+                    speed,
+                    max_speed: speed + headroom,
+                    backward,
+                    immediate,
+                },
+            )
+            .collect()
+    })
+}
+
+/// 1–3 strictly ascending positive band edges drawn from speed gaps.
+fn band_edges() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.1f64..1.2, 1..=3).prop_map(|gaps| {
+        let mut acc = 0.0;
+        gaps.into_iter()
+            .map(|g| {
+                acc += g;
+                acc
+            })
+            .collect()
+    })
+}
+
+fn rect_region() -> impl Strategy<Value = (QueryRegion, f64, f64)> {
+    (
+        -10.0f64..110.0,
+        -10.0f64..50.0,
+        2.0f64..60.0,
+        2.0f64..40.0,
+        0.0f64..40.0,
+        0.0f64..15.0,
+    )
+        .prop_map(|(x0, y0, w, h, t0, dt)| {
+            let g = Polygon::rectangle(&Rect::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h)))
+                .unwrap();
+            (QueryRegion::during(g, t0, t0 + dt), t0, t0 + dt)
+        })
+}
+
+fn sorted_candidates(idx: &MovingObjectIndex<u64>, q: &QueryRegion) -> Vec<u64> {
+    let mut c = idx.candidates(q);
+    c.sort_unstable();
+    c
 }
 
 fn brute_force(entries: &[(Aabb3, u64)], q: &Aabb3) -> Vec<u64> {
@@ -138,6 +250,134 @@ proptest! {
                 );
             }
             t += 1.37;
+        }
+    }
+
+    /// A banded index with uniform slab settings answers every query with
+    /// exactly the single-tree candidate set — through initial upserts,
+    /// max-speed revisions (band migrations), removals, and a shadow kept
+    /// current via `sync_entry_from`.
+    #[test]
+    fn banded_uniform_matches_single_tree(
+        movers in fleet(1..40),
+        edges in band_edges(),
+        (q, _, _) in rect_region(),
+        slab in 1.0f64..8.0,
+        revise_mask in proptest::collection::vec(any::<bool>(), 40),
+        new_speeds in proptest::collection::vec(0.05f64..3.5, 40),
+        remove_mask in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let route = band_route();
+        let len = route.length();
+        let cfg = BandConfig::uniform(&edges, slab).unwrap();
+        let mut single: MovingObjectIndex<u64> =
+            MovingObjectIndex::with_config(BandConfig::single(slab));
+        let mut banded: MovingObjectIndex<u64> = MovingObjectIndex::with_config(cfg);
+
+        for (i, m) in movers.iter().enumerate() {
+            single.upsert(i as u64, mover_plane(m, len), &route).unwrap();
+            banded.upsert(i as u64, mover_plane(m, len), &route).unwrap();
+        }
+        prop_assert_eq!(banded.len(), single.len());
+        let partitioned: usize = banded.band_stats().iter().map(|b| b.entries).sum();
+        prop_assert_eq!(partitioned, movers.len());
+        prop_assert_eq!(sorted_candidates(&banded, &q), sorted_candidates(&single, &q));
+
+        // The shadow starts as a clone and mirrors every later mutation
+        // entry-by-entry, the way a replica applies a change log.
+        let mut shadow = banded.clone();
+        let mut touched: Vec<u64> = Vec::new();
+
+        // Max-speed revisions: re-upsert with a new top speed, which may
+        // move the object into a different band.
+        let mut expect_migrations = 0u64;
+        for (i, m) in movers.iter().enumerate() {
+            if !revise_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut revised = m.clone();
+            revised.max_speed = new_speeds[i];
+            revised.speed = m.speed.min(revised.max_speed);
+            if cfg.band_for(m.max_speed) != cfg.band_for(revised.max_speed) {
+                expect_migrations += 1;
+            }
+            single.upsert(i as u64, mover_plane(&revised, len), &route).unwrap();
+            banded.upsert(i as u64, mover_plane(&revised, len), &route).unwrap();
+            touched.push(i as u64);
+        }
+        prop_assert_eq!(banded.migrations(), expect_migrations);
+        prop_assert_eq!(sorted_candidates(&banded, &q), sorted_candidates(&single, &q));
+
+        // Removals of a random subset.
+        for (i, _) in movers.iter().enumerate() {
+            if !remove_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            prop_assert_eq!(banded.remove(&(i as u64)), single.remove(&(i as u64)));
+            touched.push(i as u64);
+        }
+        prop_assert_eq!(banded.len(), single.len());
+        prop_assert_eq!(sorted_candidates(&banded, &q), sorted_candidates(&single, &q));
+
+        // Shadow catch-up must land every entry in the same band with the
+        // same answers as its source.
+        for key in &touched {
+            shadow.sync_entry_from(&banded, key);
+        }
+        prop_assert_eq!(shadow.len(), banded.len());
+        for key in &touched {
+            prop_assert_eq!(shadow.band_of(key), banded.band_of(key));
+        }
+        let shadow_bands: Vec<usize> = shadow.band_stats().iter().map(|b| b.entries).collect();
+        let banded_bands: Vec<usize> = banded.band_stats().iter().map(|b| b.entries).collect();
+        prop_assert_eq!(shadow_bands, banded_bands);
+        prop_assert_eq!(sorted_candidates(&shadow, &q), sorted_candidates(&banded, &q));
+    }
+
+    /// Speed-scaled bands (coarser slabs and bounded fine horizons per
+    /// band) stay sound: every object whose true uncertainty region enters
+    /// the query box is reported as a candidate.
+    #[test]
+    fn scaled_bands_stay_sound(
+        movers in fleet(1..30),
+        edges in band_edges(),
+        (q, qt0, qt1) in rect_region(),
+        slab in 1.0f64..8.0,
+        horizon in 5.0f64..30.0,
+    ) {
+        let route = band_route();
+        let len = route.length();
+        let cfg = BandConfig::speed_scaled(&edges, slab)
+            .unwrap()
+            .with_band_horizon(edges.len(), horizon);
+        let mut idx: MovingObjectIndex<u64> = MovingObjectIndex::with_config(cfg);
+        for (i, m) in movers.iter().enumerate() {
+            idx.upsert(i as u64, mover_plane(m, len), &route).unwrap();
+        }
+        let partitioned: usize = idx.band_stats().iter().map(|b| b.entries).sum();
+        prop_assert_eq!(partitioned, movers.len());
+
+        let cands = sorted_candidates(&idx, &q);
+        let qbox = q.aabb();
+        for (i, m) in movers.iter().enumerate() {
+            if cands.binary_search(&(i as u64)).is_ok() {
+                continue;
+            }
+            // Not a candidate: no sampled true position may fall in the box.
+            let plane = mover_plane(m, len);
+            let mut t = qt0.max(m.t0);
+            let t_end = qt1.min(m.t0 + TRIP_MINUTES);
+            while t <= t_end {
+                let (lo, hi) = plane.arc_interval(len, t);
+                for frac in [0.0, 0.5, 1.0] {
+                    let p = route.point_at(lo + frac * (hi - lo));
+                    prop_assert!(
+                        !qbox.contains_point([p.x, p.y, t]),
+                        "object {i} missed by banded index but inside query at t={t}"
+                    );
+                }
+                t += 0.73;
+            }
         }
     }
 }

@@ -71,6 +71,21 @@ fn print_wal_efficiency(stats: &ServerStatsSnapshot) {
     }
 }
 
+/// Index band layout for `\stats`: entries per speed band (slowest
+/// first) plus the band-migration counter.
+fn print_band_summary(stats: &ServerStatsSnapshot) {
+    let bands = (stats.index_bands as usize).min(stats.index_band_entries.len());
+    let entries: Vec<String> = stats.index_band_entries[..bands]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    println!(
+        "  index bands: {bands} entries [{}] migrations: {}",
+        entries.join(", "),
+        stats.index_band_migrations
+    );
+}
+
 fn demo_fleet() -> SharedDatabase {
     let network = generators::grid_network(10, 10, 1.0, 0).expect("valid grid");
     let route_ids = network.route_ids();
@@ -377,6 +392,7 @@ fn main() {
                                     }
                                 }
                                 print_wal_efficiency(stats);
+                                print_band_summary(stats);
                             }
                         }
                         Err(e) => {
@@ -397,13 +413,26 @@ fn main() {
                                 }
                             }
                             print_wal_efficiency(&stats);
+                            print_band_summary(&stats);
                         }
                         Err(e) => {
                             println!("  connection lost: {e}");
                             remote = None;
                         }
                     },
-                    None => println!("  {}", engine.stats()),
+                    None => {
+                        println!("  {}", engine.stats());
+                        let (bands, migrations) = engine
+                            .database()
+                            .with_read(|db| (db.index_band_stats(), db.index_band_migrations()));
+                        let entries: Vec<String> =
+                            bands.iter().map(|b| b.entries.to_string()).collect();
+                        println!(
+                            "  index bands: {} entries [{}] migrations: {migrations}",
+                            bands.len(),
+                            entries.join(", ")
+                        );
+                    }
                 }
                 continue;
             }

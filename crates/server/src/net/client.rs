@@ -242,7 +242,7 @@ impl QueryClient {
     pub fn stats(&mut self) -> Result<ServerStatsSnapshot, WalError> {
         send_message(&mut self.stream, &Message::StatsRequest)?;
         match self.next_message("stats reply")? {
-            Message::StatsReply(stats) => Ok(stats),
+            Message::StatsReply(stats) => Ok(*stats),
             _ => Err(WalError::Decode("unexpected message in stats reply")),
         }
     }

@@ -50,7 +50,9 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use modb_core::{NearestAnswer, Neighbour, ObjectId, PositionAnswer, RangeAnswer, UpdateMessage};
+use modb_core::{
+    NearestAnswer, Neighbour, ObjectId, PositionAnswer, RangeAnswer, UpdateMessage, MAX_BANDS,
+};
 use modb_geom::Point;
 use modb_index::SearchStats;
 use modb_query::QueryResult;
@@ -64,8 +66,9 @@ use crate::query_engine::QueryStatsSnapshot;
 /// refused. v2 added remote ingest (`Update`/`UpdateBatch`/`UpdateAck`),
 /// the `min_lsn` read-your-writes floor on `Batch`, and the shard label
 /// in the stats frame. v3 widened the stats frame with the group-commit
-/// counters (tickets, commits, last batch size).
-pub(crate) const NET_PROTOCOL_VERSION: u32 = 3;
+/// counters (tickets, commits, last batch size). v4 added the speed-band
+/// index gauges (per-band entry counts plus the migration counter).
+pub(crate) const NET_PROTOCOL_VERSION: u32 = 4;
 
 /// Default ceiling on one message's payload. Query scripts and result
 /// sets are small next to replication snapshots, so the front-end default
@@ -143,6 +146,16 @@ pub struct ServerStatsSnapshot {
     /// `shard="N"` label on every Prometheus sample so a scraped
     /// cluster's series stay distinguishable.
     pub shard: Option<u64>,
+    /// Speed bands configured on the time-space index (≥ 1; 1 = the
+    /// un-partitioned single-tree layout). Only the first `index_bands`
+    /// slots of `index_band_entries` are meaningful.
+    pub index_bands: u64,
+    /// Objects indexed per speed band, slowest band first — rendered as
+    /// `modb_index_band_entries{band="N"}`.
+    pub index_band_entries: [u64; MAX_BANDS],
+    /// Upserts/syncs that moved an object between bands since the
+    /// database was created (city↔highway regime changes).
+    pub index_band_migrations: u64,
 }
 
 impl ServerStatsSnapshot {
@@ -261,6 +274,27 @@ impl ServerStatsSnapshot {
         if let Some(lsn) = self.min_acked_lsn {
             metric("modb_replication_min_acked_lsn", "gauge", lsn);
         }
+        metric(
+            "modb_index_band_migrations_total",
+            "counter",
+            self.index_band_migrations,
+        );
+        // Per-band entry gauges carry their own `band` label, merged
+        // with the shard label when the node has one.
+        let _ = writeln!(out, "# TYPE modb_index_band_entries gauge");
+        for band in 0..(self.index_bands as usize).min(MAX_BANDS) {
+            let sample = match self.shard {
+                Some(n) => format!(
+                    "modb_index_band_entries{{shard=\"{n}\",band=\"{band}\"}} {}",
+                    self.index_band_entries[band]
+                ),
+                None => format!(
+                    "modb_index_band_entries{{band=\"{band}\"}} {}",
+                    self.index_band_entries[band]
+                ),
+            };
+            let _ = writeln!(out, "{sample}");
+        }
         out
     }
 }
@@ -283,7 +317,7 @@ pub(crate) enum Message {
     /// End of a batch's statement stream.
     BatchDone { count: u32 },
     /// The stats scrape.
-    StatsReply(ServerStatsSnapshot),
+    StatsReply(Box<ServerStatsSnapshot>),
     /// The server declined (version mismatch, at connection capacity);
     /// the connection closes after this.
     Refused { reason: String },
@@ -494,6 +528,12 @@ fn put_stats(out: &mut Vec<u8>, s: &ServerStatsSnapshot) {
         }
         None => out.push(0),
     }
+    let bands = (s.index_bands as usize).min(MAX_BANDS);
+    put_u64(out, bands as u64);
+    for entries in &s.index_band_entries[..bands] {
+        put_u64(out, *entries);
+    }
+    put_u64(out, s.index_band_migrations);
 }
 
 fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
@@ -531,6 +571,15 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
     let followers = r.u64()?;
     let min_acked_lsn = if r.u8()? != 0 { Some(r.u64()?) } else { None };
     let shard = if r.u8()? != 0 { Some(r.u64()?) } else { None };
+    let index_bands = r.u64()?;
+    if index_bands as usize > MAX_BANDS {
+        return Err(WalError::Decode("band count out of range in stats frame"));
+    }
+    let mut index_band_entries = [0u64; MAX_BANDS];
+    for slot in index_band_entries.iter_mut().take(index_bands as usize) {
+        *slot = r.u64()?;
+    }
+    let index_band_migrations = r.u64()?;
     Ok(ServerStatsSnapshot {
         query,
         ingest,
@@ -544,6 +593,9 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
         followers,
         min_acked_lsn,
         shard,
+        index_bands,
+        index_band_entries,
+        index_band_migrations,
     })
 }
 
@@ -634,7 +686,7 @@ impl Message {
                 Message::Statement { index, verdict }
             }
             6 => Message::BatchDone { count: r.u32()? },
-            7 => Message::StatsReply(read_stats(&mut r)?),
+            7 => Message::StatsReply(Box::new(read_stats(&mut r)?)),
             8 => Message::Refused {
                 reason: r.string()?,
             },
@@ -823,6 +875,14 @@ mod tests {
             followers: 2,
             min_acked_lsn: Some(80),
             shard: Some(3),
+            index_bands: 2,
+            index_band_entries: {
+                let mut entries = [0u64; MAX_BANDS];
+                entries[0] = 70;
+                entries[1] = 30;
+                entries
+            },
+            index_band_migrations: 6,
         }
     }
 
@@ -886,7 +946,7 @@ mod tests {
                 verdict: Err("lex error at byte 0: unterminated string literal".into()),
             },
             Message::BatchDone { count: 4 },
-            Message::StatsReply(sample_stats()),
+            Message::StatsReply(Box::new(sample_stats())),
             Message::Refused {
                 reason: "server at connection capacity".into(),
             },
@@ -1014,6 +1074,7 @@ mod tests {
             ("modb_wal_next_lsn", 88),
             ("modb_replication_followers", 2),
             ("modb_replication_min_acked_lsn", 80),
+            ("modb_index_band_migrations_total", 6),
         ] {
             assert!(
                 text.lines().any(|l| l == format!("{metric} {value}")),
@@ -1025,6 +1086,18 @@ mod tests {
                 "missing TYPE line for {metric}"
             );
         }
+        // Per-band gauges: one sample per configured band, band-labelled.
+        assert!(
+            text.lines()
+                .any(|l| l == "modb_index_band_entries{band=\"0\"} 70"),
+            "{text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l == "modb_index_band_entries{band=\"1\"} 30"),
+            "{text}"
+        );
+        assert!(!text.contains("band=\"2\""), "unconfigured band emitted");
         // No follower connected: the barrier gauge disappears entirely.
         let empty = ServerStatsSnapshot {
             min_acked_lsn: None,
@@ -1039,13 +1112,19 @@ mod tests {
         let text = stats.prometheus_text();
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert!(
-                line.contains("{shard=\"3\"}"),
+                line.contains("shard=\"3\""),
                 "unlabelled sample on a cluster node: {line}"
             );
         }
         assert!(
             text.lines()
                 .any(|l| l == "modb_queries_total{shard=\"3\"} 100"),
+            "{text}"
+        );
+        // Band samples merge the shard label with their band label.
+        assert!(
+            text.lines()
+                .any(|l| l == "modb_index_band_entries{shard=\"3\",band=\"0\"} 70"),
             "{text}"
         );
         // TYPE lines stay label-free (labels belong on samples).

@@ -62,7 +62,7 @@ fn frame(payload: &[u8]) -> Vec<u8> {
 
 fn hello_payload() -> Vec<u8> {
     let mut p = vec![1u8]; // Hello tag
-    p.extend_from_slice(&3u32.to_le_bytes()); // protocol version
+    p.extend_from_slice(&4u32.to_le_bytes()); // protocol version
     p
 }
 

@@ -1,17 +1,63 @@
 //! F5: range-query cost via the 3-D R\*-tree vs exhaustive scan, as the
 //! fleet grows — §4's sublinearity claim.
 //!
-//! Usage: `exp_f5_index_sublinear [queries_per_size]` — default 50.
+//! Usage: `exp_f5_index_sublinear [queries_per_size] [--sizes a,b,c]
+//! [--json PATH]` (defaults: 50 queries over fleets of 1k/5k/20k/50k;
+//! `--json` writes the rows as the CI artifact
+//! `BENCH_index_sublinear.json`).
 
-use modb_sim::experiments::indexing::{run_sublinear, sublinear_table};
+use modb_sim::experiments::indexing::{run_sublinear, sublinear_json, sublinear_table};
 
 fn main() {
-    let queries = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        let flag_and_path: Vec<String> = args.drain(i..(i + 2).min(args.len())).collect();
+        flag_and_path.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --json requires a path");
+            std::process::exit(2);
+        })
+    });
+    let sizes: Vec<usize> = match args.iter().position(|a| a == "--sizes") {
+        Some(i) => {
+            let flag_and_list: Vec<String> = args.drain(i..(i + 2).min(args.len())).collect();
+            flag_and_list
+                .get(1)
+                .map(|list| {
+                    list.split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                eprintln!("error: --sizes wants integers, got {s:?}");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect()
+                })
+                .unwrap_or_else(|| {
+                    eprintln!("error: --sizes requires a comma-separated list");
+                    std::process::exit(2);
+                })
+        }
+        None => vec![1_000, 5_000, 20_000, 50_000],
+    };
+    let queries = args
+        .first()
+        .map(|a| {
+            a.parse().unwrap_or_else(|_| {
+                eprintln!("error: queries_per_size must be a positive integer, got {a:?}");
+                std::process::exit(2);
+            })
+        })
         .unwrap_or(50);
-    let sizes = [1_000, 5_000, 20_000, 50_000];
+
     eprintln!("running sublinearity experiment: fleets {sizes:?}, {queries} queries each");
     let rows = run_sublinear(&sizes, queries);
     println!("{}", sublinear_table(&rows));
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, sublinear_json(&rows)) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
 }

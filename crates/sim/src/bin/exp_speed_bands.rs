@@ -1,0 +1,72 @@
+//! W8: speed-banded vs single-tree filtering on a mixed city/highway
+//! fleet — candidate ratio, filter p50/p99, and band migrations.
+//!
+//! Usage: `exp_speed_bands [n_objects] [n_queries] [grid] [--json PATH]`
+//! (defaults: 100000 objects, 200 queries, 40×40 grid; `--json` writes
+//! the report as the CI artifact `BENCH_speed_bands.json`).
+//!
+//! Exits non-zero if banding fails to reduce the candidate ratio, or if
+//! the churn phase fails to migrate entries between bands. Index/scan
+//! parity and banded≡single candidate equality are asserted inside the
+//! run itself.
+
+use modb_sim::experiments::speed_bands::{run_speed_bands, speed_bands_json, speed_bands_table};
+
+fn arg_or(args: &mut impl Iterator<Item = String>, name: &str, default: usize) -> usize {
+    match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a positive integer, got {a:?}");
+            eprintln!("usage: exp_speed_bands [n_objects] [n_queries] [grid] [--json PATH]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        let flag_and_path: Vec<String> = args.drain(i..(i + 2).min(args.len())).collect();
+        flag_and_path.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --json requires a path");
+            std::process::exit(2);
+        })
+    });
+    let mut args = args.into_iter();
+    let n = arg_or(&mut args, "n_objects", 100_000).max(100);
+    let queries = arg_or(&mut args, "n_queries", 200).max(5);
+    let grid = arg_or(&mut args, "grid", 40).max(4);
+
+    eprintln!(
+        "running speed-band experiment: {n} objects on a {grid}x{grid} grid + highways, \
+         {queries} queries per leg"
+    );
+    let report = run_speed_bands(n, queries, grid);
+    println!("{}", speed_bands_table(&report));
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, speed_bands_json(&report)) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    let single = &report.legs[0];
+    let scaled = &report.legs[2];
+    let mut failed = false;
+    if scaled.cand_ratio >= single.cand_ratio {
+        eprintln!(
+            "FAIL: banded-scaled candidate ratio {:.4} did not improve on single {:.4}",
+            scaled.cand_ratio, single.cand_ratio
+        );
+        failed = true;
+    }
+    if report.migrations == 0 {
+        eprintln!("FAIL: churn phase produced no band migrations");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

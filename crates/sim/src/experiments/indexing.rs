@@ -134,19 +134,14 @@ pub fn run_sublinear(sizes: &[usize], queries_per_size: usize) -> Vec<SublinearR
                 let _ = db.range_query_scan(r).expect("query ok");
             }
             let scan_us = t1.elapsed().as_secs_f64() * 1e6 / regions.len() as f64;
-            let (_, tree_nodes, _) = {
-                // tree stats via a throwaway query
-                let a = db.range_query(&regions[0]).expect("query ok");
-                (a.candidates, a.stats.nodes_visited, 0)
-            };
-            let _ = tree_nodes;
+            let (_, tree_nodes, _) = db.index_tree_stats();
             SublinearRow {
                 n,
                 index_us,
                 scan_us,
                 speedup: scan_us / index_us.max(1e-9),
                 nodes_visited: nodes as f64 / regions.len() as f64,
-                tree_nodes: 0,
+                tree_nodes,
                 candidates: cands as f64 / regions.len() as f64,
             }
         })
@@ -180,6 +175,28 @@ pub fn sublinear_table(rows: &[SublinearRow]) -> String {
         ],
         &table_rows,
     )
+}
+
+/// Renders the F5 rows as the `BENCH_index_sublinear.json` document.
+pub fn sublinear_json(rows: &[SublinearRow]) -> String {
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fleet\": {}, \"index_us\": {:.2}, \"scan_us\": {:.2}, \
+             \"speedup\": {:.2}, \"nodes_per_query\": {:.2}, \"tree_nodes\": {}, \
+             \"cands_per_query\": {:.2}}}{}\n",
+            r.n,
+            r.index_us,
+            r.scan_us,
+            r.speedup,
+            r.nodes_visited,
+            r.tree_nodes,
+            r.candidates,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// T3 result: answer-quality counts over simulated ground truth.
@@ -344,6 +361,15 @@ mod tests {
         let rows = run_index_update(&[100]);
         assert_eq!(rows[0].updates, 100);
         assert!(rows[0].us_per_update > 0.0);
+    }
+
+    #[test]
+    fn sublinear_json_renders() {
+        let rows = run_sublinear(&[100], 5);
+        let json = sublinear_json(&rows);
+        assert!(json.contains("\"fleet\": 100"));
+        assert!(json.contains("\"tree_nodes\""));
+        assert!(rows[0].tree_nodes > 0, "real tree-node count reported");
     }
 
     #[test]

@@ -13,5 +13,6 @@ pub mod query_scaling;
 pub mod replication;
 pub mod savings;
 pub mod sharding;
+pub mod speed_bands;
 pub mod wal_overhead;
 pub mod wal_throughput;

@@ -1,0 +1,421 @@
+//! W8: speed-banded indexing on a mixed city/highway fleet.
+//!
+//! A fast object's o-plane sweeps a long stretch of route, so its union
+//! box is enormous next to a slow neighbour's; in one shared R\*-tree
+//! those boxes inflate every node they touch ("Speed Partitioning for
+//! Indexing Moving Objects", arXiv 1411.4940). W8 builds the same mixed
+//! fleet — city stop-and-go on a grid, highway cruisers on long diagonal
+//! expressways — under three [`BandConfig`] layouts and measures the
+//! filtering step:
+//!
+//! - **single**: one all-speeds band — the historical index.
+//! - **banded-uniform**: slow/fast split at the 1.0 mi/min edge, same
+//!   slab duration per band. Candidate sets are *identical* to single
+//!   (asserted); only tree quality (nodes visited) changes.
+//! - **banded-scaled**: same split, but the fast band gets
+//!   speed-scaled finer slabs — tighter slab boxes, fewer
+//!   false-positive candidates.
+//!
+//! A final churn phase revises `max_speed` on a slice of the fleet
+//! ([`modb_core::Database::set_max_speed`]) to exercise automatic band
+//! migration, then re-checks index/scan parity.
+
+use std::time::Instant;
+
+use modb_core::{
+    BandConfig, Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor,
+    PositionAttribute,
+};
+use modb_geom::Point;
+use modb_policy::BoundKind;
+use modb_routes::{generators, Direction, Route, RouteId, RouteNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::experiments::indexing::query_regions;
+use crate::report::{fmt, render_table};
+
+/// Update cost for every fleet policy.
+const FLEET_C: f64 = 5.0;
+/// First route id of the highway overlay (grid ids stay small).
+const HIGHWAY_ID0: u64 = 100_000;
+/// Speed-band edge between city and highway regimes (mi/min).
+const BAND_EDGE: f64 = 1.0;
+
+/// One object of the mixed fleet, before registration.
+struct FleetSpec {
+    route: RouteId,
+    arc: f64,
+    speed: f64,
+    max_speed: f64,
+}
+
+/// The mixed city/highway workload: the road map plus per-object specs,
+/// identical across index configurations.
+pub struct MixedFleet {
+    network: RouteNetwork,
+    specs: Vec<FleetSpec>,
+    /// Objects in the city (slow) regime.
+    pub city: usize,
+    /// Objects in the highway (fast) regime.
+    pub highway: usize,
+}
+
+/// Builds the mixed fleet: `n` objects, `highway_share` (0..1) of them
+/// cruising long diagonal expressways at 1.2–2.4 mi/min (`V` = 2.5), the
+/// rest in stop-and-go grid traffic at 0.1–0.6 mi/min (`V` = 0.8).
+pub fn build_mixed_fleet(seed: u64, n: usize, grid: usize, highway_share: f64) -> MixedFleet {
+    let extent = (grid - 1) as f64;
+    let mut network = generators::grid_network(grid, grid, 1.0, 0).expect("valid grid");
+    // Highway overlay: diagonal expressways crossing the whole grid, so
+    // fast sweeps are geometrically distinct from any city street.
+    let n_highways = 4usize;
+    for k in 0..n_highways {
+        let off = extent * (k as f64 + 0.5) / n_highways as f64;
+        let (a, b) = if k % 2 == 0 {
+            (
+                Point::new(0.0, off),
+                Point::new(extent, (off + extent / 2.0) % extent),
+            )
+        } else {
+            (
+                Point::new(off, 0.0),
+                Point::new((off + extent / 2.0) % extent, extent),
+            )
+        };
+        let route = Route::from_vertices(
+            RouteId(HIGHWAY_ID0 + k as u64),
+            format!("hwy-{k}"),
+            vec![a, b],
+        )
+        .expect("valid highway");
+        network.insert(route).expect("fresh id");
+    }
+    let highway_ids: Vec<RouteId> = (0..n_highways)
+        .map(|k| RouteId(HIGHWAY_ID0 + k as u64))
+        .collect();
+    let city_ids: Vec<RouteId> = network
+        .route_ids()
+        .into_iter()
+        .filter(|r| r.0 < HIGHWAY_ID0)
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_highway = ((n as f64) * highway_share.clamp(0.0, 1.0)).round() as usize;
+    let specs: Vec<FleetSpec> = (0..n)
+        .map(|i| {
+            let fast = i < n_highway;
+            let pool = if fast { &highway_ids } else { &city_ids };
+            let route = pool[rng.gen_range(0..pool.len())];
+            let len = network.get(route).expect("generated route").length();
+            FleetSpec {
+                route,
+                arc: rng.gen_range(0.0..len),
+                speed: if fast {
+                    rng.gen_range(1.2..2.4)
+                } else {
+                    rng.gen_range(0.1..0.6)
+                },
+                max_speed: if fast { 2.5 } else { 0.8 },
+            }
+        })
+        .collect();
+    MixedFleet {
+        network,
+        specs,
+        city: n - n_highway,
+        highway: n_highway,
+    }
+}
+
+impl MixedFleet {
+    /// Registers the whole fleet into a fresh database under `bands`.
+    pub fn database(&self, bands: BandConfig) -> Database {
+        let config = DatabaseConfig {
+            bands,
+            ..DatabaseConfig::default()
+        };
+        let mut db = Database::new(self.network.clone(), config);
+        for (i, s) in self.specs.iter().enumerate() {
+            let route = db.network().get(s.route).expect("route exists");
+            db.register_moving(MovingObject {
+                id: ObjectId(i as u64),
+                name: format!("veh-{i}"),
+                attr: PositionAttribute {
+                    start_time: 0.0,
+                    route: s.route,
+                    start_position: route.point_at(s.arc),
+                    start_arc: s.arc,
+                    direction: if i % 2 == 0 {
+                        Direction::Forward
+                    } else {
+                        Direction::Backward
+                    },
+                    speed: s.speed,
+                    policy: PolicyDescriptor::CostBased {
+                        kind: BoundKind::Immediate,
+                        update_cost: FLEET_C,
+                    },
+                },
+                max_speed: s.max_speed,
+                trip_end: Some(60.0),
+            })
+            .expect("valid object");
+        }
+        db
+    }
+}
+
+/// Measurements for one index configuration (one experiment leg).
+#[derive(Debug, Clone)]
+pub struct BandLeg {
+    /// Leg label (`single`, `banded-uniform`, `banded-scaled`).
+    pub label: &'static str,
+    /// Mean candidates per query.
+    pub cand_per_q: f64,
+    /// Candidates as a fraction of the fleet (the candidate ratio).
+    pub cand_ratio: f64,
+    /// Median filter latency (microseconds per query).
+    pub filter_p50_us: f64,
+    /// Tail filter latency (microseconds per query).
+    pub filter_p99_us: f64,
+    /// Mean R\*-tree nodes visited per query, summed across bands.
+    pub nodes_per_q: f64,
+    /// Index entries per band, slowest first.
+    pub band_entries: Vec<usize>,
+}
+
+/// The W8 report.
+#[derive(Debug, Clone)]
+pub struct SpeedBandReport {
+    /// Fleet size.
+    pub n: usize,
+    /// City-regime objects.
+    pub city: usize,
+    /// Highway-regime objects.
+    pub highway: usize,
+    /// Queries per leg.
+    pub queries: usize,
+    /// One row per index configuration.
+    pub legs: Vec<BandLeg>,
+    /// Objects whose `max_speed` was revised in the churn phase.
+    pub migrated: usize,
+    /// Band migrations the index counted during that churn.
+    pub migrations: u64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Runs one leg: per-query filter timing over `regions`, plus an
+/// index-vs-scan parity check on a sample.
+fn run_leg(
+    label: &'static str,
+    db: &Database,
+    regions: &[modb_index::QueryRegion],
+    parity_sample: usize,
+) -> BandLeg {
+    for r in regions.iter().take(parity_sample) {
+        let a = db.range_query(r).expect("query ok");
+        let b = db.range_query_scan(r).expect("query ok");
+        assert_eq!(a.must, b.must, "{label}: index/scan must-set mismatch");
+        assert_eq!(a.may, b.may, "{label}: index/scan may-set mismatch");
+    }
+    let n = db.moving_count();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(regions.len());
+    let mut cands = 0usize;
+    let mut nodes = 0usize;
+    for r in regions {
+        let t0 = Instant::now();
+        let (c, stats) = db.range_candidates(r);
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        cands += c.len();
+        nodes += stats.nodes_visited;
+    }
+    lat_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let per_q = cands as f64 / regions.len() as f64;
+    BandLeg {
+        label,
+        cand_per_q: per_q,
+        cand_ratio: per_q / n as f64,
+        filter_p50_us: percentile(&lat_us, 0.50),
+        filter_p99_us: percentile(&lat_us, 0.99),
+        nodes_per_q: nodes as f64 / regions.len() as f64,
+        band_entries: db.index_band_stats().iter().map(|b| b.entries).collect(),
+    }
+}
+
+/// Runs W8: the three index layouts over one mixed fleet, then the
+/// band-migration churn phase.
+pub fn run_speed_bands(n: usize, n_queries: usize, grid: usize) -> SpeedBandReport {
+    let fleet = build_mixed_fleet(42, n, grid, 0.3);
+    let regions = query_regions(&fleet.network, n_queries, 2.0, 3.0, 7);
+    let parity_sample = n_queries.min(10);
+
+    let single = fleet.database(BandConfig::single(5.0));
+    let uniform = fleet.database(BandConfig::uniform(&[BAND_EDGE], 5.0).expect("valid edges"));
+    let scaled = fleet.database(BandConfig::speed_scaled(&[BAND_EDGE], 5.0).expect("valid edges"));
+
+    // Uniform-slab banding must reproduce the single tree's candidate
+    // sets exactly — partitioning changes the search, never the answer.
+    for r in regions.iter().take(parity_sample) {
+        let mut a = single.range_candidates(r).0;
+        let mut b = uniform.range_candidates(r).0;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "banded-uniform candidates diverge from single");
+    }
+
+    let legs = vec![
+        run_leg("single", &single, &regions, parity_sample),
+        run_leg("banded-uniform", &uniform, &regions, parity_sample),
+        run_leg("banded-scaled", &scaled, &regions, parity_sample),
+    ];
+
+    // Churn: every 10th city vehicle is reclassified for highway duty —
+    // its entry must migrate bands, and answers must stay correct.
+    let mut scaled = scaled;
+    let before = scaled.index_band_migrations();
+    let migrate: Vec<ObjectId> = (0..fleet.city)
+        .filter(|i| i % 10 == 0)
+        .map(|i| ObjectId((fleet.highway + i) as u64))
+        .collect();
+    for &id in &migrate {
+        scaled.set_max_speed(id, 2.5).expect("known object");
+    }
+    let migrations = scaled.index_band_migrations() - before;
+    for r in regions.iter().take(parity_sample) {
+        let a = scaled.range_query(r).expect("query ok");
+        let b = scaled.range_query_scan(r).expect("query ok");
+        assert_eq!(a.must, b.must, "post-migration must-set mismatch");
+        assert_eq!(a.may, b.may, "post-migration may-set mismatch");
+    }
+
+    SpeedBandReport {
+        n,
+        city: fleet.city,
+        highway: fleet.highway,
+        queries: n_queries,
+        legs,
+        migrated: migrate.len(),
+        migrations,
+    }
+}
+
+/// Renders the W8 table.
+pub fn speed_bands_table(report: &SpeedBandReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .legs
+        .iter()
+        .map(|l| {
+            vec![
+                l.label.to_string(),
+                fmt(l.cand_per_q),
+                format!("{:.4}", l.cand_ratio),
+                fmt(l.filter_p50_us),
+                fmt(l.filter_p99_us),
+                fmt(l.nodes_per_q),
+                format!("{:?}", l.band_entries),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        &format!(
+            "W8: speed-banded filtering, {} objects ({} city / {} highway), {} queries",
+            report.n, report.city, report.highway, report.queries
+        ),
+        &[
+            "config",
+            "cands/q",
+            "cand ratio",
+            "p50 us/q",
+            "p99 us/q",
+            "nodes/q",
+            "band entries",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nchurn: {} max_speed revisions -> {} band migrations\n",
+        report.migrated, report.migrations
+    ));
+    out
+}
+
+/// Renders the report as the `BENCH_speed_bands.json` document.
+pub fn speed_bands_json(report: &SpeedBandReport) -> String {
+    let mut out = format!(
+        "{{\n  \"objects\": {},\n  \"city\": {},\n  \"highway\": {},\n  \"queries\": {},\n  \"legs\": [\n",
+        report.n, report.city, report.highway, report.queries
+    );
+    for (i, l) in report.legs.iter().enumerate() {
+        let entries: Vec<String> = l.band_entries.iter().map(|e| e.to_string()).collect();
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"cands_per_query\": {:.2}, \"cand_ratio\": {:.6}, \
+             \"filter_p50_us\": {:.2}, \"filter_p99_us\": {:.2}, \"nodes_per_query\": {:.2}, \
+             \"band_entries\": [{}]}}{}\n",
+            l.label,
+            l.cand_per_q,
+            l.cand_ratio,
+            l.filter_p50_us,
+            l.filter_p99_us,
+            l.nodes_per_q,
+            entries.join(", "),
+            if i + 1 == report.legs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"churn\": {{\"revised\": {}, \"migrations\": {}}}\n}}\n",
+        report.migrated, report.migrations
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_fleet_splits_regimes() {
+        let fleet = build_mixed_fleet(1, 100, 10, 0.3);
+        assert_eq!(fleet.city + fleet.highway, 100);
+        assert_eq!(fleet.highway, 30);
+        let db = fleet.database(BandConfig::uniform(&[BAND_EDGE], 5.0).unwrap());
+        let stats = db.index_band_stats();
+        assert_eq!(stats[0].entries, fleet.city);
+        assert_eq!(stats[1].entries, fleet.highway);
+    }
+
+    #[test]
+    fn report_runs_and_banding_reduces_candidates() {
+        let report = run_speed_bands(400, 12, 12);
+        assert_eq!(report.legs.len(), 3);
+        // Parity asserts inside run_speed_bands; the scaled leg must not
+        // produce more candidates than the single tree.
+        let single = &report.legs[0];
+        let scaled = &report.legs[2];
+        assert!(
+            scaled.cand_per_q <= single.cand_per_q + 1e-9,
+            "scaled {} vs single {}",
+            scaled.cand_per_q,
+            single.cand_per_q
+        );
+        assert!(report.migrations > 0, "churn phase migrated nobody");
+        assert_eq!(report.migrations as usize, report.migrated);
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let report = run_speed_bands(150, 6, 8);
+        let json = speed_bands_json(&report);
+        assert!(json.contains("\"legs\""));
+        assert!(json.contains("banded-scaled"));
+        assert!(json.contains("\"migrations\""));
+        assert!(speed_bands_table(&report).contains("cand ratio"));
+    }
+}

@@ -9,8 +9,8 @@
 //! including NaN payloads — which the property tests rely on.
 
 use modb_core::{
-    DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute, StationaryObject,
-    UpdateMessage, UpdatePosition,
+    BandConfig, BandSpec, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor,
+    PositionAttribute, StationaryObject, UpdateMessage, UpdatePosition, MAX_BANDS,
 };
 use modb_geom::Point;
 use modb_policy::BoundKind;
@@ -438,11 +438,41 @@ impl WalCodec for RouteNetwork {
     }
 }
 
+impl WalCodec for BandConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let bands = self.bands();
+        put_u32(out, bands.len() as u32);
+        for band in bands {
+            put_f64(out, band.max_speed);
+            put_f64(out, band.slab_minutes);
+            put_f64(out, band.fine_horizon);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WalError> {
+        let n = r.u32()? as usize;
+        if n == 0 || n > MAX_BANDS {
+            return Err(WalError::Decode("band count out of range"));
+        }
+        let mut specs = [BandSpec {
+            max_speed: f64::INFINITY,
+            slab_minutes: 1.0,
+            fine_horizon: f64::INFINITY,
+        }; MAX_BANDS];
+        for spec in specs.iter_mut().take(n) {
+            spec.max_speed = r.f64()?;
+            spec.slab_minutes = r.f64()?;
+            spec.fine_horizon = r.f64()?;
+        }
+        BandConfig::from_bands(&specs[..n]).map_err(|_| WalError::Decode("invalid band config"))
+    }
+}
+
 impl WalCodec for DatabaseConfig {
     fn encode(&self, out: &mut Vec<u8>) {
         put_f64(out, self.map_match_tolerance);
         put_f64(out, self.default_horizon);
-        put_f64(out, self.slab_minutes);
+        self.bands.encode(out);
         put_f64(out, self.refinement_dt);
         put_u64(out, self.history_capacity as u64);
         put_u64(out, self.change_log_capacity as u64);
@@ -452,7 +482,7 @@ impl WalCodec for DatabaseConfig {
         Ok(DatabaseConfig {
             map_match_tolerance: r.f64()?,
             default_horizon: r.f64()?,
-            slab_minutes: r.f64()?,
+            bands: BandConfig::decode(r)?,
             refinement_dt: r.f64()?,
             history_capacity: r.u64()? as usize,
             change_log_capacity: r.u64()? as usize,
@@ -595,11 +625,47 @@ mod tests {
         round_trip(DatabaseConfig {
             map_match_tolerance: 0.1,
             default_horizon: 90.0,
-            slab_minutes: 2.0,
+            bands: BandConfig::single(2.0),
             refinement_dt: 0.5,
             history_capacity: 7,
             change_log_capacity: 64,
         });
+        // Multi-band layouts (incl. per-band horizons) round-trip too.
+        round_trip(DatabaseConfig {
+            bands: BandConfig::speed_scaled(&[0.5, 1.5], 5.0)
+                .unwrap()
+                .with_band_horizon(2, 20.0),
+            ..DatabaseConfig::default()
+        });
+    }
+
+    #[test]
+    fn band_config_rejects_malformed_bytes() {
+        // Zero bands.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0);
+        assert!(BandConfig::decode(&mut ByteReader::new(&buf)).is_err());
+        // Too many bands.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, MAX_BANDS as u32 + 1);
+        assert!(BandConfig::decode(&mut ByteReader::new(&buf)).is_err());
+        // Non-ascending edges.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        for edge in [2.0, f64::INFINITY] {
+            put_f64(&mut buf, edge);
+            put_f64(&mut buf, 5.0);
+            put_f64(&mut buf, f64::INFINITY);
+        }
+        assert!(BandConfig::decode(&mut ByteReader::new(&buf)).is_ok());
+        buf.clear();
+        put_u32(&mut buf, 2);
+        for edge in [2.0, 1.0] {
+            put_f64(&mut buf, edge);
+            put_f64(&mut buf, 5.0);
+            put_f64(&mut buf, f64::INFINITY);
+        }
+        assert!(BandConfig::decode(&mut ByteReader::new(&buf)).is_err());
     }
 
     #[test]

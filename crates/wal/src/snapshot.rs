@@ -35,8 +35,10 @@ use crate::error::WalError;
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MODBSNP1";
 /// Current snapshot format version. Version 2 added
-/// `DatabaseConfig::change_log_capacity` to the config codec.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// `DatabaseConfig::change_log_capacity` to the config codec; version 3
+/// replaced the scalar `slab_minutes` with the speed-band layout
+/// (`DatabaseConfig::bands`).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// File name for the snapshot taken at `lsn` (zero-padded so
 /// lexicographic order equals LSN order).
