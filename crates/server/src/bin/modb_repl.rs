@@ -29,8 +29,9 @@ use modb_policy::BoundKind;
 use modb_query::QueryResult;
 use modb_routes::{generators, Direction};
 use modb_server::{
-    ClusterRouter, QueryClient, QueryEngine, QueryEngineConfig, ReplicaConfig, ServerStatsSnapshot,
-    ShardMap, SharedDatabase, StandbyReplica,
+    BatchOutcome, ClusterRouter, QueryClient, QueryEngine, QueryEngineConfig, QueryServer,
+    QueryServerConfig, ReplicaConfig, ServerStatsSnapshot, ShardMap, SharedDatabase,
+    StandbyReplica,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,6 +49,10 @@ commands:  \\h help   \\q quit   \\epoch publish snapshot + stats
            \\save <dir> snapshot state   \\load <dir> recover state
            \\replica <addr> <dir> follow a leader (queries move to the replica)
            \\replica show lag/watermark stats   \\replica stop detach
+           \\replica serve <addr> answer remote queries from this replica
+           (lag-widened, read-your-writes floors honoured or refused Stale)
+           \\session show this connection's read-your-writes token
+           \\session <lsn> raise it (use a writer's token to read its writes)
            \\connect <addr> send queries to a remote front-end
            \\connect show connection   \\connect stop go local again
            \\cluster <addr> <addr> ... scatter-gather queries across shard
@@ -248,10 +253,19 @@ fn print_remote(result: &QueryResult) {
 
 /// Runs a script on the remote front-end, printing per-statement
 /// verdicts. Returns `false` when the connection died (the caller then
-/// drops it and the console goes local again).
+/// drops it and the console goes local again). A typed `Stale` refusal
+/// is not a dead connection: the session (and its token) stay up.
 fn run_remote(client: &mut QueryClient, script: &str) -> bool {
-    match client.batch(script) {
-        Ok(verdicts) => {
+    match client.batch_attempt(script, client.token()) {
+        Ok(BatchOutcome::Stale { applied, required }) => {
+            println!(
+                "  stale: follower applied {applied} < session token {required} \
+                 (retry once it catches up, or \\connect a fresher follower \
+                 — tokens never lower on a live session)"
+            );
+            true
+        }
+        Ok(BatchOutcome::Done(verdicts)) => {
             let many = verdicts.len() > 1;
             for (i, verdict) in verdicts.iter().enumerate() {
                 if many {
@@ -309,6 +323,7 @@ fn main() {
     let mut db = demo_fleet();
     let mut engine = console_engine(&db);
     let mut replica: Option<StandbyReplica> = None;
+    let mut replica_server: Option<QueryServer> = None;
     let mut remote: Option<QueryClient> = None;
     let mut cluster: Option<ClusterRouter> = None;
     println!(
@@ -352,10 +367,46 @@ fn main() {
                         None => println!("  no replica attached — \\replica <addr> <dir>"),
                     },
                     ["stop"] => match replica.take() {
-                        Some(r) => println!("  detached: {}", r.shutdown()),
+                        Some(r) => {
+                            if let Some(server) = replica_server.take() {
+                                server.shutdown();
+                                println!("  stopped serving follower reads");
+                            }
+                            println!("  detached: {}", r.shutdown());
+                        }
                         None => println!("  no replica attached"),
                     },
+                    ["serve", addr] => match &replica {
+                        Some(r) => {
+                            if let Some(server) = replica_server.take() {
+                                server.shutdown();
+                            }
+                            let follower_engine = std::sync::Arc::new(
+                                r.database().query_engine(QueryEngineConfig::default()),
+                            );
+                            match r.serve_queries(
+                                follower_engine,
+                                *addr,
+                                QueryServerConfig::default(),
+                            ) {
+                                Ok(server) => {
+                                    println!(
+                                        "  serving follower reads on {} (lag-widened; \
+                                         session floors honoured or refused Stale)",
+                                        server.local_addr()
+                                    );
+                                    replica_server = Some(server);
+                                }
+                                Err(e) => println!("  error: {e}"),
+                            }
+                        }
+                        None => println!("  no replica attached — \\replica <addr> <dir> first"),
+                    },
                     [addr, dir] => {
+                        if let Some(server) = replica_server.take() {
+                            server.shutdown();
+                            println!("  stopped serving follower reads");
+                        }
                         if let Some(r) = replica.take() {
                             println!("  detached: {}", r.shutdown());
                         }
@@ -376,7 +427,30 @@ fn main() {
                             Err(e) => println!("  error: {e}"),
                         }
                     }
-                    _ => println!("  usage: \\replica [<addr> <dir> | stop]"),
+                    _ => println!("  usage: \\replica [<addr> <dir> | serve <addr> | stop]"),
+                }
+                continue;
+            }
+            cmd if cmd.starts_with("\\session") => {
+                let args: Vec<&str> = cmd
+                    .strip_prefix("\\session")
+                    .unwrap_or("")
+                    .split_whitespace()
+                    .collect();
+                match (&mut remote, args.as_slice()) {
+                    (None, _) => println!("  no remote connection — \\connect <addr> first"),
+                    (Some(client), []) => println!(
+                        "  read-your-writes token: {} (stamped on every batch)",
+                        client.token()
+                    ),
+                    (Some(client), [lsn]) => match lsn.parse::<u64>() {
+                        Ok(lsn) => {
+                            client.set_token(lsn);
+                            println!("  read-your-writes token now {}", client.token());
+                        }
+                        Err(_) => println!("  usage: \\session [<lsn>]"),
+                    },
+                    _ => println!("  usage: \\session [<lsn>]"),
                 }
                 continue;
             }

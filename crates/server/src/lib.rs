@@ -70,15 +70,16 @@ pub use ingest::{
     UpdateEnvelope, UpdateOutcome, WAL_BATCH_RECORDS,
 };
 pub use net::{
-    QueryClient, QueryClientConfig, QueryServer, QueryServerConfig, RemoteUpdateVerdict,
-    RemoteVerdict, ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
+    BatchOutcome, FollowerStatus, QueryClient, QueryClientConfig, QueryServer, QueryServerConfig,
+    ReadRouter, ReadRouterConfig, RemoteUpdateVerdict, RemoteVerdict, ServerStatsSnapshot,
+    DEFAULT_MAX_FRAME_BYTES,
 };
 pub use query_engine::{
     BatchRequest, EpochSnapshot, QueryEngine, QueryEngineConfig, QueryStats, QueryStatsSnapshot,
 };
 pub use replication::{
-    ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicationConfig, ReplicationServer,
-    ReplicationStatsSnapshot, ShipHorizon, StandbyReplica,
+    ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicaWatch, ReplicationConfig,
+    ReplicationServer, ReplicationStatsSnapshot, ShipHorizon, StandbyReplica,
 };
 pub use shadow::ShadowBuffer;
 pub use shared::SharedDatabase;

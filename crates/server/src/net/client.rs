@@ -39,6 +39,26 @@ fn timeout_error(what: &str) -> WalError {
     ))
 }
 
+/// How a server answered one `Batch` request: the verdict vector, or a
+/// follower's typed staleness refusal (its applied watermark had not
+/// reached the batch's read-your-writes floor within the server's wait
+/// deadline). `Stale` leaves the session usable — retry here later, or
+/// route to a fresher follower ([`crate::ReadRouter`] does exactly
+/// that).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    /// The batch ran; one verdict per statement in script order.
+    Done(Vec<RemoteVerdict>),
+    /// A follower could not satisfy the floor within its wait deadline.
+    Stale {
+        /// The follower's applied watermark at the moment of refusal.
+        applied: u64,
+        /// The read-your-writes floor it could not reach (echoes the
+        /// request's `min_lsn`).
+        required: u64,
+    },
+}
+
 /// A blocking connection to a [`crate::net::QueryServer`]. One request
 /// runs at a time: [`QueryClient::batch`] sends a `;`-script and
 /// collects the per-statement verdicts, [`QueryClient::update`] /
@@ -142,6 +162,25 @@ impl QueryClient {
         script: &str,
         min_lsn: u64,
     ) -> Result<Vec<RemoteVerdict>, WalError> {
+        match self.batch_attempt(script, min_lsn)? {
+            BatchOutcome::Done(verdicts) => Ok(verdicts),
+            BatchOutcome::Stale { applied, required } => Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                format!("follower stale: applied {applied} < required {required}"),
+            ))),
+        }
+    }
+
+    /// [`QueryClient::batch_with_token`] surfacing a follower's typed
+    /// `Stale` refusal instead of folding it into the error side — the
+    /// building block for retry-elsewhere routing. The session survives
+    /// a `Stale`; the same client can immediately try a lower floor or a
+    /// later retry.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, or a response timeout.
+    pub fn batch_attempt(&mut self, script: &str, min_lsn: u64) -> Result<BatchOutcome, WalError> {
         send_message(
             &mut self.stream,
             &Message::Batch {
@@ -162,7 +201,10 @@ impl QueryClient {
                     if count as usize != verdicts.len() {
                         return Err(WalError::Decode("batch result count mismatch"));
                     }
-                    return Ok(verdicts);
+                    return Ok(BatchOutcome::Done(verdicts));
+                }
+                Message::Stale { applied, required } if verdicts.is_empty() => {
+                    return Ok(BatchOutcome::Stale { applied, required });
                 }
                 _ => return Err(WalError::Decode("unexpected message in batch reply")),
             }
@@ -217,6 +259,14 @@ impl QueryClient {
     /// connection to make *that* reader see this writer's updates.
     pub fn token(&self) -> u64 {
         self.token
+    }
+
+    /// Raises the read-your-writes floor to `lsn` (never lowers it).
+    /// Use a token minted by a writer connection — e.g. the REPL's
+    /// `\session <lsn>` — to make this reader observe that writer's
+    /// acknowledged updates even across processes.
+    pub fn set_token(&mut self, lsn: u64) {
+        self.token = self.token.max(lsn);
     }
 
     fn recv_update_ack(

@@ -22,10 +22,13 @@
 
 mod client;
 mod protocol;
+mod router;
 mod server;
 
-pub use client::{QueryClient, QueryClientConfig};
+pub use client::{BatchOutcome, QueryClient, QueryClientConfig};
 pub use protocol::{
     RemoteUpdateVerdict, RemoteVerdict, ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
 };
+pub use router::{FollowerStatus, ReadRouter, ReadRouterConfig};
+pub(crate) use server::serve_follower_queries;
 pub use server::{QueryServer, QueryServerConfig};

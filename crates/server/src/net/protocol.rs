@@ -22,6 +22,7 @@
 //! | 9   | `Update`       | client → server | `id u64, msg UpdateMessage`        |
 //! | 10  | `UpdateBatch`  | client → server | `count u32, (id, msg)*`            |
 //! | 11  | `UpdateAck`    | server → client | `lsn u64, count u32, verdict*`     |
+//! | 12  | `Stale`        | server → client | `applied u64, required u64`        |
 //!
 //! A `Batch` is answered by one `Statement` per `;`-separated statement
 //! (in script order) followed by a `BatchDone` carrying the count, so a
@@ -67,8 +68,11 @@ use crate::query_engine::QueryStatsSnapshot;
 /// the `min_lsn` read-your-writes floor on `Batch`, and the shard label
 /// in the stats frame. v3 widened the stats frame with the group-commit
 /// counters (tickets, commits, last batch size). v4 added the speed-band
-/// index gauges (per-band entry counts plus the migration counter).
-pub(crate) const NET_PROTOCOL_VERSION: u32 = 4;
+/// index gauges (per-band entry counts plus the migration counter). v5
+/// added follower-served reads: the typed `Stale` answer to a `Batch`
+/// whose `min_lsn` token outruns a follower's applied watermark, plus
+/// the replica watermark/lag gauges in the stats frame.
+pub(crate) const NET_PROTOCOL_VERSION: u32 = 5;
 
 /// Default ceiling on one message's payload. Query scripts and result
 /// sets are small next to replication snapshots, so the front-end default
@@ -156,6 +160,14 @@ pub struct ServerStatsSnapshot {
     /// Upserts/syncs that moved an object between bands since the
     /// database was created (city↔highway regime changes).
     pub index_band_migrations: u64,
+    /// Applied-LSN watermark when the serving node is a standby replica
+    /// (`None` on a leader) — rendered as `modb_replica_applied_lsn`.
+    pub replica_applied_lsn: Option<u64>,
+    /// How long the serving replica has continuously trailed its
+    /// upstream's frontier (`None` on a leader, zero when caught up) —
+    /// the `Δ` of the `2·v_max·Δ` staleness widening, rendered as
+    /// `modb_replica_lag_seconds`.
+    pub replica_lag: Option<Duration>,
 }
 
 impl ServerStatsSnapshot {
@@ -279,6 +291,20 @@ impl ServerStatsSnapshot {
             "counter",
             self.index_band_migrations,
         );
+        if let Some(lsn) = self.replica_applied_lsn {
+            metric("modb_replica_applied_lsn", "gauge", lsn);
+        }
+        // The lag gauge is fractional seconds, so it bypasses the u64
+        // `metric` closure; like the other replica gauges it is omitted
+        // entirely on a leader.
+        if let Some(lag) = self.replica_lag {
+            let _ = writeln!(out, "# TYPE modb_replica_lag_seconds gauge");
+            let _ = writeln!(
+                out,
+                "modb_replica_lag_seconds{labels} {:.6}",
+                lag.as_secs_f64()
+            );
+        }
         // Per-band entry gauges carry their own `band` label, merged
         // with the shard label when the node has one.
         let _ = writeln!(out, "# TYPE modb_index_band_entries gauge");
@@ -335,6 +361,12 @@ pub(crate) enum Message {
         lsn: u64,
         verdicts: Vec<RemoteUpdateVerdict>,
     },
+    /// A follower's typed refusal of a `Batch` whose read-your-writes
+    /// floor outran its applied watermark past the wait deadline:
+    /// `applied` is the watermark at refusal time, `required` echoes the
+    /// floor. The session stays open — the client may retry here or
+    /// route the batch to a fresher follower.
+    Stale { applied: u64, required: u64 },
 }
 
 fn put_point(out: &mut Vec<u8>, p: &Point) {
@@ -534,6 +566,20 @@ fn put_stats(out: &mut Vec<u8>, s: &ServerStatsSnapshot) {
         put_u64(out, *entries);
     }
     put_u64(out, s.index_band_migrations);
+    match s.replica_applied_lsn {
+        Some(lsn) => {
+            out.push(1);
+            put_u64(out, lsn);
+        }
+        None => out.push(0),
+    }
+    match s.replica_lag {
+        Some(lag) => {
+            out.push(1);
+            put_u64(out, lag.as_nanos() as u64);
+        }
+        None => out.push(0),
+    }
 }
 
 fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
@@ -580,6 +626,12 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
         *slot = r.u64()?;
     }
     let index_band_migrations = r.u64()?;
+    let replica_applied_lsn = if r.u8()? != 0 { Some(r.u64()?) } else { None };
+    let replica_lag = if r.u8()? != 0 {
+        Some(Duration::from_nanos(r.u64()?))
+    } else {
+        None
+    };
     Ok(ServerStatsSnapshot {
         query,
         ingest,
@@ -596,6 +648,8 @@ fn read_stats(r: &mut ByteReader<'_>) -> Result<ServerStatsSnapshot, WalError> {
         index_bands,
         index_band_entries,
         index_band_migrations,
+        replica_applied_lsn,
+        replica_lag,
     })
 }
 
@@ -663,6 +717,11 @@ impl Message {
                     put_update_verdict(out, v);
                 }
             }
+            Message::Stale { applied, required } => {
+                out.push(12);
+                put_u64(out, *applied);
+                put_u64(out, *required);
+            }
         }
     }
 
@@ -713,6 +772,10 @@ impl Message {
                 }
                 Message::UpdateAck { lsn, verdicts }
             }
+            12 => Message::Stale {
+                applied: r.u64()?,
+                required: r.u64()?,
+            },
             _ => return Err(WalError::Decode("unknown front-end message tag")),
         };
         if !r.is_empty() {
@@ -883,6 +946,8 @@ mod tests {
                 entries
             },
             index_band_migrations: 6,
+            replica_applied_lsn: Some(84),
+            replica_lag: Some(Duration::from_millis(250)),
         }
     }
 
@@ -984,6 +1049,10 @@ mod tests {
                     RemoteUpdateVerdict::Invalid("non-finite speed NaN".into()),
                 ],
             },
+            Message::Stale {
+                applied: 84,
+                required: 91,
+            },
         ]
     }
 
@@ -1075,6 +1144,7 @@ mod tests {
             ("modb_replication_followers", 2),
             ("modb_replication_min_acked_lsn", 80),
             ("modb_index_band_migrations_total", 6),
+            ("modb_replica_applied_lsn", 84),
         ] {
             assert!(
                 text.lines().any(|l| l == format!("{metric} {value}")),
@@ -1098,12 +1168,25 @@ mod tests {
             "{text}"
         );
         assert!(!text.contains("band=\"2\""), "unconfigured band emitted");
+        // The fractional lag gauge: 250 ms renders as 0.250000 seconds.
+        assert!(
+            text.lines()
+                .any(|l| l == "modb_replica_lag_seconds 0.250000"),
+            "{text}"
+        );
         // No follower connected: the barrier gauge disappears entirely.
         let empty = ServerStatsSnapshot {
             min_acked_lsn: None,
             ..stats
         };
         assert!(!empty.prometheus_text().contains("min_acked_lsn"));
+        // A leader (no replica fields) emits no replica gauges at all.
+        let leader = ServerStatsSnapshot {
+            replica_applied_lsn: None,
+            replica_lag: None,
+            ..stats
+        };
+        assert!(!leader.prometheus_text().contains("modb_replica_"));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Lag-aware read routing across a fleet of follower-served query
+//! front-ends.
+//!
+//! A [`ReadRouter`] holds one [`QueryClient`] per follower endpoint,
+//! periodically polls each one's stats frame for its applied watermark
+//! (`modb_replica_applied_lsn`, or the WAL frontier when the endpoint is
+//! a leader) and lag clock, and sends each batch to the freshest
+//! follower that can satisfy the batch's read-your-writes token:
+//!
+//! - candidates whose last-known watermark covers the token are tried
+//!   first, least-lagged first — they answer without waiting;
+//! - a typed `Stale` refusal updates the endpoint's watermark and fails
+//!   over to the next candidate (the session survives);
+//! - a transport error drops the connection (it is re-dialed on the next
+//!   refresh) and fails over likewise.
+//!
+//! Only when *every* endpoint refuses or fails does the batch error out.
+//! This is the client half of the read-fan-out story (DESIGN.md §15):
+//! one write leader, N chained followers, readers spread by staleness.
+
+use std::time::{Duration, Instant};
+
+use modb_wal::WalError;
+
+use crate::net::client::{BatchOutcome, QueryClient, QueryClientConfig};
+use crate::net::protocol::RemoteVerdict;
+
+/// Tuning for [`ReadRouter`].
+#[derive(Debug, Clone)]
+pub struct ReadRouterConfig {
+    /// How stale the router's view of follower watermarks may grow
+    /// before the next batch triggers a re-poll (and re-dials dead
+    /// endpoints).
+    pub refresh_interval: Duration,
+    /// Per-connection tuning for the underlying [`QueryClient`]s.
+    pub client: QueryClientConfig,
+}
+
+impl Default for ReadRouterConfig {
+    fn default() -> Self {
+        ReadRouterConfig {
+            refresh_interval: Duration::from_millis(250),
+            client: QueryClientConfig::default(),
+        }
+    }
+}
+
+/// The router's last-known view of one follower endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FollowerStatus {
+    /// The endpoint address as given to [`ReadRouter::connect`].
+    pub addr: String,
+    /// Whether a live connection is currently held.
+    pub connected: bool,
+    /// Applied watermark from the last stats poll (0 before the first).
+    pub applied_lsn: u64,
+    /// Lag clock from the last stats poll (zero for a leader endpoint).
+    pub lag: Duration,
+}
+
+struct Endpoint {
+    addr: String,
+    client: Option<QueryClient>,
+    applied_lsn: u64,
+    lag: Duration,
+}
+
+/// Routes read batches to the least-lagged follower satisfying each
+/// batch's session token, failing over on staleness and connection loss.
+/// See the module docs for the policy.
+pub struct ReadRouter {
+    endpoints: Vec<Endpoint>,
+    config: ReadRouterConfig,
+    last_refresh: Option<Instant>,
+}
+
+impl ReadRouter {
+    /// Connects to a fleet of follower (or leader) query front-ends and
+    /// takes an initial watermark poll. Endpoints that cannot be reached
+    /// yet are kept and re-dialed on later refreshes — the router comes
+    /// up as long as *one* endpoint answers.
+    ///
+    /// # Errors
+    ///
+    /// An empty endpoint list, or every endpoint unreachable.
+    pub fn connect<S: Into<String>>(
+        addrs: impl IntoIterator<Item = S>,
+        config: ReadRouterConfig,
+    ) -> Result<Self, WalError> {
+        let endpoints: Vec<Endpoint> = addrs
+            .into_iter()
+            .map(|a| Endpoint {
+                addr: a.into(),
+                client: None,
+                applied_lsn: 0,
+                lag: Duration::ZERO,
+            })
+            .collect();
+        if endpoints.is_empty() {
+            return Err(WalError::Decode("read router needs at least one endpoint"));
+        }
+        let mut router = ReadRouter {
+            endpoints,
+            config,
+            last_refresh: None,
+        };
+        router.refresh();
+        if router.endpoints.iter().all(|e| e.client.is_none()) {
+            return Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "no read endpoint reachable",
+            )));
+        }
+        Ok(router)
+    }
+
+    /// Re-dials dead endpoints and re-polls every live one's watermark
+    /// and lag. Called automatically when the last poll is older than
+    /// [`ReadRouterConfig::refresh_interval`]; call it directly to force
+    /// a fresh view.
+    pub fn refresh(&mut self) {
+        for ep in &mut self.endpoints {
+            if ep.client.is_none() {
+                ep.client = QueryClient::connect_with(&ep.addr, self.config.client.clone()).ok();
+            }
+            let Some(client) = ep.client.as_mut() else {
+                continue;
+            };
+            match client.stats() {
+                Ok(stats) => {
+                    // A leader endpoint has no replica watermark; its WAL
+                    // frontier plays the same role (it is never stale).
+                    ep.applied_lsn = stats.replica_applied_lsn.unwrap_or(stats.wal_next_lsn);
+                    ep.lag = stats.replica_lag.unwrap_or(Duration::ZERO);
+                }
+                Err(_) => ep.client = None,
+            }
+        }
+        self.last_refresh = Some(Instant::now());
+    }
+
+    fn maybe_refresh(&mut self) {
+        let due = self
+            .last_refresh
+            .is_none_or(|t| t.elapsed() >= self.config.refresh_interval);
+        if due {
+            self.refresh();
+        }
+    }
+
+    /// The router's current view of its fleet, in endpoint order.
+    pub fn statuses(&self) -> Vec<FollowerStatus> {
+        self.endpoints
+            .iter()
+            .map(|ep| FollowerStatus {
+                addr: ep.addr.clone(),
+                connected: ep.client.is_some(),
+                applied_lsn: ep.applied_lsn,
+                lag: ep.lag,
+            })
+            .collect()
+    }
+
+    /// Runs a `;`-script with no read-your-writes floor on the freshest
+    /// follower.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReadRouter::batch_with_token`].
+    pub fn batch(&mut self, script: &str) -> Result<Vec<RemoteVerdict>, WalError> {
+        self.batch_with_token(script, 0)
+    }
+
+    /// Runs a `;`-script with read-your-writes floor `token`, routing to
+    /// the least-lagged follower whose last-known watermark satisfies it
+    /// and failing over — through `Stale` refusals and connection
+    /// losses — until some follower answers.
+    ///
+    /// # Errors
+    ///
+    /// Every endpoint stale past its deadline or unreachable.
+    pub fn batch_with_token(
+        &mut self,
+        script: &str,
+        token: u64,
+    ) -> Result<Vec<RemoteVerdict>, WalError> {
+        self.maybe_refresh();
+        // Candidate order: watermark-satisfying endpoints first (least
+        // lag first — they answer without waiting), then the rest by
+        // freshest watermark (they may catch up within the server-side
+        // wait); dead endpoints are skipped.
+        let mut order: Vec<usize> = (0..self.endpoints.len())
+            .filter(|&i| self.endpoints[i].client.is_some())
+            .collect();
+        order.sort_by(|&a, &b| {
+            let (ea, eb) = (&self.endpoints[a], &self.endpoints[b]);
+            let (sa, sb) = (ea.applied_lsn >= token, eb.applied_lsn >= token);
+            sb.cmp(&sa)
+                .then_with(|| ea.lag.cmp(&eb.lag))
+                .then_with(|| eb.applied_lsn.cmp(&ea.applied_lsn))
+        });
+        let mut last_err: Option<WalError> = None;
+        let mut best_stale: Option<(u64, u64)> = None;
+        for i in order {
+            let ep = &mut self.endpoints[i];
+            let client = ep.client.as_mut().expect("dead endpoints filtered");
+            match client.batch_attempt(script, token) {
+                Ok(BatchOutcome::Done(verdicts)) => return Ok(verdicts),
+                Ok(BatchOutcome::Stale { applied, required }) => {
+                    // The refusal carries a fresher watermark than our
+                    // last poll — keep it for the next routing decision.
+                    ep.applied_lsn = ep.applied_lsn.max(applied);
+                    best_stale = Some(match best_stale {
+                        Some((a, r)) => (a.max(applied), r.max(required)),
+                        None => (applied, required),
+                    });
+                }
+                Err(e) => {
+                    ep.client = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        if let Some((applied, required)) = best_stale {
+            return Err(WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                format!("every follower stale: freshest applied {applied} < required {required}"),
+            )));
+        }
+        Err(last_err.unwrap_or_else(|| {
+            WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "no read endpoint reachable",
+            ))
+        }))
+    }
+
+    /// Closes every connection.
+    pub fn close(mut self) {
+        for ep in &mut self.endpoints {
+            if let Some(client) = ep.client.take() {
+                client.close();
+            }
+        }
+    }
+}

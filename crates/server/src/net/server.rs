@@ -29,6 +29,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use modb_core::{ObjectId, UpdateMessage, UpdatePosition};
+use modb_query::QueryResult;
 use modb_wal::{SharedWal, WalError};
 
 use crate::durable::DurableDatabase;
@@ -38,7 +39,7 @@ use crate::net::protocol::{
     DEFAULT_MAX_FRAME_BYTES, NET_PROTOCOL_VERSION,
 };
 use crate::query_engine::QueryEngine;
-use crate::replication::ShipHorizon;
+use crate::replication::{ReplicaWatch, ShipHorizon};
 
 /// Tuning for [`DurableDatabase::serve_queries`].
 #[derive(Debug, Clone)]
@@ -57,6 +58,11 @@ pub struct QueryServerConfig {
     /// stamped on every stats scrape (and thence every Prometheus
     /// sample) so per-shard series stay distinguishable.
     pub shard: Option<u64>,
+    /// Follower-served reads only: how long a `Batch` whose
+    /// read-your-writes token outruns the applied watermark may wait for
+    /// replication to catch up before the typed `Stale` answer goes
+    /// back. Ignored on a leader (its own tokens never outrun its WAL).
+    pub stale_deadline: Duration,
 }
 
 impl Default for QueryServerConfig {
@@ -67,6 +73,26 @@ impl Default for QueryServerConfig {
             request_deadline: Duration::from_secs(10),
             write_timeout: Some(Duration::from_secs(10)),
             shard: None,
+            stale_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What the serving node's coverage frontier is anchored to: the leader
+/// reads its own WAL frontier, a standby replica reads its applied
+/// watermark (and prices its lag into every answer).
+enum Backend {
+    Leader { wal: SharedWal },
+    Follower { watch: ReplicaWatch },
+}
+
+impl Backend {
+    /// The LSN every record applied to the serving database is below —
+    /// what a snapshot published *after* reading this value covers.
+    fn frontier_now(&self) -> u64 {
+        match self {
+            Backend::Leader { wal } => wal.next_lsn(),
+            Backend::Follower { watch } => watch.applied_lsn(),
         }
     }
 }
@@ -74,11 +100,11 @@ impl Default for QueryServerConfig {
 /// Everything a session needs, shared across connection threads.
 struct ServeContext {
     engine: Arc<QueryEngine>,
-    wal: SharedWal,
+    backend: Backend,
     horizon: Arc<ShipHorizon>,
     ingest: Option<IngestFrontend>,
     config: QueryServerConfig,
-    /// WAL frontier known to be covered by a published engine snapshot —
+    /// Frontier known to be covered by a published engine snapshot —
     /// the server side of the read-your-writes token. Monotone;
     /// sessions race it up with `fetch_max`.
     published_frontier: AtomicU64,
@@ -87,7 +113,17 @@ struct ServeContext {
 impl ServeContext {
     /// One consistent scrape: every gauge and counter read back to back.
     fn scrape(&self) -> ServerStatsSnapshot {
-        let (wal_bytes_written, wal_fsyncs) = self.wal.io_counters();
+        // Follower-served nodes report no WAL I/O here: their local log
+        // is the replication worker's (its counters live in the replica
+        // stats), and what a reader cares about is the watermark + lag.
+        let (wal_bytes_written, wal_fsyncs) = match &self.backend {
+            Backend::Leader { wal } => wal.io_counters(),
+            Backend::Follower { .. } => (0, 0),
+        };
+        let (replica_applied_lsn, replica_lag) = match &self.backend {
+            Backend::Leader { .. } => (None, None),
+            Backend::Follower { watch } => (Some(watch.applied_lsn()), Some(watch.lag())),
+        };
         let group = self
             .ingest
             .as_ref()
@@ -117,7 +153,7 @@ impl ServeContext {
             wal_group_tickets: group.tickets,
             wal_group_commits: group.commits,
             wal_group_last_batch: group.last_batch,
-            wal_next_lsn: self.wal.next_lsn(),
+            wal_next_lsn: self.backend.frontier_now(),
             ingest_queue_depth: self
                 .ingest
                 .as_ref()
@@ -129,22 +165,113 @@ impl ServeContext {
             index_bands,
             index_band_entries,
             index_band_migrations,
+            replica_applied_lsn,
+            replica_lag,
         }
     }
 
     /// Honors a batch's read-your-writes floor: when no published
-    /// snapshot is known to cover WAL frontier `min_lsn`, publish one
-    /// now. Apply-before-log makes this sound — every record below the
-    /// frontier read here was applied to the in-memory database before
-    /// it got its LSN, so the snapshot published after covers them all.
+    /// snapshot is known to cover frontier `min_lsn`, publish one now.
     fn ensure_covers(&self, min_lsn: u64) {
-        if min_lsn == 0 || self.published_frontier.load(Ordering::Acquire) >= min_lsn {
-            return;
+        advance_covered(
+            &self.published_frontier,
+            min_lsn,
+            || self.backend.frontier_now(),
+            || {
+                self.engine.publish_now();
+            },
+        );
+    }
+
+    /// Follower-only gate ahead of a batch: when the token outruns the
+    /// applied watermark, wait up to the stale deadline for replication
+    /// to deliver; `Some((applied, required))` means it didn't and the
+    /// caller must answer `Stale`. A leader's tokens are its own acked
+    /// frontiers, so the floor is satisfiable by definition there.
+    fn await_floor(&self, min_lsn: u64) -> Option<(u64, u64)> {
+        let Backend::Follower { watch } = &self.backend else {
+            return None;
+        };
+        if min_lsn <= watch.applied_lsn() || watch.wait_for_lsn(min_lsn, self.config.stale_deadline)
+        {
+            return None;
         }
-        let frontier = self.wal.next_lsn();
-        self.engine.publish_now();
-        self.published_frontier
-            .fetch_max(frontier, Ordering::AcqRel);
+        Some((watch.applied_lsn(), min_lsn))
+    }
+
+    /// The `2·v_max·Δ` staleness term priced into every follower-served
+    /// answer (0.0 on a leader, and on a caught-up follower where the
+    /// lag clock reads zero). `v_max` is the fleet-wide speed cap — the
+    /// worst-case drift any object can accumulate while the answer's
+    /// snapshot trails the leader by wall-clock `Δ`.
+    fn staleness_slack(&self) -> f64 {
+        let Backend::Follower { watch } = &self.backend else {
+            return 0.0;
+        };
+        let lag = watch.lag().as_secs_f64();
+        if lag == 0.0 {
+            return 0.0;
+        }
+        let v_max = self
+            .engine
+            .database()
+            .with_read(|db| db.moving_objects().map(|o| o.max_speed).fold(0.0, f64::max));
+        2.0 * v_max * lag
+    }
+}
+
+/// The covered-frontier advance behind the read-your-writes token,
+/// ordered so a racing reader can never observe a token above the
+/// snapshot it will read: the frontier is sampled **before** the epoch
+/// publish (the shadow swap), and the watermark advances only to that
+/// pre-publish sample. Apply-before-log makes the sample sound — every
+/// record below the frontier read here was applied to the in-memory
+/// database before it got its LSN, so the snapshot published after
+/// covers them all. Sampling *after* the publish instead would claim
+/// coverage for records applied between the shadow swap and the sample —
+/// records the just-published snapshot does not contain (the regression
+/// test below pins the ordering).
+fn advance_covered(
+    covered: &AtomicU64,
+    min_lsn: u64,
+    frontier_now: impl Fn() -> u64,
+    publish: impl FnOnce(),
+) {
+    if min_lsn == 0 || covered.load(Ordering::Acquire) >= min_lsn {
+        return;
+    }
+    let frontier = frontier_now();
+    publish();
+    covered.fetch_max(frontier, Ordering::AcqRel);
+}
+
+/// Widens one served verdict by the staleness slack: position answers
+/// grow their deviation bound and uncertainty interval, range answers
+/// demote every certain member to possible (a `2·v_max·Δ` halo around
+/// the query region could move any of them across the boundary), and
+/// nearest answers grow each neighbour's bound and drop certainty.
+/// `slack == 0` (a leader, or a caught-up follower) leaves the verdict
+/// bit-identical.
+fn widen_result(result: &mut QueryResult, slack: f64) {
+    if slack <= 0.0 {
+        return;
+    }
+    match result {
+        QueryResult::Position(p) => {
+            p.bound += slack;
+            p.interval.0 -= slack;
+            p.interval.1 += slack;
+        }
+        QueryResult::Range(a) => {
+            let must = std::mem::take(&mut a.must);
+            a.may.extend(must);
+        }
+        QueryResult::Nearest(a) => {
+            for n in a.ranked.iter_mut().chain(a.contenders.iter_mut()) {
+                n.bound += slack;
+                n.certain = false;
+            }
+        }
     }
 }
 
@@ -284,31 +411,73 @@ impl DurableDatabase {
         addr: impl ToSocketAddrs,
         config: QueryServerConfig,
     ) -> Result<QueryServer, WalError> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let active = Arc::new(AtomicUsize::new(0));
-        let ctx = Arc::new(ServeContext {
+        serve_with_backend(
             engine,
-            wal: self.wal().clone(),
-            horizon: Arc::clone(self.ship_horizon()),
+            Backend::Leader {
+                wal: self.wal().clone(),
+            },
+            Arc::clone(self.ship_horizon()),
             ingest,
+            addr,
             config,
-            published_frontier: AtomicU64::new(0),
-        });
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let active = Arc::clone(&active);
-            std::thread::spawn(move || accept_loop(listener, ctx, active, stop))
-        };
-        Ok(QueryServer {
-            addr: local,
-            stop,
-            accept: Some(accept),
-            active,
-        })
+        )
     }
+}
+
+/// Follower-side query front-end constructor — the seam
+/// [`crate::StandbyReplica::serve_queries`] goes through. Followers take
+/// no remote ingest (they are read-only; `Update` frames get the typed
+/// `Invalid` verdict the no-ingest path already produces), and their
+/// scrape carries the applied watermark and lag instead of WAL I/O.
+pub(crate) fn serve_follower_queries(
+    engine: Arc<QueryEngine>,
+    watch: ReplicaWatch,
+    horizon: Arc<ShipHorizon>,
+    addr: impl ToSocketAddrs,
+    config: QueryServerConfig,
+) -> Result<QueryServer, WalError> {
+    serve_with_backend(
+        engine,
+        Backend::Follower { watch },
+        horizon,
+        None,
+        addr,
+        config,
+    )
+}
+
+fn serve_with_backend(
+    engine: Arc<QueryEngine>,
+    backend: Backend,
+    horizon: Arc<ShipHorizon>,
+    ingest: Option<IngestFrontend>,
+    addr: impl ToSocketAddrs,
+    config: QueryServerConfig,
+) -> Result<QueryServer, WalError> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let ctx = Arc::new(ServeContext {
+        engine,
+        backend,
+        horizon,
+        ingest,
+        config,
+        published_frontier: AtomicU64::new(0),
+    });
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let active = Arc::clone(&active);
+        std::thread::spawn(move || accept_loop(listener, ctx, active, stop))
+    };
+    Ok(QueryServer {
+        addr: local,
+        stop,
+        accept: Some(accept),
+        active,
+    })
 }
 
 fn accept_loop(
@@ -420,13 +589,27 @@ fn run_session(
         match reader.poll()? {
             ReadEvent::Message(Message::Batch { script, min_lsn }) => {
                 partial_since = None;
+                // Follower-served reads: a token the watermark cannot
+                // satisfy within the deadline gets a typed Stale, never
+                // a hang — and the session stays open for a retry.
+                if let Some((applied, required)) = ctx.await_floor(min_lsn) {
+                    send_message(stream, &Message::Stale { applied, required })?;
+                    continue;
+                }
                 // Read-your-writes: republish first if no published
                 // snapshot covers the client's token.
                 ctx.ensure_covers(min_lsn);
                 // Synchronous execution: shutdown observed after this
                 // point still lets the full response stream out (the
                 // drain guarantee).
-                let verdicts = ctx.engine.run_batch(&script);
+                let mut verdicts = ctx.engine.run_batch(&script);
+                // Price the staleness of a lagging follower's snapshot
+                // into every answer (no-op on a leader or when caught
+                // up — served verdicts are then bit-identical to local).
+                let slack = ctx.staleness_slack();
+                for result in verdicts.iter_mut().flatten() {
+                    widen_result(result, slack);
+                }
                 let count = verdicts.len() as u32;
                 for (index, verdict) in verdicts.into_iter().enumerate() {
                     send_message(
@@ -472,6 +655,121 @@ fn run_session(
                 }
             }
             ReadEvent::Closed => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modb_core::{NearestAnswer, Neighbour, ObjectId, PositionAnswer, RangeAnswer};
+    use modb_geom::Point;
+    use modb_index::SearchStats;
+
+    /// Regression (the applied-watermark / shadow-swap race): the
+    /// covered watermark must advance only to a frontier sampled
+    /// *before* the epoch publish. The injected publish simulates a
+    /// replication worker applying records while the shadow swap is in
+    /// flight — the buggy order (publish, then sample) would claim
+    /// coverage for LSN 50 with a snapshot that stopped at 10, and a
+    /// session-token read at 11..50 would be served pre-write state.
+    #[test]
+    fn covered_watermark_samples_frontier_before_the_shadow_swap() {
+        let applied = AtomicU64::new(10);
+        let covered = AtomicU64::new(0);
+        advance_covered(
+            &covered,
+            5,
+            || applied.load(Ordering::SeqCst),
+            || {
+                // Records land between the swap and any later sample.
+                applied.store(50, Ordering::SeqCst);
+            },
+        );
+        assert_eq!(
+            covered.load(Ordering::SeqCst),
+            10,
+            "watermark claimed records the published snapshot cannot contain"
+        );
+        // An already-covered floor publishes nothing (and samples
+        // nothing — the closures must not run).
+        advance_covered(
+            &covered,
+            10,
+            || panic!("needless sample"),
+            || panic!("needless publish"),
+        );
+        // min_lsn 0 is "no floor".
+        advance_covered(
+            &covered,
+            0,
+            || panic!("needless sample"),
+            || panic!("needless publish"),
+        );
+        assert_eq!(covered.load(Ordering::SeqCst), 10);
+    }
+
+    fn sample_verdicts() -> Vec<QueryResult> {
+        vec![
+            QueryResult::Position(PositionAnswer {
+                position: Point::new(3.0, 4.0),
+                arc: 12.0,
+                bound: 0.5,
+                interval: (11.0, 13.0),
+                interval_path: vec![Point::new(11.0, 0.0)],
+            }),
+            QueryResult::Range(RangeAnswer {
+                must: vec![ObjectId(1), ObjectId(2)],
+                may: vec![ObjectId(3)],
+                candidates: 3,
+                stats: SearchStats::default(),
+            }),
+            QueryResult::Nearest(NearestAnswer {
+                ranked: vec![Neighbour {
+                    id: ObjectId(1),
+                    distance: 2.0,
+                    bound: 0.25,
+                    certain: true,
+                }],
+                contenders: vec![],
+            }),
+        ]
+    }
+
+    /// Zero slack must leave verdicts bit-identical (the equal-LSN parity
+    /// guarantee); positive slack must only ever enlarge uncertainty.
+    #[test]
+    fn widening_is_identity_at_zero_and_containment_above() {
+        for mut v in sample_verdicts() {
+            let before = v.clone();
+            widen_result(&mut v, 0.0);
+            assert_eq!(v, before);
+        }
+        let slack = 1.5;
+        for (mut v, before) in sample_verdicts().into_iter().zip(sample_verdicts()) {
+            widen_result(&mut v, slack);
+            match (&v, &before) {
+                (QueryResult::Position(w), QueryResult::Position(b)) => {
+                    assert_eq!(w.position, b.position);
+                    assert_eq!(w.arc, b.arc);
+                    assert!(w.bound >= b.bound + slack);
+                    assert!(w.interval.0 <= b.interval.0 - slack);
+                    assert!(w.interval.1 >= b.interval.1 + slack);
+                }
+                (QueryResult::Range(w), QueryResult::Range(b)) => {
+                    // Every certain member is demoted, none is dropped.
+                    assert!(w.must.is_empty());
+                    for id in b.must.iter().chain(&b.may) {
+                        assert!(w.may.contains(id), "{id:?} lost in widening");
+                    }
+                }
+                (QueryResult::Nearest(w), QueryResult::Nearest(b)) => {
+                    assert_eq!(w.ranked[0].id, b.ranked[0].id);
+                    assert!(w.ranked[0].bound >= b.ranked[0].bound + slack);
+                    assert!(!w.ranked[0].certain);
+                }
+                _ => panic!("verdict kind changed under widening"),
+            }
         }
     }
 }

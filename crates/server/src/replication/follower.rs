@@ -38,9 +38,14 @@ use modb_wal::{
     DEFAULT_SNAPSHOT_RETENTION, SEGMENT_VERSION, SEGMENT_VERSION_V2,
 };
 
+use crate::net::{QueryServer, QueryServerConfig};
+use crate::query_engine::QueryEngine;
+use crate::replication::horizon::ShipHorizon;
+use crate::replication::leader::{serve_replication_from, Frontier, ReplicationServer};
 use crate::replication::protocol::{
     send_message, FrameReader, Message, ReadEvent, PROTOCOL_VERSION,
 };
+use crate::replication::ReplicationConfig;
 use crate::shared::SharedDatabase;
 
 /// Tuning for a [`StandbyReplica`].
@@ -178,6 +183,11 @@ struct Shared {
     stop: AtomicBool,
     force_reconnect: AtomicUsize,
     stats: ReplicaStats,
+    /// When the replica first observed itself behind the upstream
+    /// frontier and has stayed behind since; `None` while caught up.
+    /// `behind_since.elapsed()` is the `Δ` of the `2·v_max·Δ` staleness
+    /// widening on follower-served answers.
+    behind_since: Mutex<Option<Instant>>,
 }
 
 impl Shared {
@@ -185,6 +195,8 @@ impl Shared {
         let mut g = self.applied.lock().unwrap_or_else(|e| e.into_inner());
         *g = lsn;
         self.applied_cv.notify_all();
+        drop(g);
+        self.note_progress(lsn);
     }
 
     fn applied(&self) -> u64 {
@@ -194,6 +206,78 @@ impl Shared {
     fn set_phase(&self, phase: ReplicaPhase) {
         self.phase.store(phase as u8, Ordering::SeqCst);
     }
+
+    /// Re-evaluates the lag clock against the last known upstream
+    /// frontier: caught up clears it, falling behind starts it (once —
+    /// the clock measures *continuous* trailing, not per-record lag).
+    fn note_progress(&self, applied: u64) {
+        let frontier = self.leader_lsn.load(Ordering::SeqCst);
+        let mut g = self.behind_since.lock().unwrap_or_else(|e| e.into_inner());
+        if applied >= frontier {
+            *g = None;
+        } else if g.is_none() {
+            *g = Some(Instant::now());
+        }
+    }
+
+    fn lag(&self) -> Duration {
+        self.behind_since
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|t| t.elapsed())
+            .unwrap_or(Duration::ZERO)
+    }
+
+    fn wait_for_lsn(&self, lsn: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.applied.lock().unwrap_or_else(|e| e.into_inner());
+        while *g < lsn {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (ng, _timeout) = self
+                .applied_cv
+                .wait_timeout(g, left)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+        }
+        true
+    }
+}
+
+/// A cheap, cloneable view of a replica's replication progress, detached
+/// from the [`StandbyReplica`] handle so the follower's query front-end
+/// ([`StandbyReplica::serve_queries`]) can consult the watermark from its
+/// session threads.
+#[derive(Debug, Clone)]
+pub struct ReplicaWatch {
+    shared: Arc<Shared>,
+}
+
+impl ReplicaWatch {
+    /// The applied watermark (see [`StandbyReplica::applied_lsn`]).
+    pub fn applied_lsn(&self) -> u64 {
+        self.shared.applied()
+    }
+
+    /// The upstream frontier from the last heartbeat (0 before the
+    /// first).
+    pub fn leader_lsn(&self) -> u64 {
+        self.shared.leader_lsn.load(Ordering::SeqCst)
+    }
+
+    /// How long the replica has continuously trailed the upstream
+    /// frontier (zero while caught up) — the `Δ` that widens served
+    /// answers by `2·v_max·Δ`.
+    pub fn lag(&self) -> Duration {
+        self.shared.lag()
+    }
+
+    /// Blocks until the applied watermark reaches `lsn` or the timeout
+    /// elapses; `true` when reached.
+    pub fn wait_for_lsn(&self, lsn: u64, timeout: Duration) -> bool {
+        self.shared.wait_for_lsn(lsn, timeout)
+    }
 }
 
 /// A warm standby follower of one leader. See the module docs for the
@@ -202,7 +286,9 @@ impl Shared {
 #[derive(Debug)]
 pub struct StandbyReplica {
     db: SharedDatabase,
+    dir: PathBuf,
     shared: Arc<Shared>,
+    horizon: Arc<ShipHorizon>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -242,10 +328,14 @@ impl StandbyReplica {
             stop: AtomicBool::new(false),
             force_reconnect: AtomicUsize::new(0),
             stats: ReplicaStats::default(),
+            behind_since: Mutex::new(None),
         });
+        let horizon = Arc::new(ShipHorizon::new());
         let worker = {
             let db = db.clone();
             let shared = Arc::clone(&shared);
+            let dir = dir.clone();
+            let horizon = Arc::clone(&horizon);
             std::thread::spawn(move || {
                 Worker {
                     dir,
@@ -253,6 +343,7 @@ impl StandbyReplica {
                     config,
                     db,
                     shared,
+                    horizon,
                     wal,
                 }
                 .run()
@@ -260,7 +351,9 @@ impl StandbyReplica {
         };
         Ok(StandbyReplica {
             db,
+            dir,
             shared,
+            horizon,
             worker: Some(worker),
         })
     }
@@ -287,24 +380,89 @@ impl StandbyReplica {
     /// Blocks until the applied watermark reaches `lsn` or the timeout
     /// elapses; `true` when reached.
     pub fn wait_for_lsn(&self, lsn: u64, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let mut g = self
-            .shared
-            .applied
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        while *g < lsn {
-            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
-                return false;
-            };
-            let (ng, _timeout) = self
-                .shared
-                .applied_cv
-                .wait_timeout(g, left)
-                .unwrap_or_else(|e| e.into_inner());
-            g = ng;
+        self.shared.wait_for_lsn(lsn, timeout)
+    }
+
+    /// A detached, cloneable view of this replica's progress (watermark,
+    /// upstream frontier, lag clock) for the query front-end's session
+    /// threads.
+    pub fn watch(&self) -> ReplicaWatch {
+        ReplicaWatch {
+            shared: Arc::clone(&self.shared),
         }
-        true
+    }
+
+    /// The horizon of this replica's own downstream followers (empty
+    /// unless [`StandbyReplica::serve_replication`] is running) — the
+    /// barrier its local compaction pass honors.
+    pub fn ship_horizon(&self) -> &Arc<ShipHorizon> {
+        &self.horizon
+    }
+
+    /// The replica's durability directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Starts a query front-end on this follower: remote clients get the
+    /// same CRC-framed protocol a leader serves, with three follower
+    /// twists (DESIGN.md §15). A `Batch` whose read-your-writes token
+    /// outruns the applied watermark waits up to
+    /// [`QueryServerConfig::stale_deadline`] and then gets a typed
+    /// `Stale { applied, required }` instead of a hang; the coverage
+    /// watermark advances only to an applied LSN read *before* the epoch
+    /// shadow swap (so a token never claims a snapshot it is not in);
+    /// and every served answer is widened by the lag-derived
+    /// `2·v_max·Δ` term, so a stale follower's imprecision is priced
+    /// honestly (§3.3 of the paper). `engine` must be built on this
+    /// replica's database ([`StandbyReplica::database`]).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn serve_queries(
+        &self,
+        engine: Arc<QueryEngine>,
+        addr: impl std::net::ToSocketAddrs,
+        config: QueryServerConfig,
+    ) -> Result<QueryServer, WalError> {
+        crate::net::serve_follower_queries(
+            engine,
+            self.watch(),
+            Arc::clone(&self.horizon),
+            addr,
+            config,
+        )
+    }
+
+    /// Re-ships this replica's received WAL to downstream followers —
+    /// the chaining seam. The local log holds verbatim copies of the
+    /// leader's records (apply-before-log), so the same
+    /// [`modb_wal::SegmentTailer`] machinery the leader uses tails it
+    /// here; the shipped frontier is this replica's *applied* watermark,
+    /// and downstream acknowledgements pin the local compaction pass
+    /// through [`StandbyReplica::ship_horizon`]. A bootstrap (timeline
+    /// replacement) wipes local segments regardless — downstream
+    /// sessions then error out and re-bootstrap from the new snapshot,
+    /// exactly like a follower whose cursor fell behind compaction.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn serve_replication(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        config: ReplicationConfig,
+    ) -> Result<ReplicationServer, WalError> {
+        let shared = Arc::clone(&self.shared);
+        let frontier = Frontier::new(move || shared.applied());
+        serve_replication_from(
+            self.dir.clone(),
+            frontier,
+            Arc::clone(&self.horizon),
+            addr,
+            config,
+        )
     }
 
     /// Drops the current session (if any); the worker reconnects and
@@ -380,6 +538,9 @@ struct Worker {
     config: ReplicaConfig,
     db: SharedDatabase,
     shared: Arc<Shared>,
+    /// Downstream followers chained off this replica; their lowest ack
+    /// is the barrier the local compaction pass must not cross.
+    horizon: Arc<ShipHorizon>,
     wal: Option<WalWriter>,
 }
 
@@ -482,6 +643,7 @@ impl Worker {
                     .leader_lsn
                     .store(leader_next_lsn, Ordering::SeqCst);
                 let applied = self.shared.applied();
+                self.shared.note_progress(applied);
                 if self.wal.is_some() {
                     self.shared.set_phase(if applied >= leader_next_lsn {
                         ReplicaPhase::Steady
@@ -677,7 +839,15 @@ impl Worker {
         wal.sync()?;
         let state = self.db.with_read(|db| db.clone());
         write_snapshot(&self.dir, &state, applied)?;
-        modb_wal::compact(&self.dir, self.config.snapshot_retention)?;
+        // Chained followers tail this replica's local log: their lowest
+        // acknowledged LSN is a barrier here exactly as it is on the
+        // leader, so local compaction never deletes a segment a
+        // downstream session still has to read.
+        modb_wal::compact_with_barrier(
+            &self.dir,
+            self.config.snapshot_retention,
+            self.horizon.min(),
+        )?;
         Ok(())
     }
 }

@@ -18,13 +18,37 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use modb_wal::{list_segments, list_snapshots, read_snapshot, SegmentTailer, SharedWal, WalError};
+use modb_wal::{list_segments, list_snapshots, read_snapshot, SegmentTailer, WalError};
 
 use crate::durable::DurableDatabase;
 use crate::replication::horizon::ShipHorizon;
 use crate::replication::protocol::{
     send_message, FrameReader, Message, ReadEvent, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+
+/// Where the shipped log ends: a closure yielding the serving node's
+/// frontier LSN. On a leader that is the WAL's next LSN; on a chained
+/// follower ([`crate::StandbyReplica::serve_replication`]) it is the
+/// applied watermark — the ship machinery itself is identical, which is
+/// what lets one leader feed a tree of followers through the same seam.
+#[derive(Clone)]
+pub(crate) struct Frontier(Arc<dyn Fn() -> u64 + Send + Sync>);
+
+impl Frontier {
+    pub(crate) fn new(f: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        Frontier(Arc::new(f))
+    }
+
+    fn now(&self) -> u64 {
+        (self.0)()
+    }
+}
+
+impl fmt::Debug for Frontier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frontier({})", self.now())
+    }
+}
 
 /// Tuning for [`DurableDatabase::serve_replication`].
 #[derive(Debug, Clone)]
@@ -107,7 +131,7 @@ pub struct ReplicationServer {
     accept: Option<JoinHandle<()>>,
     stats: Arc<ServerStats>,
     horizon: Arc<ShipHorizon>,
-    wal: SharedWal,
+    frontier: Frontier,
 }
 
 impl ReplicationServer {
@@ -118,7 +142,7 @@ impl ReplicationServer {
 
     /// Current activity counters and lag.
     pub fn stats(&self) -> ReplicationStatsSnapshot {
-        let leader_next_lsn = self.wal.next_lsn();
+        let leader_next_lsn = self.frontier.now();
         let min_acked_lsn = self.horizon.min();
         ReplicationStatsSnapshot {
             followers: self.horizon.followers(),
@@ -170,38 +194,56 @@ impl DurableDatabase {
         addr: impl ToSocketAddrs,
         config: ReplicationConfig,
     ) -> Result<ReplicationServer, WalError> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(ServerStats::default());
-        let horizon = self.ship_horizon().clone();
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let stats = Arc::clone(&stats);
-            let horizon = Arc::clone(&horizon);
-            let dir = self.dir().to_path_buf();
-            let wal = self.wal().clone();
-            let config = config.clone();
-            std::thread::spawn(move || {
-                accept_loop(listener, dir, wal, horizon, stats, config, stop)
-            })
-        };
-        Ok(ReplicationServer {
-            addr: local,
-            stop,
-            accept: Some(accept),
-            stats,
-            horizon,
-            wal: self.wal().clone(),
-        })
+        let wal = self.wal().clone();
+        serve_replication_from(
+            self.dir().to_path_buf(),
+            Frontier::new(move || wal.next_lsn()),
+            Arc::clone(self.ship_horizon()),
+            addr,
+            config,
+        )
     }
+}
+
+/// Shared ship-server constructor: tails the segments in `dir` up to
+/// `frontier`, feeding acknowledgements into `horizon`. The leader and a
+/// chained follower differ only in these three inputs.
+pub(crate) fn serve_replication_from(
+    dir: PathBuf,
+    frontier: Frontier,
+    horizon: Arc<ShipHorizon>,
+    addr: impl ToSocketAddrs,
+    config: ReplicationConfig,
+) -> Result<ReplicationServer, WalError> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let stats = Arc::clone(&stats);
+        let horizon = Arc::clone(&horizon);
+        let frontier = frontier.clone();
+        let config = config.clone();
+        std::thread::spawn(move || {
+            accept_loop(listener, dir, frontier, horizon, stats, config, stop)
+        })
+    };
+    Ok(ReplicationServer {
+        addr: local,
+        stop,
+        accept: Some(accept),
+        stats,
+        horizon,
+        frontier,
+    })
 }
 
 fn accept_loop(
     listener: TcpListener,
     dir: PathBuf,
-    wal: SharedWal,
+    frontier: Frontier,
     horizon: Arc<ShipHorizon>,
     stats: Arc<ServerStats>,
     config: ReplicationConfig,
@@ -213,13 +255,13 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 stats.connections.fetch_add(1, Ordering::Relaxed);
                 let dir = dir.clone();
-                let wal = wal.clone();
+                let frontier = frontier.clone();
                 let horizon = Arc::clone(&horizon);
                 let stats = Arc::clone(&stats);
                 let config = config.clone();
                 let stop = Arc::clone(&stop);
                 sessions.push(std::thread::spawn(move || {
-                    handle_follower(stream, &dir, wal, horizon, stats, config, stop)
+                    handle_follower(stream, &dir, frontier, horizon, stats, config, stop)
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -241,7 +283,7 @@ fn accept_loop(
 fn handle_follower(
     mut stream: TcpStream,
     dir: &Path,
-    wal: SharedWal,
+    frontier: Frontier,
     horizon: Arc<ShipHorizon>,
     stats: Arc<ServerStats>,
     config: ReplicationConfig,
@@ -254,7 +296,7 @@ fn handle_follower(
     let _ = run_session(
         &mut stream,
         dir,
-        &wal,
+        &frontier,
         &horizon,
         hid,
         &stats,
@@ -269,7 +311,7 @@ fn handle_follower(
 fn run_session(
     stream: &mut TcpStream,
     dir: &Path,
-    wal: &SharedWal,
+    frontier: &Frontier,
     horizon: &ShipHorizon,
     hid: u64,
     stats: &ServerStats,
@@ -309,7 +351,7 @@ fn run_session(
     // ---- Resume or bootstrap. The horizon entry (still at 0) keeps
     // every segment alive while we decide.
     let (peer_version, follower_lsn, have_state) = hello;
-    let leader_next = wal.next_lsn();
+    let leader_next = frontier.now();
     let resumable = have_state && follower_lsn <= leader_next && {
         let segments = list_segments(dir)?;
         // The follower's next record must still be on disk — either
@@ -414,7 +456,7 @@ fn run_session(
                 let due = last_heartbeat.is_none_or(|t| t.elapsed() >= config.heartbeat_interval);
                 if due {
                     let hb = Message::Heartbeat {
-                        leader_next_lsn: wal.next_lsn(),
+                        leader_next_lsn: frontier.now(),
                     };
                     if let Err(e) = send_message(stream, &hb) {
                         break Err(e);

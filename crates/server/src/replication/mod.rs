@@ -30,6 +30,8 @@ mod horizon;
 mod leader;
 mod protocol;
 
-pub use follower::{ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, StandbyReplica};
+pub use follower::{
+    ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicaWatch, StandbyReplica,
+};
 pub use horizon::ShipHorizon;
 pub use leader::{ReplicationConfig, ReplicationServer, ReplicationStatsSnapshot};

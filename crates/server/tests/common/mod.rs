@@ -1,6 +1,8 @@
 //! Shared fixtures for the replication integration tests.
 #![allow(dead_code)]
 
+pub mod replica_harness;
+
 use std::path::PathBuf;
 use std::time::Duration;
 

@@ -4,131 +4,21 @@
 //! and stalls mid-frame. The invariant under every fault: the offending
 //! session ends, its connection slot is released (no leak), and the
 //! server keeps answering healthy clients — it never wedges.
+//!
+//! The raw-wire helpers (hand-rolled framing, handshake, closed/healthy
+//! assertions) live in `common::replica_harness`, shared with the
+//! follower-read fault suite.
 
 mod common;
 
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
 use std::time::{Duration, Instant};
 
-use common::*;
-use modb_server::{
-    DurableDatabase, QueryClient, QueryEngineConfig, QueryServer, QueryServerConfig,
+use common::replica_harness::{
+    assert_closed, assert_healthy, batch_payload, frame, raw_handshake, serve, wait_until,
 };
-use modb_wal::crc32;
-
-const WAIT: Duration = Duration::from_secs(30);
-
-fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
-    let deadline = Instant::now() + WAIT;
-    while !cond() {
-        assert!(Instant::now() < deadline, "timed out waiting for {what}");
-        std::thread::sleep(Duration::from_millis(5));
-    }
-}
-
-fn serve(name: &str, config: QueryServerConfig) -> (DurableDatabase, QueryServer) {
-    let durable = DurableDatabase::create(tmp(name), fresh_db(), test_wal_options()).unwrap();
-    for i in 0..4u64 {
-        durable
-            .register_moving(vehicle(i, 100.0 * i as f64))
-            .unwrap();
-    }
-    let engine = Arc::new(durable.query_engine(QueryEngineConfig {
-        epoch_interval: None,
-        report_interval: None,
-        ..QueryEngineConfig::default()
-    }));
-    engine.publish_now();
-    let server = durable
-        .serve_queries(engine, None, "127.0.0.1:0", config)
-        .unwrap();
-    (durable, server)
-}
-
-// ---------------------------------------------------------------------
-// Hand-rolled wire helpers (the protocol encoder is crate-private; the
-// framing is `[len u32 LE][crc32 u32 LE][tag + body]`).
-// ---------------------------------------------------------------------
-
-fn frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 8);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
-}
-
-fn hello_payload() -> Vec<u8> {
-    let mut p = vec![1u8]; // Hello tag
-    p.extend_from_slice(&4u32.to_le_bytes()); // protocol version
-    p
-}
-
-fn batch_payload(script: &str) -> Vec<u8> {
-    let mut p = vec![2u8]; // Batch tag
-    p.extend_from_slice(&(script.len() as u32).to_le_bytes());
-    p.extend_from_slice(script.as_bytes());
-    p.extend_from_slice(&0u64.to_le_bytes()); // min_lsn: no floor
-    p
-}
-
-/// Connects raw and completes the handshake by hand, returning the
-/// stream positioned after the `HelloAck` frame.
-fn raw_handshake(addr: SocketAddr) -> TcpStream {
-    let mut stream = TcpStream::connect(addr).unwrap();
-    stream.set_nodelay(true).unwrap();
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    stream.write_all(&frame(&hello_payload())).unwrap();
-    let mut header = [0u8; 8];
-    stream.read_exact(&mut header).unwrap();
-    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
-    let mut body = vec![0u8; len];
-    stream.read_exact(&mut body).unwrap();
-    assert_eq!(body[0], 4, "expected HelloAck, got tag {}", body[0]);
-    stream
-}
-
-/// Reads until EOF (or error), proving the server closed the session.
-fn assert_closed(stream: &mut TcpStream) {
-    let mut sink = [0u8; 4096];
-    let deadline = Instant::now() + WAIT;
-    loop {
-        assert!(
-            Instant::now() < deadline,
-            "server never closed the connection"
-        );
-        match stream.read(&mut sink) {
-            Ok(0) => return,   // clean EOF
-            Ok(_) => continue, // drain whatever was in flight
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
-            Err(_) => return, // reset also counts as closed
-        }
-    }
-}
-
-/// The server still answers a healthy client — the wedge check.
-fn assert_healthy(addr: SocketAddr) {
-    let mut client = QueryClient::connect(addr).unwrap();
-    let verdicts = client
-        .batch("RETRIEVE POSITION OF OBJECT 0 AT TIME 3")
-        .unwrap();
-    assert_eq!(verdicts.len(), 1);
-    assert!(verdicts[0].is_ok(), "{:?}", verdicts[0]);
-    client.close();
-}
-
-// ---------------------------------------------------------------------
-// The faults
-// ---------------------------------------------------------------------
+use modb_server::{QueryClient, QueryServerConfig};
 
 #[test]
 fn garbage_header_ends_the_session_without_leaking_a_slot() {

@@ -4,349 +4,33 @@
 //! connection at every protocol state. The invariant under every fault:
 //! the follower either rejects cleanly and re-syncs or converges — it
 //! **never** applies a torn record and never ends in a diverged state.
+//!
+//! The proxy and scenario plumbing live in
+//! `common::replica_harness`, shared with the front-end and
+//! follower-read fault suites.
 
 mod common;
 
-use std::collections::VecDeque;
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::Duration;
 
-use common::*;
-use modb_core::ObjectId;
-use modb_server::{DurableDatabase, StandbyReplica};
+use common::replica_harness::{Fault, Scenario};
 
-const WAIT: Duration = Duration::from_secs(30);
-
-// ---------------------------------------------------------------------
-// The fault proxy
-// ---------------------------------------------------------------------
-
-/// One fault applied to the leader→follower byte stream of a single
-/// proxied connection (follower→leader bytes always pass through).
-#[derive(Clone)]
-enum Fault {
-    /// Pass everything through unchanged.
-    None,
-    /// Forward exactly `n` downstream bytes, then sever the connection —
-    /// the follower sees a frame truncated mid-byte.
-    CutAfterBytes(usize),
-    /// Flip one bit of downstream byte `n` (0-based), then keep going —
-    /// a CRC mismatch the follower must reject.
-    CorruptByteAt(usize),
-    /// Parse downstream framing and send every complete message twice —
-    /// duplicate delivery the watermark must absorb.
-    DuplicateMessages,
-    /// Forward freely while `hold` is false; while true, stop moving
-    /// bytes (backpressure reaches the leader). Used to pin a live,
-    /// silent follower while the leader compacts.
-    Stall { hold: Arc<AtomicBool> },
-}
-
-/// TCP proxy that pops one [`Fault`] per accepted connection (empty
-/// queue = `Fault::None`).
-struct FaultProxy {
-    addr: SocketAddr,
-    faults: Arc<Mutex<VecDeque<Fault>>>,
-    stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-}
-
-impl FaultProxy {
-    fn start(leader: SocketAddr) -> FaultProxy {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        listener.set_nonblocking(true).unwrap();
-        let addr = listener.local_addr().unwrap();
-        let faults: Arc<Mutex<VecDeque<Fault>>> = Arc::new(Mutex::new(VecDeque::new()));
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept = {
-            let faults = Arc::clone(&faults);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                let mut pumps: Vec<JoinHandle<()>> = Vec::new();
-                while !stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((client, _)) => {
-                            let Ok(upstream) = TcpStream::connect(leader) else {
-                                let _ = client.shutdown(Shutdown::Both);
-                                continue;
-                            };
-                            let fault = faults.lock().unwrap().pop_front().unwrap_or(Fault::None);
-                            let stop = Arc::clone(&stop);
-                            pumps.push(std::thread::spawn(move || {
-                                run_connection(client, upstream, fault, stop)
-                            }));
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        Err(_) => break,
-                    }
-                    pumps.retain(|h| !h.is_finished());
-                }
-                for h in pumps {
-                    let _ = h.join();
-                }
-            })
-        };
-        FaultProxy {
-            addr,
-            faults,
-            stop,
-            accept: Some(accept),
-        }
-    }
-
-    fn addr(&self) -> String {
-        self.addr.to_string()
-    }
-
-    fn push(&self, fault: Fault) {
-        self.faults.lock().unwrap().push_back(fault);
-    }
-}
-
-impl Drop for FaultProxy {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-/// Pumps one proxied connection: follower→leader verbatim on a side
-/// thread, leader→follower through the fault.
-fn run_connection(client: TcpStream, upstream: TcpStream, fault: Fault, stop: Arc<AtomicBool>) {
-    client
-        .set_read_timeout(Some(Duration::from_millis(5)))
-        .unwrap();
-    upstream
-        .set_read_timeout(Some(Duration::from_millis(5)))
-        .unwrap();
-    let dead = Arc::new(AtomicBool::new(false));
-    let up = {
-        // follower → leader: always clean.
-        let mut from = client.try_clone().unwrap();
-        let mut to = upstream.try_clone().unwrap();
-        let stop = Arc::clone(&stop);
-        let dead = Arc::clone(&dead);
-        std::thread::spawn(move || {
-            pump_clean(&mut from, &mut to, &stop, &dead);
-        })
-    };
-    let mut from = upstream.try_clone().unwrap();
-    let mut to = client.try_clone().unwrap();
-    pump_faulty(&mut from, &mut to, fault, &stop, &dead);
-    dead.store(true, Ordering::SeqCst);
-    let _ = client.shutdown(Shutdown::Both);
-    let _ = upstream.shutdown(Shutdown::Both);
-    let _ = up.join();
-}
-
-fn read_some(from: &mut TcpStream, buf: &mut [u8]) -> Option<usize> {
-    match from.read(buf) {
-        Ok(0) => None,
-        Ok(n) => Some(n),
-        Err(e)
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut
-                || e.kind() == std::io::ErrorKind::Interrupted =>
-        {
-            Some(0)
-        }
-        Err(_) => None,
-    }
-}
-
-fn pump_clean(from: &mut TcpStream, to: &mut TcpStream, stop: &AtomicBool, dead: &AtomicBool) {
-    let mut buf = [0u8; 16 * 1024];
-    while !stop.load(Ordering::SeqCst) && !dead.load(Ordering::SeqCst) {
-        match read_some(from, &mut buf) {
-            Some(0) => continue,
-            Some(n) => {
-                if to.write_all(&buf[..n]).is_err() {
-                    break;
-                }
-            }
-            None => break,
-        }
-    }
-    dead.store(true, Ordering::SeqCst);
-}
-
-fn pump_faulty(
-    from: &mut TcpStream,
-    to: &mut TcpStream,
-    fault: Fault,
-    stop: &AtomicBool,
-    dead: &AtomicBool,
-) {
-    let mut buf = [0u8; 16 * 1024];
-    let mut forwarded = 0usize; // downstream bytes already sent
-    let mut frame_buf: Vec<u8> = Vec::new(); // DuplicateMessages reassembly
-    while !stop.load(Ordering::SeqCst) && !dead.load(Ordering::SeqCst) {
-        if let Fault::Stall { hold } = &fault {
-            if hold.load(Ordering::SeqCst) {
-                std::thread::sleep(Duration::from_millis(1));
-                continue; // no reads: backpressure reaches the leader
-            }
-        }
-        let n = match read_some(from, &mut buf) {
-            Some(0) => continue,
-            Some(n) => n,
-            None => break,
-        };
-        let chunk = &mut buf[..n];
-        match &fault {
-            Fault::None | Fault::Stall { .. } => {
-                if to.write_all(chunk).is_err() {
-                    break;
-                }
-            }
-            Fault::CutAfterBytes(limit) => {
-                let keep = limit.saturating_sub(forwarded).min(chunk.len());
-                if keep > 0 && to.write_all(&chunk[..keep]).is_err() {
-                    break;
-                }
-                forwarded += keep;
-                if forwarded >= *limit {
-                    break; // sever mid-frame
-                }
-            }
-            Fault::CorruptByteAt(target) => {
-                if (forwarded..forwarded + chunk.len()).contains(target) {
-                    chunk[*target - forwarded] ^= 0x40;
-                }
-                forwarded += chunk.len();
-                if to.write_all(chunk).is_err() {
-                    break;
-                }
-            }
-            Fault::DuplicateMessages => {
-                frame_buf.extend_from_slice(chunk);
-                // Forward each complete outer frame twice; keep partial
-                // tails buffered so duplication is always frame-aligned.
-                loop {
-                    if frame_buf.len() < 8 {
-                        break;
-                    }
-                    let len = u32::from_le_bytes([
-                        frame_buf[0],
-                        frame_buf[1],
-                        frame_buf[2],
-                        frame_buf[3],
-                    ]) as usize;
-                    let total = 8 + len;
-                    if frame_buf.len() < total {
-                        break;
-                    }
-                    let frame: Vec<u8> = frame_buf.drain(..total).collect();
-                    if to.write_all(&frame).is_err() || to.write_all(&frame).is_err() {
-                        return;
-                    }
-                }
-            }
-        }
-    }
-    dead.store(true, Ordering::SeqCst);
-}
-
-// ---------------------------------------------------------------------
-// Scenario plumbing
-// ---------------------------------------------------------------------
-
-struct Scenario {
-    leader: DurableDatabase,
-    server: modb_server::ReplicationServer,
-    proxy: FaultProxy,
-    ldir: std::path::PathBuf,
-    fdir: std::path::PathBuf,
-}
-
-impl Scenario {
-    fn start(name: &str, vehicles: u64) -> Scenario {
-        let ldir = tmp(&format!("faults-{name}-leader"));
-        let fdir = tmp(&format!("faults-{name}-follower"));
-        let leader = DurableDatabase::create(&ldir, fresh_db(), test_wal_options()).unwrap();
-        for i in 1..=vehicles {
-            leader.register_moving(vehicle(i, 10.0 * i as f64)).unwrap();
-        }
-        let server = leader
-            .serve_replication("127.0.0.1:0", test_replication_config())
-            .unwrap();
-        let proxy = FaultProxy::start(server.local_addr());
-        Scenario {
-            leader,
-            server,
-            proxy,
-            ldir,
-            fdir,
-        }
-    }
-
-    fn churn(&self, rounds: std::ops::RangeInclusive<u64>, vehicles: u64) {
-        for round in rounds {
-            for i in 1..=vehicles {
-                self.leader
-                    .apply_update(
-                        ObjectId(i),
-                        &update(round as f64, 10.0 * i as f64 + round as f64 * 0.1),
-                    )
-                    .unwrap();
-            }
-        }
-    }
-
-    /// Waits for the follower to reach the leader frontier, then checks
-    /// exact logical equality — the "never diverged" post-condition of
-    /// every fault scenario.
-    fn assert_converges(&self, replica: &StandbyReplica) {
-        let frontier = self.leader.wal().next_lsn();
-        assert!(
-            replica.wait_for_lsn(frontier, WAIT),
-            "follower never converged: {}",
-            replica.stats()
-        );
-        let expected = self.leader.database().with_read(|db| db.clone());
-        replica
-            .database()
-            .with_read(|db| assert_converged(&expected, db));
-    }
-
-    fn finish(self, replica: StandbyReplica) {
-        replica.shutdown();
-        drop(self.proxy);
-        self.server.shutdown();
-        std::fs::remove_dir_all(&self.ldir).unwrap();
-        std::fs::remove_dir_all(&self.fdir).unwrap();
-    }
-}
-
-// ---------------------------------------------------------------------
-// The fault suite
-// ---------------------------------------------------------------------
-
-/// Frames truncated mid-byte at a spread of offsets — through the
-/// handshake, mid-snapshot, and mid-records. Each cut drops the
-/// connection with a partial frame on the wire; the follower must
-/// discard the partial bytes, reconnect, and converge without ever
-/// applying a torn record.
 #[test]
 fn truncated_frames_at_every_offset_never_apply_torn_records() {
     let s = Scenario::start("cut", 5);
     // Offsets chosen to land in every protocol state: inside the first
     // frame header (1, 7), on the header boundary (8), inside the
     // bootstrap snapshot payload (9, 64, 300), and inside later Records
-    // frames (1000, 3000).
+    // frames (1000, 3000). Each cut drops the connection with a partial
+    // frame on the wire; the follower must discard the partial bytes,
+    // reconnect, and converge without ever applying a torn record.
     for cut in [1usize, 7, 8, 9, 64, 300, 1000, 3000] {
         s.proxy.push(Fault::CutAfterBytes(cut));
     }
     s.proxy.push(Fault::None); // final clean session
-    let replica = StandbyReplica::open(&s.fdir, s.proxy.addr(), test_replica_config()).unwrap();
+    let replica = s.follower();
     s.churn(1..=60, 5);
     s.assert_converges(&replica);
     let stats = replica.stats();
@@ -370,7 +54,7 @@ fn corrupted_bytes_are_rejected_and_resynced() {
         s.proxy.push(Fault::CorruptByteAt(target));
     }
     s.proxy.push(Fault::None);
-    let replica = StandbyReplica::open(&s.fdir, s.proxy.addr(), test_replica_config()).unwrap();
+    let replica = s.follower();
     s.churn(1..=60, 5);
     s.assert_converges(&replica);
     let stats = replica.stats();
@@ -389,7 +73,7 @@ fn corrupted_bytes_are_rejected_and_resynced() {
 fn duplicated_messages_are_absorbed_by_the_watermark() {
     let s = Scenario::start("dup", 5);
     s.proxy.push(Fault::DuplicateMessages);
-    let replica = StandbyReplica::open(&s.fdir, s.proxy.addr(), test_replica_config()).unwrap();
+    let replica = s.follower();
     s.churn(1..=60, 5);
     s.assert_converges(&replica);
     let stats = replica.stats();
@@ -408,7 +92,7 @@ fn disconnects_at_every_protocol_state_resume_incrementally() {
     let s = Scenario::start("drop", 5);
     s.proxy.push(Fault::CutAfterBytes(0)); // before the handshake answer
     s.proxy.push(Fault::None); // bootstrap succeeds
-    let replica = StandbyReplica::open(&s.fdir, s.proxy.addr(), test_replica_config()).unwrap();
+    let replica = s.follower();
     s.churn(1..=20, 5);
     s.assert_converges(&replica);
     let after_bootstrap = replica.applied_lsn();
@@ -454,7 +138,7 @@ fn stalled_follower_is_not_orphaned_by_compaction() {
             hold: Arc::clone(&hold),
         });
     }
-    let replica = StandbyReplica::open(&s.fdir, s.proxy.addr(), test_replica_config()).unwrap();
+    let replica = s.follower();
     // Catch up first so the follower's watermark is meaningful.
     s.churn(1..=10, 5);
     s.assert_converges(&replica);

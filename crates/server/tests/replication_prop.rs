@@ -5,15 +5,20 @@
 //! leader clone taken at W. Checkpoints quiesce the leader, wait the
 //! follower to the frontier, and compare the full object state and
 //! transaction-time history.
+//!
+//! Setup rides on `common::replica_harness::Scenario` (the follower
+//! connects through the byte proxy, here always clean — the faulty
+//! variants live in `replication_faults`).
 
 mod common;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
+use common::replica_harness::Scenario;
 use common::*;
 use modb_core::ObjectId;
-use modb_server::{DurableDatabase, StandbyReplica};
+use modb_server::StandbyReplica;
 use proptest::prelude::*;
 
 const WAIT: Duration = Duration::from_secs(30);
@@ -60,37 +65,31 @@ proptest! {
         ops in proptest::collection::vec(op(), 10..80),
     ) {
         let case = CASE.fetch_add(1, Ordering::SeqCst);
-        let ldir = tmp(&format!("prop-{case}-leader"));
-        let fdir = tmp(&format!("prop-{case}-follower"));
-        let leader = DurableDatabase::create(&ldir, fresh_db(), test_wal_options()).unwrap();
-        let server = leader
-            .serve_replication("127.0.0.1:0", test_replication_config())
-            .unwrap();
+        let s = Scenario::start(&format!("prop-{case}"), 0);
         let mut config = test_replica_config();
         config.snapshot_every = 16;
-        let replica =
-            StandbyReplica::open(&fdir, server.local_addr().to_string(), config).unwrap();
+        let replica = StandbyReplica::open(&s.fdir, s.proxy.addr(), config).unwrap();
 
         let mut checkpoints = 0u32;
         for op in &ops {
             match *op {
                 Op::Register(id, frac) => {
-                    let _ = leader.register_moving(vehicle(id, frac * 900.0));
+                    let _ = s.leader.register_moving(vehicle(id, frac * 900.0));
                 }
                 Op::Update(id, t, frac) => {
-                    let _ = leader.apply_update(ObjectId(id), &update(t, frac * 900.0));
+                    let _ = s.leader.apply_update(ObjectId(id), &update(t, frac * 900.0));
                 }
                 Op::Remove(id) => {
-                    let _ = leader.remove_moving(ObjectId(id));
+                    let _ = s.leader.remove_moving(ObjectId(id));
                 }
                 Op::Disconnect => replica.force_reconnect(),
                 Op::Compact => {
-                    leader.snapshot_with_retention(2).unwrap();
+                    s.leader.snapshot_with_retention(2).unwrap();
                 }
                 Op::Checkpoint => {
                     checkpoints += 1;
-                    let w = leader.wal().next_lsn();
-                    let at_w = leader.database().with_read(|db| db.clone());
+                    let w = s.leader.wal().next_lsn();
+                    let at_w = s.leader.database().with_read(|db| db.clone());
                     prop_assert!(
                         replica.wait_for_lsn(w, WAIT),
                         "case {}: checkpoint at W={} timed out: {}",
@@ -105,8 +104,8 @@ proptest! {
         }
 
         // Always close with a checkpoint so every interleaving is judged.
-        let w = leader.wal().next_lsn();
-        let at_w = leader.database().with_read(|db| db.clone());
+        let w = s.leader.wal().next_lsn();
+        let at_w = s.leader.database().with_read(|db| db.clone());
         prop_assert!(
             replica.wait_for_lsn(w, WAIT),
             "case {}: final checkpoint at W={} timed out: {}",
@@ -116,9 +115,6 @@ proptest! {
         replica.database().with_read(|db| assert_converged(&at_w, db));
         let _ = checkpoints;
 
-        replica.shutdown();
-        server.shutdown();
-        std::fs::remove_dir_all(&ldir).unwrap();
-        std::fs::remove_dir_all(&fdir).unwrap();
+        s.finish(replica);
     }
 }

@@ -1,0 +1,59 @@
+//! W9: aggregate query throughput vs follower count on a leader +
+//! chained-follower topology, with parity and typed-staleness checks.
+//!
+//! Usage: `exp_read_fanout [n_objects] [max_followers] [--json PATH]`
+//! (defaults: 60 objects, 4 followers; fan-outs ladder 1, 2, …, max;
+//! `--json` writes the rows as a JSON document, the CI artifact
+//! `BENCH_read_fanout.json`). Exits nonzero if any follower diverged
+//! from the leader or staleness was not a typed refusal.
+
+use modb_sim::experiments::read_fanout::{
+    fanout_ladder, read_fanout_json, read_fanout_table, run_read_fanout,
+};
+
+fn arg_or(args: &mut impl Iterator<Item = String>, name: &str, default: usize) -> usize {
+    match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a positive integer, got {a:?}");
+            eprintln!("usage: exp_read_fanout [n_objects] [max_followers] [--json PATH]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        let flag_and_path: Vec<String> = args.drain(i..(i + 2).min(args.len())).collect();
+        flag_and_path.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --json requires a path");
+            std::process::exit(2);
+        })
+    });
+    let mut args = args.into_iter();
+    let n_objects = arg_or(&mut args, "n_objects", 60).max(4);
+    let max_followers = arg_or(&mut args, "max_followers", 4).max(1);
+    let fanouts = fanout_ladder(max_followers);
+
+    eprintln!(
+        "read fan-out: {n_objects} objects, chained follower ladder {fanouts:?}, \
+         40 update batches, 40 query rounds per client"
+    );
+    let rows = run_read_fanout(n_objects, &fanouts, 40, 40);
+    println!("{}", read_fanout_table(n_objects, &rows));
+
+    if let Some(path) = json_path {
+        let json = read_fanout_json(&rows);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if !rows.iter().all(|r| r.parity && r.stale_typed) {
+        eprintln!("FAIL: a follower diverged from the leader or hung on a stale floor");
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@ pub mod frontend;
 pub mod indexing;
 pub mod policy_sweep;
 pub mod query_scaling;
+pub mod read_fanout;
 pub mod replication;
 pub mod savings;
 pub mod sharding;
