@@ -51,6 +51,8 @@ commands:  \\h help   \\q quit   \\epoch publish snapshot + stats
            \\replica show lag/watermark stats   \\replica stop detach
            \\replica serve <addr> answer remote queries from this replica
            (lag-widened, read-your-writes floors honoured or refused Stale)
+           \\replica promote seal a new leadership epoch and lead from here
+           (chained followers keep streaming; a diverged old leader is refused)
            \\session show this connection's read-your-writes token
            \\session <lsn> raise it (use a writer's token to read its writes)
            \\connect <addr> send queries to a remote front-end
@@ -58,6 +60,8 @@ commands:  \\h help   \\q quit   \\epoch publish snapshot + stats
            \\cluster <addr> <addr> ... scatter-gather queries across shard
            servers (hash-of-id shard map; takes precedence over \\connect)
            \\cluster show shards   \\cluster stop disband
+           \\cluster failover <shard> <addr> repoint one shard's writes at
+           its promoted standby (read-your-writes token carries over)
            \\stats scrape the remote server/cluster (local stats otherwise)";
 
 /// Derived WAL efficiency for `\stats`: how many log bytes each fsync
@@ -323,6 +327,9 @@ fn main() {
     let mut db = demo_fleet();
     let mut engine = console_engine(&db);
     let mut replica: Option<StandbyReplica> = None;
+    // Holds a `\replica promote`d leader: keeps its WAL writer (and any
+    // still-running replication/query servers) alive for the session.
+    let mut promoted: Option<modb_server::DurableDatabase> = None;
     let mut replica_server: Option<QueryServer> = None;
     let mut remote: Option<QueryClient> = None;
     let mut cluster: Option<ClusterRouter> = None;
@@ -362,9 +369,14 @@ fn main() {
                     .split_whitespace()
                     .collect();
                 match args.as_slice() {
-                    [] => match &replica {
-                        Some(r) => println!("  {}", r.stats()),
-                        None => println!("  no replica attached — \\replica <addr> <dir>"),
+                    [] => match (&replica, &promoted) {
+                        (Some(r), _) => println!("  {}", r.stats()),
+                        (None, Some(leader)) => println!(
+                            "  promoted leader: epoch {} frontier lsn {}",
+                            leader.epoch(),
+                            leader.wal().next_lsn()
+                        ),
+                        (None, None) => println!("  no replica attached — \\replica <addr> <dir>"),
                     },
                     ["stop"] => match replica.take() {
                         Some(r) => {
@@ -375,6 +387,27 @@ fn main() {
                             println!("  detached: {}", r.shutdown());
                         }
                         None => println!("  no replica attached"),
+                    },
+                    ["promote"] => match replica.take() {
+                        Some(r) => match r.promote() {
+                            Ok(leader) => {
+                                println!(
+                                    "  promoted: leadership epoch {} sealed at lsn {} — this \
+                                     node now leads. Chained followers keep streaming from it; \
+                                     a revived old leader whose tail passed the promotion point \
+                                     is refused (diverged).",
+                                    leader.epoch(),
+                                    leader.wal().next_lsn()
+                                );
+                                db = leader.database().clone();
+                                engine = console_engine(&db);
+                                promoted = Some(leader);
+                            }
+                            // promote() consumed the replica; its state is
+                            // unusable to lead from, so nothing to restore.
+                            Err(e) => println!("  error: promotion failed: {e}"),
+                        },
+                        None => println!("  no replica attached — \\replica <addr> <dir> first"),
                     },
                     ["serve", addr] => match &replica {
                         Some(r) => {
@@ -427,7 +460,9 @@ fn main() {
                             Err(e) => println!("  error: {e}"),
                         }
                     }
-                    _ => println!("  usage: \\replica [<addr> <dir> | serve <addr> | stop]"),
+                    _ => println!(
+                        "  usage: \\replica [<addr> <dir> | serve <addr> | promote | stop]"
+                    ),
                 }
                 continue;
             }
@@ -562,6 +597,19 @@ fn main() {
                             router.close();
                         }
                         None => println!("  no cluster"),
+                    },
+                    ["failover", shard, addr] => match &mut cluster {
+                        Some(router) => match shard.parse::<usize>() {
+                            Ok(shard) => match router.fail_over_shard(shard, addr) {
+                                Ok(()) => println!(
+                                    "  shard {shard} writes now flow to {addr} \
+                                     (read-your-writes token carried over)"
+                                ),
+                                Err(e) => println!("  error: {e}"),
+                            },
+                            Err(_) => println!("  usage: \\cluster failover <shard> <addr>"),
+                        },
+                        None => println!("  no cluster — \\cluster <addr> <addr> ... first"),
                     },
                     addrs => {
                         let parsed: Result<Vec<std::net::SocketAddr>, _> =

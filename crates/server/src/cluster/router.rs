@@ -308,6 +308,44 @@ impl ClusterRouter {
             .collect()
     }
 
+    /// Repoints one shard at a new server — the write-path half of
+    /// leader failover (DESIGN.md §16). After
+    /// [`crate::FailoverCoordinator::fail_over`] promotes a shard's
+    /// standby, point the router here at the promotee's query front-end
+    /// and writes to that shard flow again.
+    ///
+    /// The old connection's read-your-writes token carries over to the
+    /// new one: the promotee's log is a byte-identical prefix of the
+    /// dead leader's plus its `LeaderEpoch` seal, so the LSN space is
+    /// the same and an acked write's floor stays meaningful. (A token
+    /// above the promotee's frontier names acked-but-unshipped writes
+    /// the promotee never received; those are exactly the writes failover
+    /// cannot save, and the floor makes the gap visible as a typed
+    /// `Stale` instead of silently reading around it.)
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::ShardFailed`] naming `shard` when it is out of
+    /// range or the new address cannot be dialed; the old (dead)
+    /// connection is kept in place on failure so a retry is possible.
+    pub fn fail_over_shard(
+        &mut self,
+        shard: usize,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> Result<(), ClusterError> {
+        if shard >= self.clients.len() {
+            return Err(ClusterError::ShardFailed {
+                shard,
+                error: format!("no such shard (cluster has {})", self.clients.len()),
+            });
+        }
+        let mut client = QueryClient::connect(addr).map_err(|e| shard_failed(shard, &e))?;
+        client.set_token(self.clients[shard].token());
+        let old = std::mem::replace(&mut self.clients[shard], client);
+        old.close();
+        Ok(())
+    }
+
     /// Closes every shard connection.
     pub fn close(self) {
         for client in self.clients {

@@ -29,7 +29,8 @@ use std::sync::{Arc, Mutex};
 use modb_core::{Database, MovingObject, ObjectId, StationaryObject, UpdateMessage};
 use modb_routes::Route;
 use modb_wal::{
-    write_snapshot, RecoveryReport, SharedWal, WalError, WalOptions, WalRecord, WalWriter,
+    write_snapshot, EpochHistory, RecoveryReport, SharedWal, WalError, WalOptions, WalRecord,
+    WalWriter,
 };
 
 use crate::ingest::IngestService;
@@ -50,6 +51,9 @@ pub struct DurableDatabase {
     /// Per-follower acknowledged LSNs; their minimum is the ship barrier
     /// the post-snapshot compaction pass respects.
     horizon: Arc<ShipHorizon>,
+    /// Leadership epochs of this log (the promotion divergence guard);
+    /// shared with the replication listener's handshake gate.
+    epochs: Arc<Mutex<EpochHistory>>,
 }
 
 impl DurableDatabase {
@@ -69,12 +73,14 @@ impl DurableDatabase {
         let dir = dir.into();
         let writer = WalWriter::create(&dir, opts)?;
         write_snapshot(&dir, &db, writer.next_lsn())?;
+        let epochs = EpochHistory::load(&dir)?;
         Ok(DurableDatabase {
             db: SharedDatabase::new(db),
             wal: SharedWal::new(writer),
             dir,
             shadow: Arc::new(Mutex::new(ShadowBuffer::new())),
             horizon: Arc::new(ShipHorizon::new()),
+            epochs: Arc::new(Mutex::new(epochs)),
         })
     }
 
@@ -92,6 +98,7 @@ impl DurableDatabase {
         let dir = dir.into();
         let recovered = modb_wal::recover(&dir)?;
         let writer = WalWriter::resume(&dir, opts, recovered.report.next_lsn)?;
+        let epochs = EpochHistory::load(&dir)?;
         Ok((
             DurableDatabase {
                 db: SharedDatabase::new(recovered.database),
@@ -99,9 +106,31 @@ impl DurableDatabase {
                 dir,
                 shadow: Arc::new(Mutex::new(ShadowBuffer::new())),
                 horizon: Arc::new(ShipHorizon::new()),
+                epochs: Arc::new(Mutex::new(epochs)),
             },
             recovered.report,
         ))
+    }
+
+    /// Wraps state a promotion produced: the standby's database, its
+    /// sealed log, and — crucially — its live ship horizon and epoch
+    /// history, so downstream acks registered before the switch keep
+    /// pinning compaction and the replication gate sees the new epoch.
+    pub(crate) fn from_parts(
+        db: SharedDatabase,
+        wal: SharedWal,
+        dir: PathBuf,
+        horizon: Arc<ShipHorizon>,
+        epochs: Arc<Mutex<EpochHistory>>,
+    ) -> Self {
+        DurableDatabase {
+            db,
+            wal,
+            dir,
+            shadow: Arc::new(Mutex::new(ShadowBuffer::new())),
+            horizon,
+            epochs,
+        }
     }
 
     /// The in-memory handle (queries go here; they never touch the log).
@@ -124,6 +153,21 @@ impl DurableDatabase {
     /// [`DurableDatabase::serve_replication`]).
     pub fn ship_horizon(&self) -> &Arc<ShipHorizon> {
         &self.horizon
+    }
+
+    /// The leadership-epoch history of this log, shared with the
+    /// replication handshake gate.
+    pub(crate) fn epochs(&self) -> &Arc<Mutex<EpochHistory>> {
+        &self.epochs
+    }
+
+    /// The current leadership epoch (1 for a log that never lived
+    /// through a promotion).
+    pub fn epoch(&self) -> u64 {
+        self.epochs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .current()
     }
 
     /// Spawns a WAL-backed ingest service over this database (see

@@ -71,15 +71,16 @@ pub use ingest::{
 };
 pub use net::{
     BatchOutcome, FollowerStatus, QueryClient, QueryClientConfig, QueryServer, QueryServerConfig,
-    ReadRouter, ReadRouterConfig, RemoteUpdateVerdict, RemoteVerdict, ServerStatsSnapshot,
-    DEFAULT_MAX_FRAME_BYTES,
+    ReadRouter, ReadRouterConfig, RemoteUpdateVerdict, RemoteVerdict, RouterError,
+    ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
 };
 pub use query_engine::{
     BatchRequest, EpochSnapshot, QueryEngine, QueryEngineConfig, QueryStats, QueryStatsSnapshot,
 };
 pub use replication::{
-    ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicaWatch, ReplicationConfig,
-    ReplicationServer, ReplicationStatsSnapshot, ShipHorizon, StandbyReplica,
+    DivergenceInfo, FailoverConfig, FailoverCoordinator, FailoverError, FailoverOutcome,
+    FailoverPlan, ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicaWatch,
+    ReplicationConfig, ReplicationServer, ReplicationStatsSnapshot, ShipHorizon, StandbyReplica,
 };
 pub use shadow::ShadowBuffer;
 pub use shared::SharedDatabase;

@@ -21,6 +21,11 @@ pub struct QueryClientConfig {
     pub response_timeout: Duration,
     /// Per-message payload ceiling on the receive side.
     pub max_frame_bytes: u32,
+    /// Bound on the TCP connect itself (`None` = the OS default, which
+    /// can be minutes against a black-holed address). Anything that
+    /// dials on a latency-sensitive path — the [`crate::ReadRouter`]'s
+    /// refresh, a failover probe — should set this.
+    pub connect_timeout: Option<Duration>,
 }
 
 impl Default for QueryClientConfig {
@@ -28,6 +33,7 @@ impl Default for QueryClientConfig {
         QueryClientConfig {
             response_timeout: Duration::from_secs(30),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            connect_timeout: None,
         }
     }
 }
@@ -100,7 +106,18 @@ impl QueryClient {
         addr: impl ToSocketAddrs,
         config: QueryClientConfig,
     ) -> Result<Self, WalError> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = match config.connect_timeout {
+            Some(timeout) => {
+                let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    WalError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "address resolved to nothing",
+                    ))
+                })?;
+                TcpStream::connect_timeout(&addr, timeout)?
+            }
+            None => TcpStream::connect(addr)?,
+        };
         let peer = stream.peer_addr()?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_millis(10)))?;

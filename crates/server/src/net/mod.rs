@@ -29,6 +29,6 @@ pub use client::{BatchOutcome, QueryClient, QueryClientConfig};
 pub use protocol::{
     RemoteUpdateVerdict, RemoteVerdict, ServerStatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
 };
-pub use router::{FollowerStatus, ReadRouter, ReadRouterConfig};
+pub use router::{FollowerStatus, ReadRouter, ReadRouterConfig, RouterError};
 pub(crate) use server::serve_follower_queries;
 pub use server::{QueryServer, QueryServerConfig};

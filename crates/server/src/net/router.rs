@@ -9,15 +9,27 @@
 //!
 //! - candidates whose last-known watermark covers the token are tried
 //!   first, least-lagged first — they answer without waiting;
-//! - a typed `Stale` refusal updates the endpoint's watermark and fails
-//!   over to the next candidate (the session survives);
-//! - a transport error drops the connection (it is re-dialed on the next
-//!   refresh) and fails over likewise.
+//! - a typed `Stale` refusal **overwrites** the endpoint's watermark
+//!   with the refusal's (it is authoritative — the poll view that put
+//!   the refuser first was stale) and adds
+//!   [`ReadRouterConfig::stale_penalty`] to its lag, so the next routing
+//!   decision rotates to a fresher follower instead of hammering the
+//!   same refuser;
+//! - a transport error drops the connection and fails over likewise; the
+//!   endpoint is re-dialed on a later refresh, but never sooner than
+//!   [`ReadRouterConfig::redial_backoff`] after the loss, and each dial
+//!   is bounded by the client config's `connect_timeout` — a dead
+//!   endpoint costs the batch path a bounded, rate-limited amount, not a
+//!   synchronous full-length TCP timeout per batch.
 //!
-//! Only when *every* endpoint refuses or fails does the batch error out.
-//! This is the client half of the read-fan-out story (DESIGN.md §15):
-//! one write leader, N chained followers, readers spread by staleness.
+//! Only when *every* endpoint refuses or fails does the batch error out,
+//! and the error is typed ([`RouterError`]): `AllStale` carries the
+//! freshest watermark seen against the floor that beat it, `NoEndpoint`
+//! means nothing was even reachable. This is the client half of the
+//! read-fan-out story (DESIGN.md §15): one write leader, N chained
+//! followers, readers spread by staleness.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use modb_wal::WalError;
@@ -30,9 +42,20 @@ use crate::net::protocol::RemoteVerdict;
 pub struct ReadRouterConfig {
     /// How stale the router's view of follower watermarks may grow
     /// before the next batch triggers a re-poll (and re-dials dead
-    /// endpoints).
+    /// endpoints whose backoff has elapsed).
     pub refresh_interval: Duration,
-    /// Per-connection tuning for the underlying [`QueryClient`]s.
+    /// Minimum pause between dial attempts at one dead endpoint. Keeps
+    /// an unreachable follower from taxing every refresh (and therefore
+    /// the batch path) with a fresh connection attempt.
+    pub redial_backoff: Duration,
+    /// Added to an endpoint's lag view when it answers a batch with a
+    /// `Stale` refusal, demoting it behind equally-satisfying peers in
+    /// the next routing decision so retries rotate instead of pinning.
+    pub stale_penalty: Duration,
+    /// Per-connection tuning for the underlying [`QueryClient`]s. The
+    /// default sets `connect_timeout` so a black-holed endpoint cannot
+    /// stall a refresh for the OS connect timeout; keep it set if you
+    /// build this by hand.
     pub client: QueryClientConfig,
 }
 
@@ -40,7 +63,72 @@ impl Default for ReadRouterConfig {
     fn default() -> Self {
         ReadRouterConfig {
             refresh_interval: Duration::from_millis(250),
-            client: QueryClientConfig::default(),
+            redial_backoff: Duration::from_secs(1),
+            stale_penalty: Duration::from_millis(250),
+            client: QueryClientConfig {
+                connect_timeout: Some(Duration::from_millis(250)),
+                ..QueryClientConfig::default()
+            },
+        }
+    }
+}
+
+/// Why the router could not serve a batch (or come up at all). Converts
+/// into [`WalError`] for call sites that funnel everything through the
+/// storage error type.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Every reachable endpoint refused the batch's read-your-writes
+    /// floor: the freshest applied watermark any refusal reported, and
+    /// the floor none of them reached.
+    AllStale {
+        /// Highest applied watermark among the refusals.
+        applied: u64,
+        /// The read-your-writes floor the batch demanded.
+        required: u64,
+    },
+    /// No endpoint is connected: none were given, none were reachable,
+    /// or every dial is sitting out its backoff after a connection loss.
+    NoEndpoint,
+    /// Every connected endpoint failed at the transport level; the last
+    /// error observed.
+    Transport(WalError),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::AllStale { applied, required } => write!(
+                f,
+                "every follower stale: freshest applied {applied} < required {required}"
+            ),
+            RouterError::NoEndpoint => write!(f, "no read endpoint reachable"),
+            RouterError::Transport(e) => write!(f, "every read endpoint failed; last error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouterError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RouterError> for WalError {
+    fn from(e: RouterError) -> Self {
+        match e {
+            RouterError::AllStale { .. } => WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                e.to_string(),
+            )),
+            RouterError::NoEndpoint => WalError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                e.to_string(),
+            )),
+            RouterError::Transport(inner) => inner,
         }
     }
 }
@@ -54,7 +142,8 @@ pub struct FollowerStatus {
     pub connected: bool,
     /// Applied watermark from the last stats poll (0 before the first).
     pub applied_lsn: u64,
-    /// Lag clock from the last stats poll (zero for a leader endpoint).
+    /// Lag clock from the last stats poll (zero for a leader endpoint),
+    /// plus any accumulated stale penalties since.
     pub lag: Duration,
 }
 
@@ -63,6 +152,8 @@ struct Endpoint {
     client: Option<QueryClient>,
     applied_lsn: u64,
     lag: Duration,
+    /// Earliest instant the next dial may be attempted; `None` = now.
+    next_dial: Option<Instant>,
 }
 
 /// Routes read batches to the least-lagged follower satisfying each
@@ -82,11 +173,12 @@ impl ReadRouter {
     ///
     /// # Errors
     ///
-    /// An empty endpoint list, or every endpoint unreachable.
+    /// [`RouterError::NoEndpoint`]: an empty endpoint list, or every
+    /// endpoint unreachable.
     pub fn connect<S: Into<String>>(
         addrs: impl IntoIterator<Item = S>,
         config: ReadRouterConfig,
-    ) -> Result<Self, WalError> {
+    ) -> Result<Self, RouterError> {
         let endpoints: Vec<Endpoint> = addrs
             .into_iter()
             .map(|a| Endpoint {
@@ -94,10 +186,11 @@ impl ReadRouter {
                 client: None,
                 applied_lsn: 0,
                 lag: Duration::ZERO,
+                next_dial: None,
             })
             .collect();
         if endpoints.is_empty() {
-            return Err(WalError::Decode("read router needs at least one endpoint"));
+            return Err(RouterError::NoEndpoint);
         }
         let mut router = ReadRouter {
             endpoints,
@@ -106,22 +199,32 @@ impl ReadRouter {
         };
         router.refresh();
         if router.endpoints.iter().all(|e| e.client.is_none()) {
-            return Err(WalError::Io(std::io::Error::new(
-                std::io::ErrorKind::ConnectionRefused,
-                "no read endpoint reachable",
-            )));
+            return Err(RouterError::NoEndpoint);
         }
         Ok(router)
     }
 
-    /// Re-dials dead endpoints and re-polls every live one's watermark
-    /// and lag. Called automatically when the last poll is older than
-    /// [`ReadRouterConfig::refresh_interval`]; call it directly to force
-    /// a fresh view.
+    /// Re-dials dead endpoints whose backoff has elapsed and re-polls
+    /// every live one's watermark and lag. Called automatically when the
+    /// last poll is older than [`ReadRouterConfig::refresh_interval`];
+    /// call it directly to force a fresh view.
     pub fn refresh(&mut self) {
+        let now = Instant::now();
         for ep in &mut self.endpoints {
             if ep.client.is_none() {
-                ep.client = QueryClient::connect_with(&ep.addr, self.config.client.clone()).ok();
+                if ep.next_dial.is_some_and(|t| now < t) {
+                    continue; // still in backoff from the last failure
+                }
+                match QueryClient::connect_with(&ep.addr, self.config.client.clone()) {
+                    Ok(client) => {
+                        ep.client = Some(client);
+                        ep.next_dial = None;
+                    }
+                    Err(_) => {
+                        ep.next_dial = Some(now + self.config.redial_backoff);
+                        continue;
+                    }
+                }
             }
             let Some(client) = ep.client.as_mut() else {
                 continue;
@@ -133,7 +236,10 @@ impl ReadRouter {
                     ep.applied_lsn = stats.replica_applied_lsn.unwrap_or(stats.wal_next_lsn);
                     ep.lag = stats.replica_lag.unwrap_or(Duration::ZERO);
                 }
-                Err(_) => ep.client = None,
+                Err(_) => {
+                    ep.client = None;
+                    ep.next_dial = Some(Instant::now() + self.config.redial_backoff);
+                }
             }
         }
         self.last_refresh = Some(Instant::now());
@@ -167,7 +273,7 @@ impl ReadRouter {
     /// # Errors
     ///
     /// As [`ReadRouter::batch_with_token`].
-    pub fn batch(&mut self, script: &str) -> Result<Vec<RemoteVerdict>, WalError> {
+    pub fn batch(&mut self, script: &str) -> Result<Vec<RemoteVerdict>, RouterError> {
         self.batch_with_token(script, 0)
     }
 
@@ -178,12 +284,14 @@ impl ReadRouter {
     ///
     /// # Errors
     ///
-    /// Every endpoint stale past its deadline or unreachable.
+    /// [`RouterError::AllStale`] when every endpoint refused the floor,
+    /// [`RouterError::NoEndpoint`] when none was even connected,
+    /// [`RouterError::Transport`] when connected endpoints all failed.
     pub fn batch_with_token(
         &mut self,
         script: &str,
         token: u64,
-    ) -> Result<Vec<RemoteVerdict>, WalError> {
+    ) -> Result<Vec<RemoteVerdict>, RouterError> {
         self.maybe_refresh();
         // Candidate order: watermark-satisfying endpoints first (least
         // lag first — they answer without waiting), then the rest by
@@ -199,6 +307,9 @@ impl ReadRouter {
                 .then_with(|| ea.lag.cmp(&eb.lag))
                 .then_with(|| eb.applied_lsn.cmp(&ea.applied_lsn))
         });
+        if order.is_empty() {
+            return Err(RouterError::NoEndpoint);
+        }
         let mut last_err: Option<WalError> = None;
         let mut best_stale: Option<(u64, u64)> = None;
         for i in order {
@@ -207,9 +318,13 @@ impl ReadRouter {
             match client.batch_attempt(script, token) {
                 Ok(BatchOutcome::Done(verdicts)) => return Ok(verdicts),
                 Ok(BatchOutcome::Stale { applied, required }) => {
-                    // The refusal carries a fresher watermark than our
-                    // last poll — keep it for the next routing decision.
-                    ep.applied_lsn = ep.applied_lsn.max(applied);
+                    // The refusal is authoritative: the poll view that
+                    // ranked this endpoint satisfying was stale, so
+                    // overwrite it (a `max` would keep the overestimate
+                    // and re-elect the refuser forever) and demote its
+                    // lag so retries rotate to fresher peers.
+                    ep.applied_lsn = applied;
+                    ep.lag = ep.lag.saturating_add(self.config.stale_penalty);
                     best_stale = Some(match best_stale {
                         Some((a, r)) => (a.max(applied), r.max(required)),
                         None => (applied, required),
@@ -217,22 +332,18 @@ impl ReadRouter {
                 }
                 Err(e) => {
                     ep.client = None;
+                    ep.next_dial = Some(Instant::now() + self.config.redial_backoff);
                     last_err = Some(e);
                 }
             }
         }
         if let Some((applied, required)) = best_stale {
-            return Err(WalError::Io(std::io::Error::new(
-                std::io::ErrorKind::WouldBlock,
-                format!("every follower stale: freshest applied {applied} < required {required}"),
-            )));
+            return Err(RouterError::AllStale { applied, required });
         }
-        Err(last_err.unwrap_or_else(|| {
-            WalError::Io(std::io::Error::new(
-                std::io::ErrorKind::NotConnected,
-                "no read endpoint reachable",
-            ))
-        }))
+        match last_err {
+            Some(e) => Err(RouterError::Transport(e)),
+            None => Err(RouterError::NoEndpoint),
+        }
     }
 
     /// Closes every connection.
@@ -242,5 +353,302 @@ impl ReadRouter {
                 client.close();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use modb_core::MAX_BANDS;
+
+    use crate::ingest::IngestStatsSnapshot;
+    use crate::net::protocol::{
+        send_message, FrameReader, Message, ReadEvent, ServerStatsSnapshot,
+        DEFAULT_MAX_FRAME_BYTES, NET_PROTOCOL_VERSION,
+    };
+    use crate::query_engine::QueryStatsSnapshot;
+
+    fn zero_stats(applied: u64) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            query: QueryStatsSnapshot {
+                epoch: 0,
+                queries: 0,
+                epoch_queries: 0,
+                errors: 0,
+                candidates: 0,
+                matches: 0,
+                parallel_refines: 0,
+                batches: 0,
+                delta_publishes: 0,
+                full_publishes: 0,
+                publish_ns: 0,
+                p50_us: 0,
+                p99_us: 0,
+                snapshot_age: Duration::ZERO,
+            },
+            ingest: IngestStatsSnapshot {
+                accepted: 0,
+                stale: 0,
+                off_route: 0,
+                unknown_object: 0,
+                other_rejected: 0,
+                wal_errors: 0,
+            },
+            wal_bytes_written: 0,
+            wal_fsyncs: 0,
+            wal_group_tickets: 0,
+            wal_group_commits: 0,
+            wal_group_last_batch: 0,
+            wal_next_lsn: applied,
+            ingest_queue_depth: 0,
+            followers: 0,
+            min_acked_lsn: None,
+            shard: None,
+            index_bands: 1,
+            index_band_entries: [0u64; MAX_BANDS],
+            index_band_migrations: 0,
+            replica_applied_lsn: Some(applied),
+            replica_lag: Some(Duration::ZERO),
+        }
+    }
+
+    /// A scriptable follower front-end: handshakes, answers stats with a
+    /// controllable applied watermark, and answers each batch with one
+    /// error verdict — or a `Stale` refusal when the batch's floor
+    /// outruns the watermark. Counts the batches it was asked to run.
+    struct FakeFollower {
+        addr: String,
+        applied: Arc<AtomicU64>,
+        batches: Arc<AtomicU64>,
+        stop: Arc<AtomicBool>,
+    }
+
+    impl FakeFollower {
+        fn spawn(applied_lsn: u64) -> Self {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let applied = Arc::new(AtomicU64::new(applied_lsn));
+            let batches = Arc::new(AtomicU64::new(0));
+            let stop = Arc::new(AtomicBool::new(false));
+            let (a, b, s) = (
+                Arc::clone(&applied),
+                Arc::clone(&batches),
+                Arc::clone(&stop),
+            );
+            std::thread::spawn(move || {
+                while !s.load(Ordering::Relaxed) {
+                    let Ok((stream, _)) = listener.accept() else {
+                        break;
+                    };
+                    let (a, b, s) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&s));
+                    std::thread::spawn(move || Self::serve(stream, &a, &b, &s));
+                }
+            });
+            FakeFollower {
+                addr,
+                applied,
+                batches,
+                stop,
+            }
+        }
+
+        fn serve(
+            mut stream: TcpStream,
+            applied: &AtomicU64,
+            batches: &AtomicU64,
+            stop: &AtomicBool,
+        ) {
+            stream
+                .set_read_timeout(Some(Duration::from_millis(10)))
+                .unwrap();
+            let mut reader = FrameReader::new(stream.try_clone().unwrap(), DEFAULT_MAX_FRAME_BYTES);
+            while !stop.load(Ordering::Relaxed) {
+                let msg = match reader.poll() {
+                    Ok(ReadEvent::Message(m)) => m,
+                    Ok(ReadEvent::Idle) => continue,
+                    Ok(ReadEvent::Closed) | Err(_) => return,
+                };
+                let reply = match msg {
+                    Message::Hello { .. } => vec![Message::HelloAck {
+                        version: NET_PROTOCOL_VERSION,
+                    }],
+                    Message::StatsRequest => vec![Message::StatsReply(Box::new(zero_stats(
+                        applied.load(Ordering::Relaxed),
+                    )))],
+                    Message::Batch { min_lsn, .. } => {
+                        let now = applied.load(Ordering::Relaxed);
+                        if min_lsn > now {
+                            vec![Message::Stale {
+                                applied: now,
+                                required: min_lsn,
+                            }]
+                        } else {
+                            batches.fetch_add(1, Ordering::Relaxed);
+                            vec![
+                                Message::Statement {
+                                    index: 0,
+                                    verdict: Err("fake".into()),
+                                },
+                                Message::BatchDone { count: 1 },
+                            ]
+                        }
+                    }
+                    _ => return,
+                };
+                for m in &reply {
+                    if send_message(&mut stream, m).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    impl Drop for FakeFollower {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::Relaxed);
+            let _ = TcpStream::connect(&self.addr); // unblock accept()
+        }
+    }
+
+    fn quiet_config() -> ReadRouterConfig {
+        // No mid-test re-poll: the tests drive the view by hand.
+        ReadRouterConfig {
+            refresh_interval: Duration::from_secs(600),
+            client: QueryClientConfig {
+                response_timeout: Duration::from_secs(5),
+                connect_timeout: Some(Duration::from_millis(250)),
+                ..QueryClientConfig::default()
+            },
+            ..ReadRouterConfig::default()
+        }
+    }
+
+    /// Regression: a `Stale` refusal must dethrone the refuser. The old
+    /// code `max`-ed the refusal's watermark into the (higher, stale)
+    /// poll view and left lag untouched, so the refuser stayed the
+    /// least-lagged satisfying candidate and every retry hit it first.
+    #[test]
+    fn stale_refusal_rotates_to_fresher_follower() {
+        let fast = FakeFollower::spawn(100); // polls as fresh, lag 0
+        let slow = FakeFollower::spawn(100);
+        let mut router = ReadRouter::connect([&fast.addr, &slow.addr], quiet_config()).unwrap();
+        // After the initial poll both advertise 100; `fast` regresses
+        // (as a just-failed-over promotee's follower might) so a floor
+        // of 50 now draws a refusal from it.
+        fast.applied.store(10, Ordering::Relaxed);
+        let verdicts = router.batch_with_token("q", 50).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(
+            slow.batches.load(Ordering::Relaxed),
+            1,
+            "failover target must have answered"
+        );
+        // The refusal overwrote the stale view…
+        let statuses = router.statuses();
+        assert_eq!(statuses[0].applied_lsn, 10);
+        assert!(statuses[0].lag > statuses[1].lag, "refuser must be demoted");
+        // …so the next batch routes straight past the refuser.
+        router.batch_with_token("q", 50).unwrap();
+        assert_eq!(
+            fast.batches.load(Ordering::Relaxed),
+            0,
+            "refuser must not be retried first while a satisfying peer exists"
+        );
+        assert_eq!(slow.batches.load(Ordering::Relaxed), 2);
+    }
+
+    /// Regression: a dead endpoint must not tax every batch with a
+    /// synchronous re-dial. The victim here accepts TCP but never
+    /// handshakes, so an unbounded re-dial policy would pay the full
+    /// response timeout on every refresh.
+    #[test]
+    fn dead_endpoint_redial_is_backed_off() {
+        let live = FakeFollower::spawn(100);
+        // Accepts connections, never speaks: each dial costs the whole
+        // handshake timeout.
+        let black_hole = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = black_hole.local_addr().unwrap().to_string();
+        let timeout = Duration::from_millis(200);
+        let mut router = ReadRouter::connect(
+            [live.addr.clone(), dead_addr],
+            ReadRouterConfig {
+                refresh_interval: Duration::ZERO, // every batch re-polls
+                redial_backoff: Duration::from_secs(600),
+                client: QueryClientConfig {
+                    response_timeout: timeout,
+                    connect_timeout: Some(timeout),
+                    ..QueryClientConfig::default()
+                },
+                ..ReadRouterConfig::default()
+            },
+        )
+        .unwrap();
+        // connect() paid one handshake timeout for the dead endpoint;
+        // from here its backoff shields the batch path.
+        let start = Instant::now();
+        for _ in 0..5 {
+            router.batch_with_token("q", 0).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < timeout * 3,
+            "5 batches took {elapsed:?}; dead endpoint is being re-dialed per batch"
+        );
+        assert_eq!(live.batches.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn all_stale_is_a_typed_error() {
+        let f = FakeFollower::spawn(10);
+        let mut router = ReadRouter::connect([&f.addr], quiet_config()).unwrap();
+        match router.batch_with_token("q", 99) {
+            Err(RouterError::AllStale { applied, required }) => {
+                assert_eq!(applied, 10);
+                assert_eq!(required, 99);
+            }
+            other => panic!("expected AllStale, got {other:?}"),
+        }
+        // The conversion call sites rely on: WouldBlock, message intact.
+        let wal: WalError = RouterError::AllStale {
+            applied: 10,
+            required: 99,
+        }
+        .into();
+        match wal {
+            WalError::Io(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock);
+                assert!(e.to_string().contains("10") && e.to_string().contains("99"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn losing_every_endpoint_is_typed_not_a_panic() {
+        let f = FakeFollower::spawn(10);
+        let addr = f.addr.clone();
+        let mut router = ReadRouter::connect([&addr], quiet_config()).unwrap();
+        drop(f); // server gone; the held connection dies
+        let first = router.batch_with_token("q", 0);
+        assert!(matches!(first, Err(RouterError::Transport(_))), "{first:?}");
+        // The endpoint is now dead and in dial backoff: no candidates.
+        let second = router.batch_with_token("q", 0);
+        assert!(matches!(second, Err(RouterError::NoEndpoint)), "{second:?}");
+        let wal: WalError = RouterError::NoEndpoint.into();
+        assert!(matches!(wal, WalError::Io(ref e) if e.kind() == std::io::ErrorKind::NotConnected));
+    }
+
+    #[test]
+    fn connect_with_no_endpoints_is_refused() {
+        let err = ReadRouter::connect(Vec::<String>::new(), ReadRouterConfig::default())
+            .err()
+            .expect("empty endpoint list must be refused");
+        assert!(matches!(err, RouterError::NoEndpoint));
     }
 }

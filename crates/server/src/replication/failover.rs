@@ -1,0 +1,325 @@
+//! Leader failover: deadman detection, freshest-follower election,
+//! promotion, and chain repoint.
+//!
+//! The pieces compose the write-path half of availability (DESIGN.md
+//! §16). A [`FailoverCoordinator`] probes the leader's query front-end
+//! stats frame on a cadence; a leader that misses
+//! [`FailoverConfig::probe_failures`] consecutive probes is declared
+//! dead. [`FailoverCoordinator::fail_over`] then elects the follower
+//! with the highest applied watermark (it has the longest acked prefix —
+//! promoting anything staler would silently drop acked writes its peers
+//! hold), promotes it via [`StandbyReplica::promote`], and repoints the
+//! survivors at the promotee's re-ship address so they resume from their
+//! applied LSN instead of re-bootstrapping.
+//!
+//! Election here is administrative, not consensus: one coordinator
+//! decides, the epoch machinery ([`modb_wal::EpochHistory`]) is what
+//! keeps a partitioned old leader from corrupting anyone — its revived
+//! tail past the promotion point is refused with a typed `Diverged`
+//! answer no matter who talks to whom first.
+
+use std::fmt;
+use std::time::Duration;
+
+use modb_wal::WalError;
+
+use crate::durable::DurableDatabase;
+use crate::net::{QueryClient, QueryClientConfig};
+use crate::replication::follower::StandbyReplica;
+
+/// Tuning for the deadman probe.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Pause between probes of the leader's stats frame.
+    pub probe_interval: Duration,
+    /// Consecutive failed probes before the leader is declared dead. One
+    /// failure is a blip; this many in a row is an outage.
+    pub probe_failures: u32,
+    /// Tuning for the probe connection (keep `response_timeout` short —
+    /// it bounds how long one dead probe takes).
+    pub client: QueryClientConfig,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            probe_interval: Duration::from_millis(100),
+            probe_failures: 3,
+            client: QueryClientConfig {
+                response_timeout: Duration::from_millis(500),
+                ..QueryClientConfig::default()
+            },
+        }
+    }
+}
+
+/// Why a failover could not run.
+#[derive(Debug)]
+pub enum FailoverError {
+    /// No follower to promote.
+    NoCandidates,
+    /// `ship_addrs` does not pair one address with each replica.
+    AddrCountMismatch {
+        /// Candidate replicas offered.
+        replicas: usize,
+        /// Re-ship addresses offered.
+        addrs: usize,
+    },
+    /// Every candidate's promotion failed; the last error, rendered.
+    AllPromotionsFailed(String),
+}
+
+impl fmt::Display for FailoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailoverError::NoCandidates => write!(f, "no follower available to promote"),
+            FailoverError::AddrCountMismatch { replicas, addrs } => write!(
+                f,
+                "{replicas} candidate replica(s) but {addrs} re-ship address(es)"
+            ),
+            FailoverError::AllPromotionsFailed(e) => {
+                write!(f, "every candidate promotion failed; last error: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FailoverError {}
+
+impl From<FailoverError> for WalError {
+    fn from(e: FailoverError) -> Self {
+        WalError::Io(std::io::Error::other(e.to_string()))
+    }
+}
+
+/// The election verdict, before anything is touched: who would be
+/// promoted and what everyone's watermark was at decision time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverPlan {
+    /// Index (into the candidate slice) of the follower to promote.
+    pub winner: usize,
+    /// The winner's applied watermark.
+    pub winner_applied: u64,
+    /// Every candidate's applied watermark, in candidate order.
+    pub applied: Vec<u64>,
+}
+
+/// What a completed failover produced.
+pub struct FailoverOutcome {
+    /// The promoted follower, now a full write-accepting leader.
+    pub promoted: DurableDatabase,
+    /// Index (into the original candidate vector) of the promotee.
+    pub winner: usize,
+    /// The promotee's log frontier right after promotion (the sealed
+    /// `LeaderEpoch` record is the last one below it).
+    pub promoted_next_lsn: u64,
+    /// The leadership epoch the promotion opened.
+    pub epoch: u64,
+    /// The surviving followers, already repointed at the promotee.
+    pub survivors: Vec<StandbyReplica>,
+}
+
+impl fmt::Debug for FailoverOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailoverOutcome")
+            .field("winner", &self.winner)
+            .field("promoted_next_lsn", &self.promoted_next_lsn)
+            .field("epoch", &self.epoch)
+            .field("survivors", &self.survivors.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Watches one leader and, on its death, turns a set of followers into a
+/// new leader plus a repointed chain. See the module docs.
+#[derive(Debug)]
+pub struct FailoverCoordinator {
+    leader_addr: String,
+    config: FailoverConfig,
+    probe: Option<QueryClient>,
+    failures: u32,
+}
+
+impl FailoverCoordinator {
+    /// A coordinator probing the leader's *query front-end* at
+    /// `leader_addr` (the stats frame is the liveness signal — it proves
+    /// the whole serving stack, not just a TCP accept).
+    pub fn new(leader_addr: impl Into<String>, config: FailoverConfig) -> Self {
+        FailoverCoordinator {
+            leader_addr: leader_addr.into(),
+            config,
+            probe: None,
+            failures: 0,
+        }
+    }
+
+    /// One probe: scrape the leader's stats frame. `true` means alive
+    /// (and resets the failure streak); `false` counts toward the
+    /// deadman threshold. Bounded by the config's `response_timeout`.
+    pub fn probe(&mut self) -> bool {
+        if self.probe.is_none() {
+            self.probe =
+                QueryClient::connect_with(&self.leader_addr, self.config.client.clone()).ok();
+        }
+        let alive = match self.probe.as_mut() {
+            Some(client) => client.stats().is_ok(),
+            None => false,
+        };
+        if alive {
+            self.failures = 0;
+        } else {
+            self.probe = None;
+            self.failures = self.failures.saturating_add(1);
+        }
+        alive
+    }
+
+    /// Consecutive failed probes so far.
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Whether the failure streak has crossed the deadman threshold.
+    pub fn leader_dead(&self) -> bool {
+        self.failures >= self.config.probe_failures
+    }
+
+    /// Probes on the configured cadence until the deadman threshold is
+    /// crossed or `max_wait` elapses. `true` means the leader is dead
+    /// (time to [`FailoverCoordinator::fail_over`]); `false` means it
+    /// stayed (or came back) alive.
+    pub fn await_death(&mut self, max_wait: Duration) -> bool {
+        let deadline = std::time::Instant::now() + max_wait;
+        loop {
+            self.probe();
+            if self.leader_dead() {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(self.config.probe_interval);
+        }
+    }
+
+    /// Elects the promotee without touching anything: the candidate with
+    /// the highest applied watermark (first wins ties — candidate order
+    /// is the operator's preference order).
+    ///
+    /// # Errors
+    ///
+    /// [`FailoverError::NoCandidates`] on an empty slice.
+    pub fn plan(candidates: &[StandbyReplica]) -> Result<FailoverPlan, FailoverError> {
+        let applied: Vec<u64> = candidates.iter().map(|r| r.applied_lsn()).collect();
+        let winner = applied
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+            .ok_or(FailoverError::NoCandidates)?;
+        Ok(FailoverPlan {
+            winner,
+            winner_applied: applied[winner],
+            applied,
+        })
+    }
+
+    /// Runs the failover: elect, promote, repoint. `ship_addrs[i]` is
+    /// where candidate `i` re-ships its log
+    /// ([`StandbyReplica::serve_replication`] must already be running
+    /// there — promotion keeps it serving); survivors are repointed at
+    /// the winner's entry. If the freshest candidate's promotion fails,
+    /// the next-freshest is tried (the failed one is lost — its state
+    /// was not usable to lead from anyway).
+    ///
+    /// # Errors
+    ///
+    /// [`FailoverError::NoCandidates`], [`FailoverError::AddrCountMismatch`],
+    /// or [`FailoverError::AllPromotionsFailed`].
+    pub fn fail_over(
+        candidates: Vec<StandbyReplica>,
+        ship_addrs: &[String],
+    ) -> Result<FailoverOutcome, FailoverError> {
+        if candidates.is_empty() {
+            return Err(FailoverError::NoCandidates);
+        }
+        if candidates.len() != ship_addrs.len() {
+            return Err(FailoverError::AddrCountMismatch {
+                replicas: candidates.len(),
+                addrs: ship_addrs.len(),
+            });
+        }
+        // Freshest first; original index remembered so the outcome and
+        // the ship-addr lookup both speak the caller's numbering.
+        let mut slots: Vec<(usize, StandbyReplica)> = candidates.into_iter().enumerate().collect();
+        slots.sort_by_key(|(i, r)| (std::cmp::Reverse(r.applied_lsn()), *i));
+        let mut last_err: Option<WalError> = None;
+        while !slots.is_empty() {
+            let (winner, replica) = slots.remove(0);
+            match replica.promote() {
+                Ok(promoted) => {
+                    let promoted_next_lsn = promoted.wal().next_lsn();
+                    let epoch = promoted.epoch();
+                    let survivors: Vec<StandbyReplica> = slots
+                        .into_iter()
+                        .map(|(_, r)| {
+                            r.repoint(ship_addrs[winner].clone());
+                            r
+                        })
+                        .collect();
+                    return Ok(FailoverOutcome {
+                        promoted,
+                        winner,
+                        promoted_next_lsn,
+                        epoch,
+                        survivors,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(FailoverError::AllPromotionsFailed(
+            last_err
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "no error recorded".into()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_displays_are_informative() {
+        assert!(FailoverError::NoCandidates.to_string().contains("promote"));
+        let e = FailoverError::AddrCountMismatch {
+            replicas: 3,
+            addrs: 1,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+        let e = FailoverError::AllPromotionsFailed("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let w: WalError = FailoverError::NoCandidates.into();
+        assert!(matches!(w, WalError::Io(_)));
+    }
+
+    #[test]
+    fn dead_leader_probe_counts_failures() {
+        // Nothing listens on this address (port 9 is discard; connect
+        // fails fast on loopback).
+        let mut fo = FailoverCoordinator::new(
+            "127.0.0.1:9",
+            FailoverConfig {
+                probe_interval: Duration::from_millis(1),
+                probe_failures: 2,
+                ..FailoverConfig::default()
+            },
+        );
+        assert!(!fo.probe());
+        assert!(!fo.leader_dead(), "one failure is a blip");
+        assert!(!fo.probe());
+        assert!(fo.leader_dead());
+        assert_eq!(fo.failures(), 2);
+    }
+}

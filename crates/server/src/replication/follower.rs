@@ -34,10 +34,11 @@ use modb_routes::{Route, RouteNetwork};
 use modb_wal::snapshot::snapshot_file_name;
 use modb_wal::{
     apply_record, decode_block_frames, decode_frames, list_segments, list_snapshots, read_snapshot,
-    write_snapshot, FrameEnd, WalError, WalOptions, WalRecord, WalWriter,
+    write_snapshot, EpochHistory, FrameEnd, SharedWal, WalError, WalOptions, WalRecord, WalWriter,
     DEFAULT_SNAPSHOT_RETENTION, SEGMENT_VERSION, SEGMENT_VERSION_V2,
 };
 
+use crate::durable::DurableDatabase;
 use crate::net::{QueryServer, QueryServerConfig};
 use crate::query_engine::QueryEngine;
 use crate::replication::horizon::ShipHorizon;
@@ -89,6 +90,16 @@ pub enum ReplicaPhase {
     CatchingUp,
     /// At (or within one heartbeat of) the leader frontier.
     Steady,
+    /// Terminal: the upstream refused this replica's log tail as forked
+    /// history (a typed `Diverged` answer to the handshake). The worker
+    /// has stopped; see [`StandbyReplica::divergence`] for the boundary.
+    /// The local state is intact but must be rebuilt (fresh directory)
+    /// before it can follow again — never silently overwritten.
+    Diverged,
+    /// Terminal: this replica was promoted to a leader
+    /// ([`StandbyReplica::promote`]); the watermark now tracks the local
+    /// WAL frontier.
+    Promoted,
 }
 
 impl ReplicaPhase {
@@ -97,6 +108,8 @@ impl ReplicaPhase {
             0 => ReplicaPhase::Connecting,
             1 => ReplicaPhase::Bootstrapping,
             2 => ReplicaPhase::CatchingUp,
+            4 => ReplicaPhase::Diverged,
+            5 => ReplicaPhase::Promoted,
             _ => ReplicaPhase::Steady,
         }
     }
@@ -109,9 +122,26 @@ impl fmt::Display for ReplicaPhase {
             ReplicaPhase::Bootstrapping => "bootstrapping",
             ReplicaPhase::CatchingUp => "catching-up",
             ReplicaPhase::Steady => "steady",
+            ReplicaPhase::Diverged => "diverged",
+            ReplicaPhase::Promoted => "promoted",
         };
         f.write_str(s)
     }
+}
+
+/// Why an upstream refused this replica: the typed payload of the
+/// `Diverged` handshake answer, kept for the operator (and the failover
+/// coordinator) to inspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivergenceInfo {
+    /// The refusing upstream's leadership epoch.
+    pub leader_epoch: u64,
+    /// First LSN of the timeline this replica never saw — everything it
+    /// holds at or past this LSN is forked history.
+    pub boundary_lsn: u64,
+    /// This replica's log frontier at refusal time (how deep the fork
+    /// runs: `local_next_lsn − boundary_lsn` records).
+    pub local_next_lsn: u64,
 }
 
 #[derive(Debug, Default)]
@@ -188,6 +218,23 @@ struct Shared {
     /// `behind_since.elapsed()` is the `Δ` of the `2·v_max·Δ` staleness
     /// widening on follower-served answers.
     behind_since: Mutex<Option<Instant>>,
+    /// Which upstream the worker dials; [`StandbyReplica::repoint`]
+    /// swaps it so a surviving follower can chase a promoted standby
+    /// without re-bootstrapping.
+    addr: Mutex<String>,
+    /// The leadership-epoch history of the local log, shared with the
+    /// re-shipping server so a post-promotion handshake sees the new
+    /// epoch.
+    epochs: Arc<Mutex<EpochHistory>>,
+    /// Set by [`StandbyReplica::promote`]: the local WAL this node now
+    /// leads. Once set, the watermark, lag, and frontier views all
+    /// delegate here — every live consumer of this `Shared` (the
+    /// follower query front-end, the re-shipping `Frontier`, watches)
+    /// tracks the new leader's log without restarting.
+    promoted: Mutex<Option<SharedWal>>,
+    /// The typed refusal that ended the worker, when the upstream
+    /// declared this replica's tail forked.
+    diverged: Mutex<Option<DivergenceInfo>>,
 }
 
 impl Shared {
@@ -199,7 +246,17 @@ impl Shared {
         self.note_progress(lsn);
     }
 
+    fn promoted_wal(&self) -> Option<SharedWal> {
+        self.promoted
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     fn applied(&self) -> u64 {
+        if let Some(wal) = self.promoted_wal() {
+            return wal.next_lsn();
+        }
         *self.applied.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -221,6 +278,11 @@ impl Shared {
     }
 
     fn lag(&self) -> Duration {
+        // A promoted node is the frontier — there is nothing upstream to
+        // trail, so its served answers carry no staleness widening.
+        if self.promoted_wal().is_some() {
+            return Duration::ZERO;
+        }
         self.behind_since
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -230,6 +292,19 @@ impl Shared {
 
     fn wait_for_lsn(&self, lsn: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
+        // Post-promotion the watermark is the WAL frontier, which no
+        // condvar tracks — poll it in short slices instead.
+        if let Some(wal) = self.promoted_wal() {
+            loop {
+                if wal.next_lsn() >= lsn {
+                    return true;
+                }
+                if Instant::now() >= deadline {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
         let mut g = self.applied.lock().unwrap_or_else(|e| e.into_inner());
         while *g < lsn {
             let Some(left) = deadline.checked_duration_since(Instant::now()) else {
@@ -287,6 +362,7 @@ impl ReplicaWatch {
 pub struct StandbyReplica {
     db: SharedDatabase,
     dir: PathBuf,
+    config: ReplicaConfig,
     shared: Arc<Shared>,
     horizon: Arc<ShipHorizon>,
     worker: Option<JoinHandle<()>>,
@@ -320,6 +396,7 @@ impl StandbyReplica {
             (placeholder_database(), None, 0)
         };
         let db = SharedDatabase::new(db);
+        let epochs = Arc::new(Mutex::new(EpochHistory::load(&dir)?));
         let shared = Arc::new(Shared {
             applied: Mutex::new(applied),
             applied_cv: Condvar::new(),
@@ -329,6 +406,10 @@ impl StandbyReplica {
             force_reconnect: AtomicUsize::new(0),
             stats: ReplicaStats::default(),
             behind_since: Mutex::new(None),
+            addr: Mutex::new(addr),
+            epochs,
+            promoted: Mutex::new(None),
+            diverged: Mutex::new(None),
         });
         let horizon = Arc::new(ShipHorizon::new());
         let worker = {
@@ -336,10 +417,10 @@ impl StandbyReplica {
             let shared = Arc::clone(&shared);
             let dir = dir.clone();
             let horizon = Arc::clone(&horizon);
+            let config = config.clone();
             std::thread::spawn(move || {
                 Worker {
                     dir,
-                    addr,
                     config,
                     db,
                     shared,
@@ -352,6 +433,7 @@ impl StandbyReplica {
         Ok(StandbyReplica {
             db,
             dir,
+            config,
             shared,
             horizon,
             worker: Some(worker),
@@ -460,6 +542,7 @@ impl StandbyReplica {
             self.dir.clone(),
             frontier,
             Arc::clone(&self.horizon),
+            Arc::clone(&self.shared.epochs),
             addr,
             config,
         )
@@ -470,6 +553,107 @@ impl StandbyReplica {
     /// disconnect-fault injection, harmless in production.
     pub fn force_reconnect(&self) {
         self.shared.force_reconnect.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Swaps the upstream this replica follows and drops the current
+    /// session; the worker re-dials `new_addr` and resumes from the
+    /// applied watermark (the promotee's log is a byte-identical copy of
+    /// the stretch this replica already applied, so the handshake
+    /// resumes instead of re-bootstrapping). The repoint half of a
+    /// failover: survivors chase the promoted standby.
+    pub fn repoint(&self, new_addr: impl Into<String>) {
+        *self.shared.addr.lock().unwrap_or_else(|e| e.into_inner()) = new_addr.into();
+        self.force_reconnect();
+    }
+
+    /// The typed refusal that ended replication, when the upstream
+    /// declared this replica's log tail forked history (phase
+    /// [`ReplicaPhase::Diverged`]).
+    pub fn divergence(&self) -> Option<DivergenceInfo> {
+        *self
+            .shared
+            .diverged
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The leadership epoch of the local log (1 until a promotion
+    /// somewhere upstream has been observed).
+    pub fn epoch(&self) -> u64 {
+        self.shared
+            .epochs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .current()
+    }
+
+    /// Promotes this standby to a full leader — the failover tentpole.
+    ///
+    /// The apply loop is stopped at the applied watermark (applies are
+    /// atomic per shipped run, so the watermark lands on a run
+    /// boundary), a new leadership epoch starting at that watermark is
+    /// persisted to the epoch sidecar and sealed into the local WAL as a
+    /// [`modb_wal::WalRecord::LeaderEpoch`] record, and the replica's
+    /// database, log, and ship horizon are rewrapped as a
+    /// [`DurableDatabase`] that accepts acked ingest.
+    ///
+    /// Everything chained off this replica keeps working across the
+    /// switch: a running [`StandbyReplica::serve_replication`] keeps
+    /// shipping (its frontier now tracks the WAL, its epoch state shows
+    /// the new epoch, and downstream followers repointed here resume
+    /// from their applied LSN); a running
+    /// [`StandbyReplica::serve_queries`] front-end keeps answering (its
+    /// watch now reports the WAL frontier with zero lag — the promotee
+    /// is the new session-token source); and the shared ship horizon
+    /// keeps pinning compaction for downstream acks. A revived old
+    /// leader that tails past the promotion point is refused with a
+    /// typed `Diverged` answer, never silently overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::NoSnapshot`] when the replica never completed a
+    /// bootstrap (there is no state to lead from); I/O failures
+    /// persisting the epoch or sealing the log.
+    pub fn promote(mut self) -> Result<DurableDatabase, WalError> {
+        // Stop the apply loop first: the watermark is final after this.
+        self.stop_and_join();
+        if list_snapshots(&self.dir)?.is_empty() {
+            return Err(WalError::NoSnapshot(self.dir.clone()));
+        }
+        let applied = self.shared.applied();
+        // The worker owned the writer and dropped it on exit; reclaim
+        // the log at the watermark (recovery already ran at open, and
+        // the worker never logs past what it applies).
+        let mut writer = WalWriter::resume(&self.dir, self.config.wal, applied)?;
+        // Epoch first, then the seal record: a crash in between leaves
+        // the sidecar authoritative and the log merely missing the
+        // in-stream announcement (re-sent to v3 followers at handshake).
+        let epoch = {
+            let mut epochs = self.shared.epochs.lock().unwrap_or_else(|e| e.into_inner());
+            let epoch = epochs.begin(applied)?;
+            epochs.save(&self.dir)?;
+            epoch
+        };
+        writer.append(&WalRecord::LeaderEpoch { epoch })?;
+        writer.sync()?;
+        let wal = SharedWal::new(writer);
+        // Flip every live view of this replica over to the new log: the
+        // watermark, lag clock, and re-ship frontier all delegate to the
+        // WAL from here on.
+        *self
+            .shared
+            .promoted
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(wal.clone());
+        self.shared.set_applied(wal.next_lsn()); // wake condvar waiters
+        self.shared.set_phase(ReplicaPhase::Promoted);
+        Ok(DurableDatabase::from_parts(
+            self.db.clone(),
+            wal,
+            self.dir.clone(),
+            Arc::clone(&self.horizon),
+            Arc::clone(&self.shared.epochs),
+        ))
     }
 
     /// Current progress counters.
@@ -521,7 +705,8 @@ fn placeholder_database() -> Database {
     Database::new(network, DatabaseConfig::default())
 }
 
-/// Why a session ended (all roads lead back to Connecting).
+/// Why a session ended (all roads lead back to Connecting — except
+/// divergence, which is terminal).
 enum SessionEnd {
     /// Stop flag observed — unwind the worker.
     Shutdown,
@@ -530,11 +715,13 @@ enum SessionEnd {
     /// Protocol violation, torn run, or local apply/log failure —
     /// reconnect and renegotiate (counted as a resync).
     Resync,
+    /// The upstream refused this replica's log tail as forked history.
+    /// Reconnecting would get the same answer, so the worker exits.
+    Diverged,
 }
 
 struct Worker {
     dir: PathBuf,
-    addr: String,
     config: ReplicaConfig,
     db: SharedDatabase,
     shared: Arc<Shared>,
@@ -549,7 +736,16 @@ impl Worker {
         let mut last_snapshot_lsn = self.shared.applied();
         while !self.shared.stop.load(Ordering::SeqCst) {
             self.shared.set_phase(ReplicaPhase::Connecting);
-            let stream = match std::net::TcpStream::connect(&self.addr) {
+            // Re-read the dial target every attempt: a repoint swaps it
+            // while the worker runs, and the next connect chases the new
+            // upstream (the promoted standby) from the applied watermark.
+            let addr = self
+                .shared
+                .addr
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            let stream = match std::net::TcpStream::connect(&addr) {
                 Ok(s) => s,
                 Err(_) => {
                     self.backoff();
@@ -564,6 +760,7 @@ impl Worker {
                     self.shared.stats.resyncs.fetch_add(1, Ordering::Relaxed);
                     self.backoff();
                 }
+                SessionEnd::Diverged => break,
             }
         }
     }
@@ -588,6 +785,12 @@ impl Worker {
             version: PROTOCOL_VERSION,
             next_lsn: self.shared.applied(),
             have_state: self.wal.is_some(),
+            epoch: self
+                .shared
+                .epochs
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .current(),
         };
         if send_message(&mut tx, &hello).is_err() {
             return SessionEnd::Disconnected;
@@ -652,6 +855,44 @@ impl Worker {
                     });
                 }
                 self.ack(tx, applied)
+            }
+            Message::Diverged {
+                leader_epoch,
+                boundary_lsn,
+            } => {
+                // The upstream proved this replica's tail belongs to a
+                // dead timeline. Record the typed refusal and stop: the
+                // local state is preserved for inspection, never
+                // silently overwritten.
+                *self
+                    .shared
+                    .diverged
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner()) = Some(DivergenceInfo {
+                    leader_epoch,
+                    boundary_lsn,
+                    local_next_lsn: self.shared.applied(),
+                });
+                self.shared.set_phase(ReplicaPhase::Diverged);
+                Err(SessionEnd::Diverged)
+            }
+            Message::Epochs { spans } => {
+                // The upstream's full epoch history, sent right after
+                // the handshake admitted us — which already proved our
+                // log is a prefix of the upstream's, so adopting its
+                // history wholesale is safe (and the only way a
+                // bootstrap learns epochs older than its snapshot).
+                let Ok(history) = EpochHistory::from_spans(spans) else {
+                    self.reject();
+                    return Err(SessionEnd::Resync);
+                };
+                let mut epochs = self.shared.epochs.lock().unwrap_or_else(|e| e.into_inner());
+                *epochs = history;
+                if epochs.save(&self.dir).is_err() {
+                    self.reject();
+                    return Err(SessionEnd::Resync);
+                }
+                Ok(())
             }
             // Leaders never send Hello or Ack.
             Message::Hello { .. } | Message::Ack { .. } => {
@@ -798,6 +1039,29 @@ impl Worker {
                     .records_skipped
                     .fetch_add(1, Ordering::Relaxed);
                 continue;
+            }
+            // An in-stream leadership change: fold it into the local
+            // epoch history *before* logging, so a restart can never
+            // present a stale epoch alongside an advanced frontier.
+            if let WalRecord::LeaderEpoch { epoch } = &rec {
+                let mut epochs = self.shared.epochs.lock().unwrap_or_else(|e| e.into_inner());
+                match epochs.observe(*epoch, lsn) {
+                    Ok(true) => {
+                        if epochs.save(&self.dir).is_err() {
+                            self.shared.set_applied(applied);
+                            return Err(SessionEnd::Resync);
+                        }
+                    }
+                    Ok(false) => {}
+                    Err(_) => {
+                        // A conflicting epoch claim in an admitted
+                        // stream is a protocol violation.
+                        drop(epochs);
+                        self.shared.set_applied(applied);
+                        self.reject();
+                        return Err(SessionEnd::Resync);
+                    }
+                }
             }
             // Apply-before-log, the same watermark invariant the leader
             // maintains: acceptance verdicts are re-derived locally.

@@ -14,11 +14,13 @@ use std::fmt;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use modb_wal::{list_segments, list_snapshots, read_snapshot, SegmentTailer, WalError};
+use modb_wal::{
+    list_segments, list_snapshots, read_snapshot, EpochCheck, EpochHistory, SegmentTailer, WalError,
+};
 
 use crate::durable::DurableDatabase;
 use crate::replication::horizon::ShipHorizon;
@@ -199,6 +201,7 @@ impl DurableDatabase {
             self.dir().to_path_buf(),
             Frontier::new(move || wal.next_lsn()),
             Arc::clone(self.ship_horizon()),
+            Arc::clone(self.epochs()),
             addr,
             config,
         )
@@ -212,6 +215,7 @@ pub(crate) fn serve_replication_from(
     dir: PathBuf,
     frontier: Frontier,
     horizon: Arc<ShipHorizon>,
+    epochs: Arc<Mutex<EpochHistory>>,
     addr: impl ToSocketAddrs,
     config: ReplicationConfig,
 ) -> Result<ReplicationServer, WalError> {
@@ -227,7 +231,9 @@ pub(crate) fn serve_replication_from(
         let frontier = frontier.clone();
         let config = config.clone();
         std::thread::spawn(move || {
-            accept_loop(listener, dir, frontier, horizon, stats, config, stop)
+            accept_loop(
+                listener, dir, frontier, horizon, epochs, stats, config, stop,
+            )
         })
     };
     Ok(ReplicationServer {
@@ -240,11 +246,13 @@ pub(crate) fn serve_replication_from(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     dir: PathBuf,
     frontier: Frontier,
     horizon: Arc<ShipHorizon>,
+    epochs: Arc<Mutex<EpochHistory>>,
     stats: Arc<ServerStats>,
     config: ReplicationConfig,
     stop: Arc<AtomicBool>,
@@ -257,11 +265,12 @@ fn accept_loop(
                 let dir = dir.clone();
                 let frontier = frontier.clone();
                 let horizon = Arc::clone(&horizon);
+                let epochs = Arc::clone(&epochs);
                 let stats = Arc::clone(&stats);
                 let config = config.clone();
                 let stop = Arc::clone(&stop);
                 sessions.push(std::thread::spawn(move || {
-                    handle_follower(stream, &dir, frontier, horizon, stats, config, stop)
+                    handle_follower(stream, &dir, frontier, horizon, epochs, stats, config, stop)
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -280,11 +289,13 @@ fn accept_loop(
 /// disconnect or shutdown. The horizon entry is registered at 0 (pinning
 /// the whole log) *before* the resume point is chosen, and released on
 /// the way out.
+#[allow(clippy::too_many_arguments)]
 fn handle_follower(
     mut stream: TcpStream,
     dir: &Path,
     frontier: Frontier,
     horizon: Arc<ShipHorizon>,
+    epochs: Arc<Mutex<EpochHistory>>,
     stats: Arc<ServerStats>,
     config: ReplicationConfig,
     stop: Arc<AtomicBool>,
@@ -298,6 +309,7 @@ fn handle_follower(
         dir,
         &frontier,
         &horizon,
+        &epochs,
         hid,
         &stats,
         &config,
@@ -313,6 +325,7 @@ fn run_session(
     dir: &Path,
     frontier: &Frontier,
     horizon: &ShipHorizon,
+    epochs: &Mutex<EpochHistory>,
     hid: u64,
     stats: &ServerStats,
     config: &ReplicationConfig,
@@ -334,11 +347,12 @@ fn run_session(
                 version,
                 next_lsn,
                 have_state,
+                epoch,
             }) => {
                 if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     return Err(WalError::Decode("replication protocol version mismatch"));
                 }
-                break (version, next_lsn, have_state);
+                break (version, next_lsn, have_state, epoch);
             }
             ReadEvent::Message(_) => {
                 return Err(WalError::Decode("expected Hello"));
@@ -348,9 +362,51 @@ fn run_session(
         }
     };
 
+    // ---- Divergence gate (the promotion guard). A stateful peer whose
+    // log frontier runs past the birth of an epoch it never lived under
+    // holds forked history — a revived old leader tailing past the
+    // promotion point. It gets a typed refusal, never a silent
+    // bootstrap-and-overwrite (pre-v3 peers hard-error on the unknown
+    // tag, which is still a refusal). A peer claiming a *newer* epoch
+    // means this server is the stale one: close without serving.
+    let (peer_version, follower_lsn, have_state, peer_epoch) = hello;
+    if have_state {
+        let check = epochs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .check_follower(peer_epoch, follower_lsn);
+        match check {
+            EpochCheck::Clean => {}
+            EpochCheck::Diverged { boundary_lsn } => {
+                let leader_epoch = epochs.lock().unwrap_or_else(|e| e.into_inner()).current();
+                let _ = send_message(
+                    stream,
+                    &Message::Diverged {
+                        leader_epoch,
+                        boundary_lsn,
+                    },
+                );
+                return Err(WalError::Decode("follower log diverges from this timeline"));
+            }
+            EpochCheck::PeerAhead { .. } => {
+                return Err(WalError::Decode("follower is on a newer epoch"));
+            }
+        }
+    }
+    // A v3 peer gets the full leadership history up front: in-stream
+    // LeaderEpoch records only cover epochs born inside the shipped
+    // stretch, and a bootstrap snapshot carries none at all.
+    if peer_version >= 3 {
+        let spans = epochs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .spans()
+            .to_vec();
+        send_message(stream, &Message::Epochs { spans })?;
+    }
+
     // ---- Resume or bootstrap. The horizon entry (still at 0) keeps
     // every segment alive while we decide.
-    let (peer_version, follower_lsn, have_state) = hello;
     let leader_next = frontier.now();
     let resumable = have_state && follower_lsn <= leader_next && {
         let segments = list_segments(dir)?;
@@ -569,6 +625,7 @@ mod tests {
                 version,
                 next_lsn: 0,
                 have_state: false,
+                epoch: 0,
             },
         )
         .unwrap();
@@ -598,7 +655,7 @@ mod tests {
         while (records.len() as u64) < expected {
             let msg = next_message(reader).expect("leader closed before the stream caught up");
             match msg {
-                Message::Heartbeat { .. } => continue,
+                Message::Heartbeat { .. } | Message::Epochs { .. } => continue,
                 Message::Snapshot { .. } => panic!("second bootstrap"),
                 ref data => records.extend(assert_shape(data)),
             }
@@ -633,6 +690,11 @@ mod tests {
         let (durable, server) = leader("v2-blocks", 38);
         let total = 2 + 38;
         let (_tx, mut reader) = dial(&server, PROTOCOL_VERSION);
+        // A v3 peer is told the leadership history before anything else.
+        let Some(Message::Epochs { spans }) = next_message(&mut reader) else {
+            panic!("expected the epoch history first");
+        };
+        assert_eq!(spans.len(), 1, "a never-promoted leader is on genesis");
         let Some(Message::Snapshot { lsn: 0, .. }) = next_message(&mut reader) else {
             panic!("expected the bootstrap snapshot at lsn 0");
         };

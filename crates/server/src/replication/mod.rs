@@ -25,13 +25,17 @@
 //! way epoch snapshots widen it — see DESIGN.md §10 and the W4
 //! experiment).
 
+mod failover;
 mod follower;
 mod horizon;
 mod leader;
 mod protocol;
 
+pub use failover::{
+    FailoverConfig, FailoverCoordinator, FailoverError, FailoverOutcome, FailoverPlan,
+};
 pub use follower::{
-    ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicaWatch, StandbyReplica,
+    DivergenceInfo, ReplicaConfig, ReplicaPhase, ReplicaStatsSnapshot, ReplicaWatch, StandbyReplica,
 };
 pub use horizon::ShipHorizon;
 pub use leader::{ReplicationConfig, ReplicationServer, ReplicationStatsSnapshot};

@@ -11,12 +11,14 @@
 //!
 //! | tag | message     | direction          | body                                  |
 //! |-----|-------------|--------------------|---------------------------------------|
-//! | 1   | `Hello`     | follower → leader  | `version u32, next_lsn u64, have_state u8` |
+//! | 1   | `Hello`     | follower → leader  | `version u32, next_lsn u64, have_state u8[, epoch u64]` |
 //! | 2   | `Snapshot`  | leader → follower  | `lsn u64, bytes (raw snapshot file)`  |
 //! | 3   | `Records`   | leader → follower  | `start_lsn u64, count u32, frames`    |
 //! | 4   | `Heartbeat` | leader → follower  | `leader_next_lsn u64`                 |
 //! | 5   | `Ack`       | follower → leader  | `applied_lsn u64`                     |
 //! | 6   | `Blocks`    | leader → follower  | `start_lsn u64, count u32, version u32, frames` |
+//! | 7   | `Diverged`  | leader → follower  | `leader_epoch u64, boundary_lsn u64`  |
+//! | 8   | `Epochs`    | leader → follower  | `count u32, (epoch u64, start_lsn u64) * count` |
 //!
 //! `Records` carries a run of consecutive WAL frames *in their on-disk
 //! encoding* (inner length + CRC per record), so the follower validates
@@ -32,6 +34,21 @@
 //! the follower decompresses on apply. A v1 leader never sends it, and
 //! a v1 follower never negotiates it — the leader falls back to
 //! `Records` when a follower's `Hello` says version 1.
+//!
+//! `Diverged` (protocol v3) is the promotion-time divergence guard: a
+//! `Hello` carries the follower's leadership epoch (0 from a pre-v3
+//! peer), and a server whose [`modb_wal::EpochHistory`] shows the
+//! follower holding records past the birth of an epoch it never saw
+//! answers with this typed refusal — naming the server's epoch and the
+//! first forked LSN — instead of shipping onto a forked log or silently
+//! re-bootstrapping it away.
+//!
+//! `Epochs` (protocol v3) transfers the server's full leadership
+//! history to an admitted v3 follower, right after the handshake. The
+//! in-stream `LeaderEpoch` records only cover epochs born inside the
+//! shipped stretch; a follower bootstrapping from a snapshot taken
+//! after a promotion would otherwise never learn the older boundaries
+//! it needs to refuse (or be refused by) stale peers later.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -42,7 +59,9 @@ use modb_wal::{crc32, ByteReader, WalError};
 /// Protocol version spoken by this build. Version 2 adds the `Blocks`
 /// message (verbatim segment-frame shipping); a leader still accepts a
 /// version-1 `Hello` and serves that follower decoded `Records`.
-pub(crate) const PROTOCOL_VERSION: u32 = 2;
+/// Version 3 adds the leadership epoch to `Hello` and the typed
+/// `Diverged` refusal (the promotion divergence guard).
+pub(crate) const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest follower version the leader still serves (`Records` path).
 pub(crate) const MIN_PROTOCOL_VERSION: u32 = 1;
@@ -54,11 +73,14 @@ pub(crate) const MAX_MESSAGE_BYTES: u32 = 64 * 1024 * 1024;
 /// One protocol message (see the module table).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Message {
-    /// Follower's opening line: who it is and where its log ends.
+    /// Follower's opening line: who it is, where its log ends, and which
+    /// leadership epoch it last lived under (0 = pre-v3 peer, epoch
+    /// unknown).
     Hello {
         version: u32,
         next_lsn: u64,
         have_state: bool,
+        epoch: u64,
     },
     /// A full bootstrap snapshot (the raw snapshot file, self-validating
     /// via its own magic/version/CRC).
@@ -83,6 +105,20 @@ pub(crate) enum Message {
         version: u32,
         frames: Vec<u8>,
     },
+    /// Typed refusal of a follower whose log tail forked off this
+    /// server's timeline: the follower holds records at or past
+    /// `boundary_lsn` that were never written under `leader_epoch`'s
+    /// history. The session closes after this; the follower must not
+    /// retry (protocol v3 only).
+    Diverged {
+        leader_epoch: u64,
+        boundary_lsn: u64,
+    },
+    /// The server's full leadership history (oldest span first), sent to
+    /// an admitted v3 follower right after the handshake so it knows
+    /// every timeline boundary, including those older than its bootstrap
+    /// snapshot (protocol v3 only).
+    Epochs { spans: Vec<modb_wal::EpochSpan> },
 }
 
 impl Message {
@@ -92,11 +128,13 @@ impl Message {
                 version,
                 next_lsn,
                 have_state,
+                epoch,
             } => {
                 out.push(1);
                 put_u32(out, *version);
                 put_u64(out, *next_lsn);
                 out.push(u8::from(*have_state));
+                put_u64(out, *epoch);
             }
             Message::Snapshot { lsn, bytes } => {
                 out.push(2);
@@ -133,6 +171,22 @@ impl Message {
                 put_u32(out, *version);
                 out.extend_from_slice(frames);
             }
+            Message::Diverged {
+                leader_epoch,
+                boundary_lsn,
+            } => {
+                out.push(7);
+                put_u64(out, *leader_epoch);
+                put_u64(out, *boundary_lsn);
+            }
+            Message::Epochs { spans } => {
+                out.push(8);
+                put_u32(out, spans.len() as u32);
+                for span in spans {
+                    put_u64(out, span.epoch);
+                    put_u64(out, span.start_lsn);
+                }
+            }
         }
     }
 
@@ -143,10 +197,14 @@ impl Message {
                 let version = r.u32()?;
                 let next_lsn = r.u64()?;
                 let have_state = r.u8()? != 0;
+                // A pre-v3 Hello ends here; epoch 0 marks it unknown
+                // (the divergence check reads that as genesis).
+                let epoch = if r.is_empty() { 0 } else { r.u64()? };
                 Message::Hello {
                     version,
                     next_lsn,
                     have_state,
+                    epoch,
                 }
             }
             2 => {
@@ -184,6 +242,21 @@ impl Message {
                     version,
                     frames: payload[payload.len() - r.remaining()..].to_vec(),
                 });
+            }
+            7 => Message::Diverged {
+                leader_epoch: r.u64()?,
+                boundary_lsn: r.u64()?,
+            },
+            8 => {
+                let count = r.u32()? as usize;
+                let mut spans = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    spans.push(modb_wal::EpochSpan {
+                        epoch: r.u64()?,
+                        start_lsn: r.u64()?,
+                    });
+                }
+                Message::Epochs { spans }
             }
             _ => return Err(WalError::Decode("unknown replication message tag")),
         };
@@ -307,6 +380,7 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 next_lsn: 42,
                 have_state: true,
+                epoch: 3,
             },
             Message::Snapshot {
                 lsn: 7,
@@ -327,7 +401,43 @@ mod tests {
                 version: 2,
                 frames: vec![0xca, 0xfe, 0xf0, 0x0d, 0x01],
             },
+            Message::Diverged {
+                leader_epoch: 4,
+                boundary_lsn: 120,
+            },
+            Message::Epochs {
+                spans: vec![
+                    modb_wal::EpochSpan {
+                        epoch: 1,
+                        start_lsn: 0,
+                    },
+                    modb_wal::EpochSpan {
+                        epoch: 2,
+                        start_lsn: 57,
+                    },
+                ],
+            },
         ]
+    }
+
+    #[test]
+    fn pre_v3_hello_decodes_with_unknown_epoch() {
+        // A v1/v2 peer's Hello stops after have_state; the decoder must
+        // read it as epoch 0 rather than rejecting the frame.
+        let mut payload = vec![1u8];
+        put_u32(&mut payload, 2);
+        put_u64(&mut payload, 42);
+        payload.push(1);
+        let msg = Message::decode_payload(&payload).unwrap();
+        assert_eq!(
+            msg,
+            Message::Hello {
+                version: 2,
+                next_lsn: 42,
+                have_state: true,
+                epoch: 0,
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Leader failover: follower promotion, chain repoint, divergence
+//! refusal, and the deadman coordinator (DESIGN.md §16).
+//!
+//! The invariants under test:
+//!
+//! - a promoted standby becomes a full acked-write leader whose state is
+//!   exactly the applied prefix it acknowledged — zero acked-write loss
+//!   across the kill → promote → repoint sequence, even when the dying
+//!   leader's last session was severed mid-byte;
+//! - everything chained off the promotee keeps working: its re-ship
+//!   server streams the sealed `LeaderEpoch` record and the new epoch's
+//!   writes to survivors repointed at it, which resume from their
+//!   applied watermark instead of re-bootstrapping;
+//! - a revived old leader whose log tail passed the promotion point is
+//!   refused with a typed `Diverged` answer and its local log is left
+//!   intact — never silently truncated or overwritten.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::replica_harness::{wait_until, Fault, Scenario, WAIT};
+use common::{
+    assert_converged, fresh_db, test_replica_config, test_replication_config, test_wal_options,
+    tmp, update, vehicle,
+};
+use modb_core::ObjectId;
+use modb_server::{
+    DurableDatabase, FailoverConfig, FailoverCoordinator, FailoverError, QueryClientConfig,
+    QueryEngineConfig, QueryServerConfig, ReplicaPhase, StandbyReplica,
+};
+
+/// Coordinator tuning tight enough for CI: a dead leader is declared
+/// within ~half a second.
+fn test_failover_config() -> FailoverConfig {
+    FailoverConfig {
+        probe_interval: Duration::from_millis(5),
+        probe_failures: 2,
+        client: QueryClientConfig {
+            response_timeout: Duration::from_millis(250),
+            connect_timeout: Some(Duration::from_millis(250)),
+            ..QueryClientConfig::default()
+        },
+    }
+}
+
+/// The basic promotion contract: the promotee seals a new epoch, keeps
+/// every acked write it applied, and accepts (and acks) new writes.
+#[test]
+fn promotion_seals_an_epoch_and_accepts_acked_writes() {
+    let s = Scenario::start("promote-basic", 4);
+    let replica = s.follower();
+    s.churn(1..=3, 4);
+    s.assert_converges(&replica);
+    let frontier = s.leader.wal().next_lsn();
+    let expected = s.leader.database().with_read(|db| db.clone());
+
+    // The leader dies: proxy and server gone, handle dropped.
+    let Scenario {
+        leader,
+        server,
+        proxy,
+        ldir,
+        fdir,
+    } = s;
+    drop(proxy);
+    server.shutdown();
+    drop(leader);
+
+    assert_eq!(replica.epoch(), 1, "no promotion seen yet");
+    let promoted = replica.promote().unwrap();
+    assert_eq!(promoted.epoch(), 2, "promotion opened epoch 2");
+    assert_eq!(
+        promoted.wal().next_lsn(),
+        frontier + 1,
+        "exactly one seal record on top of the applied prefix"
+    );
+    promoted
+        .database()
+        .with_read(|db| assert_converged(&expected, db));
+
+    // The promotee is a real leader now: acked ingest lands in its log.
+    promoted
+        .apply_update(ObjectId(1), &update(10.0, 15.0))
+        .unwrap();
+    assert_eq!(promoted.wal().next_lsn(), frontier + 2);
+
+    // And it is durable: reopen from disk sees the sealed epoch and the
+    // post-promotion write.
+    drop(promoted);
+    let (reopened, report) = DurableDatabase::open(&fdir, test_wal_options()).unwrap();
+    assert_eq!(reopened.epoch(), 2);
+    assert_eq!(report.next_lsn, frontier + 2);
+    assert_eq!(reopened.wal().next_lsn(), frontier + 2);
+    drop(reopened);
+    std::fs::remove_dir_all(&ldir).unwrap();
+    std::fs::remove_dir_all(&fdir).unwrap();
+}
+
+/// A standby that never completed a bootstrap has no state to lead from:
+/// promotion is refused, typed.
+#[test]
+fn promoting_an_empty_replica_is_refused() {
+    let dir = tmp("promote-empty");
+    // Nothing listens at the upstream; the replica stays in Connecting.
+    let replica = StandbyReplica::open(&dir, "127.0.0.1:1", test_replica_config()).unwrap();
+    match replica.promote() {
+        Err(modb_wal::WalError::NoSnapshot(_)) => {}
+        other => panic!("expected NoSnapshot, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The full story under a byte fault: leader killed with its last
+/// session severed mid-frame, the freshest of two chained followers
+/// promoted, the (deliberately frozen, staler) other repointed at the
+/// promotee, and the chain converges on the new epoch with every
+/// acked-and-shipped write intact.
+#[test]
+fn failover_promotes_freshest_and_repoints_survivor_with_zero_acked_loss() {
+    let s = Scenario::start("failover-chain", 4);
+    let f1 = s.follower();
+    let f1_ship = f1
+        .serve_replication("127.0.0.1:0", test_replication_config())
+        .unwrap();
+    let f1_ship_addr = f1_ship.local_addr().to_string();
+    let f2dir = tmp("failover-chain-f2");
+    let f2 = StandbyReplica::open(&f2dir, &f1_ship_addr, test_replica_config()).unwrap();
+    let f2_ship = f2
+        .serve_replication("127.0.0.1:0", test_replication_config())
+        .unwrap();
+    let f2_ship_addr = f2_ship.local_addr().to_string();
+
+    s.churn(1..=4, 4);
+    let acked = s.leader.wal().next_lsn();
+    assert!(f1.wait_for_lsn(acked, WAIT), "f1 never converged");
+    assert!(f2.wait_for_lsn(acked, WAIT), "f2 never converged");
+
+    // Freeze f2 behind a dead upstream so the election has a strict
+    // freshness order to respect, then keep writing: f1 advances alone.
+    f2.repoint("127.0.0.1:1");
+    // The leader's final session to f1 is severed mid-byte…
+    s.proxy.push(Fault::CutAfterBytes(200));
+    f1.force_reconnect();
+    s.churn(5..=6, 4);
+    // …and the leader dies.
+    let Scenario {
+        leader,
+        server,
+        proxy,
+        ldir,
+        fdir,
+    } = s;
+    drop(proxy);
+    server.shutdown();
+    drop(leader);
+
+    wait_until("f1 to pass f2", || f1.applied_lsn() >= acked);
+    let candidates = vec![f1, f2];
+    let plan = FailoverCoordinator::plan(&candidates).unwrap();
+    assert_eq!(plan.winner, 0, "f1 is the freshest candidate: {plan:?}");
+    assert!(plan.winner_applied >= acked);
+
+    let outcome =
+        FailoverCoordinator::fail_over(candidates, &[f1_ship_addr.clone(), f2_ship_addr.clone()])
+            .unwrap();
+    assert_eq!(outcome.winner, 0);
+    assert_eq!(outcome.epoch, 2);
+    assert!(
+        outcome.promoted_next_lsn > acked,
+        "the applied prefix (≥ every acked-and-shipped write) plus the seal"
+    );
+    let promoted = outcome.promoted;
+    let mut survivors = outcome.survivors;
+    assert_eq!(survivors.len(), 1);
+    let f2 = survivors.remove(0);
+
+    // New-epoch writes flow: the promotee acks them, the repointed
+    // survivor streams them (seal record included) from its applied
+    // watermark — no re-bootstrap.
+    let bootstraps_before = f2.stats().bootstraps;
+    for round in 7..=9u64 {
+        for i in 1..=4u64 {
+            promoted
+                .apply_update(
+                    ObjectId(i),
+                    &update(round as f64, 10.0 * i as f64 + round as f64),
+                )
+                .unwrap();
+        }
+    }
+    let frontier = promoted.wal().next_lsn();
+    assert!(
+        f2.wait_for_lsn(frontier, WAIT),
+        "survivor never converged on the promotee: {}",
+        f2.stats()
+    );
+    assert_eq!(f2.epoch(), 2, "survivor observed the sealed epoch");
+    assert_eq!(
+        f2.stats().bootstraps,
+        bootstraps_before,
+        "repoint resumed incrementally, no re-bootstrap"
+    );
+    let expected = promoted.database().with_read(|db| db.clone());
+    f2.database()
+        .with_read(|db| assert_converged(&expected, db));
+
+    f2.shutdown();
+    f2_ship.shutdown();
+    f1_ship.shutdown();
+    drop(promoted);
+    std::fs::remove_dir_all(&ldir).unwrap();
+    std::fs::remove_dir_all(&fdir).unwrap();
+    std::fs::remove_dir_all(&f2dir).unwrap();
+}
+
+/// The divergence guard: a revived old leader whose log ran past the
+/// promotion point is refused with a typed answer — phase `Diverged`,
+/// the refusal's coordinates exposed — and its local log survives
+/// untouched for forensics.
+#[test]
+fn revived_divergent_leader_is_refused_and_never_truncated() {
+    let ldir = tmp("diverge-leader");
+    let fdir = tmp("diverge-follower");
+    let leader = DurableDatabase::create(&ldir, fresh_db(), test_wal_options()).unwrap();
+    for i in 1..=4u64 {
+        leader.register_moving(vehicle(i, 10.0 * i as f64)).unwrap();
+    }
+    let server = leader
+        .serve_replication("127.0.0.1:0", test_replication_config())
+        .unwrap();
+    let f1 = StandbyReplica::open(
+        &fdir,
+        server.local_addr().to_string(),
+        test_replica_config(),
+    )
+    .unwrap();
+    for round in 1..=3u64 {
+        for i in 1..=4u64 {
+            leader
+                .apply_update(
+                    ObjectId(i),
+                    &update(round as f64, 10.0 * i as f64 + round as f64),
+                )
+                .unwrap();
+        }
+    }
+    let shipped = leader.wal().next_lsn();
+    assert!(f1.wait_for_lsn(shipped, WAIT), "f1 never caught up");
+
+    // Cut shipping, then keep acking writes on the doomed leader: its
+    // log grows a tail nobody else has.
+    server.shutdown();
+    for i in 1..=4u64 {
+        leader
+            .apply_update(ObjectId(i), &update(9.0, 500.0 + i as f64))
+            .unwrap();
+    }
+    let old_frontier = leader.wal().next_lsn();
+    assert!(old_frontier > shipped);
+    drop(leader);
+
+    // Promote the follower (its re-ship server stays up across the
+    // switch) and seal epoch 2 at the shipped watermark.
+    let f1_ship = f1
+        .serve_replication("127.0.0.1:0", test_replication_config())
+        .unwrap();
+    let f1_ship_addr = f1_ship.local_addr().to_string();
+    let promoted = f1.promote().unwrap();
+    assert_eq!(promoted.epoch(), 2);
+
+    // The old leader comes back as a would-be follower of the promotee.
+    let old = StandbyReplica::open(&ldir, &f1_ship_addr, test_replica_config()).unwrap();
+    assert_eq!(old.applied_lsn(), old_frontier, "local recovery first");
+    wait_until("typed divergence refusal", || {
+        old.phase() == ReplicaPhase::Diverged
+    });
+    let info = old.divergence().expect("refusal coordinates recorded");
+    assert_eq!(info.leader_epoch, 2);
+    assert_eq!(info.boundary_lsn, shipped, "fork point = promotion point");
+    assert_eq!(info.local_next_lsn, old_frontier);
+    // Refusal is terminal, not destructive: watermark and log intact.
+    assert_eq!(old.applied_lsn(), old_frontier);
+    old.shutdown();
+    let recovered = modb_wal::recover(&ldir).unwrap();
+    assert_eq!(
+        recovered.report.next_lsn, old_frontier,
+        "the divergent tail is still on disk, byte for byte"
+    );
+
+    f1_ship.shutdown();
+    drop(promoted);
+    std::fs::remove_dir_all(&ldir).unwrap();
+    std::fs::remove_dir_all(&fdir).unwrap();
+}
+
+/// The deadman coordinator end to end: probes the leader's query
+/// front-end, declares death after the configured streak, and the
+/// election errors are typed.
+#[test]
+fn coordinator_declares_death_and_election_errors_are_typed() {
+    let s = Scenario::start("deadman", 4);
+    let engine = Arc::new(s.leader.query_engine(QueryEngineConfig {
+        epoch_interval: None,
+        report_interval: None,
+        ..QueryEngineConfig::default()
+    }));
+    engine.publish_now();
+    let qserver = s
+        .leader
+        .serve_queries(engine, None, "127.0.0.1:0", QueryServerConfig::default())
+        .unwrap();
+    let qaddr = qserver.local_addr().to_string();
+
+    let mut coordinator = FailoverCoordinator::new(&qaddr, test_failover_config());
+    assert!(coordinator.probe(), "live leader answers the stats probe");
+    assert!(!coordinator.leader_dead());
+
+    let replica = s.follower();
+    s.churn(1..=2, 4);
+    s.assert_converges(&replica);
+
+    // Kill the whole serving stack; the probe streak crosses the
+    // threshold.
+    let Scenario {
+        leader,
+        server,
+        proxy,
+        ldir,
+        fdir,
+    } = s;
+    qserver.shutdown();
+    drop(proxy);
+    server.shutdown();
+    drop(leader);
+    assert!(
+        coordinator.await_death(WAIT),
+        "deadman never fired: {} failures",
+        coordinator.failures()
+    );
+
+    // Election error surface: no candidates, mismatched addresses.
+    match FailoverCoordinator::fail_over(Vec::new(), &[]) {
+        Err(FailoverError::NoCandidates) => {}
+        other => panic!("expected NoCandidates, got {other:?}"),
+    }
+    match FailoverCoordinator::fail_over(vec![replica], &[]) {
+        Err(FailoverError::AddrCountMismatch {
+            replicas: 1,
+            addrs: 0,
+        }) => {}
+        other => panic!("expected AddrCountMismatch, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&ldir).unwrap();
+    std::fs::remove_dir_all(&fdir).unwrap();
+}

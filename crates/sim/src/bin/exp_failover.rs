@@ -1,0 +1,58 @@
+//! W10: leader failover — write-availability gap (kill → detect →
+//! promote → first ack) with a zero-acked-loss contract.
+//!
+//! Usage: `exp_failover [n_objects] [trials] [--json PATH]` (defaults:
+//! 40 objects, 3 trials; `--json` writes the rows as a JSON document,
+//! the CI artifact `BENCH_failover.json`). Exits nonzero if any trial
+//! lost an acked write, diverged from the dead leader's state, or left
+//! the survivor stranded.
+
+use modb_sim::experiments::failover::{
+    failover_contract, failover_json, failover_table, run_failover,
+};
+
+fn arg_or(args: &mut impl Iterator<Item = String>, name: &str, default: usize) -> usize {
+    match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a positive integer, got {a:?}");
+            eprintln!("usage: exp_failover [n_objects] [trials] [--json PATH]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        let flag_and_path: Vec<String> = args.drain(i..(i + 2).min(args.len())).collect();
+        flag_and_path.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --json requires a path");
+            std::process::exit(2);
+        })
+    });
+    let mut args = args.into_iter();
+    let n_objects = arg_or(&mut args, "n_objects", 40).max(4);
+    let trials = arg_or(&mut args, "trials", 3).max(1);
+
+    eprintln!(
+        "failover: {n_objects} objects, {trials} kill-and-recover trials, \
+         20 update batches each"
+    );
+    let rows = run_failover(n_objects, trials, 20);
+    println!("{}", failover_table(n_objects, &rows));
+
+    if let Some(path) = json_path {
+        let json = failover_json(&rows);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if !failover_contract(&rows) {
+        eprintln!("FAIL: an acked write was lost, state diverged, or the survivor stranded");
+        std::process::exit(1);
+    }
+}

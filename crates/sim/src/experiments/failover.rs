@@ -1,0 +1,408 @@
+//! W10: leader failover — the write-availability gap across kill →
+//! detect → elect → promote → repoint, with a zero-acked-loss contract.
+//!
+//! The paper's cost model prices the update stream; a deployment also
+//! has to price the moments the update stream has nowhere to go. This
+//! experiment builds the replication chain from DESIGN.md §16 — leader,
+//! two chained standbys, a deadman coordinator probing the leader's
+//! query front-end — then kills the leader and clocks every leg of the
+//! recovery:
+//!
+//! - **detect**: kill → the probe streak crosses the threshold and the
+//!   coordinator declares death;
+//! - **elect + promote**: death declared → the freshest standby has
+//!   sealed a new epoch and the survivor is repointed at it;
+//! - **first ack**: kill → the first post-failover position update is
+//!   acknowledged by the new leader. This is the write-availability gap
+//!   a vehicle fleet actually experiences.
+//!
+//! The correctness columns are the contract and must hold everywhere:
+//! **acked loss** is the count of leader-acknowledged WAL records
+//! missing from the promotee's applied prefix (must be 0 — the election
+//! picked a standby that had every shipped write), **parity** means the
+//! promotee's object state equals the leader's state at the kill point
+//! bit for bit, and **survivor** means the repointed standby converged
+//! on the new epoch without re-bootstrapping. The millisecond columns
+//! are the headline; CI asserts only the contract.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use modb_core::{
+    Database, DatabaseConfig, MovingObject, ObjectId, PolicyDescriptor, PositionAttribute,
+    UpdateMessage, UpdatePosition,
+};
+use modb_geom::Point;
+use modb_policy::BoundKind;
+use modb_routes::{Direction, Route, RouteId, RouteNetwork};
+use modb_server::{
+    DurableDatabase, FailoverConfig, FailoverCoordinator, QueryClientConfig, QueryEngineConfig,
+    QueryServerConfig, ReplicaConfig, ReplicationConfig, StandbyReplica,
+};
+use modb_wal::{FsyncPolicy, WalOptions};
+
+use crate::report::{fmt, render_table};
+
+/// One straight route long enough that no trajectory ever clamps.
+const ROUTE_LEN: f64 = 1_000_000.0;
+/// Simulated seconds between update batches.
+const BATCH_DT: f64 = 0.5;
+/// Chain-drain deadline; generous for loaded CI runners.
+const DRAIN: Duration = Duration::from_secs(120);
+
+/// One kill-and-recover trial of the W10 experiment.
+#[derive(Debug, Clone)]
+pub struct FailoverRow {
+    /// Trial index (fresh cluster each time).
+    pub trial: usize,
+    /// Leader WAL frontier at the kill (acked records).
+    pub records: u64,
+    /// Kill → the deadman coordinator declares the leader dead.
+    pub detect_ms: f64,
+    /// Death declared → freshest standby promoted + survivor repointed.
+    pub promote_ms: f64,
+    /// Kill → first acked write on the new leader (the availability gap).
+    pub first_ack_ms: f64,
+    /// Acked records missing from the promotee's applied prefix (MUST be 0).
+    pub acked_loss: u64,
+    /// Promotee state equals the leader's state at the kill point.
+    pub parity: bool,
+    /// Repointed survivor converged on the new epoch, no re-bootstrap.
+    pub survivor_ok: bool,
+}
+
+fn fresh_db() -> Database {
+    let route = Route::from_vertices(
+        RouteId(1),
+        "main",
+        vec![Point::new(0.0, 0.0), Point::new(ROUTE_LEN, 0.0)],
+    )
+    .expect("straight route");
+    Database::new(
+        RouteNetwork::from_routes([route]).expect("singleton network"),
+        DatabaseConfig::default(),
+    )
+}
+
+fn vehicle(id: u64, arc: f64, v_max: f64) -> MovingObject {
+    MovingObject {
+        id: ObjectId(id),
+        name: format!("veh-{id}"),
+        attr: PositionAttribute {
+            start_time: 0.0,
+            route: RouteId(1),
+            start_position: Point::new(arc, 0.0),
+            start_arc: arc,
+            direction: Direction::Forward,
+            speed: v_max * 0.5,
+            policy: PolicyDescriptor::CostBased {
+                kind: BoundKind::Immediate,
+                update_cost: 5.0,
+            },
+        },
+        max_speed: v_max,
+        trip_end: None,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("modb-exp-w10-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Full logical equality as a verdict (the experiment counterpart of the
+/// test suite's `assert_converged`): same objects, same attributes, same
+/// transaction-time history.
+fn same_state(a: &Database, b: &Database) -> bool {
+    if a.moving_count() != b.moving_count() || a.stationary_count() != b.stationary_count() {
+        return false;
+    }
+    a.moving_ids()
+        .all(|id| a.moving(id) == b.moving(id) && a.history_of(id) == b.history_of(id))
+}
+
+/// Runs one kill-and-recover trial. See the module docs for the legs.
+fn run_trial(trial: usize, n_objects: usize, batches: u64) -> FailoverRow {
+    let v_max = 2.0;
+    let wal = WalOptions {
+        fsync: FsyncPolicy::Never,
+        max_segment_bytes: 64 * 1024,
+        ..WalOptions::default()
+    };
+    let ldir = scratch_dir(&format!("t{trial}-leader"));
+    let leader = DurableDatabase::create(&ldir, fresh_db(), wal).expect("leader");
+    for i in 0..n_objects as u64 {
+        leader
+            .register_moving(vehicle(i, 10.0 + i as f64 * 3.0, v_max))
+            .expect("register");
+    }
+    let repl_config = ReplicationConfig {
+        poll_interval: Duration::from_millis(1),
+        heartbeat_interval: Duration::from_millis(10),
+        ..ReplicationConfig::default()
+    };
+    let leader_server = leader
+        .serve_replication("127.0.0.1:0", repl_config.clone())
+        .expect("serve replication");
+
+    // The chain: f1 follows the leader, f2 follows f1. Both re-ship, so
+    // either can be an upstream after the election.
+    let replica_config = ReplicaConfig {
+        wal,
+        reconnect_backoff: Duration::from_millis(5),
+        read_timeout: Duration::from_millis(2),
+        ..ReplicaConfig::default()
+    };
+    let f1dir = scratch_dir(&format!("t{trial}-f1"));
+    let f1 = StandbyReplica::open(
+        &f1dir,
+        leader_server.local_addr().to_string(),
+        replica_config.clone(),
+    )
+    .expect("f1");
+    let f1_ship = f1
+        .serve_replication("127.0.0.1:0", repl_config.clone())
+        .expect("f1 ship");
+    let f2dir = scratch_dir(&format!("t{trial}-f2"));
+    let f2 =
+        StandbyReplica::open(&f2dir, f1_ship.local_addr().to_string(), replica_config).expect("f2");
+    let f2_ship = f2
+        .serve_replication("127.0.0.1:0", repl_config)
+        .expect("f2 ship");
+    let ship_addrs = vec![
+        f1_ship.local_addr().to_string(),
+        f2_ship.local_addr().to_string(),
+    ];
+
+    // A query front-end on the leader for the deadman probe.
+    let engine = Arc::new(leader.query_engine(QueryEngineConfig {
+        epoch_interval: None,
+        report_interval: None,
+        ..QueryEngineConfig::default()
+    }));
+    engine.publish_now();
+    let qserver = leader
+        .serve_queries(engine, None, "127.0.0.1:0", QueryServerConfig::default())
+        .expect("leader query front-end");
+    let mut coordinator = FailoverCoordinator::new(
+        qserver.local_addr().to_string(),
+        FailoverConfig {
+            probe_interval: Duration::from_millis(2),
+            probe_failures: 3,
+            client: QueryClientConfig {
+                response_timeout: Duration::from_millis(100),
+                connect_timeout: Some(Duration::from_millis(100)),
+                ..QueryClientConfig::default()
+            },
+        },
+    );
+    assert!(coordinator.probe(), "live leader answers the probe");
+
+    // Churn: truthful variable-speed updates through the leader.
+    let mut arcs: Vec<f64> = (0..n_objects).map(|i| 10.0 + i as f64 * 3.0).collect();
+    let mut speeds = vec![v_max * 0.5; n_objects];
+    let mut last_t = vec![0.0f64; n_objects];
+    for batch in 1..=batches {
+        for u in 0..n_objects {
+            let t = (batch - 1) as f64 * BATCH_DT + (u as f64 + 1.0) / n_objects as f64 * BATCH_DT;
+            let dt = (t - last_t[u]).max(0.0);
+            arcs[u] += speeds[u] * dt;
+            last_t[u] = t;
+            speeds[u] = if ((batch as usize) + u).is_multiple_of(3) {
+                v_max
+            } else {
+                v_max * 0.25
+            };
+            leader
+                .apply_update(
+                    ObjectId(u as u64),
+                    &UpdateMessage::basic(t, UpdatePosition::Arc(arcs[u]), speeds[u]),
+                )
+                .expect("update");
+        }
+    }
+    let acked = leader.wal().next_lsn();
+    let expected = leader.database().with_read(|db| db.clone());
+    assert!(
+        f1.wait_for_lsn(acked, DRAIN),
+        "f1 never drained: {}",
+        f1.stats()
+    );
+    assert!(
+        f2.wait_for_lsn(acked, DRAIN),
+        "f2 never drained: {}",
+        f2.stats()
+    );
+    let f2_bootstraps = f2.stats().bootstraps;
+
+    // Kill the leader: front-end, ship server, handle — all gone.
+    let t_kill = Instant::now();
+    qserver.shutdown();
+    leader_server.shutdown();
+    drop(leader);
+    assert!(
+        coordinator.await_death(DRAIN),
+        "deadman never fired ({} failures)",
+        coordinator.failures()
+    );
+    let detect_ms = t_kill.elapsed().as_secs_f64() * 1e3;
+
+    // Elect the freshest standby, promote it, repoint the survivor.
+    let t_elect = Instant::now();
+    let outcome = FailoverCoordinator::fail_over(vec![f1, f2], &ship_addrs).expect("failover");
+    let promote_ms = t_elect.elapsed().as_secs_f64() * 1e3;
+    // Applied prefix = everything below the epoch seal.
+    let applied_prefix = outcome.promoted_next_lsn.saturating_sub(1);
+    let acked_loss = acked.saturating_sub(applied_prefix);
+    let promoted = outcome.promoted;
+    let parity = promoted
+        .database()
+        .with_read(|db| same_state(&expected, db));
+
+    // The write path is back: first ack on the new leader closes the gap.
+    promoted
+        .apply_update(
+            ObjectId(0),
+            &UpdateMessage::basic(
+                batches as f64 * BATCH_DT + 1.0,
+                UpdatePosition::Arc(arcs[0] + 1.0),
+                v_max * 0.5,
+            ),
+        )
+        .expect("first post-failover ack");
+    let first_ack_ms = t_kill.elapsed().as_secs_f64() * 1e3;
+
+    // The survivor follows the promotee into the new epoch — streamed
+    // from its watermark, not re-bootstrapped.
+    let mut survivors = outcome.survivors;
+    let survivor = survivors.pop().expect("one survivor");
+    let frontier = promoted.wal().next_lsn();
+    let survivor_ok = survivor.wait_for_lsn(frontier, DRAIN)
+        && survivor.epoch() == promoted.epoch()
+        && survivor.stats().bootstraps == f2_bootstraps
+        && promoted
+            .database()
+            .with_read(|a| survivor.database().with_read(|b| same_state(a, b)));
+
+    survivor.shutdown();
+    f2_ship.shutdown();
+    f1_ship.shutdown();
+    drop(promoted);
+    for dir in [&ldir, &f1dir, &f2dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    FailoverRow {
+        trial,
+        records: acked,
+        detect_ms,
+        promote_ms,
+        first_ack_ms,
+        acked_loss,
+        parity,
+        survivor_ok,
+    }
+}
+
+/// Runs the experiment: `trials` independent kill-and-recover rounds.
+pub fn run_failover(n_objects: usize, trials: usize, batches: u64) -> Vec<FailoverRow> {
+    (0..trials.max(1))
+        .map(|t| run_trial(t, n_objects.max(4), batches.max(2)))
+        .collect()
+}
+
+/// `true` iff every trial held the contract: zero acked loss, state
+/// parity, survivor converged.
+pub fn failover_contract(rows: &[FailoverRow]) -> bool {
+    rows.iter()
+        .all(|r| r.acked_loss == 0 && r.parity && r.survivor_ok)
+}
+
+/// Renders the W10 report table.
+pub fn failover_table(n_objects: usize, rows: &[FailoverRow]) -> String {
+    render_table(
+        &format!(
+            "W10: leader failover at {n_objects} objects \
+             (kill → detect → promote → first ack; zero acked loss is the contract)"
+        ),
+        &[
+            "trial",
+            "records",
+            "detect ms",
+            "promote ms",
+            "first ack ms",
+            "acked loss",
+            "parity",
+            "survivor",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.trial.to_string(),
+                    r.records.to_string(),
+                    fmt(r.detect_ms),
+                    fmt(r.promote_ms),
+                    fmt(r.first_ack_ms),
+                    r.acked_loss.to_string(),
+                    if r.parity { "yes" } else { "NO" }.to_string(),
+                    if r.survivor_ok { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Serializes the rows as a small JSON document (the CI perf artifact
+/// `BENCH_failover.json`).
+pub fn failover_json(rows: &[FailoverRow]) -> String {
+    let mut out = String::from("{\n  \"trials\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"trial\": {}, \"records\": {}, \"detect_ms\": {:.3}, \
+             \"promote_ms\": {:.3}, \"first_ack_ms\": {:.3}, \"acked_loss\": {}, \
+             \"parity\": {}, \"survivor_ok\": {}}}{}\n",
+            r.trial,
+            r.records,
+            r.detect_ms,
+            r.promote_ms,
+            r.first_ack_ms,
+            r.acked_loss,
+            r.parity,
+            r.survivor_ok,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"contract\": {}\n}}\n",
+        failover_contract(rows)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_trial_holds_the_contract() {
+        // Correctness only — the millisecond columns are hardware-bound.
+        let rows = run_failover(8, 1, 4);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.records > 0);
+        assert_eq!(r.acked_loss, 0, "an acked write went missing");
+        assert!(r.parity, "promotee state diverged from the dead leader");
+        assert!(r.survivor_ok, "survivor never converged on the new epoch");
+        assert!(r.detect_ms > 0.0 && r.first_ack_ms >= r.detect_ms);
+        assert!(failover_contract(&rows));
+        let table = failover_table(8, &rows);
+        assert!(table.contains("W10"));
+        assert!(table.contains("acked loss"));
+        let json = failover_json(&rows);
+        assert!(json.contains("\"contract\": true"));
+    }
+}

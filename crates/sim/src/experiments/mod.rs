@@ -6,6 +6,7 @@ pub mod bound_shape;
 pub mod cost_rate_curve;
 pub mod epoch_publish;
 pub mod example1;
+pub mod failover;
 pub mod frontend;
 pub mod indexing;
 pub mod policy_sweep;

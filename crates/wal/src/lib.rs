@@ -53,6 +53,7 @@ pub mod codec;
 pub mod commit;
 pub mod compact;
 pub mod crc32;
+pub mod epoch;
 pub mod error;
 pub mod lz;
 pub mod record;
@@ -67,6 +68,7 @@ pub use codec::{ByteReader, WalCodec};
 pub use commit::{GroupCommitHandle, GroupCommitStats, GroupCommitter};
 pub use compact::{compact, compact_with_barrier, CompactionReport, DEFAULT_SNAPSHOT_RETENTION};
 pub use crc32::crc32;
+pub use epoch::{EpochCheck, EpochHistory, EpochSpan, EPOCH_FILE_NAME, GENESIS_EPOCH};
 pub use error::WalError;
 pub use record::{decode_frames, FrameEnd, WalRecord, MAX_RECORD_BYTES};
 pub use recovery::{apply_record, recover, Recovered, RecoveryReport};

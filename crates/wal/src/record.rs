@@ -19,7 +19,7 @@
 use modb_core::{MovingObject, ObjectId, StationaryObject, UpdateMessage};
 use modb_routes::Route;
 
-use crate::codec::{put_u32, ByteReader, WalCodec};
+use crate::codec::{put_u32, put_u64, ByteReader, WalCodec};
 use crate::crc32::crc32;
 use crate::error::WalError;
 
@@ -49,6 +49,17 @@ pub enum WalRecord {
     RemoveMoving(ObjectId),
     /// A route added to the route network.
     InsertRoute(Route),
+    /// A leadership change sealed into the log at promotion time. The
+    /// record is a state no-op on replay (no database mutation); its LSN
+    /// marks the first position written under the new epoch, which is
+    /// what divergence detection compares against — a revived old
+    /// leader whose log extends past this LSN without containing the
+    /// epoch record has forked history.
+    LeaderEpoch {
+        /// The epoch that begins at this record's LSN (monotonic,
+        /// starts at 1 for a freshly created log).
+        epoch: u64,
+    },
 }
 
 const TAG_REGISTER_MOVING: u8 = 1;
@@ -56,6 +67,7 @@ const TAG_INSERT_STATIONARY: u8 = 2;
 const TAG_UPDATE: u8 = 3;
 const TAG_REMOVE_MOVING: u8 = 4;
 const TAG_INSERT_ROUTE: u8 = 5;
+const TAG_LEADER_EPOCH: u8 = 6;
 
 impl WalRecord {
     /// Encodes the record payload (tag + body, no framing).
@@ -82,6 +94,10 @@ impl WalRecord {
                 out.push(TAG_INSERT_ROUTE);
                 route.encode(out);
             }
+            WalRecord::LeaderEpoch { epoch } => {
+                out.push(TAG_LEADER_EPOCH);
+                put_u64(out, *epoch);
+            }
         }
     }
 
@@ -98,6 +114,7 @@ impl WalRecord {
             },
             TAG_REMOVE_MOVING => WalRecord::RemoveMoving(ObjectId::decode(&mut r)?),
             TAG_INSERT_ROUTE => WalRecord::InsertRoute(Route::decode(&mut r)?),
+            TAG_LEADER_EPOCH => WalRecord::LeaderEpoch { epoch: r.u64()? },
             _ => return Err(WalError::Decode("unknown record tag")),
         };
         if !r.is_empty() {
@@ -229,6 +246,7 @@ mod tests {
                 )
                 .unwrap(),
             ),
+            WalRecord::LeaderEpoch { epoch: 2 },
             WalRecord::RemoveMoving(ObjectId(1)),
         ]
     }

@@ -118,6 +118,10 @@ pub fn apply_record(db: &mut Database, rec: WalRecord) -> bool {
         WalRecord::Update { id, msg } => db.apply_update(id, &msg).is_ok(),
         WalRecord::RemoveMoving(id) => db.remove_moving(id).is_ok(),
         WalRecord::InsertRoute(route) => db.insert_route(route).is_ok(),
+        // A leadership change carries no state mutation — its LSN is the
+        // divergence boundary, consumed by the epoch history, not the
+        // database.
+        WalRecord::LeaderEpoch { .. } => true,
     }
 }
 
